@@ -1,0 +1,143 @@
+//! Criterion microbenchmarks for the components whose scaling drives the
+//! paper's headline figures:
+//!
+//! * INUM preparation and cost evaluation (the "fast what-if" claim),
+//! * BIP construction, CoPhy vs ILP (the Figure 5/10 build-time gap),
+//! * the solver engines (simplex, branch & bound, Lagrangian),
+//! * candidate generation,
+//! * ablation: BIPGen with and without I∅-dominance pruning.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cophy::{BipGen, CGen, ConstraintSet};
+use cophy_advisors::IlpAdvisor;
+use cophy_bench::{make_optimizer, make_workload, prepare_parallel, WorkloadKind};
+use cophy_bip::{BranchBound, LagrangianSolver, LinExpr, Model, Sense, SimplexSolver, SolveOptions};
+use cophy_catalog::Configuration;
+use cophy_optimizer::SystemProfile;
+
+fn bench_inum(c: &mut Criterion) {
+    let o = make_optimizer(SystemProfile::A, 0.0);
+    let w = make_workload(&o, WorkloadKind::Hom, 20);
+    c.bench_function("inum/prepare_20_queries", |b| {
+        b.iter(|| prepare_parallel(&o, &w));
+    });
+
+    let prepared = prepare_parallel(&o, &w);
+    let cands = CGen::default().generate(o.schema(), &w);
+    let cfg: Configuration =
+        cands.iter().take(12).map(|(_, ix)| ix.clone()).collect();
+    c.bench_function("inum/cost_eval_20_queries", |b| {
+        b.iter(|| prepared.cost(o.schema(), o.cost_model(), &cfg));
+    });
+    c.bench_function("whatif/direct_cost_20_queries", |b| {
+        b.iter(|| o.cost_workload(&w, &cfg));
+    });
+}
+
+fn bench_build(c: &mut Criterion) {
+    let o = make_optimizer(SystemProfile::A, 0.0);
+    let w = make_workload(&o, WorkloadKind::Hom, 30);
+    let prepared = prepare_parallel(&o, &w);
+    let cands = CGen::default().generate(o.schema(), &w);
+    let constraints = ConstraintSet::storage_fraction(o.schema(), 1.0);
+
+    let mut group = c.benchmark_group("build");
+    group.bench_function("cophy_block_problem", |b| {
+        b.iter(|| {
+            BipGen::default().block_problem(
+                o.schema(),
+                o.cost_model(),
+                &prepared,
+                &cands,
+                &constraints,
+            )
+        });
+    });
+    group.bench_function("cophy_block_problem_unpruned", |b| {
+        let gen = BipGen { prune_dominated: false };
+        b.iter(|| {
+            gen.block_problem(o.schema(), o.cost_model(), &prepared, &cands, &constraints)
+        });
+    });
+    group.bench_function("cgen_30_queries", |b| {
+        b.iter(|| CGen::default().generate(o.schema(), &w));
+    });
+    group.finish();
+
+    // ILP build (enumeration + pruning) at matching scale — the Figure 5
+    // asymmetry in microcosm.
+    c.bench_function("build/ilp_block_problem", |b| {
+        let ilp = IlpAdvisor::default();
+        b.iter(|| {
+            let (_, stats) = ilp.recommend_with_stats(&o, &w, &cands, &constraints);
+            stats
+        });
+    });
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    // Simplex on a dense-ish random LP.
+    let mut m = Model::new();
+    let n = 60;
+    let vars: Vec<_> = (0..n)
+        .map(|j| m.add_var(format!("v{j}"), ((j * 37) % 19) as f64 - 9.0))
+        .collect();
+    for i in 0..30 {
+        let mut e = LinExpr::new();
+        for (j, &v) in vars.iter().enumerate() {
+            if (i + j) % 3 == 0 {
+                e.add(v, ((i * j) % 7 + 1) as f64);
+            }
+        }
+        m.add_constraint(e, Sense::Le, 25.0);
+    }
+    let (lo, hi) = (vec![0.0; n], vec![1.0; n]);
+    c.bench_function("solver/simplex_60v_30c", |b| {
+        b.iter(|| SimplexSolver::new().solve(&m, &lo, &hi));
+    });
+    c.bench_function("solver/branch_bound_60v_30c_gap5", |b| {
+        let opts = SolveOptions::within_5_percent();
+        b.iter(|| BranchBound::new().solve(&m, &opts));
+    });
+
+    // Lagrangian on a realistic tuning instance.
+    let o = make_optimizer(SystemProfile::A, 0.0);
+    let w = make_workload(&o, WorkloadKind::Hom, 40);
+    let prepared = prepare_parallel(&o, &w);
+    let cands = CGen::default().generate(o.schema(), &w);
+    let constraints = ConstraintSet::storage_fraction(o.schema(), 1.0);
+    let tp = BipGen::default().block_problem(
+        o.schema(),
+        o.cost_model(),
+        &prepared,
+        &cands,
+        &constraints,
+    );
+    c.bench_function("solver/lagrangian_40q_gap5", |b| {
+        let solver = LagrangianSolver { gap_limit: 0.05, ..Default::default() };
+        b.iter(|| solver.solve(&tp.block));
+    });
+}
+
+fn bench_optimizer(c: &mut Criterion) {
+    let o = make_optimizer(SystemProfile::A, 0.0);
+    let w = make_workload(&o, WorkloadKind::Hom, 15);
+    let cands = CGen::default().generate(o.schema(), &w);
+    let cfg: Configuration = cands.iter().take(10).map(|(_, ix)| ix.clone()).collect();
+    let mut group = c.benchmark_group("optimizer");
+    for (i, (_, stmt, _)) in w.iter().enumerate().take(3) {
+        let q = stmt.read_shell().clone();
+        group.bench_with_input(BenchmarkId::new("optimize", i), &q, |b, q| {
+            b.iter(|| o.optimize(q, &cfg));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_inum, bench_build, bench_solvers, bench_optimizer
+);
+criterion_main!(benches);

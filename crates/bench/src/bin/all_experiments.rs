@@ -1,0 +1,23 @@
+//! Runs the full experiment suite and prints an EXPERIMENTS.md-ready
+//! transcript (one section per table/figure).
+fn main() {
+    let experiments: Vec<(&str, fn() -> String)> = vec![
+        ("Table 1", cophy_bench::table1),
+        ("Figure 4", cophy_bench::fig4),
+        ("Figure 5", cophy_bench::fig5),
+        ("Figure 6a", cophy_bench::fig6a),
+        ("Figure 6b", cophy_bench::fig6b),
+        ("Figure 6c", cophy_bench::fig6c),
+        ("Figure 7", cophy_bench::fig7),
+        ("Figure 8", cophy_bench::fig8),
+        ("Figure 9", cophy_bench::fig9),
+        ("Figure 10", cophy_bench::fig10),
+        ("Appendix C skew", cophy_bench::skew),
+    ];
+    for (name, run) in experiments {
+        println!("===== {name} =====");
+        let t0 = std::time::Instant::now();
+        println!("{}", run());
+        println!("[{name} took {:.1}s]\n", t0.elapsed().as_secs_f64());
+    }
+}

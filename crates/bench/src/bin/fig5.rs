@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig5 output. See DESIGN.md §4.
+fn main() {
+    println!("{}", cophy_bench::fig5());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig6b output. See DESIGN.md §4.
+fn main() {
+    println!("{}", cophy_bench::fig6b());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's table1 output. See DESIGN.md §4.
+fn main() {
+    println!("{}", cophy_bench::table1());
+}

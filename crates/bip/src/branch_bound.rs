@@ -1,0 +1,495 @@
+//! Best-first branch-and-bound over binary variables.
+//!
+//! The generic "off-the-shelf BIP solver" face of this crate: LP-relaxation
+//! bounds from the [`simplex`](crate::simplex), most-fractional branching,
+//! anytime incumbents with a global lower bound, and the observables CoPhy
+//! builds features on:
+//!
+//! * **gap feedback** — `(incumbent − bound)/|incumbent|` reported after
+//!   every improvement (Figure 6a's curves are exactly this trace);
+//! * **early termination** — stop as soon as the gap falls below
+//!   `SolveOptions::gap_limit` (the paper runs CPLEX at 5%);
+//! * **limits** — wall-clock and node limits with the best-so-far returned.
+
+use std::time::{Duration, Instant};
+
+use crate::model::Model;
+use crate::simplex::{LpStatus, SimplexSolver};
+
+/// Termination reason of a MIP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MipStatus {
+    /// Proven optimal (gap 0 within tolerance).
+    Optimal,
+    /// Stopped because the relative gap reached `gap_limit`.
+    GapReached,
+    /// Stopped on the time limit.
+    TimeLimit,
+    /// Stopped on the node limit.
+    NodeLimit,
+    /// The relaxation (and hence the BIP) is infeasible.
+    Infeasible,
+}
+
+/// One point of the anytime gap trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GapPoint {
+    pub at: Duration,
+    pub incumbent: f64,
+    pub bound: f64,
+    pub gap: f64,
+}
+
+/// Result of a MIP solve.
+#[derive(Debug, Clone)]
+pub struct MipResult {
+    pub status: MipStatus,
+    /// Best integral solution found (empty if none).
+    pub x: Vec<f64>,
+    pub objective: f64,
+    /// Global lower bound at termination.
+    pub bound: f64,
+    /// Relative gap at termination.
+    pub gap: f64,
+    pub nodes: usize,
+    /// Incumbent/bound improvements over time.
+    pub trace: Vec<GapPoint>,
+}
+
+impl MipResult {
+    fn infeasible() -> Self {
+        MipResult {
+            status: MipStatus::Infeasible,
+            x: Vec::new(),
+            objective: f64::INFINITY,
+            bound: f64::INFINITY,
+            gap: f64::INFINITY,
+            nodes: 0,
+            trace: Vec::new(),
+        }
+    }
+}
+
+/// Solver options.
+#[derive(Debug, Clone)]
+pub struct SolveOptions {
+    /// Stop when `(incumbent − bound)/|incumbent| ≤ gap_limit`.
+    pub gap_limit: f64,
+    pub time_limit: Option<Duration>,
+    pub node_limit: Option<usize>,
+    /// Integrality tolerance.
+    pub int_tol: f64,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions { gap_limit: 1e-9, time_limit: None, node_limit: None, int_tol: 1e-6 }
+    }
+}
+
+impl SolveOptions {
+    /// The paper's interactive default: terminate within 5% of optimal.
+    pub fn within_5_percent() -> Self {
+        SolveOptions { gap_limit: 0.05, ..Default::default() }
+    }
+}
+
+/// A search node: variable fixings layered over the root bounds.
+#[derive(Debug, Clone)]
+struct Node {
+    bound: f64,
+    fixings: Vec<(usize, bool)>,
+    depth: usize,
+}
+
+/// Best-first B&B solver.
+#[derive(Debug, Default)]
+pub struct BranchBound {
+    pub simplex: SimplexSolver,
+}
+
+impl BranchBound {
+    pub fn new() -> Self {
+        BranchBound::default()
+    }
+
+    /// Feasibility check of the LP relaxation (the paper's Solver line 1).
+    pub fn is_feasible(&self, model: &Model) -> bool {
+        let n = model.n_vars();
+        self.simplex.is_feasible(model, &vec![0.0; n], &vec![1.0; n])
+    }
+
+    /// Solve `model` to binary optimality (or to the configured limits).
+    /// `on_improve` fires on every incumbent or bound improvement.
+    pub fn solve_with_callback(
+        &self,
+        model: &Model,
+        opts: &SolveOptions,
+        mut on_improve: impl FnMut(&GapPoint),
+    ) -> MipResult {
+        let n = model.n_vars();
+        let start = Instant::now();
+        let mut lo = vec![0.0; n];
+        let mut hi = vec![1.0; n];
+
+        let root = self.simplex.solve(model, &lo, &hi);
+        match root.status {
+            LpStatus::Infeasible => return MipResult::infeasible(),
+            LpStatus::Unbounded => {
+                // Binary variables are bounded; an unbounded relaxation means
+                // a modeling error. Surface it loudly.
+                panic!("LP relaxation of a BIP cannot be unbounded");
+            }
+            _ => {}
+        }
+
+        let mut incumbent: Option<(f64, Vec<f64>)> = None;
+        let mut trace: Vec<GapPoint> = Vec::new();
+        let mut nodes = 0usize;
+
+        // Root rounding heuristic: round the LP point and repair nothing —
+        // accept only if feasible. Cheap and surprisingly effective on
+        // index-tuning BIPs where the LP is near-integral.
+        let rounded: Vec<f64> =
+            root.x.iter().map(|v| if *v >= 0.5 { 1.0 } else { 0.0 }).collect();
+        if model.feasible(&rounded, 1e-6) {
+            let obj = model.objective_value(&rounded);
+            incumbent = Some((obj, rounded));
+        }
+
+        // Frontier ordered by bound (best-first).
+        let mut frontier: Vec<Node> =
+            vec![Node { bound: root.objective, fixings: Vec::new(), depth: 0 }];
+
+        let mut status = MipStatus::Optimal;
+        let mut global_bound = root.objective;
+
+        let record = |trace: &mut Vec<GapPoint>,
+                      on_improve: &mut dyn FnMut(&GapPoint),
+                      start: &Instant,
+                      inc: f64,
+                      bound: f64| {
+            let gap = relative_gap(inc, bound);
+            let p = GapPoint { at: start.elapsed(), incumbent: inc, bound, gap };
+            on_improve(&p);
+            trace.push(p);
+        };
+
+        while let Some(pos) = best_node(&frontier) {
+            let node = frontier.swap_remove(pos);
+            global_bound = frontier
+                .iter()
+                .map(|nd| nd.bound)
+                .fold(node.bound, f64::min);
+
+            // Check limits.
+            if let Some(tl) = opts.time_limit {
+                if start.elapsed() >= tl {
+                    status = MipStatus::TimeLimit;
+                    break;
+                }
+            }
+            if let Some(nl) = opts.node_limit {
+                if nodes >= nl {
+                    status = MipStatus::NodeLimit;
+                    break;
+                }
+            }
+            // Prune against the incumbent.
+            if let Some((inc, _)) = &incumbent {
+                if node.bound >= *inc - 1e-9 {
+                    continue;
+                }
+                if relative_gap(*inc, global_bound) <= opts.gap_limit {
+                    status = if opts.gap_limit > 1e-9 {
+                        MipStatus::GapReached
+                    } else {
+                        MipStatus::Optimal
+                    };
+                    break;
+                }
+            }
+
+            nodes += 1;
+            // Apply fixings.
+            for &(j, v) in &node.fixings {
+                lo[j] = if v { 1.0 } else { 0.0 };
+                hi[j] = lo[j];
+            }
+            let lp = self.simplex.solve(model, &lo, &hi);
+            // Restore bounds.
+            for &(j, _) in &node.fixings {
+                lo[j] = 0.0;
+                hi[j] = 1.0;
+            }
+
+            if lp.status == LpStatus::Infeasible {
+                continue;
+            }
+            if let Some((inc, _)) = &incumbent {
+                if lp.objective >= *inc - 1e-9 {
+                    continue;
+                }
+            }
+
+            // Integral?
+            let frac_var = most_fractional(&lp.x, opts.int_tol);
+            match frac_var {
+                None => {
+                    let obj = lp.objective;
+                    let better = incumbent.as_ref().is_none_or(|(inc, _)| obj < *inc);
+                    if better {
+                        incumbent = Some((obj, lp.x.clone()));
+                        record(&mut trace, &mut on_improve, &start, obj, global_bound);
+                    }
+                }
+                Some(j) => {
+                    for v in [true, false] {
+                        let mut fx = node.fixings.clone();
+                        fx.push((j, v));
+                        frontier.push(Node {
+                            bound: lp.objective,
+                            fixings: fx,
+                            depth: node.depth + 1,
+                        });
+                    }
+                }
+            }
+        }
+
+        if frontier.is_empty() && status == MipStatus::Optimal {
+            // Search exhausted: the incumbent (if any) is optimal.
+            if let Some((inc, _)) = &incumbent {
+                global_bound = *inc;
+            }
+        }
+
+        match incumbent {
+            None => {
+                // No integral point found. If the search was exhausted the
+                // BIP is integrally infeasible.
+                let mut r = MipResult::infeasible();
+                r.nodes = nodes;
+                if status != MipStatus::Optimal {
+                    r.status = status;
+                    r.bound = global_bound;
+                }
+                r
+            }
+            Some((obj, x)) => {
+                let gap = relative_gap(obj, global_bound);
+                record(&mut trace, &mut on_improve, &start, obj, global_bound);
+                MipResult {
+                    status: if gap <= 1e-9 { MipStatus::Optimal } else { status },
+                    x,
+                    objective: obj,
+                    bound: global_bound,
+                    gap,
+                    nodes,
+                    trace,
+                }
+            }
+        }
+    }
+
+    /// Solve without callbacks.
+    pub fn solve(&self, model: &Model, opts: &SolveOptions) -> MipResult {
+        self.solve_with_callback(model, opts, |_| {})
+    }
+}
+
+/// Relative optimality gap, safe for zero incumbents.
+pub fn relative_gap(incumbent: f64, bound: f64) -> f64 {
+    if !incumbent.is_finite() {
+        return f64::INFINITY;
+    }
+    let denom = incumbent.abs().max(1e-12);
+    ((incumbent - bound) / denom).max(0.0)
+}
+
+fn best_node(frontier: &[Node]) -> Option<usize> {
+    frontier
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| a.bound.total_cmp(&b.bound).then(a.depth.cmp(&b.depth)))
+        .map(|(i, _)| i)
+}
+
+fn most_fractional(x: &[f64], tol: f64) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (j, &v) in x.iter().enumerate() {
+        let frac = (v - v.round()).abs();
+        if frac > tol && best.is_none_or(|(_, f)| frac > f) {
+            best = Some((j, frac));
+        }
+    }
+    best.map(|(j, _)| j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{LinExpr, Model, Sense};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn solves_tiny_knapsack_exactly() {
+        // max 10x + 6y + 4z s.t. 5x+4y+3z ≤ 9  (as min of negatives)
+        let mut m = Model::new();
+        let x = m.add_var("x", -10.0);
+        let y = m.add_var("y", -6.0);
+        let z = m.add_var("z", -4.0);
+        m.add_constraint(
+            LinExpr::new().term(x, 5.0).term(y, 4.0).term(z, 3.0),
+            Sense::Le,
+            9.0,
+        );
+        let r = BranchBound::new().solve(&m, &SolveOptions::default());
+        assert_eq!(r.status, MipStatus::Optimal);
+        let (expect, _) = m.brute_force().unwrap();
+        assert!((r.objective - expect).abs() < 1e-6);
+        assert!(m.feasible(&r.x, 1e-6));
+        assert!(r.gap <= 1e-9);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut m = Model::new();
+        let x = m.add_var("x", 1.0);
+        let y = m.add_var("y", 1.0);
+        m.add_constraint(LinExpr::new().term(x, 1.0).term(y, 1.0), Sense::Ge, 3.0);
+        let r = BranchBound::new().solve(&m, &SolveOptions::default());
+        assert_eq!(r.status, MipStatus::Infeasible);
+        assert!(!BranchBound::new().is_feasible(&m));
+    }
+
+    #[test]
+    fn integrally_infeasible_detected() {
+        // x + y = 1 and x − y = 0 has the LP solution (0.5, 0.5) only.
+        let mut m = Model::new();
+        let x = m.add_var("x", 1.0);
+        let y = m.add_var("y", 1.0);
+        m.add_constraint(LinExpr::new().term(x, 1.0).term(y, 1.0), Sense::Eq, 1.0);
+        m.add_constraint(LinExpr::new().term(x, 1.0).term(y, -1.0), Sense::Eq, 0.0);
+        let r = BranchBound::new().solve(&m, &SolveOptions::default());
+        assert_eq!(r.status, MipStatus::Infeasible);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_bips() {
+        let mut rng = SmallRng::seed_from_u64(123);
+        for trial in 0..25 {
+            let n = rng.gen_range(3..10);
+            let mut m = Model::new();
+            let vars: Vec<_> =
+                (0..n).map(|j| m.add_var(format!("v{j}"), rng.gen_range(-10.0..10.0))).collect();
+            for _ in 0..rng.gen_range(1..4) {
+                let mut e = LinExpr::new();
+                for &v in &vars {
+                    if rng.gen_bool(0.7) {
+                        e.add(v, rng.gen_range(-5.0..5.0));
+                    }
+                }
+                if e.terms.is_empty() {
+                    continue;
+                }
+                let sense = match rng.gen_range(0..3) {
+                    0 => Sense::Le,
+                    1 => Sense::Ge,
+                    _ => Sense::Eq,
+                };
+                // keep Eq constraints satisfiable reasonably often
+                let rhs = match sense {
+                    Sense::Eq => {
+                        if rng.gen_bool(0.5) {
+                            0.0
+                        } else {
+                            e.terms[0].1
+                        }
+                    }
+                    _ => rng.gen_range(-4.0..6.0),
+                };
+                m.add_constraint(e, sense, rhs);
+            }
+            let r = BranchBound::new().solve(&m, &SolveOptions::default());
+            match m.brute_force() {
+                None => assert_eq!(
+                    r.status,
+                    MipStatus::Infeasible,
+                    "trial {trial}: solver found {:?} on infeasible model",
+                    r.objective
+                ),
+                Some((expect, _)) => {
+                    assert_ne!(r.status, MipStatus::Infeasible, "trial {trial}");
+                    assert!(
+                        (r.objective - expect).abs() < 1e-5,
+                        "trial {trial}: got {} expected {expect}",
+                        r.objective
+                    );
+                    assert!(m.feasible(&r.x, 1e-6));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gap_limit_stops_early_with_valid_bound() {
+        // A knapsack with many similar items → nontrivial search tree.
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut m = Model::new();
+        let mut e = LinExpr::new();
+        for j in 0..16 {
+            let v = m.add_var(format!("v{j}"), -rng.gen_range(5.0..15.0));
+            e.add(v, rng.gen_range(3.0..9.0));
+        }
+        m.add_constraint(e, Sense::Le, 30.0);
+        let opts = SolveOptions { gap_limit: 0.10, ..Default::default() };
+        let r = BranchBound::new().solve(&m, &opts);
+        assert!(matches!(r.status, MipStatus::GapReached | MipStatus::Optimal));
+        assert!(r.gap <= 0.10 + 1e-9);
+        assert!(r.bound <= r.objective + 1e-9, "bound must stay below incumbent");
+        assert!(m.feasible(&r.x, 1e-6));
+    }
+
+    #[test]
+    fn callback_trace_is_monotone() {
+        let mut m = Model::new();
+        let mut e = LinExpr::new();
+        let mut rng = SmallRng::seed_from_u64(11);
+        for j in 0..12 {
+            let v = m.add_var(format!("v{j}"), -rng.gen_range(1.0..20.0));
+            e.add(v, rng.gen_range(1.0..10.0));
+        }
+        m.add_constraint(e, Sense::Le, 25.0);
+        let mut gaps: Vec<f64> = Vec::new();
+        let r = BranchBound::new().solve_with_callback(
+            &m,
+            &SolveOptions::default(),
+            |p| gaps.push(p.gap),
+        );
+        assert_eq!(r.status, MipStatus::Optimal);
+        // incumbents improve monotonically
+        let mut prev = f64::INFINITY;
+        for p in &r.trace {
+            assert!(p.incumbent <= prev + 1e-9);
+            prev = p.incumbent;
+        }
+        assert!(!gaps.is_empty());
+    }
+
+    #[test]
+    fn node_limit_respected() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut m = Model::new();
+        let mut e = LinExpr::new();
+        for j in 0..20 {
+            let v = m.add_var(format!("v{j}"), -rng.gen_range(5.0..6.0));
+            e.add(v, rng.gen_range(3.0..4.0));
+        }
+        m.add_constraint(e, Sense::Le, 20.0);
+        let opts = SolveOptions { node_limit: Some(5), ..Default::default() };
+        let r = BranchBound::new().solve(&m, &opts);
+        assert!(r.nodes <= 6);
+    }
+}

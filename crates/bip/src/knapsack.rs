@@ -1,0 +1,149 @@
+//! Knapsack helpers.
+//!
+//! The storage-budget constraint `Σ size_a · z_a ≤ M` gives index-tuning BIPs
+//! a knapsack core.  The Lagrangian `z`-subproblem is a *continuous* knapsack
+//! (solvable greedily by ratio — a valid lower bound on the binary version),
+//! and the primal heuristics need fast 0/1 repairs.
+
+/// Solve `min Σ cost_j · z_j  s.t.  Σ size_j · z_j ≤ budget, z ∈ [0,1]`.
+///
+/// Only items with negative cost are worth taking; they are taken greedily by
+/// `cost/size` ratio (most negative per unit first), fractionally at the end.
+/// Returns `(objective, z)`.
+pub fn continuous_min(cost: &[f64], size: &[f64], budget: f64) -> (f64, Vec<f64>) {
+    debug_assert_eq!(cost.len(), size.len());
+    let mut z = vec![0.0; cost.len()];
+    // Zero-size bargains are free.
+    let mut order: Vec<usize> = (0..cost.len()).filter(|&j| cost[j] < 0.0).collect();
+    let mut obj = 0.0;
+    let mut remaining = budget;
+    for &j in &order {
+        if size[j] <= 0.0 {
+            z[j] = 1.0;
+            obj += cost[j];
+        }
+    }
+    order.retain(|&j| size[j] > 0.0);
+    order.sort_by(|&a, &b| (cost[a] / size[a]).total_cmp(&(cost[b] / size[b])));
+    for j in order {
+        if remaining <= 0.0 {
+            break;
+        }
+        let take = (remaining / size[j]).min(1.0);
+        z[j] = take;
+        obj += cost[j] * take;
+        remaining -= size[j] * take;
+    }
+    (obj, z)
+}
+
+/// Greedy 0/1 variant of [`continuous_min`] (no fractional item). An upper
+/// bound on the continuous optimum's magnitude but always integral.
+pub fn greedy_binary_min(cost: &[f64], size: &[f64], budget: f64) -> (f64, Vec<bool>) {
+    let mut z = vec![false; cost.len()];
+    let mut order: Vec<usize> =
+        (0..cost.len()).filter(|&j| cost[j] < 0.0).collect();
+    order.sort_by(|&a, &b| {
+        let ra = cost[a] / size[a].max(1e-12);
+        let rb = cost[b] / size[b].max(1e-12);
+        ra.total_cmp(&rb)
+    });
+    let mut obj = 0.0;
+    let mut remaining = budget;
+    for j in order {
+        if size[j] <= remaining {
+            z[j] = true;
+            obj += cost[j];
+            remaining -= size[j];
+        }
+    }
+    (obj, z)
+}
+
+/// Drop items (largest size first among the worst ratios) until the selection
+/// fits the budget.  Used to repair heuristic solutions.
+pub fn repair_to_budget(selected: &mut [bool], value: &[f64], size: &[f64], budget: f64) {
+    let mut used: f64 = (0..selected.len()).filter(|&j| selected[j]).map(|j| size[j]).sum();
+    while used > budget {
+        // Drop the selected item with the worst value-per-size.
+        let worst = (0..selected.len())
+            .filter(|&j| selected[j] && size[j] > 0.0)
+            .min_by(|&a, &b| {
+                let ra = value[a] / size[a];
+                let rb = value[b] / size[b];
+                ra.total_cmp(&rb)
+            });
+        match worst {
+            Some(j) => {
+                selected[j] = false;
+                used -= size[j];
+            }
+            None => break, // only zero-size items left; budget must be < 0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn continuous_takes_best_ratio_first() {
+        // item 0: cost −10 size 5 (ratio −2); item 1: cost −6 size 2 (−3).
+        let (obj, z) = continuous_min(&[-10.0, -6.0], &[5.0, 2.0], 4.0);
+        assert_eq!(z[1], 1.0);
+        assert!((z[0] - 0.4).abs() < 1e-9);
+        assert!((obj - (-6.0 - 4.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn continuous_ignores_positive_cost() {
+        let (obj, z) = continuous_min(&[3.0, -1.0], &[1.0, 1.0], 10.0);
+        assert_eq!(z[0], 0.0);
+        assert_eq!(z[1], 1.0);
+        assert_eq!(obj, -1.0);
+    }
+
+    #[test]
+    fn continuous_zero_budget() {
+        let (obj, z) = continuous_min(&[-5.0], &[2.0], 0.0);
+        assert_eq!(obj, 0.0);
+        assert_eq!(z[0], 0.0);
+    }
+
+    #[test]
+    fn continuous_bound_dominates_binary() {
+        // LP knapsack optimum ≤ greedy binary (both minimizing).
+        let cost = [-7.0, -4.0, -9.0, -2.0, -5.0];
+        let size = [3.0, 2.0, 5.0, 1.0, 4.0];
+        for budget in [0.0, 2.5, 5.0, 8.0, 100.0] {
+            let (c_obj, _) = continuous_min(&cost, &size, budget);
+            let (b_obj, sel) = greedy_binary_min(&cost, &size, budget);
+            assert!(c_obj <= b_obj + 1e-9, "budget {budget}: {c_obj} > {b_obj}");
+            let used: f64 =
+                (0..sel.len()).filter(|&j| sel[j]).map(|j| size[j]).sum();
+            assert!(used <= budget + 1e-9);
+        }
+    }
+
+    #[test]
+    fn repair_enforces_budget() {
+        let value = [10.0, 3.0, 8.0];
+        let size = [5.0, 5.0, 5.0];
+        let mut sel = [true, true, true];
+        repair_to_budget(&mut sel, &value, &size, 10.0);
+        let used: f64 = (0..3).filter(|&j| sel[j]).map(|j| size[j]).sum();
+        assert!(used <= 10.0);
+        // the low-value item goes first
+        assert!(!sel[1]);
+        assert!(sel[0] && sel[2]);
+    }
+
+    #[test]
+    fn zero_size_items_always_taken() {
+        let (obj, z) = continuous_min(&[-5.0, -1.0], &[0.0, 1.0], 0.0);
+        assert_eq!(z[0], 1.0);
+        assert_eq!(z[1], 0.0);
+        assert_eq!(obj, -5.0);
+    }
+}

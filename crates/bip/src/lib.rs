@@ -1,0 +1,39 @@
+//! # cophy-bip
+//!
+//! A self-contained binary-integer-programming substrate — the stand-in for
+//! the off-the-shelf solver (CPLEX 12.1) the CoPhy paper delegates to.  The
+//! calibration note for this reproduction flags Rust LP-solver crates as
+//! immature, so everything here is built from scratch:
+//!
+//! * [`Model`] — a sparse BIP model builder with incremental extension
+//!   (new variables/constraints after a solve), the delta interface CoPhy's
+//!   interactive tuning exploits;
+//! * [`simplex`] — a two-phase, bounded-variable revised primal simplex for
+//!   the LP relaxations;
+//! * [`branch_bound`] — a best-first branch-and-bound MIP solver with
+//!   anytime incumbents, a global lower bound, relative-gap early
+//!   termination, time/node limits and improvement callbacks (the paper's
+//!   "continuous feedback" of Figure 6a);
+//! * [`lagrangian`] — a Lagrangian-decomposition solver for the
+//!   block-angular structure of index-tuning BIPs (the `relax(B)` step of
+//!   Figure 3): per-query minimum subproblems + an LP-knapsack coupling
+//!   subproblem, driven by subgradient ascent, with warm-startable
+//!   multipliers for fast re-solves;
+//! * [`knapsack`] — continuous/0-1 knapsack helpers shared by the above.
+//!
+//! The solvers report the same observables CPLEX exposes to CoPhy:
+//! feasibility, anytime incumbent + bound (⇒ optimality gap), and cheap
+//! re-solves after model deltas.
+
+pub mod branch_bound;
+pub mod knapsack;
+pub mod lagrangian;
+pub mod model;
+pub mod simplex;
+
+pub use branch_bound::{BranchBound, GapPoint, MipResult, MipStatus, SolveOptions};
+pub use lagrangian::{
+    Alt, Block, BlockProblem, LagrangeResult, LagrangianSolver, SlotChoices, WarmStart,
+};
+pub use model::{ConstrId, LinExpr, Model, Sense, VarId};
+pub use simplex::{LpResult, LpStatus, SimplexSolver};

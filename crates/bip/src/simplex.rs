@@ -1,0 +1,684 @@
+//! Two-phase bounded-variable revised primal simplex.
+//!
+//! Solves the LP relaxation `min cᵀx, Ax {≤,=,≥} b, lo ≤ x ≤ hi` of a
+//! [`Model`](crate::model::Model).  Design notes:
+//!
+//! * **Bounded variables** — nonbasic variables rest at either bound, so
+//!   branch-and-bound can fix binaries by pinching `[lo, hi]` without adding
+//!   rows.
+//! * **Phase 1 with artificials** — every row gets an artificial variable
+//!   signed to make the initial basis feasible; minimizing their sum either
+//!   reaches zero (feasible) or proves infeasibility.
+//! * **Explicit dense `B⁻¹`** — updated by product-form pivots (O(m²)) and
+//!   refactorized from scratch periodically for numerical hygiene.  This
+//!   caps practical model sizes at a few thousand rows, which is exactly why
+//!   the CoPhy Solver routes *large* index-tuning BIPs through the
+//!   structure-exploiting [`lagrangian`](crate::lagrangian) relaxation and
+//!   keeps the simplex for moderate models, feasibility checks and bound
+//!   proofs — mirroring the paper's `relax(B)` step (Figure 3).
+//! * **Dantzig pricing with a Bland fallback** after a run of degenerate
+//!   pivots, guaranteeing termination.
+
+// The linear-algebra kernels below intentionally use index loops over the
+// dense B⁻¹ rows; iterator chains obscure the pivot arithmetic.
+#![allow(clippy::needless_range_loop)]
+
+use crate::model::{Model, Sense};
+
+/// Solver outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpStatus {
+    Optimal,
+    Infeasible,
+    Unbounded,
+    /// Iteration limit hit; `x` is the best feasible point found (phase 2)
+    /// or meaningless (phase 1).
+    IterLimit,
+}
+
+/// Result of an LP solve.
+#[derive(Debug, Clone)]
+pub struct LpResult {
+    pub status: LpStatus,
+    /// Values of the *structural* variables.
+    pub x: Vec<f64>,
+    pub objective: f64,
+    pub iterations: usize,
+}
+
+/// The simplex engine.
+#[derive(Debug, Clone)]
+pub struct SimplexSolver {
+    pub max_iters: usize,
+    pub tol: f64,
+}
+
+impl Default for SimplexSolver {
+    fn default() -> Self {
+        SimplexSolver { max_iters: 50_000, tol: 1e-7 }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VarState {
+    Basic,
+    Lower,
+    Upper,
+}
+
+/// Internal standard-form workspace.
+struct Tableau {
+    /// Sparse columns for every variable (structural, slack, artificial).
+    cols: Vec<Vec<(usize, f64)>>,
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+    rhs: Vec<f64>,
+    n_structural: usize,
+    n_artificial_start: usize,
+    m: usize,
+    // state
+    state: Vec<VarState>,
+    basis: Vec<usize>,
+    binv: Vec<f64>, // m×m row-major
+    xb: Vec<f64>,
+}
+
+const PIVOT_TOL: f64 = 1e-9;
+const REFACTOR_EVERY: usize = 128;
+
+impl Tableau {
+    fn build(model: &Model, lo: &[f64], hi: &[f64]) -> Tableau {
+        let n = model.n_vars();
+        let m = model.n_constraints();
+        assert_eq!(lo.len(), n);
+        assert_eq!(hi.len(), n);
+
+        let mut cols: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        let mut rhs = Vec::with_capacity(m);
+        for (i, c) in model.constraints().iter().enumerate() {
+            for &(v, a) in &c.expr.terms {
+                cols[v.0 as usize].push((i, a));
+            }
+            rhs.push(c.rhs);
+        }
+        let mut lo = lo.to_vec();
+        let mut hi = hi.to_vec();
+
+        // Slacks.
+        for (i, c) in model.constraints().iter().enumerate() {
+            let coeff = match c.sense {
+                Sense::Le => 1.0,
+                Sense::Ge => -1.0,
+                Sense::Eq => continue,
+            };
+            cols.push(vec![(i, coeff)]);
+            lo.push(0.0);
+            hi.push(f64::INFINITY);
+        }
+        let n_artificial_start = cols.len();
+
+        // One artificial per row; sign fixed at init_basis time.
+        for i in 0..m {
+            cols.push(vec![(i, 1.0)]);
+            lo.push(0.0);
+            hi.push(f64::INFINITY);
+        }
+
+        let total = cols.len();
+        Tableau {
+            cols,
+            lo,
+            hi,
+            rhs,
+            n_structural: n,
+            n_artificial_start,
+            m,
+            state: vec![VarState::Lower; total],
+            basis: Vec::new(),
+            binv: Vec::new(),
+            xb: Vec::new(),
+        }
+    }
+
+    /// Nonbasic value of variable `j` per its state.
+    fn nb_value(&self, j: usize) -> f64 {
+        match self.state[j] {
+            VarState::Lower => self.lo[j],
+            VarState::Upper => self.hi[j],
+            VarState::Basic => unreachable!("basic variable has no bound value"),
+        }
+    }
+
+    /// Start from the all-artificial basis.
+    fn init_basis(&mut self) {
+        // Residual with every non-artificial variable at its lower bound
+        // (fixed vars sit at lo == hi).
+        let mut r = self.rhs.clone();
+        for j in 0..self.n_artificial_start {
+            let v = self.lo[j];
+            if v != 0.0 {
+                for &(i, a) in &self.cols[j] {
+                    r[i] -= a * v;
+                }
+            }
+            self.state[j] = VarState::Lower;
+        }
+        self.basis = (0..self.m).map(|i| self.n_artificial_start + i).collect();
+        self.binv = vec![0.0; self.m * self.m];
+        self.xb = vec![0.0; self.m];
+        for i in 0..self.m {
+            let art = self.n_artificial_start + i;
+            let sigma = if r[i] >= 0.0 { 1.0 } else { -1.0 };
+            self.cols[art][0].1 = sigma;
+            self.binv[i * self.m + i] = sigma;
+            self.xb[i] = r[i].abs();
+            self.state[art] = VarState::Basic;
+        }
+    }
+
+    /// `w = B⁻¹ · col_j`.
+    fn ftran(&self, j: usize, w: &mut [f64]) {
+        w.fill(0.0);
+        for &(r, a) in &self.cols[j] {
+            if a == 0.0 {
+                continue;
+            }
+            for i in 0..self.m {
+                w[i] += self.binv[i * self.m + r] * a;
+            }
+        }
+    }
+
+    /// Dual vector `y = c_Bᵀ · B⁻¹` for the given phase costs.
+    fn duals(&self, cost: &[f64], y: &mut [f64]) {
+        y.fill(0.0);
+        for (k, &bv) in self.basis.iter().enumerate() {
+            let cb = cost[bv];
+            if cb == 0.0 {
+                continue;
+            }
+            let row = &self.binv[k * self.m..(k + 1) * self.m];
+            for i in 0..self.m {
+                y[i] += cb * row[i];
+            }
+        }
+    }
+
+    fn reduced_cost(&self, cost: &[f64], y: &[f64], j: usize) -> f64 {
+        let mut d = cost[j];
+        for &(i, a) in &self.cols[j] {
+            d -= y[i] * a;
+        }
+        d
+    }
+
+    /// Rebuild `B⁻¹` and `x_B` from scratch (Gauss-Jordan with partial
+    /// pivoting).  Returns false if the basis matrix is numerically singular.
+    fn refactor(&mut self) -> bool {
+        let m = self.m;
+        // Assemble the basis matrix densely.
+        let mut a = vec![0.0; m * m];
+        for (k, &bv) in self.basis.iter().enumerate() {
+            for &(i, v) in &self.cols[bv] {
+                a[i * m + k] = v;
+            }
+        }
+        // Inverse via Gauss-Jordan on [A | I].
+        let mut inv = vec![0.0; m * m];
+        for i in 0..m {
+            inv[i * m + i] = 1.0;
+        }
+        for col in 0..m {
+            // partial pivot
+            let mut piv = col;
+            let mut best = a[col * m + col].abs();
+            for r in (col + 1)..m {
+                let v = a[r * m + col].abs();
+                if v > best {
+                    best = v;
+                    piv = r;
+                }
+            }
+            if best < 1e-12 {
+                return false;
+            }
+            if piv != col {
+                for c in 0..m {
+                    a.swap(col * m + c, piv * m + c);
+                    inv.swap(col * m + c, piv * m + c);
+                }
+            }
+            let d = a[col * m + col];
+            for c in 0..m {
+                a[col * m + c] /= d;
+                inv[col * m + c] /= d;
+            }
+            for r in 0..m {
+                if r == col {
+                    continue;
+                }
+                let f = a[r * m + col];
+                if f == 0.0 {
+                    continue;
+                }
+                for c in 0..m {
+                    a[r * m + c] -= f * a[col * m + c];
+                    inv[r * m + c] -= f * inv[col * m + c];
+                }
+            }
+        }
+        self.binv = inv;
+        self.recompute_xb();
+        true
+    }
+
+    /// `x_B = B⁻¹ (b − N x_N)`.
+    fn recompute_xb(&mut self) {
+        let mut r = self.rhs.clone();
+        for j in 0..self.cols.len() {
+            if self.state[j] == VarState::Basic {
+                continue;
+            }
+            let v = self.nb_value(j);
+            if v != 0.0 && v.is_finite() {
+                for &(i, a) in &self.cols[j] {
+                    r[i] -= a * v;
+                }
+            }
+        }
+        for i in 0..self.m {
+            let mut s = 0.0;
+            let row = &self.binv[i * self.m..(i + 1) * self.m];
+            for k in 0..self.m {
+                s += row[k] * r[k];
+            }
+            self.xb[i] = s;
+        }
+    }
+
+    /// Run the simplex on the given phase costs. Returns (status, iterations).
+    fn run(&mut self, cost: &[f64], tol: f64, max_iters: usize) -> (LpStatus, usize) {
+        let m = self.m;
+        let mut y = vec![0.0; m];
+        let mut w = vec![0.0; m];
+        let mut degenerate_run = 0usize;
+        let mut since_refactor = 0usize;
+
+        for iter in 0..max_iters {
+            self.duals(cost, &mut y);
+
+            // Pricing: Dantzig normally, Bland when cycling is suspected.
+            let bland = degenerate_run > 2 * (m + 16);
+            let mut entering: Option<(usize, f64, f64)> = None; // (j, d, score)
+            for j in 0..self.cols.len() {
+                if self.state[j] == VarState::Basic || self.lo[j] >= self.hi[j] {
+                    continue;
+                }
+                let d = self.reduced_cost(cost, &y, j);
+                let improving = match self.state[j] {
+                    VarState::Lower => d < -tol,
+                    VarState::Upper => d > tol,
+                    VarState::Basic => false,
+                };
+                if !improving {
+                    continue;
+                }
+                if bland {
+                    entering = Some((j, d, d.abs()));
+                    break;
+                }
+                let score = d.abs();
+                if entering.as_ref().is_none_or(|(_, _, s)| score > *s) {
+                    entering = Some((j, d, score));
+                }
+            }
+            let Some((j, _d, _)) = entering else {
+                return (LpStatus::Optimal, iter);
+            };
+
+            let sigma = if self.state[j] == VarState::Lower { 1.0 } else { -1.0 };
+            self.ftran(j, &mut w);
+
+            // Ratio test.
+            let mut t_max = self.hi[j] - self.lo[j]; // bound flip distance
+            let mut leaving: Option<(usize, VarState)> = None;
+            for i in 0..m {
+                let delta = sigma * w[i];
+                let bv = self.basis[i];
+                if delta > PIVOT_TOL {
+                    // basic variable decreases toward its lower bound
+                    let room = self.xb[i] - self.lo[bv];
+                    let limit = (room / delta).max(0.0);
+                    if limit < t_max - 1e-12 {
+                        t_max = limit;
+                        leaving = Some((i, VarState::Lower));
+                    } else if bland && limit <= t_max && leaving.is_none() {
+                        t_max = limit;
+                        leaving = Some((i, VarState::Lower));
+                    }
+                } else if delta < -PIVOT_TOL {
+                    // basic variable increases toward its upper bound
+                    if self.hi[bv].is_finite() {
+                        let room = self.hi[bv] - self.xb[i];
+                        let limit = (room / -delta).max(0.0);
+                        if limit < t_max - 1e-12 {
+                            t_max = limit;
+                            leaving = Some((i, VarState::Upper));
+                        }
+                    }
+                }
+            }
+
+            if t_max.is_infinite() {
+                return (LpStatus::Unbounded, iter);
+            }
+            degenerate_run = if t_max <= 1e-10 { degenerate_run + 1 } else { 0 };
+
+            // Apply the step.
+            for i in 0..m {
+                self.xb[i] -= sigma * t_max * w[i];
+            }
+            match leaving {
+                None => {
+                    // Bound flip.
+                    self.state[j] = if self.state[j] == VarState::Lower {
+                        VarState::Upper
+                    } else {
+                        VarState::Lower
+                    };
+                }
+                Some((r, leave_to)) => {
+                    let old = self.basis[r];
+                    let entering_val = match self.state[j] {
+                        VarState::Lower => self.lo[j] + t_max,
+                        VarState::Upper => self.hi[j] - t_max,
+                        VarState::Basic => unreachable!(),
+                    };
+                    self.state[old] = leave_to;
+                    self.state[j] = VarState::Basic;
+                    self.basis[r] = j;
+
+                    // Product-form update of B⁻¹ on pivot w[r].
+                    let piv = w[r];
+                    debug_assert!(piv.abs() > PIVOT_TOL * 0.1);
+                    for i in 0..m {
+                        if i == r {
+                            continue;
+                        }
+                        let f = w[i] / piv;
+                        if f == 0.0 {
+                            continue;
+                        }
+                        let (head, tail) = self.binv.split_at_mut(r.max(i) * m);
+                        let (row_i, row_r) = if i < r {
+                            (&mut head[i * m..(i + 1) * m], &tail[..m])
+                        } else {
+                            (&mut tail[..m], &head[r * m..(r + 1) * m])
+                        };
+                        for k in 0..m {
+                            row_i[k] -= f * row_r[k];
+                        }
+                    }
+                    for k in 0..m {
+                        self.binv[r * m + k] /= piv;
+                    }
+                    self.xb[r] = entering_val;
+
+                    since_refactor += 1;
+                    if since_refactor >= REFACTOR_EVERY {
+                        since_refactor = 0;
+                        if !self.refactor() {
+                            return (LpStatus::IterLimit, iter);
+                        }
+                    }
+                }
+            }
+        }
+        (LpStatus::IterLimit, max_iters)
+    }
+
+    /// Structural-variable values of the current basis.
+    fn structural_x(&self) -> Vec<f64> {
+        let mut x = vec![0.0; self.n_structural];
+        for (j, xi) in x.iter_mut().enumerate() {
+            *xi = match self.state[j] {
+                VarState::Lower => self.lo[j],
+                VarState::Upper => self.hi[j],
+                VarState::Basic => {
+                    let r = self.basis.iter().position(|&b| b == j).expect("basic var in basis");
+                    self.xb[r]
+                }
+            };
+        }
+        x
+    }
+}
+
+impl SimplexSolver {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Solve the LP relaxation of `model` with per-variable bounds.
+    pub fn solve(&self, model: &Model, lo: &[f64], hi: &[f64]) -> LpResult {
+        let n = model.n_vars();
+        // Trivial: no constraints → bound-minimize each variable.
+        if model.n_constraints() == 0 {
+            let x: Vec<f64> = model
+                .objective()
+                .iter()
+                .enumerate()
+                .map(|(j, &c)| if c > 0.0 { lo[j] } else { hi[j] })
+                .collect();
+            let objective = model.objective_value(&x);
+            return LpResult { status: LpStatus::Optimal, x, objective, iterations: 0 };
+        }
+
+        let mut t = Tableau::build(model, lo, hi);
+        t.init_basis();
+
+        // Phase 1: minimize the artificial sum.
+        let mut phase1_cost = vec![0.0; t.cols.len()];
+        for j in t.n_artificial_start..t.cols.len() {
+            phase1_cost[j] = 1.0;
+        }
+        let (s1, it1) = t.run(&phase1_cost, self.tol, self.max_iters);
+        if s1 == LpStatus::IterLimit {
+            return LpResult {
+                status: LpStatus::IterLimit,
+                x: vec![0.0; n],
+                objective: f64::INFINITY,
+                iterations: it1,
+            };
+        }
+        let infeas: f64 = t
+            .basis
+            .iter()
+            .enumerate()
+            .filter(|(_, &bv)| bv >= t.n_artificial_start)
+            .map(|(i, _)| t.xb[i].max(0.0))
+            .sum();
+        if infeas > 1e-6 {
+            return LpResult {
+                status: LpStatus::Infeasible,
+                x: vec![0.0; n],
+                objective: f64::INFINITY,
+                iterations: it1,
+            };
+        }
+
+        // Phase 2: pin artificials to zero, restore the real objective.
+        for j in t.n_artificial_start..t.cols.len() {
+            t.hi[j] = 0.0;
+            if t.state[j] != VarState::Basic {
+                t.state[j] = VarState::Lower;
+            }
+        }
+        let mut phase2_cost = vec![0.0; t.cols.len()];
+        phase2_cost[..n].copy_from_slice(model.objective());
+        let (s2, it2) = t.run(&phase2_cost, self.tol, self.max_iters);
+
+        let x = t.structural_x();
+        let objective = model.objective_value(&x);
+        let status = match s2 {
+            LpStatus::Optimal => LpStatus::Optimal,
+            other => other,
+        };
+        LpResult { status, x, objective, iterations: it1 + it2 }
+    }
+
+    /// Feasibility check only (phase 1): is the relaxed polytope non-empty?
+    pub fn is_feasible(&self, model: &Model, lo: &[f64], hi: &[f64]) -> bool {
+        if model.n_constraints() == 0 {
+            return true;
+        }
+        self.solve(model, lo, hi).status != LpStatus::Infeasible
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{LinExpr, Model, Sense};
+
+    fn bounds(n: usize) -> (Vec<f64>, Vec<f64>) {
+        (vec![0.0; n], vec![1.0; n])
+    }
+
+    #[test]
+    fn textbook_lp() {
+        // min −x − 2y s.t. x + y ≤ 1.5, x,y ∈ [0,1] → x=0.5,y=1, obj −2.5.
+        let mut m = Model::new();
+        let x = m.add_var("x", -1.0);
+        let y = m.add_var("y", -2.0);
+        m.add_constraint(LinExpr::new().term(x, 1.0).term(y, 1.0), Sense::Le, 1.5);
+        let (lo, hi) = bounds(2);
+        let r = SimplexSolver::new().solve(&m, &lo, &hi);
+        assert_eq!(r.status, LpStatus::Optimal);
+        assert!((r.objective - (-2.5)).abs() < 1e-6, "{}", r.objective);
+        assert!((r.x[0] - 0.5).abs() < 1e-6);
+        assert!((r.x[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y s.t. x + y = 1 → obj 1.
+        let mut m = Model::new();
+        let x = m.add_var("x", 1.0);
+        let y = m.add_var("y", 1.0);
+        m.add_constraint(LinExpr::new().term(x, 1.0).term(y, 1.0), Sense::Eq, 1.0);
+        let (lo, hi) = bounds(2);
+        let r = SimplexSolver::new().solve(&m, &lo, &hi);
+        assert_eq!(r.status, LpStatus::Optimal);
+        assert!((r.objective - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ge_constraints_and_infeasibility() {
+        let mut m = Model::new();
+        let x = m.add_var("x", 1.0);
+        m.add_constraint(LinExpr::new().term(x, 1.0), Sense::Ge, 0.75);
+        let (lo, hi) = bounds(1);
+        let r = SimplexSolver::new().solve(&m, &lo, &hi);
+        assert_eq!(r.status, LpStatus::Optimal);
+        assert!((r.x[0] - 0.75).abs() < 1e-6);
+
+        // x ≥ 2 is impossible for x ∈ [0,1].
+        let mut m2 = Model::new();
+        let x2 = m2.add_var("x", 1.0);
+        m2.add_constraint(LinExpr::new().term(x2, 1.0), Sense::Ge, 2.0);
+        let r2 = SimplexSolver::new().solve(&m2, &lo, &hi);
+        assert_eq!(r2.status, LpStatus::Infeasible);
+        assert!(!SimplexSolver::new().is_feasible(&m2, &lo, &hi));
+    }
+
+    #[test]
+    fn fixed_variables_via_bounds() {
+        // Fixing x=1 through bounds must propagate: min y s.t. x + y ≥ 1.5.
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0);
+        let y = m.add_var("y", 1.0);
+        m.add_constraint(LinExpr::new().term(x, 1.0).term(y, 1.0), Sense::Ge, 1.5);
+        let r = SimplexSolver::new().solve(&m, &[1.0, 0.0], &[1.0, 1.0]);
+        assert_eq!(r.status, LpStatus::Optimal);
+        assert!((r.x[0] - 1.0).abs() < 1e-9);
+        assert!((r.x[1] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn no_constraints_shortcut() {
+        let mut m = Model::new();
+        m.add_var("a", 2.0);
+        m.add_var("b", -3.0);
+        let (lo, hi) = bounds(2);
+        let r = SimplexSolver::new().solve(&m, &lo, &hi);
+        assert_eq!(r.status, LpStatus::Optimal);
+        assert_eq!(r.x, vec![0.0, 1.0]);
+        assert_eq!(r.objective, -3.0);
+    }
+
+    #[test]
+    fn lp_bound_never_exceeds_binary_optimum() {
+        // LP relaxation ≤ BIP optimum on a random-ish knapsack family.
+        for seed in 0..20u64 {
+            let mut m = Model::new();
+            let n = 8;
+            let mut expr = LinExpr::new();
+            for j in 0..n {
+                let c = -(((seed * 37 + j as u64 * 13) % 19 + 1) as f64);
+                let v = m.add_var(format!("v{j}"), c);
+                let wsz = ((seed * 61 + j as u64 * 29) % 9 + 1) as f64;
+                expr.add(v, wsz);
+            }
+            m.add_constraint(expr, Sense::Le, 15.0);
+            let (lo, hi) = bounds(n);
+            let r = SimplexSolver::new().solve(&m, &lo, &hi);
+            assert_eq!(r.status, LpStatus::Optimal, "seed {seed}");
+            let (bin_opt, _) = m.brute_force().expect("knapsack always feasible");
+            assert!(
+                r.objective <= bin_opt + 1e-6,
+                "LP bound {} must be ≤ binary optimum {} (seed {seed})",
+                r.objective,
+                bin_opt
+            );
+            // Fractional knapsack has at most one fractional variable.
+            let frac = r.x.iter().filter(|v| **v > 1e-6 && **v < 1.0 - 1e-6).count();
+            assert!(frac <= 1, "knapsack LP has ≤1 fractional var, got {frac}");
+        }
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Several redundant constraints through the same vertex.
+        let mut m = Model::new();
+        let x = m.add_var("x", -1.0);
+        let y = m.add_var("y", -1.0);
+        for _ in 0..6 {
+            m.add_constraint(LinExpr::new().term(x, 1.0).term(y, 1.0), Sense::Le, 1.0);
+        }
+        m.add_constraint(LinExpr::new().term(x, 1.0), Sense::Le, 1.0);
+        m.add_constraint(LinExpr::new().term(y, 1.0), Sense::Le, 1.0);
+        let (lo, hi) = bounds(2);
+        let r = SimplexSolver::new().solve(&m, &lo, &hi);
+        assert_eq!(r.status, LpStatus::Optimal);
+        assert!((r.objective + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn duality_sanity_on_transport_like_lp() {
+        // min Σ costs subject to supply/demand equalities.
+        // 2 sources (cap 1 each as vars scaled), 2 sinks needing 0.5 each.
+        let mut m = Model::new();
+        let x11 = m.add_var("x11", 4.0);
+        let x12 = m.add_var("x12", 1.0);
+        let x21 = m.add_var("x21", 2.0);
+        let x22 = m.add_var("x22", 3.0);
+        m.add_constraint(LinExpr::new().term(x11, 1.0).term(x21, 1.0), Sense::Eq, 0.5);
+        m.add_constraint(LinExpr::new().term(x12, 1.0).term(x22, 1.0), Sense::Eq, 0.5);
+        let (lo, hi) = bounds(4);
+        let r = SimplexSolver::new().solve(&m, &lo, &hi);
+        assert_eq!(r.status, LpStatus::Optimal);
+        // best: x21=0.5 (cost 1), x12=0.5 (cost 0.5) → 1.5
+        assert!((r.objective - 1.5).abs() < 1e-6, "{}", r.objective);
+    }
+}

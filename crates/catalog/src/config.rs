@@ -1,0 +1,198 @@
+//! Configurations: sets of materialized indexes.
+//!
+//! A *configuration* `X` is the unit the what-if optimizer is probed with and
+//! the object the advisor recommends (§2).  We store the actual [`Index`]
+//! definitions (not ids) so a configuration is meaningful independently of any
+//! particular candidate set — the evaluation metric of §5.1 costs `X* ∪ X0`
+//! against the ground-truth optimizer, where `X0` is the set of clustered
+//! primary-key indexes.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::index::Index;
+use crate::schema::{Schema, TableId};
+
+/// A set of indexes, deduplicated by definition.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Configuration {
+    indexes: Vec<Index>,
+}
+
+impl Configuration {
+    pub fn empty() -> Self {
+        Configuration::default()
+    }
+
+    /// The baseline `X0` of §5.1: one clustered primary-key index per table.
+    pub fn baseline(schema: &Schema) -> Self {
+        let mut cfg = Configuration::empty();
+        for t in schema.tables() {
+            if !t.primary_key.is_empty() {
+                cfg.insert(Index::clustered(t.id, t.primary_key.clone()));
+            }
+        }
+        cfg
+    }
+
+    pub fn from_indexes(indexes: impl IntoIterator<Item = Index>) -> Self {
+        let mut cfg = Configuration::empty();
+        for ix in indexes {
+            cfg.insert(ix);
+        }
+        cfg
+    }
+
+    /// Insert an index; returns false if an identical definition was present.
+    pub fn insert(&mut self, ix: Index) -> bool {
+        if self.indexes.contains(&ix) {
+            false
+        } else {
+            self.indexes.push(ix);
+            true
+        }
+    }
+
+    pub fn remove(&mut self, ix: &Index) -> bool {
+        if let Some(pos) = self.indexes.iter().position(|i| i == ix) {
+            self.indexes.swap_remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    pub fn contains(&self, ix: &Index) -> bool {
+        self.indexes.contains(ix)
+    }
+
+    pub fn len(&self) -> usize {
+        self.indexes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.indexes.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &Index> {
+        self.indexes.iter()
+    }
+
+    pub fn indexes(&self) -> &[Index] {
+        &self.indexes
+    }
+
+    /// Indexes defined on `table`.
+    pub fn on_table(&self, table: TableId) -> impl Iterator<Item = &Index> {
+        self.indexes.iter().filter(move |i| i.table == table)
+    }
+
+    /// Union of two configurations (e.g. `X* ∪ X0` for evaluation).
+    pub fn union(&self, other: &Configuration) -> Configuration {
+        let mut cfg = self.clone();
+        for ix in other.iter() {
+            cfg.insert(ix.clone());
+        }
+        cfg
+    }
+
+    /// Total estimated size in bytes — the left side of the storage constraint.
+    pub fn size_bytes(&self, schema: &Schema) -> u64 {
+        self.indexes.iter().map(|i| i.size_bytes(schema)).sum()
+    }
+
+    /// Tables that have more than one clustered index (must be empty for a
+    /// physically realizable configuration; Appendix E.3).
+    pub fn clustered_violations(&self) -> Vec<TableId> {
+        let mut seen = BTreeSet::new();
+        let mut bad = BTreeSet::new();
+        for ix in self.indexes.iter().filter(|i| i.is_clustered()) {
+            if !seen.insert(ix.table) {
+                bad.insert(ix.table);
+            }
+        }
+        bad.into_iter().collect()
+    }
+}
+
+impl FromIterator<Index> for Configuration {
+    fn from_iter<T: IntoIterator<Item = Index>>(iter: T) -> Self {
+        Configuration::from_indexes(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, ColumnId, ColumnType, Table};
+    use crate::stats::ColumnStats;
+
+    fn schema() -> Schema {
+        let mut s = Schema::new();
+        for name in ["t1", "t2"] {
+            s.add_table(Table {
+                id: TableId(0),
+                name: name.into(),
+                columns: vec![Column::new(
+                    "a",
+                    ColumnType::Int,
+                    ColumnStats::uniform(10, 0.0, 9.0),
+                )],
+                rows: 1000,
+                primary_key: vec![ColumnId(0)],
+            });
+        }
+        s
+    }
+
+    #[test]
+    fn baseline_has_one_clustered_pk_per_table() {
+        let s = schema();
+        let x0 = Configuration::baseline(&s);
+        assert_eq!(x0.len(), 2);
+        assert!(x0.iter().all(|i| i.is_clustered()));
+        assert!(x0.clustered_violations().is_empty());
+    }
+
+    #[test]
+    fn insert_dedups() {
+        let mut cfg = Configuration::empty();
+        let ix = Index::secondary(TableId(0), vec![ColumnId(0)]);
+        assert!(cfg.insert(ix.clone()));
+        assert!(!cfg.insert(ix.clone()));
+        assert_eq!(cfg.len(), 1);
+        assert!(cfg.contains(&ix));
+        assert!(cfg.remove(&ix));
+        assert!(!cfg.remove(&ix));
+        assert!(cfg.is_empty());
+    }
+
+    #[test]
+    fn union_dedups() {
+        let ix1 = Index::secondary(TableId(0), vec![ColumnId(0)]);
+        let ix2 = Index::secondary(TableId(1), vec![ColumnId(0)]);
+        let a = Configuration::from_indexes([ix1.clone(), ix2.clone()]);
+        let b = Configuration::from_indexes([ix1.clone()]);
+        let u = a.union(&b);
+        assert_eq!(u.len(), 2);
+    }
+
+    #[test]
+    fn clustered_violation_detected() {
+        let mut cfg = Configuration::empty();
+        cfg.insert(Index::clustered(TableId(0), vec![ColumnId(0)]));
+        let mut second = Index::clustered(TableId(0), vec![ColumnId(0)]);
+        second.unique = true; // distinct definition, same table
+        cfg.insert(second);
+        assert_eq!(cfg.clustered_violations(), vec![TableId(0)]);
+    }
+
+    #[test]
+    fn size_sums() {
+        let s = schema();
+        let x0 = Configuration::baseline(&s);
+        let total: u64 = x0.iter().map(|i| i.size_bytes(&s)).sum();
+        assert_eq!(x0.size_bytes(&s), total);
+    }
+}

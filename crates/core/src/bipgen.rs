@@ -1,0 +1,464 @@
+//! BIPGen: Theorem 1 made executable.
+//!
+//! From a prepared workload (INUM templates) and a candidate set, BIPGen
+//! produces the compact BIP in two isomorphic representations:
+//!
+//! * [`BipGen::model`] — the *literal* Theorem-1 program over variables
+//!   `y_qk`, `x_qkia`, `z_a` for the generic branch-and-bound backend (and
+//!   for the equivalence tests against exhaustive search);
+//! * [`BipGen::block_problem`] — the same program in block-angular form for
+//!   the Lagrangian backend, which scales to the paper's large instances.
+//!
+//! Variable pruning: a slot's `x` variable is dropped when its `γ` is
+//! dominated by the slot's `I∅` cost (`γ ≥ γ_I∅` with the heap admissible) —
+//! replacing such an access by the heap scan never hurts, so the solution
+//! space is unchanged while the program shrinks drastically.  The knob
+//! `prune_dominated` exists for the ablation bench.
+
+use cophy_bip::{Alt, Block, BlockProblem, LinExpr, Model, Sense, SlotChoices, VarId};
+use cophy_catalog::{Configuration, Schema};
+use cophy_inum::{PreparedQuery, PreparedWorkload};
+use cophy_optimizer::CostModel;
+
+use crate::cgen::CandidateSet;
+use crate::constraints::{Cmp, ConstraintSet};
+
+/// BIP generator options.
+#[derive(Debug, Clone)]
+pub struct BipGen {
+    /// Drop `x` variables dominated by the heap fallback (on by default).
+    pub prune_dominated: bool,
+}
+
+impl Default for BipGen {
+    fn default() -> Self {
+        BipGen { prune_dominated: true }
+    }
+}
+
+/// Mapping from model variables back to the tuning domain.
+#[derive(Debug, Clone)]
+pub struct BipMapping {
+    /// `z_a` variable per candidate (position-aligned with the candidate set).
+    pub z: Vec<VarId>,
+    /// Total `y` variables (one per query-template).
+    pub n_y: usize,
+    /// Total `x` variables after pruning.
+    pub n_x: usize,
+}
+
+impl BipMapping {
+    /// Read a configuration off a solved assignment.
+    pub fn extract_configuration(&self, x: &[f64], candidates: &CandidateSet) -> Configuration {
+        let mut cfg = Configuration::empty();
+        for (pos, v) in self.z.iter().enumerate() {
+            if x[v.0 as usize] >= 0.5 {
+                cfg.insert(candidates.get(cophy_catalog::IndexId(pos as u32)).clone());
+            }
+        }
+        cfg
+    }
+}
+
+/// A fully generated tuning problem (both solver forms plus bookkeeping).
+#[derive(Debug)]
+pub struct TuningProblem {
+    pub block: BlockProblem,
+    /// `Σ_q f_q c_q`: the fixed update-base cost excluded from optimization.
+    pub fixed_cost: f64,
+}
+
+impl BipGen {
+    /// Per-slot candidate survivors: `(candidate position, γ)` pairs.
+    fn slot_choices(
+        &self,
+        schema: &Schema,
+        cm: &CostModel,
+        pq: &PreparedQuery,
+        tpl_idx: usize,
+        slot_idx: usize,
+        candidates: &CandidateSet,
+    ) -> (Option<f64>, Vec<(u32, f64)>) {
+        let tpl = &pq.templates[tpl_idx];
+        let slot = &tpl.slots[slot_idx];
+        let fallback = slot.heap_cost;
+        let mut choices = Vec::new();
+        for (id, ix) in candidates.iter() {
+            if ix.table != slot.table {
+                continue;
+            }
+            if let Some(g) = tpl.gamma(schema, cm, &pq.query, slot_idx, ix) {
+                if self.prune_dominated {
+                    if let Some(h) = fallback {
+                        if g >= h {
+                            continue;
+                        }
+                    }
+                }
+                choices.push((id.0, g));
+            }
+        }
+        (fallback, choices)
+    }
+
+    /// Build the block-angular form (Lagrangian backend).
+    ///
+    /// Costs are pre-weighted by `f_q`; the storage budget (if any) becomes
+    /// the knapsack row.  Richer constraints are not representable here —
+    /// the Solver routes such instances to the generic backend.
+    pub fn block_problem(
+        &self,
+        schema: &Schema,
+        cm: &CostModel,
+        prepared: &PreparedWorkload,
+        candidates: &CandidateSet,
+        constraints: &ConstraintSet,
+    ) -> TuningProblem {
+        debug_assert!(constraints.is_storage_only(), "block form supports storage only");
+        let n = candidates.len();
+        let mut item_cost = vec![0.0f64; n];
+        for pq in &prepared.queries {
+            if pq.update.is_none() {
+                continue;
+            }
+            for (id, ix) in candidates.iter() {
+                item_cost[id.0 as usize] += pq.weight * pq.ucost(schema, cm, ix);
+            }
+        }
+        let item_size: Vec<f64> =
+            candidates.iter().map(|(id, _)| candidates.size_bytes(id) as f64).collect();
+
+        let mut blocks = Vec::with_capacity(prepared.queries.len());
+        let mut fixed_cost = 0.0;
+        for pq in &prepared.queries {
+            fixed_cost += pq.weight * pq.fixed_update_cost;
+            let mut alts = Vec::with_capacity(pq.templates.len());
+            for k in 0..pq.templates.len() {
+                let tpl = &pq.templates[k];
+                let mut slots = Vec::with_capacity(tpl.slots.len());
+                for s in 0..tpl.slots.len() {
+                    let (fallback, choices) =
+                        self.slot_choices(schema, cm, pq, k, s, candidates);
+                    slots.push(SlotChoices {
+                        fallback: fallback.map(|f| pq.weight * f),
+                        choices: choices
+                            .into_iter()
+                            .map(|(a, g)| (a, pq.weight * g))
+                            .collect(),
+                    });
+                }
+                alts.push(Alt { base: pq.weight * tpl.internal_cost, slots });
+            }
+            blocks.push(Block { alts });
+        }
+
+        TuningProblem {
+            block: BlockProblem {
+                n_items: n,
+                item_cost,
+                item_size,
+                budget: constraints.storage_budget().map(|b| b as f64),
+                blocks,
+            },
+            fixed_cost,
+        }
+    }
+
+    /// Build the literal Theorem-1 model (generic backend).
+    pub fn model(
+        &self,
+        schema: &Schema,
+        cm: &CostModel,
+        prepared: &PreparedWorkload,
+        candidates: &CandidateSet,
+        constraints: &ConstraintSet,
+    ) -> (Model, BipMapping) {
+        let mut m = Model::new();
+        // z_a variables with their update-cost objective coefficients.
+        let mut z_obj = vec![0.0f64; candidates.len()];
+        for pq in &prepared.queries {
+            if pq.update.is_none() {
+                continue;
+            }
+            for (id, ix) in candidates.iter() {
+                z_obj[id.0 as usize] += pq.weight * pq.ucost(schema, cm, ix);
+            }
+        }
+        let z: Vec<VarId> = candidates
+            .iter()
+            .map(|(id, ix)| m.add_var(format!("z_{}", ix.describe(schema)), z_obj[id.0 as usize]))
+            .collect();
+
+        let mut n_y = 0usize;
+        let mut n_x = 0usize;
+        // Per-query cost expressions (unweighted), for query-cost constraints.
+        let mut cost_exprs: Vec<LinExpr> = Vec::with_capacity(prepared.queries.len());
+
+        for (qi, pq) in prepared.queries.iter().enumerate() {
+            let mut yq = Vec::with_capacity(pq.templates.len());
+            let mut cost_expr = LinExpr::new();
+            for (k, tpl) in pq.templates.iter().enumerate() {
+                let y = m.add_var(format!("y_q{qi}_k{k}"), pq.weight * tpl.internal_cost);
+                cost_expr.add(y, tpl.internal_cost);
+                yq.push(y);
+                n_y += 1;
+            }
+            // Σ_k y_qk = 1
+            let mut ysum = LinExpr::new();
+            for &y in &yq {
+                ysum.add(y, 1.0);
+            }
+            m.add_constraint(ysum, Sense::Eq, 1.0);
+
+            for (k, tpl) in pq.templates.iter().enumerate() {
+                for s in 0..tpl.slots.len() {
+                    let (fallback, choices) =
+                        self.slot_choices(schema, cm, pq, k, s, candidates);
+                    let mut xsum = LinExpr::new();
+                    if let Some(h) = fallback {
+                        let xh = m.add_var(
+                            format!("x_q{qi}_k{k}_s{s}_heap"),
+                            pq.weight * h,
+                        );
+                        cost_expr.add(xh, h);
+                        xsum.add(xh, 1.0);
+                        n_x += 1;
+                    }
+                    for (a, g) in choices {
+                        let xv = m.add_var(
+                            format!("x_q{qi}_k{k}_s{s}_a{a}"),
+                            pq.weight * g,
+                        );
+                        cost_expr.add(xv, g);
+                        xsum.add(xv, 1.0);
+                        n_x += 1;
+                        // x ≤ z   (z_a ≥ x_qkia)
+                        m.add_constraint(
+                            LinExpr::new().term(xv, 1.0).term(z[a as usize], -1.0),
+                            Sense::Le,
+                            0.0,
+                        );
+                    }
+                    // Σ_a x_qkia = y_qk
+                    xsum.add(yq[k], -1.0);
+                    m.add_constraint(xsum, Sense::Eq, 0.0);
+                }
+            }
+            cost_exprs.push(cost_expr);
+        }
+
+        // z-only constraint rows.
+        for (terms, cmp, rhs) in constraints.z_rows(schema, candidates) {
+            let mut e = LinExpr::new();
+            for (pos, c) in terms {
+                e.add(z[pos], c);
+            }
+            let sense = match cmp {
+                Cmp::Le => Sense::Le,
+                Cmp::Ge => Sense::Ge,
+                Cmp::Eq => Sense::Eq,
+            };
+            m.add_constraint(e, sense, rhs);
+        }
+
+        // Query-cost constraints (E.2): cost(q, X) ≤ factor · cost(q, X0).
+        let bounds = constraints.query_cost_bounds();
+        if !bounds.is_empty() {
+            let x0 = Configuration::baseline(schema);
+            for (target, factor) in bounds {
+                for (qi, pq) in prepared.queries.iter().enumerate() {
+                    if let Some(t) = target {
+                        if t != pq.qid {
+                            continue;
+                        }
+                    }
+                    let baseline = pq.cost(schema, cm, &x0);
+                    m.add_constraint(cost_exprs[qi].clone(), Sense::Le, factor * baseline);
+                }
+            }
+        }
+
+        (m, BipMapping { z, n_y, n_x })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cophy_bip::{BranchBound, LagrangianSolver, SolveOptions};
+    use cophy_catalog::TpchGen;
+    use cophy_inum::Inum;
+    use cophy_optimizer::{SystemProfile, WhatIfOptimizer};
+    use cophy_workload::{HomGen, Workload};
+
+    fn setup(n_queries: usize, seed: u64) -> (WhatIfOptimizer, Workload) {
+        let o = WhatIfOptimizer::new(TpchGen::default().schema(), SystemProfile::A);
+        let w = HomGen::new(seed).generate(o.schema(), n_queries);
+        (o, w)
+    }
+
+    /// Exhaustive optimum over candidate subsets via the INUM cost function.
+    fn brute_force_tuning(
+        o: &WhatIfOptimizer,
+        prepared: &cophy_inum::PreparedWorkload,
+        candidates: &CandidateSet,
+        constraints: &ConstraintSet,
+    ) -> f64 {
+        assert!(candidates.len() <= 14);
+        let mut best = f64::INFINITY;
+        for mask in 0..(1u32 << candidates.len()) {
+            let cfg = Configuration::from_indexes(
+                candidates
+                    .iter()
+                    .filter(|(id, _)| mask >> id.0 & 1 == 1)
+                    .map(|(_, ix)| ix.clone()),
+            );
+            if constraints.check_configuration(o.schema(), &cfg).is_err() {
+                continue;
+            }
+            let c = prepared.cost(o.schema(), o.cost_model(), &cfg);
+            best = best.min(c);
+        }
+        best
+    }
+
+    #[test]
+    fn theorem1_model_matches_exhaustive_search() {
+        let (o, w) = setup(6, 21);
+        let inum = Inum::new(&o);
+        let prepared = inum.prepare_workload(&w);
+        // Small candidate set to keep the oracle cheap.
+        let candidates = crate::cgen::CGen::default().generate(o.schema(), &w).truncate(8);
+        let constraints = ConstraintSet::storage_fraction(o.schema(), 0.15);
+
+        let (model, mapping) = BipGen::default().model(
+            o.schema(),
+            o.cost_model(),
+            &prepared,
+            &candidates,
+            &constraints,
+        );
+        let r = BranchBound::new().solve(&model, &SolveOptions::default());
+        assert_eq!(r.status, cophy_bip::MipStatus::Optimal);
+
+        let fixed: f64 =
+            prepared.queries.iter().map(|pq| pq.weight * pq.fixed_update_cost).sum();
+        let expect = brute_force_tuning(&o, &prepared, &candidates, &constraints);
+        assert!(
+            (r.objective + fixed - expect).abs() / expect < 1e-6,
+            "BIP optimum {} ≠ exhaustive optimum {}",
+            r.objective + fixed,
+            expect
+        );
+        // The extracted configuration achieves the same INUM cost.
+        let cfg = mapping.extract_configuration(&r.x, &candidates);
+        let achieved = prepared.cost(o.schema(), o.cost_model(), &cfg);
+        assert!((achieved - expect).abs() / expect < 1e-6);
+    }
+
+    #[test]
+    fn block_problem_matches_model_objective() {
+        let (o, w) = setup(5, 33);
+        let inum = Inum::new(&o);
+        let prepared = inum.prepare_workload(&w);
+        let candidates = crate::cgen::CGen::default().generate(o.schema(), &w).truncate(10);
+        let constraints = ConstraintSet::storage_fraction(o.schema(), 0.2);
+
+        let gen = BipGen::default();
+        let tp = gen.block_problem(
+            o.schema(),
+            o.cost_model(),
+            &prepared,
+            &candidates,
+            &constraints,
+        );
+        // Block evaluation at a selection == INUM cost of the configuration.
+        for mask in [0u32, 1, 3, 5, 0b1010101010] {
+            let sel: Vec<bool> =
+                (0..candidates.len()).map(|a| mask >> a & 1 == 1).collect();
+            let cfg = Configuration::from_indexes(
+                candidates
+                    .iter()
+                    .filter(|(id, _)| sel[id.0 as usize])
+                    .map(|(_, ix)| ix.clone()),
+            );
+            let block_cost = tp.block.evaluate(&sel).unwrap() + tp.fixed_cost;
+            let inum_cost = prepared.cost(o.schema(), o.cost_model(), &cfg);
+            assert!(
+                (block_cost - inum_cost).abs() / inum_cost < 1e-9,
+                "mask {mask:#b}: block {block_cost} vs inum {inum_cost}"
+            );
+        }
+    }
+
+    #[test]
+    fn lagrangian_on_block_matches_exhaustive_closely() {
+        let (o, w) = setup(6, 44);
+        let inum = Inum::new(&o);
+        let prepared = inum.prepare_workload(&w);
+        let candidates = crate::cgen::CGen::default().generate(o.schema(), &w).truncate(10);
+        let constraints = ConstraintSet::storage_fraction(o.schema(), 0.15);
+
+        let tp = BipGen::default().block_problem(
+            o.schema(),
+            o.cost_model(),
+            &prepared,
+            &candidates,
+            &constraints,
+        );
+        let r = LagrangianSolver { gap_limit: 1e-6, max_iters: 600, ..Default::default() }
+            .solve(&tp.block);
+        let expect = brute_force_tuning(&o, &prepared, &candidates, &constraints);
+        // bound ≤ optimum ≤ incumbent, incumbent near-optimal.
+        assert!(r.bound <= expect - tp.fixed_cost + 1e-6);
+        assert!(r.objective + tp.fixed_cost >= expect - 1e-6);
+        assert!(
+            (r.objective + tp.fixed_cost - expect) / expect < 0.02,
+            "Lagrangian incumbent {} too far from optimum {}",
+            r.objective + tp.fixed_cost,
+            expect
+        );
+    }
+
+    #[test]
+    fn pruning_shrinks_model_without_changing_optimum() {
+        let (o, w) = setup(4, 55);
+        let inum = Inum::new(&o);
+        let prepared = inum.prepare_workload(&w);
+        let candidates = crate::cgen::CGen::default().generate(o.schema(), &w).truncate(6);
+        let constraints = ConstraintSet::storage_fraction(o.schema(), 0.2);
+
+        let pruned = BipGen { prune_dominated: true };
+        let full = BipGen { prune_dominated: false };
+        let (mp, map_p) =
+            pruned.model(o.schema(), o.cost_model(), &prepared, &candidates, &constraints);
+        let (mf, map_f) =
+            full.model(o.schema(), o.cost_model(), &prepared, &candidates, &constraints);
+        assert!(map_p.n_x <= map_f.n_x);
+        let rp = BranchBound::new().solve(&mp, &SolveOptions::default());
+        let rf = BranchBound::new().solve(&mf, &SolveOptions::default());
+        assert!(
+            (rp.objective - rf.objective).abs() / rf.objective.abs().max(1.0) < 1e-6,
+            "pruning changed the optimum: {} vs {}",
+            rp.objective,
+            rf.objective
+        );
+    }
+
+    #[test]
+    fn model_size_grows_linearly_in_queries() {
+        let (o, w) = setup(8, 66);
+        let inum = Inum::new(&o);
+        let candidates = crate::cgen::CGen::default().generate(o.schema(), &w).truncate(12);
+        let constraints = ConstraintSet::storage_fraction(o.schema(), 1.0);
+        let gen = BipGen::default();
+
+        let small = inum.prepare_workload(&w.truncate(4));
+        let big = inum.prepare_workload(&w);
+        let (ms, _) =
+            gen.model(o.schema(), o.cost_model(), &small, &candidates, &constraints);
+        let (mb, _) = gen.model(o.schema(), o.cost_model(), &big, &candidates, &constraints);
+        // Doubling queries should roughly double variables (never explode).
+        assert!(mb.n_vars() <= ms.n_vars() * 3 + candidates.len());
+    }
+}

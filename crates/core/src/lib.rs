@@ -1,0 +1,54 @@
+//! # cophy
+//!
+//! A Rust implementation of **CoPhy** — *A Scalable, Portable, and
+//! Interactive Index Advisor for Large Workloads* (Dash, Polyzotis,
+//! Ailamaki; PVLDB 4(6), 2011).
+//!
+//! CoPhy's insight: when query costs come from a fast what-if layer (INUM),
+//! the index tuning problem *is* a compact binary integer program (Theorem
+//! 1), with one variable per candidate index rather than one per index-set.
+//! Everything else — constraints, soft constraints, anytime feedback,
+//! interactive re-tuning — rides on mature BIP machinery.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use cophy::{CoPhy, ConstraintSet, CoPhyOptions};
+//! use cophy_catalog::TpchGen;
+//! use cophy_optimizer::{SystemProfile, WhatIfOptimizer};
+//! use cophy_workload::HomGen;
+//!
+//! let optimizer = WhatIfOptimizer::new(TpchGen::default().schema(), SystemProfile::A);
+//! let workload = HomGen::new(1).generate(optimizer.schema(), 20);
+//! let cophy = CoPhy::new(&optimizer, CoPhyOptions::default());
+//! // storage budget = 0.5 × data size
+//! let constraints = ConstraintSet::storage_fraction(optimizer.schema(), 0.5);
+//! let rec = cophy.tune(&workload, &constraints);
+//! assert!(rec.objective <= rec.baseline_cost * 1.0 + 1e-6);
+//! println!("{} indexes, gap {:.1}%", rec.configuration.len(), rec.gap * 100.0);
+//! ```
+//!
+//! ## Architecture (paper Figure 2)
+//!
+//! | Paper component | Here |
+//! |---|---|
+//! | INUM            | [`cophy_inum::Inum`] |
+//! | CGen            | [`cgen::CGen`] |
+//! | BIPGen          | [`bipgen::BipGen`] |
+//! | Solver          | [`solver::Solver`] (Lagrangian `relax(B)` + B&B backends) |
+//! | soft constraints| [`soft::ChordExplorer`] (Pareto frontier via the Chord algorithm) |
+//! | interactive     | [`session::TuningSession`] (warm-started deltas) |
+
+pub mod bipgen;
+pub mod cgen;
+pub mod constraints;
+pub mod session;
+pub mod soft;
+pub mod solver;
+
+pub use bipgen::{BipGen, BipMapping, TuningProblem};
+pub use cgen::{CandidateSet, CGen};
+pub use constraints::{Cmp, Constraint, ConstraintSet, IndexFilter};
+pub use session::TuningSession;
+pub use soft::{ChordExplorer, ParetoPoint};
+pub use solver::{CoPhy, CoPhyOptions, Recommendation, SolveStats, SolverBackend};

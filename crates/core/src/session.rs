@@ -1,0 +1,236 @@
+//! Interactive tuning sessions (paper §4.2, Figure 6b).
+//!
+//! Index tuning is exploratory: the DBA nudges `S`, `W` or `C` and asks for a
+//! revised recommendation.  Instead of rebuilding and re-solving from
+//! scratch, a [`TuningSession`] keeps the INUM cache, the candidate set and
+//! the solver's warm-start state (Lagrangian multipliers + last incumbent);
+//! deltas extend the problem *in place* — new candidates append items with
+//! fresh ids, new statements append blocks — so the multiplier coordinates of
+//! the untouched parts remain valid and re-solves converge an order of
+//! magnitude faster (the Figure 6b behavior).
+
+use std::time::{Duration, Instant};
+
+use cophy_bip::{LagrangianSolver, WarmStart};
+use cophy_catalog::Index;
+use cophy_inum::{Inum, PreparedWorkload};
+use cophy_workload::Workload;
+
+use crate::cgen::CandidateSet;
+use crate::constraints::ConstraintSet;
+use crate::solver::{selection_to_config, CoPhy, Recommendation, SolveStats};
+
+/// An open tuning session.
+#[derive(Debug)]
+pub struct TuningSession<'o, 'c> {
+    cophy: &'c CoPhy<'o>,
+    prepared: PreparedWorkload,
+    candidates: CandidateSet,
+    constraints: ConstraintSet,
+    warm: Option<WarmStart>,
+    /// Cumulative what-if calls spent on INUM preparation in this session.
+    what_if_calls: u64,
+    inum_time: Duration,
+}
+
+impl<'o, 'c> TuningSession<'o, 'c> {
+    /// Open a session: run CGen and INUM once.
+    pub(crate) fn open(cophy: &'c CoPhy<'o>, w: &Workload, constraints: ConstraintSet) -> Self {
+        assert!(
+            constraints.is_storage_only(),
+            "interactive sessions use the Lagrangian backend (storage-only constraints)"
+        );
+        let t0 = Instant::now();
+        let before = cophy.optimizer().what_if_calls();
+        let inum = Inum::new(cophy.optimizer());
+        let prepared = inum.prepare_workload(w);
+        let candidates = cophy.options.cgen.generate(cophy.optimizer().schema(), w);
+        TuningSession {
+            cophy,
+            prepared,
+            candidates,
+            constraints,
+            warm: None,
+            what_if_calls: cophy.optimizer().what_if_calls() - before,
+            inum_time: t0.elapsed(),
+        }
+    }
+
+    pub fn candidates(&self) -> &CandidateSet {
+        &self.candidates
+    }
+
+    pub fn n_statements(&self) -> usize {
+        self.prepared.queries.len()
+    }
+
+    /// Add DBA-curated candidate indexes (`S_DBA`); ids of existing
+    /// candidates are stable, so the warm state stays valid.
+    pub fn add_candidates(&mut self, extra: impl IntoIterator<Item = Index>) {
+        self.candidates.extend(self.cophy.optimizer().schema(), extra);
+    }
+
+    /// Replace the storage budget (must remain storage-only).
+    pub fn set_constraints(&mut self, constraints: ConstraintSet) {
+        assert!(constraints.is_storage_only());
+        self.constraints = constraints;
+    }
+
+    /// Append statements to the workload (new blocks; old block coordinates
+    /// stay stable).
+    pub fn add_statements(&mut self, w: &Workload) {
+        let before = self.cophy.optimizer().what_if_calls();
+        let t0 = Instant::now();
+        let inum = Inum::new(self.cophy.optimizer());
+        let offset = self.prepared.queries.len() as u32;
+        for (qid, stmt, weight) in w.iter() {
+            let mut pq = inum.prepare_statement(qid, stmt, weight);
+            pq.qid = cophy_workload::QueryId(offset + qid.0);
+            self.prepared.queries.push(pq);
+        }
+        self.what_if_calls += self.cophy.optimizer().what_if_calls() - before;
+        self.inum_time += t0.elapsed();
+    }
+
+    /// Compute (or re-compute) the recommendation, warm-starting from the
+    /// previous solve.
+    pub fn recommend(&mut self) -> Recommendation {
+        let schema = self.cophy.optimizer().schema();
+        let cm = self.cophy.optimizer().cost_model();
+        let tb = Instant::now();
+        let tp = self.cophy.options.bipgen.block_problem(
+            schema,
+            cm,
+            &self.prepared,
+            &self.candidates,
+            &self.constraints,
+        );
+        let build_time = tb.elapsed();
+
+        let ts = Instant::now();
+        let solver = LagrangianSolver {
+            max_iters: self.cophy.options.max_lagrangian_iters,
+            gap_limit: self.cophy.options.gap_limit,
+            time_limit: self.cophy.options.time_limit,
+            ..Default::default()
+        };
+        let (r, warm) = solver.solve_warm(&tp.block, self.warm.as_ref());
+        let solve_time = ts.elapsed();
+        self.warm = Some(warm);
+
+        let configuration = selection_to_config(&r.selected, &self.candidates);
+        let baseline_cost =
+            self.prepared.cost(schema, cm, &cophy_catalog::Configuration::empty());
+        Recommendation {
+            configuration,
+            objective: r.objective + tp.fixed_cost,
+            baseline_cost,
+            bound: r.bound + tp.fixed_cost,
+            gap: r.gap,
+            trace: r.trace,
+            stats: SolveStats {
+                inum_time: std::mem::take(&mut self.inum_time),
+                build_time,
+                solve_time,
+                what_if_calls: std::mem::take(&mut self.what_if_calls),
+                n_candidates: self.candidates.len(),
+                n_variables: tp.block.n_choices() + tp.block.n_items,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::CoPhyOptions;
+    use cophy_catalog::{ColumnId, TpchGen};
+    use cophy_optimizer::{SystemProfile, WhatIfOptimizer};
+    use cophy_workload::HomGen;
+
+    fn setup() -> WhatIfOptimizer {
+        WhatIfOptimizer::new(TpchGen::default().schema(), SystemProfile::A)
+    }
+
+    #[test]
+    fn session_recommend_then_retune_with_new_candidates() {
+        let o = setup();
+        let w = HomGen::new(31).generate(o.schema(), 20);
+        let cophy = CoPhy::new(&o, CoPhyOptions::default());
+        let mut session =
+            cophy.session(&w, ConstraintSet::storage_fraction(o.schema(), 0.5));
+        let r1 = session.recommend();
+        assert!(r1.objective < r1.baseline_cost);
+
+        // DBA adds hand-picked candidates; retune must not get worse.
+        let li = o.schema().table_by_name("lineitem").unwrap().id;
+        session.add_candidates([
+            Index::secondary(li, vec![ColumnId(10), ColumnId(4)]),
+            Index::secondary(li, vec![ColumnId(0), ColumnId(10)]),
+        ]);
+        let r2 = session.recommend();
+        assert!(
+            r2.objective <= r1.objective * 1.001 + 1e-6,
+            "more candidates cannot hurt: {} vs {}",
+            r2.objective,
+            r1.objective
+        );
+    }
+
+    #[test]
+    fn retune_reuses_warm_state_and_is_fast() {
+        let o = setup();
+        let w = HomGen::new(32).generate(o.schema(), 30);
+        let cophy = CoPhy::new(&o, CoPhyOptions::default());
+        let mut session =
+            cophy.session(&w, ConstraintSet::storage_fraction(o.schema(), 1.0));
+        let r1 = session.recommend();
+        let cold_solve = r1.stats.solve_time;
+        // Small delta: a couple of random candidates.
+        let ord = o.schema().table_by_name("orders").unwrap().id;
+        session.add_candidates([Index::secondary(ord, vec![ColumnId(6), ColumnId(1)])]);
+        let r2 = session.recommend();
+        // Warm solve should not blow up; typically it is much faster. We
+        // assert a loose factor to stay robust on shared CI machines.
+        assert!(
+            r2.stats.solve_time <= cold_solve * 3 + Duration::from_millis(50),
+            "warm {:?} vs cold {:?}",
+            r2.stats.solve_time,
+            cold_solve
+        );
+        assert!(r2.objective <= r1.objective * 1.001 + 1e-6);
+    }
+
+    #[test]
+    fn adding_statements_extends_blocks() {
+        let o = setup();
+        let w = HomGen::new(33).generate(o.schema(), 10);
+        let cophy = CoPhy::new(&o, CoPhyOptions::default());
+        let mut session =
+            cophy.session(&w, ConstraintSet::storage_fraction(o.schema(), 1.0));
+        let r1 = session.recommend();
+        let more = HomGen::new(34).generate(o.schema(), 5);
+        session.add_statements(&more);
+        assert_eq!(session.n_statements(), 15);
+        let r2 = session.recommend();
+        // More statements → higher total workload cost.
+        assert!(r2.objective > r1.objective);
+        assert!(r2.baseline_cost > r1.baseline_cost);
+    }
+
+    #[test]
+    fn budget_change_respected_after_retune() {
+        let o = setup();
+        let w = HomGen::new(35).generate(o.schema(), 15);
+        let cophy = CoPhy::new(&o, CoPhyOptions::default());
+        let mut session =
+            cophy.session(&w, ConstraintSet::storage_fraction(o.schema(), 1.0));
+        let _ = session.recommend();
+        session.set_constraints(ConstraintSet::storage_fraction(o.schema(), 0.02));
+        let r = session.recommend();
+        assert!(
+            r.configuration.size_bytes(o.schema()) <= o.schema().data_bytes() / 50 + 1,
+            "budget not respected after retune"
+        );
+    }
+}

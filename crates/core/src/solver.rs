@@ -1,0 +1,422 @@
+//! The CoPhy Solver (paper Figure 3) and the advisor facade.
+//!
+//! `Solver(B, C_hard)`:
+//!
+//! 1. **feasibility check** — an LP over the `z` variables and the
+//!    constraint rows; on failure the offending constraints are reported so
+//!    the DBA can drop or soften them;
+//! 2. **`relax(B)`** — the Lagrangian relaxation of the coupling
+//!    constraints (storage-only instances; the common, large case), or the
+//!    LP relaxation inside branch-and-bound (rich constraint sets);
+//! 3. **solve** — anytime incumbents with a global bound; terminate at the
+//!    configured optimality gap (the paper runs at 5%).
+
+use std::time::{Duration, Instant};
+
+use cophy_bip::{
+    BranchBound, GapPoint, LagrangianSolver, LinExpr, MipStatus, Model, Sense, SolveOptions,
+};
+use cophy_catalog::Configuration;
+use cophy_inum::{Inum, PreparedWorkload};
+use cophy_optimizer::WhatIfOptimizer;
+use cophy_workload::Workload;
+
+use crate::bipgen::BipGen;
+use crate::cgen::{CandidateSet, CGen};
+use crate::constraints::{Cmp, ConstraintSet};
+use crate::session::TuningSession;
+
+/// Which engine solves the BIP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolverBackend {
+    /// Lagrangian for storage-only constraint sets, B&B otherwise.
+    Auto,
+    /// Force the Lagrangian decomposition (storage-only sets).
+    Lagrangian,
+    /// Force the generic simplex-based branch-and-bound.
+    BranchBound,
+}
+
+/// Advisor options.
+#[derive(Debug, Clone)]
+pub struct CoPhyOptions {
+    /// Relative optimality gap at which tuning stops (paper default: 5%).
+    pub gap_limit: f64,
+    pub backend: SolverBackend,
+    pub cgen: CGen,
+    pub bipgen: BipGen,
+    /// Subgradient iterations for the Lagrangian backend.
+    pub max_lagrangian_iters: usize,
+    pub time_limit: Option<Duration>,
+}
+
+impl Default for CoPhyOptions {
+    fn default() -> Self {
+        CoPhyOptions {
+            gap_limit: 0.05,
+            backend: SolverBackend::Auto,
+            cgen: CGen::default(),
+            bipgen: BipGen::default(),
+            max_lagrangian_iters: 300,
+            time_limit: None,
+        }
+    }
+}
+
+/// Where the time went (the paper's INUM / build / solve split, Figures
+/// 5 & 10).
+#[derive(Debug, Clone, Default)]
+pub struct SolveStats {
+    pub inum_time: Duration,
+    pub build_time: Duration,
+    pub solve_time: Duration,
+    pub what_if_calls: u64,
+    pub n_candidates: usize,
+    /// μ-dimension (Lagrangian) or variable count (B&B).
+    pub n_variables: usize,
+}
+
+impl SolveStats {
+    pub fn total_time(&self) -> Duration {
+        self.inum_time + self.build_time + self.solve_time
+    }
+}
+
+/// A tuning outcome.
+#[derive(Debug, Clone)]
+pub struct Recommendation {
+    pub configuration: Configuration,
+    /// INUM-estimated workload cost under the recommendation.
+    pub objective: f64,
+    /// INUM-estimated workload cost under the empty configuration.
+    pub baseline_cost: f64,
+    /// Global lower bound proved by the solver.
+    pub bound: f64,
+    /// Relative optimality gap at termination.
+    pub gap: f64,
+    /// Anytime incumbent/bound trace (Figure 6a).
+    pub trace: Vec<GapPoint>,
+    pub stats: SolveStats,
+}
+
+impl Recommendation {
+    /// Estimated improvement `1 − cost(X*)/cost(∅)` (INUM-based; the bench
+    /// harness re-measures against the ground-truth optimizer).
+    pub fn estimated_improvement(&self) -> f64 {
+        if self.baseline_cost <= 0.0 {
+            return 0.0;
+        }
+        1.0 - self.objective / self.baseline_cost
+    }
+}
+
+/// The CoPhy advisor.
+#[derive(Debug)]
+pub struct CoPhy<'o> {
+    opt: &'o WhatIfOptimizer,
+    pub options: CoPhyOptions,
+}
+
+impl<'o> CoPhy<'o> {
+    pub fn new(opt: &'o WhatIfOptimizer, options: CoPhyOptions) -> Self {
+        CoPhy { opt, options }
+    }
+
+    pub fn optimizer(&self) -> &'o WhatIfOptimizer {
+        self.opt
+    }
+
+    /// Full pipeline: CGen → INUM → BIPGen → Solver.
+    pub fn tune(&self, w: &Workload, constraints: &ConstraintSet) -> Recommendation {
+        self.try_tune(w, constraints).expect("tuning problem infeasible")
+    }
+
+    /// Full pipeline, surfacing infeasibility (paper line 2: the DBA removes
+    /// or softens the reported constraints).
+    pub fn try_tune(
+        &self,
+        w: &Workload,
+        constraints: &ConstraintSet,
+    ) -> Result<Recommendation, String> {
+        let candidates = self.options.cgen.generate(self.opt.schema(), w);
+        self.try_tune_with_candidates(w, &candidates, constraints)
+    }
+
+    /// Pipeline with a caller-supplied candidate set (`S_DBA` merging, the
+    /// Figure-5 sweeps).
+    pub fn tune_with_candidates(
+        &self,
+        w: &Workload,
+        candidates: &CandidateSet,
+        constraints: &ConstraintSet,
+    ) -> Recommendation {
+        self.try_tune_with_candidates(w, candidates, constraints)
+            .expect("tuning problem infeasible")
+    }
+
+    pub fn try_tune_with_candidates(
+        &self,
+        w: &Workload,
+        candidates: &CandidateSet,
+        constraints: &ConstraintSet,
+    ) -> Result<Recommendation, String> {
+        let t0 = Instant::now();
+        let before_calls = self.opt.what_if_calls();
+        let inum = Inum::new(self.opt);
+        let prepared = inum.prepare_workload(w);
+        let inum_time = t0.elapsed();
+        let what_if_calls = self.opt.what_if_calls() - before_calls;
+        self.try_tune_prepared(&prepared, candidates, constraints, inum_time, what_if_calls)
+    }
+
+    /// Solve from an existing INUM cache (used by sessions and benches that
+    /// amortize preparation).
+    pub fn try_tune_prepared(
+        &self,
+        prepared: &PreparedWorkload,
+        candidates: &CandidateSet,
+        constraints: &ConstraintSet,
+        inum_time: Duration,
+        what_if_calls: u64,
+    ) -> Result<Recommendation, String> {
+        let schema = self.opt.schema();
+        let cm = self.opt.cost_model();
+
+        // Step 1: feasibility of the z-only polytope.
+        self.check_feasibility(candidates, constraints)?;
+
+        let use_lagrangian = match self.options.backend {
+            SolverBackend::Lagrangian => true,
+            SolverBackend::BranchBound => false,
+            SolverBackend::Auto => constraints.is_storage_only(),
+        };
+
+        let tb = Instant::now();
+        if use_lagrangian && !constraints.is_storage_only() {
+            return Err("Lagrangian backend supports storage-only constraint sets".into());
+        }
+
+        let (configuration, objective, bound, gap, trace, build_time, solve_time, n_vars);
+        if use_lagrangian {
+            let tp = self.options.bipgen.block_problem(
+                schema,
+                cm,
+                prepared,
+                candidates,
+                constraints,
+            );
+            build_time = tb.elapsed();
+            let ts = Instant::now();
+            let solver = LagrangianSolver {
+                max_iters: self.options.max_lagrangian_iters,
+                gap_limit: self.options.gap_limit,
+                time_limit: self.options.time_limit,
+                ..Default::default()
+            };
+            let r = solver.solve(&tp.block);
+            solve_time = ts.elapsed();
+            n_vars = tp.block.n_choices() + tp.block.n_items;
+            configuration = selection_to_config(&r.selected, candidates);
+            objective = r.objective + tp.fixed_cost;
+            bound = r.bound + tp.fixed_cost;
+            gap = r.gap;
+            trace = r.trace;
+        } else {
+            let (model, mapping) =
+                self.options.bipgen.model(schema, cm, prepared, candidates, constraints);
+            build_time = tb.elapsed();
+            let fixed: f64 =
+                prepared.queries.iter().map(|pq| pq.weight * pq.fixed_update_cost).sum();
+            let ts = Instant::now();
+            let opts = SolveOptions {
+                gap_limit: self.options.gap_limit,
+                time_limit: self.options.time_limit,
+                ..Default::default()
+            };
+            let r = BranchBound::new().solve(&model, &opts);
+            solve_time = ts.elapsed();
+            if r.status == MipStatus::Infeasible {
+                return Err("BIP infeasible under the hard constraints".into());
+            }
+            n_vars = model.n_vars();
+            configuration = mapping.extract_configuration(&r.x, candidates);
+            objective = r.objective + fixed;
+            bound = r.bound + fixed;
+            gap = r.gap;
+            trace = r.trace;
+        }
+
+        let baseline_cost = prepared.cost(schema, cm, &Configuration::empty());
+        debug_assert!(
+            constraints.check_configuration(schema, &configuration).is_ok(),
+            "solver returned a constraint-violating configuration"
+        );
+        Ok(Recommendation {
+            configuration,
+            objective,
+            baseline_cost,
+            bound,
+            gap,
+            trace,
+            stats: SolveStats {
+                inum_time,
+                build_time,
+                solve_time,
+                what_if_calls,
+                n_candidates: candidates.len(),
+                n_variables: n_vars,
+            },
+        })
+    }
+
+    /// Paper Figure 3, line 1: is the constraint polytope non-empty?
+    /// Reports the violated constraints on failure.
+    pub fn check_feasibility(
+        &self,
+        candidates: &CandidateSet,
+        constraints: &ConstraintSet,
+    ) -> Result<(), String> {
+        let rows = constraints.z_rows(self.opt.schema(), candidates);
+        if rows.is_empty() {
+            return Ok(());
+        }
+        let mut m = Model::new();
+        let z: Vec<_> =
+            (0..candidates.len()).map(|a| m.add_var(format!("z{a}"), 0.0)).collect();
+        for (terms, cmp, rhs) in &rows {
+            let mut e = LinExpr::new();
+            for (pos, c) in terms {
+                e.add(z[*pos], *c);
+            }
+            let sense = match cmp {
+                Cmp::Le => Sense::Le,
+                Cmp::Ge => Sense::Ge,
+                Cmp::Eq => Sense::Eq,
+            };
+            m.add_constraint(e, sense, *rhs);
+        }
+        if BranchBound::new().is_feasible(&m) {
+            Ok(())
+        } else {
+            Err("hard constraints are mutually infeasible over the candidate set".into())
+        }
+    }
+
+    /// Open an interactive tuning session (paper §4.2).
+    pub fn session(&self, w: &Workload, constraints: ConstraintSet) -> TuningSession<'o, '_> {
+        TuningSession::open(self, w, constraints)
+    }
+}
+
+/// Convert a Lagrangian selection vector into a configuration.
+pub(crate) fn selection_to_config(sel: &[bool], candidates: &CandidateSet) -> Configuration {
+    Configuration::from_indexes(
+        candidates
+            .iter()
+            .filter(|(id, _)| sel[id.0 as usize])
+            .map(|(_, ix)| ix.clone()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraints::{Constraint, IndexFilter};
+    use cophy_catalog::TpchGen;
+    use cophy_optimizer::SystemProfile;
+    use cophy_workload::HomGen;
+
+    fn advisor_setup(n: usize) -> (WhatIfOptimizer, Workload) {
+        let o = WhatIfOptimizer::new(TpchGen::default().schema(), SystemProfile::A);
+        let w = HomGen::new(77).generate(o.schema(), n);
+        (o, w)
+    }
+
+    #[test]
+    fn end_to_end_tune_improves_workload() {
+        let (o, w) = advisor_setup(25);
+        let cophy = CoPhy::new(&o, CoPhyOptions::default());
+        let constraints = ConstraintSet::storage_fraction(o.schema(), 1.0);
+        let rec = cophy.tune(&w, &constraints);
+        assert!(!rec.configuration.is_empty(), "should recommend something");
+        assert!(rec.objective < rec.baseline_cost, "must beat the empty config");
+        assert!(rec.estimated_improvement() > 0.1, "{}", rec.estimated_improvement());
+        assert!(rec.bound <= rec.objective + 1e-6);
+        // ground truth check: the optimizer agrees the config helps
+        let perf = o.perf(&w, &rec.configuration);
+        assert!(perf > 0.0, "optimizer-measured improvement {perf}");
+        // constraints respected
+        assert!(constraints.check_configuration(o.schema(), &rec.configuration).is_ok());
+    }
+
+    #[test]
+    fn tighter_budget_never_improves_objective() {
+        let (o, w) = advisor_setup(15);
+        let cophy = CoPhy::new(&o, CoPhyOptions::default());
+        let loose = cophy.tune(&w, &ConstraintSet::storage_fraction(o.schema(), 1.0));
+        let tight = cophy.tune(&w, &ConstraintSet::storage_fraction(o.schema(), 0.05));
+        assert!(loose.objective <= tight.objective * 1.02 + 1e-6);
+        let tight_size = tight.configuration.size_bytes(o.schema());
+        assert!(tight_size <= o.schema().data_bytes() / 20 + 1);
+    }
+
+    #[test]
+    fn backends_agree_on_small_instance() {
+        let (o, w) = advisor_setup(6);
+        let constraints = ConstraintSet::storage_fraction(o.schema(), 0.2);
+        let candidates = CGen::default().generate(o.schema(), &w).truncate(10);
+        let mut opts = CoPhyOptions { gap_limit: 1e-6, ..Default::default() };
+        opts.max_lagrangian_iters = 800;
+        opts.backend = SolverBackend::Lagrangian;
+        let lag = CoPhy::new(&o, opts.clone()).tune_with_candidates(&w, &candidates, &constraints);
+        opts.backend = SolverBackend::BranchBound;
+        let bb = CoPhy::new(&o, opts).tune_with_candidates(&w, &candidates, &constraints);
+        // B&B is exact; the Lagrangian incumbent must be within a small gap.
+        assert!(lag.objective >= bb.objective - 1e-6);
+        assert!(
+            (lag.objective - bb.objective) / bb.objective < 0.02,
+            "lagrangian {} vs exact {}",
+            lag.objective,
+            bb.objective
+        );
+    }
+
+    #[test]
+    fn infeasible_constraints_reported() {
+        let (o, w) = advisor_setup(5);
+        let candidates = CGen::default().generate(o.schema(), &w).truncate(5);
+        // Require ≥ 3 indexes but allow at most 1 → infeasible.
+        let cs = ConstraintSet::none()
+            .with(Constraint::IndexCount { filter: IndexFilter::all(), cmp: Cmp::Ge, value: 3 })
+            .with(Constraint::IndexCount { filter: IndexFilter::all(), cmp: Cmp::Le, value: 1 });
+        let cophy = CoPhy::new(&o, CoPhyOptions::default());
+        assert!(cophy.try_tune_with_candidates(&w, &candidates, &cs).is_err());
+    }
+
+    #[test]
+    fn rich_constraints_route_to_branch_bound_and_hold() {
+        let (o, w) = advisor_setup(6);
+        let li = o.schema().table_by_name("lineitem").unwrap().id;
+        let candidates = CGen::default().generate(o.schema(), &w).truncate(12);
+        let cs = ConstraintSet::storage_fraction(o.schema(), 1.0).with(Constraint::IndexCount {
+            filter: IndexFilter::on_table(li),
+            cmp: Cmp::Le,
+            value: 1,
+        });
+        let cophy = CoPhy::new(&o, CoPhyOptions::default());
+        let rec = cophy.tune_with_candidates(&w, &candidates, &cs);
+        let on_li = rec.configuration.on_table(li).count();
+        assert!(on_li <= 1, "constraint violated: {on_li} lineitem indexes");
+    }
+
+    #[test]
+    fn gap_trace_present_and_bounded() {
+        let (o, w) = advisor_setup(20);
+        let cophy = CoPhy::new(&o, CoPhyOptions::default());
+        let rec = cophy.tune(&w, &ConstraintSet::storage_fraction(o.schema(), 0.5));
+        assert!(!rec.trace.is_empty());
+        assert!(rec.gap >= 0.0);
+        assert!(rec.stats.n_candidates > 0);
+        assert!(rec.stats.what_if_calls > 0, "INUM must have probed the optimizer");
+    }
+}

@@ -1,0 +1,1 @@
+//! Example host crate: the runnable examples live in `examples/` at the workspace root.

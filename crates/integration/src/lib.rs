@@ -1,0 +1,1 @@
+//! Test-only crate: see `tests/`.

@@ -1,0 +1,194 @@
+//! End-to-end pipeline tests spanning every crate: catalog → workload →
+//! optimizer → INUM → BIP → CoPhy → baselines.
+
+use cophy::{CGen, CoPhy, CoPhyOptions, ConstraintSet, SolverBackend};
+use cophy_advisors::{Advisor, IlpAdvisor, ToolA, ToolB};
+use cophy_catalog::{Configuration, Skew, TpchGen};
+use cophy_inum::Inum;
+use cophy_optimizer::{SystemProfile, WhatIfOptimizer};
+use cophy_workload::{HetGen, HomGen, UpdateGen};
+
+fn optimizer(profile: SystemProfile, z: f64) -> WhatIfOptimizer {
+    WhatIfOptimizer::new(TpchGen::new(1.0, Skew(z)).schema(), profile)
+}
+
+#[test]
+fn full_pipeline_on_homogeneous_workload() {
+    let o = optimizer(SystemProfile::A, 0.0);
+    let w = HomGen::new(1).generate(o.schema(), 40);
+    let cophy = CoPhy::new(&o, CoPhyOptions::default());
+    let constraints = ConstraintSet::storage_fraction(o.schema(), 1.0);
+    let rec = cophy.tune(&w, &constraints);
+
+    // The recommendation must beat the baseline on the *real* optimizer, not
+    // just on INUM's approximation.
+    let perf = o.perf(&w, &rec.configuration);
+    assert!(perf > 0.3, "expected a strong improvement on W_hom, got {perf}");
+    // And the INUM estimate must agree with the ground truth directionally.
+    assert!(rec.estimated_improvement() > 0.0);
+    // Budget respected.
+    assert!(rec.configuration.size_bytes(o.schema()) <= o.schema().data_bytes());
+}
+
+#[test]
+fn full_pipeline_on_heterogeneous_workload_with_updates() {
+    let o = optimizer(SystemProfile::B, 0.0);
+    let reads = HetGen::new(2).generate(o.schema(), 30);
+    let w = UpdateGen::new(3).mix_into(o.schema(), &reads, 0.25);
+    let cophy = CoPhy::new(&o, CoPhyOptions::default());
+    let constraints = ConstraintSet::storage_fraction(o.schema(), 0.5);
+    let rec = cophy.tune(&w, &constraints);
+    let perf = o.perf(&w, &rec.configuration);
+    assert!(perf >= 0.0, "updates must not drive the recommendation negative: {perf}");
+    assert!(constraints.check_configuration(o.schema(), &rec.configuration).is_ok());
+}
+
+#[test]
+fn update_heavy_workload_selects_fewer_indexes() {
+    let o = optimizer(SystemProfile::A, 0.0);
+    let reads = HomGen::new(4).generate(o.schema(), 24);
+    let read_only_rec = CoPhy::new(&o, CoPhyOptions::default())
+        .tune(&reads, &ConstraintSet::storage_fraction(o.schema(), 1.0));
+
+    let update_heavy = UpdateGen::new(5).mix_into(o.schema(), &reads, 0.5);
+    let upd_rec = CoPhy::new(&o, CoPhyOptions::default())
+        .tune(&update_heavy, &ConstraintSet::storage_fraction(o.schema(), 1.0));
+
+    // Maintenance costs must make the advisor more conservative (weakly).
+    assert!(
+        upd_rec.configuration.len() <= read_only_rec.configuration.len(),
+        "update-heavy: {} indexes vs read-only: {}",
+        upd_rec.configuration.len(),
+        read_only_rec.configuration.len()
+    );
+}
+
+#[test]
+fn skew_makes_selective_indexes_more_attractive() {
+    // §5.2: with z=2 "certain indices become very beneficial".
+    let uni = optimizer(SystemProfile::A, 0.0);
+    let skw = optimizer(SystemProfile::A, 2.0);
+    let w_uni = HomGen::new(6).generate(uni.schema(), 30);
+    let w_skw = HomGen::new(6).generate(skw.schema(), 30);
+    let c_uni = ConstraintSet::storage_fraction(uni.schema(), 1.0);
+    let c_skw = ConstraintSet::storage_fraction(skw.schema(), 1.0);
+    let r_uni = CoPhy::new(&uni, CoPhyOptions::default()).tune(&w_uni, &c_uni);
+    let r_skw = CoPhy::new(&skw, CoPhyOptions::default()).tune(&w_skw, &c_skw);
+    let p_uni = uni.perf(&w_uni, &r_uni.configuration);
+    let p_skw = skw.perf(&w_skw, &r_skw.configuration);
+    assert!(p_uni > 0.0 && p_skw > 0.0);
+    // Both regimes must produce solid recommendations; the easier skewed
+    // problem should not be *worse*.
+    assert!(p_skw > 0.25, "skewed tuning too weak: {p_skw}");
+}
+
+#[test]
+fn all_advisors_produce_feasible_configurations() {
+    let o = optimizer(SystemProfile::A, 0.0);
+    let w = HomGen::new(7).generate(o.schema(), 12);
+    let constraints = ConstraintSet::storage_fraction(o.schema(), 0.5);
+    let advisors: Vec<Box<dyn Advisor>> = vec![
+        Box::new(IlpAdvisor::default()),
+        Box::new(ToolA { max_steps: 20, ..Default::default() }),
+        Box::new(ToolB::default()),
+    ];
+    for a in &advisors {
+        let cfg = a.recommend(&o, &w, &constraints);
+        assert!(
+            constraints.check_configuration(o.schema(), &cfg).is_ok(),
+            "{} violated the storage budget",
+            a.name()
+        );
+        assert!(o.perf(&w, &cfg) >= -0.01, "{} made things worse", a.name());
+    }
+}
+
+#[test]
+fn cophy_beats_or_matches_every_baseline_on_heterogeneous() {
+    let o = optimizer(SystemProfile::A, 0.0);
+    let w = HetGen::new(8).generate(o.schema(), 30);
+    let constraints = ConstraintSet::storage_fraction(o.schema(), 1.0);
+    let rec = CoPhy::new(&o, CoPhyOptions::default()).tune(&w, &constraints);
+    let p_cophy = o.perf(&w, &rec.configuration);
+    for (name, cfg) in [
+        ("Tool-A", ToolA { max_steps: 25, ..Default::default() }.recommend(&o, &w, &constraints)),
+        ("Tool-B", ToolB::default().recommend(&o, &w, &constraints)),
+    ] {
+        let p = o.perf(&w, &cfg);
+        assert!(
+            p_cophy >= p - 0.03,
+            "CoPhy ({p_cophy}) lost to {name} ({p}) on W_het"
+        );
+    }
+}
+
+#[test]
+fn backend_equivalence_end_to_end() {
+    // The Lagrangian (scaled) backend and exact B&B must land within the gap
+    // tolerance of each other through the full public API.
+    let o = optimizer(SystemProfile::A, 0.0);
+    let w = HomGen::new(9).generate(o.schema(), 8);
+    let candidates = CGen::default().generate(o.schema(), &w).truncate(12);
+    let constraints = ConstraintSet::storage_fraction(o.schema(), 0.25);
+
+    let exact = CoPhy::new(
+        &o,
+        CoPhyOptions { backend: SolverBackend::BranchBound, gap_limit: 1e-9, ..Default::default() },
+    )
+    .tune_with_candidates(&w, &candidates, &constraints);
+    let lagr = CoPhy::new(
+        &o,
+        CoPhyOptions {
+            backend: SolverBackend::Lagrangian,
+            gap_limit: 1e-6,
+            max_lagrangian_iters: 800,
+            ..Default::default()
+        },
+    )
+    .tune_with_candidates(&w, &candidates, &constraints);
+
+    assert!(lagr.objective >= exact.objective - 1e-6, "Lagrangian below proven optimum");
+    assert!(
+        (lagr.objective - exact.objective) / exact.objective < 0.02,
+        "backends disagree: lagrangian {} vs exact {}",
+        lagr.objective,
+        exact.objective
+    );
+}
+
+#[test]
+fn inum_cache_consistent_with_what_if_after_tuning() {
+    // After tuning, re-validate INUM's accuracy *on the recommended
+    // configuration* — the operating point that matters.
+    let o = optimizer(SystemProfile::A, 0.0);
+    let w = HomGen::new(10).generate(o.schema(), 15);
+    let rec = CoPhy::new(&o, CoPhyOptions::default())
+        .tune(&w, &ConstraintSet::storage_fraction(o.schema(), 1.0));
+    let inum = Inum::new(&o);
+    let prepared = inum.prepare_workload(&w);
+    for pq in &prepared.queries {
+        let approx = pq.cost(o.schema(), o.cost_model(), &rec.configuration);
+        let exact = o.cost_statement(
+            w.statement(pq.qid),
+            &rec.configuration,
+        );
+        let ratio = approx / exact;
+        assert!(
+            (0.99..=1.4).contains(&ratio),
+            "INUM drift at the recommended configuration: {ratio}"
+        );
+    }
+}
+
+#[test]
+fn baseline_x0_is_never_part_of_recommendation_budget() {
+    // The budget constrains X*, not X0: evaluation unions the clustered PKs.
+    let o = optimizer(SystemProfile::A, 0.0);
+    let w = HomGen::new(11).generate(o.schema(), 10);
+    let tiny = ConstraintSet::storage_fraction(o.schema(), 0.01);
+    let rec = CoPhy::new(&o, CoPhyOptions::default()).tune(&w, &tiny);
+    assert!(rec.configuration.size_bytes(o.schema()) <= o.schema().data_bytes() / 100 + 1);
+    let x0 = Configuration::baseline(o.schema());
+    let union = rec.configuration.union(&x0);
+    assert_eq!(union.len(), rec.configuration.len() + x0.len());
+}

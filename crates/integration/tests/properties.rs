@@ -1,0 +1,192 @@
+//! Property-based tests (proptest) for the core invariants listed in
+//! DESIGN.md §5.
+
+use proptest::prelude::*;
+
+use cophy::{BipGen, CGen, ConstraintSet};
+use cophy_bip::{
+    knapsack, BranchBound, LagrangianSolver, LinExpr, Model, Sense, SimplexSolver, SolveOptions,
+};
+use cophy_catalog::{ColumnId, Configuration, Index, Skew, TpchGen};
+use cophy_inum::Inum;
+use cophy_optimizer::{SystemProfile, WhatIfOptimizer};
+use cophy_workload::HomGen;
+
+// ---------------------------------------------------------------------------
+// BIP substrate invariants
+// ---------------------------------------------------------------------------
+
+/// Strategy: a random small BIP (knapsack-ish + a couple of generic rows).
+fn small_bip() -> impl Strategy<Value = Model> {
+    (2usize..8, any::<u64>()).prop_map(|(n, seed)| {
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0 // [-1, 1)
+        };
+        let mut m = Model::new();
+        let vars: Vec<_> = (0..n).map(|j| m.add_var(format!("v{j}"), next() * 10.0)).collect();
+        // knapsack row keeps things feasible and bounded
+        let mut e = LinExpr::new();
+        for &v in &vars {
+            e.add(v, next().abs() * 5.0 + 0.5);
+        }
+        m.add_constraint(e, Sense::Le, n as f64);
+        // one optional generic row
+        if next() > 0.0 {
+            let mut g = LinExpr::new();
+            for &v in &vars {
+                if next() > 0.3 {
+                    g.add(v, next() * 4.0);
+                }
+            }
+            if !g.terms.is_empty() {
+                m.add_constraint(g, Sense::Le, 2.0 + next().abs() * 3.0);
+            }
+        }
+        m
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The LP relaxation never exceeds the binary optimum, and B&B matches
+    /// the brute-force oracle exactly.
+    #[test]
+    fn branch_and_bound_matches_oracle(m in small_bip()) {
+        let n = m.n_vars();
+        let lp = SimplexSolver::new().solve(&m, &vec![0.0; n], &vec![1.0; n]);
+        let bb = BranchBound::new().solve(&m, &SolveOptions::default());
+        match m.brute_force() {
+            None => prop_assert_eq!(bb.status, cophy_bip::MipStatus::Infeasible),
+            Some((opt, _)) => {
+                prop_assert!((bb.objective - opt).abs() < 1e-5,
+                    "B&B {} vs oracle {}", bb.objective, opt);
+                prop_assert!(lp.objective <= opt + 1e-6,
+                    "LP bound {} above optimum {}", lp.objective, opt);
+                prop_assert!(m.feasible(&bb.x, 1e-6));
+                prop_assert!(bb.bound <= bb.objective + 1e-9);
+            }
+        }
+    }
+
+    /// Continuous knapsack lower-bounds greedy binary and respects budgets.
+    #[test]
+    fn knapsack_relaxation_dominance(
+        costs in prop::collection::vec(-20.0..0.0f64, 1..12),
+        sizes in prop::collection::vec(0.1..10.0f64, 1..12),
+        budget in 0.0..40.0f64,
+    ) {
+        let n = costs.len().min(sizes.len());
+        let (c_obj, z) = knapsack::continuous_min(&costs[..n], &sizes[..n], budget);
+        let (b_obj, sel) = knapsack::greedy_binary_min(&costs[..n], &sizes[..n], budget);
+        prop_assert!(c_obj <= b_obj + 1e-9);
+        let used: f64 = z.iter().zip(&sizes[..n]).map(|(zi, s)| zi * s).sum();
+        prop_assert!(used <= budget + 1e-6);
+        let bused: f64 = sel.iter().zip(&sizes[..n]).filter(|(s, _)| **s).map(|(_, s)| s).sum();
+        prop_assert!(bused <= budget + 1e-6);
+        for zi in &z {
+            prop_assert!((0.0..=1.0).contains(zi));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Index-tuning invariants (these use the real pipeline on small instances,
+// so keep the case counts low).
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Theorem 1: the BIP optimum equals the exhaustive-search optimum of the
+    /// index tuning problem under the INUM cost function.
+    #[test]
+    fn theorem1_equivalence(seed in 0u64..500, n_cands in 4usize..9) {
+        let o = WhatIfOptimizer::new(TpchGen::default().schema(), SystemProfile::A);
+        let w = HomGen::new(seed).generate(o.schema(), 4);
+        let inum = Inum::new(&o);
+        let prepared = inum.prepare_workload(&w);
+        let candidates = CGen::default().generate(o.schema(), &w).truncate(n_cands);
+        let constraints = ConstraintSet::storage_fraction(o.schema(), 0.2);
+
+        let (model, mapping) = BipGen::default().model(
+            o.schema(), o.cost_model(), &prepared, &candidates, &constraints);
+        let r = BranchBound::new().solve(&model, &SolveOptions::default());
+        prop_assert_eq!(r.status, cophy_bip::MipStatus::Optimal);
+
+        // Oracle: enumerate all subsets.
+        let mut best = f64::INFINITY;
+        for mask in 0..(1u32 << candidates.len()) {
+            let cfg = Configuration::from_indexes(
+                candidates.iter().filter(|(id, _)| mask >> id.0 & 1 == 1)
+                    .map(|(_, ix)| ix.clone()));
+            if constraints.check_configuration(o.schema(), &cfg).is_err() {
+                continue;
+            }
+            best = best.min(prepared.cost(o.schema(), o.cost_model(), &cfg));
+        }
+        let fixed: f64 = prepared.queries.iter()
+            .map(|pq| pq.weight * pq.fixed_update_cost).sum();
+        prop_assert!(((r.objective + fixed) - best).abs() / best < 1e-6,
+            "BIP {} vs oracle {}", r.objective + fixed, best);
+        // Extracted configuration achieves the optimum.
+        let cfg = mapping.extract_configuration(&r.x, &candidates);
+        let achieved = prepared.cost(o.schema(), o.cost_model(), &cfg);
+        prop_assert!((achieved - best).abs() / best < 1e-6);
+    }
+
+    /// Lagrangian bound validity on real tuning instances:
+    /// bound ≤ optimum ≤ incumbent.
+    #[test]
+    fn lagrangian_bound_sandwich(seed in 0u64..500) {
+        let o = WhatIfOptimizer::new(TpchGen::default().schema(), SystemProfile::A);
+        let w = HomGen::new(seed).generate(o.schema(), 4);
+        let inum = Inum::new(&o);
+        let prepared = inum.prepare_workload(&w);
+        let candidates = CGen::default().generate(o.schema(), &w).truncate(8);
+        let constraints = ConstraintSet::storage_fraction(o.schema(), 0.15);
+        let tp = BipGen::default().block_problem(
+            o.schema(), o.cost_model(), &prepared, &candidates, &constraints);
+        let r = LagrangianSolver::default().solve(&tp.block);
+
+        let mut best = f64::INFINITY;
+        for mask in 0..(1u32 << candidates.len()) {
+            let sel: Vec<bool> = (0..candidates.len()).map(|a| mask >> a & 1 == 1).collect();
+            if !tp.block.fits_budget(&sel) {
+                continue;
+            }
+            if let Some(c) = tp.block.evaluate(&sel) {
+                best = best.min(c);
+            }
+        }
+        prop_assert!(r.bound <= best + 1e-6, "bound {} above optimum {}", r.bound, best);
+        prop_assert!(r.objective >= best - 1e-6, "incumbent below optimum?!");
+    }
+
+    /// INUM monotonicity: growing the configuration never increases
+    /// read-side cost (free disposal of indexes).
+    #[test]
+    fn inum_free_disposal(seed in 0u64..1000) {
+        let o = WhatIfOptimizer::new(
+            TpchGen::new(1.0, Skew((seed % 3) as f64)).schema(), SystemProfile::B);
+        let w = HomGen::new(seed).generate(o.schema(), 3);
+        let inum = Inum::new(&o);
+        let prepared = inum.prepare_workload(&w);
+        let li = o.schema().table_by_name("lineitem").unwrap().id;
+        let ord = o.schema().table_by_name("orders").unwrap().id;
+        let small = Configuration::from_indexes([
+            Index::secondary(li, vec![ColumnId((seed % 16) as u32)]),
+        ]);
+        let big = small.union(&Configuration::from_indexes([
+            Index::secondary(ord, vec![ColumnId((seed % 9) as u32)]),
+            Index::secondary(li, vec![ColumnId((seed % 16) as u32), ColumnId(10)]),
+        ]));
+        for pq in &prepared.queries {
+            let cs = pq.read_cost(o.schema(), o.cost_model(), &small);
+            let cb = pq.read_cost(o.schema(), o.cost_model(), &big);
+            prop_assert!(cb <= cs + 1e-9, "free disposal violated: {} > {}", cb, cs);
+        }
+    }
+}

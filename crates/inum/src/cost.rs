@@ -1,0 +1,279 @@
+//! The linearly composable cost function (Definition 1).
+//!
+//! Given a prepared query, `cost(q, X)` is evaluated per template by
+//! independent per-slot minimization — the cartesian structure of
+//! `atom(X)` means the minimum over atomic configurations decomposes into a
+//! minimum per slot.  This is the approximation-free consequence of the
+//! paper's Definition 1 and what makes the evaluation run in microseconds.
+
+use cophy_catalog::{Configuration, Index, Schema};
+use cophy_optimizer::CostModel;
+
+use crate::prepare::{PreparedQuery, PreparedWorkload};
+
+/// Which access method a slot chose in the winning atomic configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AtomicChoice {
+    /// The heap scan `I∅`.
+    Heap,
+    /// Index position within the probed configuration's index list.
+    Index(usize),
+}
+
+/// The winning template and per-slot choices for one query under one
+/// configuration — useful for explaining recommendations.
+#[derive(Debug, Clone)]
+pub struct CostBreakdown {
+    /// Index of the winning template in `PreparedQuery::templates`.
+    pub template: usize,
+    /// `β` of the winning template.
+    pub internal_cost: f64,
+    /// Per-slot `(choice, γ)`.
+    pub slots: Vec<(AtomicChoice, f64)>,
+    /// Total `cost(q, X)` including update maintenance and `c_q`.
+    pub total: f64,
+}
+
+impl PreparedQuery {
+    /// `ucost(a, q)`: maintenance cost of index `a` under this statement
+    /// (0 for SELECTs and unaffected indexes).
+    pub fn ucost(&self, schema: &Schema, cm: &CostModel, ix: &Index) -> f64 {
+        match &self.update {
+            Some((u, rows)) if u.affects(ix) => cm.maintain(*rows, ix.height(schema)),
+            _ => 0.0,
+        }
+    }
+
+    /// Read-side cost: `min_k { β_qk + Σ_i min_a γ_qkia }` over `a ∈ X_i ∪
+    /// {I∅}`.  Always finite thanks to the unconstrained template.
+    pub fn read_cost(&self, schema: &Schema, cm: &CostModel, config: &Configuration) -> f64 {
+        self.breakdown(schema, cm, config).total - self.maintenance_cost(schema, cm, config)
+            - self.fixed_update_cost
+    }
+
+    /// Total update maintenance under `config`.
+    pub fn maintenance_cost(&self, schema: &Schema, cm: &CostModel, config: &Configuration) -> f64 {
+        config.iter().map(|ix| self.ucost(schema, cm, ix)).sum()
+    }
+
+    /// Full `cost(q, X)` (read + maintenance + fixed).
+    pub fn cost(&self, schema: &Schema, cm: &CostModel, config: &Configuration) -> f64 {
+        self.breakdown(schema, cm, config).total
+    }
+
+    /// Explain the winning template and per-slot access choices.
+    pub fn breakdown(&self, schema: &Schema, cm: &CostModel, config: &Configuration) -> CostBreakdown {
+        let indexes: Vec<&Index> = config.iter().collect();
+        let mut best: Option<CostBreakdown> = None;
+
+        for (k, tpl) in self.templates.iter().enumerate() {
+            let mut slot_choices = Vec::with_capacity(tpl.slots.len());
+            let mut total = tpl.internal_cost;
+            let mut feasible = true;
+            for (i, slot) in tpl.slots.iter().enumerate() {
+                let mut slot_best: Option<(AtomicChoice, f64)> =
+                    slot.heap_cost.map(|c| (AtomicChoice::Heap, c));
+                for (pos, ix) in indexes.iter().enumerate() {
+                    if ix.table != slot.table {
+                        continue;
+                    }
+                    if let Some(g) = tpl.gamma(schema, cm, &self.query, i, ix) {
+                        if slot_best.as_ref().is_none_or(|(_, c)| g < *c) {
+                            slot_best = Some((AtomicChoice::Index(pos), g));
+                        }
+                    }
+                }
+                match slot_best {
+                    Some((choice, g)) => {
+                        total += g;
+                        slot_choices.push((choice, g));
+                    }
+                    None => {
+                        feasible = false;
+                        break;
+                    }
+                }
+            }
+            if !feasible {
+                continue;
+            }
+            if best.as_ref().is_none_or(|b| total < b.total) {
+                best = Some(CostBreakdown {
+                    template: k,
+                    internal_cost: tpl.internal_cost,
+                    slots: slot_choices,
+                    total,
+                });
+            }
+        }
+
+        let mut b = best.expect("unconstrained template guarantees feasibility");
+        b.total += self.maintenance_cost(schema, cm, config) + self.fixed_update_cost;
+        b
+    }
+}
+
+impl PreparedWorkload {
+    /// `Σ_q f_q · cost(q, X)` via the INUM cache — no optimizer calls.
+    pub fn cost(&self, schema: &Schema, cm: &CostModel, config: &Configuration) -> f64 {
+        self.queries.iter().map(|pq| pq.weight * pq.cost(schema, cm, config)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prepare::Inum;
+    use cophy_catalog::{Configuration, Index, TpchGen};
+    use cophy_optimizer::{SystemProfile, WhatIfOptimizer};
+    use cophy_workload::{HetGen, HomGen, Predicate, Query, Statement, Workload};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn opt() -> WhatIfOptimizer {
+        WhatIfOptimizer::new(TpchGen::default().schema(), SystemProfile::A)
+    }
+
+    /// Random small configuration of candidate indexes over the schema.
+    fn random_config(o: &WhatIfOptimizer, seed: u64) -> Configuration {
+        let s = o.schema();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut cfg = Configuration::empty();
+        for _ in 0..rng.gen_range(1..6) {
+            let t = &s.tables()[rng.gen_range(0..s.n_tables())];
+            let ncols = rng.gen_range(1..=2.min(t.columns.len()));
+            let mut key = Vec::new();
+            while key.len() < ncols {
+                let c = cophy_catalog::ColumnId(rng.gen_range(0..t.columns.len() as u32));
+                if !key.contains(&c) {
+                    key.push(c);
+                }
+            }
+            cfg.insert(Index::secondary(t.id, key));
+        }
+        cfg
+    }
+
+    #[test]
+    fn inum_cost_matches_empty_config_optimizer_cost() {
+        let o = opt();
+        let inum = Inum::new(&o);
+        let w = HomGen::new(4).generate(o.schema(), 20);
+        let pw = inum.prepare_workload(&w);
+        for pq in &pw.queries {
+            let inum_cost =
+                pq.cost(o.schema(), o.cost_model(), &Configuration::empty());
+            let direct = o.cost_query(&pq.query, &Configuration::empty());
+            let ratio = inum_cost / direct;
+            assert!(
+                (0.999..=1.001).contains(&ratio),
+                "empty-config INUM cost must equal the optimizer's: ratio {ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn inum_is_accurate_approximation_under_random_configs() {
+        let o = opt();
+        let inum = Inum::new(&o);
+        let w = HomGen::new(8).generate(o.schema(), 12);
+        let pw = inum.prepare_workload(&w);
+        let mut worst: f64 = 1.0;
+        for seed in 0..6u64 {
+            let cfg = random_config(&o, seed);
+            for pq in &pw.queries {
+                let inum_cost = pq.cost(o.schema(), o.cost_model(), &cfg);
+                let direct = o.cost_query(&pq.query, &cfg);
+                let ratio = inum_cost / direct;
+                // INUM restricts plan shapes to the template set → the INUM
+                // cost can never be more than marginally below the
+                // optimizer's, and stays close above it ([15] reports the
+                // same bound empirically).
+                assert!(ratio >= 0.995, "INUM under-estimated: {ratio}");
+                worst = worst.max(ratio);
+            }
+        }
+        assert!(worst <= 1.35, "INUM over-estimation too large: {worst}");
+    }
+
+    #[test]
+    fn breakdown_picks_useful_index() {
+        let o = opt();
+        let s = o.schema();
+        let inum = Inum::new(&o);
+        let ord = s.table_by_name("orders").unwrap().id;
+        let ck = s.resolve("orders.o_custkey").unwrap();
+        let mut q = Query::scan(ord);
+        q.predicates.push(Predicate::eq(ck, 11.0));
+        let mut w = Workload::new();
+        let qid = w.push(Statement::Select(q));
+        let pw = inum.prepare_workload(&w);
+        let pq = &pw.queries[qid.0 as usize];
+
+        let mut cfg = Configuration::empty();
+        cfg.insert(Index::secondary(ord, vec![ck.column]));
+        let b = pq.breakdown(s, o.cost_model(), &cfg);
+        assert_eq!(b.slots.len(), 1);
+        assert!(matches!(b.slots[0].0, AtomicChoice::Index(0)));
+        let empty = pq.breakdown(s, o.cost_model(), &Configuration::empty());
+        assert!(matches!(empty.slots[0].0, AtomicChoice::Heap));
+        assert!(b.total < empty.total);
+    }
+
+    #[test]
+    fn monotone_in_configuration() {
+        // Adding an index never increases the INUM cost of a SELECT.
+        let o = opt();
+        let inum = Inum::new(&o);
+        let w = HetGen::new(9).generate(o.schema(), 15);
+        let pw = inum.prepare_workload(&w);
+        let small = random_config(&o, 42);
+        let big = small.union(&random_config(&o, 43));
+        for pq in &pw.queries {
+            let cs = pq.cost(o.schema(), o.cost_model(), &small);
+            let cb = pq.cost(o.schema(), o.cost_model(), &big);
+            assert!(cb <= cs + 1e-9, "more indexes must not hurt reads: {cb} > {cs}");
+        }
+    }
+
+    #[test]
+    fn update_cost_adds_maintenance_linearly() {
+        let o = opt();
+        let s = o.schema();
+        let inum = Inum::new(&o);
+        let w = cophy_workload::UpdateGen::new(7).generate(s, 3);
+        let pw = inum.prepare_workload(&w);
+        for pq in &pw.queries {
+            let (u, _) = pq.update.clone().unwrap();
+            let affected = Index::secondary(u.table(), vec![u.set_columns[0]]);
+            let mut cfg = Configuration::empty();
+            cfg.insert(affected.clone());
+            let with_ix = pq.cost(s, o.cost_model(), &cfg);
+            let without = pq.cost(s, o.cost_model(), &Configuration::empty());
+            let ucost = pq.ucost(s, o.cost_model(), &affected);
+            assert!(ucost > 0.0);
+            // read side may improve, but by less than ucost was added for a
+            // point update on a SET column with no predicate benefit…
+            // at minimum, the identity cost(X)=read(X)+maint(X)+fixed holds:
+            let read = pq.read_cost(s, o.cost_model(), &cfg);
+            let maint = pq.maintenance_cost(s, o.cost_model(), &cfg);
+            assert!((with_ix - (read + maint + pq.fixed_update_cost)).abs() < 1e-9);
+            let read0 = pq.read_cost(s, o.cost_model(), &Configuration::empty());
+            assert!((without - (read0 + pq.fixed_update_cost)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn workload_cost_is_weighted_sum() {
+        let o = opt();
+        let inum = Inum::new(&o);
+        let mut w = Workload::new();
+        let li = o.schema().table_by_name("lineitem").unwrap().id;
+        w.push_weighted(Statement::Select(Query::scan(li)), 2.0);
+        w.push_weighted(Statement::Select(Query::scan(li)), 3.0);
+        let pw = inum.prepare_workload(&w);
+        let c = pw.cost(o.schema(), o.cost_model(), &Configuration::empty());
+        let single = pw.queries[0].cost(o.schema(), o.cost_model(), &Configuration::empty());
+        assert!((c - 5.0 * single).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,137 @@
+//! Ideal-index construction for INUM's probing calls.
+//!
+//! To discover the template plan that exploits a given combination of
+//! interesting orders, INUM asks the what-if optimizer to optimize the query
+//! under a configuration of *ideal* hypothetical indexes: perfectly sargable,
+//! covering indexes that deliver the requested order on each table.  The
+//! optimizer then reveals the best internal plan for that order combination;
+//! the concrete indexes are thrown away and only the plan skeleton is kept.
+
+use cophy_catalog::{ColumnId, Configuration, Index, Schema, TableId};
+use cophy_workload::{PredOp, Query};
+
+/// Build the ideal index for `table` in `q` that delivers `order` (possibly
+/// empty) after the equality-bound prefix.
+///
+/// Key layout: equality-predicate columns, then the requested order columns,
+/// then the best range-predicate column; every other referenced column rides
+/// along as INCLUDE payload, making the index covering.
+pub fn ideal_index(schema: &Schema, q: &Query, table: TableId, order: &[ColumnId]) -> Index {
+    let _ = schema;
+    let mut key: Vec<ColumnId> = Vec::new();
+    // 1. Equality prefix (skip columns that are part of the requested order —
+    //    they must appear at their order position instead).
+    for p in q.predicates_on(table) {
+        if p.is_eq() && !order.contains(&p.column.column) && !key.contains(&p.column.column) {
+            key.push(p.column.column);
+        }
+    }
+    // 2. The requested order.
+    for c in order {
+        if !key.contains(c) {
+            key.push(*c);
+        }
+    }
+    // 3. One range column extends sargability (only useful directly after the
+    //    equality prefix, but harmless later).
+    for p in q.predicates_on(table) {
+        if matches!(p.op, PredOp::Lt(_) | PredOp::Gt(_) | PredOp::Between(_, _))
+            && !key.contains(&p.column.column)
+        {
+            key.push(p.column.column);
+            break;
+        }
+    }
+    // Degenerate case: no predicates, no order — key on the first used column
+    // (or column 0) so the index is well-formed.
+    if key.is_empty() {
+        let used = q.columns_used_on(table);
+        key.push(used.first().copied().unwrap_or(ColumnId(0)));
+    }
+    // 4. Covering payload.
+    let include: Vec<ColumnId> = q
+        .columns_used_on(table)
+        .into_iter()
+        .filter(|c| !key.contains(c))
+        .collect();
+    Index::covering(table, key, include)
+}
+
+/// Ideal configuration for one order combination: `orders[i]` is the
+/// requested order for `q.tables[i]` (empty slice = no order requested).
+pub fn ideal_config(schema: &Schema, q: &Query, orders: &[&[ColumnId]]) -> Configuration {
+    debug_assert_eq!(orders.len(), q.tables.len());
+    let mut cfg = Configuration::empty();
+    for (i, &t) in q.tables.iter().enumerate() {
+        cfg.insert(ideal_index(schema, q, t, orders[i]));
+        // Also provide the order-free ideal so the optimizer can decline the
+        // order if a plain covering access is cheaper.
+        if !orders[i].is_empty() {
+            cfg.insert(ideal_index(schema, q, t, &[]));
+        }
+    }
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cophy_catalog::TpchGen;
+    use cophy_workload::Predicate;
+
+    #[test]
+    fn ideal_index_is_covering_and_ordered() {
+        let s = TpchGen::default().schema();
+        let li = s.table_by_name("lineitem").unwrap().id;
+        let sd = s.resolve("lineitem.l_shipdate").unwrap();
+        let rf = s.resolve("lineitem.l_returnflag").unwrap();
+        let qty = s.resolve("lineitem.l_quantity").unwrap();
+        let q = Query {
+            tables: vec![li],
+            predicates: vec![Predicate::eq(rf, 1.0), Predicate::between(sd, 0.0, 50.0)],
+            projections: vec![qty],
+            order_by: vec![],
+            ..Default::default()
+        };
+        let order = vec![qty.column];
+        let ix = ideal_index(&s, &q, li, &order);
+        // eq prefix first, then order, then range.
+        assert_eq!(ix.key[0], rf.column);
+        assert_eq!(ix.key[1], qty.column);
+        assert!(ix.key.contains(&sd.column));
+        assert!(ix.covers(&q.columns_used_on(li)));
+        // Delivers the requested order given the eq binding.
+        assert!(ix.provides_order(&order, &q.eq_columns_on(li)));
+    }
+
+    #[test]
+    fn degenerate_query_still_gets_wellformed_index() {
+        let s = TpchGen::default().schema();
+        let li = s.table_by_name("lineitem").unwrap().id;
+        let q = Query::scan(li);
+        let ix = ideal_index(&s, &q, li, &[]);
+        assert!(!ix.key.is_empty());
+    }
+
+    #[test]
+    fn ideal_config_has_indexes_for_every_table() {
+        let s = TpchGen::default().schema();
+        let ord = s.table_by_name("orders").unwrap().id;
+        let li = s.table_by_name("lineitem").unwrap().id;
+        let ok = s.resolve("orders.o_orderkey").unwrap();
+        let lk = s.resolve("lineitem.l_orderkey").unwrap();
+        let sd = s.resolve("lineitem.l_shipdate").unwrap();
+        let q = Query {
+            tables: vec![ord, li],
+            joins: vec![cophy_workload::Join::new(ok, lk)],
+            predicates: vec![Predicate::between(sd, 0.0, 90.0)],
+            ..Default::default()
+        };
+        let orders: Vec<&[ColumnId]> = vec![&[], std::slice::from_ref(&lk.column)];
+        let cfg = ideal_config(&s, &q, &orders);
+        assert!(cfg.on_table(ord).count() >= 1);
+        // lineitem gets the ordered ideal (key l_orderkey, l_shipdate…) and
+        // the order-free ideal (key l_shipdate first) — distinct definitions.
+        assert!(cfg.on_table(li).count() >= 2, "ordered + unordered ideal");
+    }
+}

@@ -1,0 +1,31 @@
+//! # cophy-inum
+//!
+//! An implementation of INUM — *efficient use of the query optimizer for
+//! automated physical design* [15] — the fast what-if layer the CoPhy paper
+//! builds on.
+//!
+//! For each query `q`, INUM makes a small number of carefully chosen what-if
+//! optimizer calls (one per combination of exploited *interesting orders*)
+//! and caches the resulting **template plans**: physical plans whose leaf
+//! accesses are replaced by slots.  A template `k` stores
+//!
+//! * `β_qk` — the *internal plan cost* of its join/aggregation operators, and
+//! * per-slot order requirements, from which `γ_qkia` — the cost of
+//!   instantiating slot `i` with access method `a` — is computed analytically
+//!   (no optimizer call) for any candidate index.
+//!
+//! `cost(q, X)` is then the Definition-1 minimum
+//! `min_k { β_qk + Σ_i min_{a ∈ X_i ∪ I∅} γ_qkia }`, i.e. the *linearly
+//! composable* cost function of the paper, evaluated in microseconds instead
+//! of a full optimization.  [`PreparedQuery::gammas_for`] exposes the γ
+//! constants directly — exactly what CoPhy's BIP generator consumes.
+
+pub mod cost;
+pub mod ideal;
+pub mod prepare;
+pub mod template;
+
+pub use cost::{AtomicChoice, CostBreakdown};
+pub use ideal::{ideal_config, ideal_index};
+pub use prepare::{Inum, PreparedQuery, PreparedWorkload};
+pub use template::{Slot, TemplatePlan};

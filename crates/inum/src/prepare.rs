@@ -1,0 +1,261 @@
+//! INUM preparation: the few what-if calls that build the template cache.
+//!
+//! For each query we probe the optimizer with *ideal configurations* (see
+//! [`crate::ideal`]) — one per combination of exploited interesting orders —
+//! plus one probe under the empty configuration, whose plan sorts/hashes
+//! everything and therefore yields a template with *no* slot requirements
+//! (guaranteeing `cost(q, X) < ∞` for every `X`, including `X = ∅`).
+//!
+//! Combinations are enumerated in increasing complexity (none, singles,
+//! pairs) and capped: template counts `K_q` stay small — the paper observes
+//! `Σ_q K_q` grows roughly linearly with the workload — while still covering
+//! the merge-join templates that need orders on *two* tables at once.
+
+use cophy_catalog::{ColumnId, Configuration, Schema};
+use cophy_optimizer::WhatIfOptimizer;
+use cophy_workload::{QueryId, Query, Statement, UpdateStatement, Workload};
+
+use crate::ideal::ideal_config;
+use crate::template::{Slot, TemplatePlan};
+
+/// Cap on probing calls per query (1 empty + singles + pairs up to this).
+pub const MAX_PROBES_PER_QUERY: usize = 48;
+
+/// The INUM layer wrapping a what-if optimizer.
+#[derive(Debug)]
+pub struct Inum<'o> {
+    opt: &'o WhatIfOptimizer,
+}
+
+/// A query with its cached template plans — the unit CoPhy's BIP generator
+/// and the fast cost function consume.
+#[derive(Debug, Clone)]
+pub struct PreparedQuery {
+    pub qid: QueryId,
+    pub weight: f64,
+    /// The read shell (SELECT body or UPDATE query shell).
+    pub query: Query,
+    /// `TPlans(q)`: deduplicated template plans, cheapest-β first.
+    pub templates: Vec<TemplatePlan>,
+    /// For UPDATE statements: the statement (for `ucost`) and its row count.
+    pub update: Option<(UpdateStatement, f64)>,
+    /// The fixed `c_q` base-table update cost (0 for SELECTs).
+    pub fixed_update_cost: f64,
+}
+
+/// A fully prepared workload.
+#[derive(Debug, Clone)]
+pub struct PreparedWorkload {
+    pub queries: Vec<PreparedQuery>,
+    /// Number of what-if optimizer calls spent preparing.
+    pub what_if_calls: u64,
+}
+
+impl<'o> Inum<'o> {
+    pub fn new(opt: &'o WhatIfOptimizer) -> Self {
+        Inum { opt }
+    }
+
+    pub fn optimizer(&self) -> &'o WhatIfOptimizer {
+        self.opt
+    }
+
+    /// Prepare a single statement.
+    pub fn prepare_statement(&self, qid: QueryId, stmt: &Statement, weight: f64) -> PreparedQuery {
+        let q = stmt.read_shell().clone();
+        let templates = self.extract_templates(&q);
+        let (update, fixed) = match stmt {
+            Statement::Select(_) => (None, 0.0),
+            Statement::Update(u) => {
+                let rows = cophy_optimizer::cardinality::access_rows(
+                    self.opt.schema(),
+                    &u.shell,
+                    u.table(),
+                );
+                (Some((u.clone(), rows)), self.opt.base_update_cost(u))
+            }
+        };
+        PreparedQuery {
+            qid,
+            weight,
+            query: q,
+            templates,
+            update,
+            fixed_update_cost: fixed,
+        }
+    }
+
+    /// Prepare every statement of `w` (sequentially; callers may shard the
+    /// workload across threads — `PreparedQuery` is `Send`).
+    pub fn prepare_workload(&self, w: &Workload) -> PreparedWorkload {
+        let before = self.opt.what_if_calls();
+        let queries = w
+            .iter()
+            .map(|(qid, stmt, weight)| self.prepare_statement(qid, stmt, weight))
+            .collect();
+        PreparedWorkload { queries, what_if_calls: self.opt.what_if_calls() - before }
+    }
+
+    /// The probing loop: empty-config probe + ideal-config probes.
+    fn extract_templates(&self, q: &Query) -> Vec<TemplatePlan> {
+        let schema = self.opt.schema();
+        let cm = self.opt.cost_model();
+        let mut templates: Vec<TemplatePlan> = Vec::new();
+
+        // Probe 1: empty configuration → the all-sort/hash template.  Its
+        // slots never carry requirements (heap scans deliver no order).
+        let base_plan = self.opt.optimize(q, &Configuration::empty());
+        push_template(&mut templates, extract(schema, cm, q, &base_plan));
+
+        // Per-table interesting orders.
+        let per_table: Vec<Vec<Vec<ColumnId>>> =
+            q.tables.iter().map(|t| q.interesting_orders_on(*t)).collect();
+
+        // Combination stream: all-none, singles, pairs (capped).
+        let n = q.tables.len();
+        let mut combos: Vec<Vec<&[ColumnId]>> = Vec::new();
+        combos.push(vec![&[]; n]);
+        for i in 0..n {
+            for o in &per_table[i] {
+                let mut c: Vec<&[ColumnId]> = vec![&[]; n];
+                c[i] = o;
+                combos.push(c);
+            }
+        }
+        'outer: for i in 0..n {
+            for j in (i + 1)..n {
+                for oi in &per_table[i] {
+                    for oj in &per_table[j] {
+                        if combos.len() >= MAX_PROBES_PER_QUERY {
+                            break 'outer;
+                        }
+                        let mut c: Vec<&[ColumnId]> = vec![&[]; n];
+                        c[i] = oi;
+                        c[j] = oj;
+                        combos.push(c);
+                    }
+                }
+            }
+        }
+
+        for combo in combos {
+            let cfg = ideal_config(schema, q, &combo);
+            let plan = self.opt.optimize(q, &cfg);
+            push_template(&mut templates, extract(schema, cm, q, &plan));
+        }
+
+        templates.sort_by(|a, b| a.internal_cost.total_cmp(&b.internal_cost));
+        templates
+    }
+}
+
+/// Turn an optimized plan into a template: β = internal cost, slots carry the
+/// order requirements the plan imposes on its leaves (§3 / Appendix A).
+fn extract(
+    schema: &Schema,
+    cm: &cophy_optimizer::CostModel,
+    q: &Query,
+    plan: &cophy_optimizer::PhysicalPlan,
+) -> TemplatePlan {
+    let mut slots = Vec::with_capacity(q.tables.len());
+    for &t in &q.tables {
+        let leaf = plan.leaf(t).expect("plan covers every referenced table");
+        // The requirement may name equivalent columns of *other* tables
+        // (e.g. ORDER BY o_orderdate satisfied through a join); the local
+        // equivalent is the leaf's own delivered-order prefix of that length.
+        let req_len = leaf.required.0.len().min(leaf.path.order.0.len());
+        let required: Vec<ColumnId> =
+            leaf.path.order.0[..req_len].iter().map(|c| c.column).collect();
+        let heap_cost = if required.is_empty() {
+            Some(cophy_optimizer::access::heap_path(schema, cm, q, t, None).cost)
+        } else {
+            None
+        };
+        slots.push(Slot { table: t, required, heap_cost });
+    }
+    TemplatePlan { internal_cost: plan.internal_cost(), slots }
+}
+
+/// Deduplicate by slot signature, keeping the cheaper internal cost.
+fn push_template(templates: &mut Vec<TemplatePlan>, tpl: TemplatePlan) {
+    if let Some(existing) = templates.iter_mut().find(|t| t.signature() == tpl.signature()) {
+        if tpl.internal_cost < existing.internal_cost {
+            existing.internal_cost = tpl.internal_cost;
+            existing.slots = tpl.slots;
+        }
+    } else {
+        templates.push(tpl);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cophy_catalog::TpchGen;
+    use cophy_optimizer::SystemProfile;
+    use cophy_workload::{HetGen, HomGen};
+
+    fn opt() -> WhatIfOptimizer {
+        WhatIfOptimizer::new(TpchGen::default().schema(), SystemProfile::A)
+    }
+
+    #[test]
+    fn every_query_has_an_unconstrained_template() {
+        let o = opt();
+        let inum = Inum::new(&o);
+        let w = HomGen::new(2).generate(o.schema(), 30);
+        let pw = inum.prepare_workload(&w);
+        for pq in &pw.queries {
+            assert!(
+                pq.templates
+                    .iter()
+                    .any(|t| t.slots.iter().all(|s| s.required.is_empty())),
+                "query {:?} lacks an I∅-instantiable template",
+                pq.qid
+            );
+            assert!(!pq.templates.is_empty());
+        }
+    }
+
+    #[test]
+    fn probe_counts_are_bounded() {
+        let o = opt();
+        let inum = Inum::new(&o);
+        let w = HomGen::new(2).generate(o.schema(), 20);
+        let pw = inum.prepare_workload(&w);
+        let per_query = pw.what_if_calls as f64 / 20.0;
+        assert!(
+            per_query <= (MAX_PROBES_PER_QUERY + 1) as f64,
+            "too many probes per query: {per_query}"
+        );
+    }
+
+    #[test]
+    fn templates_deduplicated() {
+        let o = opt();
+        let inum = Inum::new(&o);
+        let w = HetGen::new(6).generate(o.schema(), 25);
+        let pw = inum.prepare_workload(&w);
+        for pq in &pw.queries {
+            let mut sigs: Vec<_> = pq.templates.iter().map(|t| t.signature()).collect();
+            let before = sigs.len();
+            sigs.sort();
+            sigs.dedup();
+            assert_eq!(before, sigs.len(), "duplicate template signatures");
+        }
+    }
+
+    #[test]
+    fn update_statements_carry_ucost_data() {
+        let o = opt();
+        let inum = Inum::new(&o);
+        let w = cophy_workload::UpdateGen::new(1).generate(o.schema(), 5);
+        let pw = inum.prepare_workload(&w);
+        for pq in &pw.queries {
+            let (u, rows) = pq.update.as_ref().expect("update info");
+            assert!(*rows >= 1.0);
+            assert!(pq.fixed_update_cost > 0.0);
+            assert_eq!(u.shell.tables, pq.query.tables);
+        }
+    }
+}

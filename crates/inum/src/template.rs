@@ -1,0 +1,175 @@
+//! Template plans: the unit of INUM's cache.
+
+use cophy_catalog::{ColumnId, Index, Schema, TableId};
+use cophy_workload::Query;
+use cophy_optimizer::{access, CostModel};
+use serde::{Deserialize, Serialize};
+
+/// One leaf slot of a template plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Slot {
+    pub table: TableId,
+    /// Order the internal plan requires from this access (local columns,
+    /// already normalized: equality-bound prefix stripped).  Empty = any
+    /// access method fits.
+    pub required: Vec<ColumnId>,
+    /// `γ_qki∅`: cost of instantiating the slot with the heap scan `I∅`;
+    /// `None` when the required order makes the heap scan incompatible
+    /// (`γ = ∞` in the paper's notation).
+    pub heap_cost: Option<f64>,
+}
+
+/// A template plan: internal operators with open access slots.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TemplatePlan {
+    /// `β_qk`: the internal plan cost (joins, sorts, aggregation).
+    pub internal_cost: f64,
+    /// One slot per referenced table, in the query's table order.
+    pub slots: Vec<Slot>,
+}
+
+impl TemplatePlan {
+    /// Signature used for deduplication: two templates with identical slot
+    /// requirements are interchangeable (keep the cheaper β).
+    pub fn signature(&self) -> Vec<(TableId, Vec<ColumnId>)> {
+        self.slots.iter().map(|s| (s.table, s.required.clone())).collect()
+    }
+
+    /// `γ_qkia`: cost of instantiating slot `slot_idx` with index `ix`, or
+    /// `None` if the index is incompatible with the slot's order requirement
+    /// (`γ = ∞`).  Purely analytical — no optimizer call.
+    pub fn gamma(
+        &self,
+        schema: &Schema,
+        cm: &CostModel,
+        q: &Query,
+        slot_idx: usize,
+        ix: &Index,
+    ) -> Option<f64> {
+        let slot = &self.slots[slot_idx];
+        if ix.table != slot.table {
+            return None;
+        }
+        if !slot.required.is_empty() {
+            let eq = q.eq_columns_on(slot.table);
+            if !ix.provides_order(&slot.required, &eq) {
+                return None;
+            }
+        }
+        access::path_for_index(schema, cm, q, slot.table, ix).map(|p| p.cost)
+    }
+
+    /// Instantiated cost `icost(p, A)` for an atomic configuration given as
+    /// one optional index per slot (`None` = `I∅`).  Returns `None` when the
+    /// configuration cannot instantiate the template (infinite cost).
+    pub fn icost(
+        &self,
+        schema: &Schema,
+        cm: &CostModel,
+        q: &Query,
+        atomic: &[Option<&Index>],
+    ) -> Option<f64> {
+        debug_assert_eq!(atomic.len(), self.slots.len());
+        let mut total = self.internal_cost;
+        for (i, choice) in atomic.iter().enumerate() {
+            let slot_cost = match choice {
+                None => self.slots[i].heap_cost?,
+                Some(ix) => self.gamma(schema, cm, q, i, ix)?,
+            };
+            total += slot_cost;
+        }
+        Some(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cophy_catalog::TpchGen;
+    use cophy_optimizer::SystemProfile;
+    use cophy_workload::Predicate;
+
+    fn setup() -> (cophy_catalog::Schema, CostModel) {
+        (TpchGen::default().schema(), CostModel::profile(SystemProfile::A))
+    }
+
+    fn sample_query(s: &cophy_catalog::Schema) -> (Query, TableId) {
+        let li = s.table_by_name("lineitem").unwrap().id;
+        let sd = s.resolve("lineitem.l_shipdate").unwrap();
+        let mut q = Query::scan(li);
+        q.predicates.push(Predicate::between(sd, 10.0, 60.0));
+        (q, li)
+    }
+
+    #[test]
+    fn gamma_infinite_for_wrong_table_or_order() {
+        let (s, cm) = setup();
+        let (q, li) = sample_query(&s);
+        let tpl = TemplatePlan {
+            internal_cost: 5.0,
+            slots: vec![Slot {
+                table: li,
+                required: vec![s.resolve("lineitem.l_quantity").unwrap().column],
+                heap_cost: None,
+            }],
+        };
+        // Index on another table: incompatible.
+        let other = Index::secondary(s.table_by_name("orders").unwrap().id, vec![ColumnId(0)]);
+        assert!(tpl.gamma(&s, &cm, &q, 0, &other).is_none());
+        // Index that does not deliver the required order: incompatible.
+        let wrong = Index::secondary(li, vec![s.resolve("lineitem.l_shipdate").unwrap().column]);
+        assert!(tpl.gamma(&s, &cm, &q, 0, &wrong).is_none());
+        // Index delivering the order: finite.
+        let right = Index::secondary(li, vec![s.resolve("lineitem.l_quantity").unwrap().column]);
+        assert!(tpl.gamma(&s, &cm, &q, 0, &right).is_some());
+    }
+
+    #[test]
+    fn icost_adds_beta_and_gammas() {
+        let (s, cm) = setup();
+        let (q, li) = sample_query(&s);
+        let heap = cophy_optimizer::access::heap_path(&s, &cm, &q, li, None);
+        let tpl = TemplatePlan {
+            internal_cost: 7.0,
+            slots: vec![Slot { table: li, required: vec![], heap_cost: Some(heap.cost) }],
+        };
+        let c = tpl.icost(&s, &cm, &q, &[None]).unwrap();
+        assert!((c - (7.0 + heap.cost)).abs() < 1e-9);
+        // With a selective index the icost drops.
+        let ix = Index::secondary(li, vec![s.resolve("lineitem.l_shipdate").unwrap().column]);
+        let c_ix = tpl.icost(&s, &cm, &q, &[Some(&ix)]).unwrap();
+        assert!(c_ix < c);
+    }
+
+    #[test]
+    fn icost_none_when_uninstantiable() {
+        let (s, cm) = setup();
+        let (q, li) = sample_query(&s);
+        let tpl = TemplatePlan {
+            internal_cost: 1.0,
+            slots: vec![Slot {
+                table: li,
+                required: vec![s.resolve("lineitem.l_quantity").unwrap().column],
+                heap_cost: None,
+            }],
+        };
+        assert!(tpl.icost(&s, &cm, &q, &[None]).is_none());
+    }
+
+    #[test]
+    fn signature_dedup_key() {
+        let (s, _) = setup();
+        let li = s.table_by_name("lineitem").unwrap().id;
+        let a = TemplatePlan {
+            internal_cost: 1.0,
+            slots: vec![Slot { table: li, required: vec![], heap_cost: Some(1.0) }],
+        };
+        let b = TemplatePlan {
+            internal_cost: 2.0,
+            slots: vec![Slot { table: li, required: vec![], heap_cost: Some(1.0) }],
+        };
+        assert_eq!(a.signature(), b.signature());
+    }
+
+    use cophy_catalog::{ColumnId, Index, TableId};
+}

@@ -1,0 +1,375 @@
+//! Access-path selection for a single table reference.
+//!
+//! Enumerates the ways one table of a query can be read under a
+//! configuration: heap scan (or clustered-index scan), index *seek* (B-tree
+//! descend on a sargable prefix) and full index *scan*, with index-only
+//! variants when the index covers every referenced column.  The same
+//! machinery computes INUM's `γ_qkia` — the cost of instantiating slot `i`
+//! with index `a` — via [`path_for_index`].
+
+use cophy_catalog::{ColumnRef, Configuration, Index, Schema, TableId};
+use cophy_workload::{PredOp, Query};
+use serde::{Deserialize, Serialize};
+
+use crate::cost::CostModel;
+use crate::ordering::Ordering;
+
+/// How a table is physically read.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AccessMethod {
+    /// Sequential scan of the heap (or of the clustered index, which *is* the
+    /// table). This is INUM's `I∅` access method.
+    HeapScan,
+    /// B-tree descend on a sargable key prefix, then a bounded leaf range.
+    IndexSeek(Index),
+    /// Full leaf-level scan of an index (useful for order or covering).
+    IndexScan(Index),
+}
+
+impl AccessMethod {
+    /// The index used, if any.
+    pub fn index(&self) -> Option<&Index> {
+        match self {
+            AccessMethod::HeapScan => None,
+            AccessMethod::IndexSeek(ix) | AccessMethod::IndexScan(ix) => Some(ix),
+        }
+    }
+}
+
+/// A costed access path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccessPath {
+    pub table: TableId,
+    pub method: AccessMethod,
+    /// Total cost of the access including residual filtering and heap
+    /// fetches.
+    pub cost: f64,
+    /// Rows delivered after all local predicates.
+    pub rows: f64,
+    /// Sort order of the delivered rows (already normalized: equality-bound
+    /// prefix stripped).
+    pub order: Ordering,
+}
+
+/// Split of `q`'s local predicates on `table` with respect to an index key:
+/// `matched_sel` is the selectivity the B-tree range absorbs, `in_index` are
+/// residual predicates testable on index columns, `residual` the rest.
+struct SargAnalysis {
+    matched_sel: f64,
+    eq_bound: usize,
+    n_in_index: usize,
+    n_residual: usize,
+    in_index_sel: f64,
+}
+
+fn analyze_sargs(schema: &Schema, q: &Query, table: TableId, ix: &Index) -> SargAnalysis {
+    let preds: Vec<_> = q.predicates_on(table).collect();
+    let mut matched = vec![false; preds.len()];
+    let mut matched_sel = 1.0;
+    let mut eq_bound = 0;
+
+    // Bind equality predicates along the key prefix.
+    for key_col in &ix.key {
+        match preds.iter().position(|p| {
+            p.column.column == *key_col && p.is_eq()
+        }) {
+            Some(pi) if !matched[pi] => {
+                matched[pi] = true;
+                matched_sel *= preds[pi].selectivity(schema);
+                eq_bound += 1;
+            }
+            _ => break,
+        }
+    }
+    // One range predicate on the next key column extends the sargable prefix.
+    if eq_bound < ix.key.len() {
+        let next = ix.key[eq_bound];
+        if let Some(pi) = preds
+            .iter()
+            .enumerate()
+            .find_map(|(pi, p)| (!matched[pi] && p.column.column == next && !p.is_eq()).then_some(pi))
+        {
+            matched[pi] = true;
+            matched_sel *= preds[pi].selectivity(schema);
+        }
+    }
+
+    // Residuals: applicable before the heap fetch iff on indexed columns.
+    let mut n_in_index = 0;
+    let mut in_index_sel = 1.0;
+    let mut n_residual = 0;
+    for (pi, p) in preds.iter().enumerate() {
+        if matched[pi] {
+            continue;
+        }
+        if ix.contains(p.column.column) {
+            n_in_index += 1;
+            in_index_sel *= p.selectivity(schema);
+        } else {
+            n_residual += 1;
+        }
+    }
+    SargAnalysis { matched_sel, eq_bound, n_in_index, n_residual, in_index_sel }
+}
+
+/// Does `q` have a range (non-eq) predicate on column `c` of `table`?
+fn has_range_pred(q: &Query, table: TableId, c: cophy_catalog::ColumnId) -> bool {
+    q.predicates_on(table).any(|p| {
+        p.column.column == c
+            && matches!(p.op, PredOp::Lt(_) | PredOp::Gt(_) | PredOp::Between(_, _))
+    })
+}
+
+/// The heap-scan path (INUM's `I∅`).  If the configuration clusters the table,
+/// the "heap" is the clustered index and the scan delivers its key order.
+pub fn heap_path(
+    schema: &Schema,
+    cm: &CostModel,
+    q: &Query,
+    table: TableId,
+    clustered: Option<&Index>,
+) -> AccessPath {
+    let t = schema.table(table);
+    let sel = q.local_selectivity(schema, table);
+    let rows_out = (t.rows as f64 * sel).max(1.0);
+    let n_preds = q.predicates_on(table).count();
+    let cost = cm.seq_scan(t.heap_pages(), t.rows as f64) + cm.filter(t.rows as f64, n_preds);
+    let order = match clustered {
+        Some(cix) => {
+            let eq = q.eq_columns_on(table);
+            let bound = cix.eq_prefix_len(&eq);
+            Ordering(
+                cix.key[bound..]
+                    .iter()
+                    .map(|c| ColumnRef::new(table, *c))
+                    .collect(),
+            )
+        }
+        None => Ordering::none(),
+    };
+    AccessPath { table, method: AccessMethod::HeapScan, cost, rows: rows_out, order }
+}
+
+/// Best access path that *uses index `ix`* (seek if sargable, else full
+/// scan).  Returns `None` when using the index is nonsensical (e.g. a full
+/// scan of a non-covering index would re-fetch every heap row *and* the index
+/// has no sargable prefix or useful order — such paths are strictly dominated
+/// by the heap scan and INUM prunes their `x` variables).
+pub fn path_for_index(
+    schema: &Schema,
+    cm: &CostModel,
+    q: &Query,
+    table: TableId,
+    ix: &Index,
+) -> Option<AccessPath> {
+    debug_assert_eq!(ix.table, table);
+    let t = schema.table(table);
+    let rows = t.rows as f64;
+    let sel = q.local_selectivity(schema, table);
+    let rows_out = (rows * sel).max(1.0);
+    let sarg = analyze_sargs(schema, q, table, ix);
+    let covering = ix.covers(&q.columns_used_on(table));
+    let leaf_pages = ix.size_pages(schema);
+    let height = ix.height(schema);
+
+    // Delivered order: key suffix after the equality-bound prefix.
+    let eq = q.eq_columns_on(table);
+    let bound = ix.eq_prefix_len(&eq);
+    let order = Ordering(
+        ix.key[bound..]
+            .iter()
+            .map(|c| ColumnRef::new(table, *c))
+            .collect(),
+    );
+
+    let sargable = sarg.matched_sel < 1.0 || sarg.eq_bound > 0 || {
+        // A range predicate on the first key column is sargable even when
+        // no equality binds a prefix.
+        !ix.key.is_empty() && has_range_pred(q, table, ix.key[0])
+    };
+
+    let path = if sargable {
+        // Seek: descend + bounded leaf range.
+        let scanned = rows * sarg.matched_sel;
+        let mut cost = cm.index_range_scan(height, leaf_pages, sarg.matched_sel, scanned);
+        cost += cm.filter(scanned, sarg.n_in_index);
+        let fetch_rows = scanned * sarg.in_index_sel;
+        if !covering {
+            cost += cm.heap_fetches(fetch_rows) + cm.filter(fetch_rows, sarg.n_residual);
+        }
+        AccessPath { table, method: AccessMethod::IndexSeek(ix.clone()), cost, rows: rows_out, order }
+    } else {
+        // Full index scan: only sensible when covering (index-only) or when
+        // the delivered order will be exploited — the caller decides the
+        // latter; we only refuse the plainly dominated non-covering case.
+        if !covering && order.is_none() {
+            return None;
+        }
+        let mut cost = cm.index_leaf_scan(leaf_pages, rows);
+        cost += cm.filter(rows, sarg.n_in_index);
+        let fetch_rows = rows * sarg.in_index_sel;
+        if !covering {
+            cost += cm.heap_fetches(fetch_rows) + cm.filter(fetch_rows, sarg.n_residual);
+        }
+        AccessPath { table, method: AccessMethod::IndexScan(ix.clone()), cost, rows: rows_out, order }
+    };
+    Some(path)
+}
+
+/// Enumerate the pareto-useful access paths for `table` under
+/// `config ∪ {heap}`: minimum cost per distinct delivered order, always
+/// including the overall cheapest.
+pub fn enumerate(
+    schema: &Schema,
+    cm: &CostModel,
+    q: &Query,
+    table: TableId,
+    config: &Configuration,
+) -> Vec<AccessPath> {
+    let clustered = config.on_table(table).find(|ix| ix.is_clustered());
+    let mut paths = vec![heap_path(schema, cm, q, table, clustered)];
+    for ix in config.on_table(table) {
+        if let Some(p) = path_for_index(schema, cm, q, table, ix) {
+            paths.push(p);
+        }
+    }
+    prune_paths(paths)
+}
+
+/// Keep the cheapest path per delivered order, dropping orders whose best
+/// path costs more than a path delivering an *extension* of that order.
+fn prune_paths(mut paths: Vec<AccessPath>) -> Vec<AccessPath> {
+    paths.sort_by(|a, b| a.cost.total_cmp(&b.cost));
+    let mut kept: Vec<AccessPath> = Vec::new();
+    for p in paths {
+        let dominated = kept.iter().any(|k| {
+            k.cost <= p.cost
+                && k.order.0.len() >= p.order.0.len()
+                && k.order.0[..p.order.0.len()] == p.order.0[..]
+        });
+        if !dominated {
+            kept.push(p);
+        }
+    }
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cophy_catalog::TpchGen;
+    use cophy_workload::Predicate;
+    use crate::cost::SystemProfile;
+
+    fn setup() -> (Schema, CostModel) {
+        (TpchGen::default().schema(), CostModel::profile(SystemProfile::A))
+    }
+
+    #[test]
+    fn heap_scan_costs_full_table() {
+        let (s, cm) = setup();
+        let li = s.table_by_name("lineitem").unwrap().id;
+        let q = Query::scan(li);
+        let p = heap_path(&s, &cm, &q, li, None);
+        assert!(p.cost >= s.table(li).heap_pages() as f64);
+        assert!(p.order.is_none());
+    }
+
+    #[test]
+    fn selective_seek_beats_heap_scan() {
+        let (s, cm) = setup();
+        let ord = s.table_by_name("orders").unwrap();
+        let ck = s.resolve("orders.o_custkey").unwrap();
+        let mut q = Query::scan(ord.id);
+        q.predicates.push(Predicate::eq(ck, 42.0));
+        let ix = Index::secondary(ord.id, vec![ck.column]);
+        let seek = path_for_index(&s, &cm, &q, ord.id, &ix).unwrap();
+        let heap = heap_path(&s, &cm, &q, ord.id, None);
+        assert!(matches!(seek.method, AccessMethod::IndexSeek(_)));
+        assert!(seek.cost < heap.cost / 10.0, "seek {} heap {}", seek.cost, heap.cost);
+    }
+
+    #[test]
+    fn covering_seek_beats_non_covering() {
+        let (s, cm) = setup();
+        let li = s.table_by_name("lineitem").unwrap();
+        let sd = s.resolve("lineitem.l_shipdate").unwrap();
+        let ep = s.resolve("lineitem.l_extendedprice").unwrap();
+        let mut q = Query::scan(li.id);
+        q.predicates.push(Predicate::between(sd, 100.0, 150.0));
+        q.projections.push(ep);
+        let plain = Index::secondary(li.id, vec![sd.column]);
+        let cov = Index::covering(li.id, vec![sd.column], vec![ep.column]);
+        let p_plain = path_for_index(&s, &cm, &q, li.id, &plain).unwrap();
+        let p_cov = path_for_index(&s, &cm, &q, li.id, &cov).unwrap();
+        assert!(p_cov.cost < p_plain.cost);
+    }
+
+    #[test]
+    fn eq_bound_prefix_strips_order() {
+        let (s, cm) = setup();
+        let li = s.table_by_name("lineitem").unwrap();
+        let ok = s.resolve("lineitem.l_orderkey").unwrap();
+        let sd = s.resolve("lineitem.l_shipdate").unwrap();
+        let mut q = Query::scan(li.id);
+        q.predicates.push(Predicate::eq(ok, 7.0));
+        let ix = Index::secondary(li.id, vec![ok.column, sd.column]);
+        let p = path_for_index(&s, &cm, &q, li.id, &ix).unwrap();
+        assert_eq!(p.order, Ordering(vec![sd]), "bound prefix must be stripped");
+    }
+
+    #[test]
+    fn useless_index_rejected() {
+        let (s, cm) = setup();
+        let li = s.table_by_name("lineitem").unwrap();
+        let cm2 = s.resolve("lineitem.l_comment").unwrap();
+        let q = Query {
+            tables: vec![li.id],
+            projections: vec![s.resolve("lineitem.l_quantity").unwrap()],
+            ..Default::default()
+        };
+        // Index on an unprojected, unfiltered comment column: full scan of it
+        // is non-covering with no order value — but it *does* deliver an
+        // order, so path_for_index returns a (costly) IndexScan.
+        let ix = Index::secondary(li.id, vec![cm2.column]);
+        let p = path_for_index(&s, &cm, &q, li.id, &ix).unwrap();
+        let heap = heap_path(&s, &cm, &q, li.id, None);
+        assert!(p.cost > heap.cost, "useless index must not look cheap");
+    }
+
+    #[test]
+    fn enumerate_includes_heap_and_prunes() {
+        let (s, cm) = setup();
+        let li = s.table_by_name("lineitem").unwrap();
+        let sd = s.resolve("lineitem.l_shipdate").unwrap();
+        let mut q = Query::scan(li.id);
+        q.predicates.push(Predicate::between(sd, 100.0, 130.0));
+        let mut cfg = Configuration::empty();
+        cfg.insert(Index::secondary(li.id, vec![sd.column]));
+        cfg.insert(Index::secondary(li.id, vec![sd.column])); // duplicate ignored
+        let paths = enumerate(&s, &cm, &q, li.id, &cfg);
+        // The selective seek dominates the heap scan here (cheaper AND
+        // delivers a superset order), so pruning may drop the heap.
+        assert!(paths.iter().any(|p| p.method.index().is_some()));
+        // pruning keeps at most one path per order
+        let mut orders: Vec<_> = paths.iter().map(|p| p.order.clone()).collect();
+        orders.sort_by_key(|o| o.0.len());
+        orders.dedup();
+        assert_eq!(orders.len(), paths.len());
+        // Without indexes, the heap scan is the only path.
+        let bare = enumerate(&s, &cm, &q, li.id, &Configuration::empty());
+        assert_eq!(bare.len(), 1);
+        assert!(matches!(bare[0].method, AccessMethod::HeapScan));
+    }
+
+    #[test]
+    fn clustered_scan_delivers_key_order() {
+        let (s, cm) = setup();
+        let ord = s.table_by_name("orders").unwrap();
+        let q = Query::scan(ord.id);
+        let cix = Index::clustered(ord.id, ord.primary_key.clone());
+        let p = heap_path(&s, &cm, &q, ord.id, Some(&cix));
+        assert_eq!(p.order.0.len(), 1);
+        assert_eq!(p.order.0[0].column, ord.primary_key[0]);
+    }
+}

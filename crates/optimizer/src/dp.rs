@@ -1,0 +1,510 @@
+//! Selinger-style dynamic-programming plan enumeration with interesting
+//! orders.
+//!
+//! For every connected subset of the query's tables the DP keeps a small
+//! pareto set of sub-plans — the cheapest plan per *useful* delivered order.
+//! An order is useful when it is a step toward satisfying one of the query's
+//! order requirements: the ORDER BY list, the GROUP BY list (stream
+//! aggregation) or a join column (merge join).  This is precisely the plan
+//! space INUM's template plans quotient: one template per combination of
+//! exploited interesting orders.
+
+use cophy_catalog::{Configuration, Schema};
+use cophy_workload::{Join, Query};
+
+use crate::access;
+use crate::cardinality;
+use crate::cost::CostModel;
+use crate::ordering::{EquivClasses, Ordering};
+use crate::plan::{PhysicalPlan, PlanNode, SubPlan};
+
+/// Maximum number of table references the DP supports (bitmask width; the
+/// workloads top out at six).
+pub const MAX_TABLES: usize = 16;
+
+/// Optimize `q` under configuration `config`.
+///
+/// Panics if `q` references more than [`MAX_TABLES`] tables or fails
+/// validation in debug builds.
+pub fn optimize(schema: &Schema, cm: &CostModel, q: &Query, config: &Configuration) -> PhysicalPlan {
+    debug_assert!(q.validate().is_ok(), "{:?}", q.validate());
+    let n = q.tables.len();
+    assert!(n >= 1 && n <= MAX_TABLES, "query must reference 1..={MAX_TABLES} tables");
+
+    let ec = EquivClasses::of_query(q);
+    let requirements = collect_requirements(q);
+
+    // Per-table access paths as single-table sub-plans.
+    let mut best: Vec<Vec<SubPlan>> = vec![Vec::new(); 1usize << n];
+    let mut base_rows = vec![0.0f64; n];
+    for (i, &t) in q.tables.iter().enumerate() {
+        base_rows[i] = cardinality::access_rows(schema, q, t);
+        let paths = access::enumerate(schema, cm, q, t, config);
+        let plans = paths
+            .into_iter()
+            .map(|p| SubPlan {
+                cost: p.cost,
+                rows: p.rows,
+                order: normalize(&p.order, &requirements, &ec),
+                op: PlanNode::Access(p),
+            })
+            .collect();
+        best[1 << i] = prune(plans);
+    }
+
+    // Pre-compute subset cardinalities.
+    let rows_of = |mask: usize| -> f64 {
+        let mut rows = 1.0;
+        for i in 0..n {
+            if mask & (1 << i) != 0 {
+                rows *= base_rows[i];
+            }
+        }
+        let mut sel = 1.0;
+        for j in &q.joins {
+            let (Some(li), Some(ri)) = (table_bit(q, j.left.table), table_bit(q, j.right.table))
+            else {
+                continue;
+            };
+            if mask & (1 << li) != 0 && mask & (1 << ri) != 0 {
+                sel *= cardinality::join_selectivity(schema, j, base_rows[li], base_rows[ri]);
+            }
+        }
+        (rows * sel).max(1.0)
+    };
+
+    // Join enumeration over connected splits.
+    let full = (1usize << n) - 1;
+    for mask in 1..=full {
+        if mask.count_ones() < 2 {
+            continue;
+        }
+        let out_rows = rows_of(mask);
+        let mut candidates: Vec<SubPlan> = Vec::new();
+        // Enumerate proper submask splits.
+        let mut l = (mask - 1) & mask;
+        while l != 0 {
+            let r = mask ^ l;
+            if !best[l].is_empty() && !best[r].is_empty() {
+                let edges = cross_edges(q, l, r);
+                if !edges.is_empty() {
+                    for pl in &best[l] {
+                        for pr in &best[r] {
+                            join_candidates(
+                                cm, q, &ec, &requirements, pl, pr, &edges, out_rows,
+                                &mut candidates,
+                            );
+                        }
+                    }
+                }
+            }
+            l = (l - 1) & mask;
+        }
+        best[mask] = prune(candidates);
+    }
+
+    let joined = std::mem::take(&mut best[full]);
+    assert!(
+        !joined.is_empty(),
+        "no plan found: join graph disconnected? {q:?}"
+    );
+
+    finalize(schema, cm, q, &ec, &requirements, joined)
+}
+
+/// Bit position of `t` within the query's table list.
+fn table_bit(q: &Query, t: cophy_catalog::TableId) -> Option<usize> {
+    q.tables.iter().position(|x| *x == t)
+}
+
+/// Join edges crossing the (l, r) split.
+fn cross_edges<'q>(q: &'q Query, l: usize, r: usize) -> Vec<&'q Join> {
+    q.joins
+        .iter()
+        .filter(|j| {
+            let (Some(li), Some(ri)) = (table_bit(q, j.left.table), table_bit(q, j.right.table))
+            else {
+                return false;
+            };
+            (l & (1 << li) != 0 && r & (1 << ri) != 0)
+                || (l & (1 << ri) != 0 && r & (1 << li) != 0)
+        })
+        .collect()
+}
+
+/// All order requirements of the query (for normalization).
+fn collect_requirements(q: &Query) -> Vec<Ordering> {
+    let mut reqs: Vec<Ordering> = Vec::new();
+    if !q.order_by.is_empty() {
+        reqs.push(Ordering(q.order_by.clone()));
+    }
+    if !q.group_by.is_empty() {
+        reqs.push(Ordering(q.group_by.clone()));
+    }
+    for j in &q.joins {
+        reqs.push(Ordering::single(j.left));
+        reqs.push(Ordering::single(j.right));
+    }
+    reqs
+}
+
+/// Truncate `order` to its longest prefix that fully satisfies some
+/// requirement; unusable orders become `none`, collapsing the DP state.
+fn normalize(order: &Ordering, reqs: &[Ordering], ec: &EquivClasses) -> Ordering {
+    let mut useful = 0;
+    for r in reqs {
+        if r.0.len() > useful && ec.satisfies(order, r) {
+            useful = r.0.len();
+        }
+    }
+    Ordering(order.0[..useful].to_vec())
+}
+
+/// Pareto prune: cheapest plan per delivered order; a plan is dominated by a
+/// cheaper plan whose order extends its own.
+fn prune(mut plans: Vec<SubPlan>) -> Vec<SubPlan> {
+    plans.sort_by(|a, b| a.cost.total_cmp(&b.cost));
+    let mut kept: Vec<SubPlan> = Vec::new();
+    for p in plans {
+        let dominated = kept.iter().any(|k| {
+            k.cost <= p.cost
+                && k.order.0.len() >= p.order.0.len()
+                && k.order.0[..p.order.0.len()] == p.order.0[..]
+        });
+        if !dominated {
+            kept.push(p);
+        }
+    }
+    kept
+}
+
+/// Wrap `input` in an explicit sort to `order`.
+fn sort_to(cm: &CostModel, input: SubPlan, order: Ordering) -> SubPlan {
+    let cost = input.cost + cm.sort(input.rows);
+    let rows = input.rows;
+    SubPlan { cost, rows, order, op: PlanNode::Sort(Box::new(input)) }
+}
+
+/// Emit the hash/merge/nested-loop join candidates for one (left, right)
+/// sub-plan pair.
+#[allow(clippy::too_many_arguments)]
+fn join_candidates(
+    cm: &CostModel,
+    _q: &Query,
+    ec: &EquivClasses,
+    reqs: &[Ordering],
+    pl: &SubPlan,
+    pr: &SubPlan,
+    edges: &[&Join],
+    out_rows: f64,
+    out: &mut Vec<SubPlan>,
+) {
+    let residual = edges.len().saturating_sub(1);
+
+    // Hash join: build on left, probe right (the split enumeration covers the
+    // mirrored pair).
+    let hj_cost = pl.cost + pr.cost + cm.hash_join(pl.rows, pr.rows, out_rows)
+        + cm.filter(out_rows, residual);
+    out.push(SubPlan {
+        cost: hj_cost,
+        rows: out_rows,
+        order: Ordering::none(),
+        op: PlanNode::HashJoin(Box::new(pl.clone()), Box::new(pr.clone())),
+    });
+
+    // Block nested-loop join: preserves outer order; only plausible for tiny
+    // inputs but the cost model prices that in.
+    let nl_cost = pl.cost + pr.cost + cm.nl_join(pl.rows, pr.rows, out_rows)
+        + cm.filter(out_rows, residual);
+    out.push(SubPlan {
+        cost: nl_cost,
+        rows: out_rows,
+        order: pl.order.clone(),
+        op: PlanNode::NestLoopJoin(Box::new(pl.clone()), Box::new(pr.clone())),
+    });
+
+    // Merge join on the first edge; sorts inserted as needed.
+    let edge = edges[0];
+    let (lreq, rreq) = if table_on_side(pl, edge.left.table) {
+        (Ordering::single(edge.left), Ordering::single(edge.right))
+    } else {
+        (Ordering::single(edge.right), Ordering::single(edge.left))
+    };
+    let li = if ec.satisfies(&pl.order, &lreq) {
+        pl.clone()
+    } else {
+        sort_to(cm, pl.clone(), lreq.clone())
+    };
+    let ri = if ec.satisfies(&pr.order, &rreq) {
+        pr.clone()
+    } else {
+        sort_to(cm, pr.clone(), rreq.clone())
+    };
+    let mj_cost = li.cost + ri.cost + cm.merge_join(li.rows, ri.rows, out_rows)
+        + cm.filter(out_rows, residual);
+    let delivered = normalize(&lreq, reqs, ec);
+    out.push(SubPlan {
+        cost: mj_cost,
+        rows: out_rows,
+        order: if delivered.is_none() { lreq } else { delivered },
+        op: PlanNode::MergeJoin(Box::new(li), Box::new(ri)),
+    });
+}
+
+/// Does the sub-plan under `p` contain an access to `t`?  (Cheap recursive
+/// check; plans are small trees.)
+fn table_on_side(p: &SubPlan, t: cophy_catalog::TableId) -> bool {
+    match &p.op {
+        PlanNode::Access(a) => a.table == t,
+        PlanNode::Sort(c) | PlanNode::HashAgg(c) | PlanNode::StreamAgg(c) => table_on_side(c, t),
+        PlanNode::HashJoin(l, r) | PlanNode::MergeJoin(l, r) | PlanNode::NestLoopJoin(l, r) => {
+            table_on_side(l, t) || table_on_side(r, t)
+        }
+    }
+}
+
+/// Apply aggregation and final ordering, pick the global winner.
+fn finalize(
+    schema: &Schema,
+    cm: &CostModel,
+    q: &Query,
+    ec: &EquivClasses,
+    reqs: &[Ordering],
+    plans: Vec<SubPlan>,
+) -> PhysicalPlan {
+    let has_agg = !q.aggregates.is_empty() || !q.group_by.is_empty();
+    let group_req = Ordering(q.group_by.clone());
+    let order_req = Ordering(q.order_by.clone());
+    let n_aggs = q.aggregates.len().max(1);
+
+    let mut finished: Vec<SubPlan> = Vec::new();
+    for p in plans {
+        let mut posts: Vec<SubPlan> = Vec::new();
+        if has_agg {
+            let groups = cardinality::group_rows(schema, &q.group_by, p.rows);
+            if q.group_by.is_empty() {
+                // Scalar aggregate: single streaming pass, no order needed.
+                let cost = p.cost + cm.stream_agg(p.rows, 1.0, n_aggs);
+                posts.push(SubPlan {
+                    cost,
+                    rows: 1.0,
+                    order: Ordering::none(),
+                    op: PlanNode::StreamAgg(Box::new(p.clone())),
+                });
+            } else {
+                // Hash aggregation.
+                let hcost = p.cost + cm.hash_agg(p.rows, groups, n_aggs);
+                posts.push(SubPlan {
+                    cost: hcost,
+                    rows: groups,
+                    order: Ordering::none(),
+                    op: PlanNode::HashAgg(Box::new(p.clone())),
+                });
+                // Stream aggregation over (possibly sorted) input.
+                let input = if ec.satisfies(&p.order, &group_req) {
+                    p.clone()
+                } else {
+                    sort_to(cm, p.clone(), group_req.clone())
+                };
+                let scost = input.cost + cm.stream_agg(input.rows, groups, n_aggs);
+                posts.push(SubPlan {
+                    cost: scost,
+                    rows: groups,
+                    order: group_req.clone(),
+                    op: PlanNode::StreamAgg(Box::new(input)),
+                });
+            }
+        } else {
+            posts.push(p);
+        }
+
+        for post in posts {
+            let final_plan = if order_req.is_none() || ec.satisfies(&post.order, &order_req) {
+                post
+            } else {
+                sort_to(cm, post, order_req.clone())
+            };
+            finished.push(final_plan);
+        }
+    }
+
+    let _ = reqs;
+    let winner = finished
+        .into_iter()
+        .min_by(|a, b| a.cost.total_cmp(&b.cost))
+        .expect("at least one finished plan");
+    PhysicalPlan::finish(winner, &order_req)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::SystemProfile;
+    use cophy_catalog::{Index, TpchGen};
+    use cophy_workload::{HetGen, HomGen, Predicate};
+
+    fn setup() -> (Schema, CostModel) {
+        (TpchGen::default().schema(), CostModel::profile(SystemProfile::A))
+    }
+
+    #[test]
+    fn single_table_scan_plan() {
+        let (s, cm) = setup();
+        let li = s.table_by_name("lineitem").unwrap().id;
+        let plan = optimize(&s, &cm, &Query::scan(li), &Configuration::empty());
+        assert_eq!(plan.leaves.len(), 1);
+        assert!(plan.total_cost() > 0.0);
+        assert!(plan.internal_cost() < 1e-9, "bare scan has no internal cost");
+    }
+
+    #[test]
+    fn index_reduces_plan_cost() {
+        let (s, cm) = setup();
+        let ord = s.table_by_name("orders").unwrap();
+        let ck = s.resolve("orders.o_custkey").unwrap();
+        let mut q = Query::scan(ord.id);
+        q.predicates.push(Predicate::eq(ck, 5.0));
+        let base = optimize(&s, &cm, &q, &Configuration::empty());
+        let mut cfg = Configuration::empty();
+        cfg.insert(Index::secondary(ord.id, vec![ck.column]));
+        let with_ix = optimize(&s, &cm, &q, &cfg);
+        assert!(with_ix.total_cost() < base.total_cost());
+    }
+
+    #[test]
+    fn what_if_monotonicity_on_workload() {
+        // Adding indexes never increases the optimal plan cost.
+        let (s, cm) = setup();
+        let w = HomGen::new(3).generate(&s, 30);
+        let empty = Configuration::empty();
+        let mut cfg = Configuration::empty();
+        let li = s.table_by_name("lineitem").unwrap().id;
+        cfg.insert(Index::secondary(
+            li,
+            vec![s.resolve("lineitem.l_shipdate").unwrap().column],
+        ));
+        cfg.insert(Index::secondary(
+            s.table_by_name("orders").unwrap().id,
+            vec![s.resolve("orders.o_orderdate").unwrap().column],
+        ));
+        for (_, stmt, _) in w.iter() {
+            let q = stmt.read_shell();
+            let c0 = optimize(&s, &cm, q, &empty).total_cost();
+            let c1 = optimize(&s, &cm, q, &cfg).total_cost();
+            assert!(
+                c1 <= c0 * (1.0 + 1e-9),
+                "index made a plan worse: {c1} > {c0}\n{q:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn order_by_index_avoids_sort() {
+        let (s, cm) = setup();
+        let ord = s.table_by_name("orders").unwrap();
+        let od = s.resolve("orders.o_orderdate").unwrap();
+        let tp = s.resolve("orders.o_totalprice").unwrap();
+        let q = Query {
+            tables: vec![ord.id],
+            projections: vec![od, tp],
+            order_by: vec![od],
+            ..Default::default()
+        };
+        let base = optimize(&s, &cm, &q, &Configuration::empty());
+        assert!(base.render().contains("Sort"), "{}", base.render());
+        let mut cfg = Configuration::empty();
+        cfg.insert(Index::covering(ord.id, vec![od.column], vec![tp.column]));
+        let with_ix = optimize(&s, &cm, &q, &cfg);
+        assert!(!with_ix.render().contains("Sort"), "{}", with_ix.render());
+        assert!(with_ix.total_cost() < base.total_cost());
+        // The leaf must carry the order requirement.
+        let leaf = with_ix.leaf(ord.id).unwrap();
+        assert_eq!(leaf.required.0, vec![od]);
+    }
+
+    #[test]
+    fn join_plans_cover_all_tables() {
+        let (s, cm) = setup();
+        let w = HomGen::new(5).generate(&s, 45);
+        for (_, stmt, _) in w.iter() {
+            let q = stmt.read_shell();
+            let plan = optimize(&s, &cm, q, &Configuration::empty());
+            assert_eq!(plan.leaves.len(), q.tables.len(), "{q:?}");
+            // every referenced table appears exactly once among leaves
+            for t in &q.tables {
+                assert_eq!(plan.leaves.iter().filter(|l| l.table == *t).count(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn het_workload_optimizes_without_panic() {
+        let (s, cm) = setup();
+        let w = HetGen::new(8).generate(&s, 60);
+        for (_, stmt, _) in w.iter() {
+            let plan = optimize(&s, &cm, stmt.read_shell(), &Configuration::empty());
+            assert!(plan.total_cost().is_finite() && plan.total_cost() > 0.0);
+        }
+    }
+
+    #[test]
+    fn merge_join_exploits_sorted_indexes() {
+        let (s, cm) = setup();
+        let ord = s.table_by_name("orders").unwrap().id;
+        let li = s.table_by_name("lineitem").unwrap().id;
+        let ok = s.resolve("orders.o_orderkey").unwrap();
+        let lk = s.resolve("lineitem.l_orderkey").unwrap();
+        let q = Query {
+            tables: vec![ord, li],
+            projections: vec![ok, lk],
+            joins: vec![cophy_workload::Join::new(ok, lk)],
+            ..Default::default()
+        };
+        // Covering indexes sorted on the join keys on both sides.
+        let mut cfg = Configuration::empty();
+        cfg.insert(Index::secondary(ord, vec![ok.column]));
+        cfg.insert(Index::secondary(li, vec![lk.column]));
+        let plan = optimize(&s, &cm, &q, &cfg);
+        // Whatever wins must be no worse than the no-index plan.
+        let base = optimize(&s, &cm, &q, &Configuration::empty());
+        assert!(plan.total_cost() <= base.total_cost());
+    }
+
+    #[test]
+    fn profile_b_differs_from_a() {
+        let s = TpchGen::default().schema();
+        let w = HomGen::new(9).generate(&s, 20);
+        let a = CostModel::profile(SystemProfile::A);
+        let b = CostModel::profile(SystemProfile::B);
+        let mut differs = false;
+        for (_, stmt, _) in w.iter() {
+            let q = stmt.read_shell();
+            let ca = optimize(&s, &a, q, &Configuration::empty()).total_cost();
+            let cb = optimize(&s, &b, q, &Configuration::empty()).total_cost();
+            differs |= (ca - cb).abs() > 1e-6;
+        }
+        assert!(differs, "profiles must yield different costings");
+    }
+
+    #[test]
+    fn group_by_index_enables_stream_agg() {
+        let (s, cm) = setup();
+        let li = s.table_by_name("lineitem").unwrap();
+        let rf = s.resolve("lineitem.l_returnflag").unwrap();
+        let qty = s.resolve("lineitem.l_quantity").unwrap();
+        let q = Query {
+            tables: vec![li.id],
+            group_by: vec![rf],
+            aggregates: vec![cophy_workload::Aggregate {
+                func: cophy_workload::AggFunc::Sum,
+                column: Some(qty),
+            }],
+            ..Default::default()
+        };
+        let mut cfg = Configuration::empty();
+        cfg.insert(Index::covering(li.id, vec![rf.column], vec![qty.column]));
+        let plan = optimize(&s, &cm, &q, &cfg);
+        let base = optimize(&s, &cm, &q, &Configuration::empty());
+        assert!(plan.total_cost() <= base.total_cost());
+    }
+}

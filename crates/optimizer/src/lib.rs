@@ -1,0 +1,36 @@
+//! # cophy-optimizer
+//!
+//! A cost-based *what-if* query optimizer: the DBMS-side substrate the CoPhy
+//! paper assumes.  Commercial systems expose a what-if interface that costs a
+//! query under *hypothetical* index configurations without materializing
+//! them; INUM and the index advisors only ever consume that interface.  This
+//! crate provides:
+//!
+//! * a System-R-style cost model ([`CostModel`]) with two parameterizations
+//!   ([`SystemProfile::A`], [`SystemProfile::B`]) standing in for the paper's
+//!   two commercial systems,
+//! * cardinality estimation from catalog statistics ([`cardinality`]),
+//! * access-path selection over heap scans, index seeks, index scans and
+//!   index-only variants ([`access`]),
+//! * Selinger-style dynamic-programming join enumeration with *interesting
+//!   orders* ([`dp`]) — the plan-space structure INUM's template plans encode,
+//! * the what-if facade ([`WhatIfOptimizer`]) with per-call accounting and
+//!   update-maintenance costing (`ucost`).
+//!
+//! Plans expose their leaf *accesses* separately from internal operators
+//! (`PhysicalPlan::leaves`), which is exactly the decomposition INUM needs:
+//! `total = internal (β) + Σ leaf access costs (γ)`.
+
+pub mod access;
+pub mod cardinality;
+pub mod cost;
+pub mod dp;
+pub mod ordering;
+pub mod plan;
+pub mod whatif;
+
+pub use access::{AccessMethod, AccessPath};
+pub use cost::{CostModel, SystemProfile};
+pub use ordering::{EquivClasses, Ordering};
+pub use plan::{LeafAccess, PhysicalPlan, PlanNode};
+pub use whatif::WhatIfOptimizer;

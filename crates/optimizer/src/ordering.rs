@@ -1,0 +1,163 @@
+//! Sort orders and join-derived column equivalences.
+//!
+//! Interesting orders are the backbone of both the Selinger DP and INUM's
+//! template plans: a plan property "output sorted by (c₁, c₂, …)" lets the
+//! optimizer skip sorts, use merge joins and stream aggregation.  Equi-join
+//! predicates make columns interchangeable inside an order (after
+//! `o_orderkey = l_orderkey`, order by either column is order by both), which
+//! we track with a small union-find over [`ColumnRef`]s.
+
+use cophy_catalog::ColumnRef;
+use cophy_workload::Query;
+use serde::{Deserialize, Serialize};
+
+/// A sort order: column list, ascending (the IR has no DESC).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Ordering(pub Vec<ColumnRef>);
+
+impl Ordering {
+    pub fn none() -> Self {
+        Ordering(Vec::new())
+    }
+
+    pub fn is_none(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    pub fn single(c: ColumnRef) -> Self {
+        Ordering(vec![c])
+    }
+}
+
+/// Union-find over the column refs of one query, seeded with its join edges.
+#[derive(Debug, Clone)]
+pub struct EquivClasses {
+    cols: Vec<ColumnRef>,
+    parent: Vec<usize>,
+}
+
+impl EquivClasses {
+    /// Build the equivalence classes implied by `q`'s equi-join edges.
+    pub fn of_query(q: &Query) -> Self {
+        let mut ec = EquivClasses { cols: Vec::new(), parent: Vec::new() };
+        for j in &q.joins {
+            let a = ec.intern(j.left);
+            let b = ec.intern(j.right);
+            ec.union(a, b);
+        }
+        ec
+    }
+
+    fn intern(&mut self, c: ColumnRef) -> usize {
+        if let Some(i) = self.cols.iter().position(|x| *x == c) {
+            i
+        } else {
+            self.cols.push(c);
+            self.parent.push(self.parent.len());
+            self.parent.len() - 1
+        }
+    }
+
+    fn find(&self, mut i: usize) -> usize {
+        while self.parent[i] != i {
+            i = self.parent[i];
+        }
+        i
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+
+    /// Are two columns equivalent under the query's join predicates?
+    pub fn equivalent(&self, a: ColumnRef, b: ColumnRef) -> bool {
+        if a == b {
+            return true;
+        }
+        let (Some(ia), Some(ib)) = (
+            self.cols.iter().position(|x| *x == a),
+            self.cols.iter().position(|x| *x == b),
+        ) else {
+            return false;
+        };
+        self.find(ia) == self.find(ib)
+    }
+
+    /// Does `delivered` satisfy `required` as a prefix, modulo equivalences?
+    ///
+    /// `delivered` satisfies `required` iff for every position `i <
+    /// required.len()`, `delivered[i]` is equivalent to `required[i]`.
+    pub fn satisfies(&self, delivered: &Ordering, required: &Ordering) -> bool {
+        if required.0.len() > delivered.0.len() {
+            return false;
+        }
+        required
+            .0
+            .iter()
+            .zip(delivered.0.iter())
+            .all(|(r, d)| self.equivalent(*r, *d))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cophy_catalog::TpchGen;
+    use cophy_workload::Join;
+
+    #[test]
+    fn join_columns_are_equivalent() {
+        let s = TpchGen::default().schema();
+        let ok = s.resolve("orders.o_orderkey").unwrap();
+        let lk = s.resolve("lineitem.l_orderkey").unwrap();
+        let od = s.resolve("orders.o_orderdate").unwrap();
+        let q = Query {
+            tables: vec![ok.table, lk.table],
+            joins: vec![Join::new(ok, lk)],
+            ..Default::default()
+        };
+        let ec = EquivClasses::of_query(&q);
+        assert!(ec.equivalent(ok, lk));
+        assert!(ec.equivalent(lk, ok));
+        assert!(!ec.equivalent(ok, od));
+        assert!(ec.equivalent(od, od), "reflexive even for un-interned columns");
+    }
+
+    #[test]
+    fn transitive_equivalence() {
+        let s = TpchGen::default().schema();
+        let a = s.resolve("part.p_partkey").unwrap();
+        let b = s.resolve("partsupp.ps_partkey").unwrap();
+        let c = s.resolve("lineitem.l_partkey").unwrap();
+        let q = Query {
+            tables: vec![a.table, b.table, c.table],
+            joins: vec![Join::new(a, b), Join::new(c, a)],
+            ..Default::default()
+        };
+        let ec = EquivClasses::of_query(&q);
+        assert!(ec.equivalent(b, c));
+    }
+
+    #[test]
+    fn order_satisfaction_prefix_and_equiv() {
+        let s = TpchGen::default().schema();
+        let ok = s.resolve("orders.o_orderkey").unwrap();
+        let lk = s.resolve("lineitem.l_orderkey").unwrap();
+        let od = s.resolve("orders.o_orderdate").unwrap();
+        let q = Query {
+            tables: vec![ok.table, lk.table],
+            joins: vec![Join::new(ok, lk)],
+            ..Default::default()
+        };
+        let ec = EquivClasses::of_query(&q);
+        let delivered = Ordering(vec![lk, od]);
+        assert!(ec.satisfies(&delivered, &Ordering(vec![ok])));
+        assert!(ec.satisfies(&delivered, &Ordering(vec![ok, od])));
+        assert!(!ec.satisfies(&delivered, &Ordering(vec![od])));
+        assert!(ec.satisfies(&delivered, &Ordering::none()));
+        assert!(!ec.satisfies(&Ordering::none(), &Ordering(vec![ok])));
+    }
+}

@@ -1,0 +1,283 @@
+//! Physical plans.
+//!
+//! A plan is a tree of operators whose leaves are table *accesses*.  The
+//! INUM decomposition needs exactly two things from a plan:
+//!
+//! 1. the cost and delivered order of each leaf access ([`LeafAccess`]), and
+//! 2. the *required* order at each leaf — the order property the internal
+//!    operators actually exploit (merge joins, stream aggregation, final
+//!    ORDER BY without a sort).  A slot's required order determines which
+//!    indexes may instantiate it (`γ = ∞` otherwise, Appendix A).
+//!
+//! [`PhysicalPlan::internal_cost`] is the paper's `β` (internal plan cost):
+//! total cost minus the leaf access costs.
+
+use cophy_catalog::TableId;
+use serde::{Deserialize, Serialize};
+
+use crate::access::AccessPath;
+use crate::ordering::Ordering;
+
+/// A plan operator with cumulative cost and output estimates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SubPlan {
+    pub op: PlanNode,
+    /// Cumulative cost including all children.
+    pub cost: f64,
+    /// Estimated output rows.
+    pub rows: f64,
+    /// Delivered output order.
+    pub order: Ordering,
+}
+
+/// Operator variants.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PlanNode {
+    /// Leaf: access one table.
+    Access(AccessPath),
+    /// Explicit sort to `order`.
+    Sort(Box<SubPlan>),
+    /// Hash join (build = left, probe = right); destroys order.
+    HashJoin(Box<SubPlan>, Box<SubPlan>),
+    /// Merge join; requires both inputs sorted on the join columns,
+    /// preserves the left order.
+    MergeJoin(Box<SubPlan>, Box<SubPlan>),
+    /// Block nested-loop join; preserves the outer (left) order.
+    NestLoopJoin(Box<SubPlan>, Box<SubPlan>),
+    /// Hash aggregation; destroys order.
+    HashAgg(Box<SubPlan>),
+    /// Stream aggregation; requires input sorted on the group columns and
+    /// preserves that order.
+    StreamAgg(Box<SubPlan>),
+}
+
+impl SubPlan {
+    /// Children of this operator.
+    fn children(&self) -> Vec<&SubPlan> {
+        match &self.op {
+            PlanNode::Access(_) => vec![],
+            PlanNode::Sort(c) | PlanNode::HashAgg(c) | PlanNode::StreamAgg(c) => vec![c],
+            PlanNode::HashJoin(l, r)
+            | PlanNode::MergeJoin(l, r)
+            | PlanNode::NestLoopJoin(l, r) => vec![l, r],
+        }
+    }
+
+    /// Number of operators in the subtree.
+    pub fn n_ops(&self) -> usize {
+        1 + self.children().iter().map(|c| c.n_ops()).sum::<usize>()
+    }
+
+    /// One-line operator name, for plan rendering.
+    fn name(&self) -> &'static str {
+        match &self.op {
+            PlanNode::Access(p) => match p.method {
+                crate::access::AccessMethod::HeapScan => "SeqScan",
+                crate::access::AccessMethod::IndexSeek(_) => "IndexSeek",
+                crate::access::AccessMethod::IndexScan(_) => "IndexScan",
+            },
+            PlanNode::Sort(_) => "Sort",
+            PlanNode::HashJoin(..) => "HashJoin",
+            PlanNode::MergeJoin(..) => "MergeJoin",
+            PlanNode::NestLoopJoin(..) => "NestLoop",
+            PlanNode::HashAgg(_) => "HashAgg",
+            PlanNode::StreamAgg(_) => "StreamAgg",
+        }
+    }
+
+    fn render_into(&self, depth: usize, out: &mut String) {
+        use std::fmt::Write as _;
+        let _ = writeln!(
+            out,
+            "{:indent$}{} (cost={:.1} rows={:.0})",
+            "",
+            self.name(),
+            self.cost,
+            self.rows,
+            indent = depth * 2
+        );
+        for c in self.children() {
+            c.render_into(depth + 1, out);
+        }
+    }
+}
+
+/// One leaf access of a finished plan, with the order requirement the plan
+/// imposes on it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LeafAccess {
+    pub table: TableId,
+    pub path: AccessPath,
+    /// The order property the internal plan relies on at this slot
+    /// (empty = any access method may instantiate the slot).
+    pub required: Ordering,
+}
+
+/// A complete optimized plan for one query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhysicalPlan {
+    pub root: SubPlan,
+    pub leaves: Vec<LeafAccess>,
+}
+
+impl PhysicalPlan {
+    /// Build from a root, deriving the per-leaf order requirements by a
+    /// top-down traversal: sorts and hash operators absorb requirements,
+    /// merge joins impose join-column order on both children, stream
+    /// aggregation imposes the group order, nested loops pass requirements to
+    /// the outer side.
+    pub fn finish(root: SubPlan, final_requirement: &Ordering) -> PhysicalPlan {
+        let mut leaves = Vec::new();
+        collect(&root, final_requirement.clone(), &mut leaves);
+        PhysicalPlan { root, leaves }
+    }
+
+    pub fn total_cost(&self) -> f64 {
+        self.root.cost
+    }
+
+    /// INUM's `β`: cost of the internal operators only.
+    pub fn internal_cost(&self) -> f64 {
+        (self.root.cost - self.leaves.iter().map(|l| l.path.cost).sum::<f64>()).max(0.0)
+    }
+
+    /// The leaf for `table`, if that table is referenced.
+    pub fn leaf(&self, table: TableId) -> Option<&LeafAccess> {
+        self.leaves.iter().find(|l| l.table == table)
+    }
+
+    /// Pretty-printed operator tree.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        self.root.render_into(0, &mut s);
+        s
+    }
+}
+
+fn collect(plan: &SubPlan, requirement: Ordering, leaves: &mut Vec<LeafAccess>) {
+    match &plan.op {
+        PlanNode::Access(path) => {
+            leaves.push(LeafAccess { table: path.table, path: path.clone(), required: requirement });
+        }
+        PlanNode::Sort(c) => collect(c, Ordering::none(), leaves),
+        PlanNode::HashAgg(c) => collect(c, Ordering::none(), leaves),
+        PlanNode::StreamAgg(c) => {
+            // The stream agg itself needed its input sorted by its own
+            // delivered order (group columns); that requirement dominates
+            // whatever was above (the builder guarantees compatibility).
+            collect(c, plan.order.clone(), leaves);
+        }
+        PlanNode::HashJoin(l, r) => {
+            collect(l, Ordering::none(), leaves);
+            collect(r, Ordering::none(), leaves);
+        }
+        PlanNode::MergeJoin(l, r) => {
+            // Both children must deliver the merge order; their delivered
+            // orders are recorded as the requirement (builder checked them).
+            let lo = truncate_to_merge_keys(l, plan);
+            let ro = truncate_to_merge_keys(r, plan);
+            collect(l, lo, leaves);
+            collect(r, ro, leaves);
+        }
+        PlanNode::NestLoopJoin(l, r) => {
+            collect(l, requirement, leaves);
+            collect(r, Ordering::none(), leaves);
+        }
+    }
+}
+
+/// For a merge join, the requirement on a child is the prefix of the child's
+/// delivered order with the merge arity; the builder stores the merge key
+/// count implicitly as the parent's order length (left side order).
+fn truncate_to_merge_keys(child: &SubPlan, parent: &SubPlan) -> Ordering {
+    let n = parent.order.0.len().max(1).min(child.order.0.len());
+    Ordering(child.order.0[..n].to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::{AccessMethod, AccessPath};
+    use cophy_catalog::ColumnRef;
+
+    fn leaf(table: u32, cost: f64, order: Vec<ColumnRef>) -> SubPlan {
+        let path = AccessPath {
+            table: TableId(table),
+            method: AccessMethod::HeapScan,
+            cost,
+            rows: 100.0,
+            order: Ordering(order),
+        };
+        SubPlan {
+            op: PlanNode::Access(path),
+            cost,
+            rows: 100.0,
+            order: Ordering::none(),
+        }
+    }
+
+    use cophy_catalog::TableId;
+
+    #[test]
+    fn internal_cost_is_total_minus_leaves() {
+        let l = leaf(0, 10.0, vec![]);
+        let r = leaf(1, 20.0, vec![]);
+        let join = SubPlan {
+            cost: 50.0,
+            rows: 100.0,
+            order: Ordering::none(),
+            op: PlanNode::HashJoin(Box::new(l), Box::new(r)),
+        };
+        let plan = PhysicalPlan::finish(join, &Ordering::none());
+        assert_eq!(plan.leaves.len(), 2);
+        assert!((plan.internal_cost() - 20.0).abs() < 1e-9);
+        assert!(plan.leaf(TableId(0)).is_some());
+        assert!(plan.leaf(TableId(7)).is_none());
+    }
+
+    #[test]
+    fn hash_join_absorbs_requirements() {
+        let l = leaf(0, 10.0, vec![]);
+        let r = leaf(1, 20.0, vec![]);
+        let join = SubPlan {
+            cost: 50.0,
+            rows: 100.0,
+            order: Ordering::none(),
+            op: PlanNode::HashJoin(Box::new(l), Box::new(r)),
+        };
+        let c = ColumnRef::new(TableId(0), cophy_catalog::ColumnId(0));
+        // Even with a final requirement, hash join children see none.
+        let plan = PhysicalPlan::finish(join, &Ordering(vec![c]));
+        assert!(plan.leaves.iter().all(|l| l.required.is_none()));
+    }
+
+    #[test]
+    fn final_requirement_reaches_single_leaf() {
+        let c = ColumnRef::new(TableId(0), cophy_catalog::ColumnId(0));
+        let l = leaf(0, 10.0, vec![c]);
+        let plan = PhysicalPlan::finish(l, &Ordering(vec![c]));
+        assert_eq!(plan.leaves[0].required, Ordering(vec![c]));
+    }
+
+    #[test]
+    fn sort_absorbs_requirement() {
+        let c = ColumnRef::new(TableId(0), cophy_catalog::ColumnId(0));
+        let l = leaf(0, 10.0, vec![]);
+        let sort = SubPlan {
+            cost: 30.0,
+            rows: 100.0,
+            order: Ordering(vec![c]),
+            op: PlanNode::Sort(Box::new(l)),
+        };
+        let plan = PhysicalPlan::finish(sort, &Ordering(vec![c]));
+        assert!(plan.leaves[0].required.is_none());
+        assert!((plan.internal_cost() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_contains_operators() {
+        let l = leaf(0, 10.0, vec![]);
+        let plan = PhysicalPlan::finish(l, &Ordering::none());
+        assert!(plan.render().contains("SeqScan"));
+    }
+}

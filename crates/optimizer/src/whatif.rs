@@ -1,0 +1,218 @@
+//! The what-if optimization facade.
+//!
+//! This is the interface the paper's architecture diagram draws between the
+//! DBMS and everything else: given a statement and a *hypothetical*
+//! configuration, return the optimal plan and its cost, without materializing
+//! anything.  The facade also:
+//!
+//! * counts what-if calls — the scarce resource whose consumption separates
+//!   INUM-based advisors from optimizer-in-the-loop advisors (Figures 4/5),
+//! * prices UPDATE statements per §2:
+//!   `cost(q, X) = cost(q_r, X) + Σ_{a ∈ X affected} ucost(a, q) + c_q`,
+//! * evaluates whole workloads, which is the ground-truth `perf` metric of
+//!   §5.1.
+
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+
+use cophy_catalog::{Configuration, Index, Schema};
+use cophy_workload::{Query, Statement, UpdateStatement, Workload};
+
+use crate::cost::{CostModel, SystemProfile};
+use crate::dp;
+use crate::plan::PhysicalPlan;
+
+/// A simulated DBMS what-if optimizer.
+#[derive(Debug)]
+pub struct WhatIfOptimizer {
+    schema: Schema,
+    cm: CostModel,
+    profile: SystemProfile,
+    calls: AtomicU64,
+}
+
+impl WhatIfOptimizer {
+    pub fn new(schema: Schema, profile: SystemProfile) -> Self {
+        WhatIfOptimizer {
+            schema,
+            cm: CostModel::profile(profile),
+            profile,
+            calls: AtomicU64::new(0),
+        }
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    pub fn profile(&self) -> SystemProfile {
+        self.profile
+    }
+
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cm
+    }
+
+    /// Number of what-if optimizations performed so far.
+    pub fn what_if_calls(&self) -> u64 {
+        self.calls.load(AtomicOrdering::Relaxed)
+    }
+
+    pub fn reset_call_counter(&self) {
+        self.calls.store(0, AtomicOrdering::Relaxed);
+    }
+
+    /// Optimize a SELECT (or query shell) under a hypothetical configuration.
+    pub fn optimize(&self, q: &Query, config: &Configuration) -> PhysicalPlan {
+        self.calls.fetch_add(1, AtomicOrdering::Relaxed);
+        dp::optimize(&self.schema, &self.cm, q, config)
+    }
+
+    /// `cost(q, X)` for a SELECT.
+    pub fn cost_query(&self, q: &Query, config: &Configuration) -> f64 {
+        self.optimize(q, config).total_cost()
+    }
+
+    /// Maintenance cost `ucost(a, q)` of index `a` under update `q` (§2):
+    /// per-modified-row B-tree maintenance, independent of the rest of the
+    /// configuration.
+    pub fn ucost(&self, upd: &UpdateStatement, ix: &Index) -> f64 {
+        if !upd.affects(ix) {
+            return 0.0;
+        }
+        let rows = crate::cardinality::access_rows(&self.schema, &upd.shell, upd.table());
+        self.cm.maintain(rows, ix.height(&self.schema))
+    }
+
+    /// The fixed `c_q` term: rewriting the base tuples themselves.
+    pub fn base_update_cost(&self, upd: &UpdateStatement) -> f64 {
+        let rows = crate::cardinality::access_rows(&self.schema, &upd.shell, upd.table());
+        self.cm.heap_fetches(rows) + rows * self.cm.cpu_tuple
+    }
+
+    /// Full statement cost under a configuration.
+    pub fn cost_statement(&self, stmt: &Statement, config: &Configuration) -> f64 {
+        match stmt {
+            Statement::Select(q) => self.cost_query(q, config),
+            Statement::Update(u) => {
+                let read = self.cost_query(&u.shell, config);
+                let maintenance: f64 =
+                    config.iter().map(|ix| self.ucost(u, ix)).sum();
+                read + maintenance + self.base_update_cost(u)
+            }
+        }
+    }
+
+    /// Weighted workload cost `Σ_q f_q · cost(q, X)` — the objective of the
+    /// index tuning problem, measured against the real optimizer.
+    pub fn cost_workload(&self, w: &Workload, config: &Configuration) -> f64 {
+        w.iter().map(|(_, stmt, f)| f * self.cost_statement(stmt, config)).sum()
+    }
+
+    /// The §5.1 quality metric:
+    /// `perf(X*, W) = 1 − cost(X* ∪ X0, W) / cost(X0, W)`,
+    /// where `X0` is the clustered-primary-key baseline.
+    pub fn perf(&self, w: &Workload, x_star: &Configuration) -> f64 {
+        let x0 = Configuration::baseline(&self.schema);
+        let base = self.cost_workload(w, &x0);
+        let tuned = self.cost_workload(w, &x_star.union(&x0));
+        if base <= 0.0 {
+            return 0.0;
+        }
+        1.0 - tuned / base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cophy_catalog::TpchGen;
+    use cophy_workload::{HomGen, Predicate, UpdateGen};
+
+    fn opt() -> WhatIfOptimizer {
+        WhatIfOptimizer::new(TpchGen::default().schema(), SystemProfile::A)
+    }
+
+    #[test]
+    fn counts_calls() {
+        let o = opt();
+        let li = o.schema().table_by_name("lineitem").unwrap().id;
+        assert_eq!(o.what_if_calls(), 0);
+        let _ = o.cost_query(&Query::scan(li), &Configuration::empty());
+        let _ = o.cost_query(&Query::scan(li), &Configuration::empty());
+        assert_eq!(o.what_if_calls(), 2);
+        o.reset_call_counter();
+        assert_eq!(o.what_if_calls(), 0);
+    }
+
+    #[test]
+    fn update_cost_includes_maintenance() {
+        let o = opt();
+        let s = o.schema();
+        let w = UpdateGen::new(1).generate(s, 1);
+        let (_, stmt, _) = w.iter().next().unwrap();
+        let Statement::Update(u) = stmt else { panic!() };
+        let empty_cost = o.cost_statement(stmt, &Configuration::empty());
+        // Add an index on a SET column: cost must rise by its ucost.
+        let ix = Index::secondary(u.table(), vec![u.set_columns[0]]);
+        let mut cfg = Configuration::empty();
+        cfg.insert(ix.clone());
+        let with_ix = o.cost_statement(stmt, &cfg);
+        let ucost = o.ucost(u, &ix);
+        assert!(ucost > 0.0);
+        // The shell may get cheaper with the index, but the maintenance term
+        // must be present.
+        assert!(with_ix + 1e-9 >= empty_cost - o.cost_query(&u.shell, &Configuration::empty())
+            + o.cost_query(&u.shell, &cfg) + ucost - 1e-9);
+    }
+
+    #[test]
+    fn unaffected_index_has_zero_ucost() {
+        let o = opt();
+        let s = o.schema();
+        let w = UpdateGen::new(2).generate(s, 1);
+        let (_, stmt, _) = w.iter().next().unwrap();
+        let Statement::Update(u) = stmt else { panic!() };
+        let other_table = s
+            .tables()
+            .iter()
+            .find(|t| t.id != u.table())
+            .unwrap()
+            .id;
+        let ix = Index::secondary(other_table, vec![cophy_catalog::ColumnId(0)]);
+        assert_eq!(o.ucost(u, &ix), 0.0);
+    }
+
+    #[test]
+    fn perf_positive_for_useful_indexes() {
+        let o = opt();
+        let s = o.schema();
+        let ord = s.table_by_name("orders").unwrap().id;
+        let ck = s.resolve("orders.o_custkey").unwrap();
+        let mut wl = Workload::new();
+        for v in 0..10 {
+            let mut q = Query::scan(ord);
+            q.predicates.push(Predicate::eq(ck, f64::from(v)));
+            q.projections.push(s.resolve("orders.o_totalprice").unwrap());
+            wl.push(Statement::Select(q));
+        }
+        let mut cfg = Configuration::empty();
+        cfg.insert(Index::secondary(ord, vec![ck.column]));
+        let p = o.perf(&wl, &cfg);
+        assert!(p > 0.5, "selective index should cut most of the cost, got {p}");
+        // Empty configuration yields zero improvement.
+        assert!(o.perf(&wl, &Configuration::empty()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn workload_cost_is_weighted_sum() {
+        let o = opt();
+        let s = o.schema();
+        let w = HomGen::new(4).generate(s, 10);
+        let total = o.cost_workload(&w, &Configuration::empty());
+        let manual: f64 = w
+            .iter()
+            .map(|(_, stmt, f)| f * o.cost_statement(stmt, &Configuration::empty()))
+            .sum();
+        assert!((total - manual).abs() < 1e-6);
+    }
+}

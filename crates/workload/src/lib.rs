@@ -1,0 +1,31 @@
+//! # cophy-workload
+//!
+//! The workload substrate: a structured query IR (SELECT and UPDATE
+//! statements, §2 of the paper) plus the two synthetic workload families of
+//! the evaluation:
+//!
+//! * [`HomGen`] — the *homogeneous* workload `W_hom`: random instantiations of
+//!   fifteen TPC-H-like query templates (the paper uses the TPC-H query
+//!   generator on fifteen templates);
+//! * [`HetGen`] — the *heterogeneous* workload `W_het`: structurally diverse
+//!   SPJ queries with group-by and aggregation, modeled on the online
+//!   index-selection benchmark's C2 suite [17];
+//! * [`UpdateGen`] — UPDATE statements, modeled as a query shell plus an
+//!   update shell with per-index maintenance costs (§2).
+//!
+//! Statements observe the paper's simplifying assumption that each statement
+//! references a table at most once; generators enforce it by construction and
+//! [`Query::validate`] checks it.
+
+pub mod gen_het;
+pub mod gen_hom;
+pub mod gen_update;
+pub mod query;
+pub mod sql;
+pub mod workload;
+
+pub use gen_het::HetGen;
+pub use gen_hom::HomGen;
+pub use gen_update::UpdateGen;
+pub use query::{AggFunc, Aggregate, Join, PredOp, Predicate, Query, Statement, UpdateStatement};
+pub use workload::{QueryId, Workload};

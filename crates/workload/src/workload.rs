@@ -1,0 +1,148 @@
+//! Workloads: weighted statement collections.
+
+use serde::{Deserialize, Serialize};
+
+use crate::query::Statement;
+
+/// Dense identifier of a statement within a [`Workload`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct QueryId(pub u32);
+
+/// A representative workload `W`: statements with weights `f_q` (frequency or
+/// DBA-assigned importance, §2).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Workload {
+    statements: Vec<Statement>,
+    weights: Vec<f64>,
+}
+
+impl Workload {
+    pub fn new() -> Self {
+        Workload::default()
+    }
+
+    pub fn push(&mut self, stmt: Statement) -> QueryId {
+        self.push_weighted(stmt, 1.0)
+    }
+
+    pub fn push_weighted(&mut self, stmt: Statement, weight: f64) -> QueryId {
+        debug_assert!(weight > 0.0, "weights must be positive");
+        let id = QueryId(self.statements.len() as u32);
+        self.statements.push(stmt);
+        self.weights.push(weight);
+        id
+    }
+
+    pub fn len(&self) -> usize {
+        self.statements.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.statements.is_empty()
+    }
+
+    pub fn statement(&self, id: QueryId) -> &Statement {
+        &self.statements[id.0 as usize]
+    }
+
+    pub fn weight(&self, id: QueryId) -> f64 {
+        self.weights[id.0 as usize]
+    }
+
+    pub fn ids(&self) -> impl Iterator<Item = QueryId> {
+        (0..self.statements.len() as u32).map(QueryId)
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (QueryId, &Statement, f64)> {
+        self.statements
+            .iter()
+            .zip(self.weights.iter())
+            .enumerate()
+            .map(|(i, (s, w))| (QueryId(i as u32), s, *w))
+    }
+
+    /// Ids of SELECT statements and query shells (`W_r` in §2: the read side).
+    pub fn read_ids(&self) -> impl Iterator<Item = QueryId> + '_ {
+        self.ids() // every statement has a read shell
+    }
+
+    /// Ids of UPDATE statements (`W_u`).
+    pub fn update_ids(&self) -> impl Iterator<Item = QueryId> + '_ {
+        self.iter().filter(|(_, s, _)| s.is_update()).map(|(id, _, _)| id)
+    }
+
+    /// Take the first `n` statements (used to build the 250/500/1000-query
+    /// variants from one generated pool, as the paper does).
+    pub fn truncate(&self, n: usize) -> Workload {
+        Workload {
+            statements: self.statements.iter().take(n).cloned().collect(),
+            weights: self.weights.iter().take(n).copied().collect(),
+        }
+    }
+
+    /// Validate every statement's IR invariants.
+    pub fn validate(&self) -> Result<(), String> {
+        for (id, s, _) in self.iter() {
+            s.validate().map_err(|e| format!("statement {}: {e}", id.0))?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Statement> for Workload {
+    fn from_iter<T: IntoIterator<Item = Statement>>(iter: T) -> Self {
+        let mut w = Workload::new();
+        for s in iter {
+            w.push(s);
+        }
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{Query, Statement, UpdateStatement};
+    use cophy_catalog::{ColumnId, TpchGen};
+
+    #[test]
+    fn push_iterate_weights() {
+        let s = TpchGen::default().schema();
+        let li = s.table_by_name("lineitem").unwrap().id;
+        let mut w = Workload::new();
+        let a = w.push(Statement::Select(Query::scan(li)));
+        let b = w.push_weighted(Statement::Select(Query::scan(li)), 3.5);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.weight(a), 1.0);
+        assert_eq!(w.weight(b), 3.5);
+        assert_eq!(w.iter().count(), 2);
+        assert!(w.validate().is_ok());
+    }
+
+    #[test]
+    fn read_and_update_partition() {
+        let s = TpchGen::default().schema();
+        let li = s.table_by_name("lineitem").unwrap().id;
+        let mut w = Workload::new();
+        w.push(Statement::Select(Query::scan(li)));
+        w.push(Statement::Update(UpdateStatement {
+            shell: Query::scan(li),
+            set_columns: vec![ColumnId(4)],
+        }));
+        assert_eq!(w.read_ids().count(), 2); // every statement has a read shell
+        assert_eq!(w.update_ids().count(), 1);
+    }
+
+    #[test]
+    fn truncate_keeps_prefix() {
+        let s = TpchGen::default().schema();
+        let li = s.table_by_name("lineitem").unwrap().id;
+        let mut w = Workload::new();
+        for i in 0..10 {
+            w.push_weighted(Statement::Select(Query::scan(li)), 1.0 + i as f64);
+        }
+        let t = w.truncate(4);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.weight(QueryId(3)), 4.0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Interactive tuning: the DBA loop of paper §4.2 / Figure 6b.
+//!
+//! A tuning session keeps the INUM cache and the solver's warm state, so
+//! exploring "what if I add these hand-crafted indexes?", "what about a
+//! smaller budget?", "and with next week's queries?" costs a fraction of the
+//! initial run.
+//!
+//! ```sh
+//! cargo run --release -p cophy-examples --example interactive_tuning
+//! ```
+
+use std::time::Instant;
+
+use cophy::{CoPhy, CoPhyOptions, ConstraintSet};
+use cophy_catalog::{Index, TpchGen};
+use cophy_optimizer::{SystemProfile, WhatIfOptimizer};
+use cophy_workload::HomGen;
+
+fn main() {
+    let optimizer = WhatIfOptimizer::new(TpchGen::default().schema(), SystemProfile::A);
+    let schema = optimizer.schema();
+    let workload = HomGen::new(99).generate(schema, 80);
+
+    let cophy = CoPhy::new(&optimizer, CoPhyOptions::default());
+    let mut session = cophy.session(&workload, ConstraintSet::storage_fraction(schema, 1.0));
+
+    // --- initial recommendation -------------------------------------------
+    let t0 = Instant::now();
+    let r1 = session.recommend();
+    println!(
+        "initial: {} indexes, est. improvement {:.1}%, took {:?} (solve {:?})",
+        r1.configuration.len(),
+        r1.estimated_improvement() * 100.0,
+        t0.elapsed(),
+        r1.stats.solve_time
+    );
+
+    // --- DBA hands in pet indexes (S_DBA) ----------------------------------
+    let li = schema.table_by_name("lineitem").unwrap();
+    let sd = li.column_by_name("l_shipdate").unwrap();
+    let ok = li.column_by_name("l_orderkey").unwrap();
+    session.add_candidates([
+        Index::secondary(li.id, vec![sd, ok]),
+        Index::secondary(li.id, vec![ok, sd]),
+    ]);
+    let t1 = Instant::now();
+    let r2 = session.recommend();
+    println!(
+        "after +2 DBA candidates: {} indexes, est. {:.1}%, re-solve took {:?}",
+        r2.configuration.len(),
+        r2.estimated_improvement() * 100.0,
+        t1.elapsed()
+    );
+
+    // --- tighten the budget -------------------------------------------------
+    session.set_constraints(ConstraintSet::storage_fraction(schema, 0.25));
+    let t2 = Instant::now();
+    let r3 = session.recommend();
+    println!(
+        "after budget 1.0 → 0.25: {} indexes ({:.1} MB), est. {:.1}%, re-solve took {:?}",
+        r3.configuration.len(),
+        r3.configuration.size_bytes(schema) as f64 / 1e6,
+        r3.estimated_improvement() * 100.0,
+        t2.elapsed()
+    );
+
+    // --- next week's queries arrive -----------------------------------------
+    let monday = HomGen::new(100).generate(schema, 20);
+    session.add_statements(&monday);
+    let t3 = Instant::now();
+    let r4 = session.recommend();
+    println!(
+        "after +20 statements: {} statements total, est. {:.1}%, re-solve took {:?}",
+        session.n_statements(),
+        r4.estimated_improvement() * 100.0,
+        t3.elapsed()
+    );
+}
