@@ -16,7 +16,7 @@
 
 use std::time::{Duration, Instant};
 
-use cophy::{CandidateSet, CGen, ConstraintSet};
+use cophy::{CGen, CandidateSet, ConstraintSet};
 use cophy_bip::{Alt, Block, BlockProblem, LagrangianSolver, SlotChoices};
 use cophy_catalog::{Configuration, IndexId};
 use cophy_inum::{Inum, PreparedQuery, PreparedWorkload};
@@ -98,10 +98,7 @@ impl IlpAdvisor {
         stats.solve_time = ts.elapsed();
 
         let cfg = Configuration::from_indexes(
-            candidates
-                .iter()
-                .filter(|(id, _)| r.selected[id.0 as usize])
-                .map(|(_, ix)| ix.clone()),
+            candidates.iter().filter(|(id, _)| r.selected[id.0 as usize]).map(|(_, ix)| ix.clone()),
         );
         (cfg, stats)
     }
@@ -225,10 +222,7 @@ impl IlpAdvisor {
                         .choices
                         .iter()
                         .filter_map(|c| {
-                            c.map(|id| SlotChoices {
-                                fallback: None,
-                                choices: vec![(id.0, 0.0)],
-                            })
+                            c.map(|id| SlotChoices { fallback: None, choices: vec![(id.0, 0.0)] })
                         })
                         .collect();
                     Alt { base: pq.weight * cfg.cost, slots }
@@ -292,12 +286,8 @@ mod tests {
         let (o, w) = setup(10);
         let candidates = CGen::default().generate(o.schema(), &w);
         let constraints = ConstraintSet::storage_fraction(o.schema(), 1.0);
-        let (_, stats) = IlpAdvisor::default().recommend_with_stats(
-            &o,
-            &w,
-            &candidates,
-            &constraints,
-        );
+        let (_, stats) =
+            IlpAdvisor::default().recommend_with_stats(&o, &w, &candidates, &constraints);
         assert!(stats.configs_enumerated > stats.configs_kept);
         // Multi-table queries alone guarantee well over 5 configs/query.
         assert!(stats.configs_enumerated >= 10 * 5);
@@ -308,12 +298,8 @@ mod tests {
         let (o, w) = setup(12);
         let constraints = ConstraintSet::storage_fraction(o.schema(), 0.5);
         let candidates = CGen::default().generate(o.schema(), &w);
-        let (ilp_cfg, _) = IlpAdvisor::default().recommend_with_stats(
-            &o,
-            &w,
-            &candidates,
-            &constraints,
-        );
+        let (ilp_cfg, _) =
+            IlpAdvisor::default().recommend_with_stats(&o, &w, &candidates, &constraints);
         let cophy = CoPhy::new(&o, CoPhyOptions::default());
         let rec = cophy.tune_with_candidates(&w, &candidates, &constraints);
         let perf_ilp = o.perf(&w, &ilp_cfg);

@@ -45,11 +45,9 @@ impl ToolA {
     fn direct_cost(&self, o: &WhatIfOptimizer, w: &Workload, cfg: &Configuration) -> f64 {
         match self.eval_cap {
             None => o.cost_workload(w, cfg),
-            Some(cap) => w
-                .iter()
-                .take(cap)
-                .map(|(_, stmt, f)| f * o.cost_statement(stmt, cfg))
-                .sum(),
+            Some(cap) => {
+                w.iter().take(cap).map(|(_, stmt, f)| f * o.cost_statement(stmt, cfg)).sum()
+            }
         }
     }
 
@@ -161,10 +159,7 @@ impl Advisor for ToolA {
             }
             let Some((cand, cost, _)) = best else { break };
             steps += 1;
-            if over_budget {
-                current = cand;
-                current_cost = cost;
-            } else if cost < current_cost {
+            if over_budget || cost < current_cost {
                 current = cand;
                 current_cost = cost;
             } else {
@@ -175,10 +170,7 @@ impl Advisor for ToolA {
         // If the cap hit before reaching the budget, shed the worst indexes
         // by size until feasible (this is where quality collapses at scale).
         while current.size_bytes(schema) > budget {
-            let Some(victim) = current
-                .iter()
-                .max_by_key(|ix| ix.size_bytes(schema))
-                .cloned()
+            let Some(victim) = current.iter().max_by_key(|ix| ix.size_bytes(schema)).cloned()
             else {
                 break;
             };
@@ -210,8 +202,11 @@ mod tests {
         let o = WhatIfOptimizer::new(TpchGen::default().schema(), SystemProfile::A);
         let w = HomGen::new(4).generate(o.schema(), 6);
         o.reset_call_counter();
-        let _ = ToolA { max_steps: 10, ..Default::default() }
-            .recommend(&o, &w, &ConstraintSet::storage_fraction(o.schema(), 0.5));
+        let _ = ToolA { max_steps: 10, ..Default::default() }.recommend(
+            &o,
+            &w,
+            &ConstraintSet::storage_fraction(o.schema(), 0.5),
+        );
         // Black-box coupling: every relaxation step re-costs the workload.
         assert!(
             o.what_if_calls() > 6 * 10,

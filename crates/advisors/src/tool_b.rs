@@ -96,11 +96,8 @@ impl Advisor for ToolB {
 
         // Candidate proposal from the sample only.
         let gen = CGen { max_key_columns: 2, max_include_columns: 4 };
-        let mut candidates: Vec<Index> = gen
-            .generate(schema, &sample)
-            .iter()
-            .map(|(_, ix)| ix.clone())
-            .collect();
+        let mut candidates: Vec<Index> =
+            gen.generate(schema, &sample).iter().map(|(_, ix)| ix.clone()).collect();
         candidates.truncate(self.candidates_cap);
 
         // Greedy by benefit per byte.
@@ -165,8 +162,7 @@ mod tests {
         let o = WhatIfOptimizer::new(TpchGen::default().schema(), SystemProfile::B);
         let w = HomGen::new(6).generate(o.schema(), 60);
         let constraints = ConstraintSet::storage_fraction(o.schema(), 1.0);
-        let cfg = ToolB { sample_size: 15, ..Default::default() }
-            .recommend(&o, &w, &constraints);
+        let cfg = ToolB { sample_size: 15, ..Default::default() }.recommend(&o, &w, &constraints);
         assert!(constraints.check_configuration(o.schema(), &cfg).is_ok());
         assert!(o.perf(&w, &cfg) > 0.0);
     }
@@ -195,9 +191,6 @@ mod tests {
         let perf_het = o.perf(&het, &tool.recommend(&o, &het, &constraints));
         // The defining failure mode: sampling loses little on W_hom, a lot
         // on W_het.
-        assert!(
-            perf_hom > perf_het,
-            "expected hom {perf_hom} > het {perf_het} under compression"
-        );
+        assert!(perf_hom > perf_het, "expected hom {perf_hom} > het {perf_het} under compression");
     }
 }

@@ -12,7 +12,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cophy::{BipGen, CGen, ConstraintSet};
 use cophy_advisors::IlpAdvisor;
 use cophy_bench::{make_optimizer, make_workload, prepare_parallel, WorkloadKind};
-use cophy_bip::{BranchBound, LagrangianSolver, LinExpr, Model, Sense, SimplexSolver, SolveOptions};
+use cophy_bip::{
+    BranchBound, LagrangianSolver, LinExpr, Model, Sense, SimplexSolver, SolveOptions,
+};
 use cophy_catalog::Configuration;
 use cophy_optimizer::SystemProfile;
 
@@ -25,8 +27,7 @@ fn bench_inum(c: &mut Criterion) {
 
     let prepared = prepare_parallel(&o, &w);
     let cands = CGen::default().generate(o.schema(), &w);
-    let cfg: Configuration =
-        cands.iter().take(12).map(|(_, ix)| ix.clone()).collect();
+    let cfg: Configuration = cands.iter().take(12).map(|(_, ix)| ix.clone()).collect();
     c.bench_function("inum/cost_eval_20_queries", |b| {
         b.iter(|| prepared.cost(o.schema(), o.cost_model(), &cfg));
     });
@@ -56,9 +57,7 @@ fn bench_build(c: &mut Criterion) {
     });
     group.bench_function("cophy_block_problem_unpruned", |b| {
         let gen = BipGen { prune_dominated: false };
-        b.iter(|| {
-            gen.block_problem(o.schema(), o.cost_model(), &prepared, &cands, &constraints)
-        });
+        b.iter(|| gen.block_problem(o.schema(), o.cost_model(), &prepared, &cands, &constraints));
     });
     group.bench_function("cgen_30_queries", |b| {
         b.iter(|| CGen::default().generate(o.schema(), &w));
@@ -80,9 +79,8 @@ fn bench_solvers(c: &mut Criterion) {
     // Simplex on a dense-ish random LP.
     let mut m = Model::new();
     let n = 60;
-    let vars: Vec<_> = (0..n)
-        .map(|j| m.add_var(format!("v{j}"), ((j * 37) % 19) as f64 - 9.0))
-        .collect();
+    let vars: Vec<_> =
+        (0..n).map(|j| m.add_var(format!("v{j}"), ((j * 37) % 19) as f64 - 9.0)).collect();
     for i in 0..30 {
         let mut e = LinExpr::new();
         for (j, &v) in vars.iter().enumerate() {

@@ -1,7 +1,9 @@
 //! Runs the full experiment suite and prints an EXPERIMENTS.md-ready
 //! transcript (one section per table/figure).
+type Experiment = (&'static str, fn() -> String);
+
 fn main() {
-    let experiments: Vec<(&str, fn() -> String)> = vec![
+    let experiments: Vec<Experiment> = vec![
         ("Table 1", cophy_bench::table1),
         ("Figure 4", cophy_bench::fig4),
         ("Figure 5", cophy_bench::fig5),

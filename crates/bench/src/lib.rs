@@ -11,9 +11,11 @@
 //! too, but the default harness scale divides them by the `COPHY_SCALE`
 //! environment variable semantics:
 //!
-//! * `COPHY_SCALE=full` → 250/500/1000 (paper-exact sizes),
-//! * `COPHY_SCALE=std`  → 100/200/400,
-//! * unset              → 50/100/200 (CI-friendly).
+//! * `COPHY_SCALE=full`  → 250/500/1000 (paper-exact sizes),
+//! * `COPHY_SCALE=std`   → 100/200/400,
+//! * unset               → 50/100/200 (local default),
+//! * `COPHY_SCALE=smoke` → 6/12/24 (CI smoke: exercises every code path of
+//!   an experiment end-to-end in seconds; the numbers mean nothing).
 //!
 //! Absolute wall-clock numbers differ from the paper (different hardware,
 //! solver, DBMS); the claims under test are the *shapes*: who wins, by
@@ -21,7 +23,7 @@
 
 use std::time::{Duration, Instant};
 
-use cophy::{CandidateSet, CGen, ChordExplorer, CoPhy, CoPhyOptions, ConstraintSet};
+use cophy::{CGen, CandidateSet, ChordExplorer, CoPhy, CoPhyOptions, ConstraintSet};
 use cophy_advisors::{Advisor, IlpAdvisor, ToolA, ToolB};
 use cophy_catalog::{Configuration, Skew, TpchGen};
 use cophy_inum::{Inum, PreparedWorkload};
@@ -50,6 +52,7 @@ pub fn sizes() -> [usize; 3] {
     match std::env::var("COPHY_SCALE").as_deref() {
         Ok("full") => [250, 500, 1000],
         Ok("std") => [100, 200, 400],
+        Ok("smoke") => [6, 12, 24],
         _ => [50, 100, 200],
     }
 }
@@ -187,7 +190,7 @@ pub fn table1() -> String {
     out.push_str("z     workload      CoPhyA/ToolA   CoPhyB/ToolB\n");
     for z in [0.0, 2.0] {
         for kind in [WorkloadKind::Hom, WorkloadKind::Het] {
-            let mut row = format!("{z:<5} {kind}{n:<6}", );
+            let mut row = format!("{z:<5} {kind}{n:<6}",);
             // System A vs Tool-A
             let oa = make_optimizer(SystemProfile::A, z);
             let wa = make_workload(&oa, kind, n);
@@ -282,8 +285,7 @@ pub fn fig5() -> String {
             secs(cophy.total),
         ));
         let ilp = IlpAdvisor::default();
-        let ((_, stats), _) =
-            timed(|| ilp.recommend_with_stats(&o, &w, cands, &constraints));
+        let ((_, stats), _) = timed(|| ilp.recommend_with_stats(&o, &w, cands, &constraints));
         out.push_str(&format!(
             "{label:<7} ILP     {:<9} {:<9} {:<9} {:<9}\n",
             secs(stats.inum_time),
@@ -315,11 +317,7 @@ pub fn fig6a() -> String {
             .expect("feasible");
         out.push_str(&format!("W{n}:\n  t(ms)    gap(%)\n"));
         for p in rec.trace.iter().filter(|p| p.gap.is_finite()) {
-            out.push_str(&format!(
-                "  {:<8.1} {:.2}\n",
-                p.at.as_secs_f64() * 1e3,
-                p.gap * 100.0
-            ));
+            out.push_str(&format!("  {:<8.1} {:.2}\n", p.at.as_secs_f64() * 1e3, p.gap * 100.0));
         }
     }
     out
@@ -335,15 +333,10 @@ pub fn fig6b() -> String {
     let mut session = cophy.session(&w, ConstraintSet::storage_fraction(o.schema(), 1.0));
 
     // Reserve some candidates to inject later.
-    let s_all = CGen { max_key_columns: 3, max_include_columns: 6 }
-        .generate(o.schema(), &w);
+    let s_all = CGen { max_key_columns: 3, max_include_columns: 6 }.generate(o.schema(), &w);
     let mut extra = s_all.clone();
     extra.pad_random(o.schema(), s_all.len() + 120, 7);
-    let pool: Vec<_> = extra
-        .iter()
-        .skip(s_all.len())
-        .map(|(_, ix)| ix.clone())
-        .collect();
+    let pool: Vec<_> = extra.iter().skip(s_all.len()).map(|(_, ix)| ix.clone()).collect();
 
     let mut out = String::new();
     out.push_str(&format!("Figure 6b: re-solve time after candidate deltas (W_hom{n})\n"));
@@ -482,11 +475,7 @@ pub fn fig9() -> String {
         let c = ConstraintSet::storage_fraction(o.schema(), 1.0);
         let cophy_b = run_cophy(&o, &w, &c, None);
         let (_, perf_tb, _) = run_advisor(&ToolB::default(), &o, &w, &c);
-        out.push_str(&format!(
-            "{n:<6} {:<8.1} {:<8.1}\n",
-            perf_tb * 100.0,
-            cophy_b.perf * 100.0
-        ));
+        out.push_str(&format!("{n:<6} {:<8.1} {:<8.1}\n", perf_tb * 100.0, cophy_b.perf * 100.0));
     }
     out
 }
@@ -510,8 +499,7 @@ pub fn fig10() -> String {
             secs(cophy.total),
         ));
         let ilp = IlpAdvisor::default();
-        let ((_, stats), _) =
-            timed(|| ilp.recommend_with_stats(&o, &w, &cands, &constraints));
+        let ((_, stats), _) = timed(|| ilp.recommend_with_stats(&o, &w, &cands, &constraints));
         out.push_str(&format!(
             "{n:<6} ILP     {:<9} {:<9} {:<9} {:<9}\n",
             secs(stats.inum_time),

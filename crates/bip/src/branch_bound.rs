@@ -150,8 +150,7 @@ impl BranchBound {
         // Root rounding heuristic: round the LP point and repair nothing —
         // accept only if feasible. Cheap and surprisingly effective on
         // index-tuning BIPs where the LP is near-integral.
-        let rounded: Vec<f64> =
-            root.x.iter().map(|v| if *v >= 0.5 { 1.0 } else { 0.0 }).collect();
+        let rounded: Vec<f64> = root.x.iter().map(|v| if *v >= 0.5 { 1.0 } else { 0.0 }).collect();
         if model.feasible(&rounded, 1e-6) {
             let obj = model.objective_value(&rounded);
             incumbent = Some((obj, rounded));
@@ -177,10 +176,7 @@ impl BranchBound {
 
         while let Some(pos) = best_node(&frontier) {
             let node = frontier.swap_remove(pos);
-            global_bound = frontier
-                .iter()
-                .map(|nd| nd.bound)
-                .fold(node.bound, f64::min);
+            global_bound = frontier.iter().map(|nd| nd.bound).fold(node.bound, f64::min);
 
             // Check limits.
             if let Some(tl) = opts.time_limit {
@@ -340,11 +336,7 @@ mod tests {
         let x = m.add_var("x", -10.0);
         let y = m.add_var("y", -6.0);
         let z = m.add_var("z", -4.0);
-        m.add_constraint(
-            LinExpr::new().term(x, 5.0).term(y, 4.0).term(z, 3.0),
-            Sense::Le,
-            9.0,
-        );
+        m.add_constraint(LinExpr::new().term(x, 5.0).term(y, 4.0).term(z, 3.0), Sense::Le, 9.0);
         let r = BranchBound::new().solve(&m, &SolveOptions::default());
         assert_eq!(r.status, MipStatus::Optimal);
         let (expect, _) = m.brute_force().unwrap();
@@ -463,11 +455,8 @@ mod tests {
         }
         m.add_constraint(e, Sense::Le, 25.0);
         let mut gaps: Vec<f64> = Vec::new();
-        let r = BranchBound::new().solve_with_callback(
-            &m,
-            &SolveOptions::default(),
-            |p| gaps.push(p.gap),
-        );
+        let r = BranchBound::new()
+            .solve_with_callback(&m, &SolveOptions::default(), |p| gaps.push(p.gap));
         assert_eq!(r.status, MipStatus::Optimal);
         // incumbents improve monotonically
         let mut prev = f64::INFINITY;

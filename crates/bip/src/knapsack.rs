@@ -41,8 +41,7 @@ pub fn continuous_min(cost: &[f64], size: &[f64], budget: f64) -> (f64, Vec<f64>
 /// bound on the continuous optimum's magnitude but always integral.
 pub fn greedy_binary_min(cost: &[f64], size: &[f64], budget: f64) -> (f64, Vec<bool>) {
     let mut z = vec![false; cost.len()];
-    let mut order: Vec<usize> =
-        (0..cost.len()).filter(|&j| cost[j] < 0.0).collect();
+    let mut order: Vec<usize> = (0..cost.len()).filter(|&j| cost[j] < 0.0).collect();
     order.sort_by(|&a, &b| {
         let ra = cost[a] / size[a].max(1e-12);
         let rb = cost[b] / size[b].max(1e-12);
@@ -66,9 +65,8 @@ pub fn repair_to_budget(selected: &mut [bool], value: &[f64], size: &[f64], budg
     let mut used: f64 = (0..selected.len()).filter(|&j| selected[j]).map(|j| size[j]).sum();
     while used > budget {
         // Drop the selected item with the worst value-per-size.
-        let worst = (0..selected.len())
-            .filter(|&j| selected[j] && size[j] > 0.0)
-            .min_by(|&a, &b| {
+        let worst =
+            (0..selected.len()).filter(|&j| selected[j] && size[j] > 0.0).min_by(|&a, &b| {
                 let ra = value[a] / size[a];
                 let rb = value[b] / size[b];
                 ra.total_cmp(&rb)
@@ -120,8 +118,7 @@ mod tests {
             let (c_obj, _) = continuous_min(&cost, &size, budget);
             let (b_obj, sel) = greedy_binary_min(&cost, &size, budget);
             assert!(c_obj <= b_obj + 1e-9, "budget {budget}: {c_obj} > {b_obj}");
-            let used: f64 =
-                (0..sel.len()).filter(|&j| sel[j]).map(|j| size[j]).sum();
+            let used: f64 = (0..sel.len()).filter(|&j| sel[j]).map(|j| size[j]).sum();
             assert!(used <= budget + 1e-9);
         }
     }

@@ -97,8 +97,7 @@ impl BlockProblem {
     /// block is uninstantiable.
     pub fn evaluate(&self, sel: &[bool]) -> Option<f64> {
         debug_assert_eq!(sel.len(), self.n_items);
-        let items: f64 =
-            (0..self.n_items).filter(|&a| sel[a]).map(|a| self.item_cost[a]).sum();
+        let items: f64 = (0..self.n_items).filter(|&a| sel[a]).map(|a| self.item_cost[a]).sum();
         let mut total = items;
         for b in 0..self.blocks.len() {
             total += self.block_cost(b, sel)?;
@@ -294,28 +293,31 @@ impl LagrangianSolver {
             // Query part: per-block minimum under inflated γ; record winners.
             chosen.clear();
             let mut query_part = 0.0;
-            let mut ci = 0usize;
+            let mut ci = 0usize; // coordinate cursor; advances alt by alt
             for block in &p.blocks {
                 let mut block_best = f64::INFINITY;
                 let mut block_choice_range: Vec<u32> = Vec::new(); // chosen coords
                 let mut scratch: Vec<u32> = Vec::new();
                 for alt in &block.alts {
+                    // This alt's coords occupy [ci, ci + span), matching the
+                    // flattening order of `coord` above.
+                    let alt_start = ci;
+                    ci += alt.slots.iter().map(|s| s.choices.len()).sum::<usize>();
                     let mut val = alt.base;
                     scratch.clear();
                     let mut ok = true;
-                    let mut alt_ci = ci;
-                    // remember where this alt's coords begin
+                    let mut slot_ci = alt_start;
                     for slot in &alt.slots {
                         let mut sbest = slot.fallback;
                         let mut sbest_ci: Option<u32> = None;
                         for (off, &(_, gamma)) in slot.choices.iter().enumerate() {
-                            let inflated = gamma + mu[alt_ci + off];
+                            let inflated = gamma + mu[slot_ci + off];
                             if sbest.is_none_or(|c| inflated < c) {
                                 sbest = Some(inflated);
-                                sbest_ci = Some((alt_ci + off) as u32);
+                                sbest_ci = Some((slot_ci + off) as u32);
                             }
                         }
-                        alt_ci += slot.choices.len();
+                        slot_ci += slot.choices.len();
                         match sbest {
                             Some(c) => {
                                 val += c;
@@ -331,23 +333,16 @@ impl LagrangianSolver {
                     }
                     if ok && val < block_best {
                         block_best = val;
-                        block_choice_range = scratch.clone();
+                        block_choice_range = std::mem::take(&mut scratch);
                     }
                 }
                 debug_assert!(block_best.is_finite(), "block without feasible alternative");
                 query_part += block_best;
                 chosen.extend_from_slice(&block_choice_range);
-                // advance ci past every alt of this block
-                for alt in &block.alts {
-                    for slot in &alt.slots {
-                        ci += slot.choices.len();
-                    }
-                }
             }
 
             // z subproblem: continuous knapsack over reduced costs.
-            let zcost: Vec<f64> =
-                (0..n).map(|a| p.item_cost[a] - m_acc[a]).collect();
+            let zcost: Vec<f64> = (0..n).map(|a| p.item_cost[a] - m_acc[a]).collect();
             let (zobj, zfrac) = match p.budget {
                 Some(b) => knapsack::continuous_min(&zcost, &p.item_size, b),
                 None => {
@@ -420,13 +415,7 @@ impl LagrangianSolver {
         // Local search with the inverted index.
         if self.local_search_passes > 0 {
             let inv = p.item_blocks();
-            local_search(
-                p,
-                &inv,
-                &mut best_sel,
-                &mut best_ub,
-                self.local_search_passes,
-            );
+            local_search(p, &inv, &mut best_sel, &mut best_ub, self.local_search_passes);
             record(best_ub, best_lb, &mut trace);
         }
 
@@ -473,9 +462,8 @@ fn greedy_initial(p: &BlockProblem) -> Vec<bool> {
     let inv = p.item_blocks();
     let budget = p.budget.unwrap_or(f64::INFINITY);
     let mut sel = vec![false; p.n_items];
-    let mut cache: Vec<f64> = (0..p.blocks.len())
-        .map(|b| p.block_cost(b, &sel).unwrap_or(f64::INFINITY))
-        .collect();
+    let mut cache: Vec<f64> =
+        (0..p.blocks.len()).map(|b| p.block_cost(b, &sel).unwrap_or(f64::INFINITY)).collect();
     let mut used = 0.0f64;
 
     fn gain_per_byte(
@@ -533,7 +521,7 @@ fn greedy_initial(p: &BlockProblem) -> Vec<bool> {
 fn local_search(
     p: &BlockProblem,
     inv: &[Vec<u32>],
-    sel: &mut Vec<bool>,
+    sel: &mut [bool],
     best: &mut f64,
     passes: usize,
 ) {

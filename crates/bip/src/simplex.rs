@@ -349,10 +349,7 @@ impl Tableau {
                     // basic variable decreases toward its lower bound
                     let room = self.xb[i] - self.lo[bv];
                     let limit = (room / delta).max(0.0);
-                    if limit < t_max - 1e-12 {
-                        t_max = limit;
-                        leaving = Some((i, VarState::Lower));
-                    } else if bland && limit <= t_max && leaving.is_none() {
+                    if limit < t_max - 1e-12 || (bland && limit <= t_max && leaving.is_none()) {
                         t_max = limit;
                         leaving = Some((i, VarState::Lower));
                     }
@@ -520,11 +517,7 @@ impl SimplexSolver {
 
         let x = t.structural_x();
         let objective = model.objective_value(&x);
-        let status = match s2 {
-            LpStatus::Optimal => LpStatus::Optimal,
-            other => other,
-        };
-        LpResult { status, x, objective, iterations: it1 + it2 }
+        LpResult { status: s2, x, objective, iterations: it1 + it2 }
     }
 
     /// Feasibility check only (phase 1): is the relaxed polytope non-empty?

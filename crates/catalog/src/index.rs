@@ -141,8 +141,7 @@ impl Index {
     /// Human-readable name, e.g. `ix_lineitem(l_orderkey,l_suppkey)+inc2`.
     pub fn describe(&self, schema: &Schema) -> String {
         let table = schema.table(self.table);
-        let keys: Vec<&str> =
-            self.key.iter().map(|c| table.column(*c).name.as_str()).collect();
+        let keys: Vec<&str> = self.key.iter().map(|c| table.column(*c).name.as_str()).collect();
         let prefix = if self.is_clustered() { "cix" } else { "ix" };
         let mut s = format!("{prefix}_{}({})", table.name, keys.join(","));
         if !self.include.is_empty() {
@@ -210,8 +209,7 @@ mod tests {
     fn sizes_scale_with_columns() {
         let s = schema();
         let narrow = Index::secondary(TableId(0), vec![ColumnId(0)]);
-        let wide =
-            Index::covering(TableId(0), vec![ColumnId(0)], vec![ColumnId(1), ColumnId(2)]);
+        let wide = Index::covering(TableId(0), vec![ColumnId(0)], vec![ColumnId(1), ColumnId(2)]);
         assert!(wide.size_bytes(&s) > narrow.size_bytes(&s));
         let clustered = Index::clustered(TableId(0), vec![ColumnId(0)]);
         assert_eq!(clustered.size_bytes(&s), s.table(TableId(0)).heap_bytes());

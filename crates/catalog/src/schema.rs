@@ -118,10 +118,7 @@ impl Table {
 
     /// Find a column id by name; `None` if absent.
     pub fn column_by_name(&self, name: &str) -> Option<ColumnId> {
-        self.columns
-            .iter()
-            .position(|c| c.name == name)
-            .map(|i| ColumnId(i as u32))
+        self.columns.iter().position(|c| c.name == name).map(|i| ColumnId(i as u32))
     }
 }
 

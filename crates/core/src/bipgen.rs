@@ -137,14 +137,10 @@ impl BipGen {
                 let tpl = &pq.templates[k];
                 let mut slots = Vec::with_capacity(tpl.slots.len());
                 for s in 0..tpl.slots.len() {
-                    let (fallback, choices) =
-                        self.slot_choices(schema, cm, pq, k, s, candidates);
+                    let (fallback, choices) = self.slot_choices(schema, cm, pq, k, s, candidates);
                     slots.push(SlotChoices {
                         fallback: fallback.map(|f| pq.weight * f),
-                        choices: choices
-                            .into_iter()
-                            .map(|(a, g)| (a, pq.weight * g))
-                            .collect(),
+                        choices: choices.into_iter().map(|(a, g)| (a, pq.weight * g)).collect(),
                     });
                 }
                 alts.push(Alt { base: pq.weight * tpl.internal_cost, slots });
@@ -212,23 +208,16 @@ impl BipGen {
 
             for (k, tpl) in pq.templates.iter().enumerate() {
                 for s in 0..tpl.slots.len() {
-                    let (fallback, choices) =
-                        self.slot_choices(schema, cm, pq, k, s, candidates);
+                    let (fallback, choices) = self.slot_choices(schema, cm, pq, k, s, candidates);
                     let mut xsum = LinExpr::new();
                     if let Some(h) = fallback {
-                        let xh = m.add_var(
-                            format!("x_q{qi}_k{k}_s{s}_heap"),
-                            pq.weight * h,
-                        );
+                        let xh = m.add_var(format!("x_q{qi}_k{k}_s{s}_heap"), pq.weight * h);
                         cost_expr.add(xh, h);
                         xsum.add(xh, 1.0);
                         n_x += 1;
                     }
                     for (a, g) in choices {
-                        let xv = m.add_var(
-                            format!("x_q{qi}_k{k}_s{s}_a{a}"),
-                            pq.weight * g,
-                        );
+                        let xv = m.add_var(format!("x_q{qi}_k{k}_s{s}_a{a}"), pq.weight * g);
                         cost_expr.add(xv, g);
                         xsum.add(xv, 1.0);
                         n_x += 1;
@@ -308,10 +297,7 @@ mod tests {
         let mut best = f64::INFINITY;
         for mask in 0..(1u32 << candidates.len()) {
             let cfg = Configuration::from_indexes(
-                candidates
-                    .iter()
-                    .filter(|(id, _)| mask >> id.0 & 1 == 1)
-                    .map(|(_, ix)| ix.clone()),
+                candidates.iter().filter(|(id, _)| mask >> id.0 & 1 == 1).map(|(_, ix)| ix.clone()),
             );
             if constraints.check_configuration(o.schema(), &cfg).is_err() {
                 continue;
@@ -341,8 +327,7 @@ mod tests {
         let r = BranchBound::new().solve(&model, &SolveOptions::default());
         assert_eq!(r.status, cophy_bip::MipStatus::Optimal);
 
-        let fixed: f64 =
-            prepared.queries.iter().map(|pq| pq.weight * pq.fixed_update_cost).sum();
+        let fixed: f64 = prepared.queries.iter().map(|pq| pq.weight * pq.fixed_update_cost).sum();
         let expect = brute_force_tuning(&o, &prepared, &candidates, &constraints);
         assert!(
             (r.objective + fixed - expect).abs() / expect < 1e-6,
@@ -365,22 +350,13 @@ mod tests {
         let constraints = ConstraintSet::storage_fraction(o.schema(), 0.2);
 
         let gen = BipGen::default();
-        let tp = gen.block_problem(
-            o.schema(),
-            o.cost_model(),
-            &prepared,
-            &candidates,
-            &constraints,
-        );
+        let tp =
+            gen.block_problem(o.schema(), o.cost_model(), &prepared, &candidates, &constraints);
         // Block evaluation at a selection == INUM cost of the configuration.
         for mask in [0u32, 1, 3, 5, 0b1010101010] {
-            let sel: Vec<bool> =
-                (0..candidates.len()).map(|a| mask >> a & 1 == 1).collect();
+            let sel: Vec<bool> = (0..candidates.len()).map(|a| mask >> a & 1 == 1).collect();
             let cfg = Configuration::from_indexes(
-                candidates
-                    .iter()
-                    .filter(|(id, _)| sel[id.0 as usize])
-                    .map(|(_, ix)| ix.clone()),
+                candidates.iter().filter(|(id, _)| sel[id.0 as usize]).map(|(_, ix)| ix.clone()),
             );
             let block_cost = tp.block.evaluate(&sel).unwrap() + tp.fixed_cost;
             let inum_cost = prepared.cost(o.schema(), o.cost_model(), &cfg);
@@ -455,8 +431,7 @@ mod tests {
 
         let small = inum.prepare_workload(&w.truncate(4));
         let big = inum.prepare_workload(&w);
-        let (ms, _) =
-            gen.model(o.schema(), o.cost_model(), &small, &candidates, &constraints);
+        let (ms, _) = gen.model(o.schema(), o.cost_model(), &small, &candidates, &constraints);
         let (mb, _) = gen.model(o.schema(), o.cost_model(), &big, &candidates, &constraints);
         // Doubling queries should roughly double variables (never explode).
         assert!(mb.n_vars() <= ms.n_vars() * 3 + candidates.len());

@@ -137,21 +137,14 @@ impl CGen {
     pub fn per_query(&self, schema: &Schema, q: &Query, out: &mut CandidateSet) {
         for &t in &q.tables {
             let eq_cols = q.eq_columns_on(t);
-            let range_cols: Vec<ColumnId> = q
-                .predicates_on(t)
-                .filter(|p| !p.is_eq())
-                .map(|p| p.column.column)
-                .collect();
+            let range_cols: Vec<ColumnId> =
+                q.predicates_on(t).filter(|p| !p.is_eq()).map(|p| p.column.column).collect();
             let join_cols: Vec<ColumnId> =
                 q.joins_on(t).filter_map(|j| j.side(t)).map(|(l, _)| l.column).collect();
             let group_cols: Vec<ColumnId> =
                 q.group_by.iter().filter(|c| c.table == t).map(|c| c.column).collect();
-            let order_cols: Vec<ColumnId> = q
-                .order_by
-                .iter()
-                .take_while(|c| c.table == t)
-                .map(|c| c.column)
-                .collect();
+            let order_cols: Vec<ColumnId> =
+                q.order_by.iter().take_while(|c| c.table == t).map(|c| c.column).collect();
             let used = q.columns_used_on(t);
 
             // 1. Single-column candidates on every interesting column.

@@ -28,6 +28,11 @@ pub enum Cmp {
     Eq,
 }
 
+/// One linear constraint row over candidate positions, as consumed by the
+/// BIP generator: `(terms, cmp, rhs)` with terms `(candidate position,
+/// coefficient)`.
+pub type LinearRow = (Vec<(usize, f64)>, Cmp, f64);
+
 /// A declarative filter selecting the candidate subset `Sc ⊂ S` a constraint
 /// applies to (the paper's Filters, E.3).
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -194,11 +199,7 @@ impl ConstraintSet {
 
     /// Translate the z-only constraints into linear rows over the candidate
     /// set: `(terms, cmp, rhs)` with terms `(candidate position, coeff)`.
-    pub fn z_rows(
-        &self,
-        schema: &Schema,
-        candidates: &CandidateSet,
-    ) -> Vec<(Vec<(usize, f64)>, Cmp, f64)> {
+    pub fn z_rows(&self, schema: &Schema, candidates: &CandidateSet) -> Vec<LinearRow> {
         let mut rows = Vec::new();
         for c in &self.hard {
             match c {
@@ -275,11 +276,8 @@ mod tests {
         assert!(IndexFilter { min_columns: Some(2), ..Default::default() }.matches(&ix));
         assert!(!IndexFilter { min_columns: Some(3), ..Default::default() }.matches(&ix));
         assert!(!IndexFilter { max_columns: Some(1), ..Default::default() }.matches(&ix));
-        assert!(IndexFilter {
-            key_contains: Some((li, ColumnId(10))),
-            ..Default::default()
-        }
-        .matches(&ix));
+        assert!(IndexFilter { key_contains: Some((li, ColumnId(10))), ..Default::default() }
+            .matches(&ix));
         assert!(!IndexFilter { clustered_only: true, ..Default::default() }.matches(&ix));
     }
 
@@ -297,13 +295,11 @@ mod tests {
         let li = s.table_by_name("lineitem").unwrap().id;
         let ix = Index::secondary(li, vec![ColumnId(0)]);
         let cfg = Configuration::from_indexes([ix.clone()]);
-        let tight = ConstraintSet::none().with(Constraint::Storage {
-            budget_bytes: ix.size_bytes(&s) - 1,
-        });
+        let tight =
+            ConstraintSet::none().with(Constraint::Storage { budget_bytes: ix.size_bytes(&s) - 1 });
         assert!(tight.check_configuration(&s, &cfg).is_err());
-        let loose = ConstraintSet::none().with(Constraint::Storage {
-            budget_bytes: ix.size_bytes(&s) + 1,
-        });
+        let loose =
+            ConstraintSet::none().with(Constraint::Storage { budget_bytes: ix.size_bytes(&s) + 1 });
         assert!(loose.check_configuration(&s, &cfg).is_ok());
 
         let count = ConstraintSet::none().with(Constraint::IndexCount {

@@ -47,7 +47,7 @@ pub mod soft;
 pub mod solver;
 
 pub use bipgen::{BipGen, BipMapping, TuningProblem};
-pub use cgen::{CandidateSet, CGen};
+pub use cgen::{CGen, CandidateSet};
 pub use constraints::{Cmp, Constraint, ConstraintSet, IndexFilter};
 pub use session::TuningSession;
 pub use soft::{ChordExplorer, ParetoPoint};

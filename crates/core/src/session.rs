@@ -119,8 +119,7 @@ impl<'o, 'c> TuningSession<'o, 'c> {
         self.warm = Some(warm);
 
         let configuration = selection_to_config(&r.selected, &self.candidates);
-        let baseline_cost =
-            self.prepared.cost(schema, cm, &cophy_catalog::Configuration::empty());
+        let baseline_cost = self.prepared.cost(schema, cm, &cophy_catalog::Configuration::empty());
         Recommendation {
             configuration,
             objective: r.objective + tp.fixed_cost,
@@ -157,8 +156,7 @@ mod tests {
         let o = setup();
         let w = HomGen::new(31).generate(o.schema(), 20);
         let cophy = CoPhy::new(&o, CoPhyOptions::default());
-        let mut session =
-            cophy.session(&w, ConstraintSet::storage_fraction(o.schema(), 0.5));
+        let mut session = cophy.session(&w, ConstraintSet::storage_fraction(o.schema(), 0.5));
         let r1 = session.recommend();
         assert!(r1.objective < r1.baseline_cost);
 
@@ -182,8 +180,7 @@ mod tests {
         let o = setup();
         let w = HomGen::new(32).generate(o.schema(), 30);
         let cophy = CoPhy::new(&o, CoPhyOptions::default());
-        let mut session =
-            cophy.session(&w, ConstraintSet::storage_fraction(o.schema(), 1.0));
+        let mut session = cophy.session(&w, ConstraintSet::storage_fraction(o.schema(), 1.0));
         let r1 = session.recommend();
         let cold_solve = r1.stats.solve_time;
         // Small delta: a couple of random candidates.
@@ -206,8 +203,7 @@ mod tests {
         let o = setup();
         let w = HomGen::new(33).generate(o.schema(), 10);
         let cophy = CoPhy::new(&o, CoPhyOptions::default());
-        let mut session =
-            cophy.session(&w, ConstraintSet::storage_fraction(o.schema(), 1.0));
+        let mut session = cophy.session(&w, ConstraintSet::storage_fraction(o.schema(), 1.0));
         let r1 = session.recommend();
         let more = HomGen::new(34).generate(o.schema(), 5);
         session.add_statements(&more);
@@ -223,8 +219,7 @@ mod tests {
         let o = setup();
         let w = HomGen::new(35).generate(o.schema(), 15);
         let cophy = CoPhy::new(&o, CoPhyOptions::default());
-        let mut session =
-            cophy.session(&w, ConstraintSet::storage_fraction(o.schema(), 1.0));
+        let mut session = cophy.session(&w, ConstraintSet::storage_fraction(o.schema(), 1.0));
         let _ = session.recommend();
         session.set_constraints(ConstraintSet::storage_fraction(o.schema(), 0.02));
         let r = session.recommend();

@@ -83,29 +83,29 @@ impl ChordExplorer {
 
         let mut warm: Option<WarmStart> = None;
         let mut solves = 0usize;
-        let solve_at = |lambda: f64, warm: &mut Option<WarmStart>, solves: &mut usize| -> ParetoPoint {
-            *solves += 1;
-            let t0 = Instant::now();
-            let scaled = reweight(&tp.block, lambda, scale);
-            let solver = LagrangianSolver {
-                max_iters: cophy.options.max_lagrangian_iters,
-                gap_limit: cophy.options.gap_limit,
-                ..Default::default()
+        let solve_at =
+            |lambda: f64, warm: &mut Option<WarmStart>, solves: &mut usize| -> ParetoPoint {
+                *solves += 1;
+                let t0 = Instant::now();
+                let scaled = reweight(&tp.block, lambda, scale);
+                let solver = LagrangianSolver {
+                    max_iters: cophy.options.max_lagrangian_iters,
+                    gap_limit: cophy.options.gap_limit,
+                    ..Default::default()
+                };
+                let (r, w) = solver.solve_warm(&scaled, warm.as_ref());
+                *warm = Some(w);
+                let configuration = selection_to_config(&r.selected, candidates);
+                let workload_cost = prepared.cost(schema, cm, &configuration);
+                let size_bytes = configuration.size_bytes(schema);
+                ParetoPoint {
+                    lambda,
+                    configuration,
+                    workload_cost,
+                    size_bytes,
+                    solve_time: t0.elapsed(),
+                }
             };
-            let (r, w) = solver.solve_warm(&scaled, warm.as_ref());
-            *warm = Some(w);
-            let configuration = selection_to_config(&r.selected, candidates);
-            let workload_cost =
-                prepared.cost(schema, cm, &configuration);
-            let size_bytes = configuration.size_bytes(schema);
-            ParetoPoint {
-                lambda,
-                configuration,
-                workload_cost,
-                size_bytes,
-                solve_time: t0.elapsed(),
-            }
-        };
 
         // Extremes: λ→0 is the empty configuration by construction; solve it
         // analytically to save a solver call.

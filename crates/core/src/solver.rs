@@ -22,7 +22,7 @@ use cophy_optimizer::WhatIfOptimizer;
 use cophy_workload::Workload;
 
 use crate::bipgen::BipGen;
-use crate::cgen::{CandidateSet, CGen};
+use crate::cgen::{CGen, CandidateSet};
 use crate::constraints::{Cmp, ConstraintSet};
 use crate::session::TuningSession;
 
@@ -198,13 +198,8 @@ impl<'o> CoPhy<'o> {
 
         let (configuration, objective, bound, gap, trace, build_time, solve_time, n_vars);
         if use_lagrangian {
-            let tp = self.options.bipgen.block_problem(
-                schema,
-                cm,
-                prepared,
-                candidates,
-                constraints,
-            );
+            let tp =
+                self.options.bipgen.block_problem(schema, cm, prepared, candidates, constraints);
             build_time = tb.elapsed();
             let ts = Instant::now();
             let solver = LagrangianSolver {
@@ -281,8 +276,7 @@ impl<'o> CoPhy<'o> {
             return Ok(());
         }
         let mut m = Model::new();
-        let z: Vec<_> =
-            (0..candidates.len()).map(|a| m.add_var(format!("z{a}"), 0.0)).collect();
+        let z: Vec<_> = (0..candidates.len()).map(|a| m.add_var(format!("z{a}"), 0.0)).collect();
         for (terms, cmp, rhs) in &rows {
             let mut e = LinExpr::new();
             for (pos, c) in terms {
@@ -311,10 +305,7 @@ impl<'o> CoPhy<'o> {
 /// Convert a Lagrangian selection vector into a configuration.
 pub(crate) fn selection_to_config(sel: &[bool], candidates: &CandidateSet) -> Configuration {
     Configuration::from_indexes(
-        candidates
-            .iter()
-            .filter(|(id, _)| sel[id.0 as usize])
-            .map(|(_, ix)| ix.clone()),
+        candidates.iter().filter(|(id, _)| sel[id.0 as usize]).map(|(_, ix)| ix.clone()),
     )
 }
 

@@ -1,0 +1,71 @@
+//! Workspace-surface test: every public crate is importable, and the
+//! Quick-start snippet from `crates/core/src/lib.rs` (also shown in the root
+//! README) works verbatim through the public API.  If the doctest, the
+//! README and this test ever disagree, CI fails.
+
+use cophy::{CoPhy, CoPhyOptions, ConstraintSet};
+use cophy_catalog::TpchGen;
+use cophy_optimizer::{SystemProfile, WhatIfOptimizer};
+use cophy_workload::HomGen;
+
+/// The Quick-start snippet, line for line (keep in sync with the `cophy`
+/// crate docs and README.md).
+#[test]
+fn quickstart_snippet_roundtrips() {
+    let optimizer = WhatIfOptimizer::new(TpchGen::default().schema(), SystemProfile::A);
+    let workload = HomGen::new(1).generate(optimizer.schema(), 20);
+    let cophy = CoPhy::new(&optimizer, CoPhyOptions::default());
+    // storage budget = 0.5 × data size
+    let constraints = ConstraintSet::storage_fraction(optimizer.schema(), 0.5);
+    let rec = cophy.tune(&workload, &constraints);
+    assert!(rec.objective <= rec.baseline_cost * 1.0 + 1e-6);
+    println!("{} indexes, gap {:.1}%", rec.configuration.len(), rec.gap * 100.0);
+
+    // Beyond the snippet: the recommendation is non-trivial and feasible.
+    assert!(!rec.configuration.is_empty(), "quick start should recommend indexes");
+    assert!(constraints.check_configuration(optimizer.schema(), &rec.configuration).is_ok());
+}
+
+/// One symbol from each public crate of the workspace, so a broken
+/// manifest edge or module wiring fails this single test.
+#[test]
+fn every_public_crate_is_reachable() {
+    // cophy-catalog
+    let schema = TpchGen::default().schema();
+    assert!(schema.n_tables() >= 8, "TPC-H has 8 tables");
+    let cfg = cophy_catalog::Configuration::baseline(&schema);
+    assert!(!cfg.is_empty());
+
+    // cophy-workload
+    let w = HomGen::new(7).generate(&schema, 5);
+    assert_eq!(w.len(), 5);
+
+    // cophy-optimizer
+    let o = WhatIfOptimizer::new(schema.clone(), SystemProfile::B);
+    let plan_cost = o.cost_workload(&w, &cfg);
+    assert!(plan_cost.is_finite() && plan_cost > 0.0);
+
+    // cophy-inum
+    let inum = cophy_inum::Inum::new(&o);
+    let prepared = inum.prepare_workload(&w);
+    assert_eq!(prepared.queries.len(), w.len());
+
+    // cophy (core) + cophy-bip
+    let cands = cophy::CGen::default().generate(o.schema(), &w);
+    assert!(!cands.is_empty());
+    let constraints = ConstraintSet::storage_fraction(o.schema(), 0.3);
+    let (model, _mapping) =
+        cophy::BipGen::default().model(o.schema(), o.cost_model(), &prepared, &cands, &constraints);
+    let r = cophy_bip::BranchBound::new().solve(&model, &cophy_bip::SolveOptions::default());
+    assert_eq!(r.status, cophy_bip::MipStatus::Optimal);
+
+    // cophy-advisors
+    use cophy_advisors::Advisor;
+    let greedy = cophy_advisors::ToolB::default();
+    let rec = greedy.recommend(&o, &w, &constraints);
+    assert!(constraints.check_configuration(o.schema(), &rec).is_ok());
+
+    // cophy-bench (harness helpers)
+    let sizes = cophy_bench::sizes();
+    assert!(sizes[0] < sizes[1] && sizes[1] < sizes[2]);
+}

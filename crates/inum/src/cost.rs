@@ -47,7 +47,8 @@ impl PreparedQuery {
     /// Read-side cost: `min_k { β_qk + Σ_i min_a γ_qkia }` over `a ∈ X_i ∪
     /// {I∅}`.  Always finite thanks to the unconstrained template.
     pub fn read_cost(&self, schema: &Schema, cm: &CostModel, config: &Configuration) -> f64 {
-        self.breakdown(schema, cm, config).total - self.maintenance_cost(schema, cm, config)
+        self.breakdown(schema, cm, config).total
+            - self.maintenance_cost(schema, cm, config)
             - self.fixed_update_cost
     }
 
@@ -62,7 +63,12 @@ impl PreparedQuery {
     }
 
     /// Explain the winning template and per-slot access choices.
-    pub fn breakdown(&self, schema: &Schema, cm: &CostModel, config: &Configuration) -> CostBreakdown {
+    pub fn breakdown(
+        &self,
+        schema: &Schema,
+        cm: &CostModel,
+        config: &Configuration,
+    ) -> CostBreakdown {
         let indexes: Vec<&Index> = config.iter().collect();
         let mut best: Option<CostBreakdown> = None;
 
@@ -161,8 +167,7 @@ mod tests {
         let w = HomGen::new(4).generate(o.schema(), 20);
         let pw = inum.prepare_workload(&w);
         for pq in &pw.queries {
-            let inum_cost =
-                pq.cost(o.schema(), o.cost_model(), &Configuration::empty());
+            let inum_cost = pq.cost(o.schema(), o.cost_model(), &Configuration::empty());
             let direct = o.cost_query(&pq.query, &Configuration::empty());
             let ratio = inum_cost / direct;
             assert!(

@@ -49,11 +49,8 @@ pub fn ideal_index(schema: &Schema, q: &Query, table: TableId, order: &[ColumnId
         key.push(used.first().copied().unwrap_or(ColumnId(0)));
     }
     // 4. Covering payload.
-    let include: Vec<ColumnId> = q
-        .columns_used_on(table)
-        .into_iter()
-        .filter(|c| !key.contains(c))
-        .collect();
+    let include: Vec<ColumnId> =
+        q.columns_used_on(table).into_iter().filter(|c| !key.contains(c)).collect();
     Index::covering(table, key, include)
 }
 

@@ -13,7 +13,7 @@
 
 use cophy_catalog::{ColumnId, Configuration, Schema};
 use cophy_optimizer::WhatIfOptimizer;
-use cophy_workload::{QueryId, Query, Statement, UpdateStatement, Workload};
+use cophy_workload::{Query, QueryId, Statement, UpdateStatement, Workload};
 
 use crate::ideal::ideal_config;
 use crate::template::{Slot, TemplatePlan};
@@ -75,24 +75,15 @@ impl<'o> Inum<'o> {
                 (Some((u.clone(), rows)), self.opt.base_update_cost(u))
             }
         };
-        PreparedQuery {
-            qid,
-            weight,
-            query: q,
-            templates,
-            update,
-            fixed_update_cost: fixed,
-        }
+        PreparedQuery { qid, weight, query: q, templates, update, fixed_update_cost: fixed }
     }
 
     /// Prepare every statement of `w` (sequentially; callers may shard the
     /// workload across threads — `PreparedQuery` is `Send`).
     pub fn prepare_workload(&self, w: &Workload) -> PreparedWorkload {
         let before = self.opt.what_if_calls();
-        let queries = w
-            .iter()
-            .map(|(qid, stmt, weight)| self.prepare_statement(qid, stmt, weight))
-            .collect();
+        let queries =
+            w.iter().map(|(qid, stmt, weight)| self.prepare_statement(qid, stmt, weight)).collect();
         PreparedWorkload { queries, what_if_calls: self.opt.what_if_calls() - before }
     }
 
@@ -207,9 +198,7 @@ mod tests {
         let pw = inum.prepare_workload(&w);
         for pq in &pw.queries {
             assert!(
-                pq.templates
-                    .iter()
-                    .any(|t| t.slots.iter().all(|s| s.required.is_empty())),
+                pq.templates.iter().any(|t| t.slots.iter().all(|s| s.required.is_empty())),
                 "query {:?} lacks an I∅-instantiable template",
                 pq.qid
             );

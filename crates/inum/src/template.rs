@@ -1,8 +1,8 @@
 //! Template plans: the unit of INUM's cache.
 
 use cophy_catalog::{ColumnId, Index, Schema, TableId};
-use cophy_workload::Query;
 use cophy_optimizer::{access, CostModel};
+use cophy_workload::Query;
 use serde::{Deserialize, Serialize};
 
 /// One leaf slot of a template plan.

@@ -70,9 +70,7 @@ fn analyze_sargs(schema: &Schema, q: &Query, table: TableId, ix: &Index) -> Sarg
 
     // Bind equality predicates along the key prefix.
     for key_col in &ix.key {
-        match preds.iter().position(|p| {
-            p.column.column == *key_col && p.is_eq()
-        }) {
+        match preds.iter().position(|p| p.column.column == *key_col && p.is_eq()) {
             Some(pi) if !matched[pi] => {
                 matched[pi] = true;
                 matched_sel *= preds[pi].selectivity(schema);
@@ -84,11 +82,9 @@ fn analyze_sargs(schema: &Schema, q: &Query, table: TableId, ix: &Index) -> Sarg
     // One range predicate on the next key column extends the sargable prefix.
     if eq_bound < ix.key.len() {
         let next = ix.key[eq_bound];
-        if let Some(pi) = preds
-            .iter()
-            .enumerate()
-            .find_map(|(pi, p)| (!matched[pi] && p.column.column == next && !p.is_eq()).then_some(pi))
-        {
+        if let Some(pi) = preds.iter().enumerate().find_map(|(pi, p)| {
+            (!matched[pi] && p.column.column == next && !p.is_eq()).then_some(pi)
+        }) {
             matched[pi] = true;
             matched_sel *= preds[pi].selectivity(schema);
         }
@@ -138,12 +134,7 @@ pub fn heap_path(
         Some(cix) => {
             let eq = q.eq_columns_on(table);
             let bound = cix.eq_prefix_len(&eq);
-            Ordering(
-                cix.key[bound..]
-                    .iter()
-                    .map(|c| ColumnRef::new(table, *c))
-                    .collect(),
-            )
+            Ordering(cix.key[bound..].iter().map(|c| ColumnRef::new(table, *c)).collect())
         }
         None => Ordering::none(),
     };
@@ -175,12 +166,7 @@ pub fn path_for_index(
     // Delivered order: key suffix after the equality-bound prefix.
     let eq = q.eq_columns_on(table);
     let bound = ix.eq_prefix_len(&eq);
-    let order = Ordering(
-        ix.key[bound..]
-            .iter()
-            .map(|c| ColumnRef::new(table, *c))
-            .collect(),
-    );
+    let order = Ordering(ix.key[bound..].iter().map(|c| ColumnRef::new(table, *c)).collect());
 
     let sargable = sarg.matched_sel < 1.0 || sarg.eq_bound > 0 || {
         // A range predicate on the first key column is sargable even when
@@ -197,7 +183,13 @@ pub fn path_for_index(
         if !covering {
             cost += cm.heap_fetches(fetch_rows) + cm.filter(fetch_rows, sarg.n_residual);
         }
-        AccessPath { table, method: AccessMethod::IndexSeek(ix.clone()), cost, rows: rows_out, order }
+        AccessPath {
+            table,
+            method: AccessMethod::IndexSeek(ix.clone()),
+            cost,
+            rows: rows_out,
+            order,
+        }
     } else {
         // Full index scan: only sensible when covering (index-only) or when
         // the delivered order will be exploited — the caller decides the
@@ -211,7 +203,13 @@ pub fn path_for_index(
         if !covering {
             cost += cm.heap_fetches(fetch_rows) + cm.filter(fetch_rows, sarg.n_residual);
         }
-        AccessPath { table, method: AccessMethod::IndexScan(ix.clone()), cost, rows: rows_out, order }
+        AccessPath {
+            table,
+            method: AccessMethod::IndexScan(ix.clone()),
+            cost,
+            rows: rows_out,
+            order,
+        }
     };
     Some(path)
 }
@@ -257,9 +255,9 @@ fn prune_paths(mut paths: Vec<AccessPath>) -> Vec<AccessPath> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cost::SystemProfile;
     use cophy_catalog::TpchGen;
     use cophy_workload::Predicate;
-    use crate::cost::SystemProfile;
 
     fn setup() -> (Schema, CostModel) {
         (TpchGen::default().schema(), CostModel::profile(SystemProfile::A))

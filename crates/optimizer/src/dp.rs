@@ -26,10 +26,15 @@ pub const MAX_TABLES: usize = 16;
 ///
 /// Panics if `q` references more than [`MAX_TABLES`] tables or fails
 /// validation in debug builds.
-pub fn optimize(schema: &Schema, cm: &CostModel, q: &Query, config: &Configuration) -> PhysicalPlan {
+pub fn optimize(
+    schema: &Schema,
+    cm: &CostModel,
+    q: &Query,
+    config: &Configuration,
+) -> PhysicalPlan {
     debug_assert!(q.validate().is_ok(), "{:?}", q.validate());
     let n = q.tables.len();
-    assert!(n >= 1 && n <= MAX_TABLES, "query must reference 1..={MAX_TABLES} tables");
+    assert!((1..=MAX_TABLES).contains(&n), "query must reference 1..={MAX_TABLES} tables");
 
     let ec = EquivClasses::of_query(q);
     let requirements = collect_requirements(q);
@@ -55,9 +60,9 @@ pub fn optimize(schema: &Schema, cm: &CostModel, q: &Query, config: &Configurati
     // Pre-compute subset cardinalities.
     let rows_of = |mask: usize| -> f64 {
         let mut rows = 1.0;
-        for i in 0..n {
+        for (i, br) in base_rows.iter().enumerate().take(n) {
             if mask & (1 << i) != 0 {
-                rows *= base_rows[i];
+                rows *= br;
             }
         }
         let mut sel = 1.0;
@@ -91,7 +96,14 @@ pub fn optimize(schema: &Schema, cm: &CostModel, q: &Query, config: &Configurati
                     for pl in &best[l] {
                         for pr in &best[r] {
                             join_candidates(
-                                cm, q, &ec, &requirements, pl, pr, &edges, out_rows,
+                                cm,
+                                q,
+                                &ec,
+                                &requirements,
+                                pl,
+                                pr,
+                                &edges,
+                                out_rows,
                                 &mut candidates,
                             );
                         }
@@ -104,10 +116,7 @@ pub fn optimize(schema: &Schema, cm: &CostModel, q: &Query, config: &Configurati
     }
 
     let joined = std::mem::take(&mut best[full]);
-    assert!(
-        !joined.is_empty(),
-        "no plan found: join graph disconnected? {q:?}"
-    );
+    assert!(!joined.is_empty(), "no plan found: join graph disconnected? {q:?}");
 
     finalize(schema, cm, q, &ec, &requirements, joined)
 }
@@ -118,7 +127,7 @@ fn table_bit(q: &Query, t: cophy_catalog::TableId) -> Option<usize> {
 }
 
 /// Join edges crossing the (l, r) split.
-fn cross_edges<'q>(q: &'q Query, l: usize, r: usize) -> Vec<&'q Join> {
+fn cross_edges(q: &Query, l: usize, r: usize) -> Vec<&Join> {
     q.joins
         .iter()
         .filter(|j| {
@@ -126,8 +135,7 @@ fn cross_edges<'q>(q: &'q Query, l: usize, r: usize) -> Vec<&'q Join> {
             else {
                 return false;
             };
-            (l & (1 << li) != 0 && r & (1 << ri) != 0)
-                || (l & (1 << ri) != 0 && r & (1 << li) != 0)
+            (l & (1 << li) != 0 && r & (1 << ri) != 0) || (l & (1 << ri) != 0 && r & (1 << li) != 0)
         })
         .collect()
 }
@@ -203,7 +211,9 @@ fn join_candidates(
 
     // Hash join: build on left, probe right (the split enumeration covers the
     // mirrored pair).
-    let hj_cost = pl.cost + pr.cost + cm.hash_join(pl.rows, pr.rows, out_rows)
+    let hj_cost = pl.cost
+        + pr.cost
+        + cm.hash_join(pl.rows, pr.rows, out_rows)
         + cm.filter(out_rows, residual);
     out.push(SubPlan {
         cost: hj_cost,
@@ -214,8 +224,8 @@ fn join_candidates(
 
     // Block nested-loop join: preserves outer order; only plausible for tiny
     // inputs but the cost model prices that in.
-    let nl_cost = pl.cost + pr.cost + cm.nl_join(pl.rows, pr.rows, out_rows)
-        + cm.filter(out_rows, residual);
+    let nl_cost =
+        pl.cost + pr.cost + cm.nl_join(pl.rows, pr.rows, out_rows) + cm.filter(out_rows, residual);
     out.push(SubPlan {
         cost: nl_cost,
         rows: out_rows,
@@ -240,7 +250,9 @@ fn join_candidates(
     } else {
         sort_to(cm, pr.clone(), rreq.clone())
     };
-    let mj_cost = li.cost + ri.cost + cm.merge_join(li.rows, ri.rows, out_rows)
+    let mj_cost = li.cost
+        + ri.cost
+        + cm.merge_join(li.rows, ri.rows, out_rows)
         + cm.filter(out_rows, residual);
     let delivered = normalize(&lreq, reqs, ec);
     out.push(SubPlan {
@@ -379,10 +391,7 @@ mod tests {
         let empty = Configuration::empty();
         let mut cfg = Configuration::empty();
         let li = s.table_by_name("lineitem").unwrap().id;
-        cfg.insert(Index::secondary(
-            li,
-            vec![s.resolve("lineitem.l_shipdate").unwrap().column],
-        ));
+        cfg.insert(Index::secondary(li, vec![s.resolve("lineitem.l_shipdate").unwrap().column]));
         cfg.insert(Index::secondary(
             s.table_by_name("orders").unwrap().id,
             vec![s.resolve("orders.o_orderdate").unwrap().column],
@@ -391,10 +400,7 @@ mod tests {
             let q = stmt.read_shell();
             let c0 = optimize(&s, &cm, q, &empty).total_cost();
             let c1 = optimize(&s, &cm, q, &cfg).total_cost();
-            assert!(
-                c1 <= c0 * (1.0 + 1e-9),
-                "index made a plan worse: {c1} > {c0}\n{q:?}"
-            );
+            assert!(c1 <= c0 * (1.0 + 1e-9), "index made a plan worse: {c1} > {c0}\n{q:?}");
         }
     }
 

@@ -77,10 +77,9 @@ impl EquivClasses {
         if a == b {
             return true;
         }
-        let (Some(ia), Some(ib)) = (
-            self.cols.iter().position(|x| *x == a),
-            self.cols.iter().position(|x| *x == b),
-        ) else {
+        let (Some(ia), Some(ib)) =
+            (self.cols.iter().position(|x| *x == a), self.cols.iter().position(|x| *x == b))
+        else {
             return false;
         };
         self.find(ia) == self.find(ib)
@@ -94,11 +93,7 @@ impl EquivClasses {
         if required.0.len() > delivered.0.len() {
             return false;
         }
-        required
-            .0
-            .iter()
-            .zip(delivered.0.iter())
-            .all(|(r, d)| self.equivalent(*r, *d))
+        required.0.iter().zip(delivered.0.iter()).all(|(r, d)| self.equivalent(*r, *d))
     }
 }
 

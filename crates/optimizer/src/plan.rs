@@ -57,9 +57,9 @@ impl SubPlan {
         match &self.op {
             PlanNode::Access(_) => vec![],
             PlanNode::Sort(c) | PlanNode::HashAgg(c) | PlanNode::StreamAgg(c) => vec![c],
-            PlanNode::HashJoin(l, r)
-            | PlanNode::MergeJoin(l, r)
-            | PlanNode::NestLoopJoin(l, r) => vec![l, r],
+            PlanNode::HashJoin(l, r) | PlanNode::MergeJoin(l, r) | PlanNode::NestLoopJoin(l, r) => {
+                vec![l, r]
+            }
         }
     }
 
@@ -157,7 +157,11 @@ impl PhysicalPlan {
 fn collect(plan: &SubPlan, requirement: Ordering, leaves: &mut Vec<LeafAccess>) {
     match &plan.op {
         PlanNode::Access(path) => {
-            leaves.push(LeafAccess { table: path.table, path: path.clone(), required: requirement });
+            leaves.push(LeafAccess {
+                table: path.table,
+                path: path.clone(),
+                required: requirement,
+            });
         }
         PlanNode::Sort(c) => collect(c, Ordering::none(), leaves),
         PlanNode::HashAgg(c) => collect(c, Ordering::none(), leaves),
@@ -208,12 +212,7 @@ mod tests {
             rows: 100.0,
             order: Ordering(order),
         };
-        SubPlan {
-            op: PlanNode::Access(path),
-            cost,
-            rows: 100.0,
-            order: Ordering::none(),
-        }
+        SubPlan { op: PlanNode::Access(path), cost, rows: 100.0, order: Ordering::none() }
     }
 
     use cophy_catalog::TableId;

@@ -95,8 +95,7 @@ impl WhatIfOptimizer {
             Statement::Select(q) => self.cost_query(q, config),
             Statement::Update(u) => {
                 let read = self.cost_query(&u.shell, config);
-                let maintenance: f64 =
-                    config.iter().map(|ix| self.ucost(u, ix)).sum();
+                let maintenance: f64 = config.iter().map(|ix| self.ucost(u, ix)).sum();
                 read + maintenance + self.base_update_cost(u)
             }
         }
@@ -161,8 +160,13 @@ mod tests {
         assert!(ucost > 0.0);
         // The shell may get cheaper with the index, but the maintenance term
         // must be present.
-        assert!(with_ix + 1e-9 >= empty_cost - o.cost_query(&u.shell, &Configuration::empty())
-            + o.cost_query(&u.shell, &cfg) + ucost - 1e-9);
+        assert!(
+            with_ix + 1e-9
+                >= empty_cost - o.cost_query(&u.shell, &Configuration::empty())
+                    + o.cost_query(&u.shell, &cfg)
+                    + ucost
+                    - 1e-9
+        );
     }
 
     #[test]
@@ -172,12 +176,7 @@ mod tests {
         let w = UpdateGen::new(2).generate(s, 1);
         let (_, stmt, _) = w.iter().next().unwrap();
         let Statement::Update(u) = stmt else { panic!() };
-        let other_table = s
-            .tables()
-            .iter()
-            .find(|t| t.id != u.table())
-            .unwrap()
-            .id;
+        let other_table = s.tables().iter().find(|t| t.id != u.table()).unwrap().id;
         let ix = Index::secondary(other_table, vec![cophy_catalog::ColumnId(0)]);
         assert_eq!(o.ucost(u, &ix), 0.0);
     }
@@ -209,10 +208,8 @@ mod tests {
         let s = o.schema();
         let w = HomGen::new(4).generate(s, 10);
         let total = o.cost_workload(&w, &Configuration::empty());
-        let manual: f64 = w
-            .iter()
-            .map(|(_, stmt, f)| f * o.cost_statement(stmt, &Configuration::empty()))
-            .sum();
+        let manual: f64 =
+            w.iter().map(|(_, stmt, f)| f * o.cost_statement(stmt, &Configuration::empty())).sum();
         assert!((total - manual).abs() < 1e-6);
     }
 }

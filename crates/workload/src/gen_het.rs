@@ -83,9 +83,7 @@ impl HetGen {
         while tables.len() < n_tables {
             let mut frontier: Vec<(ColumnRef, ColumnRef)> = edges
                 .iter()
-                .filter(|(a, b)| {
-                    tables.contains(&a.table) != tables.contains(&b.table)
-                })
+                .filter(|(a, b)| tables.contains(&a.table) != tables.contains(&b.table))
                 .copied()
                 .collect();
             if frontier.is_empty() {
@@ -101,11 +99,8 @@ impl HetGen {
         // 2. Random sargable predicates per table; the biggest table always
         //    gets at least one (a fact-table filter, as in the C2 suite).
         let mut predicates = Vec::new();
-        let biggest = tables
-            .iter()
-            .copied()
-            .max_by_key(|t| schema.table(*t).rows)
-            .expect("non-empty");
+        let biggest =
+            tables.iter().copied().max_by_key(|t| schema.table(*t).rows).expect("non-empty");
         for &t in &tables {
             let table = schema.table(t);
             let min_preds = usize::from(t == biggest);
@@ -241,12 +236,7 @@ mod tests {
         };
         let hom = shape(&crate::gen_hom::HomGen::new(1).generate(&s, 300));
         let het = shape(&HetGen::new(1).generate(&s, 300));
-        assert!(
-            het.len() > 2 * hom.len(),
-            "het {} shapes vs hom {} shapes",
-            het.len(),
-            hom.len()
-        );
+        assert!(het.len() > 2 * hom.len(), "het {} shapes vs hom {} shapes", het.len(), hom.len());
     }
 
     #[test]

@@ -11,8 +11,8 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use cophy_catalog::{ColumnRef, Schema};
 use cophy_catalog::tpch::DATE_DOMAIN_DAYS;
+use cophy_catalog::{ColumnRef, Schema};
 
 use crate::query::{AggFunc, Aggregate, Join, Predicate, Query, Statement};
 use crate::workload::Workload;
@@ -101,7 +101,6 @@ impl HomGen {
                         column: Some(c("lineitem.l_extendedprice")),
                     }],
                     order_by: vec![c("orders.o_orderdate")],
-                    ..Default::default()
                 }
             }
             // Q4: order priority checking.
@@ -280,7 +279,6 @@ impl HomGen {
                         column: Some(c("lineitem.l_quantity")),
                     }],
                     order_by: vec![c("orders.o_totalprice")],
-                    ..Default::default()
                 }
             }
             // Q19-ish: discounted revenue for brand/quantity bands.

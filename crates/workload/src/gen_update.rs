@@ -94,10 +94,7 @@ impl UpdateGen {
         UpdateStatement {
             shell: Query {
                 tables: vec![table.id],
-                projections: set_columns
-                    .iter()
-                    .map(|c| ColumnRef::new(table.id, *c))
-                    .collect(),
+                projections: set_columns.iter().map(|c| ColumnRef::new(table.id, *c)).collect(),
                 predicates: vec![pred],
                 ..Default::default()
             },

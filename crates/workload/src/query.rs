@@ -140,12 +140,7 @@ impl Query {
             }
         }
         let on_ref = |c: &ColumnRef| self.tables.contains(&c.table);
-        for c in self
-            .projections
-            .iter()
-            .chain(self.group_by.iter())
-            .chain(self.order_by.iter())
-        {
+        for c in self.projections.iter().chain(self.group_by.iter()).chain(self.order_by.iter()) {
             if !on_ref(c) {
                 return Err(format!("column {c:?} not on a referenced table"));
             }
@@ -180,19 +175,13 @@ impl Query {
 
     /// Columns of `table` bound by equality predicates.
     pub fn eq_columns_on(&self, table: TableId) -> Vec<ColumnId> {
-        self.predicates_on(table)
-            .filter(|p| p.is_eq())
-            .map(|p| p.column.column)
-            .collect()
+        self.predicates_on(table).filter(|p| p.is_eq()).map(|p| p.column.column).collect()
     }
 
     /// Combined selectivity of the local predicates on `table`
     /// (independence assumption).
     pub fn local_selectivity(&self, schema: &Schema, table: TableId) -> f64 {
-        self.predicates_on(table)
-            .map(|p| p.selectivity(schema))
-            .product::<f64>()
-            .clamp(1e-12, 1.0)
+        self.predicates_on(table).map(|p| p.selectivity(schema)).product::<f64>().clamp(1e-12, 1.0)
     }
 
     /// Every column of `table` the query touches in any clause — the set an
@@ -242,12 +231,8 @@ impl Query {
         };
         // ORDER BY prefix belonging to this table (only a *leading* prefix of
         // the ORDER BY can be satisfied by a single table's access order).
-        let ob: Vec<ColumnId> = self
-            .order_by
-            .iter()
-            .take_while(|c| c.table == table)
-            .map(|c| c.column)
-            .collect();
+        let ob: Vec<ColumnId> =
+            self.order_by.iter().take_while(|c| c.table == table).map(|c| c.column).collect();
         add(ob);
         // GROUP BY columns on this table (any order helps sort-based grouping;
         // we use catalog order for determinism).
@@ -463,10 +448,8 @@ mod tests {
         assert!(!upd.affects(&with_tax));
         assert!(upd.affects(&clustered));
         // index on a different table is never affected
-        let other = cophy_catalog::Index::secondary(
-            s.table_by_name("orders").unwrap().id,
-            vec![qty],
-        );
+        let other =
+            cophy_catalog::Index::secondary(s.table_by_name("orders").unwrap().id, vec![qty]);
         assert!(!upd.affects(&other));
     }
 

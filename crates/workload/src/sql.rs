@@ -45,8 +45,7 @@ pub fn format_query(schema: &Schema, q: &Query) -> String {
     out.push_str(&items.join(", "));
 
     out.push_str("\nFROM ");
-    let tables: Vec<&str> =
-        q.tables.iter().map(|t| schema.table(*t).name.as_str()).collect();
+    let tables: Vec<&str> = q.tables.iter().map(|t| schema.table(*t).name.as_str()).collect();
     out.push_str(&tables.join(", "));
 
     let mut conds: Vec<String> = Vec::new();
@@ -79,11 +78,8 @@ pub fn format_query(schema: &Schema, q: &Query) -> String {
 /// Render an UPDATE statement as SQL text.
 pub fn format_update(schema: &Schema, u: &UpdateStatement) -> String {
     let t = schema.table(u.table());
-    let sets: Vec<String> = u
-        .set_columns
-        .iter()
-        .map(|c| format!("{} = ?", t.column(*c).name))
-        .collect();
+    let sets: Vec<String> =
+        u.set_columns.iter().map(|c| format!("{} = ?", t.column(*c).name)).collect();
     let mut out = format!("UPDATE {}\nSET {}", t.name, sets.join(", "));
     let conds: Vec<String> = u
         .shell

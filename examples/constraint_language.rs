@@ -14,7 +14,10 @@ use cophy_workload::HomGen;
 fn main() {
     let optimizer = WhatIfOptimizer::new(TpchGen::default().schema(), SystemProfile::A);
     let schema = optimizer.schema();
-    let workload = HomGen::new(11).generate(schema, 25);
+    // Rich (non-storage-only) constraint sets route to the generic
+    // branch-and-bound backend, whose dense-inverse simplex only converges
+    // quickly on small instances — keep this demo workload small.
+    let workload = HomGen::new(11).generate(schema, 6);
     let cophy = CoPhy::new(&optimizer, CoPhyOptions::default());
     let lineitem = schema.table_by_name("lineitem").unwrap().id;
 
@@ -25,21 +28,13 @@ fn main() {
 
     // E.1-style: at most 2 indexes with more than 2 columns on lineitem.
     let wide_cap = ConstraintSet::storage_fraction(schema, 0.5).with(Constraint::IndexCount {
-        filter: IndexFilter {
-            table: Some(lineitem),
-            min_columns: Some(3),
-            ..Default::default()
-        },
+        filter: IndexFilter { table: Some(lineitem), min_columns: Some(3), ..Default::default() },
         cmp: Cmp::Le,
         value: 2,
     });
     let r = cophy.tune(&workload, &wide_cap);
     report(schema, "… + ≤2 wide lineitem indexes", &r);
-    let wide = r
-        .configuration
-        .on_table(lineitem)
-        .filter(|ix| ix.n_columns() >= 3)
-        .count();
+    let wide = r.configuration.on_table(lineitem).filter(|ix| ix.n_columns() >= 3).count();
     println!("    (wide lineitem indexes in X*: {wide})");
 
     // E.3 generator: at most one clustered index per table (always on in real

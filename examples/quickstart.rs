@@ -16,7 +16,10 @@ fn main() {
 
     // 2. A workload: 100 statements from the fifteen TPC-H-like templates.
     let workload = HomGen::new(42).generate(schema, 100);
-    println!("First workload statement:\n{}\n", sql::format_statement(schema, workload.statement(cophy_workload::QueryId(0))));
+    println!(
+        "First workload statement:\n{}\n",
+        sql::format_statement(schema, workload.statement(cophy_workload::QueryId(0)))
+    );
 
     // 3. Tune under a storage budget of half the database size.
     let cophy = CoPhy::new(&optimizer, CoPhyOptions::default());
@@ -33,8 +36,7 @@ fn main() {
         rec.estimated_improvement() * 100.0,
         rec.gap * 100.0
     );
-    let mut names: Vec<String> =
-        rec.configuration.iter().map(|ix| ix.describe(schema)).collect();
+    let mut names: Vec<String> = rec.configuration.iter().map(|ix| ix.describe(schema)).collect();
     names.sort();
     for n in names.iter().take(12) {
         println!("  CREATE INDEX {n}");

@@ -25,10 +25,7 @@ fn main() {
     let prepared = inum.prepare_workload(&workload);
     let candidates = CGen::default().generate(schema, &workload);
 
-    println!(
-        "Exploring the cost/storage frontier over {} candidates…\n",
-        candidates.len()
-    );
+    println!("Exploring the cost/storage frontier over {} candidates…\n", candidates.len());
     let explorer = ChordExplorer { epsilon: 0.02, max_points: 7 };
     let points = explorer.explore(&cophy, &prepared, &candidates);
 

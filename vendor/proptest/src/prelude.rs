@@ -1,0 +1,5 @@
+//! The glob-import surface: `use proptest::prelude::*`.
+
+pub use crate as prop;
+pub use crate::{any, prop_assert, prop_assert_eq, proptest};
+pub use crate::{Arbitrary, ProptestConfig, Strategy, TestCaseError, TestRng};

@@ -1,0 +1,49 @@
+//! Generator implementations.
+
+use crate::{Rng, SeedableRng};
+
+/// A small, fast, non-cryptographic PRNG: xoshiro256** with SplitMix64
+/// seeding (the same construction upstream `SmallRng` uses on 64-bit
+/// targets, though the exact stream differs between implementations).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl SmallRng {
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl SeedableRng for SmallRng {
+    fn seed_from_u64(state: u64) -> Self {
+        let mut sm = state;
+        SmallRng {
+            s: [
+                Self::splitmix64(&mut sm),
+                Self::splitmix64(&mut sm),
+                Self::splitmix64(&mut sm),
+                Self::splitmix64(&mut sm),
+            ],
+        }
+    }
+}
+
+impl Rng for SmallRng {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}

@@ -1,0 +1,51 @@
+//! Offline stand-in for `serde`.
+//!
+//! Re-exports the no-op derive macros and declares the two marker traits so
+//! `use serde::{Deserialize, Serialize}` resolves in both the macro and the
+//! trait namespace. See `vendor/README.md`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize` (no methods; the no-op derive
+/// does not implement it).
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize` (no methods; the no-op derive
+/// does not implement it).
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(test)]
+mod tests {
+    // The derive must parse on structs, tuple structs and enums, and must
+    // tolerate `#[serde(...)]` attributes.
+    use crate as serde;
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Serialize, Deserialize)]
+    struct Named {
+        #[serde(rename = "x")]
+        _a: u32,
+        _b: Vec<String>,
+    }
+
+    #[derive(Serialize, Deserialize)]
+    #[allow(dead_code)]
+    struct Tuple(u8, f64);
+
+    #[derive(Serialize, Deserialize)]
+    #[allow(dead_code)]
+    enum Kinds {
+        Unit,
+        Tuple(i64),
+        Struct { _f: bool },
+    }
+
+    #[test]
+    fn derives_parse() {
+        let _ = Named { _a: 1, _b: vec![] };
+        let _ = Tuple(0, 0.0);
+        let _ = Kinds::Unit;
+        let _ = Kinds::Tuple(3);
+        let _ = Kinds::Struct { _f: true };
+    }
+}
