@@ -16,8 +16,8 @@
 
 use std::time::{Duration, Instant};
 
-use cophy::{CGen, CandidateSet, ConstraintSet};
-use cophy_bip::{Alt, Block, BlockProblem, LagrangianSolver, SlotChoices};
+use cophy::{CGen, CandidateSet, ConstraintSet, SolveProgress};
+use cophy_bip::{Alt, Block, BlockProblem, LagrangianSolver, SlotChoices, SolveBudget};
 use cophy_catalog::{Configuration, IndexId};
 use cophy_inum::{Inum, PreparedQuery, PreparedWorkload};
 use cophy_optimizer::WhatIfOptimizer;
@@ -35,16 +35,15 @@ pub const SLOT_SHORTLIST: usize = 4;
 #[derive(Debug, Clone)]
 pub struct IlpAdvisor {
     pub configs_per_query: usize,
-    pub gap_limit: f64,
-    pub max_lagrangian_iters: usize,
+    /// Solve budget handed to the shared engine (same semantics as CoPhy's).
+    pub budget: SolveBudget,
 }
 
 impl Default for IlpAdvisor {
     fn default() -> Self {
         IlpAdvisor {
             configs_per_query: DEFAULT_CONFIGS_PER_QUERY,
-            gap_limit: 0.05,
-            max_lagrangian_iters: 300,
+            budget: SolveBudget::within(0.05).with_nodes(300),
         }
     }
 }
@@ -78,6 +77,20 @@ impl IlpAdvisor {
         candidates: &CandidateSet,
         constraints: &ConstraintSet,
     ) -> (Configuration, IlpStats) {
+        self.recommend_with_stats_progress(optimizer, w, candidates, constraints, &mut |_| {})
+    }
+
+    /// [`IlpAdvisor::recommend_with_stats`] streaming the solver's anytime
+    /// [`SolveProgress`] events — the same stream CoPhy's backends emit, so
+    /// Figure-5/10 runs can compare trajectories directly.
+    pub fn recommend_with_stats_progress(
+        &self,
+        optimizer: &WhatIfOptimizer,
+        w: &Workload,
+        candidates: &CandidateSet,
+        constraints: &ConstraintSet,
+        on_progress: &mut dyn FnMut(&SolveProgress),
+    ) -> (Configuration, IlpStats) {
         let mut stats = IlpStats::default();
         let t0 = Instant::now();
         let inum = Inum::new(optimizer);
@@ -89,12 +102,8 @@ impl IlpAdvisor {
         stats.build_time = tb.elapsed();
 
         let ts = Instant::now();
-        let solver = LagrangianSolver {
-            gap_limit: self.gap_limit,
-            max_iters: self.max_lagrangian_iters,
-            ..Default::default()
-        };
-        let r = solver.solve(&block);
+        let solver = LagrangianSolver { budget: self.budget, ..Default::default() };
+        let (r, _) = solver.solve_warm_with_progress(&block, None, |p, _| on_progress(p));
         stats.solve_time = ts.elapsed();
 
         let cfg = Configuration::from_indexes(
@@ -255,6 +264,17 @@ impl Advisor for IlpAdvisor {
         let candidates = CGen::default().generate(optimizer.schema(), w);
         self.recommend_with_stats(optimizer, w, &candidates, constraints).0
     }
+
+    fn recommend_with_progress(
+        &self,
+        optimizer: &WhatIfOptimizer,
+        w: &Workload,
+        constraints: &ConstraintSet,
+        on_progress: &mut dyn FnMut(&SolveProgress),
+    ) -> Configuration {
+        let candidates = CGen::default().generate(optimizer.schema(), w);
+        self.recommend_with_stats_progress(optimizer, w, &candidates, constraints, on_progress).0
+    }
 }
 
 #[cfg(test)]
@@ -291,6 +311,22 @@ mod tests {
         assert!(stats.configs_enumerated > stats.configs_kept);
         // Multi-table queries alone guarantee well over 5 configs/query.
         assert!(stats.configs_enumerated >= 10 * 5);
+    }
+
+    #[test]
+    fn ilp_streams_real_anytime_progress() {
+        let (o, w) = setup(8);
+        let constraints = ConstraintSet::storage_fraction(o.schema(), 0.5);
+        let mut events = 0usize;
+        let mut prev_gap = f64::INFINITY;
+        let cfg = IlpAdvisor::default().recommend_with_progress(&o, &w, &constraints, &mut |p| {
+            events += 1;
+            assert!(p.gap <= prev_gap + 1e-12, "solver-backed stream must not regress");
+            prev_gap = p.gap;
+        });
+        assert!(events > 0);
+        assert!(prev_gap.is_finite(), "ILP's solver must prove a finite gap");
+        assert!(!cfg.is_empty());
     }
 
     #[test]

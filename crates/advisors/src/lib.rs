@@ -26,7 +26,7 @@ pub mod ilp;
 pub mod tool_a;
 pub mod tool_b;
 
-use cophy::ConstraintSet;
+use cophy::{ConstraintSet, SolveProgress};
 use cophy_catalog::Configuration;
 use cophy_optimizer::WhatIfOptimizer;
 use cophy_workload::Workload;
@@ -47,4 +47,24 @@ pub trait Advisor {
         w: &Workload,
         constraints: &ConstraintSet,
     ) -> Configuration;
+
+    /// [`Advisor::recommend`] streaming anytime progress through the same
+    /// [`SolveProgress`] contract as CoPhy's solve engine, so the bench
+    /// harness can plot identical gap-vs-time series for every technique.
+    ///
+    /// BIP-backed advisors stream real incumbent/bound pairs; black-box
+    /// greedy tools stream the costs of their *feasible, improving*
+    /// intermediate configurations with an unknown (`−∞`) bound (emitting
+    /// nothing while still over budget).  The default implementation emits
+    /// nothing.
+    fn recommend_with_progress(
+        &self,
+        optimizer: &WhatIfOptimizer,
+        w: &Workload,
+        constraints: &ConstraintSet,
+        on_progress: &mut dyn FnMut(&SolveProgress),
+    ) -> Configuration {
+        let _ = on_progress;
+        self.recommend(optimizer, w, constraints)
+    }
 }

@@ -113,7 +113,8 @@ fn bench_solvers(c: &mut Criterion) {
         &constraints,
     );
     c.bench_function("solver/lagrangian_40q_gap5", |b| {
-        let solver = LagrangianSolver { gap_limit: 0.05, ..Default::default() };
+        let solver =
+            LagrangianSolver { budget: cophy_bip::SolveBudget::within(0.05), ..Default::default() };
         b.iter(|| solver.solve(&tp.block));
     });
 }

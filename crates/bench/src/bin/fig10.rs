@@ -1,4 +1,6 @@
 //! Regenerates the paper's fig10 output. See DESIGN.md §4.
+//! Also emits the `BENCH_solver.json` gap-vs-time artifact.
 fn main() {
     println!("{}", cophy_bench::fig10());
+    cophy_bench::write_solver_artifact();
 }

@@ -1,4 +1,6 @@
 //! Regenerates the paper's fig4 output. See DESIGN.md §4.
+//! Also emits the `BENCH_solver.json` gap-vs-time artifact.
 fn main() {
     println!("{}", cophy_bench::fig4());
+    cophy_bench::write_solver_artifact();
 }

@@ -1,0 +1,6 @@
+//! CI guard: rich-constraint B&B must produce a root incumbent and a finite
+//! gap within the default solve budget (panics otherwise). See ROADMAP's
+//! solve-engine section.
+fn main() {
+    println!("{}", cophy_bench::solver_smoke());
+}

@@ -23,7 +23,10 @@
 
 use std::time::{Duration, Instant};
 
-use cophy::{CGen, CandidateSet, ChordExplorer, CoPhy, CoPhyOptions, ConstraintSet};
+use cophy::{
+    CGen, CandidateSet, ChordExplorer, Cmp, CoPhy, CoPhyOptions, Constraint, ConstraintSet,
+    IndexFilter, SolveProgress, SolverBackend,
+};
 use cophy_advisors::{Advisor, IlpAdvisor, ToolA, ToolB};
 use cophy_catalog::{Configuration, Skew, TpchGen};
 use cophy_inum::{Inum, PreparedWorkload};
@@ -308,7 +311,14 @@ pub fn fig6a() -> String {
         let constraints = ConstraintSet::storage_fraction(o.schema(), 1.0);
         let cophy = CoPhy::new(
             &o,
-            CoPhyOptions { gap_limit: 1e-4, max_lagrangian_iters: 400, ..Default::default() },
+            CoPhyOptions {
+                budget: cophy::SolveBudget {
+                    gap_limit: 1e-4,
+                    node_limit: Some(400),
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
         );
         let prepared = prepare_parallel(&o, &w);
         let cands = CGen::default().generate(o.schema(), &w);
@@ -537,6 +547,141 @@ pub fn skew() -> String {
         cophy_b.perf * 100.0
     ));
     out
+}
+
+// ---------------------------------------------------------------------------
+// Solver-trajectory artifact + CI smoke guard
+// ---------------------------------------------------------------------------
+
+/// Statement count for rich-constraint B&B runs: the generic backend's dense
+/// simplex does not scale like the Lagrangian, so cap at the acceptance
+/// workload (24) while still honoring smaller smoke scales.
+pub fn bb_size() -> usize {
+    sizes()[2].min(24)
+}
+
+/// The rich (non-storage-only) constraint set that routes tuning to the
+/// generic branch-and-bound backend.
+pub fn rich_constraints(o: &WhatIfOptimizer) -> ConstraintSet {
+    let li = o.schema().table_by_name("lineitem").expect("TPC-H lineitem").id;
+    ConstraintSet::storage_fraction(o.schema(), 0.5).with(Constraint::IndexCount {
+        filter: IndexFilter::on_table(li),
+        cmp: Cmp::Le,
+        value: 2,
+    })
+}
+
+/// Run one backend with the unified progress stream captured.
+fn capture_trajectory(
+    o: &WhatIfOptimizer,
+    w: &Workload,
+    constraints: &ConstraintSet,
+    backend: SolverBackend,
+) -> (Vec<SolveProgress>, Result<cophy::Recommendation, String>) {
+    let cophy = CoPhy::new(o, CoPhyOptions { backend, ..Default::default() });
+    let prepared = prepare_parallel(o, w);
+    let cands = CGen::default().generate(o.schema(), w);
+    let mut points = Vec::new();
+    let rec = cophy.try_tune_prepared_with_progress(
+        &prepared,
+        &cands,
+        constraints,
+        Duration::ZERO,
+        0,
+        |p| points.push(*p),
+    );
+    (points, rec)
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+fn json_series(backend: &str, n: usize, points: &[SolveProgress]) -> String {
+    let pts: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"t_ms\":{:.3},\"incumbent\":{},\"bound\":{},\"gap\":{},\"ticks\":{}}}",
+                p.at.as_secs_f64() * 1e3,
+                json_f64(p.incumbent),
+                json_f64(p.bound),
+                json_f64(p.gap),
+                p.ticks
+            )
+        })
+        .collect();
+    format!("{{\"backend\":\"{backend}\",\"statements\":{n},\"points\":[{}]}}", pts.join(","))
+}
+
+/// Gap-vs-time trajectories of both backends through the unified
+/// [`SolveProgress`] stream, as a JSON document.  The `fig4`/`fig10` bins
+/// write this to `BENCH_solver.json` so future PRs can track solver
+/// regressions (anytime behavior, not just end-to-end wall clock).
+pub fn solver_trajectory_json() -> String {
+    let o = make_optimizer(SystemProfile::A, 0.0);
+
+    // Lagrangian on the storage-only set (the common, large case).
+    let n_lag = default_size();
+    let w_lag = make_workload(&o, WorkloadKind::Hom, n_lag);
+    let storage = ConstraintSet::storage_fraction(o.schema(), 0.5);
+    let (lag_points, lag_rec) = capture_trajectory(&o, &w_lag, &storage, SolverBackend::Lagrangian);
+    let lag_rec = lag_rec.expect("storage-only tuning is feasible");
+
+    // Branch-and-bound on a rich constraint set.
+    let n_bb = bb_size();
+    let w_bb = make_workload(&o, WorkloadKind::Hom, n_bb);
+    let rich = rich_constraints(&o);
+    let (bb_points, bb_rec) = capture_trajectory(&o, &w_bb, &rich, SolverBackend::BranchBound);
+    let bb_rec = bb_rec.expect("rich-constraint tuning must find an incumbent");
+
+    format!(
+        "{{\"experiment\":\"solver_trajectory\",\"final_gaps\":{{\"lagrangian\":{},\"branch_bound\":{}}},\"series\":[{},{}]}}\n",
+        json_f64(lag_rec.gap),
+        json_f64(bb_rec.gap),
+        json_series("lagrangian", n_lag, &lag_points),
+        json_series("branch_bound", n_bb, &bb_points),
+    )
+}
+
+/// Write the solver trajectory artifact next to the experiment output.
+pub fn write_solver_artifact() {
+    let path = "BENCH_solver.json";
+    std::fs::write(path, solver_trajectory_json())
+        .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    eprintln!("wrote solver gap-vs-time artifact to {path}");
+}
+
+/// CI smoke guard for the generic backend's primal side: a rich-constraint
+/// B&B run that **fails** unless a feasible incumbent appears at the root
+/// node and a finite gap is reached within the default budget (guards the
+/// LP-rounding/repair heuristic against regressions).
+pub fn solver_smoke() -> String {
+    let n = bb_size();
+    let o = make_optimizer(SystemProfile::A, 0.0);
+    let w = make_workload(&o, WorkloadKind::Hom, n);
+    let rich = rich_constraints(&o);
+    let (points, rec) = capture_trajectory(&o, &w, &rich, SolverBackend::BranchBound);
+    let rec = rec.expect("rich-constraint B&B found no incumbent within the default budget");
+    let first_incumbent_ticks = points.iter().find(|p| p.incumbent.is_finite()).map(|p| p.ticks);
+    assert!(rec.gap.is_finite(), "gap stayed infinite within the default budget");
+    assert_eq!(
+        first_incumbent_ticks,
+        Some(0),
+        "the rounding heuristic must produce the first incumbent at the root node"
+    );
+    format!(
+        "solver smoke: W_hom{n} under rich constraints → incumbent at root, \
+         {} progress events, final gap {:.2}%, bound {:.0}, solve {}",
+        points.len(),
+        rec.gap * 100.0,
+        rec.bound,
+        secs(rec.stats.solve_time),
+    )
 }
 
 #[cfg(test)]

@@ -1,44 +1,37 @@
 //! Best-first branch-and-bound over binary variables.
 //!
 //! The generic "off-the-shelf BIP solver" face of this crate: LP-relaxation
-//! bounds from the [`simplex`](crate::simplex), most-fractional branching,
-//! anytime incumbents with a global lower bound, and the observables CoPhy
-//! builds features on:
+//! bounds from the [`simplex`](crate::simplex), an **LP-rounding +
+//! greedy-repair diving heuristic** for root-node incumbents, **pseudo-cost
+//! branching** with reliability initialization from strong branching, and the
+//! anytime contract of the shared [`SolveDriver`]:
 //!
-//! * **gap feedback** — `(incumbent − bound)/|incumbent|` reported after
-//!   every improvement (Figure 6a's curves are exactly this trace);
+//! * **gap feedback** — a monotone proven-gap trace streamed after every
+//!   incumbent or bound improvement (Figure 6a's curves are exactly this);
 //! * **early termination** — stop as soon as the gap falls below
-//!   `SolveOptions::gap_limit` (the paper runs CPLEX at 5%);
+//!   `SolveBudget::gap_limit` (the paper runs CPLEX at 5%);
 //! * **limits** — wall-clock and node limits with the best-so-far returned.
+//!
+//! ## Primal heuristics
+//!
+//! Index-tuning BIPs have near-integral LP relaxations, but plain rounding
+//! usually breaks the assignment rows (`Σ_k y_qk = 1`, `Σ_a x = y`) and the
+//! AT-MOST/storage rows.  [`round_and_repair`] rounds the LP point and then
+//! repairs violated rows greedily: candidate flips are scored by objective
+//! damage per unit of violation removed — penalized when a flip would break
+//! other rows — and selected by the shared
+//! [`knapsack::greedy_cover`](crate::knapsack::greedy_cover) routine (a
+//! violated storage row *is* a covering knapsack over drop candidates).  If
+//! repair fails at the root, a bounded LP **dive** fixes the most-integral
+//! fractionals one at a time and retries.  The heuristic re-runs periodically
+//! at search nodes on their LP points.
 
-use std::time::{Duration, Instant};
-
-use crate::model::Model;
+use crate::driver::{SolveDriver, SolveProgress};
+use crate::knapsack;
+use crate::model::{ConstrId, Model, Sense};
 use crate::simplex::{LpStatus, SimplexSolver};
 
-/// Termination reason of a MIP solve.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum MipStatus {
-    /// Proven optimal (gap 0 within tolerance).
-    Optimal,
-    /// Stopped because the relative gap reached `gap_limit`.
-    GapReached,
-    /// Stopped on the time limit.
-    TimeLimit,
-    /// Stopped on the node limit.
-    NodeLimit,
-    /// The relaxation (and hence the BIP) is infeasible.
-    Infeasible,
-}
-
-/// One point of the anytime gap trace.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct GapPoint {
-    pub at: Duration,
-    pub incumbent: f64,
-    pub bound: f64,
-    pub gap: f64,
-}
+pub use crate::driver::{relative_gap, GapPoint, MipStatus, SolveBudget};
 
 /// Result of a MIP solve.
 #[derive(Debug, Clone)]
@@ -49,7 +42,7 @@ pub struct MipResult {
     pub objective: f64,
     /// Global lower bound at termination.
     pub bound: f64,
-    /// Relative gap at termination.
+    /// Best proven relative gap at termination.
     pub gap: f64,
     pub nodes: usize,
     /// Incumbent/bound improvements over time.
@@ -70,36 +63,124 @@ impl MipResult {
     }
 }
 
-/// Solver options.
+/// Solver options: the shared resource budget plus B&B-specific knobs.
 #[derive(Debug, Clone)]
 pub struct SolveOptions {
-    /// Stop when `(incumbent − bound)/|incumbent| ≤ gap_limit`.
-    pub gap_limit: f64,
-    pub time_limit: Option<Duration>,
-    pub node_limit: Option<usize>,
+    /// Gap / time / node budget (shared semantics with every backend).
+    pub budget: SolveBudget,
+    /// A caller-proven valid lower bound on the binary optimum (e.g. the
+    /// dual bound of a relaxation such as the storage-only projection).
+    /// Raised into the driver before the root LP, so even a solve whose
+    /// root relaxation hits the deadline reports a finite gap.
+    pub known_bound: Option<f64>,
     /// Integrality tolerance.
     pub int_tol: f64,
+    /// Strong-branch a variable until it has this many pseudo-cost
+    /// observations in each direction (reliability branching).
+    pub reliability: u32,
+    /// Total strong-branching variable evaluations across the solve (each
+    /// costs two bounded child LPs).
+    pub strong_branch_budget: usize,
+    /// Re-run the rounding heuristic every this many nodes (the root run is
+    /// unconditional; large models run it at every node since repair is
+    /// cheap next to their LPs).
+    pub heuristic_period: usize,
+    /// Strong branching is disabled above this variable count — on large
+    /// models the bounded child LPs cost more than the better branching
+    /// saves (pseudo-costs then learn from regular node solves only).
+    pub strong_branch_max_vars: usize,
 }
 
 impl Default for SolveOptions {
     fn default() -> Self {
-        SolveOptions { gap_limit: 1e-9, time_limit: None, node_limit: None, int_tol: 1e-6 }
+        SolveOptions {
+            budget: SolveBudget::default(),
+            known_bound: None,
+            int_tol: 1e-6,
+            reliability: 1,
+            strong_branch_budget: 24,
+            heuristic_period: 16,
+            strong_branch_max_vars: 400,
+        }
     }
 }
 
 impl SolveOptions {
     /// The paper's interactive default: terminate within 5% of optimal.
     pub fn within_5_percent() -> Self {
-        SolveOptions { gap_limit: 0.05, ..Default::default() }
+        SolveOptions { budget: SolveBudget::within(0.05), ..Default::default() }
     }
 }
 
-/// A search node: variable fixings layered over the root bounds.
+/// A search node: variable fixings layered over the root bounds.  `bound` is
+/// the parent's LP objective (a valid lower bound for the node); `branch`
+/// records the last fixing `(var, up, parent fraction)` for pseudo-cost
+/// updates once the node's own LP is solved.
 #[derive(Debug, Clone)]
 struct Node {
     bound: f64,
     fixings: Vec<(usize, bool)>,
     depth: usize,
+    branch: Option<(usize, bool, f64)>,
+}
+
+/// Per-variable branching history: average objective degradation per unit of
+/// fraction, per direction.
+#[derive(Debug)]
+struct PseudoCosts {
+    up: Vec<f64>,
+    dn: Vec<f64>,
+    n_up: Vec<u32>,
+    n_dn: Vec<u32>,
+}
+
+impl PseudoCosts {
+    fn new(n: usize) -> Self {
+        PseudoCosts { up: vec![0.0; n], dn: vec![0.0; n], n_up: vec![0; n], n_dn: vec![0; n] }
+    }
+
+    /// Fold one observed per-unit degradation into the running mean.
+    fn record(&mut self, j: usize, up: bool, per_unit: f64) {
+        let (sum, cnt) = if up {
+            (&mut self.up[j], &mut self.n_up[j])
+        } else {
+            (&mut self.dn[j], &mut self.n_dn[j])
+        };
+        *cnt += 1;
+        *sum += (per_unit - *sum) / f64::from(*cnt);
+    }
+
+    fn reliable(&self, j: usize, threshold: u32) -> bool {
+        self.n_up[j] >= threshold && self.n_dn[j] >= threshold
+    }
+
+    /// Mean initialized pseudo-costs — the fallback estimate for variables
+    /// never branched on.
+    fn global_means(&self) -> (f64, f64) {
+        let mean = |sums: &[f64], counts: &[u32]| {
+            let mut total = 0.0;
+            let mut n = 0usize;
+            for (s, c) in sums.iter().zip(counts) {
+                if *c > 0 {
+                    total += *s;
+                    n += 1;
+                }
+            }
+            if n > 0 {
+                total / n as f64
+            } else {
+                1.0
+            }
+        };
+        (mean(&self.up, &self.n_up), mean(&self.dn, &self.n_dn))
+    }
+
+    /// Product score of branching on `j` at fraction `frac`.
+    fn score(&self, j: usize, frac: f64, means: (f64, f64)) -> f64 {
+        let up = if self.n_up[j] > 0 { self.up[j] } else { means.0 };
+        let dn = if self.n_dn[j] > 0 { self.dn[j] } else { means.1 };
+        (up * (1.0 - frac)).max(1e-9) * (dn * frac).max(1e-9)
+    }
 }
 
 /// Best-first B&B solver.
@@ -119,20 +200,44 @@ impl BranchBound {
         self.simplex.is_feasible(model, &vec![0.0; n], &vec![1.0; n])
     }
 
-    /// Solve `model` to binary optimality (or to the configured limits).
-    /// `on_improve` fires on every incumbent or bound improvement.
-    pub fn solve_with_callback(
+    /// Solve `model` to binary optimality (or to the configured budget),
+    /// streaming every incumbent/bound improvement through `on_progress`
+    /// (the improving solution rides along on incumbent events).
+    pub fn solve_with_progress(
         &self,
         model: &Model,
         opts: &SolveOptions,
-        mut on_improve: impl FnMut(&GapPoint),
+        on_progress: impl FnMut(&SolveProgress, Option<&Vec<f64>>),
+    ) -> MipResult {
+        self.solve_seeded_with_progress(model, opts, None, on_progress)
+    }
+
+    /// [`BranchBound::solve_with_progress`] warm-started from a caller-known
+    /// (possibly infeasible) point: the seed is repaired to feasibility and
+    /// offered as the first incumbent.  CoPhy seeds rich-constraint solves
+    /// with the Lagrangian backend's storage-only solution.
+    pub fn solve_seeded_with_progress(
+        &self,
+        model: &Model,
+        opts: &SolveOptions,
+        seed: Option<&[f64]>,
+        on_progress: impl FnMut(&SolveProgress, Option<&Vec<f64>>),
     ) -> MipResult {
         let n = model.n_vars();
-        let start = Instant::now();
+        let mut driver = SolveDriver::with_progress(opts.budget, on_progress);
+        // Arm every LP with the wall-clock deadline so one big relaxation
+        // cannot blow through the budget.
+        let lp_solver = SimplexSolver {
+            deadline: opts.budget.time_limit.map(|tl| std::time::Instant::now() + tl),
+            ..self.simplex.clone()
+        };
         let mut lo = vec![0.0; n];
         let mut hi = vec![1.0; n];
+        if let Some(kb) = opts.known_bound {
+            driver.raise_bound(kb);
+        }
 
-        let root = self.simplex.solve(model, &lo, &hi);
+        let root = lp_solver.solve(model, &lo, &hi);
         match root.status {
             LpStatus::Infeasible => return MipResult::infeasible(),
             LpStatus::Unbounded => {
@@ -140,167 +245,322 @@ impl BranchBound {
                 // a modeling error. Surface it loudly.
                 panic!("LP relaxation of a BIP cannot be unbounded");
             }
-            _ => {}
+            LpStatus::IterLimit => {
+                // Out of time inside the root LP: salvage what the primal
+                // heuristics can build from the seed / partial point.  The
+                // caller's known bound (if any) keeps the reported gap
+                // finite even on this path.
+                for start in [seed.unwrap_or(&root.x), &root.x as &[f64]] {
+                    if let Some((obj, x)) =
+                        round_and_repair(model, start, RoundMode::Nearest, opts.int_tol)
+                    {
+                        driver.offer_incumbent(obj, x);
+                        break;
+                    }
+                }
+                let r = driver.finish();
+                let mut out = MipResult::infeasible();
+                out.status = MipStatus::TimeLimit;
+                out.bound = r.bound;
+                if let Some((obj, x)) = r.incumbent {
+                    out.objective = obj;
+                    out.x = x;
+                    out.gap = r.gap;
+                    out.trace = r.trace;
+                }
+                return out;
+            }
+            LpStatus::Optimal => {}
+        }
+        driver.raise_bound(root.objective);
+
+        // Root primal: the caller's seed first (repaired to feasibility),
+        // then LP rounding + greedy repair, then a bounded dive if the cheap
+        // repairs fail.  This is what turns "gap = ∞ forever" into an
+        // anytime incumbent on rich constraint sets.
+        if let Some(seed) = seed {
+            if let Some((obj, x)) = round_and_repair(model, seed, RoundMode::Nearest, opts.int_tol)
+            {
+                driver.offer_incumbent(obj, x);
+            }
+        }
+        for mode in [RoundMode::Nearest, RoundMode::Floor] {
+            if let Some((obj, x)) = round_and_repair(model, &root.x, mode, opts.int_tol) {
+                driver.offer_incumbent(obj, x);
+                break;
+            }
+        }
+        if !driver.has_incumbent() {
+            if let Some((obj, x)) = self.dive(model, &lp_solver, &root.x, opts, &driver) {
+                driver.offer_incumbent(obj, x);
+            }
         }
 
-        let mut incumbent: Option<(f64, Vec<f64>)> = None;
-        let mut trace: Vec<GapPoint> = Vec::new();
-        let mut nodes = 0usize;
-
-        // Root rounding heuristic: round the LP point and repair nothing —
-        // accept only if feasible. Cheap and surprisingly effective on
-        // index-tuning BIPs where the LP is near-integral.
-        let rounded: Vec<f64> = root.x.iter().map(|v| if *v >= 0.5 { 1.0 } else { 0.0 }).collect();
-        if model.feasible(&rounded, 1e-6) {
-            let obj = model.objective_value(&rounded);
-            incumbent = Some((obj, rounded));
-        }
-
-        // Frontier ordered by bound (best-first).
+        // Frontier ordered by bound (best-first); the root's LP is reused.
         let mut frontier: Vec<Node> =
-            vec![Node { bound: root.objective, fixings: Vec::new(), depth: 0 }];
-
-        let mut status = MipStatus::Optimal;
-        let mut global_bound = root.objective;
-
-        let record = |trace: &mut Vec<GapPoint>,
-                      on_improve: &mut dyn FnMut(&GapPoint),
-                      start: &Instant,
-                      inc: f64,
-                      bound: f64| {
-            let gap = relative_gap(inc, bound);
-            let p = GapPoint { at: start.elapsed(), incumbent: inc, bound, gap };
-            on_improve(&p);
-            trace.push(p);
+            vec![Node { bound: root.objective, fixings: Vec::new(), depth: 0, branch: None }];
+        let mut root_lp = Some(root);
+        let mut pc = PseudoCosts::new(n);
+        let mut sb_remaining =
+            if n <= opts.strong_branch_max_vars { opts.strong_branch_budget } else { 0 };
+        let heuristic_period = match opts.heuristic_period {
+            0 => 0,
+            p if n > 500 => p.min(1),
+            p => p,
         };
 
+        let mut status: Option<MipStatus> = None;
+        // Subtrees abandoned because their LP stalled on the pivot cap: the
+        // global bound must never rise above the cheapest of them, and the
+        // search can no longer prove optimality by exhaustion.
+        let mut stalled_nodes = 0usize;
+        let mut stalled_bound_cap = f64::INFINITY;
         while let Some(pos) = best_node(&frontier) {
             let node = frontier.swap_remove(pos);
-            global_bound = frontier.iter().map(|nd| nd.bound).fold(node.bound, f64::min);
+            // Best-first: the popped node carries the global lower bound.
+            driver.raise_bound(node.bound.min(stalled_bound_cap));
 
-            // Check limits.
-            if let Some(tl) = opts.time_limit {
-                if start.elapsed() >= tl {
-                    status = MipStatus::TimeLimit;
-                    break;
-                }
-            }
-            if let Some(nl) = opts.node_limit {
-                if nodes >= nl {
-                    status = MipStatus::NodeLimit;
-                    break;
-                }
+            if let Some(stop) = driver.stop_status() {
+                status = Some(stop);
+                break;
             }
             // Prune against the incumbent.
-            if let Some((inc, _)) = &incumbent {
-                if node.bound >= *inc - 1e-9 {
-                    continue;
-                }
-                if relative_gap(*inc, global_bound) <= opts.gap_limit {
-                    status = if opts.gap_limit > 1e-9 {
-                        MipStatus::GapReached
-                    } else {
-                        MipStatus::Optimal
-                    };
-                    break;
-                }
+            if node.bound >= driver.incumbent_objective() - 1e-9 {
+                continue;
             }
 
-            nodes += 1;
-            // Apply fixings.
-            for &(j, v) in &node.fixings {
-                lo[j] = if v { 1.0 } else { 0.0 };
-                hi[j] = lo[j];
-            }
-            let lp = self.simplex.solve(model, &lo, &hi);
-            // Restore bounds.
-            for &(j, _) in &node.fixings {
-                lo[j] = 0.0;
-                hi[j] = 1.0;
-            }
+            driver.tick();
+            let lp = if node.fixings.is_empty() && root_lp.is_some() {
+                root_lp.take().expect("checked")
+            } else {
+                // Apply fixings over fresh root bounds.
+                lo.fill(0.0);
+                hi.fill(1.0);
+                for &(j, v) in &node.fixings {
+                    lo[j] = if v { 1.0 } else { 0.0 };
+                    hi[j] = lo[j];
+                }
+                lp_solver.solve(model, &lo, &hi)
+            };
 
             if lp.status == LpStatus::Infeasible {
                 continue;
             }
-            if let Some((inc, _)) = &incumbent {
-                if lp.objective >= *inc - 1e-9 {
-                    continue;
+            if lp.status == LpStatus::IterLimit {
+                // The LP stalled, so its objective is not a sound bound.
+                // Deadline hit → stop with the best-so-far; pivot-cap stall
+                // without a deadline → skip just this node (its parent bound
+                // stays valid via the frontier) and keep searching, but
+                // remember the search is no longer exhaustive.
+                let deadline_passed =
+                    lp_solver.deadline.is_some_and(|dl| std::time::Instant::now() >= dl);
+                if deadline_passed {
+                    status = Some(MipStatus::TimeLimit);
+                    break;
+                }
+                stalled_nodes += 1;
+                stalled_bound_cap = stalled_bound_cap.min(node.bound);
+                continue;
+            }
+            // Pseudo-cost update from the branch that created this node.
+            if let Some((j, up, frac)) = node.branch {
+                let per_unit = (lp.objective - node.bound).max(0.0)
+                    / if up { (1.0 - frac).max(1e-6) } else { frac.max(1e-6) };
+                pc.record(j, up, per_unit);
+            }
+            if lp.objective >= driver.incumbent_objective() - 1e-9 {
+                continue;
+            }
+
+            let fracs = fractionals(&lp.x, opts.int_tol);
+            if fracs.is_empty() {
+                driver.offer_incumbent(lp.objective, lp.x.clone());
+                continue;
+            }
+            // Periodic node heuristic on the node's LP point.
+            if heuristic_period > 0 && driver.ticks() % heuristic_period == 0 {
+                if let Some((obj, x)) =
+                    round_and_repair(model, &lp.x, RoundMode::Nearest, opts.int_tol)
+                {
+                    driver.offer_incumbent(obj, x);
                 }
             }
 
-            // Integral?
-            let frac_var = most_fractional(&lp.x, opts.int_tol);
-            match frac_var {
-                None => {
-                    let obj = lp.objective;
-                    let better = incumbent.as_ref().is_none_or(|(inc, _)| obj < *inc);
-                    if better {
-                        incumbent = Some((obj, lp.x.clone()));
-                        record(&mut trace, &mut on_improve, &start, obj, global_bound);
-                    }
-                }
-                Some(j) => {
-                    for v in [true, false] {
-                        let mut fx = node.fixings.clone();
-                        fx.push((j, v));
-                        frontier.push(Node {
-                            bound: lp.objective,
-                            fixings: fx,
-                            depth: node.depth + 1,
-                        });
-                    }
-                }
+            let j = select_branch_var(
+                model,
+                opts,
+                &lp_solver,
+                &mut lo,
+                &mut hi,
+                lp.objective,
+                &fracs,
+                &mut pc,
+                &mut sb_remaining,
+            );
+            let frac = lp.x[j].fract();
+            for v in [true, false] {
+                let mut fx = node.fixings.clone();
+                fx.push((j, v));
+                frontier.push(Node {
+                    bound: lp.objective,
+                    fixings: fx,
+                    depth: node.depth + 1,
+                    branch: Some((j, v, frac)),
+                });
             }
         }
 
-        if frontier.is_empty() && status == MipStatus::Optimal {
-            // Search exhausted: the incumbent (if any) is optimal.
-            if let Some((inc, _)) = &incumbent {
-                global_bound = *inc;
+        if status.is_none() {
+            if stalled_nodes == 0 {
+                // Search exhausted: the incumbent (if any) is optimal.
+                driver.close_exhausted();
+            } else {
+                // Some subtrees were abandoned on stalled LPs: the bound
+                // (capped at the cheapest abandoned subtree) stands, but
+                // optimality cannot be claimed.
+                status = Some(MipStatus::NodeLimit);
             }
         }
 
-        match incumbent {
+        let r = driver.finish();
+        match r.incumbent {
             None => {
                 // No integral point found. If the search was exhausted the
                 // BIP is integrally infeasible.
-                let mut r = MipResult::infeasible();
-                r.nodes = nodes;
-                if status != MipStatus::Optimal {
-                    r.status = status;
-                    r.bound = global_bound;
+                let mut out = MipResult::infeasible();
+                out.nodes = r.ticks;
+                if let Some(st) = status {
+                    out.status = st;
+                    out.bound = r.bound;
                 }
-                r
+                out
             }
-            Some((obj, x)) => {
-                let gap = relative_gap(obj, global_bound);
-                record(&mut trace, &mut on_improve, &start, obj, global_bound);
-                MipResult {
-                    status: if gap <= 1e-9 { MipStatus::Optimal } else { status },
-                    x,
-                    objective: obj,
-                    bound: global_bound,
-                    gap,
-                    nodes,
-                    trace,
-                }
-            }
+            Some((obj, x)) => MipResult {
+                status: if r.gap <= 1e-9 {
+                    MipStatus::Optimal
+                } else {
+                    status.unwrap_or(MipStatus::Optimal)
+                },
+                x,
+                objective: obj,
+                bound: r.bound,
+                gap: r.gap,
+                nodes: r.ticks,
+                trace: r.trace,
+            },
         }
     }
 
-    /// Solve without callbacks.
+    /// Solve without progress consumers.
     pub fn solve(&self, model: &Model, opts: &SolveOptions) -> MipResult {
-        self.solve_with_callback(model, opts, |_| {})
+        self.solve_with_progress(model, opts, |_, _| {})
+    }
+
+    /// Bounded LP dive: fix the most-integral fractional variable to its
+    /// rounded value, re-solve, and retry the cheap repair at every level.
+    /// One flip is allowed per level when the dive LP goes infeasible.
+    fn dive<F>(
+        &self,
+        model: &Model,
+        lp_solver: &SimplexSolver,
+        root_x: &[f64],
+        opts: &SolveOptions,
+        driver: &SolveDriver<'_, F>,
+    ) -> Option<(f64, Vec<f64>)> {
+        const MAX_DIVE: usize = 24;
+        let n = model.n_vars();
+        let mut lo = vec![0.0; n];
+        let mut hi = vec![1.0; n];
+        let mut x = root_x.to_vec();
+        for _ in 0..MAX_DIVE {
+            if driver.stop_status() == Some(MipStatus::TimeLimit) {
+                return None;
+            }
+            if let Some(found) = round_and_repair(model, &x, RoundMode::Nearest, opts.int_tol) {
+                return Some(found);
+            }
+            // Most integral fractional variable.
+            let (j, frac) = fractionals(&x, opts.int_tol)
+                .into_iter()
+                .min_by(|a, b| (a.1 - a.1.round()).abs().total_cmp(&(b.1 - b.1.round()).abs()))?;
+            let v = frac >= 0.5;
+            lo[j] = if v { 1.0 } else { 0.0 };
+            hi[j] = lo[j];
+            let lp = lp_solver.solve(model, &lo, &hi);
+            if lp.status == LpStatus::Optimal {
+                x = lp.x;
+                continue;
+            }
+            // Flip the fixing once, then give up on this path.
+            lo[j] = 1.0 - lo[j];
+            hi[j] = lo[j];
+            let lp = lp_solver.solve(model, &lo, &hi);
+            if lp.status != LpStatus::Optimal {
+                return None;
+            }
+            x = lp.x;
+        }
+        None
     }
 }
 
-/// Relative optimality gap, safe for zero incumbents.
-pub fn relative_gap(incumbent: f64, bound: f64) -> f64 {
-    if !incumbent.is_finite() {
-        return f64::INFINITY;
+/// Reliability-initialized pseudo-cost branching: pick the fractional
+/// variable with the best degradation-product score, strong-branching
+/// (two bounded child LPs) the most fractional unreliable candidates
+/// while the strong-branch budget lasts.
+#[allow(clippy::too_many_arguments)]
+fn select_branch_var(
+    model: &Model,
+    opts: &SolveOptions,
+    lp_solver: &SimplexSolver,
+    lo: &mut [f64],
+    hi: &mut [f64],
+    node_obj: f64,
+    fracs: &[(usize, f64)],
+    pc: &mut PseudoCosts,
+    sb_remaining: &mut usize,
+) -> usize {
+    if *sb_remaining > 0 {
+        // Most fractional candidates first (closest to 0.5).
+        let mut cands: Vec<(usize, f64)> = fracs.to_vec();
+        cands.sort_by(|a, b| (a.1 - 0.5).abs().total_cmp(&(b.1 - 0.5).abs()));
+        let big = 1e6 * (1.0 + node_obj.abs());
+        let sb_simplex = SimplexSolver { max_iters: 2_000, ..lp_solver.clone() };
+        for &(j, frac) in cands.iter().take(8) {
+            if *sb_remaining == 0 {
+                break;
+            }
+            if pc.reliable(j, opts.reliability) {
+                continue;
+            }
+            *sb_remaining -= 1;
+            for up in [false, true] {
+                let (plo, phi) = (lo[j], hi[j]);
+                lo[j] = if up { 1.0 } else { 0.0 };
+                hi[j] = lo[j];
+                let child = sb_simplex.solve(model, lo, hi);
+                lo[j] = plo;
+                hi[j] = phi;
+                let denom = if up { (1.0 - frac).max(1e-6) } else { frac.max(1e-6) };
+                let per_unit = match child.status {
+                    LpStatus::Infeasible => big,
+                    _ => (child.objective - node_obj).max(0.0) / denom,
+                };
+                pc.record(j, up, per_unit);
+            }
+        }
     }
-    let denom = incumbent.abs().max(1e-12);
-    ((incumbent - bound) / denom).max(0.0)
+    let means = pc.global_means();
+    let mut best = fracs[0].0;
+    let mut best_score = f64::NEG_INFINITY;
+    for &(j, frac) in fracs {
+        let s = pc.score(j, frac, means);
+        if s > best_score {
+            best_score = s;
+            best = j;
+        }
+    }
+    best
 }
 
 fn best_node(frontier: &[Node]) -> Option<usize> {
@@ -311,15 +571,170 @@ fn best_node(frontier: &[Node]) -> Option<usize> {
         .map(|(i, _)| i)
 }
 
-fn most_fractional(x: &[f64], tol: f64) -> Option<usize> {
-    let mut best: Option<(usize, f64)> = None;
-    for (j, &v) in x.iter().enumerate() {
-        let frac = (v - v.round()).abs();
-        if frac > tol && best.is_none_or(|(_, f)| frac > f) {
-            best = Some((j, frac));
+/// Fractional coordinates of `x` (index, value).
+fn fractionals(x: &[f64], tol: f64) -> Vec<(usize, f64)> {
+    x.iter()
+        .enumerate()
+        .filter(|(_, &v)| (v - v.round()).abs() > tol)
+        .map(|(j, &v)| (j, v))
+        .collect()
+}
+
+/// How the LP point is snapped to binaries before repair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RoundMode {
+    /// Round to the nearest binary (≥ 0.5 → 1).
+    Nearest,
+    /// Round every fractional down (covering rows then pull vars back in).
+    Floor,
+}
+
+/// LP-rounding + greedy-repair primal heuristic.
+///
+/// Rounds `x_lp` per `mode`, then repairs violated rows: each pass walks the
+/// violated constraints and flips the candidate variables with the least
+/// objective damage per unit of violation removed (penalizing flips that
+/// would break currently-satisfied rows), selected by
+/// [`knapsack::greedy_cover`].  Returns a feasible `(objective, x)` or
+/// `None` when the repair budget runs out.
+fn round_and_repair(
+    model: &Model,
+    x_lp: &[f64],
+    mode: RoundMode,
+    tol: f64,
+) -> Option<(f64, Vec<f64>)> {
+    let mut x: Vec<f64> = x_lp
+        .iter()
+        .map(|&v| match mode {
+            RoundMode::Nearest => {
+                if v >= 0.5 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            RoundMode::Floor => {
+                if v >= 1.0 - 1e-9 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        })
+        .collect();
+    if model.feasible(&x, tol) {
+        return Some((model.objective_value(&x), x));
+    }
+    // Column index: which rows each variable appears in (for the
+    // collateral-damage penalty).
+    let mut cols: Vec<Vec<u32>> = vec![Vec::new(); model.n_vars()];
+    for (ci, c) in model.constraints().iter().enumerate() {
+        for &(v, _) in &c.expr.terms {
+            cols[v.0 as usize].push(ci as u32);
         }
     }
-    best.map(|(j, _)| j)
+    let penalty = 1e6 * (1.0 + model.objective().iter().fold(0.0f64, |m, c| m.max(c.abs())));
+    let max_passes = 2 * model.n_constraints() + 16;
+    for _ in 0..max_passes {
+        let violated = model.violated(&x, tol);
+        if violated.is_empty() {
+            return Some((model.objective_value(&x), x));
+        }
+        let mut flipped_any = false;
+        for cid in violated {
+            flipped_any |= repair_row(model, cid, &mut x, &cols, penalty, tol);
+        }
+        if !flipped_any {
+            return None;
+        }
+    }
+    None
+}
+
+/// Repair one violated row by greedy covering over candidate flips.
+/// Returns whether anything was flipped.
+fn repair_row(
+    model: &Model,
+    cid: ConstrId,
+    x: &mut [f64],
+    cols: &[Vec<u32>],
+    penalty: f64,
+    tol: f64,
+) -> bool {
+    let cons = model.constraint(cid);
+    let lhs = cons.expr.value(x);
+    // Positive amount by which the lhs must fall (`need_fall`) or rise.
+    let (need_fall, amount) = match cons.sense {
+        Sense::Le => (true, lhs - cons.rhs),
+        Sense::Ge => (false, cons.rhs - lhs),
+        Sense::Eq => {
+            if lhs > cons.rhs {
+                (true, lhs - cons.rhs)
+            } else {
+                (false, cons.rhs - lhs)
+            }
+        }
+    };
+    if amount <= tol {
+        return false; // repaired as a side effect of an earlier row
+    }
+    let obj = model.objective();
+    // Candidate flips: (variable, movement toward feasibility, flip cost).
+    let mut moves: Vec<(usize, f64, f64)> = Vec::new();
+    for &(v, c) in &cons.expr.terms {
+        let j = v.0 as usize;
+        let set = x[j] >= 0.5;
+        let gain = match (need_fall, set, c > 0.0) {
+            (true, true, true) => c,    // drop a positive term
+            (true, false, false) => -c, // add a negative term
+            (false, true, false) => -c, // drop a negative term
+            (false, false, true) => c,  // add a positive term
+            _ => continue,
+        };
+        let mut cost = if set { -obj[j] } else { obj[j] };
+        cost += penalty * collateral_violations(model, cols, x, j, cid) as f64;
+        moves.push((j, gain, cost));
+    }
+    let items: Vec<(f64, f64)> = moves.iter().map(|&(_, gain, cost)| (cost, gain)).collect();
+    let Some(chosen) = knapsack::greedy_cover(amount, &items) else {
+        return false;
+    };
+    let mut flipped = false;
+    for i in chosen {
+        let j = moves[i].0;
+        x[j] = 1.0 - x[j];
+        flipped = true;
+    }
+    flipped
+}
+
+/// How many currently-satisfied rows (other than `fixing`) would flipping
+/// `j` break?
+fn collateral_violations(
+    model: &Model,
+    cols: &[Vec<u32>],
+    x: &mut [f64],
+    j: usize,
+    fixing: ConstrId,
+) -> usize {
+    let mut broken = 0;
+    let old = x[j];
+    for &ci in &cols[j] {
+        if ci == fixing.0 {
+            continue;
+        }
+        let cons = &model.constraints()[ci as usize];
+        if !cons.satisfied(x, 1e-6) {
+            continue; // already violated; cannot get "newly broken"
+        }
+        x[j] = 1.0 - old;
+        let still_ok = cons.satisfied(x, 1e-6);
+        x[j] = old;
+        if !still_ok {
+            broken += 1;
+        }
+    }
+    broken
 }
 
 #[cfg(test)]
@@ -436,7 +851,7 @@ mod tests {
             e.add(v, rng.gen_range(3.0..9.0));
         }
         m.add_constraint(e, Sense::Le, 30.0);
-        let opts = SolveOptions { gap_limit: 0.10, ..Default::default() };
+        let opts = SolveOptions { budget: SolveBudget::within(0.10), ..Default::default() };
         let r = BranchBound::new().solve(&m, &opts);
         assert!(matches!(r.status, MipStatus::GapReached | MipStatus::Optimal));
         assert!(r.gap <= 0.10 + 1e-9);
@@ -445,7 +860,7 @@ mod tests {
     }
 
     #[test]
-    fn callback_trace_is_monotone() {
+    fn progress_stream_is_anytime_consistent() {
         let mut m = Model::new();
         let mut e = LinExpr::new();
         let mut rng = SmallRng::seed_from_u64(11);
@@ -454,17 +869,29 @@ mod tests {
             e.add(v, rng.gen_range(1.0..10.0));
         }
         m.add_constraint(e, Sense::Le, 25.0);
-        let mut gaps: Vec<f64> = Vec::new();
-        let r = BranchBound::new()
-            .solve_with_callback(&m, &SolveOptions::default(), |p| gaps.push(p.gap));
+        let mut events: Vec<SolveProgress> = Vec::new();
+        let mut incumbent_events = 0usize;
+        let r = BranchBound::new().solve_with_progress(&m, &SolveOptions::default(), |p, sol| {
+            if let Some(x) = sol {
+                incumbent_events += 1;
+                assert!(m.feasible(x, 1e-6), "streamed incumbent must be feasible");
+                assert!((m.objective_value(x) - p.incumbent).abs() < 1e-9);
+            }
+            events.push(*p);
+        });
         assert_eq!(r.status, MipStatus::Optimal);
-        // incumbents improve monotonically
-        let mut prev = f64::INFINITY;
-        for p in &r.trace {
-            assert!(p.incumbent <= prev + 1e-9);
-            prev = p.incumbent;
+        assert!(incumbent_events > 0, "at least the root heuristic must stream");
+        // Incumbents improve monotonically, gaps never regress.
+        let (mut prev_inc, mut prev_gap) = (f64::INFINITY, f64::INFINITY);
+        for p in &events {
+            assert!(p.incumbent <= prev_inc + 1e-9);
+            assert!(p.gap <= prev_gap + 1e-12);
+            assert!(p.incumbent >= p.bound - 1e-9);
+            prev_inc = p.incumbent;
+            prev_gap = p.gap;
         }
-        assert!(!gaps.is_empty());
+        // The recorded trace mirrors the stream.
+        assert_eq!(events.len(), r.trace.len());
     }
 
     #[test]
@@ -477,8 +904,68 @@ mod tests {
             e.add(v, rng.gen_range(3.0..4.0));
         }
         m.add_constraint(e, Sense::Le, 20.0);
-        let opts = SolveOptions { node_limit: Some(5), ..Default::default() };
+        let opts =
+            SolveOptions { budget: SolveBudget::exact().with_nodes(5), ..Default::default() };
         let r = BranchBound::new().solve(&m, &opts);
         assert!(r.nodes <= 6);
+    }
+
+    #[test]
+    fn root_incumbent_on_assignment_structure() {
+        // A miniature Theorem-1 shape: 2 "queries" × (y-rows, x-rows, x ≤ z)
+        // plus an AT-MOST row over z.  Plain rounding breaks the Eq rows;
+        // the repair must still produce a root incumbent.
+        let mut m = Model::new();
+        let z: Vec<_> = (0..3).map(|a| m.add_var(format!("z{a}"), 1.0)).collect();
+        for q in 0..2 {
+            let y = m.add_var(format!("y{q}"), 5.0);
+            m.add_constraint(LinExpr::new().term(y, 1.0), Sense::Eq, 1.0);
+            let xh = m.add_var(format!("xh{q}"), 20.0); // heap fallback
+            let mut xsum = LinExpr::new().term(xh, 1.0);
+            for (a, &zv) in z.iter().enumerate() {
+                let xv = m.add_var(format!("x{q}_{a}"), 2.0 + a as f64);
+                m.add_constraint(LinExpr::new().term(xv, 1.0).term(zv, -1.0), Sense::Le, 0.0);
+                xsum.add(xv, 1.0);
+            }
+            xsum.add(y, -1.0);
+            m.add_constraint(xsum, Sense::Eq, 0.0);
+        }
+        // AT-MOST one z.
+        let mut zsum = LinExpr::new();
+        for &zv in &z {
+            zsum.add(zv, 1.0);
+        }
+        m.add_constraint(zsum, Sense::Le, 1.0);
+
+        let mut first_incumbent_ticks = None;
+        let r = BranchBound::new().solve_with_progress(&m, &SolveOptions::default(), |p, sol| {
+            if sol.is_some() && first_incumbent_ticks.is_none() {
+                first_incumbent_ticks = Some(p.ticks);
+            }
+        });
+        assert_ne!(r.status, MipStatus::Infeasible);
+        assert_eq!(first_incumbent_ticks, Some(0), "incumbent must appear at the root");
+        let (expect, _) = m.brute_force().unwrap();
+        assert!((r.objective - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn round_and_repair_handles_storage_row() {
+        // All-ones LP point violating a storage row: repair must drop the
+        // worst value-per-size items (the knapsack cover in action).
+        let mut m = Model::new();
+        let mut row = LinExpr::new();
+        for j in 0..6 {
+            let v = m.add_var(format!("v{j}"), -(6.0 - j as f64));
+            row.add(v, 2.0);
+        }
+        m.add_constraint(row, Sense::Le, 6.0);
+        let lp_point = vec![1.0; 6];
+        let (obj, x) = round_and_repair(&m, &lp_point, RoundMode::Nearest, 1e-6).unwrap();
+        assert!(m.feasible(&x, 1e-6));
+        assert!((m.objective_value(&x) - obj).abs() < 1e-9);
+        // The cheap-to-drop (least negative) items go first.
+        assert_eq!(x[0], 1.0);
+        assert_eq!(x[5], 0.0);
     }
 }

@@ -59,6 +59,42 @@ pub fn greedy_binary_min(cost: &[f64], size: &[f64], budget: f64) -> (f64, Vec<b
     (obj, z)
 }
 
+/// Greedy covering: pick items by cost-per-unit-gain (ascending, so
+/// objective-improving flips go first) until the accumulated gain covers
+/// `need`.  Items are `(cost, gain)` pairs with `gain > 0` (non-positive
+/// gains are ignored).  Returns indices into `items`, or `None` when even
+/// taking everything falls short.
+///
+/// This is the selection core shared by the budget repairs below and by the
+/// branch-and-bound rounding heuristic's row repair (violated AT-MOST /
+/// storage rows are exactly a covering knapsack over candidate flips).
+pub fn greedy_cover(need: f64, items: &[(f64, f64)]) -> Option<Vec<usize>> {
+    let mut order: Vec<usize> = (0..items.len()).filter(|&i| items[i].1 > 0.0).collect();
+    let total: f64 = order.iter().map(|&i| items[i].1).sum();
+    if total + 1e-9 < need {
+        return None;
+    }
+    order.sort_by(|&a, &b| {
+        let ra = items[a].0 / items[a].1;
+        let rb = items[b].0 / items[b].1;
+        ra.total_cmp(&rb)
+    });
+    let mut out = Vec::new();
+    let mut got = 0.0;
+    for i in order {
+        if got + 1e-9 >= need {
+            break;
+        }
+        out.push(i);
+        got += items[i].1;
+    }
+    if got + 1e-9 >= need {
+        Some(out)
+    } else {
+        None
+    }
+}
+
 /// Drop items (largest size first among the worst ratios) until the selection
 /// fits the budget.  Used to repair heuristic solutions.
 pub fn repair_to_budget(selected: &mut [bool], value: &[f64], size: &[f64], budget: f64) {
@@ -134,6 +170,22 @@ mod tests {
         // the low-value item goes first
         assert!(!sel[1]);
         assert!(sel[0] && sel[2]);
+    }
+
+    #[test]
+    fn greedy_cover_prefers_cheap_ratios() {
+        // Covering 3 units: item 1 has the best cost/gain ratio, item 0 the
+        // next; item 2 is never needed.
+        let items = [(4.0, 2.0), (1.0, 2.0), (9.0, 1.0)];
+        let chosen = greedy_cover(3.0, &items).unwrap();
+        assert_eq!(chosen, vec![1, 0]);
+        // Improving (negative-cost) flips always go first.
+        let improving = [(5.0, 1.0), (-2.0, 1.0)];
+        assert_eq!(greedy_cover(1.0, &improving).unwrap(), vec![1]);
+        // Short supply is reported, not silently mangled.
+        assert!(greedy_cover(10.0, &items).is_none());
+        // Nothing needed → nothing chosen.
+        assert!(greedy_cover(0.0, &items).unwrap().is_empty());
     }
 
     #[test]

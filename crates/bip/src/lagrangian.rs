@@ -21,9 +21,8 @@
 //! variables, where a dense-inverse simplex cannot go.
 
 use std::collections::HashMap;
-use std::time::{Duration, Instant};
 
-use crate::branch_bound::{relative_gap, GapPoint};
+use crate::driver::{GapPoint, SolveBudget, SolveDriver, SolveProgress};
 use crate::knapsack;
 
 /// Per-slot access choices: the fallback `I∅` cost (if the slot's order
@@ -172,12 +171,15 @@ pub struct LagrangeResult {
     pub trace: Vec<GapPoint>,
 }
 
-/// Subgradient-driven Lagrangian solver.
+/// Subgradient-driven Lagrangian solver, running inside the shared
+/// [`SolveDriver`] (one tick per subgradient iteration).
 #[derive(Debug, Clone)]
 pub struct LagrangianSolver {
-    pub max_iters: usize,
-    pub gap_limit: f64,
-    pub time_limit: Option<Duration>,
+    /// Gap / time / iteration budget.  `node_limit` caps subgradient
+    /// iterations; when `None`, [`LagrangianSolver::DEFAULT_MAX_ITERS`]
+    /// applies (subgradient ascent also self-terminates once the step
+    /// scale collapses).
+    pub budget: SolveBudget,
     /// Initial Polyak step scale (halved after stretches without dual
     /// improvement).
     pub alpha0: f64,
@@ -187,17 +189,14 @@ pub struct LagrangianSolver {
 
 impl Default for LagrangianSolver {
     fn default() -> Self {
-        LagrangianSolver {
-            max_iters: 400,
-            gap_limit: 0.02,
-            time_limit: None,
-            alpha0: 2.0,
-            local_search_passes: 2,
-        }
+        LagrangianSolver { budget: SolveBudget::within(0.02), alpha0: 2.0, local_search_passes: 2 }
     }
 }
 
 impl LagrangianSolver {
+    /// Iteration cap applied when the budget sets no `node_limit`.
+    pub const DEFAULT_MAX_ITERS: usize = 400;
+
     pub fn new() -> Self {
         Self::default()
     }
@@ -214,7 +213,21 @@ impl LagrangianSolver {
         p: &BlockProblem,
         warm: Option<&WarmStart>,
     ) -> (LagrangeResult, WarmStart) {
-        let start = Instant::now();
+        self.solve_warm_with_progress(p, warm, |_, _| {})
+    }
+
+    /// [`LagrangianSolver::solve_warm`] streaming every incumbent/bound
+    /// improvement through `on_progress` (the improving selection rides
+    /// along on incumbent events) — the same anytime contract as the
+    /// branch-and-bound backend.
+    pub fn solve_warm_with_progress(
+        &self,
+        p: &BlockProblem,
+        warm: Option<&WarmStart>,
+        on_progress: impl FnMut(&SolveProgress, Option<&Vec<bool>>),
+    ) -> (LagrangeResult, WarmStart) {
+        let mut driver = SolveDriver::with_progress(self.budget, on_progress);
+        let max_iters = self.budget.node_limit.unwrap_or(Self::DEFAULT_MAX_ITERS);
         let n = p.n_items;
 
         // --- flatten μ coordinates -----------------------------------------
@@ -256,33 +269,20 @@ impl LagrangianSolver {
                 best_sel = cand;
             }
         }
-        let mut best_ub = p.evaluate(&best_sel).expect("initial selection evaluates");
-        let mut best_lb = f64::NEG_INFINITY;
-        let mut trace: Vec<GapPoint> = Vec::new();
-        let record = |ub: f64, lb: f64, trace: &mut Vec<GapPoint>| {
-            trace.push(GapPoint {
-                at: start.elapsed(),
-                incumbent: ub,
-                bound: lb,
-                gap: relative_gap(ub, lb),
-            });
-        };
-        record(best_ub, best_lb, &mut trace);
+        let initial_ub = p.evaluate(&best_sel).expect("initial selection evaluates");
+        driver.offer_incumbent(initial_ub, best_sel);
 
         let mut alpha = self.alpha0;
         let mut stall = 0usize;
         let mut g = vec![0.0f64; coord.len()];
         let mut m_acc = vec![0.0f64; n];
         let mut chosen: Vec<u32> = Vec::new();
-        let mut iterations = 0;
 
-        for iter in 0..self.max_iters {
-            iterations = iter + 1;
-            if let Some(tl) = self.time_limit {
-                if start.elapsed() >= tl {
-                    break;
-                }
+        while driver.ticks() < max_iters {
+            if driver.stop_status().is_some() {
+                break;
             }
+            driver.tick();
 
             // M_a = Σ μ over the item's choice coordinates.
             m_acc.fill(0.0);
@@ -358,10 +358,8 @@ impl LagrangianSolver {
                 }
             };
             let lb = query_part + zobj;
-            if lb > best_lb + 1e-12 {
-                best_lb = lb;
+            if driver.raise_bound(lb) {
                 stall = 0;
-                record(best_ub, best_lb, &mut trace);
             } else {
                 stall += 1;
                 if stall > 20 {
@@ -378,15 +376,13 @@ impl LagrangianSolver {
                 &p.item_size,
                 p.budget.unwrap_or(f64::INFINITY),
             );
-            if let Some(obj) = p.evaluate(&cand) {
-                if obj < best_ub - 1e-9 && p.fits_budget(&cand) {
-                    best_ub = obj;
-                    best_sel = cand;
-                    record(best_ub, best_lb, &mut trace);
+            if p.fits_budget(&cand) {
+                if let Some(obj) = p.evaluate(&cand) {
+                    driver.offer_incumbent(obj, cand);
                 }
             }
 
-            if relative_gap(best_ub, best_lb) <= self.gap_limit {
+            if driver.gap_reached() {
                 break;
             }
 
@@ -402,6 +398,7 @@ impl LagrangianSolver {
             if norm2 < 1e-14 {
                 break;
             }
+            let best_ub = driver.incumbent_objective();
             let target = (best_ub - lb).max(best_ub.abs() * 1e-4);
             let t = alpha * target / norm2;
             for (m, gi) in mu.iter_mut().zip(g.iter()) {
@@ -414,19 +411,22 @@ impl LagrangianSolver {
 
         // Local search with the inverted index.
         if self.local_search_passes > 0 {
+            let (mut ls_best, mut ls_sel) =
+                driver.incumbent().map(|(obj, sel)| (*obj, sel.clone())).expect("primal exists");
             let inv = p.item_blocks();
-            local_search(p, &inv, &mut best_sel, &mut best_ub, self.local_search_passes);
-            record(best_ub, best_lb, &mut trace);
+            local_search(p, &inv, &mut ls_sel, &mut ls_best, self.local_search_passes);
+            driver.offer_incumbent(ls_best, ls_sel);
         }
 
-        let gap = relative_gap(best_ub, best_lb);
+        let r = driver.finish();
+        let (objective, best_sel) = r.incumbent.expect("initial incumbent always offered");
         let result = LagrangeResult {
             selected: best_sel.clone(),
-            objective: best_ub,
-            bound: best_lb,
-            gap,
-            iterations,
-            trace,
+            objective,
+            bound: r.bound,
+            gap: r.gap,
+            iterations: r.ticks,
+            trace: r.trace,
         };
         let mut wout = WarmStart { multipliers: HashMap::new(), selection: best_sel };
         for (ci, c) in coord.iter().enumerate() {
@@ -680,13 +680,36 @@ mod tests {
         for seed in 0..10u64 {
             let p = random_problem(100 + seed, 6, 8);
             let (opt, _) = brute_force(&p);
-            let solver = LagrangianSolver { max_iters: 800, gap_limit: 1e-9, ..Default::default() };
+            let solver = LagrangianSolver {
+                budget: SolveBudget::exact().with_nodes(800),
+                ..Default::default()
+            };
             let r = solver.solve(&p);
             if (r.objective - opt).abs() < 1e-6 {
                 hits += 1;
             }
         }
         assert!(hits >= 8, "heuristic+LS should hit the optimum almost always: {hits}/10");
+    }
+
+    #[test]
+    fn progress_stream_matches_branch_bound_contract() {
+        let p = random_problem(21, 10, 25);
+        let mut events = 0usize;
+        let mut prev_gap = f64::INFINITY;
+        let (r, _) = LagrangianSolver::new().solve_warm_with_progress(&p, None, |pr, sel| {
+            events += 1;
+            assert!(pr.gap <= prev_gap + 1e-12, "gap series must be non-increasing");
+            prev_gap = pr.gap;
+            assert!(pr.incumbent >= pr.bound - 1e-9);
+            if let Some(sel) = sel {
+                assert!(p.fits_budget(sel), "streamed incumbent must fit the budget");
+                let exact = p.evaluate(sel).expect("streamed incumbent evaluates");
+                assert!((exact - pr.incumbent).abs() < 1e-6);
+            }
+        });
+        assert!(events > 0);
+        assert_eq!(events, r.trace.len());
     }
 
     #[test]
@@ -707,7 +730,7 @@ mod tests {
     #[test]
     fn warm_start_converges_faster() {
         let p = random_problem(77, 14, 40);
-        let solver = LagrangianSolver { gap_limit: 0.01, ..Default::default() };
+        let solver = LagrangianSolver { budget: SolveBudget::within(0.01), ..Default::default() };
         let (r1, warm) = solver.solve_warm(&p, None);
         let (r2, _) = solver.solve_warm(&p, Some(&warm));
         // Warm-started solve must not do worse, and usually does far less work.

@@ -21,17 +21,26 @@
 //!   multipliers for fast re-solves;
 //! * [`knapsack`] — continuous/0-1 knapsack helpers shared by the above.
 //!
+//! * [`driver`] — the shared **anytime solve engine**: one [`SolveBudget`]
+//!   (gap / wall-clock / node limits), a [`SolveDriver`] owning the
+//!   incumbent stream, monotone bound and proven-gap tracking, and the
+//!   unified [`SolveProgress`] callback both backends report through.
+//!
 //! The solvers report the same observables CPLEX exposes to CoPhy:
 //! feasibility, anytime incumbent + bound (⇒ optimality gap), and cheap
 //! re-solves after model deltas.
 
 pub mod branch_bound;
+pub mod driver;
 pub mod knapsack;
 pub mod lagrangian;
 pub mod model;
 pub mod simplex;
 
-pub use branch_bound::{BranchBound, GapPoint, MipResult, MipStatus, SolveOptions};
+pub use branch_bound::{BranchBound, MipResult, SolveOptions};
+pub use driver::{
+    relative_gap, DriverResult, GapPoint, MipStatus, SolveBudget, SolveDriver, SolveProgress,
+};
 pub use lagrangian::{
     Alt, Block, BlockProblem, LagrangeResult, LagrangianSolver, SlotChoices, WarmStart,
 };

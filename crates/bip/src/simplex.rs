@@ -51,11 +51,15 @@ pub struct LpResult {
 pub struct SimplexSolver {
     pub max_iters: usize,
     pub tol: f64,
+    /// Abandon the solve (status [`LpStatus::IterLimit`]) once this instant
+    /// passes — checked every few iterations, so a single large LP cannot
+    /// blow through a caller's wall-clock budget.
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl Default for SimplexSolver {
     fn default() -> Self {
-        SimplexSolver { max_iters: 50_000, tol: 1e-7 }
+        SimplexSolver { max_iters: 50_000, tol: 1e-7, deadline: None }
     }
 }
 
@@ -297,7 +301,13 @@ impl Tableau {
     }
 
     /// Run the simplex on the given phase costs. Returns (status, iterations).
-    fn run(&mut self, cost: &[f64], tol: f64, max_iters: usize) -> (LpStatus, usize) {
+    fn run(
+        &mut self,
+        cost: &[f64],
+        tol: f64,
+        max_iters: usize,
+        deadline: Option<std::time::Instant>,
+    ) -> (LpStatus, usize) {
         let m = self.m;
         let mut y = vec![0.0; m];
         let mut w = vec![0.0; m];
@@ -305,6 +315,13 @@ impl Tableau {
         let mut since_refactor = 0usize;
 
         for iter in 0..max_iters {
+            if iter & 63 == 0 {
+                if let Some(dl) = deadline {
+                    if std::time::Instant::now() >= dl {
+                        return (LpStatus::IterLimit, iter);
+                    }
+                }
+            }
             self.duals(cost, &mut y);
 
             // Pricing: Dantzig normally, Bland when cycling is suspected.
@@ -479,7 +496,7 @@ impl SimplexSolver {
         for j in t.n_artificial_start..t.cols.len() {
             phase1_cost[j] = 1.0;
         }
-        let (s1, it1) = t.run(&phase1_cost, self.tol, self.max_iters);
+        let (s1, it1) = t.run(&phase1_cost, self.tol, self.max_iters, self.deadline);
         if s1 == LpStatus::IterLimit {
             return LpResult {
                 status: LpStatus::IterLimit,
@@ -513,7 +530,7 @@ impl SimplexSolver {
         }
         let mut phase2_cost = vec![0.0; t.cols.len()];
         phase2_cost[..n].copy_from_slice(model.objective());
-        let (s2, it2) = t.run(&phase2_cost, self.tol, self.max_iters);
+        let (s2, it2) = t.run(&phase2_cost, self.tol, self.max_iters, self.deadline);
 
         let x = t.structural_x();
         let objective = model.objective_value(&x);

@@ -36,11 +36,37 @@ impl Default for BipGen {
     }
 }
 
+/// One slot's variables: the heap fallback (if admissible) and the surviving
+/// candidate accesses, each with its `γ` cost.
+#[derive(Debug, Clone)]
+pub struct SlotVars {
+    pub heap: Option<(VarId, f64)>,
+    /// `(candidate position, x variable, γ)`.
+    pub choices: Vec<(u32, VarId, f64)>,
+}
+
+/// One template alternative's variables.
+#[derive(Debug, Clone)]
+pub struct TemplateVars {
+    pub y: VarId,
+    /// `f_q β_qk` (weighted internal cost).
+    pub base: f64,
+    pub slots: Vec<SlotVars>,
+}
+
+/// Per-query variable layout (position-aligned with the prepared workload).
+#[derive(Debug, Clone, Default)]
+pub struct QueryVars {
+    pub templates: Vec<TemplateVars>,
+}
+
 /// Mapping from model variables back to the tuning domain.
 #[derive(Debug, Clone)]
 pub struct BipMapping {
     /// `z_a` variable per candidate (position-aligned with the candidate set).
     pub z: Vec<VarId>,
+    /// Per-query template/slot variable layout (Theorem 1's structure).
+    pub queries: Vec<QueryVars>,
     /// Total `y` variables (one per query-template).
     pub n_y: usize,
     /// Total `x` variables after pruning.
@@ -57,6 +83,62 @@ impl BipMapping {
             }
         }
         cfg
+    }
+
+    /// Best integral completion of a candidate selection: set `z` from
+    /// `selected`, then per query pick the cheapest instantiable template
+    /// and per-slot access.  Used to seed the generic backend with the
+    /// Lagrangian backend's storage-only solution (the completion satisfies
+    /// all Theorem-1 rows by construction; any extra constraint rows are
+    /// repaired by the solver's rounding heuristic).
+    pub fn completion(&self, selected: &[bool], n_vars: usize) -> Vec<f64> {
+        let mut x = vec![0.0; n_vars];
+        for (pos, v) in self.z.iter().enumerate() {
+            if selected[pos] {
+                x[v.0 as usize] = 1.0;
+            }
+        }
+        for q in &self.queries {
+            // Cheapest template under the selection.
+            let mut best: Option<(f64, usize)> = None;
+            for (k, t) in q.templates.iter().enumerate() {
+                let mut total = t.base;
+                let mut ok = true;
+                for s in &t.slots {
+                    let mut sbest = s.heap.map(|(_, h)| h);
+                    for &(cand, _, g) in &s.choices {
+                        if selected[cand as usize] && sbest.is_none_or(|c| g < c) {
+                            sbest = Some(g);
+                        }
+                    }
+                    match sbest {
+                        Some(c) => total += c,
+                        None => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                if ok && best.is_none_or(|(c, _)| total < c) {
+                    best = Some((total, k));
+                }
+            }
+            let Some((_, k)) = best else { continue };
+            let t = &q.templates[k];
+            x[t.y.0 as usize] = 1.0;
+            for s in &t.slots {
+                let mut sbest: Option<(f64, VarId)> = s.heap.map(|(v, h)| (h, v));
+                for &(cand, v, g) in &s.choices {
+                    if selected[cand as usize] && sbest.as_ref().is_none_or(|(c, _)| g < *c) {
+                        sbest = Some((g, v));
+                    }
+                }
+                if let Some((_, v)) = sbest {
+                    x[v.0 as usize] = 1.0;
+                }
+            }
+        }
+        x
     }
 }
 
@@ -189,6 +271,7 @@ impl BipGen {
         let mut n_x = 0usize;
         // Per-query cost expressions (unweighted), for query-cost constraints.
         let mut cost_exprs: Vec<LinExpr> = Vec::with_capacity(prepared.queries.len());
+        let mut queries: Vec<QueryVars> = Vec::with_capacity(prepared.queries.len());
 
         for (qi, pq) in prepared.queries.iter().enumerate() {
             let mut yq = Vec::with_capacity(pq.templates.len());
@@ -206,20 +289,29 @@ impl BipGen {
             }
             m.add_constraint(ysum, Sense::Eq, 1.0);
 
+            let mut qvars = QueryVars::default();
             for (k, tpl) in pq.templates.iter().enumerate() {
+                let mut tvars = TemplateVars {
+                    y: yq[k],
+                    base: pq.weight * tpl.internal_cost,
+                    slots: Vec::with_capacity(tpl.slots.len()),
+                };
                 for s in 0..tpl.slots.len() {
                     let (fallback, choices) = self.slot_choices(schema, cm, pq, k, s, candidates);
+                    let mut svars = SlotVars { heap: None, choices: Vec::new() };
                     let mut xsum = LinExpr::new();
                     if let Some(h) = fallback {
                         let xh = m.add_var(format!("x_q{qi}_k{k}_s{s}_heap"), pq.weight * h);
                         cost_expr.add(xh, h);
                         xsum.add(xh, 1.0);
+                        svars.heap = Some((xh, pq.weight * h));
                         n_x += 1;
                     }
                     for (a, g) in choices {
                         let xv = m.add_var(format!("x_q{qi}_k{k}_s{s}_a{a}"), pq.weight * g);
                         cost_expr.add(xv, g);
                         xsum.add(xv, 1.0);
+                        svars.choices.push((a, xv, pq.weight * g));
                         n_x += 1;
                         // x ≤ z   (z_a ≥ x_qkia)
                         m.add_constraint(
@@ -231,8 +323,11 @@ impl BipGen {
                     // Σ_a x_qkia = y_qk
                     xsum.add(yq[k], -1.0);
                     m.add_constraint(xsum, Sense::Eq, 0.0);
+                    tvars.slots.push(svars);
                 }
+                qvars.templates.push(tvars);
             }
+            queries.push(qvars);
             cost_exprs.push(cost_expr);
         }
 
@@ -267,7 +362,7 @@ impl BipGen {
             }
         }
 
-        (m, BipMapping { z, n_y, n_x })
+        (m, BipMapping { z, queries, n_y, n_x })
     }
 }
 
@@ -382,8 +477,15 @@ mod tests {
             &candidates,
             &constraints,
         );
-        let r = LagrangianSolver { gap_limit: 1e-6, max_iters: 600, ..Default::default() }
-            .solve(&tp.block);
+        let r = LagrangianSolver {
+            budget: cophy_bip::SolveBudget {
+                gap_limit: 1e-6,
+                node_limit: Some(600),
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+        .solve(&tp.block);
         let expect = brute_force_tuning(&o, &prepared, &candidates, &constraints);
         // bound ≤ optimum ≤ incumbent, incumbent near-optimal.
         assert!(r.bound <= expect - tp.fixed_cost + 1e-6);

@@ -52,3 +52,7 @@ pub use constraints::{Cmp, Constraint, ConstraintSet, IndexFilter};
 pub use session::TuningSession;
 pub use soft::{ChordExplorer, ParetoPoint};
 pub use solver::{CoPhy, CoPhyOptions, Recommendation, SolveStats, SolverBackend};
+
+// The shared anytime solve engine's budget/progress vocabulary, re-exported
+// so advisor-level callers need not depend on `cophy_bip` directly.
+pub use cophy_bip::{SolveBudget, SolveProgress};

@@ -11,7 +11,7 @@
 
 use std::time::{Duration, Instant};
 
-use cophy_bip::{LagrangianSolver, WarmStart};
+use cophy_bip::{LagrangianSolver, SolveProgress, WarmStart};
 use cophy_catalog::Index;
 use cophy_inum::{Inum, PreparedWorkload};
 use cophy_workload::Workload;
@@ -95,6 +95,18 @@ impl<'o, 'c> TuningSession<'o, 'c> {
     /// Compute (or re-compute) the recommendation, warm-starting from the
     /// previous solve.
     pub fn recommend(&mut self) -> Recommendation {
+        self.recommend_with_progress(|_| {})
+    }
+
+    /// [`TuningSession::recommend`] with streaming incumbents: every
+    /// improvement the warm-started solver finds is surfaced immediately as
+    /// a [`SolveProgress`] event, so an interactive caller can show the
+    /// refinement loop converging instead of waiting for the final answer
+    /// (the paper's §4.2 continuous-feedback contract).
+    pub fn recommend_with_progress(
+        &mut self,
+        mut on_progress: impl FnMut(&SolveProgress),
+    ) -> Recommendation {
         let schema = self.cophy.optimizer().schema();
         let cm = self.cophy.optimizer().cost_model();
         let tb = Instant::now();
@@ -108,13 +120,9 @@ impl<'o, 'c> TuningSession<'o, 'c> {
         let build_time = tb.elapsed();
 
         let ts = Instant::now();
-        let solver = LagrangianSolver {
-            max_iters: self.cophy.options.max_lagrangian_iters,
-            gap_limit: self.cophy.options.gap_limit,
-            time_limit: self.cophy.options.time_limit,
-            ..Default::default()
-        };
-        let (r, warm) = solver.solve_warm(&tp.block, self.warm.as_ref());
+        let solver = LagrangianSolver { budget: self.cophy.options.budget, ..Default::default() };
+        let (r, warm) =
+            solver.solve_warm_with_progress(&tp.block, self.warm.as_ref(), |p, _| on_progress(p));
         let solve_time = ts.elapsed();
         self.warm = Some(warm);
 
@@ -196,6 +204,28 @@ mod tests {
             cold_solve
         );
         assert!(r2.objective <= r1.objective * 1.001 + 1e-6);
+    }
+
+    #[test]
+    fn recommend_streams_incumbents() {
+        let o = setup();
+        let w = HomGen::new(36).generate(o.schema(), 20);
+        let cophy = CoPhy::new(&o, CoPhyOptions::default());
+        let mut session = cophy.session(&w, ConstraintSet::storage_fraction(o.schema(), 0.5));
+        let mut events: Vec<SolveProgress> = Vec::new();
+        let r = session.recommend_with_progress(|p| events.push(*p));
+        assert!(!events.is_empty(), "the interactive loop must stream progress");
+        let (mut prev_inc, mut prev_gap) = (f64::INFINITY, f64::INFINITY);
+        for e in &events {
+            assert!(e.incumbent <= prev_inc + 1e-9, "incumbents must only improve");
+            assert!(e.gap <= prev_gap + 1e-12, "gap series must not regress");
+            prev_inc = e.incumbent;
+            prev_gap = e.gap;
+        }
+        // The stream converges onto the returned recommendation (the fixed
+        // update-base cost is added on top of the solver objective).
+        assert!(prev_inc <= r.objective + 1e-6);
+        assert!((events.last().unwrap().gap - r.gap).abs() < 1e-9);
     }
 
     #[test]

@@ -88,11 +88,8 @@ impl ChordExplorer {
                 *solves += 1;
                 let t0 = Instant::now();
                 let scaled = reweight(&tp.block, lambda, scale);
-                let solver = LagrangianSolver {
-                    max_iters: cophy.options.max_lagrangian_iters,
-                    gap_limit: cophy.options.gap_limit,
-                    ..Default::default()
-                };
+                let solver =
+                    LagrangianSolver { budget: cophy.options.budget, ..Default::default() };
                 let (r, w) = solver.solve_warm(&scaled, warm.as_ref());
                 *warm = Some(w);
                 let configuration = selection_to_config(&r.selected, candidates);

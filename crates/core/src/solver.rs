@@ -10,20 +10,27 @@
 //!    LP relaxation inside branch-and-bound (rich constraint sets);
 //! 3. **solve** — anytime incumbents with a global bound; terminate at the
 //!    configured optimality gap (the paper runs at 5%).
+//!
+//! Both backends run inside the shared anytime engine
+//! ([`cophy_bip::SolveDriver`]): the advisor passes one [`SolveBudget`]
+//! (gap / wall-clock / node limits) to whichever backend is selected and
+//! surfaces the unified [`SolveProgress`] stream through
+//! [`CoPhy::try_tune_prepared_with_progress`].
 
 use std::time::{Duration, Instant};
 
 use cophy_bip::{
-    BranchBound, GapPoint, LagrangianSolver, LinExpr, MipStatus, Model, Sense, SolveOptions,
+    BranchBound, GapPoint, LagrangianSolver, LinExpr, MipStatus, Model, Sense, SolveBudget,
+    SolveOptions, SolveProgress,
 };
 use cophy_catalog::Configuration;
 use cophy_inum::{Inum, PreparedWorkload};
 use cophy_optimizer::WhatIfOptimizer;
 use cophy_workload::Workload;
 
-use crate::bipgen::BipGen;
+use crate::bipgen::{BipGen, BipMapping};
 use crate::cgen::{CGen, CandidateSet};
-use crate::constraints::{Cmp, ConstraintSet};
+use crate::constraints::{Cmp, Constraint, ConstraintSet};
 use crate::session::TuningSession;
 
 /// Which engine solves the BIP.
@@ -40,25 +47,22 @@ pub enum SolverBackend {
 /// Advisor options.
 #[derive(Debug, Clone)]
 pub struct CoPhyOptions {
-    /// Relative optimality gap at which tuning stops (paper default: 5%).
-    pub gap_limit: f64,
+    /// The solve budget handed to whichever backend runs: relative gap
+    /// (paper default 5%), wall-clock limit (default **60 s**, overridable
+    /// to `None` for unbounded solves), and node/iteration limit.
+    pub budget: SolveBudget,
     pub backend: SolverBackend,
     pub cgen: CGen,
     pub bipgen: BipGen,
-    /// Subgradient iterations for the Lagrangian backend.
-    pub max_lagrangian_iters: usize,
-    pub time_limit: Option<Duration>,
 }
 
 impl Default for CoPhyOptions {
     fn default() -> Self {
         CoPhyOptions {
-            gap_limit: 0.05,
+            budget: SolveBudget::within(0.05).with_time(Duration::from_secs(60)),
             backend: SolverBackend::Auto,
             cgen: CGen::default(),
             bipgen: BipGen::default(),
-            max_lagrangian_iters: 300,
-            time_limit: None,
         }
     }
 }
@@ -179,6 +183,29 @@ impl<'o> CoPhy<'o> {
         inum_time: Duration,
         what_if_calls: u64,
     ) -> Result<Recommendation, String> {
+        self.try_tune_prepared_with_progress(
+            prepared,
+            candidates,
+            constraints,
+            inum_time,
+            what_if_calls,
+            |_| {},
+        )
+    }
+
+    /// [`CoPhy::try_tune_prepared`] with the unified anytime stream: every
+    /// incumbent or bound improvement of whichever backend runs is surfaced
+    /// as a [`SolveProgress`] event (the paper's continuous solver feedback,
+    /// Figures 3 & 6a) — identical semantics for both backends.
+    pub fn try_tune_prepared_with_progress(
+        &self,
+        prepared: &PreparedWorkload,
+        candidates: &CandidateSet,
+        constraints: &ConstraintSet,
+        inum_time: Duration,
+        what_if_calls: u64,
+        mut on_progress: impl FnMut(&SolveProgress),
+    ) -> Result<Recommendation, String> {
         let schema = self.opt.schema();
         let cm = self.opt.cost_model();
 
@@ -202,13 +229,8 @@ impl<'o> CoPhy<'o> {
                 self.options.bipgen.block_problem(schema, cm, prepared, candidates, constraints);
             build_time = tb.elapsed();
             let ts = Instant::now();
-            let solver = LagrangianSolver {
-                max_iters: self.options.max_lagrangian_iters,
-                gap_limit: self.options.gap_limit,
-                time_limit: self.options.time_limit,
-                ..Default::default()
-            };
-            let r = solver.solve(&tp.block);
+            let solver = LagrangianSolver { budget: self.options.budget, ..Default::default() };
+            let (r, _) = solver.solve_warm_with_progress(&tp.block, None, |p, _| on_progress(p));
             solve_time = ts.elapsed();
             n_vars = tp.block.n_choices() + tp.block.n_items;
             configuration = selection_to_config(&r.selected, candidates);
@@ -223,15 +245,41 @@ impl<'o> CoPhy<'o> {
             let fixed: f64 =
                 prepared.queries.iter().map(|pq| pq.weight * pq.fixed_update_cost).sum();
             let ts = Instant::now();
-            let opts = SolveOptions {
-                gap_limit: self.options.gap_limit,
-                time_limit: self.options.time_limit,
-                ..Default::default()
+            // Seed the generic backend with the structure-exploiting
+            // backend's answer to the storage-only projection of the
+            // constraint set: completing that selection through Theorem 1's
+            // rows yields a near-optimal starting incumbent (which the
+            // rounding repair adjusts for the rich constraint rows), and the
+            // projection's dual bound is a valid lower bound for the rich
+            // problem, keeping the gap finite even if the root LP times out.
+            let seed = self.storage_projection_seed(
+                schema,
+                cm,
+                prepared,
+                candidates,
+                constraints,
+                &mapping,
+                model.n_vars(),
+            );
+            let (seed_x, known_bound) = match &seed {
+                Some((x, b)) => (Some(x.as_slice()), b.is_finite().then_some(*b)),
+                None => (None, None),
             };
-            let r = BranchBound::new().solve(&model, &opts);
+            // The seed solve spends part of the caller's wall clock.
+            let mut budget = self.options.budget;
+            budget.time_limit = budget.time_limit.map(|t| t.saturating_sub(ts.elapsed()));
+            let opts = SolveOptions { budget, known_bound, ..Default::default() };
+            let r = BranchBound::new()
+                .solve_seeded_with_progress(&model, &opts, seed_x, |p, _| on_progress(p));
             solve_time = ts.elapsed();
             if r.status == MipStatus::Infeasible {
                 return Err("BIP infeasible under the hard constraints".into());
+            }
+            if r.x.is_empty() {
+                return Err(format!(
+                    "no feasible incumbent within the solve budget ({:?})",
+                    r.status
+                ));
             }
             n_vars = model.n_vars();
             configuration = mapping.extract_configuration(&r.x, candidates);
@@ -262,6 +310,40 @@ impl<'o> CoPhy<'o> {
                 n_variables: n_vars,
             },
         })
+    }
+
+    /// Primal seed for rich-constraint solves: drop every non-storage
+    /// constraint, solve the resulting block-angular problem with a small
+    /// Lagrangian budget, and complete its selection through the Theorem-1
+    /// variable layout.  Returns the completed point plus the projection's
+    /// dual bound — the projection is a relaxation of the rich problem, so
+    /// that bound is a valid global lower bound for it.
+    #[allow(clippy::too_many_arguments)]
+    fn storage_projection_seed(
+        &self,
+        schema: &cophy_catalog::Schema,
+        cm: &cophy_optimizer::CostModel,
+        prepared: &PreparedWorkload,
+        candidates: &CandidateSet,
+        constraints: &ConstraintSet,
+        mapping: &BipMapping,
+        n_vars: usize,
+    ) -> Option<(Vec<f64>, f64)> {
+        if candidates.is_empty() {
+            return None;
+        }
+        let projection = match constraints.storage_budget() {
+            Some(budget_bytes) => ConstraintSet::none().with(Constraint::Storage { budget_bytes }),
+            None => ConstraintSet::none(),
+        };
+        let tp = self.options.bipgen.block_problem(schema, cm, prepared, candidates, &projection);
+        let budget = SolveBudget {
+            gap_limit: 0.05,
+            time_limit: self.options.budget.time_limit.map(|t| t / 10),
+            node_limit: Some(200),
+        };
+        let r = LagrangianSolver { budget, ..Default::default() }.solve(&tp.block);
+        Some((mapping.completion(&r.selected, n_vars), r.bound))
     }
 
     /// Paper Figure 3, line 1: is the constraint polytope non-empty?
@@ -356,8 +438,10 @@ mod tests {
         let (o, w) = advisor_setup(6);
         let constraints = ConstraintSet::storage_fraction(o.schema(), 0.2);
         let candidates = CGen::default().generate(o.schema(), &w).truncate(10);
-        let mut opts = CoPhyOptions { gap_limit: 1e-6, ..Default::default() };
-        opts.max_lagrangian_iters = 800;
+        let mut opts = CoPhyOptions {
+            budget: SolveBudget { gap_limit: 1e-6, node_limit: Some(800), ..Default::default() },
+            ..Default::default()
+        };
         opts.backend = SolverBackend::Lagrangian;
         let lag = CoPhy::new(&o, opts.clone()).tune_with_candidates(&w, &candidates, &constraints);
         opts.backend = SolverBackend::BranchBound;
@@ -398,6 +482,37 @@ mod tests {
         let rec = cophy.tune_with_candidates(&w, &candidates, &cs);
         let on_li = rec.configuration.on_table(li).count();
         assert!(on_li <= 1, "constraint violated: {on_li} lineitem indexes");
+    }
+
+    #[test]
+    fn both_backends_stream_the_same_progress_contract() {
+        let (o, w) = advisor_setup(8);
+        let candidates = CGen::default().generate(o.schema(), &w).truncate(12);
+        let inum = Inum::new(&o);
+        let prepared = inum.prepare_workload(&w);
+        let storage = ConstraintSet::storage_fraction(o.schema(), 0.3);
+        for backend in [SolverBackend::Lagrangian, SolverBackend::BranchBound] {
+            let cophy = CoPhy::new(&o, CoPhyOptions { backend, ..Default::default() });
+            let mut events: Vec<SolveProgress> = Vec::new();
+            let rec = cophy
+                .try_tune_prepared_with_progress(
+                    &prepared,
+                    &candidates,
+                    &storage,
+                    Duration::ZERO,
+                    0,
+                    |p| events.push(*p),
+                )
+                .expect("feasible");
+            assert!(!events.is_empty(), "{backend:?} must stream progress");
+            let mut prev = f64::INFINITY;
+            for e in &events {
+                assert!(e.gap <= prev + 1e-12, "{backend:?} gap series must not regress");
+                assert!(e.incumbent >= e.bound - 1e-9);
+                prev = e.gap;
+            }
+            assert!(rec.gap.is_finite(), "{backend:?} must reach a finite gap");
+        }
     }
 
     #[test]

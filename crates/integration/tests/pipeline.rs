@@ -1,7 +1,7 @@
 //! End-to-end pipeline tests spanning every crate: catalog → workload →
 //! optimizer → INUM → BIP → CoPhy → baselines.
 
-use cophy::{CGen, CoPhy, CoPhyOptions, ConstraintSet, SolverBackend};
+use cophy::{CGen, CoPhy, CoPhyOptions, ConstraintSet, SolveBudget, SolverBackend};
 use cophy_advisors::{Advisor, IlpAdvisor, ToolA, ToolB};
 use cophy_catalog::{Configuration, Skew, TpchGen};
 use cophy_inum::Inum;
@@ -142,15 +142,18 @@ fn backend_equivalence_end_to_end() {
 
     let exact = CoPhy::new(
         &o,
-        CoPhyOptions { backend: SolverBackend::BranchBound, gap_limit: 1e-9, ..Default::default() },
+        CoPhyOptions {
+            backend: SolverBackend::BranchBound,
+            budget: SolveBudget::exact(),
+            ..Default::default()
+        },
     )
     .tune_with_candidates(&w, &candidates, &constraints);
     let lagr = CoPhy::new(
         &o,
         CoPhyOptions {
             backend: SolverBackend::Lagrangian,
-            gap_limit: 1e-6,
-            max_lagrangian_iters: 800,
+            budget: SolveBudget { gap_limit: 1e-6, node_limit: Some(800), ..Default::default() },
             ..Default::default()
         },
     )

@@ -5,7 +5,8 @@ use proptest::prelude::*;
 
 use cophy::{BipGen, CGen, ConstraintSet};
 use cophy_bip::{
-    knapsack, BranchBound, LagrangianSolver, LinExpr, Model, Sense, SimplexSolver, SolveOptions,
+    knapsack, Alt, Block, BlockProblem, BranchBound, LagrangianSolver, LinExpr, Model, Sense,
+    SimplexSolver, SlotChoices, SolveOptions, SolveProgress,
 };
 use cophy_catalog::{ColumnId, Configuration, Index, Skew, TpchGen};
 use cophy_inum::Inum;
@@ -48,6 +49,47 @@ fn small_bip() -> impl Strategy<Value = Model> {
     })
 }
 
+/// Strategy: a random small block-angular problem with guaranteed
+/// fallbacks (the Lagrangian backend's input shape).
+fn small_block() -> impl Strategy<Value = BlockProblem> {
+    (2usize..8, 2usize..10, any::<u64>()).prop_map(|(n_items, n_blocks, seed)| {
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0 // [-1, 1)
+        };
+        let item_cost = (0..n_items).map(|_| next().abs() * 2.0).collect();
+        let item_size = (0..n_items).map(|_| next().abs() * 4.0 + 1.0).collect();
+        let mut blocks = Vec::new();
+        for _ in 0..n_blocks {
+            let mut alts = Vec::new();
+            for _ in 0..1 + (next().abs() * 3.0) as usize {
+                let mut slots = Vec::new();
+                for _ in 0..1 + (next().abs() * 3.0) as usize {
+                    let fallback = Some(next().abs() * 45.0 + 5.0);
+                    let choices = (0..(next().abs() * 4.0) as usize)
+                        .map(|_| {
+                            let item =
+                                ((next().abs() * n_items as f64) as u32).min(n_items as u32 - 1);
+                            (item, next().abs() * 39.5 + 0.5)
+                        })
+                        .collect();
+                    slots.push(SlotChoices { fallback, choices });
+                }
+                alts.push(Alt { base: next().abs() * 19.0 + 1.0, slots });
+            }
+            blocks.push(Block { alts });
+        }
+        BlockProblem {
+            n_items,
+            item_cost,
+            item_size,
+            budget: Some(next().abs() * (n_items as f64 * 3.0) + 3.0),
+            blocks,
+        }
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -69,6 +111,65 @@ proptest! {
                 prop_assert!(bb.bound <= bb.objective + 1e-9);
             }
         }
+    }
+
+    /// Anytime-stream invariants, generic backend: every streamed incumbent
+    /// is feasible with objective ≥ the concurrently reported lower bound,
+    /// and the proven-gap series is monotonically non-increasing.
+    #[test]
+    fn branch_bound_anytime_stream_invariants(m in small_bip()) {
+        let mut events: Vec<(SolveProgress, Option<(bool, f64)>)> = Vec::new();
+        let r = BranchBound::new().solve_with_progress(
+            &m,
+            &SolveOptions::default(),
+            |p, sol| events.push((*p, sol.map(|x| (m.feasible(x, 1e-6), m.objective_value(x))))),
+        );
+        let mut prev_gap = f64::INFINITY;
+        for (p, sol) in &events {
+            if let Some((feasible, obj)) = sol {
+                prop_assert!(*feasible, "streamed incumbent violates the model");
+                prop_assert!((obj - p.incumbent).abs() < 1e-6,
+                    "streamed objective {} != reported incumbent {}", obj, p.incumbent);
+            }
+            prop_assert!(p.incumbent >= p.bound - 1e-9,
+                "incumbent {} below bound {}", p.incumbent, p.bound);
+            prop_assert!(p.gap <= prev_gap + 1e-12, "gap series regressed");
+            prev_gap = p.gap;
+        }
+        if r.status != cophy_bip::MipStatus::Infeasible {
+            prop_assert!(!events.is_empty(), "a solved model must stream progress");
+        }
+    }
+
+    /// Anytime-stream invariants, Lagrangian backend: same contract as the
+    /// generic backend, over the block-angular form.
+    #[test]
+    fn lagrangian_anytime_stream_invariants(p in small_block()) {
+        type Event = (SolveProgress, Option<(bool, Option<f64>)>);
+        let mut events: Vec<Event> = Vec::new();
+        let (r, _) = LagrangianSolver::new().solve_warm_with_progress(
+            &p,
+            None,
+            |pr, sel| events.push((
+                *pr,
+                sel.map(|s| (p.fits_budget(s), p.evaluate(s))),
+            )),
+        );
+        prop_assert!(!events.is_empty());
+        let mut prev_gap = f64::INFINITY;
+        for (pr, sol) in &events {
+            if let Some((fits, obj)) = sol {
+                prop_assert!(*fits, "streamed selection exceeds the budget");
+                let obj = obj.expect("streamed selection must evaluate");
+                prop_assert!((obj - pr.incumbent).abs() < 1e-6,
+                    "streamed objective {} != reported incumbent {}", obj, pr.incumbent);
+            }
+            prop_assert!(pr.incumbent >= pr.bound - 1e-9,
+                "incumbent {} below bound {}", pr.incumbent, pr.bound);
+            prop_assert!(pr.gap <= prev_gap + 1e-12, "gap series regressed");
+            prev_gap = pr.gap;
+        }
+        prop_assert!(r.gap >= 0.0);
     }
 
     /// Continuous knapsack lower-bounds greedy binary and respects budgets.
