@@ -1,0 +1,15 @@
+//! Workload-compression study: what-if calls, prepare/solve time, and
+//! recommendation-cost delta of `Epsilon(default)` compression vs the
+//! uncompressed pipeline, across |W| ∈ {24, 96, 200} on `W_hom`.
+//!
+//! Emits `BENCH_compress.json` and doubles as the CI acceptance gate
+//! (≥ 4× what-if cut and ≤ 5% cost delta at |W| = 200).  The report and
+//! artifact land before the gate runs, so a gate failure still leaves the
+//! full per-size diagnostics behind.
+
+fn main() {
+    let rows = cophy_bench::compress_rows();
+    println!("{}", cophy_bench::compress_report(&rows));
+    cophy_bench::write_compress_artifact(&cophy_bench::compress_artifact_json(&rows));
+    cophy_bench::compress_gate(&rows);
+}

@@ -78,34 +78,11 @@ pub fn make_workload(o: &WhatIfOptimizer, kind: WorkloadKind, n: usize) -> Workl
     }
 }
 
-/// Parallel INUM preparation (sharded across OS threads; the INUM calls are
-/// independent per statement).
+/// Parallel INUM preparation — a thin re-export of
+/// [`Inum::prepare_workload_parallel`], kept so existing bins and benches
+/// compile unchanged (the implementation was promoted into `cophy-inum`).
 pub fn prepare_parallel(o: &WhatIfOptimizer, w: &Workload) -> PreparedWorkload {
-    let n_threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
-    let ids: Vec<_> = w.iter().collect();
-    let chunks: Vec<_> = ids.chunks(ids.len().div_ceil(n_threads).max(1)).collect();
-    let before = o.what_if_calls();
-    let mut queries_by_chunk = std::thread::scope(|s| {
-        let handles: Vec<_> = chunks
-            .iter()
-            .map(|chunk| {
-                s.spawn(move || {
-                    let inum = Inum::new(o);
-                    chunk
-                        .iter()
-                        .map(|(qid, stmt, weight)| inum.prepare_statement(*qid, stmt, *weight))
-                        .collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("INUM shard")).collect::<Vec<_>>()
-    });
-    let mut queries = Vec::with_capacity(w.len());
-    for shard in &mut queries_by_chunk {
-        queries.append(shard);
-    }
-    queries.sort_by_key(|pq| pq.qid);
-    PreparedWorkload { queries, what_if_calls: o.what_if_calls() - before }
+    Inum::new(o).prepare_workload_parallel(w)
 }
 
 /// Ground-truth quality metric `perf(X*, W)` (§5.1), computed against the
@@ -547,6 +524,181 @@ pub fn skew() -> String {
         cophy_b.perf * 100.0
     ));
     out
+}
+
+// ---------------------------------------------------------------------------
+// Workload-compression study (fig_compress) + CI smoke guard
+// ---------------------------------------------------------------------------
+
+/// Workload sizes of the compression study.  Fixed (not `COPHY_SCALE`-scaled):
+/// the claim under test is the compression behavior at a given `|W|`, and the
+/// acceptance gate lives at `|W| = 200`.
+pub fn compress_sizes() -> [usize; 3] {
+    [24, 96, 200]
+}
+
+/// One row of the compression study: uncompressed vs `Epsilon(default)`
+/// CoPhy on the same workload and constraints.
+pub struct CompressRow {
+    pub n: usize,
+    pub representatives: usize,
+    pub calls_uncompressed: u64,
+    pub calls_compressed: u64,
+    pub prep_uncompressed: Duration,
+    pub prep_compressed: Duration,
+    pub solve_uncompressed: Duration,
+    pub solve_compressed: Duration,
+    /// Full-workload INUM cost of the uncompressed tune's recommendation.
+    pub cost_uncompressed: f64,
+    /// Full-workload INUM cost of the compressed tune's recommendation
+    /// (ground-truth expansion: the config is costed against every original
+    /// statement, not just the representatives).
+    pub cost_compressed: f64,
+}
+
+impl CompressRow {
+    /// What-if call reduction factor.
+    pub fn call_cut(&self) -> f64 {
+        self.calls_uncompressed as f64 / self.calls_compressed.max(1) as f64
+    }
+
+    /// Relative cost delta of the compressed recommendation (positive =
+    /// worse than the uncompressed tune).
+    pub fn cost_delta(&self) -> f64 {
+        self.cost_compressed / self.cost_uncompressed - 1.0
+    }
+}
+
+/// Run the compression study on `W_hom` across [`compress_sizes`].
+pub fn compress_rows() -> Vec<CompressRow> {
+    compress_sizes()
+        .into_iter()
+        .map(|n| {
+            let o = make_optimizer(SystemProfile::A, 0.0);
+            let w = make_workload(&o, WorkloadKind::Hom, n);
+            let constraints = ConstraintSet::storage_fraction(o.schema(), 0.5);
+
+            // Uncompressed tune, from a full INUM cache (also the
+            // ground-truth cost oracle for both recommendations below).
+            let before = o.what_if_calls();
+            let (prepared_full, prep_u) = timed(|| prepare_parallel(&o, &w));
+            let calls_u = o.what_if_calls() - before;
+            let cands = CGen::default().generate(o.schema(), &w);
+            let cophy = CoPhy::new(&o, CoPhyOptions::default());
+            let rec_u = cophy
+                .try_tune_prepared(&prepared_full, &cands, &constraints, prep_u, calls_u)
+                .expect("uncompressed tune feasible");
+
+            // Compressed tune: cluster → CGen + INUM on representatives only.
+            let opts = CoPhyOptions {
+                compression: cophy::CompressionPolicy::default_epsilon(),
+                ..Default::default()
+            };
+            let rec_c = CoPhy::new(&o, opts).try_tune(&w, &constraints).expect("feasible");
+            let summary = rec_c.compression.expect("compressed tune carries a summary");
+
+            let cm = o.cost_model();
+            CompressRow {
+                n,
+                representatives: summary.n_representatives,
+                calls_uncompressed: calls_u,
+                calls_compressed: rec_c.stats.what_if_calls,
+                prep_uncompressed: prep_u,
+                prep_compressed: rec_c.stats.inum_time,
+                solve_uncompressed: rec_u.stats.solve_time,
+                solve_compressed: rec_c.stats.solve_time,
+                cost_uncompressed: prepared_full.cost(o.schema(), cm, &rec_u.configuration),
+                cost_compressed: prepared_full.cost(o.schema(), cm, &rec_c.configuration),
+            }
+        })
+        .collect()
+}
+
+/// The `BENCH_compress.json` artifact body for a set of study rows.
+pub fn compress_artifact_json(rows: &[CompressRow]) -> String {
+    let body: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"n\":{},\"representatives\":{},\"what_if_uncompressed\":{},\
+                 \"what_if_compressed\":{},\"call_cut\":{:.3},\"prep_uncompressed_ms\":{:.3},\
+                 \"prep_compressed_ms\":{:.3},\"solve_uncompressed_ms\":{:.3},\
+                 \"solve_compressed_ms\":{:.3},\"cost_uncompressed\":{},\"cost_compressed\":{},\
+                 \"cost_delta\":{:.6}}}",
+                r.n,
+                r.representatives,
+                r.calls_uncompressed,
+                r.calls_compressed,
+                r.call_cut(),
+                r.prep_uncompressed.as_secs_f64() * 1e3,
+                r.prep_compressed.as_secs_f64() * 1e3,
+                r.solve_uncompressed.as_secs_f64() * 1e3,
+                r.solve_compressed.as_secs_f64() * 1e3,
+                json_f64(r.cost_uncompressed),
+                json_f64(r.cost_compressed),
+                r.cost_delta(),
+            )
+        })
+        .collect();
+    format!(
+        "{{\"experiment\":\"workload_compression\",\"epsilon\":{},\"rows\":[{}]}}\n",
+        cophy::CompressionPolicy::DEFAULT_EPSILON,
+        body.join(",")
+    )
+}
+
+/// The human-readable compression study report for a set of study rows.
+pub fn compress_report(rows: &[CompressRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Workload compression: W_hom, ε = {} (default), M = 0.5\n",
+        cophy::CompressionPolicy::DEFAULT_EPSILON
+    ));
+    out.push_str(
+        "size   reps   what-if(full)  what-if(comp)  cut     prep(comp) solve(comp) cost delta\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<6} {:<6} {:<14} {:<14} {:<7.1} {:<10} {:<11} {:+.2}%\n",
+            r.n,
+            r.representatives,
+            r.calls_uncompressed,
+            r.calls_compressed,
+            r.call_cut(),
+            secs(r.prep_compressed),
+            secs(r.solve_compressed),
+            r.cost_delta() * 100.0,
+        ));
+    }
+    out
+}
+
+/// The CI acceptance gate: **panics** unless, at `|W| = 200`, the default-ε
+/// compression cuts what-if calls ≥ 4× while the expanded recommendation
+/// cost stays within 5% of the uncompressed tune.  Callers print the report
+/// and write the artifact *before* gating, so a failure still leaves the
+/// full diagnostics behind.
+pub fn compress_gate(rows: &[CompressRow]) {
+    let gate = rows.iter().find(|r| r.n == 200).expect("|W| = 200 row present");
+    assert!(
+        gate.call_cut() >= 4.0,
+        "compression must cut what-if calls ≥ 4× at |W| = 200: got {:.2}× ({} → {})",
+        gate.call_cut(),
+        gate.calls_uncompressed,
+        gate.calls_compressed
+    );
+    assert!(
+        gate.cost_delta() <= 0.05,
+        "compressed recommendation must stay within 5% of the uncompressed tune: {:+.2}%",
+        gate.cost_delta() * 100.0
+    );
+}
+
+/// Write the compression artifact next to the experiment output.
+pub fn write_compress_artifact(json: &str) {
+    let path = "BENCH_compress.json";
+    std::fs::write(path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    eprintln!("wrote workload-compression artifact to {path}");
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,528 @@
+//! # cophy-compress
+//!
+//! Workload compression: cluster a large workload and tune a *weighted
+//! representative set* instead of every statement, with bounded quality
+//! loss.
+//!
+//! CoPhy's pipeline pays one INUM preparation (a handful of what-if
+//! optimizer calls) and one BIP block per statement, so what-if budget and
+//! model size grow linearly with `|W|`.  Production workloads, however, are
+//! dominated by statements that differ only in their constants; compressing
+//! them first is the standard scalability lever of every production tuner.
+//! This crate implements that stage:
+//!
+//! 1. **Exact dedup by shell** — statements with identical shells (constants
+//!    included) merge losslessly, summing weights.
+//! 2. **Greedy ε-bounded agglomeration** — statements whose structural
+//!    template matches an existing representative and whose
+//!    [`StatementFeatures::distance`] (largest selectivity deviation /
+//!    relative update-footprint deviation) is within `ε` merge onto the
+//!    nearest representative.
+//!
+//! The result is a [`CompressedWorkload`]: a weighted representative
+//! [`Workload`] plus the full original→representative assignment.  Cluster
+//! weights **conserve total workload weight**, so a cost computed over the
+//! representatives (`Σ_r w_r · cost(rep_r, X)`) *is* the expansion of the
+//! estimated full-workload cost — each original statement is approximated by
+//! its representative at its own weight.
+//!
+//! [`CompressedWorkload::absorb`] routes statement deltas through
+//! *incremental re-clustering*: a nudged workload usually lands its new
+//! statements in existing clusters (a weight bump, zero new what-if calls)
+//! instead of forcing a new representative per nudge.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use cophy_catalog::Schema;
+use cophy_workload::{QueryId, ShellKey, Statement, StatementFeatures, TemplateKey, Workload};
+
+/// How aggressively to compress a workload before INUM preparation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CompressionPolicy {
+    /// No compression: every statement is its own representative and the
+    /// pipeline behaves bit-for-bit as if this subsystem did not exist.
+    Off,
+    /// Merge exact duplicates only (identical shells, constants included).
+    /// The compressed tune is *exactly* equivalent to the full tune.
+    Lossless,
+    /// Lossless merging plus greedy ε-bounded agglomeration: statements of
+    /// the same structural template whose feature distance is at most `ε`
+    /// share a representative.  `Epsilon(0.0)` is equivalent to `Lossless`.
+    Epsilon(f64),
+}
+
+impl CompressionPolicy {
+    /// The default agglomeration threshold: the largest selectivity
+    /// deviation tolerated inside one cluster.  Chosen so that `W_hom`-style
+    /// template workloads compress by well over the 4× acceptance floor
+    /// while recommendations stay within a few percent of the uncompressed
+    /// tune (see the `fig_compress` experiment).
+    pub const DEFAULT_EPSILON: f64 = 0.25;
+
+    /// `Epsilon` at the default threshold.
+    pub fn default_epsilon() -> CompressionPolicy {
+        CompressionPolicy::Epsilon(Self::DEFAULT_EPSILON)
+    }
+
+    pub fn is_off(&self) -> bool {
+        matches!(self, CompressionPolicy::Off)
+    }
+
+    /// Check an `Epsilon` threshold for validity.  `Result`-returning
+    /// callers (e.g. `CoPhy::try_tune`) surface this as an error before any
+    /// clustering runs; [`CompressedWorkload::compress`] panics on it.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            CompressionPolicy::Epsilon(e) if !(e.is_finite() && e >= 0.0) => {
+                Err(format!("invalid compression ε {e}: must be a finite, non-negative number"))
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// The merge threshold, or `None` when compression is off.
+    ///
+    /// Panics on an invalid `Epsilon` threshold (validate with
+    /// [`CompressionPolicy::validate`] first to handle it gracefully).
+    pub fn merge_threshold(&self) -> Option<f64> {
+        if let Err(e) = self.validate() {
+            panic!("{e}");
+        }
+        match *self {
+            CompressionPolicy::Off => None,
+            CompressionPolicy::Lossless => Some(0.0),
+            CompressionPolicy::Epsilon(e) => Some(e),
+        }
+    }
+}
+
+impl std::fmt::Display for CompressionPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompressionPolicy::Off => write!(f, "off"),
+            CompressionPolicy::Lossless => write!(f, "lossless"),
+            CompressionPolicy::Epsilon(e) => write!(f, "epsilon({e})"),
+        }
+    }
+}
+
+/// What happened to one absorbed statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Absorption {
+    /// The statement merged onto an existing representative (weight bump —
+    /// no new INUM preparation needed).
+    Merged(QueryId),
+    /// The statement opened a new cluster and is its representative.
+    NewRepresentative(QueryId),
+}
+
+impl Absorption {
+    /// The representative the statement was assigned to.
+    pub fn representative(&self) -> QueryId {
+        match *self {
+            Absorption::Merged(id) | Absorption::NewRepresentative(id) => id,
+        }
+    }
+}
+
+/// Summary statistics of a compression, attached to recommendations so the
+/// expansion back to the full workload stays auditable.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CompressionSummary {
+    pub policy: CompressionPolicy,
+    pub n_original: usize,
+    pub n_representatives: usize,
+    /// Conserved total workload weight `Σ_q f_q`.
+    pub total_weight: f64,
+}
+
+impl CompressionSummary {
+    /// Compression ratio `|W| / |representatives|` (≥ 1).
+    pub fn ratio(&self) -> f64 {
+        self.n_original as f64 / self.n_representatives.max(1) as f64
+    }
+}
+
+/// A compressed workload: weighted representatives + assignment.
+#[derive(Debug, Clone)]
+pub struct CompressedWorkload {
+    representatives: Workload,
+    rep_features: Vec<StatementFeatures>,
+    /// Exact-shell index: every shell ever absorbed → its representative.
+    by_shell: HashMap<ShellKey, QueryId>,
+    /// Template index over representatives, for the ε-agglomeration scan.
+    by_template: HashMap<TemplateKey, Vec<QueryId>>,
+    /// Original statement position → representative id.
+    assignment: Vec<QueryId>,
+    original_weight: f64,
+    policy: CompressionPolicy,
+}
+
+impl CompressedWorkload {
+    /// Compress `w` under `policy`.  Statement order is preserved among
+    /// representatives (each cluster is represented by its first member),
+    /// and cluster weights sum to the original total workload weight.
+    pub fn compress(
+        schema: &Schema,
+        w: &Workload,
+        policy: CompressionPolicy,
+    ) -> CompressedWorkload {
+        // Validate ε eagerly, even for empty workloads.
+        let _ = policy.merge_threshold();
+        let mut cw = CompressedWorkload {
+            representatives: Workload::new(),
+            rep_features: Vec::new(),
+            by_shell: HashMap::new(),
+            by_template: HashMap::new(),
+            assignment: Vec::with_capacity(w.len()),
+            original_weight: 0.0,
+            policy,
+        };
+        for (_, stmt, weight) in w.iter() {
+            cw.absorb(schema, stmt, weight);
+        }
+        cw
+    }
+
+    /// The weighted representative workload INUM should prepare.
+    pub fn representatives(&self) -> &Workload {
+        &self.representatives
+    }
+
+    /// Original statement position → representative id, in absorption order.
+    pub fn assignment(&self) -> &[QueryId] {
+        &self.assignment
+    }
+
+    /// The representative of the `i`-th absorbed statement.
+    pub fn representative_of(&self, original: usize) -> QueryId {
+        self.assignment[original]
+    }
+
+    pub fn policy(&self) -> CompressionPolicy {
+        self.policy
+    }
+
+    pub fn n_original(&self) -> usize {
+        self.assignment.len()
+    }
+
+    pub fn n_representatives(&self) -> usize {
+        self.representatives.len()
+    }
+
+    /// Conserved total weight `Σ_q f_q` of the original workload.
+    pub fn total_weight(&self) -> f64 {
+        self.original_weight
+    }
+
+    pub fn summary(&self) -> CompressionSummary {
+        CompressionSummary {
+            policy: self.policy,
+            n_original: self.n_original(),
+            n_representatives: self.n_representatives(),
+            total_weight: self.original_weight,
+        }
+    }
+
+    /// Absorb one statement: exact-shell dedup first, then (for `Epsilon`)
+    /// the greedy scan over same-template representatives, else a new
+    /// cluster.  This is the incremental re-clustering entry point used by
+    /// interactive sessions — a `Merged` outcome costs zero what-if calls.
+    pub fn absorb(&mut self, schema: &Schema, stmt: &Statement, weight: f64) -> Absorption {
+        self.original_weight += weight;
+        let Some(eps) = self.policy.merge_threshold() else {
+            return self.open_cluster(stmt, weight, None);
+        };
+        let f = StatementFeatures::extract(schema, stmt);
+        if let Some(&rep) = self.by_shell.get(&f.shell) {
+            return self.merge_into(rep, weight);
+        }
+        if eps > 0.0 {
+            if let Some(rep) = self.nearest_within(&f, eps) {
+                // Index this (novel) shell so later exact duplicates of it
+                // take the O(1) path onto the same representative.
+                self.by_shell.insert(f.shell, rep);
+                return self.merge_into(rep, weight);
+            }
+        }
+        self.open_cluster(stmt, weight, Some(f))
+    }
+
+    /// The nearest same-template representative within `eps`, ties broken
+    /// toward the oldest representative (deterministic).
+    fn nearest_within(&self, f: &StatementFeatures, eps: f64) -> Option<QueryId> {
+        let mut best: Option<(f64, QueryId)> = None;
+        for &rep in self.by_template.get(&f.template)? {
+            let d = f.distance(&self.rep_features[rep.0 as usize]);
+            if d <= eps && best.is_none_or(|(bd, _)| d < bd) {
+                best = Some((d, rep));
+            }
+        }
+        best.map(|(_, rep)| rep)
+    }
+
+    fn merge_into(&mut self, rep: QueryId, weight: f64) -> Absorption {
+        self.representatives.add_weight(rep, weight);
+        self.assignment.push(rep);
+        Absorption::Merged(rep)
+    }
+
+    fn open_cluster(
+        &mut self,
+        stmt: &Statement,
+        weight: f64,
+        features: Option<StatementFeatures>,
+    ) -> Absorption {
+        let rep = self.representatives.push_weighted(stmt.clone(), weight);
+        if let Some(f) = features {
+            self.by_shell.insert(f.shell.clone(), rep);
+            self.by_template.entry(f.template.clone()).or_default().push(rep);
+            self.rep_features.push(f);
+        }
+        self.assignment.push(rep);
+        Absorption::NewRepresentative(rep)
+    }
+
+    /// Check the subsystem invariants: weight conservation, a complete
+    /// assignment into the representative range, and positive cluster
+    /// weights.
+    pub fn validate(&self) -> Result<(), String> {
+        let rep_weight = self.representatives.total_weight();
+        if (rep_weight - self.original_weight).abs() > 1e-6 * self.original_weight.max(1.0) {
+            return Err(format!(
+                "weight not conserved: representatives carry {rep_weight}, original {}",
+                self.original_weight
+            ));
+        }
+        let n_reps = self.representatives.len() as u32;
+        if let Some(bad) = self.assignment.iter().find(|r| r.0 >= n_reps) {
+            return Err(format!("assignment targets unknown representative {bad:?}"));
+        }
+        for id in self.representatives.ids() {
+            if self.representatives.weight(id) <= 0.0 {
+                return Err(format!("representative {id:?} has non-positive weight"));
+            }
+        }
+        self.representatives.validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cophy_catalog::TpchGen;
+    use cophy_workload::{HetGen, HomGen, Predicate, Query, UpdateGen};
+
+    fn schema() -> Schema {
+        TpchGen::default().schema()
+    }
+
+    fn mixed(seed: u64, n: usize) -> Workload {
+        let s = schema();
+        let base = HomGen::new(seed).generate(&s, n);
+        UpdateGen::new(seed ^ 0xA5).mix_into(&s, &base, 0.2)
+    }
+
+    #[test]
+    fn off_is_the_identity() {
+        let s = schema();
+        let w = mixed(1, 30);
+        let cw = CompressedWorkload::compress(&s, &w, CompressionPolicy::Off);
+        assert_eq!(cw.n_representatives(), w.len());
+        assert_eq!(cw.n_original(), w.len());
+        for (i, (id, stmt, weight)) in w.iter().enumerate() {
+            assert_eq!(cw.representative_of(i), id);
+            assert_eq!(cw.representatives().statement(id), stmt);
+            assert_eq!(cw.representatives().weight(id), weight);
+        }
+        cw.validate().unwrap();
+    }
+
+    #[test]
+    fn lossless_merges_exact_duplicates_only() {
+        let s = schema();
+        let w = HomGen::new(2).generate(&s, 20);
+        let mut twice = Workload::new();
+        for (_, stmt, weight) in w.iter() {
+            twice.push_weighted(stmt.clone(), weight);
+        }
+        for (_, stmt, weight) in w.iter() {
+            twice.push_weighted(stmt.clone(), weight);
+        }
+        let cw = CompressedWorkload::compress(&s, &twice, CompressionPolicy::Lossless);
+        assert_eq!(cw.n_representatives(), w.dedup_by_shell().len());
+        assert_eq!(cw.n_original(), 2 * w.len());
+        // Second copy maps onto the first copy's representatives.
+        for i in 0..w.len() {
+            assert_eq!(cw.representative_of(i), cw.representative_of(w.len() + i));
+        }
+        cw.validate().unwrap();
+    }
+
+    #[test]
+    fn epsilon_zero_equals_lossless() {
+        let s = schema();
+        for w in [mixed(3, 60), HetGen::new(4).generate(&s, 60)] {
+            let a = CompressedWorkload::compress(&s, &w, CompressionPolicy::Lossless);
+            let b = CompressedWorkload::compress(&s, &w, CompressionPolicy::Epsilon(0.0));
+            assert_eq!(a.assignment(), b.assignment());
+            assert_eq!(a.n_representatives(), b.n_representatives());
+            for id in a.representatives().ids() {
+                assert_eq!(a.representatives().weight(id), b.representatives().weight(id));
+                assert_eq!(a.representatives().statement(id), b.representatives().statement(id));
+            }
+        }
+    }
+
+    #[test]
+    fn epsilon_compresses_template_workloads_hard() {
+        let s = schema();
+        let w = HomGen::new(0xC0FFEE).generate(&s, 200);
+        let cw = CompressedWorkload::compress(&s, &w, CompressionPolicy::default_epsilon());
+        assert!(
+            cw.summary().ratio() >= 4.0,
+            "W_hom200 must compress ≥ 4× at the default ε: {} reps",
+            cw.n_representatives()
+        );
+        cw.validate().unwrap();
+        // Larger ε never yields more representatives... not guaranteed
+        // point-wise by greedy clustering, but the extremes must order.
+        let lossless = CompressedWorkload::compress(&s, &w, CompressionPolicy::Lossless);
+        assert!(cw.n_representatives() <= lossless.n_representatives());
+        let coarse = CompressedWorkload::compress(&s, &w, CompressionPolicy::Epsilon(1.0));
+        // At ε = 1 every same-template statement merges: 15 templates.
+        assert_eq!(coarse.n_representatives(), HomGen::TEMPLATES);
+    }
+
+    #[test]
+    fn members_stay_within_epsilon_of_their_representative() {
+        let s = schema();
+        let eps = 0.2;
+        let w = mixed(5, 120);
+        let cw = CompressedWorkload::compress(&s, &w, CompressionPolicy::Epsilon(eps));
+        for (i, (_, stmt, _)) in w.iter().enumerate() {
+            let rep = cw.representative_of(i);
+            let f = StatementFeatures::extract(&s, stmt);
+            let rf = StatementFeatures::extract(&s, cw.representatives().statement(rep));
+            let d = f.distance(&rf);
+            assert!(d <= eps, "member {i} at distance {d} > ε from its representative");
+        }
+    }
+
+    #[test]
+    fn absorb_is_incremental_and_consistent_with_batch() {
+        let s = schema();
+        let w = mixed(6, 80);
+        let batch = CompressedWorkload::compress(&s, &w, CompressionPolicy::default_epsilon());
+        let mut inc = CompressedWorkload::compress(
+            &s,
+            &Workload::new(),
+            CompressionPolicy::default_epsilon(),
+        );
+        for (_, stmt, weight) in w.iter() {
+            inc.absorb(&s, stmt, weight);
+        }
+        assert_eq!(batch.assignment(), inc.assignment());
+        assert_eq!(batch.n_representatives(), inc.n_representatives());
+        inc.validate().unwrap();
+    }
+
+    #[test]
+    fn absorb_duplicate_merges_novel_opens() {
+        let s = schema();
+        let w = HomGen::new(7).generate(&s, 40);
+        let mut cw = CompressedWorkload::compress(&s, &w, CompressionPolicy::Lossless);
+        let reps_before = cw.n_representatives();
+        // A statement already in the workload merges…
+        let (_, dup, _) = w.iter().next().unwrap();
+        let a = cw.absorb(&s, dup, 3.0);
+        assert!(matches!(a, Absorption::Merged(_)));
+        assert_eq!(cw.n_representatives(), reps_before);
+        // …while a brand-new shape opens a cluster.
+        let li = s.table_by_name("lineitem").unwrap().id;
+        let tax = s.resolve("lineitem.l_tax").unwrap();
+        let mut q = Query::scan(li);
+        q.predicates.push(Predicate::gt(tax, 0.07));
+        let b = cw.absorb(&s, &cophy_workload::Statement::Select(q), 1.0);
+        assert!(matches!(b, Absorption::NewRepresentative(_)));
+        assert_eq!(cw.n_representatives(), reps_before + 1);
+        cw.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid compression ε")]
+    fn negative_epsilon_rejected() {
+        let s = schema();
+        let w = HomGen::new(8).generate(&s, 2);
+        let _ = CompressedWorkload::compress(&s, &w, CompressionPolicy::Epsilon(-0.1));
+    }
+
+    #[test]
+    fn policy_validation() {
+        assert!(CompressionPolicy::Off.validate().is_ok());
+        assert!(CompressionPolicy::Lossless.validate().is_ok());
+        assert!(CompressionPolicy::Epsilon(0.0).validate().is_ok());
+        assert!(CompressionPolicy::default_epsilon().validate().is_ok());
+        assert!(CompressionPolicy::Epsilon(-0.1).validate().is_err());
+        assert!(CompressionPolicy::Epsilon(f64::NAN).validate().is_err());
+        assert!(CompressionPolicy::Epsilon(f64::INFINITY).validate().is_err());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use cophy_catalog::TpchGen;
+    use cophy_workload::{HetGen, HomGen, UpdateGen};
+    use proptest::prelude::*;
+
+    fn policy_from(sel: u8, eps: f64) -> CompressionPolicy {
+        match sel % 4 {
+            0 => CompressionPolicy::Off,
+            1 => CompressionPolicy::Lossless,
+            2 => CompressionPolicy::Epsilon(0.0),
+            _ => CompressionPolicy::Epsilon(eps),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Total workload weight is conserved under every policy, on every
+        /// generator family, and the assignment is always complete.
+        #[test]
+        fn weights_conserved_under_any_policy(
+            seed in any::<u64>(),
+            n in 1usize..60,
+            sel in any::<u8>(),
+            eps in 0.0f64..0.8,
+        ) {
+            let s = TpchGen::default().schema();
+            let policy = policy_from(sel, eps);
+            for w in [
+                HomGen::new(seed).generate(&s, n),
+                HetGen::new(seed).generate(&s, n),
+                UpdateGen::new(seed).generate(&s, n),
+            ] {
+                let cw = CompressedWorkload::compress(&s, &w, policy);
+                prop_assert!(cw.validate().is_ok(), "{:?}", cw.validate());
+                prop_assert_eq!(cw.n_original(), w.len());
+                prop_assert!((cw.total_weight() - w.total_weight()).abs() < 1e-9);
+                prop_assert!(cw.n_representatives() <= w.len());
+            }
+        }
+
+        /// `Epsilon(0.0)` and `Lossless` produce identical clusterings.
+        #[test]
+        fn epsilon_zero_is_lossless(seed in any::<u64>(), n in 1usize..50) {
+            let s = TpchGen::default().schema();
+            let w = UpdateGen::new(seed).mix_into(&s, &HomGen::new(seed).generate(&s, n), 0.25);
+            let a = CompressedWorkload::compress(&s, &w, CompressionPolicy::Lossless);
+            let b = CompressedWorkload::compress(&s, &w, CompressionPolicy::Epsilon(0.0));
+            prop_assert_eq!(a.assignment(), b.assignment());
+        }
+    }
+}

@@ -32,6 +32,7 @@
 //!
 //! | Paper component | Here |
 //! |---|---|
+//! | workload compression | [`cophy_compress::CompressedWorkload`] (pre-INUM clustering, [`CoPhyOptions::compression`]) |
 //! | INUM            | [`cophy_inum::Inum`] |
 //! | CGen            | [`cgen::CGen`] |
 //! | BIPGen          | [`bipgen::BipGen`] |
@@ -56,3 +57,8 @@ pub use solver::{CoPhy, CoPhyOptions, Recommendation, SolveStats, SolverBackend}
 // The shared anytime solve engine's budget/progress vocabulary, re-exported
 // so advisor-level callers need not depend on `cophy_bip` directly.
 pub use cophy_bip::{SolveBudget, SolveProgress};
+
+// The workload-compression subsystem's vocabulary, re-exported so callers
+// can set `CoPhyOptions::compression` and read `Recommendation::compression`
+// without depending on `cophy_compress` directly.
+pub use cophy_compress::{Absorption, CompressedWorkload, CompressionPolicy, CompressionSummary};

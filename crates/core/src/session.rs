@@ -13,8 +13,9 @@ use std::time::{Duration, Instant};
 
 use cophy_bip::{LagrangianSolver, SolveProgress, WarmStart};
 use cophy_catalog::Index;
+use cophy_compress::{Absorption, CompressedWorkload};
 use cophy_inum::{Inum, PreparedWorkload};
-use cophy_workload::Workload;
+use cophy_workload::{QueryId, Workload};
 
 use crate::cgen::CandidateSet;
 use crate::constraints::ConstraintSet;
@@ -28,39 +29,76 @@ pub struct TuningSession<'o, 'c> {
     candidates: CandidateSet,
     constraints: ConstraintSet,
     warm: Option<WarmStart>,
+    /// The clustering state when [`crate::CoPhyOptions::compression`] is on:
+    /// statement deltas route through incremental re-clustering
+    /// ([`CompressedWorkload::absorb`]) instead of forcing a new INUM
+    /// preparation per nudge.
+    compressed: Option<CompressedWorkload>,
     /// Cumulative what-if calls spent on INUM preparation in this session.
     what_if_calls: u64,
     inum_time: Duration,
 }
 
 impl<'o, 'c> TuningSession<'o, 'c> {
-    /// Open a session: run CGen and INUM once.
+    /// Open a session: run CGen and INUM once (over cluster representatives
+    /// when compression is enabled).  Panicking wrapper around
+    /// [`TuningSession::try_open`], kept for the `CoPhy::session` facade.
     pub(crate) fn open(cophy: &'c CoPhy<'o>, w: &Workload, constraints: ConstraintSet) -> Self {
-        assert!(
-            constraints.is_storage_only(),
-            "interactive sessions use the Lagrangian backend (storage-only constraints)"
-        );
+        Self::try_open(cophy, w, constraints).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`TuningSession::open`], surfacing invalid options (non-storage-only
+    /// constraints, invalid compression ε) as recoverable errors — the same
+    /// contract as `CoPhy::try_tune`.
+    pub(crate) fn try_open(
+        cophy: &'c CoPhy<'o>,
+        w: &Workload,
+        constraints: ConstraintSet,
+    ) -> Result<Self, String> {
+        if !constraints.is_storage_only() {
+            return Err(
+                "interactive sessions use the Lagrangian backend (storage-only constraints)".into(),
+            );
+        }
+        cophy.options.compression.validate()?;
         let t0 = Instant::now();
         let before = cophy.optimizer().what_if_calls();
+        let schema = cophy.optimizer().schema();
         let inum = Inum::new(cophy.optimizer());
-        let prepared = inum.prepare_workload(w);
-        let candidates = cophy.options.cgen.generate(cophy.optimizer().schema(), w);
-        TuningSession {
+        let policy = cophy.options.compression;
+        let (prepared, candidates, compressed) = if policy.is_off() {
+            (inum.prepare_workload(w), cophy.options.cgen.generate(schema, w), None)
+        } else {
+            let cw = CompressedWorkload::compress(schema, w, policy);
+            let prepared = inum.prepare_compressed_parallel(&cw);
+            let candidates = cophy.options.cgen.generate(schema, cw.representatives());
+            (prepared, candidates, Some(cw))
+        };
+        Ok(TuningSession {
             cophy,
             prepared,
             candidates,
             constraints,
             warm: None,
+            compressed,
             what_if_calls: cophy.optimizer().what_if_calls() - before,
             inum_time: t0.elapsed(),
-        }
+        })
     }
 
     pub fn candidates(&self) -> &CandidateSet {
         &self.candidates
     }
 
+    /// Number of statements the session represents (original statements,
+    /// not cluster representatives).
     pub fn n_statements(&self) -> usize {
+        self.compressed.as_ref().map_or(self.prepared.queries.len(), |c| c.n_original())
+    }
+
+    /// Number of INUM-prepared representatives (equals
+    /// [`TuningSession::n_statements`] when compression is off).
+    pub fn n_representatives(&self) -> usize {
         self.prepared.queries.len()
     }
 
@@ -77,16 +115,49 @@ impl<'o, 'c> TuningSession<'o, 'c> {
     }
 
     /// Append statements to the workload (new blocks; old block coordinates
-    /// stay stable).
+    /// stay stable).  CGen runs over the genuinely new statements and
+    /// extends the candidate set in place — existing candidate ids are
+    /// stable, so the warm state remains valid while the new statements can
+    /// actually be served by indexes.
+    ///
+    /// When compression is on, every delta routes through incremental
+    /// re-clustering: statements that land in an existing cluster only bump
+    /// their representative's weight — **zero** new what-if calls and no
+    /// CGen work — and only genuinely novel statements open a cluster and
+    /// pay an INUM preparation.
     pub fn add_statements(&mut self, w: &Workload) {
         let before = self.cophy.optimizer().what_if_calls();
         let t0 = Instant::now();
+        let schema = self.cophy.optimizer().schema();
         let inum = Inum::new(self.cophy.optimizer());
-        let offset = self.prepared.queries.len() as u32;
-        for (qid, stmt, weight) in w.iter() {
-            let mut pq = inum.prepare_statement(qid, stmt, weight);
-            pq.qid = cophy_workload::QueryId(offset + qid.0);
-            self.prepared.queries.push(pq);
+        if let Some(cw) = self.compressed.as_mut() {
+            // Only the cluster-opening statements are new to CGen.
+            let mut novel = Workload::new();
+            for (_, stmt, weight) in w.iter() {
+                match cw.absorb(schema, stmt, weight) {
+                    Absorption::Merged(rep) => {
+                        self.prepared.queries[rep.0 as usize].weight += weight;
+                    }
+                    Absorption::NewRepresentative(rep) => {
+                        debug_assert_eq!(rep.0 as usize, self.prepared.queries.len());
+                        self.prepared.queries.push(inum.prepare_statement(rep, stmt, weight));
+                        novel.push_weighted(stmt.clone(), weight);
+                    }
+                }
+            }
+            if !novel.is_empty() {
+                let extra = self.cophy.options.cgen.generate(schema, &novel);
+                self.candidates.extend(schema, extra.iter().map(|(_, ix)| ix.clone()));
+            }
+        } else {
+            let offset = self.prepared.queries.len() as u32;
+            for (qid, stmt, weight) in w.iter() {
+                let mut pq = inum.prepare_statement(qid, stmt, weight);
+                pq.qid = QueryId(offset + qid.0);
+                self.prepared.queries.push(pq);
+            }
+            let extra = self.cophy.options.cgen.generate(schema, w);
+            self.candidates.extend(schema, extra.iter().map(|(_, ix)| ix.clone()));
         }
         self.what_if_calls += self.cophy.optimizer().what_if_calls() - before;
         self.inum_time += t0.elapsed();
@@ -135,6 +206,7 @@ impl<'o, 'c> TuningSession<'o, 'c> {
             bound: r.bound + tp.fixed_cost,
             gap: r.gap,
             trace: r.trace,
+            compression: self.compressed.as_ref().map(|c| c.summary()),
             stats: SolveStats {
                 inum_time: std::mem::take(&mut self.inum_time),
                 build_time,
@@ -242,6 +314,77 @@ mod tests {
         // More statements → higher total workload cost.
         assert!(r2.objective > r1.objective);
         assert!(r2.baseline_cost > r1.baseline_cost);
+    }
+
+    #[test]
+    fn compressed_session_absorbs_deltas_without_new_probes() {
+        let o = setup();
+        let w = HomGen::new(37).generate(o.schema(), 30);
+        let opts = crate::CoPhyOptions {
+            compression: cophy_compress::CompressionPolicy::default_epsilon(),
+            ..Default::default()
+        };
+        let cophy = CoPhy::new(&o, opts);
+        let mut session = cophy.session(&w, ConstraintSet::storage_fraction(o.schema(), 0.5));
+        assert_eq!(session.n_statements(), 30);
+        assert!(session.n_representatives() < 30, "W_hom must cluster");
+        let r1 = session.recommend();
+        assert_eq!(r1.compression.unwrap().n_original, 30);
+
+        // Re-send part of the workload verbatim: pure weight bumps, zero
+        // what-if calls, no new representatives.
+        let reps_before = session.n_representatives();
+        let calls_before = o.what_if_calls();
+        session.add_statements(&w.truncate(10));
+        assert_eq!(o.what_if_calls(), calls_before, "duplicates must not probe");
+        assert_eq!(session.n_representatives(), reps_before);
+        assert_eq!(session.n_statements(), 40);
+
+        // The recommendation reflects the grown workload.
+        let r2 = session.recommend();
+        assert!(r2.baseline_cost > r1.baseline_cost);
+        assert_eq!(r2.compression.unwrap().n_original, 40);
+
+        // A genuinely novel statement pays exactly one preparation, and
+        // CGen extends the candidate set so indexes can actually serve it.
+        let ps = o.schema().table_by_name("partsupp").unwrap().id;
+        let aq = o.schema().resolve("partsupp.ps_availqty").unwrap();
+        let mut q = cophy_workload::Query::scan(ps);
+        q.predicates.push(cophy_workload::Predicate::gt(aq, 100.0));
+        let mut novel = Workload::new();
+        novel.push(cophy_workload::Statement::Select(q));
+        session.add_statements(&novel);
+        assert!(o.what_if_calls() > calls_before, "novel statement must probe");
+        assert_eq!(session.n_representatives(), reps_before + 1);
+        assert!(
+            session
+                .candidates()
+                .iter()
+                .any(|(_, ix)| ix.table == ps && ix.key.first() == Some(&aq.column)),
+            "candidate set must gain an index keyed on the novel predicate column"
+        );
+    }
+
+    #[test]
+    fn try_session_surfaces_invalid_options_as_errors() {
+        let o = setup();
+        let w = HomGen::new(38).generate(o.schema(), 5);
+        let storage = ConstraintSet::storage_fraction(o.schema(), 1.0);
+        let bad_eps = crate::CoPhyOptions {
+            compression: cophy_compress::CompressionPolicy::Epsilon(-0.5),
+            ..Default::default()
+        };
+        let err = CoPhy::new(&o, bad_eps).try_session(&w, storage.clone()).err().unwrap();
+        assert!(err.contains("invalid compression ε"), "{err}");
+
+        let li = o.schema().table_by_name("lineitem").unwrap().id;
+        let rich = storage.with(crate::Constraint::IndexCount {
+            filter: crate::IndexFilter::on_table(li),
+            cmp: crate::Cmp::Le,
+            value: 1,
+        });
+        let cophy = CoPhy::new(&o, crate::CoPhyOptions::default());
+        assert!(cophy.try_session(&w, rich).is_err(), "rich constraints are not sessionable");
     }
 
     #[test]

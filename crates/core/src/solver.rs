@@ -24,6 +24,7 @@ use cophy_bip::{
     SolveOptions, SolveProgress,
 };
 use cophy_catalog::Configuration;
+use cophy_compress::{CompressedWorkload, CompressionPolicy, CompressionSummary};
 use cophy_inum::{Inum, PreparedWorkload};
 use cophy_optimizer::WhatIfOptimizer;
 use cophy_workload::Workload;
@@ -54,6 +55,13 @@ pub struct CoPhyOptions {
     pub backend: SolverBackend,
     pub cgen: CGen,
     pub bipgen: BipGen,
+    /// Workload compression before INUM preparation: `Off` (default —
+    /// bit-for-bit today's pipeline), `Lossless` (exact-duplicate merging),
+    /// or `Epsilon(ε)` (bounded-loss clustering; see
+    /// [`CompressionPolicy::default_epsilon`]).  Under compression, INUM
+    /// prepares only cluster representatives and the reported costs expand
+    /// back to the full workload through the conserved cluster weights.
+    pub compression: CompressionPolicy,
 }
 
 impl Default for CoPhyOptions {
@@ -63,6 +71,7 @@ impl Default for CoPhyOptions {
             backend: SolverBackend::Auto,
             cgen: CGen::default(),
             bipgen: BipGen::default(),
+            compression: CompressionPolicy::Off,
         }
     }
 }
@@ -101,6 +110,13 @@ pub struct Recommendation {
     /// Anytime incumbent/bound trace (Figure 6a).
     pub trace: Vec<GapPoint>,
     pub stats: SolveStats,
+    /// Present when the workload was compressed before tuning.  `objective`
+    /// and `baseline_cost` are then *expansions* to the full workload:
+    /// cluster weights conserve total workload weight, so
+    /// `Σ_r w_r · cost(rep_r, X)` estimates `Σ_q f_q · cost(q, X)` with each
+    /// original statement approximated by its representative — reported
+    /// TotalCost stays comparable with an uncompressed tune.
+    pub compression: Option<CompressionSummary>,
 }
 
 impl Recommendation {
@@ -137,13 +153,48 @@ impl<'o> CoPhy<'o> {
 
     /// Full pipeline, surfacing infeasibility (paper line 2: the DBA removes
     /// or softens the reported constraints).
+    ///
+    /// With [`CoPhyOptions::compression`] enabled the workload is clustered
+    /// first; CGen and INUM then see only the weighted representatives, so
+    /// the what-if budget scales with the number of clusters instead of
+    /// `|W|`.
     pub fn try_tune(
         &self,
         w: &Workload,
         constraints: &ConstraintSet,
     ) -> Result<Recommendation, String> {
-        let candidates = self.options.cgen.generate(self.opt.schema(), w);
-        self.try_tune_with_candidates(w, &candidates, constraints)
+        if self.options.compression.is_off() {
+            let candidates = self.options.cgen.generate(self.opt.schema(), w);
+            return self.try_tune_with_candidates(w, &candidates, constraints);
+        }
+        self.options.compression.validate()?;
+        let cw = CompressedWorkload::compress(self.opt.schema(), w, self.options.compression);
+        let candidates = self.options.cgen.generate(self.opt.schema(), cw.representatives());
+        self.try_tune_compressed(&cw, &candidates, constraints)
+    }
+
+    /// Tune a pre-compressed workload: INUM prepares only the
+    /// representatives (in parallel), and the recommendation carries the
+    /// [`CompressionSummary`] documenting the expansion back to the full
+    /// workload.  As on the uncompressed paths, `stats.inum_time` covers
+    /// preparation only (clustering and CGen are excluded), so prep times
+    /// stay comparable across policies.
+    pub fn try_tune_compressed(
+        &self,
+        cw: &CompressedWorkload,
+        candidates: &CandidateSet,
+        constraints: &ConstraintSet,
+    ) -> Result<Recommendation, String> {
+        let t0 = Instant::now();
+        let calls_before = self.opt.what_if_calls();
+        let inum = Inum::new(self.opt);
+        let prepared = inum.prepare_compressed_parallel(cw);
+        let inum_time = t0.elapsed();
+        let what_if_calls = self.opt.what_if_calls() - calls_before;
+        let mut rec =
+            self.try_tune_prepared(&prepared, candidates, constraints, inum_time, what_if_calls)?;
+        rec.compression = Some(cw.summary());
+        Ok(rec)
     }
 
     /// Pipeline with a caller-supplied candidate set (`S_DBA` merging, the
@@ -164,6 +215,11 @@ impl<'o> CoPhy<'o> {
         candidates: &CandidateSet,
         constraints: &ConstraintSet,
     ) -> Result<Recommendation, String> {
+        if !self.options.compression.is_off() {
+            self.options.compression.validate()?;
+            let cw = CompressedWorkload::compress(self.opt.schema(), w, self.options.compression);
+            return self.try_tune_compressed(&cw, candidates, constraints);
+        }
         let t0 = Instant::now();
         let before_calls = self.opt.what_if_calls();
         let inum = Inum::new(self.opt);
@@ -301,6 +357,7 @@ impl<'o> CoPhy<'o> {
             bound,
             gap,
             trace,
+            compression: None,
             stats: SolveStats {
                 inum_time,
                 build_time,
@@ -378,9 +435,21 @@ impl<'o> CoPhy<'o> {
         }
     }
 
-    /// Open an interactive tuning session (paper §4.2).
+    /// Open an interactive tuning session (paper §4.2).  Panics on invalid
+    /// options; see [`CoPhy::try_session`] for the recoverable variant.
     pub fn session(&self, w: &Workload, constraints: ConstraintSet) -> TuningSession<'o, '_> {
         TuningSession::open(self, w, constraints)
+    }
+
+    /// [`CoPhy::session`], surfacing invalid options (non-storage-only
+    /// constraints, invalid compression ε) as errors — the same contract as
+    /// [`CoPhy::try_tune`].
+    pub fn try_session(
+        &self,
+        w: &Workload,
+        constraints: ConstraintSet,
+    ) -> Result<TuningSession<'o, '_>, String> {
+        TuningSession::try_open(self, w, constraints)
     }
 }
 
@@ -454,6 +523,75 @@ mod tests {
             lag.objective,
             bb.objective
         );
+    }
+
+    #[test]
+    fn lossless_compression_halves_probes_on_duplicated_workloads() {
+        let (o, base) = advisor_setup(12);
+        // Every statement twice: the lossless tune must probe half as much.
+        let mut w = Workload::new();
+        for (_, stmt, weight) in base.iter().chain(base.iter()) {
+            w.push_weighted(stmt.clone(), weight);
+        }
+        let constraints = ConstraintSet::storage_fraction(o.schema(), 0.5);
+        let plain = CoPhy::new(&o, CoPhyOptions::default()).tune(&w, &constraints);
+        assert!(plain.compression.is_none());
+        let opts = CoPhyOptions { compression: CompressionPolicy::Lossless, ..Default::default() };
+        let rec = CoPhy::new(&o, opts).tune(&w, &constraints);
+        let summary = rec.compression.expect("compressed tune carries its summary");
+        assert_eq!(summary.n_original, w.len());
+        assert!(summary.n_representatives <= base.len());
+        assert!((summary.total_weight - w.total_weight()).abs() < 1e-9);
+        assert!(
+            rec.stats.what_if_calls <= plain.stats.what_if_calls / 2 + 1,
+            "lossless compression must cut probes: {} vs {}",
+            rec.stats.what_if_calls,
+            plain.stats.what_if_calls
+        );
+        // Lossless merging leaves the weighted cost function unchanged, so
+        // the expanded objective matches the plain tune closely (both solves
+        // stop at the configured gap).
+        assert!((rec.objective - plain.objective).abs() / plain.objective < 0.05);
+        assert!((rec.baseline_cost - plain.baseline_cost).abs() < 1e-6 * plain.baseline_cost);
+    }
+
+    #[test]
+    fn epsilon_compression_cuts_probes_and_expands_costs() {
+        let (o, w) = advisor_setup(60);
+        let constraints = ConstraintSet::storage_fraction(o.schema(), 0.5);
+        let plain = CoPhy::new(&o, CoPhyOptions::default()).tune(&w, &constraints);
+        let opts = CoPhyOptions {
+            compression: CompressionPolicy::default_epsilon(),
+            ..Default::default()
+        };
+        let rec = CoPhy::new(&o, opts).tune(&w, &constraints);
+        let summary = rec.compression.expect("summary present");
+        assert!(summary.ratio() > 1.5, "W_hom60 must compress: ratio {}", summary.ratio());
+        assert!(rec.stats.what_if_calls < plain.stats.what_if_calls);
+        // The recommendation itself must hold up on the *full* workload.
+        let full = Inum::new(&o).prepare_workload(&w);
+        let cost_plain = full.cost(o.schema(), o.cost_model(), &plain.configuration);
+        let cost_comp = full.cost(o.schema(), o.cost_model(), &rec.configuration);
+        assert!(
+            cost_comp <= cost_plain * 1.1,
+            "compressed recommendation degrades full-workload cost: {cost_comp} vs {cost_plain}"
+        );
+        assert!(constraints.check_configuration(o.schema(), &rec.configuration).is_ok());
+    }
+
+    #[test]
+    fn invalid_epsilon_surfaces_as_error_not_panic() {
+        let (o, w) = advisor_setup(4);
+        let constraints = ConstraintSet::storage_fraction(o.schema(), 1.0);
+        for bad in [-0.1, f64::NAN, f64::INFINITY] {
+            let opts =
+                CoPhyOptions { compression: CompressionPolicy::Epsilon(bad), ..Default::default() };
+            let cophy = CoPhy::new(&o, opts);
+            let err = cophy.try_tune(&w, &constraints).unwrap_err();
+            assert!(err.contains("invalid compression ε"), "{err}");
+            let cands = CGen::default().generate(o.schema(), &w).truncate(5);
+            assert!(cophy.try_tune_with_candidates(&w, &cands, &constraints).is_err());
+        }
     }
 
     #[test]

@@ -1,0 +1,161 @@
+//! Cross-stack invariants of the workload-compression subsystem
+//! (ISSUE 3): weight conservation under every policy, `Epsilon(0.0)` ≡
+//! `Lossless`, bounded quality loss of compressed tunes, and bit-identical
+//! `Off` behavior.
+
+use proptest::prelude::*;
+
+use cophy::{CoPhy, CoPhyOptions, CompressedWorkload, CompressionPolicy, ConstraintSet};
+use cophy_catalog::TpchGen;
+use cophy_inum::Inum;
+use cophy_optimizer::{SystemProfile, WhatIfOptimizer};
+use cophy_workload::{HetGen, HomGen, UpdateGen, Workload};
+
+fn optimizer() -> WhatIfOptimizer {
+    WhatIfOptimizer::new(TpchGen::default().schema(), SystemProfile::A)
+}
+
+/// A mixed read/update workload of `n` statements.
+fn mixed(o: &WhatIfOptimizer, seed: u64, n: usize) -> Workload {
+    let base = HomGen::new(seed).generate(o.schema(), n);
+    UpdateGen::new(seed ^ 0x5A).mix_into(o.schema(), &base, 0.15)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Total workload weight is conserved by compression under any policy —
+    /// and therefore the compressed INUM cost of the empty configuration
+    /// under `Lossless` equals the full-workload cost exactly.
+    #[test]
+    fn weights_conserved_under_any_policy(
+        seed in any::<u64>(),
+        n in 1usize..40,
+        psel in any::<u8>(),
+        eps in 0.0f64..0.9,
+    ) {
+        let o = optimizer();
+        let w = match psel % 3 {
+            0 => HomGen::new(seed).generate(o.schema(), n),
+            1 => HetGen::new(seed).generate(o.schema(), n),
+            _ => mixed(&o, seed, n),
+        };
+        let policy = match psel % 4 {
+            0 => CompressionPolicy::Off,
+            1 => CompressionPolicy::Lossless,
+            2 => CompressionPolicy::Epsilon(eps),
+            _ => CompressionPolicy::default_epsilon(),
+        };
+        let cw = CompressedWorkload::compress(o.schema(), &w, policy);
+        prop_assert!(cw.validate().is_ok(), "{:?}", cw.validate());
+        prop_assert!((cw.total_weight() - w.total_weight()).abs() < 1e-9);
+        prop_assert!(
+            (cw.representatives().total_weight() - w.total_weight()).abs() < 1e-9
+        );
+    }
+
+    /// `Epsilon(0.0)` clusters exactly like `Lossless` on every family.
+    #[test]
+    fn epsilon_zero_equals_lossless(seed in any::<u64>(), n in 1usize..40) {
+        let o = optimizer();
+        let w = mixed(&o, seed, n);
+        let a = CompressedWorkload::compress(o.schema(), &w, CompressionPolicy::Lossless);
+        let b = CompressedWorkload::compress(o.schema(), &w, CompressionPolicy::Epsilon(0.0));
+        prop_assert_eq!(a.assignment(), b.assignment());
+        prop_assert_eq!(a.n_representatives(), b.n_representatives());
+    }
+}
+
+/// `Off` produces byte-identical recommendations to the pre-subsystem
+/// pipeline: same configuration, bit-equal objective/baseline/bound, and no
+/// compression summary attached.
+#[test]
+fn off_is_byte_identical_to_the_plain_pipeline() {
+    let o = optimizer();
+    let w = HomGen::new(301).generate(o.schema(), 18);
+    let constraints = ConstraintSet::storage_fraction(o.schema(), 0.5);
+
+    // Today's pipeline, spelled out by hand.
+    let options = CoPhyOptions::default();
+    assert!(options.compression.is_off(), "Off must be the default policy");
+    let candidates = options.cgen.generate(o.schema(), &w);
+    let prepared = Inum::new(&o).prepare_workload(&w);
+    let cophy = CoPhy::new(&o, options);
+    let manual = cophy
+        .try_tune_prepared(&prepared, &candidates, &constraints, std::time::Duration::ZERO, 0)
+        .expect("feasible");
+
+    // The advisor facade with compression explicitly Off.
+    let rec =
+        CoPhy::new(&o, CoPhyOptions { compression: CompressionPolicy::Off, ..Default::default() })
+            .tune(&w, &constraints);
+
+    assert!(rec.compression.is_none());
+    assert_eq!(rec.objective.to_bits(), manual.objective.to_bits());
+    assert_eq!(rec.baseline_cost.to_bits(), manual.baseline_cost.to_bits());
+    assert_eq!(rec.bound.to_bits(), manual.bound.to_bits());
+    let a: Vec<_> = rec.configuration.iter().collect();
+    let b: Vec<_> = manual.configuration.iter().collect();
+    assert_eq!(a, b, "identical index sets");
+}
+
+/// Compressed-tune quality bound: on small workloads the recommendation
+/// found from the compressed problem, *measured on the full workload*, stays
+/// within (1 + ε) of the uncompressed tune (plus the solver's own gap
+/// slack).
+#[test]
+fn compressed_tune_cost_is_epsilon_bounded() {
+    let o = optimizer();
+    let constraints = ConstraintSet::storage_fraction(o.schema(), 0.5);
+    let eps = CompressionPolicy::DEFAULT_EPSILON;
+    for seed in [11u64, 12, 13] {
+        let w = mixed(&o, seed, 24);
+        let full = Inum::new(&o).prepare_workload_parallel(&w);
+
+        let plain = CoPhy::new(&o, CoPhyOptions::default()).tune(&w, &constraints);
+        let comp = CoPhy::new(
+            &o,
+            CoPhyOptions { compression: CompressionPolicy::Epsilon(eps), ..Default::default() },
+        )
+        .tune(&w, &constraints);
+
+        let cm = o.cost_model();
+        let cost_plain = full.cost(o.schema(), cm, &plain.configuration);
+        let cost_comp = full.cost(o.schema(), cm, &comp.configuration);
+        // Both tunes stop at the configured 5% gap; fold that into the bound.
+        let slack = 1.0 + eps + 0.05;
+        assert!(
+            cost_comp <= cost_plain * slack + 1e-6,
+            "seed {seed}: compressed-tune cost {cost_comp} exceeds (1+ε)·{cost_plain}"
+        );
+        // And the expansion the advisor reports is a sane estimate of the
+        // true full-workload cost of its own recommendation.
+        assert!(
+            (comp.objective - cost_comp).abs() / cost_comp <= eps + 0.05,
+            "seed {seed}: expanded objective {} vs true cost {cost_comp}",
+            comp.objective
+        );
+    }
+}
+
+/// The lossless fast path commutes with INUM: dedup-then-prepare and
+/// prepare-the-duplicates give the same weighted workload cost.
+#[test]
+fn lossless_dedup_commutes_with_inum_costs() {
+    let o = optimizer();
+    let base = HomGen::new(77).generate(o.schema(), 12);
+    let mut w = Workload::new();
+    for (_, stmt, weight) in base.iter().chain(base.iter()).chain(base.iter()) {
+        w.push_weighted(stmt.clone(), weight);
+    }
+    let merged = w.dedup_by_shell();
+    assert_eq!(merged.len(), base.dedup_by_shell().len());
+
+    let inum = Inum::new(&o);
+    let full = inum.prepare_workload(&w);
+    let comp = inum.prepare_workload(&merged);
+    let cfg = cophy_catalog::Configuration::baseline(o.schema());
+    let a = full.cost(o.schema(), o.cost_model(), &cfg);
+    let b = comp.cost(o.schema(), o.cost_model(), &cfg);
+    assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0), "{a} vs {b}");
+}

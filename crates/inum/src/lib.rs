@@ -19,6 +19,11 @@
 //! composable* cost function of the paper, evaluated in microseconds instead
 //! of a full optimization.  [`PreparedQuery::gammas_for`] exposes the γ
 //! constants directly — exactly what CoPhy's BIP generator consumes.
+//!
+//! Preparation shards across OS threads ([`Inum::prepare_workload_parallel`])
+//! and composes with workload compression
+//! ([`Inum::prepare_compressed`]): only cluster representatives are probed,
+//! with cluster weights scaling the cached plan costs.
 
 pub mod cost;
 pub mod ideal;

@@ -12,6 +12,7 @@
 //! the merge-join templates that need orders on *two* tables at once.
 
 use cophy_catalog::{ColumnId, Configuration, Schema};
+use cophy_compress::CompressedWorkload;
 use cophy_optimizer::WhatIfOptimizer;
 use cophy_workload::{Query, QueryId, Statement, UpdateStatement, Workload};
 
@@ -85,6 +86,51 @@ impl<'o> Inum<'o> {
         let queries =
             w.iter().map(|(qid, stmt, weight)| self.prepare_statement(qid, stmt, weight)).collect();
         PreparedWorkload { queries, what_if_calls: self.opt.what_if_calls() - before }
+    }
+
+    /// [`Inum::prepare_workload`] sharded across OS threads — the probing
+    /// calls are independent per statement, so preparation parallelizes
+    /// embarrassingly.  The result is byte-identical to the sequential
+    /// preparation (shards are re-sorted by statement id).
+    pub fn prepare_workload_parallel(&self, w: &Workload) -> PreparedWorkload {
+        let n_threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+        let ids: Vec<_> = w.iter().collect();
+        let chunks: Vec<_> = ids.chunks(ids.len().div_ceil(n_threads).max(1)).collect();
+        let before = self.opt.what_if_calls();
+        let mut queries_by_chunk = std::thread::scope(|s| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|chunk| {
+                    s.spawn(move || {
+                        chunk
+                            .iter()
+                            .map(|(qid, stmt, weight)| self.prepare_statement(*qid, stmt, *weight))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("INUM shard")).collect::<Vec<_>>()
+        });
+        let mut queries = Vec::with_capacity(w.len());
+        for shard in &mut queries_by_chunk {
+            queries.append(shard);
+        }
+        queries.sort_by_key(|pq| pq.qid);
+        PreparedWorkload { queries, what_if_calls: self.opt.what_if_calls() - before }
+    }
+
+    /// Prepare only the *representatives* of a compressed workload: the
+    /// cluster weights ride along as `PreparedQuery::weight`, so every
+    /// cached plan cost downstream (the BIP objective, the fast workload
+    /// cost) is scaled to stand in for the whole cluster.  What-if calls are
+    /// spent per representative, not per original statement.
+    pub fn prepare_compressed(&self, cw: &CompressedWorkload) -> PreparedWorkload {
+        self.prepare_workload(cw.representatives())
+    }
+
+    /// [`Inum::prepare_compressed`] sharded across OS threads.
+    pub fn prepare_compressed_parallel(&self, cw: &CompressedWorkload) -> PreparedWorkload {
+        self.prepare_workload_parallel(cw.representatives())
     }
 
     /// The probing loop: empty-config probe + ideal-config probes.
@@ -232,6 +278,56 @@ mod tests {
             sigs.dedup();
             assert_eq!(before, sigs.len(), "duplicate template signatures");
         }
+    }
+
+    #[test]
+    fn parallel_prepare_is_byte_identical_to_sequential() {
+        let o = opt();
+        let inum = Inum::new(&o);
+        let w = HetGen::new(12).generate(o.schema(), 16);
+        let par = inum.prepare_workload_parallel(&w);
+        let seq = inum.prepare_workload(&w);
+        assert_eq!(par.queries.len(), seq.queries.len());
+        assert_eq!(par.what_if_calls, seq.what_if_calls);
+        for (a, b) in par.queries.iter().zip(seq.queries.iter()) {
+            assert_eq!(a.qid, b.qid);
+            assert_eq!(a.weight.to_bits(), b.weight.to_bits());
+            assert_eq!(a.templates.len(), b.templates.len());
+            for (ta, tb) in a.templates.iter().zip(b.templates.iter()) {
+                assert_eq!(ta.internal_cost.to_bits(), tb.internal_cost.to_bits());
+                assert_eq!(ta.signature(), tb.signature());
+            }
+        }
+    }
+
+    #[test]
+    fn compressed_prepare_probes_only_representatives() {
+        let o = opt();
+        let inum = Inum::new(&o);
+        let s = o.schema();
+        // Duplicate every statement: compression must halve the probe bill.
+        let base = HomGen::new(13).generate(s, 10);
+        let mut w = cophy_workload::Workload::new();
+        for (_, stmt, weight) in base.iter().chain(base.iter()) {
+            w.push_weighted(stmt.clone(), weight);
+        }
+        let cw = CompressedWorkload::compress(s, &w, cophy_compress::CompressionPolicy::Lossless);
+        let full = inum.prepare_workload(&w);
+        let comp = inum.prepare_compressed(&cw);
+        assert_eq!(comp.queries.len(), cw.n_representatives());
+        assert!(comp.queries.len() < w.len());
+        assert!(
+            comp.what_if_calls <= full.what_if_calls / 2 + 1,
+            "representative prepare must cut the what-if bill: {} vs {}",
+            comp.what_if_calls,
+            full.what_if_calls
+        );
+        // Cluster weights stand in for the merged duplicates: identical
+        // total workload cost under any configuration.
+        let cfg = Configuration::empty();
+        let a = comp.cost(s, o.cost_model(), &cfg);
+        let b = full.cost(s, o.cost_model(), &cfg);
+        assert!((a - b).abs() <= 1e-9 * b.abs().max(1.0), "{a} vs {b}");
     }
 
     #[test]

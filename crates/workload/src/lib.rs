@@ -17,6 +17,7 @@
 //! references a table at most once; generators enforce it by construction and
 //! [`Query::validate`] checks it.
 
+pub mod features;
 pub mod gen_het;
 pub mod gen_hom;
 pub mod gen_update;
@@ -24,6 +25,7 @@ pub mod query;
 pub mod sql;
 pub mod workload;
 
+pub use features::{shell_key, template_key, ShellKey, StatementFeatures, TemplateKey};
 pub use gen_het::HetGen;
 pub use gen_hom::HomGen;
 pub use gen_update::UpdateGen;

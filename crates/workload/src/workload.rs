@@ -1,7 +1,10 @@
 //! Workloads: weighted statement collections.
 
+use std::collections::HashMap;
+
 use serde::{Deserialize, Serialize};
 
+use crate::features::{shell_key, ShellKey};
 use crate::query::Statement;
 
 /// Dense identifier of a statement within a [`Workload`].
@@ -80,6 +83,37 @@ impl Workload {
         }
     }
 
+    /// Bump the weight of an existing statement by `delta` (used when a
+    /// merged duplicate is routed onto its representative).
+    pub fn add_weight(&mut self, id: QueryId, delta: f64) {
+        debug_assert!(delta > 0.0, "weight deltas must be positive");
+        self.weights[id.0 as usize] += delta;
+    }
+
+    /// Merge exact duplicates — statements with identical shells, constants
+    /// included — by summing their weights (first occurrence kept, order
+    /// preserved).  This is the lossless fast path of workload compression:
+    /// the merged workload has bit-identical total cost under every
+    /// configuration.
+    pub fn dedup_by_shell(&self) -> Workload {
+        let mut seen: HashMap<ShellKey, QueryId> = HashMap::new();
+        let mut out = Workload::new();
+        for (_, stmt, weight) in self.iter() {
+            match seen.entry(shell_key(stmt)) {
+                std::collections::hash_map::Entry::Occupied(e) => out.add_weight(*e.get(), weight),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(out.push_weighted(stmt.clone(), weight));
+                }
+            }
+        }
+        out
+    }
+
+    /// Total workload weight `Σ_q f_q`.
+    pub fn total_weight(&self) -> f64 {
+        self.weights.iter().sum()
+    }
+
     /// Validate every statement's IR invariants.
     pub fn validate(&self) -> Result<(), String> {
         for (id, s, _) in self.iter() {
@@ -131,6 +165,64 @@ mod tests {
         }));
         assert_eq!(w.read_ids().count(), 2); // every statement has a read shell
         assert_eq!(w.update_ids().count(), 1);
+    }
+
+    /// Interleave `w` with itself: every statement appears exactly twice.
+    fn doubled(w: &Workload) -> Workload {
+        let mut out = Workload::new();
+        for (_, s, wt) in w.iter() {
+            out.push_weighted(s.clone(), wt);
+            out.push_weighted(s.clone(), wt * 2.0);
+        }
+        out
+    }
+
+    #[test]
+    fn dedup_by_shell_merges_duplicates_on_every_generator() {
+        let s = TpchGen::default().schema();
+        for w in [
+            crate::HomGen::new(21).generate(&s, 40),
+            crate::HetGen::new(22).generate(&s, 40),
+            crate::UpdateGen::new(23).generate(&s, 40),
+        ] {
+            let twice = doubled(&w);
+            let merged = twice.dedup_by_shell();
+            // Every duplicated statement collapses onto its first occurrence
+            // (the generators themselves may also repeat shells).
+            assert!(merged.len() <= w.len(), "{} > {}", merged.len(), w.len());
+            assert!((merged.total_weight() - twice.total_weight()).abs() < 1e-9);
+            assert!(merged.validate().is_ok());
+            // Merging is idempotent.
+            assert_eq!(merged.dedup_by_shell().len(), merged.len());
+        }
+    }
+
+    #[test]
+    fn dedup_by_shell_keeps_distinct_constants_apart() {
+        let s = TpchGen::default().schema();
+        let li = s.table_by_name("lineitem").unwrap().id;
+        let sd = s.resolve("lineitem.l_shipdate").unwrap();
+        let mut w = Workload::new();
+        for v in [10.0, 20.0, 10.0] {
+            let mut q = Query::scan(li);
+            q.predicates.push(crate::Predicate::lt(sd, v));
+            w.push(Statement::Select(q));
+        }
+        let merged = w.dedup_by_shell();
+        assert_eq!(merged.len(), 2, "10.0 duplicates merge; 20.0 stays separate");
+        assert_eq!(merged.weight(QueryId(0)), 2.0);
+        assert_eq!(merged.weight(QueryId(1)), 1.0);
+    }
+
+    #[test]
+    fn add_weight_accumulates() {
+        let s = TpchGen::default().schema();
+        let li = s.table_by_name("lineitem").unwrap().id;
+        let mut w = Workload::new();
+        let id = w.push_weighted(Statement::Select(Query::scan(li)), 1.5);
+        w.add_weight(id, 2.5);
+        assert_eq!(w.weight(id), 4.0);
+        assert_eq!(w.total_weight(), 4.0);
     }
 
     #[test]
