@@ -55,6 +55,7 @@ impl<'cb> BlackboxStream<'cb> {
             bound: f64::NEG_INFINITY,
             gap: f64::INFINITY,
             ticks: self.ticks,
+            pivots: 0,
         });
     }
 }

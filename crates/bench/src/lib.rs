@@ -548,6 +548,12 @@ pub struct CompressRow {
     pub prep_compressed: Duration,
     pub solve_uncompressed: Duration,
     pub solve_compressed: Duration,
+    /// Clustering wall clock with the per-template linear scan (the
+    /// pre-index baseline, `CompressedWorkload::compress_unindexed`).
+    pub cluster_linear: Duration,
+    /// Clustering wall clock with the feature-quantile bucket index (the
+    /// default `CompressedWorkload::compress` path).
+    pub cluster_indexed: Duration,
     /// Full-workload INUM cost of the uncompressed tune's recommendation.
     pub cost_uncompressed: f64,
     /// Full-workload INUM cost of the compressed tune's recommendation
@@ -597,6 +603,15 @@ pub fn compress_rows() -> Vec<CompressRow> {
             let rec_c = CoPhy::new(&o, opts).try_tune(&w, &constraints).expect("feasible");
             let summary = rec_c.compression.expect("compressed tune carries a summary");
 
+            // Before/after clustering timing: the same workload through the
+            // pre-index linear scan and the bucket index (identical output,
+            // asserted by the compress crate's equivalence tests).
+            let policy = cophy::CompressionPolicy::default_epsilon();
+            let (_, cluster_linear) =
+                timed(|| cophy::CompressedWorkload::compress_unindexed(o.schema(), &w, policy));
+            let (_, cluster_indexed) =
+                timed(|| cophy::CompressedWorkload::compress(o.schema(), &w, policy));
+
             let cm = o.cost_model();
             CompressRow {
                 n,
@@ -607,6 +622,8 @@ pub fn compress_rows() -> Vec<CompressRow> {
                 prep_compressed: rec_c.stats.inum_time,
                 solve_uncompressed: rec_u.stats.solve_time,
                 solve_compressed: rec_c.stats.solve_time,
+                cluster_linear,
+                cluster_indexed,
                 cost_uncompressed: prepared_full.cost(o.schema(), cm, &rec_u.configuration),
                 cost_compressed: prepared_full.cost(o.schema(), cm, &rec_c.configuration),
             }
@@ -623,7 +640,8 @@ pub fn compress_artifact_json(rows: &[CompressRow]) -> String {
                 "{{\"n\":{},\"representatives\":{},\"what_if_uncompressed\":{},\
                  \"what_if_compressed\":{},\"call_cut\":{:.3},\"prep_uncompressed_ms\":{:.3},\
                  \"prep_compressed_ms\":{:.3},\"solve_uncompressed_ms\":{:.3},\
-                 \"solve_compressed_ms\":{:.3},\"cost_uncompressed\":{},\"cost_compressed\":{},\
+                 \"solve_compressed_ms\":{:.3},\"cluster_linear_ms\":{:.3},\
+                 \"cluster_indexed_ms\":{:.3},\"cost_uncompressed\":{},\"cost_compressed\":{},\
                  \"cost_delta\":{:.6}}}",
                 r.n,
                 r.representatives,
@@ -634,6 +652,8 @@ pub fn compress_artifact_json(rows: &[CompressRow]) -> String {
                 r.prep_compressed.as_secs_f64() * 1e3,
                 r.solve_uncompressed.as_secs_f64() * 1e3,
                 r.solve_compressed.as_secs_f64() * 1e3,
+                r.cluster_linear.as_secs_f64() * 1e3,
+                r.cluster_indexed.as_secs_f64() * 1e3,
                 json_f64(r.cost_uncompressed),
                 json_f64(r.cost_compressed),
                 r.cost_delta(),
@@ -655,11 +675,12 @@ pub fn compress_report(rows: &[CompressRow]) -> String {
         cophy::CompressionPolicy::DEFAULT_EPSILON
     ));
     out.push_str(
-        "size   reps   what-if(full)  what-if(comp)  cut     prep(comp) solve(comp) cost delta\n",
+        "size   reps   what-if(full)  what-if(comp)  cut     prep(comp) solve(comp) \
+         cluster lin→idx (ms)  cost delta\n",
     );
     for r in rows {
         out.push_str(&format!(
-            "{:<6} {:<6} {:<14} {:<14} {:<7.1} {:<10} {:<11} {:+.2}%\n",
+            "{:<6} {:<6} {:<14} {:<14} {:<7.1} {:<10} {:<11} {:>8.2} → {:<8.2}  {:+.2}%\n",
             r.n,
             r.representatives,
             r.calls_uncompressed,
@@ -667,6 +688,8 @@ pub fn compress_report(rows: &[CompressRow]) -> String {
             r.call_cut(),
             secs(r.prep_compressed),
             secs(r.solve_compressed),
+            r.cluster_linear.as_secs_f64() * 1e3,
+            r.cluster_indexed.as_secs_f64() * 1e3,
             r.cost_delta() * 100.0,
         ));
     }
@@ -730,13 +753,26 @@ fn capture_trajectory(
     constraints: &ConstraintSet,
     backend: SolverBackend,
 ) -> (Vec<SolveProgress>, Result<cophy::Recommendation, String>) {
-    let cophy = CoPhy::new(o, CoPhyOptions { backend, ..Default::default() });
     let prepared = prepare_parallel(o, w);
     let cands = CGen::default().generate(o.schema(), w);
+    capture_trajectory_prepared(o, &prepared, &cands, constraints, backend)
+}
+
+/// [`capture_trajectory`] from an existing INUM cache and candidate set —
+/// callers that run several studies on the same workload (`solver_smoke`)
+/// prepare once and share.
+fn capture_trajectory_prepared(
+    o: &WhatIfOptimizer,
+    prepared: &PreparedWorkload,
+    cands: &CandidateSet,
+    constraints: &ConstraintSet,
+    backend: SolverBackend,
+) -> (Vec<SolveProgress>, Result<cophy::Recommendation, String>) {
+    let cophy = CoPhy::new(o, CoPhyOptions { backend, ..Default::default() });
     let mut points = Vec::new();
     let rec = cophy.try_tune_prepared_with_progress(
-        &prepared,
-        &cands,
+        prepared,
+        cands,
         constraints,
         Duration::ZERO,
         0,
@@ -758,12 +794,14 @@ fn json_series(backend: &str, n: usize, points: &[SolveProgress]) -> String {
         .iter()
         .map(|p| {
             format!(
-                "{{\"t_ms\":{:.3},\"incumbent\":{},\"bound\":{},\"gap\":{},\"ticks\":{}}}",
+                "{{\"t_ms\":{:.3},\"incumbent\":{},\"bound\":{},\"gap\":{},\"ticks\":{},\
+                 \"pivots\":{}}}",
                 p.at.as_secs_f64() * 1e3,
                 json_f64(p.incumbent),
                 json_f64(p.bound),
                 json_f64(p.gap),
-                p.ticks
+                p.ticks,
+                p.pivots
             )
         })
         .collect();
@@ -773,8 +811,19 @@ fn json_series(backend: &str, n: usize, points: &[SolveProgress]) -> String {
 /// Gap-vs-time trajectories of both backends through the unified
 /// [`SolveProgress`] stream, as a JSON document.  The `fig4`/`fig10` bins
 /// write this to `BENCH_solver.json` so future PRs can track solver
-/// regressions (anytime behavior, not just end-to-end wall clock).
+/// regressions (anytime behavior, not just end-to-end wall clock);
+/// `solver_smoke` appends the warm-start/parallelism configuration rows
+/// (nodes, pivots/node, threads) via [`solver_artifact_json`].
 pub fn solver_trajectory_json() -> String {
+    solver_artifact_json(&[])
+}
+
+/// The `BENCH_solver.json` body: both backends' gap-vs-time series plus the
+/// warm-start/parallelism study rows (empty for the cheap `fig4`/`fig10`
+/// writes).  Captures both trajectories itself; callers that already hold a
+/// capture (the `solver_smoke` guard) use [`solver_artifact_body`] instead
+/// of paying the solves twice.
+pub fn solver_artifact_json(configs: &[SolverConfigRow]) -> String {
     let o = make_optimizer(SystemProfile::A, 0.0);
 
     // Lagrangian on the storage-only set (the common, large case).
@@ -791,33 +840,206 @@ pub fn solver_trajectory_json() -> String {
     let (bb_points, bb_rec) = capture_trajectory(&o, &w_bb, &rich, SolverBackend::BranchBound);
     let bb_rec = bb_rec.expect("rich-constraint tuning must find an incumbent");
 
+    solver_artifact_body((n_lag, &lag_points, lag_rec.gap), (n_bb, &bb_points, bb_rec.gap), configs)
+}
+
+/// Format the `BENCH_solver.json` body from already-captured trajectories
+/// `(statements, points, final gap)` per backend plus the study rows.
+pub fn solver_artifact_body(
+    lagrangian: (usize, &[SolveProgress], f64),
+    branch_bound: (usize, &[SolveProgress], f64),
+    configs: &[SolverConfigRow],
+) -> String {
+    let config_rows: Vec<String> = configs
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"label\":\"{}\",\"warm_start\":{},\"threads\":{},\"nodes\":{},\
+                 \"pivots\":{},\"pivots_per_node\":{:.2},\"gap\":{},\"bound\":{},\
+                 \"objective\":{},\"wall_ms\":{:.3}}}",
+                r.label,
+                r.warm_start,
+                r.threads,
+                r.nodes,
+                r.pivots,
+                r.pivots_per_node(),
+                json_f64(r.gap),
+                json_f64(r.bound),
+                json_f64(r.objective),
+                r.wall.as_secs_f64() * 1e3,
+            )
+        })
+        .collect();
+    let (n_lag, lag_points, lag_gap) = lagrangian;
+    let (n_bb, bb_points, bb_gap) = branch_bound;
     format!(
-        "{{\"experiment\":\"solver_trajectory\",\"final_gaps\":{{\"lagrangian\":{},\"branch_bound\":{}}},\"series\":[{},{}]}}\n",
-        json_f64(lag_rec.gap),
-        json_f64(bb_rec.gap),
-        json_series("lagrangian", n_lag, &lag_points),
-        json_series("branch_bound", n_bb, &bb_points),
+        "{{\"experiment\":\"solver_trajectory\",\"final_gaps\":{{\"lagrangian\":{},\"branch_bound\":{}}},\"series\":[{},{}],\"configs\":[{}]}}\n",
+        json_f64(lag_gap),
+        json_f64(bb_gap),
+        json_series("lagrangian", n_lag, lag_points),
+        json_series("branch_bound", n_bb, bb_points),
+        config_rows.join(","),
     )
 }
 
 /// Write the solver trajectory artifact next to the experiment output.
 pub fn write_solver_artifact() {
-    let path = "BENCH_solver.json";
-    std::fs::write(path, solver_trajectory_json())
-        .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
-    eprintln!("wrote solver gap-vs-time artifact to {path}");
+    write_named_solver_artifact(&solver_trajectory_json());
 }
 
-/// CI smoke guard for the generic backend's primal side: a rich-constraint
-/// B&B run that **fails** unless a feasible incumbent appears at the root
-/// node and a finite gap is reached within the default budget (guards the
-/// LP-rounding/repair heuristic against regressions).
+/// Write a prebuilt `BENCH_solver.json` body.
+pub fn write_named_solver_artifact(body: &str) {
+    let path = "BENCH_solver.json";
+    std::fs::write(path, body).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    eprintln!("wrote solver artifact to {path}");
+}
+
+// ---------------------------------------------------------------------------
+// Warm-start / parallel-node study (solver_smoke gate)
+// ---------------------------------------------------------------------------
+
+/// One configuration of the warm-start/parallelism study on the rich
+/// W_hom24 branch-and-bound tune.
+pub struct SolverConfigRow {
+    pub label: &'static str,
+    pub warm_start: bool,
+    /// `SolveBudget::parallelism` of the run.
+    pub threads: usize,
+    /// B&B nodes explored within the budget.
+    pub nodes: usize,
+    /// Cumulative simplex pivots (root + node LPs, warm and cold alike).
+    pub pivots: usize,
+    pub gap: f64,
+    pub bound: f64,
+    pub objective: f64,
+    pub wall: Duration,
+}
+
+impl SolverConfigRow {
+    pub fn pivots_per_node(&self) -> f64 {
+        self.pivots as f64 / self.nodes.max(1) as f64
+    }
+}
+
+/// Run the rich-constraint W_hom24 BIP through three branch-and-bound
+/// configurations under the same default interactive budget (5% gap, 60 s):
+/// the PR-2 baseline (cold two-phase node LPs, serial), warm-started serial,
+/// and warm-started parallel.  The model is built once from the caller's
+/// INUM cache; each run solves the same BIP, so nodes/pivots/gap compare
+/// engines, not model noise.
+pub fn solver_config_rows(
+    o: &WhatIfOptimizer,
+    prepared: &PreparedWorkload,
+    cands: &CandidateSet,
+    constraints: &ConstraintSet,
+) -> Vec<SolverConfigRow> {
+    use cophy_bip::{BranchBound, SolveOptions};
+
+    let (model, _mapping) =
+        cophy::BipGen::default().model(o.schema(), o.cost_model(), prepared, cands, constraints);
+
+    // At least 2 so the parallel path is exercised even on one-core boxes
+    // (a batch of 2 on one core costs the same total work as 2 serial
+    // nodes; the warm start, not the core count, carries the speedup
+    // there).
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).clamp(2, 8);
+    let configs: [(&'static str, bool, usize); 3] = [
+        ("cold-serial (PR-2 baseline)", false, 1),
+        ("warm-serial", true, 1),
+        ("warm-parallel", true, threads),
+    ];
+    configs
+        .into_iter()
+        .map(|(label, warm_start, k)| {
+            let opts = SolveOptions {
+                budget: cophy::SolveBudget::interactive().with_parallelism(k),
+                warm_start,
+                ..Default::default()
+            };
+            let (r, wall) = timed(|| BranchBound::new().solve(&model, &opts));
+            SolverConfigRow {
+                label,
+                warm_start,
+                threads: k,
+                nodes: r.nodes,
+                pivots: r.pivots,
+                gap: r.gap,
+                bound: r.bound,
+                objective: r.objective,
+                wall,
+            }
+        })
+        .collect()
+}
+
+/// Human-readable report of the warm-start/parallelism study.
+pub fn solver_config_report(rows: &[SolverConfigRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Warm-start / parallel-node study: rich W_hom{} BIP, budget 5% gap / 60 s\n",
+        bb_size()
+    ));
+    out.push_str("config                        threads  nodes    pivots/node  gap      wall\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{:<29} {:<8} {:<8} {:<12.1} {:<8.2}% {}\n",
+            r.label,
+            r.threads,
+            r.nodes,
+            r.pivots_per_node(),
+            r.gap * 100.0,
+            secs(r.wall),
+        ));
+    }
+    out
+}
+
+/// The CI acceptance gate of the warm-started parallel engine: **panics**
+/// unless, within the same budget, the warm-parallel configuration (a)
+/// proves a strictly smaller gap than the cold-serial PR-2 baseline (or
+/// already reaches the 5% gap target, where it is allowed to stop early)
+/// and (b) explores at least 5× the baseline's node count (same early-stop
+/// escape).  Callers print the report and write the artifact *before*
+/// gating, so a failure still leaves the diagnostics behind.
+pub fn solver_config_gate(rows: &[SolverConfigRow]) {
+    let base = rows.iter().find(|r| !r.warm_start).expect("cold-serial baseline row");
+    let warm = rows.iter().find(|r| r.label == "warm-parallel").expect("warm-parallel row");
+    let target_reached = warm.gap <= 0.05 + 1e-9;
+    assert!(
+        warm.gap < base.gap - 1e-9 || target_reached,
+        "warm-parallel must prove a strictly smaller gap than the cold baseline: \
+         {:.2}% vs {:.2}%",
+        warm.gap * 100.0,
+        base.gap * 100.0
+    );
+    assert!(
+        warm.nodes >= 5 * base.nodes || target_reached,
+        "warm-parallel must explore ≥5× the baseline's nodes within the budget: \
+         {} vs {}",
+        warm.nodes,
+        base.nodes
+    );
+}
+
+/// CI smoke guard for the generic backend: a rich-constraint B&B run that
+/// **fails** unless a feasible incumbent appears at the root node and a
+/// finite gap is reached within the default budget (guards the
+/// LP-rounding/repair heuristic against regressions), followed by the
+/// warm-start/parallelism study whose gate requires the warm-parallel
+/// engine to beat the cold-serial PR-2 baseline (see [`solver_config_gate`]).
+/// The enriched `BENCH_solver.json` (trajectories + per-config nodes,
+/// pivots/node, threads) is written *before* the gate asserts.
 pub fn solver_smoke() -> String {
     let n = bb_size();
     let o = make_optimizer(SystemProfile::A, 0.0);
     let w = make_workload(&o, WorkloadKind::Hom, n);
     let rich = rich_constraints(&o);
-    let (points, rec) = capture_trajectory(&o, &w, &rich, SolverBackend::BranchBound);
+    // One INUM preparation + candidate set serves the guard run, the
+    // warm-start/parallelism study, and the artifact below.
+    let prepared = prepare_parallel(&o, &w);
+    let cands = CGen::default().generate(o.schema(), &w);
+    let (points, rec) =
+        capture_trajectory_prepared(&o, &prepared, &cands, &rich, SolverBackend::BranchBound);
     let rec = rec.expect("rich-constraint B&B found no incumbent within the default budget");
     let first_incumbent_ticks = points.iter().find(|p| p.incumbent.is_finite()).map(|p| p.ticks);
     assert!(rec.gap.is_finite(), "gap stayed infinite within the default budget");
@@ -826,9 +1048,29 @@ pub fn solver_smoke() -> String {
         Some(0),
         "the rounding heuristic must produce the first incumbent at the root node"
     );
+
+    // Warm-start / parallel-node study: report + artifact land first so a
+    // gate failure still leaves the diagnostics behind.  The artifact
+    // reuses the B&B trajectory captured above (the expensive solve);
+    // only the cheap Lagrangian series is captured fresh.
+    let configs = solver_config_rows(&o, &prepared, &cands, &rich);
+    let report = solver_config_report(&configs);
+    eprintln!("{report}");
+    let n_lag = default_size();
+    let w_lag = make_workload(&o, WorkloadKind::Hom, n_lag);
+    let storage = ConstraintSet::storage_fraction(o.schema(), 0.5);
+    let (lag_points, lag_rec) = capture_trajectory(&o, &w_lag, &storage, SolverBackend::Lagrangian);
+    let lag_rec = lag_rec.expect("storage-only tuning is feasible");
+    write_named_solver_artifact(&solver_artifact_body(
+        (n_lag, &lag_points, lag_rec.gap),
+        (n, &points, rec.gap),
+        &configs,
+    ));
+    solver_config_gate(&configs);
+
     format!(
         "solver smoke: W_hom{n} under rich constraints → incumbent at root, \
-         {} progress events, final gap {:.2}%, bound {:.0}, solve {}",
+         {} progress events, final gap {:.2}%, bound {:.0}, solve {}\n\n{report}",
         points.len(),
         rec.gap * 100.0,
         rec.bound,

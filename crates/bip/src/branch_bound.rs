@@ -25,11 +25,29 @@
 //! repair fails at the root, a bounded LP **dive** fixes the most-integral
 //! fractionals one at a time and retries.  The heuristic re-runs periodically
 //! at search nodes on their LP points.
+//!
+//! ## Warm-started, parallel node evaluation
+//!
+//! Node evaluation is a pure function of `(model, bounds, parent basis)`
+//! ([`evaluate_node`]): each node re-solves its LP from the parent's optimal
+//! [`Basis`] with the bounded-variable [`DualSimplex`] (a bound pinch leaves
+//! the parent basis dual feasible, so a child costs a handful of dual pivots
+//! instead of a two-phase solve), falling back to a cold solve when the warm
+//! path stalls or its point fails validation.  Per round, the
+//! `SolveBudget::parallelism` best frontier nodes are evaluated concurrently
+//! on scoped OS threads (the same sharding pattern as
+//! `Inum::prepare_workload_parallel`) and their results are merged
+//! *sequentially in selection order* through the [`SolveDriver`], so every
+//! run is deterministic for a fixed `parallelism` and `parallelism = 1`
+//! reproduces the serial search bit-for-bit.
+
+use std::sync::Arc;
 
 use crate::driver::{SolveDriver, SolveProgress};
+use crate::dual::DualSimplex;
 use crate::knapsack;
 use crate::model::{ConstrId, Model, Sense};
-use crate::simplex::{LpStatus, SimplexSolver};
+use crate::simplex::{Basis, LpResult, LpStatus, SimplexSolver};
 
 pub use crate::driver::{relative_gap, GapPoint, MipStatus, SolveBudget};
 
@@ -45,6 +63,10 @@ pub struct MipResult {
     /// Best proven relative gap at termination.
     pub gap: f64,
     pub nodes: usize,
+    /// Cumulative simplex pivots across the root and node LPs (warm dual
+    /// pivots and cold two-phase pivots alike); `pivots / nodes` is the
+    /// per-node LP cost the warm start drives down.
+    pub pivots: usize,
     /// Incumbent/bound improvements over time.
     pub trace: Vec<GapPoint>,
 }
@@ -58,6 +80,7 @@ impl MipResult {
             bound: f64::INFINITY,
             gap: f64::INFINITY,
             nodes: 0,
+            pivots: 0,
             trace: Vec::new(),
         }
     }
@@ -89,6 +112,11 @@ pub struct SolveOptions {
     /// models the bounded child LPs cost more than the better branching
     /// saves (pseudo-costs then learn from regular node solves only).
     pub strong_branch_max_vars: usize,
+    /// Re-solve node LPs from the parent's optimal basis with the dual
+    /// simplex (cold two-phase fallback when the warm path stalls or fails
+    /// validation).  On by default; the bench harness turns it off to
+    /// measure the cold-LP baseline.
+    pub warm_start: bool,
 }
 
 impl Default for SolveOptions {
@@ -101,6 +129,7 @@ impl Default for SolveOptions {
             strong_branch_budget: 24,
             heuristic_period: 16,
             strong_branch_max_vars: 400,
+            warm_start: true,
         }
     }
 }
@@ -115,13 +144,83 @@ impl SolveOptions {
 /// A search node: variable fixings layered over the root bounds.  `bound` is
 /// the parent's LP objective (a valid lower bound for the node); `branch`
 /// records the last fixing `(var, up, parent fraction)` for pseudo-cost
-/// updates once the node's own LP is solved.
+/// updates once the node's own LP is solved; `basis` is the parent's optimal
+/// LP basis (shared by both children), the warm-start handle for the dual
+/// re-solve.
 #[derive(Debug, Clone)]
 struct Node {
     bound: f64,
     fixings: Vec<(usize, bool)>,
     depth: usize,
     branch: Option<(usize, bool, f64)>,
+    basis: Option<Arc<Basis>>,
+}
+
+impl Node {
+    /// Materialize this node's variable bounds over fresh root bounds.
+    fn bounds(&self, n: usize) -> (Vec<f64>, Vec<f64>) {
+        let mut lo = vec![0.0; n];
+        let mut hi = vec![1.0; n];
+        self.apply_bounds(&mut lo, &mut hi);
+        (lo, hi)
+    }
+
+    fn apply_bounds(&self, lo: &mut [f64], hi: &mut [f64]) {
+        lo.fill(0.0);
+        hi.fill(1.0);
+        for &(j, v) in &self.fixings {
+            lo[j] = if v { 1.0 } else { 0.0 };
+            hi[j] = lo[j];
+        }
+    }
+}
+
+/// Evaluate one node's LP relaxation — a pure function of the model, the
+/// node's bounds and the parent basis, safe to run on a worker thread.
+/// Warm path first (dual re-solve from the parent basis), with a cold
+/// two-phase fallback when the warm solve is unavailable, stalls without the
+/// deadline having passed, or returns a point that fails validation against
+/// the model rows (the node bound must stay sound even under numerical
+/// drift).
+fn evaluate_node(
+    model: &Model,
+    lp_solver: &SimplexSolver,
+    dual: &DualSimplex,
+    warm_start: bool,
+    node: &Node,
+) -> LpResult {
+    let (lo, hi) = node.bounds(model.n_vars());
+    if warm_start {
+        if let Some(basis) = &node.basis {
+            if let Some(r) = dual.resolve(model, &lo, &hi, basis) {
+                match r.status {
+                    LpStatus::Optimal if warm_point_valid(model, &r.x, &lo, &hi) => return r,
+                    LpStatus::Infeasible => return r,
+                    LpStatus::IterLimit
+                        if dual.deadline.is_some_and(|dl| std::time::Instant::now() >= dl) =>
+                    {
+                        return r;
+                    }
+                    // Stalled or invalid: pay the cold solve below, keeping
+                    // the warm pivots in the accounting via `iterations`.
+                    _ => {
+                        let mut cold = lp_solver.solve(model, &lo, &hi);
+                        cold.iterations += r.iterations;
+                        return cold;
+                    }
+                }
+            }
+        }
+    }
+    lp_solver.solve(model, &lo, &hi)
+}
+
+/// Cheap soundness check on a warm-optimal point: every row satisfied and
+/// every variable inside its (pinched) bounds, within a loose tolerance.
+fn warm_point_valid(model: &Model, x: &[f64], lo: &[f64], hi: &[f64]) -> bool {
+    const TOL: f64 = 1e-5;
+    x.iter().zip(lo.iter().zip(hi)).all(|(&v, (&l, &h))| v >= l - TOL && v <= h + TOL)
+        && model.feasible(x, TOL)
 }
 
 /// Per-variable branching history: average objective degradation per unit of
@@ -238,6 +337,7 @@ impl BranchBound {
         }
 
         let root = lp_solver.solve(model, &lo, &hi);
+        driver.add_pivots(root.iterations);
         match root.status {
             LpStatus::Infeasible => return MipResult::infeasible(),
             LpStatus::Unbounded => {
@@ -262,6 +362,7 @@ impl BranchBound {
                 let mut out = MipResult::infeasible();
                 out.status = MipStatus::TimeLimit;
                 out.bound = r.bound;
+                out.pivots = r.pivots;
                 if let Some((obj, x)) = r.incumbent {
                     out.objective = obj;
                     out.x = x;
@@ -297,8 +398,13 @@ impl BranchBound {
         }
 
         // Frontier ordered by bound (best-first); the root's LP is reused.
-        let mut frontier: Vec<Node> =
-            vec![Node { bound: root.objective, fixings: Vec::new(), depth: 0, branch: None }];
+        let mut frontier: Vec<Node> = vec![Node {
+            bound: root.objective,
+            fixings: Vec::new(),
+            depth: 0,
+            branch: None,
+            basis: None,
+        }];
         let mut root_lp = Some(root);
         let mut pc = PseudoCosts::new(n);
         let mut sb_remaining =
@@ -308,6 +414,17 @@ impl BranchBound {
             p if n > 500 => p.min(1),
             p => p,
         };
+        let parallelism = opts.budget.parallelism.max(1);
+        // A warm re-solve after one bound pinch should cost a handful of
+        // dual pivots; cap its budget well below the primal's so a
+        // degenerate or cycling re-solve fails fast to the cold fallback
+        // instead of burning the full pivot budget first (the dual loop has
+        // no Bland-style anti-cycling switch).
+        let dual = DualSimplex {
+            max_iters: (4 * model.n_constraints() + 256).min(lp_solver.max_iters),
+            tol: lp_solver.tol,
+            deadline: lp_solver.deadline,
+        };
 
         let mut status: Option<MipStatus> = None;
         // Subtrees abandoned because their LP stalled on the pivot cap: the
@@ -315,98 +432,149 @@ impl BranchBound {
         // search can no longer prove optimality by exhaustion.
         let mut stalled_nodes = 0usize;
         let mut stalled_bound_cap = f64::INFINITY;
-        while let Some(pos) = best_node(&frontier) {
-            let node = frontier.swap_remove(pos);
-            // Best-first: the popped node carries the global lower bound.
-            driver.raise_bound(node.bound.min(stalled_bound_cap));
-
-            if let Some(stop) = driver.stop_status() {
-                status = Some(stop);
+        'search: loop {
+            // Select up to `parallelism` frontier nodes, best-first.  Only
+            // the first survivor may raise the global bound: it is the
+            // cheapest open node, while later batch members merely share its
+            // round (their own bounds still back open siblings).
+            let mut batch: Vec<Node> = Vec::with_capacity(parallelism);
+            while batch.len() < parallelism {
+                let Some(pos) = best_node(&frontier) else { break };
+                let node = frontier.swap_remove(pos);
+                if batch.is_empty() {
+                    driver.raise_bound(node.bound.min(stalled_bound_cap));
+                    if let Some(stop) = driver.stop_status() {
+                        status = Some(stop);
+                        break 'search;
+                    }
+                }
+                // Prune against the incumbent.
+                if node.bound >= driver.incumbent_objective() - 1e-9 {
+                    continue;
+                }
+                batch.push(node);
+            }
+            if batch.is_empty() {
                 break;
             }
-            // Prune against the incumbent.
-            if node.bound >= driver.incumbent_objective() - 1e-9 {
-                continue;
-            }
 
-            driver.tick();
-            let lp = if node.fixings.is_empty() && root_lp.is_some() {
-                root_lp.take().expect("checked")
-            } else {
-                // Apply fixings over fresh root bounds.
-                lo.fill(0.0);
-                hi.fill(1.0);
-                for &(j, v) in &node.fixings {
-                    lo[j] = if v { 1.0 } else { 0.0 };
-                    hi[j] = lo[j];
+            // Evaluate the batch: in-line when it is a single node (the
+            // serial path, also reusing the root LP), scoped OS threads
+            // otherwise.  Evaluation is pure, so thread scheduling cannot
+            // change any result — only the merge order below matters, and
+            // that is the deterministic selection order.
+            let evals: Vec<LpResult> = if batch.len() == 1 {
+                let node = &batch[0];
+                if node.fixings.is_empty() && root_lp.is_some() {
+                    // The root's pivots were accounted when its LP was
+                    // solved; zero them so the merge loop does not count
+                    // them twice.
+                    let mut lp = root_lp.take().expect("checked");
+                    lp.iterations = 0;
+                    vec![lp]
+                } else {
+                    vec![evaluate_node(model, &lp_solver, &dual, opts.warm_start, node)]
                 }
-                lp_solver.solve(model, &lo, &hi)
+            } else {
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = batch
+                        .iter()
+                        .map(|node| {
+                            let (lp_solver, dual) = (&lp_solver, &dual);
+                            s.spawn(move || {
+                                evaluate_node(model, lp_solver, dual, opts.warm_start, node)
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().expect("node LP shard")).collect()
+                })
             };
 
-            if lp.status == LpStatus::Infeasible {
-                continue;
-            }
-            if lp.status == LpStatus::IterLimit {
-                // The LP stalled, so its objective is not a sound bound.
-                // Deadline hit → stop with the best-so-far; pivot-cap stall
-                // without a deadline → skip just this node (its parent bound
-                // stays valid via the frontier) and keep searching, but
-                // remember the search is no longer exhaustive.
-                let deadline_passed =
-                    lp_solver.deadline.is_some_and(|dl| std::time::Instant::now() >= dl);
-                if deadline_passed {
-                    status = Some(MipStatus::TimeLimit);
-                    break;
+            // Merge sequentially in selection order through the driver.
+            for (idx, (node, lp)) in batch.into_iter().zip(evals).enumerate() {
+                // Between batch members (never before the first, so the
+                // serial path keeps its exact per-round semantics), honor
+                // the budget: without this a wide batch would overshoot
+                // node/gap/time limits by up to `parallelism − 1` nodes.
+                if idx > 0 {
+                    if let Some(stop) = driver.stop_status() {
+                        status = Some(stop);
+                        break 'search;
+                    }
                 }
-                stalled_nodes += 1;
-                stalled_bound_cap = stalled_bound_cap.min(node.bound);
-                continue;
-            }
-            // Pseudo-cost update from the branch that created this node.
-            if let Some((j, up, frac)) = node.branch {
-                let per_unit = (lp.objective - node.bound).max(0.0)
-                    / if up { (1.0 - frac).max(1e-6) } else { frac.max(1e-6) };
-                pc.record(j, up, per_unit);
-            }
-            if lp.objective >= driver.incumbent_objective() - 1e-9 {
-                continue;
-            }
+                driver.tick();
+                driver.add_pivots(lp.iterations);
 
-            let fracs = fractionals(&lp.x, opts.int_tol);
-            if fracs.is_empty() {
-                driver.offer_incumbent(lp.objective, lp.x.clone());
-                continue;
-            }
-            // Periodic node heuristic on the node's LP point.
-            if heuristic_period > 0 && driver.ticks() % heuristic_period == 0 {
-                if let Some((obj, x)) =
-                    round_and_repair(model, &lp.x, RoundMode::Nearest, opts.int_tol)
-                {
-                    driver.offer_incumbent(obj, x);
+                if lp.status == LpStatus::Infeasible {
+                    continue;
                 }
-            }
+                if lp.status == LpStatus::IterLimit {
+                    // The LP stalled, so its objective is not a sound bound.
+                    // Deadline hit → stop with the best-so-far; pivot-cap
+                    // stall without a deadline → skip just this node (its
+                    // parent bound stays valid via the frontier) and keep
+                    // searching, but remember the search is no longer
+                    // exhaustive.
+                    let deadline_passed =
+                        lp_solver.deadline.is_some_and(|dl| std::time::Instant::now() >= dl);
+                    if deadline_passed {
+                        status = Some(MipStatus::TimeLimit);
+                        break 'search;
+                    }
+                    stalled_nodes += 1;
+                    stalled_bound_cap = stalled_bound_cap.min(node.bound);
+                    continue;
+                }
+                // Pseudo-cost update from the branch that created this node.
+                if let Some((j, up, frac)) = node.branch {
+                    let per_unit = (lp.objective - node.bound).max(0.0)
+                        / if up { (1.0 - frac).max(1e-6) } else { frac.max(1e-6) };
+                    pc.record(j, up, per_unit);
+                }
+                if lp.objective >= driver.incumbent_objective() - 1e-9 {
+                    continue;
+                }
 
-            let j = select_branch_var(
-                model,
-                opts,
-                &lp_solver,
-                &mut lo,
-                &mut hi,
-                lp.objective,
-                &fracs,
-                &mut pc,
-                &mut sb_remaining,
-            );
-            let frac = lp.x[j].fract();
-            for v in [true, false] {
-                let mut fx = node.fixings.clone();
-                fx.push((j, v));
-                frontier.push(Node {
-                    bound: lp.objective,
-                    fixings: fx,
-                    depth: node.depth + 1,
-                    branch: Some((j, v, frac)),
-                });
+                let fracs = fractionals(&lp.x, opts.int_tol);
+                if fracs.is_empty() {
+                    driver.offer_incumbent(lp.objective, lp.x.clone());
+                    continue;
+                }
+                // Periodic node heuristic on the node's LP point.
+                if heuristic_period > 0 && driver.ticks() % heuristic_period == 0 {
+                    if let Some((obj, x)) =
+                        round_and_repair(model, &lp.x, RoundMode::Nearest, opts.int_tol)
+                    {
+                        driver.offer_incumbent(obj, x);
+                    }
+                }
+
+                // Strong branching probes from this node's bounds.
+                node.apply_bounds(&mut lo, &mut hi);
+                let j = select_branch_var(
+                    model,
+                    opts,
+                    &lp_solver,
+                    &mut lo,
+                    &mut hi,
+                    lp.objective,
+                    &fracs,
+                    &mut pc,
+                    &mut sb_remaining,
+                );
+                let frac = lp.x[j].fract();
+                let child_basis = lp.basis.map(Arc::new);
+                for v in [true, false] {
+                    let mut fx = node.fixings.clone();
+                    fx.push((j, v));
+                    frontier.push(Node {
+                        bound: lp.objective,
+                        fixings: fx,
+                        depth: node.depth + 1,
+                        branch: Some((j, v, frac)),
+                        basis: child_basis.clone(),
+                    });
+                }
             }
         }
 
@@ -429,6 +597,7 @@ impl BranchBound {
                 // BIP is integrally infeasible.
                 let mut out = MipResult::infeasible();
                 out.nodes = r.ticks;
+                out.pivots = r.pivots;
                 if let Some(st) = status {
                     out.status = st;
                     out.bound = r.bound;
@@ -446,6 +615,7 @@ impl BranchBound {
                 bound: r.bound,
                 gap: r.gap,
                 nodes: r.ticks,
+                pivots: r.pivots,
                 trace: r.trace,
             },
         }
@@ -908,6 +1078,14 @@ mod tests {
             SolveOptions { budget: SolveBudget::exact().with_nodes(5), ..Default::default() };
         let r = BranchBound::new().solve(&m, &opts);
         assert!(r.nodes <= 6);
+        // A wide batch must not overshoot the limit either (the merge loop
+        // re-checks the budget between batch members).
+        let wide = SolveOptions {
+            budget: SolveBudget::exact().with_nodes(5).with_parallelism(8),
+            ..Default::default()
+        };
+        let r = BranchBound::new().solve(&m, &wide);
+        assert!(r.nodes <= 6, "parallel batch overshot the node limit: {}", r.nodes);
     }
 
     #[test]
@@ -947,6 +1125,90 @@ mod tests {
         assert_eq!(first_incumbent_ticks, Some(0), "incumbent must appear at the root");
         let (expect, _) = m.brute_force().unwrap();
         assert!((r.objective - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn parallel_and_serial_prove_the_same_optimum() {
+        let mut rng = SmallRng::seed_from_u64(99);
+        let mut m = Model::new();
+        let mut e = LinExpr::new();
+        for j in 0..14 {
+            let v = m.add_var(format!("v{j}"), -rng.gen_range(4.0..16.0));
+            e.add(v, rng.gen_range(2.0..8.0));
+        }
+        m.add_constraint(e, Sense::Le, 24.0);
+        let serial = BranchBound::new().solve(&m, &SolveOptions::default());
+        assert_eq!(serial.status, MipStatus::Optimal);
+        for k in [2usize, 4] {
+            let opts = SolveOptions {
+                budget: SolveBudget::exact().with_parallelism(k),
+                ..Default::default()
+            };
+            let par = BranchBound::new().solve(&m, &opts);
+            assert_eq!(par.status, MipStatus::Optimal, "k={k}");
+            assert!(
+                (par.objective - serial.objective).abs() < 1e-6,
+                "k={k}: {} vs {}",
+                par.objective,
+                serial.objective
+            );
+            assert!((par.bound - serial.bound).abs() < 1e-6, "k={k}: bounds must agree");
+            assert!(m.feasible(&par.x, 1e-6));
+        }
+    }
+
+    #[test]
+    fn warm_and_cold_node_lps_agree_and_warm_is_cheaper() {
+        let mut rng = SmallRng::seed_from_u64(41);
+        let mut m = Model::new();
+        let mut e = LinExpr::new();
+        for j in 0..16 {
+            let v = m.add_var(format!("v{j}"), -rng.gen_range(5.0..15.0));
+            e.add(v, rng.gen_range(3.0..9.0));
+        }
+        m.add_constraint(e, Sense::Le, 30.0);
+        // Disable heuristics/strong branching noise so pivot counts compare
+        // the LP engines alone.
+        let base =
+            SolveOptions { heuristic_period: 0, strong_branch_budget: 0, ..Default::default() };
+        let warm = BranchBound::new().solve(&m, &base);
+        let cold = BranchBound::new().solve(&m, &SolveOptions { warm_start: false, ..base });
+        assert_eq!(warm.status, MipStatus::Optimal);
+        assert_eq!(cold.status, MipStatus::Optimal);
+        assert!((warm.objective - cold.objective).abs() < 1e-6);
+        assert!(warm.pivots > 0 && cold.pivots > 0, "pivot accounting must be live");
+        assert!(
+            warm.pivots <= cold.pivots,
+            "warm-started re-solves must not pivot more than cold: {} vs {}",
+            warm.pivots,
+            cold.pivots
+        );
+    }
+
+    #[test]
+    fn serial_trace_is_reproducible_bit_for_bit() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        let mut m = Model::new();
+        let mut e = LinExpr::new();
+        for j in 0..14 {
+            let v = m.add_var(format!("v{j}"), -rng.gen_range(4.0..14.0));
+            e.add(v, rng.gen_range(2.0..7.0));
+        }
+        m.add_constraint(e, Sense::Le, 22.0);
+        let run = || {
+            let mut seen: Vec<(f64, f64, f64)> = Vec::new();
+            let r = BranchBound::new().solve_with_progress(&m, &SolveOptions::default(), |p, _| {
+                seen.push((p.incumbent, p.bound, p.gap));
+            });
+            (r, seen)
+        };
+        let (a, ea) = run();
+        let (b, eb) = run();
+        assert_eq!(ea, eb, "parallelism = 1 must reproduce the exact event stream");
+        assert_eq!(a.objective.to_bits(), b.objective.to_bits());
+        assert_eq!(a.bound.to_bits(), b.bound.to_bits());
+        assert_eq!(a.nodes, b.nodes);
+        assert_eq!(a.pivots, b.pivots);
     }
 
     #[test]

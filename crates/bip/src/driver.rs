@@ -73,11 +73,15 @@ pub struct SolveBudget {
     pub time_limit: Option<Duration>,
     /// B&B node limit / Lagrangian iteration limit.
     pub node_limit: Option<usize>,
+    /// Frontier nodes evaluated concurrently per branch-and-bound round
+    /// (OS threads; `1` = today's serial search, bit-for-bit).  Backends
+    /// without parallel evaluation (the Lagrangian) ignore it.
+    pub parallelism: usize,
 }
 
 impl Default for SolveBudget {
     fn default() -> Self {
-        SolveBudget { gap_limit: 1e-9, time_limit: None, node_limit: None }
+        SolveBudget { gap_limit: 1e-9, time_limit: None, node_limit: None, parallelism: 1 }
     }
 }
 
@@ -94,7 +98,11 @@ impl SolveBudget {
 
     /// The paper's interactive operating point: 5% gap, bounded wall clock.
     pub fn interactive() -> Self {
-        SolveBudget { gap_limit: 0.05, time_limit: Some(Duration::from_secs(60)), node_limit: None }
+        SolveBudget {
+            gap_limit: 0.05,
+            time_limit: Some(Duration::from_secs(60)),
+            ..Default::default()
+        }
     }
 
     /// Builder: wall-clock limit.
@@ -106,6 +114,13 @@ impl SolveBudget {
     /// Builder: node/iteration limit.
     pub fn with_nodes(mut self, limit: usize) -> Self {
         self.node_limit = Some(limit);
+        self
+    }
+
+    /// Builder: concurrent frontier nodes per branch-and-bound round
+    /// (clamped to at least 1).
+    pub fn with_parallelism(mut self, k: usize) -> Self {
+        self.parallelism = k.max(1);
         self
     }
 }
@@ -125,6 +140,10 @@ pub struct SolveProgress {
     pub gap: f64,
     /// Nodes (B&B) or iterations (Lagrangian) completed.
     pub ticks: usize,
+    /// Cumulative simplex pivots across node LPs (0 for backends that do
+    /// not run the simplex).  `pivots / ticks` is the per-node pivot count
+    /// the warm-started dual re-solve drives down.
+    pub pivots: usize,
 }
 
 /// Callback invoked on every incumbent or bound improvement.  The second
@@ -141,6 +160,8 @@ pub struct DriverResult<S> {
     /// Best proven relative gap.
     pub gap: f64,
     pub ticks: usize,
+    /// Cumulative simplex pivots reported via [`SolveDriver::add_pivots`].
+    pub pivots: usize,
     pub trace: Vec<GapPoint>,
 }
 
@@ -152,6 +173,7 @@ pub struct SolveDriver<'cb, S> {
     bound: f64,
     best_gap: f64,
     ticks: usize,
+    pivots: usize,
     trace: Vec<GapPoint>,
     on_progress: Box<ProgressFn<'cb, S>>,
 }
@@ -189,6 +211,7 @@ impl<'cb, S> SolveDriver<'cb, S> {
             bound: f64::NEG_INFINITY,
             best_gap: f64::INFINITY,
             ticks: 0,
+            pivots: 0,
             trace: Vec::new(),
             on_progress: Box::new(on_progress),
         }
@@ -234,6 +257,16 @@ impl<'cb, S> SolveDriver<'cb, S> {
         self.ticks += 1;
     }
 
+    /// Account simplex pivots spent on node LPs (warm or cold).
+    pub fn add_pivots(&mut self, n: usize) {
+        self.pivots += n;
+    }
+
+    /// Cumulative simplex pivots accounted so far.
+    pub fn pivots(&self) -> usize {
+        self.pivots
+    }
+
     fn snapshot(&self) -> SolveProgress {
         SolveProgress {
             at: self.started.elapsed(),
@@ -241,6 +274,7 @@ impl<'cb, S> SolveDriver<'cb, S> {
             bound: self.bound,
             gap: self.best_gap,
             ticks: self.ticks,
+            pivots: self.pivots,
         }
     }
 
@@ -364,6 +398,7 @@ impl<'cb, S> SolveDriver<'cb, S> {
             bound: self.bound,
             gap: self.best_gap,
             ticks: self.ticks,
+            pivots: self.pivots,
             trace: self.trace,
         }
     }

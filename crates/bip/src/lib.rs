@@ -9,7 +9,12 @@
 //!   (new variables/constraints after a solve), the delta interface CoPhy's
 //!   interactive tuning exploits;
 //! * [`simplex`] — a two-phase, bounded-variable revised primal simplex for
-//!   the LP relaxations;
+//!   the LP relaxations, snapshotting its optimal [`Basis`] for warm
+//!   re-solves;
+//! * [`dual`] — a bounded-variable **dual simplex** that re-solves an LP
+//!   from a parent basis after a bound pinch (the branch-and-bound
+//!   warm-start: a child LP costs a handful of dual pivots instead of a
+//!   fresh two-phase solve);
 //! * [`branch_bound`] — a best-first branch-and-bound MIP solver with
 //!   anytime incumbents, a global lower bound, relative-gap early
 //!   termination, time/node limits and improvement callbacks (the paper's
@@ -32,6 +37,7 @@
 
 pub mod branch_bound;
 pub mod driver;
+pub mod dual;
 pub mod knapsack;
 pub mod lagrangian;
 pub mod model;
@@ -41,8 +47,9 @@ pub use branch_bound::{BranchBound, MipResult, SolveOptions};
 pub use driver::{
     relative_gap, DriverResult, GapPoint, MipStatus, SolveBudget, SolveDriver, SolveProgress,
 };
+pub use dual::DualSimplex;
 pub use lagrangian::{
     Alt, Block, BlockProblem, LagrangeResult, LagrangianSolver, SlotChoices, WarmStart,
 };
 pub use model::{ConstrId, LinExpr, Model, Sense, VarId};
-pub use simplex::{LpResult, LpStatus, SimplexSolver};
+pub use simplex::{Basis, LpResult, LpStatus, SimplexSolver};

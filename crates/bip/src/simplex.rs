@@ -18,6 +18,11 @@
 //!   proofs — mirroring the paper's `relax(B)` step (Figure 3).
 //! * **Dantzig pricing with a Bland fallback** after a run of degenerate
 //!   pivots, guaranteeing termination.
+//! * **Basis snapshots** — an optimal solve captures its [`Basis`] (variable
+//!   states + basic set + phase-1 artificial signs) in the [`LpResult`], so
+//!   branch-and-bound can re-solve a child LP with the
+//!   [`dual`](crate::dual) simplex after a bound pinch instead of paying a
+//!   fresh two-phase solve.
 
 // The linear-algebra kernels below intentionally use index loops over the
 // dense B⁻¹ rows; iterator chains obscure the pivot arithmetic.
@@ -44,6 +49,25 @@ pub struct LpResult {
     pub x: Vec<f64>,
     pub objective: f64,
     pub iterations: usize,
+    /// Snapshot of the optimal basis (present only on
+    /// [`LpStatus::Optimal`]), the warm-start handle for
+    /// [`DualSimplex::resolve`](crate::dual::DualSimplex::resolve).
+    pub basis: Option<Basis>,
+}
+
+/// A reusable snapshot of a simplex basis over the standard-form column
+/// space (structural + slack + artificial variables).  Opaque outside the
+/// crate: it is only produced by an optimal solve and only consumed by the
+/// dual-simplex warm re-solve after a bound change on the same model.
+#[derive(Debug, Clone)]
+pub struct Basis {
+    /// Per-column variable state (length: structural + slack + artificial).
+    pub(crate) state: Vec<VarState>,
+    /// Basic column per row.
+    pub(crate) basis: Vec<usize>,
+    /// Signs given to the artificial columns at phase-1 initialization.
+    pub(crate) art_sigma: Vec<f64>,
+    pub(crate) n_structural: usize,
 }
 
 /// The simplex engine.
@@ -52,10 +76,16 @@ pub struct SimplexSolver {
     pub max_iters: usize,
     pub tol: f64,
     /// Abandon the solve (status [`LpStatus::IterLimit`]) once this instant
-    /// passes — checked every few iterations, so a single large LP cannot
-    /// blow through a caller's wall-clock budget.
+    /// passes — checked every [`DEADLINE_CHECK_INTERVAL`] pivots (and before
+    /// the first one), so a single large LP cannot blow through a caller's
+    /// wall-clock budget.
     pub deadline: Option<std::time::Instant>,
 }
+
+/// Pivots between wall-clock deadline checks, shared by the primal and
+/// [`dual`](crate::dual) simplex loops.  The check also runs before the
+/// first pivot, so an already-expired deadline aborts within one pivot.
+pub const DEADLINE_CHECK_INTERVAL: usize = 64;
 
 impl Default for SimplexSolver {
     fn default() -> Self {
@@ -64,34 +94,35 @@ impl Default for SimplexSolver {
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum VarState {
+pub(crate) enum VarState {
     Basic,
     Lower,
     Upper,
 }
 
-/// Internal standard-form workspace.
-struct Tableau {
+/// Internal standard-form workspace, shared with the [`dual`](crate::dual)
+/// simplex.
+pub(crate) struct Tableau {
     /// Sparse columns for every variable (structural, slack, artificial).
-    cols: Vec<Vec<(usize, f64)>>,
-    lo: Vec<f64>,
-    hi: Vec<f64>,
-    rhs: Vec<f64>,
-    n_structural: usize,
-    n_artificial_start: usize,
-    m: usize,
+    pub(crate) cols: Vec<Vec<(usize, f64)>>,
+    pub(crate) lo: Vec<f64>,
+    pub(crate) hi: Vec<f64>,
+    pub(crate) rhs: Vec<f64>,
+    pub(crate) n_structural: usize,
+    pub(crate) n_artificial_start: usize,
+    pub(crate) m: usize,
     // state
-    state: Vec<VarState>,
-    basis: Vec<usize>,
-    binv: Vec<f64>, // m×m row-major
-    xb: Vec<f64>,
+    pub(crate) state: Vec<VarState>,
+    pub(crate) basis: Vec<usize>,
+    pub(crate) binv: Vec<f64>, // m×m row-major
+    pub(crate) xb: Vec<f64>,
 }
 
-const PIVOT_TOL: f64 = 1e-9;
-const REFACTOR_EVERY: usize = 128;
+pub(crate) const PIVOT_TOL: f64 = 1e-9;
+pub(crate) const REFACTOR_EVERY: usize = 128;
 
 impl Tableau {
-    fn build(model: &Model, lo: &[f64], hi: &[f64]) -> Tableau {
+    pub(crate) fn build(model: &Model, lo: &[f64], hi: &[f64]) -> Tableau {
         let n = model.n_vars();
         let m = model.n_constraints();
         assert_eq!(lo.len(), n);
@@ -145,7 +176,7 @@ impl Tableau {
     }
 
     /// Nonbasic value of variable `j` per its state.
-    fn nb_value(&self, j: usize) -> f64 {
+    pub(crate) fn nb_value(&self, j: usize) -> f64 {
         match self.state[j] {
             VarState::Lower => self.lo[j],
             VarState::Upper => self.hi[j],
@@ -153,8 +184,45 @@ impl Tableau {
         }
     }
 
+    /// Capture the current basis for later warm re-solves.
+    pub(crate) fn snapshot(&self) -> Basis {
+        Basis {
+            state: self.state.clone(),
+            basis: self.basis.clone(),
+            art_sigma: (0..self.m).map(|i| self.cols[self.n_artificial_start + i][0].1).collect(),
+            n_structural: self.n_structural,
+        }
+    }
+
+    /// Rebuild the tableau state from a basis snapshot taken on the same
+    /// model (possibly under different variable bounds).  Artificials stay
+    /// pinned to zero (the phase-2 convention the snapshot was taken under).
+    /// Returns `false` when the snapshot does not fit this tableau or the
+    /// basis matrix is numerically singular — callers then fall back to a
+    /// cold two-phase solve.
+    pub(crate) fn restore(&mut self, b: &Basis) -> bool {
+        if b.n_structural != self.n_structural
+            || b.state.len() != self.cols.len()
+            || b.basis.len() != self.m
+            || b.art_sigma.len() != self.m
+        {
+            return false;
+        }
+        self.state.copy_from_slice(&b.state);
+        self.basis.clone_from(&b.basis);
+        self.binv = vec![0.0; self.m * self.m];
+        self.xb = vec![0.0; self.m];
+        for (i, &sigma) in b.art_sigma.iter().enumerate() {
+            self.cols[self.n_artificial_start + i][0].1 = sigma;
+        }
+        for j in self.n_artificial_start..self.cols.len() {
+            self.hi[j] = 0.0;
+        }
+        self.refactor()
+    }
+
     /// Start from the all-artificial basis.
-    fn init_basis(&mut self) {
+    pub(crate) fn init_basis(&mut self) {
         // Residual with every non-artificial variable at its lower bound
         // (fixed vars sit at lo == hi).
         let mut r = self.rhs.clone();
@@ -181,7 +249,7 @@ impl Tableau {
     }
 
     /// `w = B⁻¹ · col_j`.
-    fn ftran(&self, j: usize, w: &mut [f64]) {
+    pub(crate) fn ftran(&self, j: usize, w: &mut [f64]) {
         w.fill(0.0);
         for &(r, a) in &self.cols[j] {
             if a == 0.0 {
@@ -194,7 +262,7 @@ impl Tableau {
     }
 
     /// Dual vector `y = c_Bᵀ · B⁻¹` for the given phase costs.
-    fn duals(&self, cost: &[f64], y: &mut [f64]) {
+    pub(crate) fn duals(&self, cost: &[f64], y: &mut [f64]) {
         y.fill(0.0);
         for (k, &bv) in self.basis.iter().enumerate() {
             let cb = cost[bv];
@@ -208,7 +276,7 @@ impl Tableau {
         }
     }
 
-    fn reduced_cost(&self, cost: &[f64], y: &[f64], j: usize) -> f64 {
+    pub(crate) fn reduced_cost(&self, cost: &[f64], y: &[f64], j: usize) -> f64 {
         let mut d = cost[j];
         for &(i, a) in &self.cols[j] {
             d -= y[i] * a;
@@ -218,7 +286,7 @@ impl Tableau {
 
     /// Rebuild `B⁻¹` and `x_B` from scratch (Gauss-Jordan with partial
     /// pivoting).  Returns false if the basis matrix is numerically singular.
-    fn refactor(&mut self) -> bool {
+    pub(crate) fn refactor(&mut self) -> bool {
         let m = self.m;
         // Assemble the basis matrix densely.
         let mut a = vec![0.0; m * m];
@@ -277,7 +345,7 @@ impl Tableau {
     }
 
     /// `x_B = B⁻¹ (b − N x_N)`.
-    fn recompute_xb(&mut self) {
+    pub(crate) fn recompute_xb(&mut self) {
         let mut r = self.rhs.clone();
         for j in 0..self.cols.len() {
             if self.state[j] == VarState::Basic {
@@ -301,7 +369,7 @@ impl Tableau {
     }
 
     /// Run the simplex on the given phase costs. Returns (status, iterations).
-    fn run(
+    pub(crate) fn run(
         &mut self,
         cost: &[f64],
         tol: f64,
@@ -315,7 +383,7 @@ impl Tableau {
         let mut since_refactor = 0usize;
 
         for iter in 0..max_iters {
-            if iter & 63 == 0 {
+            if iter % DEADLINE_CHECK_INTERVAL == 0 {
                 if let Some(dl) = deadline {
                     if std::time::Instant::now() >= dl {
                         return (LpStatus::IterLimit, iter);
@@ -452,7 +520,7 @@ impl Tableau {
     }
 
     /// Structural-variable values of the current basis.
-    fn structural_x(&self) -> Vec<f64> {
+    pub(crate) fn structural_x(&self) -> Vec<f64> {
         let mut x = vec![0.0; self.n_structural];
         for (j, xi) in x.iter_mut().enumerate() {
             *xi = match self.state[j] {
@@ -485,7 +553,13 @@ impl SimplexSolver {
                 .map(|(j, &c)| if c > 0.0 { lo[j] } else { hi[j] })
                 .collect();
             let objective = model.objective_value(&x);
-            return LpResult { status: LpStatus::Optimal, x, objective, iterations: 0 };
+            return LpResult {
+                status: LpStatus::Optimal,
+                x,
+                objective,
+                iterations: 0,
+                basis: None,
+            };
         }
 
         let mut t = Tableau::build(model, lo, hi);
@@ -503,6 +577,7 @@ impl SimplexSolver {
                 x: vec![0.0; n],
                 objective: f64::INFINITY,
                 iterations: it1,
+                basis: None,
             };
         }
         let infeas: f64 = t
@@ -518,6 +593,7 @@ impl SimplexSolver {
                 x: vec![0.0; n],
                 objective: f64::INFINITY,
                 iterations: it1,
+                basis: None,
             };
         }
 
@@ -534,7 +610,8 @@ impl SimplexSolver {
 
         let x = t.structural_x();
         let objective = model.objective_value(&x);
-        LpResult { status: s2, x, objective, iterations: it1 + it2 }
+        let basis = (s2 == LpStatus::Optimal).then(|| t.snapshot());
+        LpResult { status: s2, x, objective, iterations: it1 + it2, basis }
     }
 
     /// Feasibility check only (phase 1): is the relaxed polytope non-empty?
@@ -655,6 +732,36 @@ mod tests {
             let frac = r.x.iter().filter(|v| **v > 1e-6 && **v < 1.0 - 1e-6).count();
             assert!(frac <= 1, "knapsack LP has ≤1 fractional var, got {frac}");
         }
+    }
+
+    #[test]
+    fn expired_deadline_aborts_within_one_pivot() {
+        // The deadline check runs before the first pivot, so an
+        // already-expired deadline returns IterLimit with zero iterations.
+        let mut m = Model::new();
+        let x = m.add_var("x", -1.0);
+        let y = m.add_var("y", -2.0);
+        m.add_constraint(LinExpr::new().term(x, 1.0).term(y, 1.0), Sense::Le, 1.5);
+        let (lo, hi) = bounds(2);
+        let solver =
+            SimplexSolver { deadline: Some(std::time::Instant::now()), ..Default::default() };
+        let r = solver.solve(&m, &lo, &hi);
+        assert_eq!(r.status, LpStatus::IterLimit);
+        assert_eq!(r.iterations, 0, "no pivot may run past an expired deadline");
+    }
+
+    #[test]
+    fn optimal_solve_captures_a_basis() {
+        let mut m = Model::new();
+        let x = m.add_var("x", -1.0);
+        let y = m.add_var("y", -2.0);
+        m.add_constraint(LinExpr::new().term(x, 1.0).term(y, 1.0), Sense::Le, 1.5);
+        let (lo, hi) = bounds(2);
+        let r = SimplexSolver::new().solve(&m, &lo, &hi);
+        assert_eq!(r.status, LpStatus::Optimal);
+        let b = r.basis.expect("optimal solve snapshots its basis");
+        assert_eq!(b.n_structural, 2);
+        assert_eq!(b.basis.len(), m.n_constraints());
     }
 
     #[test]

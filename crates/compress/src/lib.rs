@@ -17,7 +17,14 @@
 //!    template matches an existing representative and whose
 //!    [`StatementFeatures::distance`] (largest selectivity deviation /
 //!    relative update-footprint deviation) is within `ε` merge onto the
-//!    nearest representative.
+//!    nearest representative.  The nearest-representative query runs against
+//!    a per-template **feature-quantile bucket index** (cell width ε per
+//!    selectivity dimension, `−ln(1−ε)` on the log update footprint), so
+//!    the scan touches only the 3^d neighbor cells of the query point
+//!    instead of every representative of the template — an exact
+//!    replacement for the linear scan
+//!    ([`CompressedWorkload::compress_unindexed`] keeps the baseline for
+//!    the `fig_compress` before/after timing).
 //!
 //! The result is a [`CompressedWorkload`]: a weighted representative
 //! [`Workload`] plus the full original→representative assignment.  Cluster
@@ -145,6 +152,54 @@ impl CompressionSummary {
     }
 }
 
+/// Feature dimensionality cap for the bucket index: enumerating the 3^d
+/// neighbor cells of a query point must stay cheaper than the linear scan it
+/// replaces, so high-dimensional templates keep the plain scan.
+const MAX_INDEXED_DIMS: usize = 6;
+
+/// Representative count below which the linear scan is used even on an
+/// indexed template — hashing 3^d neighbor cells only pays once the
+/// template has accumulated more representatives than that.
+const LINEAR_SCAN_CUTOFF: usize = 16;
+
+/// Per-template representative index: the insertion-ordered list (the
+/// ε-agglomeration scan baseline) plus, for low-dimensional templates under
+/// an indexable ε, a coarse feature-quantile bucket grid.  Cell widths are
+/// chosen so any two points within ε land in the same or an adjacent cell
+/// per dimension, which makes the 3^d neighbor enumeration an exact
+/// candidate superset of the linear scan.
+#[derive(Debug, Clone)]
+struct TemplateIndex {
+    reps: Vec<QueryId>,
+    cells: Option<HashMap<Vec<i64>, Vec<QueryId>>>,
+}
+
+/// Quantization cell widths `(cell_sel, cell_rows)` of the bucket grid.
+/// Selectivities quantize at width ε (|Δsel| ≤ ε ⟹ adjacent cells); the
+/// update-row footprint quantizes `ln(max(rows, 1))` at width `−ln(1 − ε)`
+/// (relative deviation ≤ ε ⟹ adjacent cells).  `None` disables the grid:
+/// indexing off, ε = 0 (exact-dedup only), or ε ≥ 1 (every same-template
+/// pair is within ε anyway).
+type Grid = Option<(f64, f64)>;
+
+fn make_grid(policy: CompressionPolicy, indexed: bool) -> Grid {
+    match policy.merge_threshold() {
+        Some(eps) if indexed && eps > 0.0 && eps < 1.0 => Some((eps, -(1.0 - eps).ln())),
+        _ => None,
+    }
+}
+
+/// The grid cell of a feature point: quantized selectivities plus the
+/// quantized log update footprint.
+fn cell_key(f: &StatementFeatures, cell_sel: f64, cell_rows: f64) -> Vec<i64> {
+    let mut key = Vec::with_capacity(f.selectivities.len() + 1);
+    for &s in &f.selectivities {
+        key.push((s / cell_sel).floor() as i64);
+    }
+    key.push((f.update_rows.max(1.0).ln() / cell_rows).floor() as i64);
+    key
+}
+
 /// A compressed workload: weighted representatives + assignment.
 #[derive(Debug, Clone)]
 pub struct CompressedWorkload {
@@ -153,7 +208,9 @@ pub struct CompressedWorkload {
     /// Exact-shell index: every shell ever absorbed → its representative.
     by_shell: HashMap<ShellKey, QueryId>,
     /// Template index over representatives, for the ε-agglomeration scan.
-    by_template: HashMap<TemplateKey, Vec<QueryId>>,
+    by_template: HashMap<TemplateKey, TemplateIndex>,
+    /// Bucket-grid cell widths (see [`Grid`]).
+    grid: Grid,
     /// Original statement position → representative id.
     assignment: Vec<QueryId>,
     original_weight: f64,
@@ -169,13 +226,36 @@ impl CompressedWorkload {
         w: &Workload,
         policy: CompressionPolicy,
     ) -> CompressedWorkload {
-        // Validate ε eagerly, even for empty workloads.
-        let _ = policy.merge_threshold();
+        Self::compress_with_indexing(schema, w, policy, true)
+    }
+
+    /// [`CompressedWorkload::compress`] with the bucket index disabled —
+    /// every ε-agglomeration runs the linear scan over same-template
+    /// representatives.  Produces an identical clustering; kept as the
+    /// timing baseline of the `fig_compress` study.
+    pub fn compress_unindexed(
+        schema: &Schema,
+        w: &Workload,
+        policy: CompressionPolicy,
+    ) -> CompressedWorkload {
+        Self::compress_with_indexing(schema, w, policy, false)
+    }
+
+    fn compress_with_indexing(
+        schema: &Schema,
+        w: &Workload,
+        policy: CompressionPolicy,
+        indexed: bool,
+    ) -> CompressedWorkload {
+        // Validate ε eagerly, even for empty workloads (`make_grid` calls
+        // `merge_threshold`, which panics on an invalid ε).
+        let grid = make_grid(policy, indexed);
         let mut cw = CompressedWorkload {
             representatives: Workload::new(),
             rep_features: Vec::new(),
             by_shell: HashMap::new(),
             by_template: HashMap::new(),
+            grid,
             assignment: Vec::with_capacity(w.len()),
             original_weight: 0.0,
             policy,
@@ -252,13 +332,39 @@ impl CompressedWorkload {
     }
 
     /// The nearest same-template representative within `eps`, ties broken
-    /// toward the oldest representative (deterministic).
+    /// toward the oldest representative (deterministic).  Uses the bucket
+    /// grid when the template is indexed — any representative within `eps`
+    /// lies in the query point's cell or an adjacent one per dimension, so
+    /// scanning the 3^d neighbor cells is an exact replacement for the
+    /// linear scan.
     fn nearest_within(&self, f: &StatementFeatures, eps: f64) -> Option<QueryId> {
+        let idx = self.by_template.get(&f.template)?;
         let mut best: Option<(f64, QueryId)> = None;
-        for &rep in self.by_template.get(&f.template)? {
+        let consider = |rep: QueryId, best: &mut Option<(f64, QueryId)>| {
             let d = f.distance(&self.rep_features[rep.0 as usize]);
-            if d <= eps && best.is_none_or(|(bd, _)| d < bd) {
-                best = Some((d, rep));
+            if d <= eps && best.is_none_or(|(bd, br)| d < bd || (d == bd && rep < br)) {
+                *best = Some((d, rep));
+            }
+        };
+        match (&idx.cells, self.grid) {
+            (Some(cells), Some((cs, cr))) if idx.reps.len() > LINEAR_SCAN_CUTOFF => {
+                let center = cell_key(f, cs, cr);
+                let dims = center.len() as u32;
+                for mut code in 0..3usize.pow(dims) {
+                    let mut key = center.clone();
+                    for slot in &mut key {
+                        *slot += (code % 3) as i64 - 1;
+                        code /= 3;
+                    }
+                    for &rep in cells.get(&key).map(Vec::as_slice).unwrap_or_default() {
+                        consider(rep, &mut best);
+                    }
+                }
+            }
+            _ => {
+                for &rep in &idx.reps {
+                    consider(rep, &mut best);
+                }
             }
         }
         best.map(|(_, rep)| rep)
@@ -279,7 +385,17 @@ impl CompressedWorkload {
         let rep = self.representatives.push_weighted(stmt.clone(), weight);
         if let Some(f) = features {
             self.by_shell.insert(f.shell.clone(), rep);
-            self.by_template.entry(f.template.clone()).or_default().push(rep);
+            let grid = self.grid;
+            let idx = self.by_template.entry(f.template.clone()).or_insert_with(|| {
+                // Index the template only when enumerating neighbor cells
+                // beats scanning its representative list.
+                let indexable = grid.is_some() && f.selectivities.len() < MAX_INDEXED_DIMS;
+                TemplateIndex { reps: Vec::new(), cells: indexable.then(HashMap::new) }
+            });
+            idx.reps.push(rep);
+            if let (Some(cells), Some((cs, cr))) = (&mut idx.cells, grid) {
+                cells.entry(cell_key(&f, cs, cr)).or_default().push(rep);
+            }
             self.rep_features.push(f);
         }
         self.assignment.push(rep);
@@ -450,6 +566,78 @@ mod tests {
         assert!(matches!(b, Absorption::NewRepresentative(_)));
         assert_eq!(cw.n_representatives(), reps_before + 1);
         cw.validate().unwrap();
+    }
+
+    #[test]
+    fn bucket_index_matches_linear_scan() {
+        let s = schema();
+        for seed in [9u64, 10, 11] {
+            for w in [mixed(seed, 150), HetGen::new(seed).generate(&s, 150)] {
+                for eps in [0.05, 0.25, 0.6, 1.5] {
+                    let policy = CompressionPolicy::Epsilon(eps);
+                    let a = CompressedWorkload::compress(&s, &w, policy);
+                    let b = CompressedWorkload::compress_unindexed(&s, &w, policy);
+                    assert_eq!(
+                        a.assignment(),
+                        b.assignment(),
+                        "seed {seed} ε {eps}: index must reproduce the linear scan"
+                    );
+                    assert_eq!(a.n_representatives(), b.n_representatives());
+                    for id in a.representatives().ids() {
+                        assert_eq!(a.representatives().weight(id), b.representatives().weight(id));
+                    }
+                    a.validate().unwrap();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_index_engages_past_the_cutoff_and_stays_exact() {
+        // One template, many distinct constants, tiny ε: the template
+        // accumulates far more representatives than LINEAR_SCAN_CUTOFF, so
+        // the cell enumeration path actually runs — and must keep matching
+        // the linear scan exactly.
+        let s = schema();
+        let li = s.table_by_name("lineitem").unwrap().id;
+        let sd = s.resolve("lineitem.l_shipdate").unwrap();
+        let mut w = Workload::new();
+        for i in 0..400u32 {
+            let mut q = Query::scan(li);
+            q.predicates.push(Predicate::lt(sd, 1.0 + i as f64 * 6.1));
+            w.push_weighted(Statement::Select(q), 1.0);
+        }
+        for eps in [0.002, 0.01, 0.08] {
+            let policy = CompressionPolicy::Epsilon(eps);
+            let a = CompressedWorkload::compress(&s, &w, policy);
+            let b = CompressedWorkload::compress_unindexed(&s, &w, policy);
+            assert_eq!(a.assignment(), b.assignment(), "ε {eps}");
+            assert_eq!(a.n_representatives(), b.n_representatives());
+            a.validate().unwrap();
+        }
+        // Sanity: the tightest ε really produced a deep-template workload.
+        let tight = CompressedWorkload::compress(&s, &w, CompressionPolicy::Epsilon(0.002));
+        assert!(
+            tight.n_representatives() > super::LINEAR_SCAN_CUTOFF,
+            "test must exercise the indexed path: {} reps",
+            tight.n_representatives()
+        );
+    }
+
+    #[test]
+    fn bucket_index_absorb_matches_batch() {
+        let s = schema();
+        let w = mixed(12, 100);
+        let batch = CompressedWorkload::compress(&s, &w, CompressionPolicy::default_epsilon());
+        let mut inc = CompressedWorkload::compress(
+            &s,
+            &Workload::new(),
+            CompressionPolicy::default_epsilon(),
+        );
+        for (_, stmt, weight) in w.iter() {
+            inc.absorb(&s, stmt, weight);
+        }
+        assert_eq!(batch.assignment(), inc.assignment());
     }
 
     #[test]

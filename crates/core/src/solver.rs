@@ -50,7 +50,10 @@ pub enum SolverBackend {
 pub struct CoPhyOptions {
     /// The solve budget handed to whichever backend runs: relative gap
     /// (paper default 5%), wall-clock limit (default **60 s**, overridable
-    /// to `None` for unbounded solves), and node/iteration limit.
+    /// to `None` for unbounded solves), node/iteration limit, and
+    /// `parallelism` — how many frontier nodes the branch-and-bound backend
+    /// evaluates concurrently per round (default 1 = serial, bit-for-bit
+    /// deterministic; see [`SolveBudget::with_parallelism`]).
     pub budget: SolveBudget,
     pub backend: SolverBackend,
     pub cgen: CGen,
@@ -398,6 +401,7 @@ impl<'o> CoPhy<'o> {
             gap_limit: 0.05,
             time_limit: self.options.budget.time_limit.map(|t| t / 10),
             node_limit: Some(200),
+            ..Default::default()
         };
         let r = LagrangianSolver { budget, ..Default::default() }.solve(&tp.block);
         Some((mapping.completion(&r.selected, n_vars), r.bound))

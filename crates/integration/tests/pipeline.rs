@@ -169,6 +169,77 @@ fn backend_equivalence_end_to_end() {
 }
 
 #[test]
+fn serial_solve_is_deterministic_and_parallel_agrees() {
+    // `parallelism = 1` must reproduce the serial incumbent/bound trace
+    // bit-for-bit across runs (no time limit, so nothing wall-clock-
+    // dependent steers the search), and parallel runs must prove the same
+    // optimum under the driver's monotone invariants — end to end through
+    // the rich-constraint B&B route.
+    let o = optimizer(SystemProfile::A, 0.0);
+    let w = HomGen::new(12).generate(o.schema(), 6);
+    let candidates = CGen::default().generate(o.schema(), &w).truncate(10);
+    let li = o.schema().table_by_name("lineitem").unwrap().id;
+    let rich =
+        ConstraintSet::storage_fraction(o.schema(), 0.4).with(cophy::Constraint::IndexCount {
+            filter: cophy::IndexFilter::on_table(li),
+            cmp: cophy::Cmp::Le,
+            value: 1,
+        });
+    let inum = Inum::new(&o);
+    let prepared = inum.prepare_workload(&w);
+
+    let run = |parallelism: usize| {
+        let cophy = CoPhy::new(
+            &o,
+            CoPhyOptions {
+                backend: SolverBackend::BranchBound,
+                budget: SolveBudget::exact().with_parallelism(parallelism),
+                ..Default::default()
+            },
+        );
+        let mut events: Vec<(u64, u64, u64)> = Vec::new();
+        let rec = cophy
+            .try_tune_prepared_with_progress(
+                &prepared,
+                &candidates,
+                &rich,
+                std::time::Duration::ZERO,
+                0,
+                |p| events.push((p.incumbent.to_bits(), p.bound.to_bits(), p.gap.to_bits())),
+            )
+            .expect("feasible");
+        (rec, events)
+    };
+
+    let (rec_a, trace_a) = run(1);
+    let (rec_b, trace_b) = run(1);
+    assert_eq!(trace_a, trace_b, "serial trace must be reproducible bit-for-bit");
+    assert_eq!(rec_a.objective.to_bits(), rec_b.objective.to_bits());
+    assert_eq!(rec_a.bound.to_bits(), rec_b.bound.to_bits());
+
+    for k in [2usize, 4] {
+        let (rec_p, trace_p) = run(k);
+        assert!(
+            (rec_p.objective - rec_a.objective).abs() < 1e-6,
+            "k={k}: parallel objective {} vs serial {}",
+            rec_p.objective,
+            rec_a.objective
+        );
+        assert!((rec_p.bound - rec_a.bound).abs() < 1e-6, "k={k}: bounds must agree");
+        assert!(rich.check_configuration(o.schema(), &rec_p.configuration).is_ok());
+        // Driver invariants hold for the parallel stream too.
+        let mut prev_gap = f64::INFINITY;
+        for (inc, bound, gap) in trace_p {
+            let (inc, bound, gap) =
+                (f64::from_bits(inc), f64::from_bits(bound), f64::from_bits(gap));
+            assert!(inc >= bound - 1e-9, "k={k}: incumbent below bound");
+            assert!(gap <= prev_gap + 1e-12, "k={k}: gap series regressed");
+            prev_gap = gap;
+        }
+    }
+}
+
+#[test]
 fn inum_cache_consistent_with_what_if_after_tuning() {
     // After tuning, re-validate INUM's accuracy *on the recommended
     // configuration* — the operating point that matters.

@@ -5,8 +5,8 @@ use proptest::prelude::*;
 
 use cophy::{BipGen, CGen, ConstraintSet};
 use cophy_bip::{
-    knapsack, Alt, Block, BlockProblem, BranchBound, LagrangianSolver, LinExpr, Model, Sense,
-    SimplexSolver, SlotChoices, SolveOptions, SolveProgress,
+    knapsack, Alt, Block, BlockProblem, BranchBound, DualSimplex, LagrangianSolver, LinExpr, Model,
+    Sense, SimplexSolver, SlotChoices, SolveBudget, SolveOptions, SolveProgress,
 };
 use cophy_catalog::{ColumnId, Configuration, Index, Skew, TpchGen};
 use cophy_inum::Inum;
@@ -170,6 +170,72 @@ proptest! {
             prev_gap = pr.gap;
         }
         prop_assert!(r.gap >= 0.0);
+    }
+
+    /// Warm-started dual-simplex re-solves from a parent basis reach the
+    /// same objective (± tolerance) as a cold two-phase solve across random
+    /// sequences of bound pinches, and agree on feasibility.
+    #[test]
+    fn dual_resolve_matches_cold_across_bound_pinches(
+        m in small_bip(),
+        pinches in prop::collection::vec((0usize..8, any::<bool>()), 1..5),
+    ) {
+        let n = m.n_vars();
+        let (mut lo, mut hi) = (vec![0.0; n], vec![1.0; n]);
+        let root = SimplexSolver::new().solve(&m, &lo, &hi);
+        if root.status != cophy_bip::LpStatus::Optimal {
+            return Ok(());
+        }
+        let mut basis = root.basis.expect("optimal solves snapshot a basis");
+        for (j, up) in pinches {
+            let j = j % n;
+            lo[j] = if up { 1.0 } else { 0.0 };
+            hi[j] = lo[j];
+            let warm = DualSimplex::new()
+                .resolve(&m, &lo, &hi, &basis)
+                .expect("basis from the same model must fit");
+            let cold = SimplexSolver::new().solve(&m, &lo, &hi);
+            prop_assert_eq!(warm.status, cold.status,
+                "warm/cold disagree on feasibility after pinch ({}, {})", j, up);
+            if warm.status != cophy_bip::LpStatus::Optimal {
+                break;
+            }
+            prop_assert!((warm.objective - cold.objective).abs() < 1e-5,
+                "warm {} vs cold {} after pinch ({}, {})",
+                warm.objective, cold.objective, j, up);
+            basis = warm.basis.expect("warm optimum snapshots too");
+        }
+    }
+
+    /// Parallel branch-and-bound (k ∈ {1, 2, 4}) and the serial search
+    /// prove the same final bound and objective, and every run's incumbent
+    /// stream stays monotone with feasible solutions.
+    #[test]
+    fn parallel_bb_agrees_with_serial(m in small_bip()) {
+        let serial = BranchBound::new().solve(&m, &SolveOptions::default());
+        for k in [1usize, 2, 4] {
+            let opts = SolveOptions {
+                budget: SolveBudget::exact().with_parallelism(k),
+                ..Default::default()
+            };
+            let mut stream: Vec<(f64, bool)> = Vec::new();
+            let r = BranchBound::new().solve_with_progress(&m, &opts, |p, sol| {
+                stream.push((p.incumbent, sol.is_none_or(|x| m.feasible(x, 1e-6))));
+            });
+            prop_assert_eq!(r.status, serial.status, "k={}", k);
+            if serial.status != cophy_bip::MipStatus::Infeasible {
+                prop_assert!((r.objective - serial.objective).abs() < 1e-6,
+                    "k={}: objective {} vs serial {}", k, r.objective, serial.objective);
+                prop_assert!((r.bound - serial.bound).abs() < 1e-6,
+                    "k={}: bound {} vs serial {}", k, r.bound, serial.bound);
+            }
+            let mut prev = f64::INFINITY;
+            for (inc, feasible) in &stream {
+                prop_assert!(*feasible, "k={}: streamed incumbent infeasible", k);
+                prop_assert!(*inc <= prev + 1e-9, "k={}: incumbent stream regressed", k);
+                prev = *inc;
+            }
+        }
     }
 
     /// Continuous knapsack lower-bounds greedy binary and respects budgets.
