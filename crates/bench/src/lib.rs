@@ -96,6 +96,45 @@ pub fn secs(d: Duration) -> String {
     format!("{:.2}s", d.as_secs_f64())
 }
 
+// ---------------------------------------------------------------------------
+// Shared sweep harness (fig5 / fig10 / fig10_interactive)
+// ---------------------------------------------------------------------------
+
+/// Header of the INUM/build/solve time-split tables (fig5, fig10).
+pub fn time_split_header(key: &str) -> String {
+    format!("{key:<6} tool    INUM      build     solve     total\n")
+}
+
+/// One row of the time-split tables.
+pub fn time_split_row(
+    key: &str,
+    tool: &str,
+    inum: Duration,
+    build: Duration,
+    solve: Duration,
+    total: Duration,
+) -> String {
+    format!(
+        "{key:<6} {tool:<7} {:<9} {:<9} {:<9} {:<9}\n",
+        secs(inum),
+        secs(build),
+        secs(solve),
+        secs(total),
+    )
+}
+
+/// The K-point storage-budget fractions of the fig10-family sweeps, loose →
+/// tight: every step *pinches* the storage row, so a warm chain pays genuine
+/// dual re-solves rather than trivially-feasible loosenings.
+pub const SWEEP_FRACTIONS: [f64; 6] = [1.0, 0.7, 0.4, 0.2, 0.1, 0.05];
+
+/// Materialize [`SWEEP_FRACTIONS`] against a schema's data size — the one
+/// budget grid shared by `fig10_interactive`'s warm chain and its cold
+/// baseline (and by any caller wanting the same sweep).
+pub fn storage_budget_grid(schema: &cophy_catalog::Schema) -> Vec<u64> {
+    SWEEP_FRACTIONS.iter().map(|m| (schema.data_bytes() as f64 * m) as u64).collect()
+}
+
 /// Time a closure.
 pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
     let t0 = Instant::now();
@@ -242,7 +281,7 @@ pub fn fig5() -> String {
         "Figure 5: time split vs candidate-set size (W_hom{n}); S_ALL = {}\n",
         s_all.len()
     ));
-    out.push_str("cands   tool    INUM      build     solve     total\n");
+    out.push_str(&time_split_header("cands"));
 
     let mut sets: Vec<(String, CandidateSet)> = Vec::new();
     for cut in [500usize, 1000] {
@@ -257,21 +296,23 @@ pub fn fig5() -> String {
 
     for (label, cands) in &sets {
         let cophy = run_cophy(&o, &w, &constraints, Some(cands));
-        out.push_str(&format!(
-            "{label:<7} CoPhy   {:<9} {:<9} {:<9} {:<9}\n",
-            secs(cophy.inum),
-            secs(cophy.build),
-            secs(cophy.solve),
-            secs(cophy.total),
+        out.push_str(&time_split_row(
+            label,
+            "CoPhy",
+            cophy.inum,
+            cophy.build,
+            cophy.solve,
+            cophy.total,
         ));
         let ilp = IlpAdvisor::default();
         let ((_, stats), _) = timed(|| ilp.recommend_with_stats(&o, &w, cands, &constraints));
-        out.push_str(&format!(
-            "{label:<7} ILP     {:<9} {:<9} {:<9} {:<9}\n",
-            secs(stats.inum_time),
-            secs(stats.build_time),
-            secs(stats.solve_time),
-            secs(stats.inum_time + stats.build_time + stats.solve_time),
+        out.push_str(&time_split_row(
+            label,
+            "ILP",
+            stats.inum_time,
+            stats.build_time,
+            stats.solve_time,
+            stats.inum_time + stats.build_time + stats.solve_time,
         ));
     }
     out
@@ -471,28 +512,31 @@ pub fn fig9() -> String {
 pub fn fig10() -> String {
     let mut out = String::new();
     out.push_str("Figure 10: CoPhy vs ILP time split vs workload size (S_ALL per size)\n");
-    out.push_str("size   tool    INUM      build     solve     total\n");
+    out.push_str(&time_split_header("size"));
     for n in sizes() {
         let o = make_optimizer(SystemProfile::A, 0.0);
         let w = make_workload(&o, WorkloadKind::Hom, n);
         let constraints = ConstraintSet::storage_fraction(o.schema(), 1.0);
         let cands = CGen::default().generate(o.schema(), &w);
         let cophy = run_cophy(&o, &w, &constraints, Some(&cands));
-        out.push_str(&format!(
-            "{n:<6} CoPhy   {:<9} {:<9} {:<9} {:<9}\n",
-            secs(cophy.inum),
-            secs(cophy.build),
-            secs(cophy.solve),
-            secs(cophy.total),
+        let key = n.to_string();
+        out.push_str(&time_split_row(
+            &key,
+            "CoPhy",
+            cophy.inum,
+            cophy.build,
+            cophy.solve,
+            cophy.total,
         ));
         let ilp = IlpAdvisor::default();
         let ((_, stats), _) = timed(|| ilp.recommend_with_stats(&o, &w, &cands, &constraints));
-        out.push_str(&format!(
-            "{n:<6} ILP     {:<9} {:<9} {:<9} {:<9}\n",
-            secs(stats.inum_time),
-            secs(stats.build_time),
-            secs(stats.solve_time),
-            secs(stats.inum_time + stats.build_time + stats.solve_time),
+        out.push_str(&time_split_row(
+            &key,
+            "ILP",
+            stats.inum_time,
+            stats.build_time,
+            stats.solve_time,
+            stats.inum_time + stats.build_time + stats.solve_time,
         ));
     }
     out
@@ -873,7 +917,8 @@ pub fn solver_artifact_body(
     let (n_lag, lag_points, lag_gap) = lagrangian;
     let (n_bb, bb_points, bb_gap) = branch_bound;
     format!(
-        "{{\"experiment\":\"solver_trajectory\",\"final_gaps\":{{\"lagrangian\":{},\"branch_bound\":{}}},\"series\":[{},{}],\"configs\":[{}]}}\n",
+        "{{\"experiment\":\"solver_trajectory\",\"host_threads\":{},\"final_gaps\":{{\"lagrangian\":{},\"branch_bound\":{}}},\"series\":[{},{}],\"configs\":[{}]}}\n",
+        host_threads(),
         json_f64(lag_gap),
         json_f64(bb_gap),
         json_series("lagrangian", n_lag, lag_points),
@@ -897,6 +942,23 @@ pub fn write_named_solver_artifact(body: &str) {
 // ---------------------------------------------------------------------------
 // Warm-start / parallel-node study (solver_smoke gate)
 // ---------------------------------------------------------------------------
+
+/// `SolveBudget::parallelism` of the warm-parallel study config:
+/// `COPHY_THREADS` when set (CI pins it on the hosted runners), otherwise
+/// the host's available parallelism, clamped to `[2, 8]`.
+pub fn study_threads() -> usize {
+    std::env::var("COPHY_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4))
+        .clamp(2, 8)
+}
+
+/// The host's reported parallelism (recorded in the artifacts so multi-core
+/// CI runs are distinguishable from 1-core container runs).
+pub fn host_threads() -> usize {
+    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+}
 
 /// One configuration of the warm-start/parallelism study on the rich
 /// W_hom24 branch-and-bound tune.
@@ -941,8 +1003,10 @@ pub fn solver_config_rows(
     // At least 2 so the parallel path is exercised even on one-core boxes
     // (a batch of 2 on one core costs the same total work as 2 serial
     // nodes; the warm start, not the core count, carries the speedup
-    // there).
-    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).clamp(2, 8);
+    // there).  `COPHY_THREADS` pins the count explicitly — CI sets it on
+    // the multi-core hosted runners so the artifact records a reproducible
+    // `SolveBudget::parallelism`.
+    let threads = study_threads();
     let configs: [(&'static str, bool, usize); 3] = [
         ("cold-serial (PR-2 baseline)", false, 1),
         ("warm-serial", true, 1),
@@ -1076,6 +1140,288 @@ pub fn solver_smoke() -> String {
         rec.bound,
         secs(rec.stats.solve_time),
     )
+}
+
+// ---------------------------------------------------------------------------
+// Interactive re-optimization study (fig10_interactive) + CI smoke guard
+// ---------------------------------------------------------------------------
+
+/// Statement count of the interactive study.  The warm chain runs the
+/// branch-and-bound backend over the Theorem-1 model, whose dense-inverse
+/// LPs do not scale like the Lagrangian — cap at 12 while honoring smaller
+/// smoke scales (the claim under test is the *pivot economy* of the warm
+/// chain, not workload scale).
+pub fn interactive_size() -> usize {
+    sizes()[0].clamp(6, 12)
+}
+
+/// One budget point of the interactive study: the warm-chained sweep answer
+/// vs an independent cold tune of the identical BIP.
+pub struct InteractivePoint {
+    pub budget_bytes: u64,
+    pub warm_objective: f64,
+    pub warm_bound: f64,
+    pub warm_gap: f64,
+    pub warm_nodes: usize,
+    pub warm_pivots: usize,
+    pub warm_time: Duration,
+    pub cold_objective: f64,
+    pub cold_bound: f64,
+    pub cold_gap: f64,
+    pub cold_nodes: usize,
+    pub cold_pivots: usize,
+    pub cold_time: Duration,
+}
+
+/// The fig10_interactive study: a K-point storage sweep answered as one warm
+/// session chain ([`cophy::TuningSession::sweep_storage`]) vs K independent
+/// cold solves of the same model, plus the zero-call `what_if` probes.
+pub struct InteractiveStudy {
+    pub n_statements: usize,
+    pub points: Vec<InteractivePoint>,
+    pub warm_wall: Duration,
+    pub cold_wall: Duration,
+    /// Optimizer what-if calls issued *during* the sweep (must be 0: the
+    /// chain re-solves the model, it never re-probes the optimizer).
+    pub sweep_what_if_calls: u64,
+    /// Optimizer what-if calls issued by `what_if()` probes of every sweep
+    /// answer (must be 0: answered from the INUM cache).
+    pub what_if_probe_calls: u64,
+}
+
+impl InteractiveStudy {
+    pub fn warm_pivots(&self) -> usize {
+        self.points.iter().map(|p| p.warm_pivots).sum()
+    }
+
+    pub fn cold_pivots(&self) -> usize {
+        self.points.iter().map(|p| p.cold_pivots).sum()
+    }
+
+    /// Total-pivot economy of the warm chain (cold / warm; higher = better).
+    pub fn pivot_ratio(&self) -> f64 {
+        self.cold_pivots() as f64 / self.warm_pivots().max(1) as f64
+    }
+}
+
+/// Run the interactive study on `W_hom` at [`interactive_size`] over the
+/// shared [`storage_budget_grid`].  The warm chain and the cold baseline
+/// share one INUM cache and candidate set, so the comparison isolates
+/// solver work: per point, the two sides solve bit-identical BIPs (same
+/// rows, same RHS) under the same default interactive budget.
+pub fn interactive_study() -> InteractiveStudy {
+    use cophy_bip::{BranchBound, SolveOptions};
+
+    let o = make_optimizer(SystemProfile::A, 0.0);
+    let n = interactive_size();
+    let w = make_workload(&o, WorkloadKind::Hom, n);
+    let budgets = storage_budget_grid(o.schema());
+
+    // Warm chain: one session, K budget points, one ResolveContext.  The
+    // study runs at the paper's interactive operating point (5% gap, 60 s)
+    // with a lean candidate grammar (2-column keys, no covering variants):
+    // interactivity presumes per-point answers in seconds, and the lean
+    // grammar keeps every budget point in that regime — both sides of the
+    // comparison use the identical grammar, so the ratio is solver economics
+    // only.
+    let gap: f64 =
+        std::env::var("COPHY_SWEEP_GAP").ok().and_then(|v| v.parse().ok()).unwrap_or(0.05);
+    let opts = CoPhyOptions {
+        budget: cophy::SolveBudget::within(gap).with_time(Duration::from_secs(60)),
+        cgen: CGen { max_key_columns: 2, max_include_columns: 0 },
+        ..Default::default()
+    };
+    let cophy = CoPhy::new(&o, opts.clone());
+    let mut session = cophy.session(&w, ConstraintSet::storage_fraction(o.schema(), 1.0));
+    let calls_before = o.what_if_calls();
+    let (warm_points, warm_wall) = timed(|| session.sweep_storage(&budgets));
+    let sweep_what_if_calls = o.what_if_calls() - calls_before;
+
+    // "What does this configuration cost?" probes of every sweep answer:
+    // answered from the INUM cache, so the optimizer counter must not move.
+    let probe_before = o.what_if_calls();
+    for p in &warm_points {
+        let _ = session.what_if(&p.configuration);
+    }
+    let what_if_probe_calls = o.what_if_calls() - probe_before;
+
+    // Cold baseline: K independent solves of the identical BIP (fresh model
+    // and solver state per budget; the session's own INUM preparation and
+    // CGen run are reproduced deterministically).
+    let prepared = Inum::new(&o).prepare_workload(&w);
+    let cands = opts.cgen.generate(o.schema(), &w);
+    let cm = o.cost_model();
+    let fixed: f64 = prepared.queries.iter().map(|pq| pq.weight * pq.fixed_update_cost).sum();
+    let mut points = Vec::with_capacity(budgets.len());
+    let t0 = Instant::now();
+    for (wp, &budget) in warm_points.iter().zip(&budgets) {
+        let constraints = ConstraintSet::none().with(Constraint::Storage { budget_bytes: budget });
+        let (model, _) =
+            cophy::BipGen::default().model(o.schema(), cm, &prepared, &cands, &constraints);
+        let solve_opts = SolveOptions { budget: opts.budget, ..Default::default() };
+        let (r, cold_time) = timed(|| BranchBound::new().solve(&model, &solve_opts));
+        points.push(InteractivePoint {
+            budget_bytes: budget,
+            warm_objective: wp.objective,
+            warm_bound: wp.bound,
+            warm_gap: wp.gap,
+            warm_nodes: wp.nodes,
+            warm_pivots: wp.pivots,
+            warm_time: wp.solve_time,
+            cold_objective: r.objective + fixed,
+            cold_bound: r.bound + fixed,
+            cold_gap: r.gap,
+            cold_nodes: r.nodes,
+            cold_pivots: r.pivots,
+            cold_time,
+        });
+    }
+    let cold_wall = t0.elapsed();
+
+    InteractiveStudy {
+        n_statements: n,
+        points,
+        warm_wall,
+        cold_wall,
+        sweep_what_if_calls,
+        what_if_probe_calls,
+    }
+}
+
+/// Human-readable report of the interactive study.
+pub fn interactive_report(study: &InteractiveStudy) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Interactive budget sweep: W_hom{} × {} budget points, warm chain vs cold solves\n",
+        study.n_statements,
+        study.points.len()
+    ));
+    out.push_str(
+        "budget(MB)  warm pivots  nodes  gap      time    |  cold pivots  nodes  gap      time\n",
+    );
+    for p in &study.points {
+        out.push_str(&format!(
+            "{:<11.1} {:<12} {:<6} {:<8.2}% {:<7} |  {:<12} {:<6} {:<8.2}% {}\n",
+            p.budget_bytes as f64 / 1e6,
+            p.warm_pivots,
+            p.warm_nodes,
+            p.warm_gap * 100.0,
+            secs(p.warm_time),
+            p.cold_pivots,
+            p.cold_nodes,
+            p.cold_gap * 100.0,
+            secs(p.cold_time),
+        ));
+    }
+    out.push_str(&format!(
+        "totals: warm {} pivots in {} vs cold {} pivots in {} → {:.1}× fewer pivots\n\
+         what-if calls during sweep: {} (probes: {})\n",
+        study.warm_pivots(),
+        secs(study.warm_wall),
+        study.cold_pivots(),
+        secs(study.cold_wall),
+        study.pivot_ratio(),
+        study.sweep_what_if_calls,
+        study.what_if_probe_calls,
+    ));
+    out
+}
+
+/// The `BENCH_interactive.json` artifact body.
+pub fn interactive_artifact_json(study: &InteractiveStudy) -> String {
+    let pts: Vec<String> = study
+        .points
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"budget_bytes\":{},\"warm\":{{\"objective\":{},\"bound\":{},\"gap\":{},\
+                 \"nodes\":{},\"pivots\":{},\"time_ms\":{:.3}}},\"cold\":{{\"objective\":{},\
+                 \"bound\":{},\"gap\":{},\"nodes\":{},\"pivots\":{},\"time_ms\":{:.3}}}}}",
+                p.budget_bytes,
+                json_f64(p.warm_objective),
+                json_f64(p.warm_bound),
+                json_f64(p.warm_gap),
+                p.warm_nodes,
+                p.warm_pivots,
+                p.warm_time.as_secs_f64() * 1e3,
+                json_f64(p.cold_objective),
+                json_f64(p.cold_bound),
+                json_f64(p.cold_gap),
+                p.cold_nodes,
+                p.cold_pivots,
+                p.cold_time.as_secs_f64() * 1e3,
+            )
+        })
+        .collect();
+    format!(
+        "{{\"experiment\":\"interactive_sweep\",\"statements\":{},\"k\":{},\"host_threads\":{},\
+         \"warm_total_pivots\":{},\"cold_total_pivots\":{},\"pivot_ratio\":{:.3},\
+         \"warm_wall_ms\":{:.3},\"cold_wall_ms\":{:.3},\"sweep_what_if_calls\":{},\
+         \"what_if_probe_calls\":{},\"points\":[{}]}}\n",
+        study.n_statements,
+        study.points.len(),
+        host_threads(),
+        study.warm_pivots(),
+        study.cold_pivots(),
+        study.pivot_ratio(),
+        study.warm_wall.as_secs_f64() * 1e3,
+        study.cold_wall.as_secs_f64() * 1e3,
+        study.sweep_what_if_calls,
+        study.what_if_probe_calls,
+        pts.join(","),
+    )
+}
+
+/// Write the interactive-sweep artifact next to the experiment output.
+pub fn write_interactive_artifact(json: &str) {
+    let path = "BENCH_interactive.json";
+    std::fs::write(path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    eprintln!("wrote interactive-sweep artifact to {path}");
+}
+
+/// The CI acceptance gate of the interactive engine: **panics** unless the
+/// warm-chained K-point sweep (a) spends ≥ 3× fewer total simplex pivots
+/// than K cold solves, (b) issued zero optimizer what-if calls (sweep and
+/// probes alike), and (c) stays answer-consistent with the cold solves
+/// within both sides' gap slack.  Callers print the report and write the
+/// artifact *before* gating, so a failure still leaves diagnostics behind.
+pub fn interactive_gate(study: &InteractiveStudy) {
+    assert_eq!(
+        study.sweep_what_if_calls, 0,
+        "the warm sweep must not issue optimizer what-if calls"
+    );
+    assert_eq!(
+        study.what_if_probe_calls, 0,
+        "what_if probes must be answered from the INUM cache alone"
+    );
+    assert!(
+        study.pivot_ratio() >= 3.0,
+        "warm chain must spend ≥3× fewer pivots than cold solves: {} vs {} ({:.2}×)",
+        study.warm_pivots(),
+        study.cold_pivots(),
+        study.pivot_ratio()
+    );
+    for p in &study.points {
+        let slack = 1.0 + p.warm_gap.max(p.cold_gap) + 1e-9;
+        assert!(
+            p.warm_objective <= p.cold_objective * slack
+                && p.cold_objective <= p.warm_objective * slack,
+            "warm and cold answers diverged beyond gap slack at budget {}: {} vs {}",
+            p.budget_bytes,
+            p.warm_objective,
+            p.cold_objective
+        );
+    }
+}
+
+/// The fig10_interactive experiment: study + report + artifact + gate.
+pub fn fig10_interactive() -> String {
+    let study = interactive_study();
+    let report = interactive_report(&study);
+    eprintln!("{report}");
+    write_interactive_artifact(&interactive_artifact_json(&study));
+    interactive_gate(&study);
+    report
 }
 
 #[cfg(test)]

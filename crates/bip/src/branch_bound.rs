@@ -43,6 +43,7 @@
 
 use std::sync::Arc;
 
+use crate::delta::DeltaModel;
 use crate::driver::{SolveDriver, SolveProgress};
 use crate::dual::DualSimplex;
 use crate::knapsack;
@@ -157,17 +158,19 @@ struct Node {
 }
 
 impl Node {
-    /// Materialize this node's variable bounds over fresh root bounds.
-    fn bounds(&self, n: usize) -> (Vec<f64>, Vec<f64>) {
-        let mut lo = vec![0.0; n];
-        let mut hi = vec![1.0; n];
-        self.apply_bounds(&mut lo, &mut hi);
+    /// Materialize this node's variable bounds over fresh copies of the root
+    /// bounds (all `[0, 1]` on a plain solve; pinched by the caller's
+    /// pin/ban fixings on a warm re-solve).
+    fn bounds(&self, root_lo: &[f64], root_hi: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        let mut lo = root_lo.to_vec();
+        let mut hi = root_hi.to_vec();
+        self.apply_fixings(&mut lo, &mut hi, root_lo, root_hi);
         (lo, hi)
     }
 
-    fn apply_bounds(&self, lo: &mut [f64], hi: &mut [f64]) {
-        lo.fill(0.0);
-        hi.fill(1.0);
+    fn apply_fixings(&self, lo: &mut [f64], hi: &mut [f64], root_lo: &[f64], root_hi: &[f64]) {
+        lo.copy_from_slice(root_lo);
+        hi.copy_from_slice(root_hi);
         for &(j, v) in &self.fixings {
             lo[j] = if v { 1.0 } else { 0.0 };
             hi[j] = lo[j];
@@ -182,14 +185,17 @@ impl Node {
 /// deadline having passed, or returns a point that fails validation against
 /// the model rows (the node bound must stay sound even under numerical
 /// drift).
+#[allow(clippy::too_many_arguments)]
 fn evaluate_node(
     model: &Model,
     lp_solver: &SimplexSolver,
     dual: &DualSimplex,
     warm_start: bool,
     node: &Node,
+    root_lo: &[f64],
+    root_hi: &[f64],
 ) -> LpResult {
-    let (lo, hi) = node.bounds(model.n_vars());
+    let (lo, hi) = node.bounds(root_lo, root_hi);
     if warm_start {
         if let Some(basis) = &node.basis {
             if let Some(r) = dual.resolve(model, &lo, &hi, basis) {
@@ -225,7 +231,7 @@ fn warm_point_valid(model: &Model, x: &[f64], lo: &[f64], hi: &[f64]) -> bool {
 
 /// Per-variable branching history: average objective degradation per unit of
 /// fraction, per direction.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct PseudoCosts {
     up: Vec<f64>,
     dn: Vec<f64>,
@@ -236,6 +242,18 @@ struct PseudoCosts {
 impl PseudoCosts {
     fn new(n: usize) -> Self {
         PseudoCosts { up: vec![0.0; n], dn: vec![0.0; n], n_up: vec![0; n], n_dn: vec![0; n] }
+    }
+
+    /// Grow the table to `n` variables (new entries start unobserved); used
+    /// when a [`ResolveContext`] table is reused after the model gained
+    /// variables.
+    fn ensure_len(&mut self, n: usize) {
+        if self.up.len() < n {
+            self.up.resize(n, 0.0);
+            self.dn.resize(n, 0.0);
+            self.n_up.resize(n, 0);
+            self.n_dn.resize(n, 0);
+        }
     }
 
     /// Fold one observed per-unit degradation into the running mean.
@@ -282,6 +300,73 @@ impl PseudoCosts {
     }
 }
 
+/// Warm-start state carried between interactive re-solves of one (mutating)
+/// model — the `ResolveContext` of the paper's §4.2 re-optimization loop:
+///
+/// * the **root LP basis** of the previous solve, re-used by the dual
+///   simplex after RHS or bound deltas (both leave it dual feasible);
+/// * the **last incumbent**, offered (after repair against the mutated
+///   rows and clamped to the current fixings) as the next solve's seed;
+/// * the accumulated **pseudo-cost table**, so branching stays informed
+///   across re-solves instead of re-learning per question.
+///
+/// Obtain one with [`ResolveContext::new`] and thread it through
+/// [`BranchBound::resolve_with_progress`]; the context invalidates its own
+/// basis when the model's structure version moved (row added/relaxed) and
+/// pays one cold root LP in that case.
+#[derive(Debug, Default)]
+pub struct ResolveContext {
+    basis: Option<Arc<Basis>>,
+    incumbent: Option<Vec<f64>>,
+    pseudo: Option<PseudoCosts>,
+    /// `DeltaModel::structure_version` the basis was snapshotted under.
+    version: u64,
+    n_vars: usize,
+    resolves: usize,
+}
+
+impl ResolveContext {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Is a warm root basis available for the next re-solve?
+    pub fn has_basis(&self) -> bool {
+        self.basis.is_some()
+    }
+
+    /// Number of solves served through this context so far.
+    pub fn resolves(&self) -> usize {
+        self.resolves
+    }
+
+    /// Drop the warm state (basis, seed, pseudo-costs); the next resolve
+    /// runs as a cold solve.
+    pub fn reset(&mut self) {
+        *self = ResolveContext::default();
+    }
+}
+
+/// Warm inputs of one engine run (internal).
+struct WarmInputs<'a> {
+    root_lo: &'a [f64],
+    root_hi: &'a [f64],
+    basis: Option<&'a Basis>,
+    pseudo: Option<PseudoCosts>,
+}
+
+impl<'a> WarmInputs<'a> {
+    fn cold(lo: &'a [f64], hi: &'a [f64]) -> WarmInputs<'a> {
+        WarmInputs { root_lo: lo, root_hi: hi, basis: None, pseudo: None }
+    }
+}
+
+/// What one engine run leaves behind for the next (internal).
+struct EngineArtifacts {
+    root_basis: Option<Basis>,
+    pseudo: PseudoCosts,
+}
+
 /// Best-first B&B solver.
 #[derive(Debug, Default)]
 pub struct BranchBound {
@@ -323,6 +408,90 @@ impl BranchBound {
         on_progress: impl FnMut(&SolveProgress, Option<&Vec<f64>>),
     ) -> MipResult {
         let n = model.n_vars();
+        let lo = vec![0.0; n];
+        let hi = vec![1.0; n];
+        self.solve_engine(model, opts, seed, WarmInputs::cold(&lo, &hi), on_progress).0
+    }
+
+    /// Re-solve a previously solved (and since mutated) model from its
+    /// [`ResolveContext`]: the root LP restarts from the last solve's basis
+    /// with the dual simplex (sound after any combination of
+    /// [`crate::ModelDelta::SetRhs`]/`FixVar`/`FreeVar` deltas — neither RHS
+    /// nor bounds enter the reduced costs), the previous incumbent is
+    /// clamped to the current fixings, repaired against the mutated rows and
+    /// offered as the seed, and branching continues from the accumulated
+    /// pseudo-cost table.  Structure deltas (`AddRow`/`RelaxRow`) drop the
+    /// basis — that re-solve pays one cold root LP — while seed and
+    /// pseudo-costs survive.
+    pub fn resolve(
+        &self,
+        dm: &DeltaModel,
+        opts: &SolveOptions,
+        ctx: &mut ResolveContext,
+    ) -> MipResult {
+        self.resolve_with_progress(dm, opts, ctx, |_, _| {})
+    }
+
+    /// [`BranchBound::resolve`] streaming every incumbent/bound improvement
+    /// through the unified [`SolveProgress`] contract.
+    pub fn resolve_with_progress(
+        &self,
+        dm: &DeltaModel,
+        opts: &SolveOptions,
+        ctx: &mut ResolveContext,
+        on_progress: impl FnMut(&SolveProgress, Option<&Vec<f64>>),
+    ) -> MipResult {
+        let model = dm.model();
+        let n = model.n_vars();
+        let (lo, hi) = dm.bounds();
+        let basis_fits = ctx.version == dm.structure_version() && ctx.n_vars == n;
+        let basis = if basis_fits { ctx.basis.clone() } else { None };
+        // Seed from the previous incumbent, clamped into the current pin/ban
+        // box so the repair starts from a bound-respecting point.
+        let seed: Option<Vec<f64>> = ctx.incumbent.as_ref().filter(|x| x.len() == n).map(|x| {
+            x.iter().zip(lo.iter().zip(&hi)).map(|(&v, (&l, &h))| v.clamp(l, h)).collect()
+        });
+        let mut pseudo = ctx.pseudo.take();
+        if let Some(pc) = &mut pseudo {
+            pc.ensure_len(n);
+        }
+        let warm = WarmInputs { root_lo: &lo, root_hi: &hi, basis: basis.as_deref(), pseudo };
+        let (result, artifacts) =
+            self.solve_engine(model, opts, seed.as_deref(), warm, on_progress);
+        ctx.pseudo = Some(artifacts.pseudo);
+        match artifacts.root_basis {
+            Some(b) => ctx.basis = Some(Arc::new(b)),
+            // No fresh optimal root (deadline inside the root LP): keep the
+            // old basis only while it still fits the model's structure.
+            None if !basis_fits => ctx.basis = None,
+            None => {}
+        }
+        ctx.version = dm.structure_version();
+        ctx.n_vars = n;
+        if !result.x.is_empty() {
+            ctx.incumbent = Some(result.x.clone());
+        }
+        ctx.resolves += 1;
+        result
+    }
+
+    /// The shared search engine behind [`BranchBound::solve_seeded_with_progress`]
+    /// and [`BranchBound::resolve_with_progress`]: root bounds carry the
+    /// caller's pin/ban fixings, `warm.basis` (if any) warm-starts the root
+    /// LP through the dual simplex, and `warm.pseudo` (if any) continues an
+    /// earlier solve's branching history.  Returns the result plus the
+    /// artifacts (fresh root basis, pseudo-cost table) the next re-solve
+    /// reuses.
+    fn solve_engine(
+        &self,
+        model: &Model,
+        opts: &SolveOptions,
+        seed: Option<&[f64]>,
+        warm: WarmInputs<'_>,
+        on_progress: impl FnMut(&SolveProgress, Option<&Vec<f64>>),
+    ) -> (MipResult, EngineArtifacts) {
+        let n = model.n_vars();
+        let (root_lo, root_hi) = (warm.root_lo, warm.root_hi);
         let mut driver = SolveDriver::with_progress(opts.budget, on_progress);
         // Arm every LP with the wall-clock deadline so one big relaxation
         // cannot blow through the budget.
@@ -330,16 +499,55 @@ impl BranchBound {
             deadline: opts.budget.time_limit.map(|tl| std::time::Instant::now() + tl),
             ..self.simplex.clone()
         };
-        let mut lo = vec![0.0; n];
-        let mut hi = vec![1.0; n];
+        let mut lo = root_lo.to_vec();
+        let mut hi = root_hi.to_vec();
+        let mut pc = warm.pseudo.unwrap_or_else(|| PseudoCosts::new(n));
+        pc.ensure_len(n);
         if let Some(kb) = opts.known_bound {
             driver.raise_bound(kb);
         }
 
-        let root = lp_solver.solve(model, &lo, &hi);
+        // Root LP: from the caller's basis via the dual simplex when one is
+        // available (an interactive re-solve after RHS/bound deltas), cold
+        // two-phase otherwise — or as the fallback when the warm path
+        // stalls, its point fails validation, or it claims infeasibility
+        // (dual unboundedness on a stale near-degenerate basis can be
+        // numerical drift, and a root infeasibility verdict aborts the
+        // whole solve, so it is only trusted after a cold confirmation).
+        let root = match warm.basis {
+            Some(basis) => {
+                let dual_root = DualSimplex {
+                    max_iters: lp_solver.max_iters,
+                    tol: lp_solver.tol,
+                    deadline: lp_solver.deadline,
+                };
+                match dual_root.resolve(model, root_lo, root_hi, basis) {
+                    Some(r) => match r.status {
+                        LpStatus::Optimal if warm_point_valid(model, &r.x, root_lo, root_hi) => r,
+                        LpStatus::IterLimit
+                            if lp_solver
+                                .deadline
+                                .is_some_and(|dl| std::time::Instant::now() >= dl) =>
+                        {
+                            r
+                        }
+                        _ => {
+                            let mut cold = lp_solver.solve(model, root_lo, root_hi);
+                            cold.iterations += r.iterations;
+                            cold
+                        }
+                    },
+                    None => lp_solver.solve(model, root_lo, root_hi),
+                }
+            }
+            None => lp_solver.solve(model, root_lo, root_hi),
+        };
         driver.add_pivots(root.iterations);
+        let root_basis_out = root.basis.clone();
+        let artifacts =
+            |pc: PseudoCosts| EngineArtifacts { root_basis: root_basis_out, pseudo: pc };
         match root.status {
-            LpStatus::Infeasible => return MipResult::infeasible(),
+            LpStatus::Infeasible => return (MipResult::infeasible(), artifacts(pc)),
             LpStatus::Unbounded => {
                 // Binary variables are bounded; an unbounded relaxation means
                 // a modeling error. Surface it loudly.
@@ -351,9 +559,14 @@ impl BranchBound {
                 // caller's known bound (if any) keeps the reported gap
                 // finite even on this path.
                 for start in [seed.unwrap_or(&root.x), &root.x as &[f64]] {
-                    if let Some((obj, x)) =
-                        round_and_repair(model, start, RoundMode::Nearest, opts.int_tol)
-                    {
+                    if let Some((obj, x)) = round_and_repair(
+                        model,
+                        start,
+                        RoundMode::Nearest,
+                        opts.int_tol,
+                        root_lo,
+                        root_hi,
+                    ) {
                         driver.offer_incumbent(obj, x);
                         break;
                     }
@@ -369,7 +582,7 @@ impl BranchBound {
                     out.gap = r.gap;
                     out.trace = r.trace;
                 }
-                return out;
+                return (out, artifacts(pc));
             }
             LpStatus::Optimal => {}
         }
@@ -380,19 +593,24 @@ impl BranchBound {
         // repairs fail.  This is what turns "gap = ∞ forever" into an
         // anytime incumbent on rich constraint sets.
         if let Some(seed) = seed {
-            if let Some((obj, x)) = round_and_repair(model, seed, RoundMode::Nearest, opts.int_tol)
+            if let Some((obj, x)) =
+                round_and_repair(model, seed, RoundMode::Nearest, opts.int_tol, root_lo, root_hi)
             {
                 driver.offer_incumbent(obj, x);
             }
         }
         for mode in [RoundMode::Nearest, RoundMode::Floor] {
-            if let Some((obj, x)) = round_and_repair(model, &root.x, mode, opts.int_tol) {
+            if let Some((obj, x)) =
+                round_and_repair(model, &root.x, mode, opts.int_tol, root_lo, root_hi)
+            {
                 driver.offer_incumbent(obj, x);
                 break;
             }
         }
         if !driver.has_incumbent() {
-            if let Some((obj, x)) = self.dive(model, &lp_solver, &root.x, opts, &driver) {
+            if let Some((obj, x)) =
+                self.dive(model, &lp_solver, &root.x, opts, &driver, root_lo, root_hi)
+            {
                 driver.offer_incumbent(obj, x);
             }
         }
@@ -406,7 +624,6 @@ impl BranchBound {
             basis: None,
         }];
         let mut root_lp = Some(root);
-        let mut pc = PseudoCosts::new(n);
         let mut sb_remaining =
             if n <= opts.strong_branch_max_vars { opts.strong_branch_budget } else { 0 };
         let heuristic_period = match opts.heuristic_period {
@@ -473,7 +690,15 @@ impl BranchBound {
                     lp.iterations = 0;
                     vec![lp]
                 } else {
-                    vec![evaluate_node(model, &lp_solver, &dual, opts.warm_start, node)]
+                    vec![evaluate_node(
+                        model,
+                        &lp_solver,
+                        &dual,
+                        opts.warm_start,
+                        node,
+                        root_lo,
+                        root_hi,
+                    )]
                 }
             } else {
                 std::thread::scope(|s| {
@@ -482,7 +707,15 @@ impl BranchBound {
                         .map(|node| {
                             let (lp_solver, dual) = (&lp_solver, &dual);
                             s.spawn(move || {
-                                evaluate_node(model, lp_solver, dual, opts.warm_start, node)
+                                evaluate_node(
+                                    model,
+                                    lp_solver,
+                                    dual,
+                                    opts.warm_start,
+                                    node,
+                                    root_lo,
+                                    root_hi,
+                                )
                             })
                         })
                         .collect();
@@ -542,15 +775,20 @@ impl BranchBound {
                 }
                 // Periodic node heuristic on the node's LP point.
                 if heuristic_period > 0 && driver.ticks() % heuristic_period == 0 {
-                    if let Some((obj, x)) =
-                        round_and_repair(model, &lp.x, RoundMode::Nearest, opts.int_tol)
-                    {
+                    if let Some((obj, x)) = round_and_repair(
+                        model,
+                        &lp.x,
+                        RoundMode::Nearest,
+                        opts.int_tol,
+                        root_lo,
+                        root_hi,
+                    ) {
                         driver.offer_incumbent(obj, x);
                     }
                 }
 
                 // Strong branching probes from this node's bounds.
-                node.apply_bounds(&mut lo, &mut hi);
+                node.apply_fixings(&mut lo, &mut hi, root_lo, root_hi);
                 let j = select_branch_var(
                     model,
                     opts,
@@ -591,7 +829,7 @@ impl BranchBound {
         }
 
         let r = driver.finish();
-        match r.incumbent {
+        let result = match r.incumbent {
             None => {
                 // No integral point found. If the search was exhausted the
                 // BIP is integrally infeasible.
@@ -618,7 +856,8 @@ impl BranchBound {
                 pivots: r.pivots,
                 trace: r.trace,
             },
-        }
+        };
+        (result, artifacts(pc))
     }
 
     /// Solve without progress consumers.
@@ -629,6 +868,7 @@ impl BranchBound {
     /// Bounded LP dive: fix the most-integral fractional variable to its
     /// rounded value, re-solve, and retry the cheap repair at every level.
     /// One flip is allowed per level when the dive LP goes infeasible.
+    #[allow(clippy::too_many_arguments)]
     fn dive<F>(
         &self,
         model: &Model,
@@ -636,17 +876,20 @@ impl BranchBound {
         root_x: &[f64],
         opts: &SolveOptions,
         driver: &SolveDriver<'_, F>,
+        root_lo: &[f64],
+        root_hi: &[f64],
     ) -> Option<(f64, Vec<f64>)> {
         const MAX_DIVE: usize = 24;
-        let n = model.n_vars();
-        let mut lo = vec![0.0; n];
-        let mut hi = vec![1.0; n];
+        let mut lo = root_lo.to_vec();
+        let mut hi = root_hi.to_vec();
         let mut x = root_x.to_vec();
         for _ in 0..MAX_DIVE {
             if driver.stop_status() == Some(MipStatus::TimeLimit) {
                 return None;
             }
-            if let Some(found) = round_and_repair(model, &x, RoundMode::Nearest, opts.int_tol) {
+            if let Some(found) =
+                round_and_repair(model, &x, RoundMode::Nearest, opts.int_tol, root_lo, root_hi)
+            {
                 return Some(found);
             }
             // Most integral fractional variable.
@@ -761,35 +1004,43 @@ enum RoundMode {
 
 /// LP-rounding + greedy-repair primal heuristic.
 ///
-/// Rounds `x_lp` per `mode`, then repairs violated rows: each pass walks the
-/// violated constraints and flips the candidate variables with the least
-/// objective damage per unit of violation removed (penalizing flips that
-/// would break currently-satisfied rows), selected by
-/// [`knapsack::greedy_cover`].  Returns a feasible `(objective, x)` or
-/// `None` when the repair budget runs out.
+/// Rounds `x_lp` per `mode` (clamped into the caller's root `[lo, hi]` box,
+/// so pin/ban fixings always hold), then repairs violated rows: each pass
+/// walks the violated constraints and flips the candidate variables with the
+/// least objective damage per unit of violation removed (penalizing flips
+/// that would break currently-satisfied rows), selected by
+/// [`knapsack::greedy_cover`]; fixed variables (`lo == hi`) are never
+/// flipped.  Returns a feasible `(objective, x)` or `None` when the repair
+/// budget runs out.
 fn round_and_repair(
     model: &Model,
     x_lp: &[f64],
     mode: RoundMode,
     tol: f64,
+    lo: &[f64],
+    hi: &[f64],
 ) -> Option<(f64, Vec<f64>)> {
     let mut x: Vec<f64> = x_lp
         .iter()
-        .map(|&v| match mode {
-            RoundMode::Nearest => {
-                if v >= 0.5 {
-                    1.0
-                } else {
-                    0.0
+        .zip(lo.iter().zip(hi))
+        .map(|(&v, (&l, &h))| {
+            let r: f64 = match mode {
+                RoundMode::Nearest => {
+                    if v >= 0.5 {
+                        1.0
+                    } else {
+                        0.0
+                    }
                 }
-            }
-            RoundMode::Floor => {
-                if v >= 1.0 - 1e-9 {
-                    1.0
-                } else {
-                    0.0
+                RoundMode::Floor => {
+                    if v >= 1.0 - 1e-9 {
+                        1.0
+                    } else {
+                        0.0
+                    }
                 }
-            }
+            };
+            r.clamp(l, h)
         })
         .collect();
     if model.feasible(&x, tol) {
@@ -812,7 +1063,7 @@ fn round_and_repair(
         }
         let mut flipped_any = false;
         for cid in violated {
-            flipped_any |= repair_row(model, cid, &mut x, &cols, penalty, tol);
+            flipped_any |= repair_row(model, cid, &mut x, &cols, penalty, tol, lo, hi);
         }
         if !flipped_any {
             return None;
@@ -821,8 +1072,9 @@ fn round_and_repair(
     None
 }
 
-/// Repair one violated row by greedy covering over candidate flips.
-/// Returns whether anything was flipped.
+/// Repair one violated row by greedy covering over candidate flips (fixed
+/// variables are not candidates).  Returns whether anything was flipped.
+#[allow(clippy::too_many_arguments)]
 fn repair_row(
     model: &Model,
     cid: ConstrId,
@@ -830,6 +1082,8 @@ fn repair_row(
     cols: &[Vec<u32>],
     penalty: f64,
     tol: f64,
+    lo: &[f64],
+    hi: &[f64],
 ) -> bool {
     let cons = model.constraint(cid);
     let lhs = cons.expr.value(x);
@@ -853,6 +1107,9 @@ fn repair_row(
     let mut moves: Vec<(usize, f64, f64)> = Vec::new();
     for &(v, c) in &cons.expr.terms {
         let j = v.0 as usize;
+        if lo[j] >= hi[j] {
+            continue; // pinned by the caller's fixings — not a repair move
+        }
         let set = x[j] >= 0.5;
         let gain = match (need_fall, set, c > 0.0) {
             (true, true, true) => c,    // drop a positive term
@@ -1211,6 +1468,117 @@ mod tests {
         assert_eq!(a.pivots, b.pivots);
     }
 
+    /// A knapsack model plus the id of its single row.
+    fn resolve_knapsack(seed: u64, n: usize, cap: f64) -> (Model, ConstrId) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut m = Model::new();
+        let mut e = LinExpr::new();
+        for j in 0..n {
+            let v = m.add_var(format!("v{j}"), -rng.gen_range(4.0..16.0));
+            e.add(v, rng.gen_range(2.0..8.0));
+        }
+        let row = m.add_constraint(e, Sense::Le, cap);
+        (m, row)
+    }
+
+    #[test]
+    fn rhs_sweep_resolves_match_cold_solves_and_pivot_less() {
+        use crate::delta::{DeltaModel, ModelDelta};
+        let (m, row) = resolve_knapsack(5, 14, 30.0);
+        let mut dm = DeltaModel::new(m.clone());
+        let mut ctx = ResolveContext::new();
+        let opts = SolveOptions::default();
+        let mut warm_pivots = 0usize;
+        let mut cold_pivots = 0usize;
+        for (i, rhs) in [30.0, 24.0, 18.0, 12.0, 6.0].into_iter().enumerate() {
+            dm.apply(ModelDelta::SetRhs { row, rhs });
+            let warm = BranchBound::new().resolve(&dm, &opts, &mut ctx);
+            let mut cold_model = m.clone();
+            cold_model.set_rhs(row, rhs);
+            let cold = BranchBound::new().solve(&cold_model, &opts);
+            assert_eq!(warm.status, cold.status, "rhs {rhs}");
+            assert!(
+                (warm.objective - cold.objective).abs() < 1e-6,
+                "rhs {rhs}: warm {} vs cold {}",
+                warm.objective,
+                cold.objective
+            );
+            assert!((warm.bound - cold.bound).abs() < 1e-6, "rhs {rhs}: bounds must agree");
+            assert!(cold_model.feasible(&warm.x, 1e-6));
+            if i > 0 {
+                warm_pivots += warm.pivots;
+                cold_pivots += cold.pivots;
+            }
+        }
+        assert_eq!(ctx.resolves(), 5);
+        assert!(ctx.has_basis(), "optimal resolves must leave a root basis behind");
+        assert!(
+            warm_pivots <= cold_pivots,
+            "warm-chained re-solves must not pivot more than cold solves: {warm_pivots} vs \
+             {cold_pivots}"
+        );
+    }
+
+    #[test]
+    fn fix_and_free_deltas_are_respected_across_resolves() {
+        use crate::delta::{DeltaModel, ModelDelta};
+        let (m, _) = resolve_knapsack(9, 10, 20.0);
+        let mut dm = DeltaModel::new(m.clone());
+        let mut ctx = ResolveContext::new();
+        let opts = SolveOptions::default();
+        let free = BranchBound::new().resolve(&dm, &opts, &mut ctx);
+        assert_eq!(free.status, MipStatus::Optimal);
+
+        // Ban the variable the free optimum relies on most (first one set).
+        let banned = free.x.iter().position(|&v| v >= 0.5).expect("something selected");
+        dm.apply(ModelDelta::FixVar { var: crate::VarId(banned as u32), value: false });
+        let r_ban = BranchBound::new().resolve(&dm, &opts, &mut ctx);
+        assert_eq!(r_ban.status, MipStatus::Optimal);
+        assert_eq!(r_ban.x[banned], 0.0, "banned variable must stay 0");
+        assert!(r_ban.objective >= free.objective - 1e-9, "banning cannot improve the optimum");
+
+        // Pin a variable the ban run left out, then free everything again.
+        let pinned = r_ban.x.iter().position(|&v| v < 0.5).expect("something unset");
+        dm.apply(ModelDelta::FixVar { var: crate::VarId(pinned as u32), value: true });
+        let r_pin = BranchBound::new().resolve(&dm, &opts, &mut ctx);
+        if r_pin.status != MipStatus::Infeasible {
+            assert_eq!(r_pin.x[pinned], 1.0, "pinned variable must stay 1");
+            assert_eq!(r_pin.x[banned], 0.0, "ban still applies");
+        }
+        dm.apply(ModelDelta::FreeVar { var: crate::VarId(banned as u32) });
+        dm.apply(ModelDelta::FreeVar { var: crate::VarId(pinned as u32) });
+        let r_free = BranchBound::new().resolve(&dm, &opts, &mut ctx);
+        assert!((r_free.objective - free.objective).abs() < 1e-6, "freeing restores the optimum");
+    }
+
+    #[test]
+    fn row_deltas_invalidate_the_basis_but_still_solve() {
+        use crate::delta::{DeltaModel, ModelDelta};
+        let (m, _) = resolve_knapsack(13, 8, 18.0);
+        let mut dm = DeltaModel::new(m);
+        let mut ctx = ResolveContext::new();
+        let opts = SolveOptions::default();
+        let r0 = BranchBound::new().resolve(&dm, &opts, &mut ctx);
+        assert_eq!(r0.status, MipStatus::Optimal);
+
+        // Cardinality row: at most 1 variable set.
+        let mut card = LinExpr::new();
+        for j in 0..8 {
+            card.add(crate::VarId(j as u32), 1.0);
+        }
+        let row = dm
+            .apply(ModelDelta::AddRow { expr: card, sense: Sense::Le, rhs: 1.0 })
+            .expect("row id");
+        let r1 = BranchBound::new().resolve(&dm, &opts, &mut ctx);
+        assert_eq!(r1.status, MipStatus::Optimal);
+        assert!(r1.x.iter().sum::<f64>() <= 1.0 + 1e-9, "added row must bind");
+        assert!(r1.objective >= r0.objective - 1e-9);
+
+        dm.apply(ModelDelta::RelaxRow { row });
+        let r2 = BranchBound::new().resolve(&dm, &opts, &mut ctx);
+        assert!((r2.objective - r0.objective).abs() < 1e-6, "relaxing the row restores r0");
+    }
+
     #[test]
     fn round_and_repair_handles_storage_row() {
         // All-ones LP point violating a storage row: repair must drop the
@@ -1223,7 +1591,8 @@ mod tests {
         }
         m.add_constraint(row, Sense::Le, 6.0);
         let lp_point = vec![1.0; 6];
-        let (obj, x) = round_and_repair(&m, &lp_point, RoundMode::Nearest, 1e-6).unwrap();
+        let (lo, hi) = (vec![0.0; 6], vec![1.0; 6]);
+        let (obj, x) = round_and_repair(&m, &lp_point, RoundMode::Nearest, 1e-6, &lo, &hi).unwrap();
         assert!(m.feasible(&x, 1e-6));
         assert!((m.objective_value(&x) - obj).abs() < 1e-9);
         // The cheap-to-drop (least negative) items go first.

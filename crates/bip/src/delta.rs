@@ -1,0 +1,189 @@
+//! Model deltas for interactive re-optimization (paper §4.2).
+//!
+//! CoPhy's interactive claim rests on the observation that a DBA's follow-up
+//! questions — "what about a smaller budget?", "force this index in", "never
+//! build that one" — are *small mutations* of a BIP that has already been
+//! solved, so they should be answered by cheap re-solves of the existing
+//! model, not fresh tuning runs.  This module is the mutation vocabulary:
+//!
+//! * [`ModelDelta`] — the atomic edits: tighten/relax a row's RHS (budget
+//!   sweeps), fix a variable to 0/1 (index pin/ban), free it again, add a
+//!   soft-constraint row, or relax an existing row away;
+//! * [`DeltaModel`] — a [`Model`] plus its current variable fixings and a
+//!   structure version, tracking which edits preserve the warm-start basis
+//!   (bound and RHS edits do: reduced costs depend on neither, so an optimal
+//!   basis stays **dual feasible** and the
+//!   [`DualSimplex`](crate::dual::DualSimplex) restores primal feasibility in
+//!   a handful of pivots) and which do not (row edits change the column
+//!   structure, so the next re-solve pays one cold root LP).
+//!
+//! The companion state — final root basis, last incumbent, pseudo-cost
+//! table — lives in [`ResolveContext`](crate::branch_bound::ResolveContext)
+//! and is threaded through
+//! [`BranchBound::resolve_with_progress`](crate::BranchBound::resolve_with_progress).
+
+use crate::model::{ConstrId, LinExpr, Model, Sense, VarId};
+
+/// One atomic model mutation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelDelta {
+    /// Replace a row's right-hand side (e.g. the storage-budget sweep).
+    /// Keeps the warm-start basis: reduced costs do not depend on `b`.
+    SetRhs { row: ConstrId, rhs: f64 },
+    /// Pin a variable to a binary value (index pin = 1, ban = 0) by
+    /// collapsing its `[lo, hi]` interval.  Keeps the warm-start basis:
+    /// a bound pinch leaves the basis dual feasible.
+    FixVar { var: VarId, value: bool },
+    /// Remove a variable's fixing, restoring `[0, 1]`.
+    FreeVar { var: VarId },
+    /// Append a constraint row (e.g. materializing a soft constraint as a
+    /// hard row).  Invalidates the warm-start basis (the standard-form
+    /// column space grows).
+    AddRow { expr: LinExpr, sense: Sense, rhs: f64 },
+    /// Neutralize an existing row in place (`0 {≤,=,≥} 0`), dropping it
+    /// from the feasible-region description without renumbering
+    /// [`ConstrId`]s.  Invalidates the warm-start basis (the structural
+    /// columns change).
+    RelaxRow { row: ConstrId },
+}
+
+/// A model under interactive mutation: the BIP, its current variable
+/// fixings, and a structure version that warm-start consumers compare
+/// against to decide whether a snapshot taken earlier still fits.
+#[derive(Debug, Clone)]
+pub struct DeltaModel {
+    model: Model,
+    fixed: Vec<Option<bool>>,
+    structure_version: u64,
+}
+
+impl DeltaModel {
+    /// Wrap a freshly built model (no fixings, structure version 0).
+    pub fn new(model: Model) -> Self {
+        let n = model.n_vars();
+        DeltaModel { model, fixed: vec![None; n], structure_version: 0 }
+    }
+
+    pub fn model(&self) -> &Model {
+        &self.model
+    }
+
+    /// Current fixing per variable (`None` = free).
+    pub fn fixed(&self) -> &[Option<bool>] {
+        &self.fixed
+    }
+
+    /// Bumped by every structure-changing delta ([`ModelDelta::AddRow`],
+    /// [`ModelDelta::RelaxRow`]); RHS and bound edits leave it unchanged.
+    /// A basis snapshot is only reusable while the version it was taken
+    /// under still matches.
+    pub fn structure_version(&self) -> u64 {
+        self.structure_version
+    }
+
+    /// Root variable bounds under the current fixings.
+    pub fn bounds(&self) -> (Vec<f64>, Vec<f64>) {
+        let n = self.model.n_vars();
+        let mut lo = vec![0.0; n];
+        let mut hi = vec![1.0; n];
+        for (j, f) in self.fixed.iter().enumerate() {
+            if let Some(v) = f {
+                lo[j] = if *v { 1.0 } else { 0.0 };
+                hi[j] = lo[j];
+            }
+        }
+        (lo, hi)
+    }
+
+    /// Apply one delta.  Returns the id of the appended row for
+    /// [`ModelDelta::AddRow`], `None` otherwise.
+    pub fn apply(&mut self, delta: ModelDelta) -> Option<ConstrId> {
+        match delta {
+            ModelDelta::SetRhs { row, rhs } => {
+                self.model.set_rhs(row, rhs);
+                None
+            }
+            ModelDelta::FixVar { var, value } => {
+                self.fixed[var.0 as usize] = Some(value);
+                None
+            }
+            ModelDelta::FreeVar { var } => {
+                self.fixed[var.0 as usize] = None;
+                None
+            }
+            ModelDelta::AddRow { expr, sense, rhs } => {
+                self.structure_version += 1;
+                Some(self.model.add_constraint(expr, sense, rhs))
+            }
+            ModelDelta::RelaxRow { row } => {
+                self.structure_version += 1;
+                self.model.relax_constraint(row);
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn knapsack() -> (Model, ConstrId) {
+        // min −10x − 6y − 4z s.t. 5x + 4y + 3z ≤ 9.
+        let mut m = Model::new();
+        let x = m.add_var("x", -10.0);
+        let y = m.add_var("y", -6.0);
+        let z = m.add_var("z", -4.0);
+        let row =
+            m.add_constraint(LinExpr::new().term(x, 5.0).term(y, 4.0).term(z, 3.0), Sense::Le, 9.0);
+        (m, row)
+    }
+
+    #[test]
+    fn rhs_and_bound_edits_preserve_structure_version() {
+        let (m, row) = knapsack();
+        let mut dm = DeltaModel::new(m);
+        dm.apply(ModelDelta::SetRhs { row, rhs: 5.0 });
+        dm.apply(ModelDelta::FixVar { var: VarId(0), value: true });
+        dm.apply(ModelDelta::FreeVar { var: VarId(0) });
+        assert_eq!(dm.structure_version(), 0);
+        assert_eq!(dm.model().constraint(row).rhs, 5.0);
+    }
+
+    #[test]
+    fn fixings_materialize_as_bounds() {
+        let (m, _) = knapsack();
+        let mut dm = DeltaModel::new(m);
+        dm.apply(ModelDelta::FixVar { var: VarId(1), value: true });
+        dm.apply(ModelDelta::FixVar { var: VarId(2), value: false });
+        let (lo, hi) = dm.bounds();
+        assert_eq!((lo[0], hi[0]), (0.0, 1.0));
+        assert_eq!((lo[1], hi[1]), (1.0, 1.0));
+        assert_eq!((lo[2], hi[2]), (0.0, 0.0));
+        dm.apply(ModelDelta::FreeVar { var: VarId(2) });
+        let (lo, hi) = dm.bounds();
+        assert_eq!((lo[2], hi[2]), (0.0, 1.0));
+    }
+
+    #[test]
+    fn row_edits_bump_structure_version_and_keep_ids_stable() {
+        let (m, row) = knapsack();
+        let mut dm = DeltaModel::new(m);
+        let added = dm
+            .apply(ModelDelta::AddRow {
+                expr: LinExpr::new().term(VarId(0), 1.0).term(VarId(1), 1.0),
+                sense: Sense::Le,
+                rhs: 1.0,
+            })
+            .expect("AddRow returns the new row id");
+        assert_eq!(dm.structure_version(), 1);
+        assert_eq!(dm.model().n_constraints(), 2);
+        dm.apply(ModelDelta::RelaxRow { row: added });
+        assert_eq!(dm.structure_version(), 2);
+        // Ids stay stable: the original row is untouched, the relaxed row is
+        // trivially satisfied by every point.
+        assert_eq!(dm.model().constraint(row).rhs, 9.0);
+        assert!(dm.model().constraint(added).expr.terms.is_empty());
+        assert!(dm.model().feasible(&[1.0, 1.0, 0.0], 1e-9), "relaxed row no longer binds");
+    }
+}

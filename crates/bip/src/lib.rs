@@ -29,13 +29,19 @@
 //! * [`driver`] — the shared **anytime solve engine**: one [`SolveBudget`]
 //!   (gap / wall-clock / node limits), a [`SolveDriver`] owning the
 //!   incumbent stream, monotone bound and proven-gap tracking, and the
-//!   unified [`SolveProgress`] callback both backends report through.
+//!   unified [`SolveProgress`] callback both backends report through;
+//! * [`delta`] — the **interactive re-optimization** vocabulary:
+//!   [`ModelDelta`] mutations (RHS sweeps, variable pin/ban, row
+//!   add/relax) over a [`DeltaModel`], re-solved through a
+//!   [`ResolveContext`] (last root basis + incumbent + pseudo-costs) so a
+//!   follow-up question costs dual pivots, not a fresh solve.
 //!
 //! The solvers report the same observables CPLEX exposes to CoPhy:
 //! feasibility, anytime incumbent + bound (⇒ optimality gap), and cheap
 //! re-solves after model deltas.
 
 pub mod branch_bound;
+pub mod delta;
 pub mod driver;
 pub mod dual;
 pub mod knapsack;
@@ -43,7 +49,8 @@ pub mod lagrangian;
 pub mod model;
 pub mod simplex;
 
-pub use branch_bound::{BranchBound, MipResult, SolveOptions};
+pub use branch_bound::{BranchBound, MipResult, ResolveContext, SolveOptions};
+pub use delta::{DeltaModel, ModelDelta};
 pub use driver::{
     relative_gap, DriverResult, GapPoint, MipStatus, SolveBudget, SolveDriver, SolveProgress,
 };

@@ -145,6 +145,27 @@ impl Model {
         &self.constraints[c.0 as usize]
     }
 
+    /// Replace one constraint's right-hand side in place (the
+    /// tighten/relax-RHS delta of interactive re-optimization).  The row's
+    /// expression and sense are untouched, so a basis snapshotted on the old
+    /// RHS stays structurally valid — and dual feasible, since reduced costs
+    /// do not depend on `b`.
+    pub fn set_rhs(&mut self, c: ConstrId, rhs: f64) {
+        self.constraints[c.0 as usize].rhs = rhs;
+    }
+
+    /// Neutralize one constraint in place: the row keeps its sense but loses
+    /// all terms and its RHS becomes 0, so it reads `0 {≤,=,≥} 0` — trivially
+    /// satisfied by every point.  Used by the delta interface to *drop* a row
+    /// without renumbering the remaining [`ConstrId`]s — the row count and
+    /// slack layout are unchanged, but the structural columns are, so
+    /// warm-start snapshots taken before the drop must be discarded.
+    pub fn relax_constraint(&mut self, c: ConstrId) {
+        let row = &mut self.constraints[c.0 as usize];
+        row.expr = LinExpr::new();
+        row.rhs = 0.0;
+    }
+
     /// Objective value of an assignment.
     pub fn objective_value(&self, x: &[f64]) -> f64 {
         debug_assert_eq!(x.len(), self.n_vars());

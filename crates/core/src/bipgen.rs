@@ -15,7 +15,7 @@
 //! space is unchanged while the program shrinks drastically.  The knob
 //! `prune_dominated` exists for the ablation bench.
 
-use cophy_bip::{Alt, Block, BlockProblem, LinExpr, Model, Sense, SlotChoices, VarId};
+use cophy_bip::{Alt, Block, BlockProblem, ConstrId, LinExpr, Model, Sense, SlotChoices, VarId};
 use cophy_catalog::{Configuration, Schema};
 use cophy_inum::{PreparedQuery, PreparedWorkload};
 use cophy_optimizer::CostModel;
@@ -71,6 +71,10 @@ pub struct BipMapping {
     pub n_y: usize,
     /// Total `x` variables after pruning.
     pub n_x: usize,
+    /// The model row carrying the storage budget, if the constraint set has
+    /// one — the interactive session's `ModelDelta::SetRhs` handle for
+    /// warm-chained budget sweeps.
+    pub storage_row: Option<ConstrId>,
 }
 
 impl BipMapping {
@@ -331,18 +335,26 @@ impl BipGen {
             cost_exprs.push(cost_expr);
         }
 
-        // z-only constraint rows.
-        for (terms, cmp, rhs) in constraints.z_rows(schema, candidates) {
-            let mut e = LinExpr::new();
-            for (pos, c) in terms {
-                e.add(z[pos], c);
+        // z-only constraint rows, constraint by constraint so the storage
+        // row's id can be recorded for interactive RHS sweeps.
+        let mut storage_row = None;
+        for c in &constraints.hard {
+            let is_storage = matches!(c, crate::constraints::Constraint::Storage { .. });
+            for (terms, cmp, rhs) in c.z_rows(schema, candidates) {
+                let mut e = LinExpr::new();
+                for (pos, coeff) in terms {
+                    e.add(z[pos], coeff);
+                }
+                let sense = match cmp {
+                    Cmp::Le => Sense::Le,
+                    Cmp::Ge => Sense::Ge,
+                    Cmp::Eq => Sense::Eq,
+                };
+                let cid = m.add_constraint(e, sense, rhs);
+                if is_storage && storage_row.is_none() {
+                    storage_row = Some(cid);
+                }
             }
-            let sense = match cmp {
-                Cmp::Le => Sense::Le,
-                Cmp::Ge => Sense::Ge,
-                Cmp::Eq => Sense::Eq,
-            };
-            m.add_constraint(e, sense, rhs);
         }
 
         // Query-cost constraints (E.2): cost(q, X) ≤ factor · cost(q, X0).
@@ -362,7 +374,7 @@ impl BipGen {
             }
         }
 
-        (m, BipMapping { z, queries, n_y, n_x })
+        (m, BipMapping { z, queries, n_y, n_x, storage_row })
     }
 }
 

@@ -105,6 +105,59 @@ pub enum Constraint {
     AllQueryCosts { factor: f64 },
 }
 
+impl Constraint {
+    /// Linear rows of *this* constraint over the candidate positions — the
+    /// per-constraint building block of [`ConstraintSet::z_rows`], exposed
+    /// so the BIP generator can tag which model row came from which
+    /// constraint (the interactive session mutates the storage row's RHS in
+    /// place for budget sweeps).  Query-cost constraints translate to rows
+    /// over `y`/`x` variables instead and return nothing here.
+    pub fn z_rows(&self, schema: &Schema, candidates: &CandidateSet) -> Vec<LinearRow> {
+        let mut rows = Vec::new();
+        match self {
+            Constraint::Storage { budget_bytes } => {
+                let terms: Vec<(usize, f64)> = candidates
+                    .iter()
+                    .map(|(id, _)| (id.0 as usize, candidates.size_bytes(id) as f64))
+                    .collect();
+                rows.push((terms, Cmp::Le, *budget_bytes as f64));
+            }
+            Constraint::IndexCount { filter, cmp, value } => {
+                let terms: Vec<(usize, f64)> = candidates
+                    .iter()
+                    .filter(|(_, ix)| filter.matches(ix))
+                    .map(|(id, _)| (id.0 as usize, 1.0))
+                    .collect();
+                rows.push((terms, *cmp, f64::from(*value)));
+            }
+            Constraint::IndexSize { filter, cmp, value } => {
+                let terms: Vec<(usize, f64)> = candidates
+                    .iter()
+                    .filter(|(_, ix)| filter.matches(ix))
+                    .map(|(id, _)| (id.0 as usize, candidates.size_bytes(id) as f64))
+                    .collect();
+                rows.push((terms, *cmp, *value as f64));
+            }
+            Constraint::OneClusteredPerTable => {
+                for t in schema.tables() {
+                    let terms: Vec<(usize, f64)> = candidates
+                        .iter()
+                        .filter(|(_, ix)| ix.is_clustered() && ix.table == t.id)
+                        .map(|(id, _)| (id.0 as usize, 1.0))
+                        .collect();
+                    if terms.len() > 1 {
+                        rows.push((terms, Cmp::Le, 1.0));
+                    }
+                }
+            }
+            Constraint::QueryCost { .. } | Constraint::AllQueryCosts { .. } => {
+                // handled by BipGen (needs the y/x variables)
+            }
+        }
+        rows
+    }
+}
+
 /// The constraint set `C = C_hard` handed to the Solver.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ConstraintSet {
@@ -200,50 +253,7 @@ impl ConstraintSet {
     /// Translate the z-only constraints into linear rows over the candidate
     /// set: `(terms, cmp, rhs)` with terms `(candidate position, coeff)`.
     pub fn z_rows(&self, schema: &Schema, candidates: &CandidateSet) -> Vec<LinearRow> {
-        let mut rows = Vec::new();
-        for c in &self.hard {
-            match c {
-                Constraint::Storage { budget_bytes } => {
-                    let terms: Vec<(usize, f64)> = candidates
-                        .iter()
-                        .map(|(id, _)| (id.0 as usize, candidates.size_bytes(id) as f64))
-                        .collect();
-                    rows.push((terms, Cmp::Le, *budget_bytes as f64));
-                }
-                Constraint::IndexCount { filter, cmp, value } => {
-                    let terms: Vec<(usize, f64)> = candidates
-                        .iter()
-                        .filter(|(_, ix)| filter.matches(ix))
-                        .map(|(id, _)| (id.0 as usize, 1.0))
-                        .collect();
-                    rows.push((terms, *cmp, f64::from(*value)));
-                }
-                Constraint::IndexSize { filter, cmp, value } => {
-                    let terms: Vec<(usize, f64)> = candidates
-                        .iter()
-                        .filter(|(_, ix)| filter.matches(ix))
-                        .map(|(id, _)| (id.0 as usize, candidates.size_bytes(id) as f64))
-                        .collect();
-                    rows.push((terms, *cmp, *value as f64));
-                }
-                Constraint::OneClusteredPerTable => {
-                    for t in schema.tables() {
-                        let terms: Vec<(usize, f64)> = candidates
-                            .iter()
-                            .filter(|(_, ix)| ix.is_clustered() && ix.table == t.id)
-                            .map(|(id, _)| (id.0 as usize, 1.0))
-                            .collect();
-                        if terms.len() > 1 {
-                            rows.push((terms, Cmp::Le, 1.0));
-                        }
-                    }
-                }
-                Constraint::QueryCost { .. } | Constraint::AllQueryCosts { .. } => {
-                    // handled by BipGen (needs the y/x variables)
-                }
-            }
-        }
-        rows
+        self.hard.iter().flat_map(|c| c.z_rows(schema, candidates)).collect()
     }
 
     /// Query-cost constraints, normalized to per-query factors.

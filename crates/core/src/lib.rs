@@ -50,7 +50,7 @@ pub mod solver;
 pub use bipgen::{BipGen, BipMapping, TuningProblem};
 pub use cgen::{CGen, CandidateSet};
 pub use constraints::{Cmp, Constraint, ConstraintSet, IndexFilter};
-pub use session::TuningSession;
+pub use session::{SweepPoint, TuningSession, WhatIfAnswer};
 pub use soft::{ChordExplorer, ParetoPoint};
 pub use solver::{CoPhy, CoPhyOptions, Recommendation, SolveStats, SolverBackend};
 

@@ -8,18 +8,102 @@
 //! fresh ids, new statements append blocks — so the multiplier coordinates of
 //! the untouched parts remain valid and re-solves converge an order of
 //! magnitude faster (the Figure 6b behavior).
+//!
+//! ## The interactive surface
+//!
+//! Beyond workload/candidate deltas, the session answers the DBA's variant
+//! questions from the *same* model and caches:
+//!
+//! * [`TuningSession::sweep_storage`] — a K-point budget sweep solved as one
+//!   **warm chain** over a single Theorem-1 BIP: each point mutates the
+//!   storage row's RHS ([`ModelDelta::SetRhs`]) and re-solves from the
+//!   previous point's root basis, incumbent and pseudo-costs
+//!   ([`cophy_bip::ResolveContext`]), so K points cost one cold root plus
+//!   K−1 dual re-solves instead of K cold tunes (the paper's Figure 10
+//!   economics);
+//! * [`TuningSession::pin_index`] / [`TuningSession::ban_index`] — force an
+//!   index into or out of every subsequent answer by fixing its `z`
+//!   variable ([`ModelDelta::FixVar`]), a bound pinch the warm re-solve
+//!   absorbs in a handful of dual pivots;
+//! * [`TuningSession::what_if`] — cost an explicit configuration **entirely
+//!   from the INUM cache**: zero optimizer what-if calls, zero solver work.
+//!
+//! Every solve streams through the unified [`SolveProgress`] contract.
 
 use std::time::{Duration, Instant};
 
-use cophy_bip::{LagrangianSolver, SolveProgress, WarmStart};
-use cophy_catalog::Index;
+use cophy_bip::{
+    BranchBound, DeltaModel, LagrangianSolver, MipResult, MipStatus, ModelDelta, ResolveContext,
+    SolveOptions, SolveProgress, WarmStart,
+};
+use cophy_catalog::{Configuration, Index};
 use cophy_compress::{Absorption, CompressedWorkload};
 use cophy_inum::{Inum, PreparedWorkload};
 use cophy_workload::{QueryId, Workload};
 
+use crate::bipgen::BipMapping;
 use crate::cgen::CandidateSet;
 use crate::constraints::ConstraintSet;
 use crate::solver::{selection_to_config, CoPhy, Recommendation, SolveStats};
+
+/// One point of a [`TuningSession::sweep_storage`] budget sweep.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    pub budget_bytes: u64,
+    /// INUM-estimated workload cost under this point's recommendation.
+    pub objective: f64,
+    /// Solver lower bound at this point.
+    pub bound: f64,
+    /// Relative optimality gap at termination.
+    pub gap: f64,
+    pub configuration: Configuration,
+    /// Branch-and-bound nodes spent on this point.
+    pub nodes: usize,
+    /// Simplex pivots spent on this point (root + node LPs; the warm chain
+    /// drives this down for every point after the first).
+    pub pivots: usize,
+    pub solve_time: Duration,
+}
+
+/// A [`TuningSession::what_if`] answer, computed entirely from the session's
+/// INUM cache — no optimizer what-if calls, no solver work.
+#[derive(Debug, Clone)]
+pub struct WhatIfAnswer {
+    /// INUM-estimated workload cost under the probed configuration.
+    pub cost: f64,
+    /// Cost under the empty configuration (same cache).
+    pub baseline_cost: f64,
+    /// Total size of the probed configuration.
+    pub size_bytes: u64,
+    /// `Some(reason)` when the configuration violates the session's hard
+    /// constraints (the answer is still costed).
+    pub constraint_violation: Option<String>,
+}
+
+impl WhatIfAnswer {
+    /// Estimated improvement `1 − cost/baseline` of the probed configuration.
+    pub fn improvement(&self) -> f64 {
+        if self.baseline_cost <= 0.0 {
+            return 0.0;
+        }
+        1.0 - self.cost / self.baseline_cost
+    }
+}
+
+/// The session's interactive BIP: the Theorem-1 model under mutation plus
+/// the warm re-solve state.  Built lazily on the first interactive call and
+/// dropped whenever a structural delta (new candidates, new statements, new
+/// constraint set) changes the variable layout.
+#[derive(Debug)]
+struct InteractiveState {
+    dm: DeltaModel,
+    mapping: BipMapping,
+    /// `Σ_q f_q c_q`, the fixed update-base cost outside the model.
+    fixed_cost: f64,
+    ctx: ResolveContext,
+    /// Model-build time, reported in the next recommendation's stats.
+    build_time: Duration,
+}
 
 /// An open tuning session.
 #[derive(Debug)]
@@ -34,6 +118,11 @@ pub struct TuningSession<'o, 'c> {
     /// ([`CompressedWorkload::absorb`]) instead of forcing a new INUM
     /// preparation per nudge.
     compressed: Option<CompressedWorkload>,
+    /// The interactive BIP + warm re-solve state (budget sweeps, pin/ban).
+    interactive: Option<InteractiveState>,
+    /// Sticky pin (`true`) / ban (`false`) fixings, keyed by index so they
+    /// survive interactive-model rebuilds.
+    fixings: Vec<(Index, bool)>,
     /// Cumulative what-if calls spent on INUM preparation in this session.
     what_if_calls: u64,
     inum_time: Duration,
@@ -81,6 +170,8 @@ impl<'o, 'c> TuningSession<'o, 'c> {
             constraints,
             warm: None,
             compressed,
+            interactive: None,
+            fixings: Vec::new(),
             what_if_calls: cophy.optimizer().what_if_calls() - before,
             inum_time: t0.elapsed(),
         })
@@ -103,14 +194,26 @@ impl<'o, 'c> TuningSession<'o, 'c> {
     }
 
     /// Add DBA-curated candidate indexes (`S_DBA`); ids of existing
-    /// candidates are stable, so the warm state stays valid.
+    /// candidates are stable, so the warm state stays valid.  The
+    /// interactive BIP (if built) is dropped: its variable layout grows, and
+    /// the next interactive answer rebuilds it with the new `z` columns.
     pub fn add_candidates(&mut self, extra: impl IntoIterator<Item = Index>) {
         self.candidates.extend(self.cophy.optimizer().schema(), extra);
+        self.interactive = None;
     }
 
-    /// Replace the storage budget (must remain storage-only).
+    /// Replace the storage budget (must remain storage-only).  When the
+    /// interactive BIP is live, the new budget lands as a `SetRhs` delta —
+    /// basis, incumbent and pseudo-costs all survive.
     pub fn set_constraints(&mut self, constraints: ConstraintSet) {
         assert!(constraints.is_storage_only());
+        match (&mut self.interactive, constraints.storage_budget()) {
+            (Some(st), Some(budget)) if st.mapping.storage_row.is_some() => {
+                let row = st.mapping.storage_row.expect("checked");
+                st.dm.apply(ModelDelta::SetRhs { row, rhs: budget as f64 });
+            }
+            (st, _) => *st = None,
+        }
         self.constraints = constraints;
     }
 
@@ -126,6 +229,7 @@ impl<'o, 'c> TuningSession<'o, 'c> {
     /// CGen work — and only genuinely novel statements open a cluster and
     /// pay an INUM preparation.
     pub fn add_statements(&mut self, w: &Workload) {
+        self.interactive = None; // the block layout grows; rebuilt on demand
         let before = self.cophy.optimizer().what_if_calls();
         let t0 = Instant::now();
         let schema = self.cophy.optimizer().schema();
@@ -163,6 +267,210 @@ impl<'o, 'c> TuningSession<'o, 'c> {
         self.inum_time += t0.elapsed();
     }
 
+    // -- the interactive surface (paper §4.2) -------------------------------
+
+    /// Lazily build (or fetch) the interactive Theorem-1 BIP, re-applying
+    /// the session's sticky pin/ban fixings to the fresh variable layout.
+    fn interactive_state(&mut self) -> &mut InteractiveState {
+        if self.interactive.is_none() {
+            let t0 = Instant::now();
+            let schema = self.cophy.optimizer().schema();
+            let cm = self.cophy.optimizer().cost_model();
+            let (model, mapping) = self.cophy.options.bipgen.model(
+                schema,
+                cm,
+                &self.prepared,
+                &self.candidates,
+                &self.constraints,
+            );
+            let fixed_cost =
+                self.prepared.queries.iter().map(|pq| pq.weight * pq.fixed_update_cost).sum();
+            let mut dm = DeltaModel::new(model);
+            for (ix, value) in &self.fixings {
+                if let Some(pos) = candidate_position(&self.candidates, ix) {
+                    dm.apply(ModelDelta::FixVar { var: mapping.z[pos], value: *value });
+                }
+            }
+            self.interactive = Some(InteractiveState {
+                dm,
+                mapping,
+                fixed_cost,
+                ctx: ResolveContext::new(),
+                build_time: t0.elapsed(),
+            });
+        }
+        self.interactive.as_mut().expect("just built")
+    }
+
+    /// One warm re-solve of the interactive BIP, optionally retargeting the
+    /// storage row first.  The solver restarts from the previous answer's
+    /// root basis, incumbent and pseudo-cost table; `known_bound` (if any)
+    /// is a caller-proven lower bound on this solve's binary optimum.
+    fn interactive_solve(
+        &mut self,
+        budget_bytes: Option<u64>,
+        known_bound: Option<f64>,
+        on_progress: &mut dyn FnMut(&SolveProgress),
+    ) -> MipResult {
+        let solve_budget = self.cophy.options.budget;
+        let st = self.interactive_state();
+        if let (Some(row), Some(b)) = (st.mapping.storage_row, budget_bytes) {
+            st.dm.apply(ModelDelta::SetRhs { row, rhs: b as f64 });
+        }
+        let opts = SolveOptions { budget: solve_budget, known_bound, ..Default::default() };
+        BranchBound::new().resolve_with_progress(&st.dm, &opts, &mut st.ctx, |p, _| on_progress(p))
+    }
+
+    /// Answer a K-point storage-budget sweep (paper Figure 10) as **one warm
+    /// chain**: every point mutates the storage row's RHS in place and
+    /// re-solves from the previous point's root basis, incumbent and
+    /// pseudo-costs, so the chain costs one cold root LP plus K−1 dual
+    /// re-solves instead of K independent tunes.
+    ///
+    /// Panics when a point is infeasible (pinned indexes exceeding that
+    /// budget); a plain storage sweep without pins is always feasible.
+    pub fn sweep_storage(&mut self, budgets: &[u64]) -> Vec<SweepPoint> {
+        self.sweep_storage_with_progress(budgets, |_, _| {})
+    }
+
+    /// [`TuningSession::sweep_storage`] with the unified anytime stream:
+    /// `on_progress(point_index, event)` fires for every incumbent or bound
+    /// improvement of every sweep point.
+    pub fn sweep_storage_with_progress(
+        &mut self,
+        budgets: &[u64],
+        mut on_progress: impl FnMut(usize, &SolveProgress),
+    ) -> Vec<SweepPoint> {
+        let mut points = Vec::with_capacity(budgets.len());
+        // Monotone-bound carry: tightening the storage budget can only raise
+        // the optimum, so a point's proven lower bound remains valid for
+        // every *tighter* successor — the next solve starts with it instead
+        // of re-proving from scratch (the chain's second warm-start lever,
+        // next to the root basis).
+        let mut prev: Option<(u64, f64)> = None;
+        for (i, &budget) in budgets.iter().enumerate() {
+            let carried = prev.and_then(|(pb, b)| (budget <= pb && b.is_finite()).then_some(b));
+            let t0 = Instant::now();
+            let r = self.interactive_solve(Some(budget), carried, &mut |p| on_progress(i, p));
+            assert!(
+                r.status != MipStatus::Infeasible && !r.x.is_empty(),
+                "storage sweep point {budget} is infeasible \
+                 (pinned indexes may exceed this budget)"
+            );
+            let st = self.interactive.as_ref().expect("state live after a solve");
+            prev = Some((budget, r.bound));
+            points.push(SweepPoint {
+                budget_bytes: budget,
+                objective: r.objective + st.fixed_cost,
+                bound: r.bound + st.fixed_cost,
+                gap: r.gap,
+                configuration: st.mapping.extract_configuration(&r.x, &self.candidates),
+                nodes: r.nodes,
+                pivots: r.pivots,
+                solve_time: t0.elapsed(),
+            });
+        }
+        points
+    }
+
+    /// Force `ix` into every subsequent answer (`z = 1`).  An index CGen
+    /// never proposed is adopted as a DBA candidate first.  The fixing is a
+    /// bound pinch, so the warm re-solve state survives.
+    pub fn pin_index(&mut self, ix: &Index) {
+        self.fix_index(ix.clone(), true);
+    }
+
+    /// Exclude `ix` from every subsequent answer (`z = 0`).  Banning an
+    /// index outside the candidate set holds vacuously.
+    pub fn ban_index(&mut self, ix: &Index) {
+        self.fix_index(ix.clone(), false);
+    }
+
+    /// Remove a pin/ban previously placed on `ix`.
+    pub fn unfix_index(&mut self, ix: &Index) {
+        self.fixings.retain(|(i, _)| i != ix);
+        if let Some(pos) = candidate_position(&self.candidates, ix) {
+            if let Some(st) = self.interactive.as_mut() {
+                st.dm.apply(ModelDelta::FreeVar { var: st.mapping.z[pos] });
+            }
+        }
+    }
+
+    /// Current pin/ban fixings `(index, pinned?)`.
+    pub fn fixings(&self) -> &[(Index, bool)] {
+        &self.fixings
+    }
+
+    fn fix_index(&mut self, ix: Index, value: bool) {
+        self.fixings.retain(|(i, _)| *i != ix);
+        match candidate_position(&self.candidates, &ix) {
+            Some(pos) => {
+                if let Some(st) = self.interactive.as_mut() {
+                    st.dm.apply(ModelDelta::FixVar { var: st.mapping.z[pos], value });
+                }
+            }
+            // Pinning an unknown index adopts it (interactive model is
+            // rebuilt with the new z column on the next solve).
+            None if value => self.add_candidates([ix.clone()]),
+            None => {}
+        }
+        self.fixings.push((ix, value));
+    }
+
+    /// Cost an explicit configuration against the session workload,
+    /// **entirely from the INUM cache**: no optimizer what-if calls, no
+    /// solver work — the paper's "what does this configuration cost?"
+    /// interaction at memo-lookup price.
+    pub fn what_if(&self, cfg: &Configuration) -> WhatIfAnswer {
+        let schema = self.cophy.optimizer().schema();
+        let cm = self.cophy.optimizer().cost_model();
+        WhatIfAnswer {
+            cost: self.prepared.cost(schema, cm, cfg),
+            baseline_cost: self.prepared.cost(schema, cm, &Configuration::empty()),
+            size_bytes: cfg.size_bytes(schema),
+            constraint_violation: self.constraints.check_configuration(schema, cfg).err(),
+        }
+    }
+
+    /// Recommendation under active pin/ban fixings: the interactive BIP
+    /// (which carries the fixings as variable bounds) is re-solved warm.
+    fn recommend_interactive(
+        &mut self,
+        on_progress: &mut dyn FnMut(&SolveProgress),
+    ) -> Recommendation {
+        let schema = self.cophy.optimizer().schema();
+        let cm = self.cophy.optimizer().cost_model();
+        let budget = self.constraints.storage_budget();
+        let ts = Instant::now();
+        let r = self.interactive_solve(budget, None, on_progress);
+        let solve_time = ts.elapsed();
+        assert!(
+            r.status != MipStatus::Infeasible && !r.x.is_empty(),
+            "pinned indexes are infeasible under the session constraints"
+        );
+        let st = self.interactive.as_mut().expect("state live after a solve");
+        let build_time = std::mem::take(&mut st.build_time);
+        let configuration = st.mapping.extract_configuration(&r.x, &self.candidates);
+        let baseline_cost = self.prepared.cost(schema, cm, &Configuration::empty());
+        Recommendation {
+            configuration,
+            objective: r.objective + st.fixed_cost,
+            baseline_cost,
+            bound: r.bound + st.fixed_cost,
+            gap: r.gap,
+            trace: r.trace,
+            compression: self.compressed.as_ref().map(|c| c.summary()),
+            stats: SolveStats {
+                inum_time: std::mem::take(&mut self.inum_time),
+                build_time,
+                solve_time,
+                what_if_calls: std::mem::take(&mut self.what_if_calls),
+                n_candidates: self.candidates.len(),
+                n_variables: st.dm.model().n_vars(),
+            },
+        }
+    }
+
     /// Compute (or re-compute) the recommendation, warm-starting from the
     /// previous solve.
     pub fn recommend(&mut self) -> Recommendation {
@@ -178,6 +486,11 @@ impl<'o, 'c> TuningSession<'o, 'c> {
         &mut self,
         mut on_progress: impl FnMut(&SolveProgress),
     ) -> Recommendation {
+        if !self.fixings.is_empty() {
+            // Pin/ban fixings live as variable bounds of the interactive
+            // BIP; the Lagrangian block form cannot express them.
+            return self.recommend_interactive(&mut on_progress);
+        }
         let schema = self.cophy.optimizer().schema();
         let cm = self.cophy.optimizer().cost_model();
         let tb = Instant::now();
@@ -217,6 +530,11 @@ impl<'o, 'c> TuningSession<'o, 'c> {
             },
         }
     }
+}
+
+/// Position of `ix` in the candidate set, if present.
+fn candidate_position(candidates: &CandidateSet, ix: &Index) -> Option<usize> {
+    candidates.iter().find(|(_, c)| *c == ix).map(|(id, _)| id.0 as usize)
 }
 
 #[cfg(test)]
@@ -385,6 +703,130 @@ mod tests {
         });
         let cophy = CoPhy::new(&o, crate::CoPhyOptions::default());
         assert!(cophy.try_session(&w, rich).is_err(), "rich constraints are not sessionable");
+    }
+
+    #[test]
+    fn sweep_storage_is_one_warm_chain() {
+        let o = setup();
+        let w = HomGen::new(40).generate(o.schema(), 8);
+        let cophy = CoPhy::new(&o, CoPhyOptions::default());
+        let mut session = cophy.session(&w, ConstraintSet::storage_fraction(o.schema(), 1.0));
+        let total = o.schema().data_bytes();
+        // Loose → tight, the paper's sweep direction: every step pinches the
+        // storage row and pays dual pivots from the previous basis.
+        let budgets: Vec<u64> =
+            [1.0, 0.4, 0.15, 0.05].iter().map(|m| (total as f64 * m) as u64).collect();
+        let mut events = vec![0usize; budgets.len()];
+        let points = session.sweep_storage_with_progress(&budgets, |i, _| events[i] += 1);
+        assert_eq!(points.len(), budgets.len());
+        for (p, &b) in points.iter().zip(&budgets) {
+            assert!(
+                p.configuration.size_bytes(o.schema()) <= b,
+                "sweep point must respect its budget"
+            );
+            assert!(p.objective >= p.bound - 1e-6);
+            assert!(p.gap.is_finite());
+        }
+        // Tighter budgets cannot cost less (modulo both points' gap slack).
+        for pair in points.windows(2) {
+            assert!(
+                pair[1].objective >= pair[0].objective / 1.06 - 1e-6,
+                "tightening the budget must not lower the cost: {} then {}",
+                pair[0].objective,
+                pair[1].objective
+            );
+        }
+        assert!(events.iter().all(|&e| e > 0), "every sweep point must stream progress");
+        // (The ≥3× pivot economy of the warm chain vs K cold tunes is gated
+        // at release scale by the `fig10_interactive` bench bin and the
+        // interactive integration tests.)
+    }
+
+    #[test]
+    fn pin_and_ban_shape_the_recommendation() {
+        let o = setup();
+        let w = HomGen::new(41).generate(o.schema(), 8);
+        let cophy = CoPhy::new(&o, CoPhyOptions::default());
+        let mut session = cophy.session(&w, ConstraintSet::storage_fraction(o.schema(), 0.5));
+        let r_free = session.recommend();
+        assert!(!r_free.configuration.is_empty());
+
+        let target = r_free.configuration.indexes()[0].clone();
+        session.ban_index(&target);
+        let r_ban = session.recommend();
+        assert!(!r_ban.configuration.contains(&target), "banned index must stay out");
+        assert!(
+            session.constraints.check_configuration(o.schema(), &r_ban.configuration).is_ok(),
+            "fixed solve must stay feasible"
+        );
+        assert!(
+            r_ban.objective >= r_free.objective / 1.05 - 1e-6,
+            "banning cannot beat the free optimum: {} vs {}",
+            r_ban.objective,
+            r_free.objective
+        );
+
+        session.unfix_index(&target);
+        session.pin_index(&target);
+        let r_pin = session.recommend();
+        assert!(r_pin.configuration.contains(&target), "pinned index must be in");
+        assert!(session.constraints.check_configuration(o.schema(), &r_pin.configuration).is_ok());
+
+        // Pins survive a budget sweep; every point honors them.
+        let total = o.schema().data_bytes();
+        let budgets = [total / 2, total];
+        for p in session.sweep_storage(&budgets) {
+            assert!(p.configuration.contains(&target), "sweep must honor the pin");
+        }
+    }
+
+    #[test]
+    fn pinning_an_unknown_index_adopts_it() {
+        let o = setup();
+        let w = HomGen::new(43).generate(o.schema(), 6);
+        let cophy = CoPhy::new(&o, CoPhyOptions::default());
+        let mut session = cophy.session(&w, ConstraintSet::storage_fraction(o.schema(), 1.0));
+        let ps = o.schema().table_by_name("partsupp").unwrap().id;
+        let pet = Index::secondary(ps, vec![ColumnId(2), ColumnId(3)]);
+        let before = session.candidates().len();
+        session.pin_index(&pet);
+        assert_eq!(session.candidates().len(), before + 1, "pet index adopted as candidate");
+        let r = session.recommend();
+        assert!(r.configuration.contains(&pet));
+    }
+
+    #[test]
+    fn what_if_is_free_of_optimizer_calls() {
+        let o = setup();
+        let w = HomGen::new(42).generate(o.schema(), 10);
+        let cophy = CoPhy::new(&o, CoPhyOptions::default());
+        let mut session = cophy.session(&w, ConstraintSet::storage_fraction(o.schema(), 0.5));
+        let rec = session.recommend();
+        let calls = o.what_if_calls();
+        let ans = session.what_if(&rec.configuration);
+        let empty = session.what_if(&cophy_catalog::Configuration::empty());
+        assert_eq!(o.what_if_calls(), calls, "what_if must never touch the optimizer");
+        // The cache-costed answer is the recommendation's own objective.
+        assert!(
+            (ans.cost - rec.objective).abs() / rec.objective < 1e-6,
+            "what_if {} vs recommendation {}",
+            ans.cost,
+            rec.objective
+        );
+        assert!((empty.cost - rec.baseline_cost).abs() / rec.baseline_cost < 1e-9);
+        assert!(ans.improvement() > 0.0);
+        assert!(ans.constraint_violation.is_none());
+        assert!(ans.size_bytes > 0);
+        // An over-budget probe is flagged but still costed.
+        let everything = cophy_catalog::Configuration::from_indexes(
+            session.candidates().iter().map(|(_, ix)| ix.clone()),
+        );
+        if everything.size_bytes(o.schema()) > o.schema().data_bytes() / 2 {
+            let over = session.what_if(&everything);
+            assert!(over.constraint_violation.is_some());
+            assert!(over.cost.is_finite());
+        }
+        assert_eq!(o.what_if_calls(), calls);
     }
 
     #[test]

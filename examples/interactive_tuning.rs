@@ -11,7 +11,7 @@
 
 use std::time::Instant;
 
-use cophy::{CoPhy, CoPhyOptions, ConstraintSet};
+use cophy::{CGen, CoPhy, CoPhyOptions, ConstraintSet};
 use cophy_catalog::{Index, TpchGen};
 use cophy_optimizer::{SystemProfile, WhatIfOptimizer};
 use cophy_workload::HomGen;
@@ -74,5 +74,67 @@ fn main() {
         session.n_statements(),
         r4.estimated_improvement() * 100.0,
         t3.elapsed()
+    );
+
+    // --- the warm re-optimization surface -----------------------------------
+    // Budget sweeps, pin/ban and what-if probes run on the session's
+    // interactive BIP (branch-and-bound + ModelDelta/ResolveContext), whose
+    // dense LPs want a smaller workload and a lean candidate grammar so
+    // every answer lands in interactive time.
+    let small = HomGen::new(101).generate(schema, 12);
+    let lab_cophy = CoPhy::new(
+        &optimizer,
+        CoPhyOptions {
+            cgen: CGen { max_key_columns: 2, max_include_columns: 0 },
+            ..Default::default()
+        },
+    );
+    let mut lab = lab_cophy.session(&small, ConstraintSet::storage_fraction(schema, 1.0));
+
+    // One warm chain answers a whole budget sweep (paper Fig. 10): each
+    // point re-solves from the previous basis/incumbent/pseudo-costs.
+    let total = schema.data_bytes();
+    let budgets: Vec<u64> = [1.0, 0.4, 0.1].iter().map(|m| (total as f64 * m) as u64).collect();
+    let t4 = Instant::now();
+    let sweep = lab.sweep_storage(&budgets);
+    println!("\nbudget sweep ({} points, one warm chain, {:?}):", sweep.len(), t4.elapsed());
+    for p in &sweep {
+        println!(
+            "  M = {:>7.1} MB → {} indexes, cost {:.0} (gap {:.1}%, {} pivots, {:?})",
+            p.budget_bytes as f64 / 1e6,
+            p.configuration.len(),
+            p.objective,
+            p.gap * 100.0,
+            p.pivots,
+            p.solve_time
+        );
+    }
+
+    // Pin a pet index in, ban a recommended one out; the fixings are bound
+    // pinches, so the re-solves stay warm.
+    let pet = Index::secondary(li.id, vec![ok, sd]);
+    lab.pin_index(&pet);
+    if let Some(out) = sweep[0].configuration.indexes().first().cloned() {
+        lab.ban_index(&out);
+    }
+    let t5 = Instant::now();
+    let fixed = lab.recommend();
+    println!(
+        "with 1 pin + 1 ban: {} indexes, est. {:.1}%, re-solve took {:?}",
+        fixed.configuration.len(),
+        fixed.estimated_improvement() * 100.0,
+        t5.elapsed()
+    );
+
+    // "What does this configuration cost?" — answered from the INUM cache,
+    // zero optimizer calls.
+    let probe = lab.what_if(&fixed.configuration);
+    println!(
+        "what-if probe: cost {:.0} vs baseline {:.0} ({:.1}% better), {:.1} MB, violations: {:?}",
+        probe.cost,
+        probe.baseline_cost,
+        probe.improvement() * 100.0,
+        probe.size_bytes as f64 / 1e6,
+        probe.constraint_violation
     );
 }
