@@ -20,7 +20,7 @@ use cophy::{CGen, CandidateSet, ConstraintSet, SolveProgress};
 use cophy_bip::{Alt, Block, BlockProblem, LagrangianSolver, SlotChoices, SolveBudget};
 use cophy_catalog::{Configuration, IndexId};
 use cophy_inum::{Inum, PreparedQuery, PreparedWorkload};
-use cophy_optimizer::WhatIfOptimizer;
+use cophy_optimizer::WhatIfBackend;
 use cophy_workload::Workload;
 
 use crate::Advisor;
@@ -72,7 +72,7 @@ impl IlpAdvisor {
     /// Full run with stats (the bench harness uses this entry point).
     pub fn recommend_with_stats(
         &self,
-        optimizer: &WhatIfOptimizer,
+        optimizer: &dyn WhatIfBackend,
         w: &Workload,
         candidates: &CandidateSet,
         constraints: &ConstraintSet,
@@ -85,7 +85,7 @@ impl IlpAdvisor {
     /// Figure-5/10 runs can compare trajectories directly.
     pub fn recommend_with_stats_progress(
         &self,
-        optimizer: &WhatIfOptimizer,
+        optimizer: &dyn WhatIfBackend,
         w: &Workload,
         candidates: &CandidateSet,
         constraints: &ConstraintSet,
@@ -115,7 +115,7 @@ impl IlpAdvisor {
     /// Enumerate + prune atomic configurations for one prepared query.
     fn enumerate_query(
         &self,
-        optimizer: &WhatIfOptimizer,
+        optimizer: &dyn WhatIfBackend,
         pq: &PreparedQuery,
         candidates: &CandidateSet,
         stats: &mut IlpStats,
@@ -200,7 +200,7 @@ impl IlpAdvisor {
     /// usable iff all members are selected — exactly `y_{q,A} ≤ z_a`.
     fn build_block(
         &self,
-        optimizer: &WhatIfOptimizer,
+        optimizer: &dyn WhatIfBackend,
         prepared: &PreparedWorkload,
         candidates: &CandidateSet,
         constraints: &ConstraintSet,
@@ -257,7 +257,7 @@ impl Advisor for IlpAdvisor {
 
     fn recommend(
         &self,
-        optimizer: &WhatIfOptimizer,
+        optimizer: &dyn WhatIfBackend,
         w: &Workload,
         constraints: &ConstraintSet,
     ) -> Configuration {
@@ -267,7 +267,7 @@ impl Advisor for IlpAdvisor {
 
     fn recommend_with_progress(
         &self,
-        optimizer: &WhatIfOptimizer,
+        optimizer: &dyn WhatIfBackend,
         w: &Workload,
         constraints: &ConstraintSet,
         on_progress: &mut dyn FnMut(&SolveProgress),
@@ -282,7 +282,7 @@ mod tests {
     use super::*;
     use cophy::{CoPhy, CoPhyOptions};
     use cophy_catalog::TpchGen;
-    use cophy_optimizer::SystemProfile;
+    use cophy_optimizer::{SystemProfile, WhatIfOptimizer};
     use cophy_workload::HomGen;
 
     fn setup(n: usize) -> (WhatIfOptimizer, Workload) {

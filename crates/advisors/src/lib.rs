@@ -28,7 +28,7 @@ pub mod tool_b;
 
 use cophy::{ConstraintSet, SolveProgress};
 use cophy_catalog::Configuration;
-use cophy_optimizer::WhatIfOptimizer;
+use cophy_optimizer::WhatIfBackend;
 use cophy_workload::Workload;
 
 pub use ilp::IlpAdvisor;
@@ -43,7 +43,7 @@ pub trait Advisor {
     /// Recommend a configuration for `w` under `constraints`.
     fn recommend(
         &self,
-        optimizer: &WhatIfOptimizer,
+        optimizer: &dyn WhatIfBackend,
         w: &Workload,
         constraints: &ConstraintSet,
     ) -> Configuration;
@@ -59,7 +59,7 @@ pub trait Advisor {
     /// nothing.
     fn recommend_with_progress(
         &self,
-        optimizer: &WhatIfOptimizer,
+        optimizer: &dyn WhatIfBackend,
         w: &Workload,
         constraints: &ConstraintSet,
         on_progress: &mut dyn FnMut(&SolveProgress),

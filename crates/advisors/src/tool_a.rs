@@ -17,7 +17,7 @@ use std::time::Instant;
 
 use cophy::{ConstraintSet, SolveProgress};
 use cophy_catalog::{Configuration, Index, Schema};
-use cophy_optimizer::WhatIfOptimizer;
+use cophy_optimizer::WhatIfBackend;
 use cophy_workload::Workload;
 
 use crate::Advisor;
@@ -82,7 +82,7 @@ impl Default for ToolA {
 
 impl ToolA {
     /// Workload cost by direct what-if optimization (the expensive part).
-    fn direct_cost(&self, o: &WhatIfOptimizer, w: &Workload, cfg: &Configuration) -> f64 {
+    fn direct_cost(&self, o: &dyn WhatIfBackend, w: &Workload, cfg: &Configuration) -> f64 {
         match self.eval_cap {
             None => o.cost_workload(w, cfg),
             Some(cap) => {
@@ -169,7 +169,7 @@ impl Advisor for ToolA {
 
     fn recommend(
         &self,
-        optimizer: &WhatIfOptimizer,
+        optimizer: &dyn WhatIfBackend,
         w: &Workload,
         constraints: &ConstraintSet,
     ) -> Configuration {
@@ -178,7 +178,7 @@ impl Advisor for ToolA {
 
     fn recommend_with_progress(
         &self,
-        optimizer: &WhatIfOptimizer,
+        optimizer: &dyn WhatIfBackend,
         w: &Workload,
         constraints: &ConstraintSet,
         on_progress: &mut dyn FnMut(&SolveProgress),
@@ -238,7 +238,7 @@ impl Advisor for ToolA {
 mod tests {
     use super::*;
     use cophy_catalog::TpchGen;
-    use cophy_optimizer::SystemProfile;
+    use cophy_optimizer::{SystemProfile, WhatIfOptimizer};
     use cophy_workload::HomGen;
 
     #[test]

@@ -20,7 +20,7 @@ use rand::SeedableRng;
 
 use cophy::{CGen, ConstraintSet, SolveProgress};
 use cophy_catalog::{Configuration, Index};
-use cophy_optimizer::WhatIfOptimizer;
+use cophy_optimizer::WhatIfBackend;
 use cophy_workload::Workload;
 
 use crate::tool_a::BlackboxStream;
@@ -68,7 +68,7 @@ impl ToolB {
     /// Benefit of one index on the compressed workload, by what-if calls.
     fn benefit(
         &self,
-        o: &WhatIfOptimizer,
+        o: &dyn WhatIfBackend,
         sample: &Workload,
         base: &Configuration,
         base_cost: f64,
@@ -87,7 +87,7 @@ impl Advisor for ToolB {
 
     fn recommend(
         &self,
-        optimizer: &WhatIfOptimizer,
+        optimizer: &dyn WhatIfBackend,
         w: &Workload,
         constraints: &ConstraintSet,
     ) -> Configuration {
@@ -96,7 +96,7 @@ impl Advisor for ToolB {
 
     fn recommend_with_progress(
         &self,
-        optimizer: &WhatIfOptimizer,
+        optimizer: &dyn WhatIfBackend,
         w: &Workload,
         constraints: &ConstraintSet,
         on_progress: &mut dyn FnMut(&SolveProgress),
@@ -172,7 +172,7 @@ impl Advisor for ToolB {
 mod tests {
     use super::*;
     use cophy_catalog::TpchGen;
-    use cophy_optimizer::SystemProfile;
+    use cophy_optimizer::{SystemProfile, WhatIfOptimizer};
     use cophy_workload::{HetGen, HomGen};
 
     #[test]

@@ -304,7 +304,9 @@ impl PseudoCosts {
 /// model — the `ResolveContext` of the paper's §4.2 re-optimization loop:
 ///
 /// * the **root LP basis** of the previous solve, re-used by the dual
-///   simplex after RHS or bound deltas (both leave it dual feasible);
+///   simplex after RHS or bound deltas (both leave it dual feasible) and
+///   *extended* after row appends (each new row's slack enters as basic,
+///   which keeps the old duals — and dual feasibility — intact);
 /// * the **last incumbent**, offered (after repair against the mutated
 ///   rows and clamped to the current fixings) as the next solve's seed;
 /// * the accumulated **pseudo-cost table**, so branching stays informed
@@ -312,8 +314,8 @@ impl PseudoCosts {
 ///
 /// Obtain one with [`ResolveContext::new`] and thread it through
 /// [`BranchBound::resolve_with_progress`]; the context invalidates its own
-/// basis when the model's structure version moved (row added/relaxed) and
-/// pays one cold root LP in that case.
+/// basis when the model's structure version moved (row relaxed) and pays
+/// one cold root LP in that case.
 #[derive(Debug, Default)]
 pub struct ResolveContext {
     basis: Option<Arc<Basis>>,
@@ -322,6 +324,10 @@ pub struct ResolveContext {
     /// `DeltaModel::structure_version` the basis was snapshotted under.
     version: u64,
     n_vars: usize,
+    /// Constraint count the basis was snapshotted under; a larger current
+    /// count with the version unmoved means rows were appended, so the
+    /// basis is extended rather than dropped.
+    n_rows: usize,
     resolves: usize,
 }
 
@@ -420,9 +426,10 @@ impl BranchBound {
     /// nor bounds enter the reduced costs), the previous incumbent is
     /// clamped to the current fixings, repaired against the mutated rows and
     /// offered as the seed, and branching continues from the accumulated
-    /// pseudo-cost table.  Structure deltas (`AddRow`/`RelaxRow`) drop the
-    /// basis — that re-solve pays one cold root LP — while seed and
-    /// pseudo-costs survive.
+    /// pseudo-cost table.  Row additions (`AddRow`) *extend* the basis —
+    /// each appended row's slack enters as basic, so the dual simplex only
+    /// repairs the new rows' violations — while `RelaxRow` drops it (that
+    /// re-solve pays one cold root LP); seed and pseudo-costs survive both.
     pub fn resolve(
         &self,
         dm: &DeltaModel,
@@ -443,8 +450,19 @@ impl BranchBound {
     ) -> MipResult {
         let model = dm.model();
         let n = model.n_vars();
+        let n_rows = model.n_constraints();
         let (lo, hi) = dm.bounds();
-        let basis_fits = ctx.version == dm.structure_version() && ctx.n_vars == n;
+        let structure_ok = ctx.version == dm.structure_version() && ctx.n_vars == n;
+        if structure_ok && n_rows > ctx.n_rows {
+            // Rows were appended since the snapshot (`AddRow` keeps the
+            // version): extend the basis in place — the new rows' slacks
+            // (pinned artificials for equalities) enter as basic, so the
+            // dual-simplex root stays warm and only repairs the violations
+            // the new rows introduce.
+            ctx.basis = ctx.basis.take().and_then(|b| b.extended_to(model).map(Arc::new));
+            ctx.n_rows = n_rows;
+        }
+        let basis_fits = structure_ok && ctx.n_rows == n_rows;
         let basis = if basis_fits { ctx.basis.clone() } else { None };
         // Seed from the previous incumbent, clamped into the current pin/ban
         // box so the repair starts from a bound-respecting point.
@@ -468,6 +486,7 @@ impl BranchBound {
         }
         ctx.version = dm.structure_version();
         ctx.n_vars = n;
+        ctx.n_rows = n_rows;
         if !result.x.is_empty() {
             ctx.incumbent = Some(result.x.clone());
         }
@@ -1552,7 +1571,7 @@ mod tests {
     }
 
     #[test]
-    fn row_deltas_invalidate_the_basis_but_still_solve() {
+    fn row_deltas_resolve_correctly_across_add_and_relax() {
         use crate::delta::{DeltaModel, ModelDelta};
         let (m, _) = resolve_knapsack(13, 8, 18.0);
         let mut dm = DeltaModel::new(m);
@@ -1561,7 +1580,8 @@ mod tests {
         let r0 = BranchBound::new().resolve(&dm, &opts, &mut ctx);
         assert_eq!(r0.status, MipStatus::Optimal);
 
-        // Cardinality row: at most 1 variable set.
+        // Cardinality row: at most 1 variable set.  An appended row keeps
+        // the warm basis (its slack enters as basic).
         let mut card = LinExpr::new();
         for j in 0..8 {
             card.add(crate::VarId(j as u32), 1.0);
@@ -1569,14 +1589,62 @@ mod tests {
         let row = dm
             .apply(ModelDelta::AddRow { expr: card, sense: Sense::Le, rhs: 1.0 })
             .expect("row id");
+        assert!(ctx.has_basis(), "the r0 root basis is available for extension");
         let r1 = BranchBound::new().resolve(&dm, &opts, &mut ctx);
         assert_eq!(r1.status, MipStatus::Optimal);
         assert!(r1.x.iter().sum::<f64>() <= 1.0 + 1e-9, "added row must bind");
         assert!(r1.objective >= r0.objective - 1e-9);
 
+        // Relaxing a row rewrites its columns in place: basis dropped, the
+        // re-solve pays a cold root but must still restore the r0 optimum.
         dm.apply(ModelDelta::RelaxRow { row });
         let r2 = BranchBound::new().resolve(&dm, &opts, &mut ctx);
         assert!((r2.objective - r0.objective).abs() < 1e-6, "relaxing the row restores r0");
+    }
+
+    #[test]
+    fn row_additions_resolve_warm_from_the_extended_basis() {
+        use crate::delta::{DeltaModel, ModelDelta};
+        let (m, _) = resolve_knapsack(21, 14, 30.0);
+        let mut dm = DeltaModel::new(m.clone());
+        let mut ctx = ResolveContext::new();
+        let opts = SolveOptions::default();
+        let r0 = BranchBound::new().resolve(&dm, &opts, &mut ctx);
+        assert_eq!(r0.status, MipStatus::Optimal);
+
+        // Append a sequence of tightening cardinality rows; every warm
+        // re-solve must match its cold counterpart and, summed over the
+        // sweep, not pivot more (the whole point of extending the basis
+        // instead of paying cold roots).
+        let mut warm_pivots = 0usize;
+        let mut cold_pivots = 0usize;
+        let mut cold_model = m;
+        for cap in [6.0, 4.0, 2.0] {
+            let mut card = LinExpr::new();
+            for j in 0..14 {
+                card.add(crate::VarId(j as u32), 1.0);
+            }
+            dm.apply(ModelDelta::AddRow { expr: card.clone(), sense: Sense::Le, rhs: cap });
+            assert!(ctx.has_basis(), "appended rows must not drop the warm basis");
+            let warm = BranchBound::new().resolve(&dm, &opts, &mut ctx);
+            cold_model.add_constraint(card, Sense::Le, cap);
+            let cold = BranchBound::new().solve(&cold_model, &opts);
+            assert_eq!(warm.status, cold.status, "cap {cap}");
+            assert!(
+                (warm.objective - cold.objective).abs() < 1e-6,
+                "cap {cap}: warm {} vs cold {}",
+                warm.objective,
+                cold.objective
+            );
+            assert!(cold_model.feasible(&warm.x, 1e-6), "cap {cap}");
+            warm_pivots += warm.pivots;
+            cold_pivots += cold.pivots;
+        }
+        assert!(
+            warm_pivots <= cold_pivots,
+            "warm row-addition re-solves must not pivot more than cold solves: {warm_pivots} \
+             vs {cold_pivots}"
+        );
     }
 
     #[test]

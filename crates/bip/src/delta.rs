@@ -14,8 +14,10 @@
 //!   (bound and RHS edits do: reduced costs depend on neither, so an optimal
 //!   basis stays **dual feasible** and the
 //!   [`DualSimplex`](crate::dual::DualSimplex) restores primal feasibility in
-//!   a handful of pivots) and which do not (row edits change the column
-//!   structure, so the next re-solve pays one cold root LP).
+//!   a handful of pivots; row *additions* do too — the new row's slack
+//!   enters as basic, extending the basis without touching the old duals)
+//!   and which do not (relaxing a row rewrites its columns in place, so the
+//!   next re-solve pays one cold root LP).
 //!
 //! The companion state — final root basis, last incumbent, pseudo-cost
 //! table — lives in [`ResolveContext`](crate::branch_bound::ResolveContext)
@@ -37,8 +39,11 @@ pub enum ModelDelta {
     /// Remove a variable's fixing, restoring `[0, 1]`.
     FreeVar { var: VarId },
     /// Append a constraint row (e.g. materializing a soft constraint as a
-    /// hard row).  Invalidates the warm-start basis (the standard-form
-    /// column space grows).
+    /// hard row).  Keeps the warm-start basis: the appended row's slack (its
+    /// pinned artificial for an equality) enters as basic, which leaves the
+    /// old rows' duals — and with them every reduced cost — untouched, so
+    /// the dual simplex only repairs the new row's primal violation instead
+    /// of paying a cold root.
     AddRow { expr: LinExpr, sense: Sense, rhs: f64 },
     /// Neutralize an existing row in place (`0 {≤,=,≥} 0`), dropping it
     /// from the feasible-region description without renumbering
@@ -73,10 +78,13 @@ impl DeltaModel {
         &self.fixed
     }
 
-    /// Bumped by every structure-changing delta ([`ModelDelta::AddRow`],
-    /// [`ModelDelta::RelaxRow`]); RHS and bound edits leave it unchanged.
-    /// A basis snapshot is only reusable while the version it was taken
-    /// under still matches.
+    /// Bumped by every basis-destroying structure delta — today only
+    /// [`ModelDelta::RelaxRow`], which rewrites an existing row's columns in
+    /// place.  RHS and bound edits leave it unchanged, and so does
+    /// [`ModelDelta::AddRow`]: an appended row extends the old basis (its
+    /// slack enters as basic) rather than invalidating it, so warm-start
+    /// consumers pair this version with the row count to decide between
+    /// reuse, extension and a cold root.
     pub fn structure_version(&self) -> u64 {
         self.structure_version
     }
@@ -112,7 +120,9 @@ impl DeltaModel {
                 None
             }
             ModelDelta::AddRow { expr, sense, rhs } => {
-                self.structure_version += 1;
+                // Deliberately no version bump: row appends are
+                // basis-extending, not basis-destroying (see
+                // `structure_version`).
                 Some(self.model.add_constraint(expr, sense, rhs))
             }
             ModelDelta::RelaxRow { row } => {
@@ -166,7 +176,7 @@ mod tests {
     }
 
     #[test]
-    fn row_edits_bump_structure_version_and_keep_ids_stable() {
+    fn row_edits_version_correctly_and_keep_ids_stable() {
         let (m, row) = knapsack();
         let mut dm = DeltaModel::new(m);
         let added = dm
@@ -176,10 +186,10 @@ mod tests {
                 rhs: 1.0,
             })
             .expect("AddRow returns the new row id");
-        assert_eq!(dm.structure_version(), 1);
+        assert_eq!(dm.structure_version(), 0, "row appends extend the basis, no version bump");
         assert_eq!(dm.model().n_constraints(), 2);
         dm.apply(ModelDelta::RelaxRow { row: added });
-        assert_eq!(dm.structure_version(), 2);
+        assert_eq!(dm.structure_version(), 1, "relaxing a row destroys the basis");
         // Ids stay stable: the original row is untouched, the relaxed row is
         // trivially satisfied by every point.
         assert_eq!(dm.model().constraint(row).rhs, 9.0);

@@ -148,6 +148,89 @@ impl BlockProblem {
             .map(|s| s.choices.len())
             .sum()
     }
+
+    /// Fold pin/ban fixings into the block form, keeping item ids (and thus
+    /// warm-start μ coordinates) stable.  A pinned item's γ choices become
+    /// unconditional — each slot's fallback drops to `min(fallback, γ)` — its
+    /// maintenance cost moves into [`FixedBlockProblem::pinned_cost`], and its
+    /// size is charged against the budget up front.  A banned item's choices
+    /// are stripped.  Either way the item's own cost and size collapse to
+    /// zero, so whatever the solver decides about it is objective-neutral and
+    /// overwritten by [`FixedBlockProblem::apply_to_selection`].
+    ///
+    /// Returns `None` when the pinned sizes alone overflow the budget.
+    pub fn with_fixings(&self, fixed: &[Option<bool>]) -> Option<FixedBlockProblem> {
+        debug_assert_eq!(fixed.len(), self.n_items);
+        let mut p = self.clone();
+        let mut pinned_cost = 0.0f64;
+        let mut pinned_size = 0.0f64;
+        for (a, fix) in fixed.iter().enumerate().take(self.n_items) {
+            match fix {
+                Some(true) => {
+                    pinned_cost += p.item_cost[a];
+                    pinned_size += p.item_size[a];
+                    p.item_cost[a] = 0.0;
+                    p.item_size[a] = 0.0;
+                }
+                Some(false) => {
+                    p.item_cost[a] = 0.0;
+                    p.item_size[a] = 0.0;
+                }
+                None => {}
+            }
+        }
+        if let Some(b) = p.budget.as_mut() {
+            *b -= pinned_size;
+            if *b < -1e-9 {
+                return None;
+            }
+            *b = b.max(0.0);
+        }
+        for block in &mut p.blocks {
+            for alt in &mut block.alts {
+                for slot in &mut alt.slots {
+                    let mut fb = slot.fallback;
+                    slot.choices.retain(|&(item, g)| match fixed[item as usize] {
+                        Some(true) => {
+                            if fb.is_none_or(|c| g < c) {
+                                fb = Some(g);
+                            }
+                            false
+                        }
+                        Some(false) => false,
+                        None => true,
+                    });
+                    slot.fallback = fb;
+                }
+            }
+        }
+        Some(FixedBlockProblem { problem: p, pinned_cost, fixed: fixed.to_vec() })
+    }
+}
+
+/// A [`BlockProblem`] with pin/ban fixings folded in — the Lagrangian-path
+/// equivalent of the interactive BIP's variable bounds.  Solve
+/// [`FixedBlockProblem::problem`] with any warm state from the unfixed chain
+/// (coordinates are stable), then add [`FixedBlockProblem::pinned_cost`] to
+/// the objective and bound and force the fixed decisions back onto the
+/// selection.
+#[derive(Debug, Clone)]
+pub struct FixedBlockProblem {
+    pub problem: BlockProblem,
+    /// `Σ item_cost` over pinned items — constant part of any solution.
+    pub pinned_cost: f64,
+    fixed: Vec<Option<bool>>,
+}
+
+impl FixedBlockProblem {
+    /// Overwrite the fixed coordinates of a reduced-problem selection.
+    pub fn apply_to_selection(&self, sel: &mut [bool]) {
+        for (a, fx) in self.fixed.iter().enumerate() {
+            if let Some(v) = *fx {
+                sel[a] = v;
+            }
+        }
+    }
 }
 
 /// Warm-start state carried between solves (interactive tuning, Pareto
@@ -762,6 +845,73 @@ mod tests {
         let all = vec![true; 6];
         let best_possible = p.evaluate(&all).unwrap();
         assert!(r.objective <= best_possible + 1e-6);
+    }
+
+    #[test]
+    fn fixings_fold_exactly_into_the_block_form() {
+        for seed in 0..6u64 {
+            let p = random_problem(300 + seed, 8, 10);
+            let mut fixed = vec![None; 8];
+            fixed[0] = Some(true);
+            fixed[1] = Some(false);
+            let Some(fx) = p.with_fixings(&fixed) else {
+                continue; // pinned item alone overflows this seed's budget
+            };
+            // Budget bookkeeping: pinned size is pre-charged.
+            assert!(
+                (fx.problem.budget.unwrap() - (p.budget.unwrap() - p.item_size[0]).max(0.0)).abs()
+                    < 1e-9
+            );
+            assert_eq!(fx.problem.item_size[0], 0.0);
+            assert_eq!(fx.problem.item_cost[1], 0.0);
+            // Any selection respecting the fixings costs the same in the
+            // reduced problem (plus the pinned constant) as in the original.
+            let mut rng = SmallRng::seed_from_u64(seed);
+            for _ in 0..50 {
+                let mut sel: Vec<bool> = (0..8).map(|_| rng.gen_bool(0.5)).collect();
+                fx.apply_to_selection(&mut sel);
+                assert!(sel[0] && !sel[1]);
+                let orig = p.evaluate(&sel);
+                let reduced = fx.problem.evaluate(&sel).map(|v| v + fx.pinned_cost);
+                match (orig, reduced) {
+                    (Some(a), Some(b)) => assert!((a - b).abs() < 1e-6, "{a} vs {b}"),
+                    (a, b) => assert_eq!(a.is_some(), b.is_some()),
+                }
+            }
+            // Solving the reduced problem yields the fixed-optimal objective.
+            let (r, _) = LagrangianSolver::new().solve_warm(&fx.problem, None);
+            let mut sel = r.selected.clone();
+            fx.apply_to_selection(&mut sel);
+            let restricted_opt = {
+                let mut best = f64::INFINITY;
+                for mask in 0..(1u32 << 8) {
+                    let s: Vec<bool> = (0..8).map(|a| mask >> a & 1 == 1).collect();
+                    if !s[0] || s[1] || !p.fits_budget(&s) {
+                        continue;
+                    }
+                    if let Some(obj) = p.evaluate(&s) {
+                        best = best.min(obj);
+                    }
+                }
+                best
+            };
+            let achieved = p.evaluate(&sel).expect("fixed selection evaluates");
+            assert!(p.fits_budget(&sel));
+            assert!(
+                achieved >= restricted_opt - 1e-6,
+                "seed {seed}: {achieved} below restricted optimum {restricted_opt}?!"
+            );
+            assert!((achieved - (r.objective + fx.pinned_cost)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn infeasible_pins_are_reported() {
+        let mut p = random_problem(17, 5, 5);
+        p.budget = Some(0.5);
+        let fixed = vec![Some(true), None, None, None, None];
+        assert!(p.item_size[0] > 0.5);
+        assert!(p.with_fixings(&fixed).is_none());
     }
 
     #[test]

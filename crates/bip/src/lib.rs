@@ -24,7 +24,9 @@
 //!   Figure 3): per-query minimum subproblems + an LP-knapsack coupling
 //!   subproblem, driven by subgradient ascent, with warm-startable
 //!   multipliers for fast re-solves;
-//! * [`knapsack`] — continuous/0-1 knapsack helpers shared by the above.
+//! * [`knapsack`] — continuous/0-1 knapsack helpers shared by the above;
+//! * [`mps`] — free-format MPS export/import of a [`Model`], the portable
+//!   hand-off to (and cross-check against) external solvers.
 //!
 //! * [`driver`] — the shared **anytime solve engine**: one [`SolveBudget`]
 //!   (gap / wall-clock / node limits), a [`SolveDriver`] owning the
@@ -47,6 +49,7 @@ pub mod dual;
 pub mod knapsack;
 pub mod lagrangian;
 pub mod model;
+pub mod mps;
 pub mod simplex;
 
 pub use branch_bound::{BranchBound, MipResult, ResolveContext, SolveOptions};
@@ -56,7 +59,9 @@ pub use driver::{
 };
 pub use dual::DualSimplex;
 pub use lagrangian::{
-    Alt, Block, BlockProblem, LagrangeResult, LagrangianSolver, SlotChoices, WarmStart,
+    Alt, Block, BlockProblem, FixedBlockProblem, LagrangeResult, LagrangianSolver, SlotChoices,
+    WarmStart,
 };
 pub use model::{ConstrId, LinExpr, Model, Sense, VarId};
+pub use mps::{lint_mps, parse_mps, write_mps};
 pub use simplex::{Basis, LpResult, LpStatus, SimplexSolver};

@@ -1,0 +1,28 @@
+NAME          cophy_small
+* x0 = z[ix_lineitem(l_sk,l_qty)]
+* x1 = z[ix_orders(o_odate)]
+* x2 = y[q0,k0]
+ROWS
+ N  COST
+ L  c0
+ L  c1
+ E  c2
+COLUMNS
+    MARK0000  'MARKER'                 'INTORG'
+    x0  COST  4.25
+    x0  c0  320
+    x0  c1  -1
+    x1  COST  0.5
+    x1  c0  144
+    x2  COST  -10
+    x2  c1  1
+    x2  c2  1
+    MARK0001  'MARKER'                 'INTEND'
+RHS
+    RHS  c0  400
+    RHS  c2  1
+BOUNDS
+ BV BND  x0
+ BV BND  x1
+ BV BND  x2
+ENDATA

@@ -39,6 +39,53 @@
 //! | Solver          | [`solver::Solver`] (Lagrangian `relax(B)` + B&B backends) |
 //! | soft constraints| [`soft::ChordExplorer`] (Pareto frontier via the Chord algorithm) |
 //! | interactive     | [`session::TuningSession`] (warm-started deltas) |
+//!
+//! ## Backends & portability
+//!
+//! The paper's portability claim — CoPhy works against *any* DBMS that can
+//! answer what-if questions — is a trait seam here: every layer above the
+//! optimizer (INUM, `CoPhy`, [`TuningSession`], the baseline advisors) sees
+//! only [`WhatIfBackend`].  The contract is three accessors (`schema`,
+//! `profile`, `cost_model`), one probe (`probe(query, configuration) →
+//! ProbeAnswer`: total cost, internal cost, per-table leaf column
+//! requirements), and call accounting (`what_if_calls`,
+//! `reset_call_counter`); everything else (statement costing, update
+//! pricing, workload totals) is derived analytically in provided methods so
+//! update semantics stay identical across backends.  Three implementations
+//! ship:
+//!
+//! * [`cophy_optimizer::WhatIfOptimizer`] — the live analytic optimizer;
+//! * [`cophy_optimizer::TraceRecorder`] / [`cophy_optimizer::TraceReplay`] —
+//!   record a tune's probe answers to text, then replay them bit-identically
+//!   with zero optimizer work (the CI backend-swap smoke);
+//! * [`cophy_optimizer::NoisyBackend`] — deterministic calibrated noise on
+//!   top of any inner backend, for robustness studies.
+//!
+//! Wiring a custom backend into a session is just passing the trait object:
+//!
+//! ```
+//! use cophy::{CoPhy, CoPhyOptions, ConstraintSet};
+//! use cophy_catalog::TpchGen;
+//! use cophy_optimizer::{NoisyBackend, SystemProfile, WhatIfBackend, WhatIfOptimizer};
+//! use cophy_workload::HomGen;
+//!
+//! let live = WhatIfOptimizer::new(TpchGen::default().schema(), SystemProfile::A);
+//! // Any `WhatIfBackend` drives the whole stack — here the noise wrapper.
+//! let backend = NoisyBackend::new(&live, 0.05, 7);
+//! let w = HomGen::new(1).generate(backend.schema(), 8);
+//! let cophy = CoPhy::new(&backend, CoPhyOptions::default());
+//! let mut session = cophy.session(&w, ConstraintSet::storage_fraction(backend.schema(), 0.5));
+//! let rec = session.recommend();
+//! assert!(rec.objective <= rec.baseline_cost + 1e-6);
+//! // The same model is exportable for external solvers:
+//! let mps = session.export_mps();
+//! assert!(cophy_bip::lint_mps(&mps).is_ok());
+//! ```
+//!
+//! Sessions over the same workload can also share one INUM cost service:
+//! [`CoPhy::try_session_shared`] accepts the [`cophy_inum::InumCache`]
+//! handle of an existing session ([`TuningSession::cache`]), so concurrent
+//! readers reuse every cached plan instead of re-probing the backend.
 
 pub mod bipgen;
 pub mod cgen;
@@ -57,6 +104,14 @@ pub use solver::{CoPhy, CoPhyOptions, Recommendation, SolveStats, SolverBackend}
 // The shared anytime solve engine's budget/progress vocabulary, re-exported
 // so advisor-level callers need not depend on `cophy_bip` directly.
 pub use cophy_bip::{SolveBudget, SolveProgress};
+
+// The backend seam's vocabulary (see "Backends & portability" above),
+// re-exported so custom-backend authors and cache-sharing callers need not
+// depend on `cophy_optimizer`/`cophy_inum` directly.
+pub use cophy_inum::InumCache;
+pub use cophy_optimizer::{
+    NoisyBackend, ProbeAnswer, ProbeLeaf, TraceRecorder, TraceReplay, WhatIfBackend,
+};
 
 // The workload-compression subsystem's vocabulary, re-exported so callers
 // can set `CoPhyOptions::compression` and read `Recommendation::compression`

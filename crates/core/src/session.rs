@@ -30,6 +30,7 @@
 //!
 //! Every solve streams through the unified [`SolveProgress`] contract.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use cophy_bip::{
@@ -38,7 +39,7 @@ use cophy_bip::{
 };
 use cophy_catalog::{Configuration, Index};
 use cophy_compress::{Absorption, CompressedWorkload};
-use cophy_inum::{Inum, PreparedWorkload};
+use cophy_inum::{Inum, InumCache};
 use cophy_workload::{QueryId, Workload};
 
 use crate::bipgen::BipMapping;
@@ -101,15 +102,17 @@ struct InteractiveState {
     /// `Σ_q f_q c_q`, the fixed update-base cost outside the model.
     fixed_cost: f64,
     ctx: ResolveContext,
-    /// Model-build time, reported in the next recommendation's stats.
-    build_time: Duration,
 }
 
 /// An open tuning session.
 #[derive(Debug)]
 pub struct TuningSession<'o, 'c> {
     cophy: &'c CoPhy<'o>,
-    prepared: PreparedWorkload,
+    /// The shared INUM cost service.  Sessions do not own the template
+    /// cache: [`TuningSession::cache`] hands the `Arc` out, and
+    /// [`crate::CoPhy::try_session_shared`] opens further sessions over it —
+    /// concurrent readers, writes serialized on the statement-delta path.
+    prepared: Arc<InumCache>,
     candidates: CandidateSet,
     constraints: ConstraintSet,
     warm: Option<WarmStart>,
@@ -165,7 +168,7 @@ impl<'o, 'c> TuningSession<'o, 'c> {
         };
         Ok(TuningSession {
             cophy,
-            prepared,
+            prepared: InumCache::new(prepared),
             candidates,
             constraints,
             warm: None,
@@ -177,6 +180,44 @@ impl<'o, 'c> TuningSession<'o, 'c> {
         })
     }
 
+    /// Open a session over an **existing** shared INUM cache: zero CGen and
+    /// zero INUM work — the expensive preparation is reused, and statement
+    /// deltas made through any session over the cache are visible to all of
+    /// them.  The caller supplies the candidate set (typically cloned from
+    /// the session that built the cache).  Backs
+    /// [`crate::CoPhy::try_session_shared`].
+    pub(crate) fn try_open_shared(
+        cophy: &'c CoPhy<'o>,
+        cache: Arc<InumCache>,
+        candidates: CandidateSet,
+        constraints: ConstraintSet,
+    ) -> Result<Self, String> {
+        if !constraints.is_storage_only() {
+            return Err(
+                "interactive sessions use the Lagrangian backend (storage-only constraints)".into(),
+            );
+        }
+        Ok(TuningSession {
+            cophy,
+            prepared: cache,
+            candidates,
+            constraints,
+            warm: None,
+            compressed: None,
+            interactive: None,
+            fixings: Vec::new(),
+            what_if_calls: 0,
+            inum_time: Duration::ZERO,
+        })
+    }
+
+    /// The session's shared INUM cache handle.  Clones are cheap; pass one
+    /// to [`crate::CoPhy::try_session_shared`] to open further sessions (or
+    /// ad-hoc readers) over the same prepared workload.
+    pub fn cache(&self) -> Arc<InumCache> {
+        Arc::clone(&self.prepared)
+    }
+
     pub fn candidates(&self) -> &CandidateSet {
         &self.candidates
     }
@@ -184,13 +225,13 @@ impl<'o, 'c> TuningSession<'o, 'c> {
     /// Number of statements the session represents (original statements,
     /// not cluster representatives).
     pub fn n_statements(&self) -> usize {
-        self.compressed.as_ref().map_or(self.prepared.queries.len(), |c| c.n_original())
+        self.compressed.as_ref().map_or(self.prepared.len(), |c| c.n_original())
     }
 
     /// Number of INUM-prepared representatives (equals
     /// [`TuningSession::n_statements`] when compression is off).
     pub fn n_representatives(&self) -> usize {
-        self.prepared.queries.len()
+        self.prepared.len()
     }
 
     /// Add DBA-curated candidate indexes (`S_DBA`); ids of existing
@@ -234,36 +275,43 @@ impl<'o, 'c> TuningSession<'o, 'c> {
         let t0 = Instant::now();
         let schema = self.cophy.optimizer().schema();
         let inum = Inum::new(self.cophy.optimizer());
+        let cache = Arc::clone(&self.prepared);
         if let Some(cw) = self.compressed.as_mut() {
             // Only the cluster-opening statements are new to CGen.
             let mut novel = Workload::new();
-            for (_, stmt, weight) in w.iter() {
-                match cw.absorb(schema, stmt, weight) {
-                    Absorption::Merged(rep) => {
-                        self.prepared.queries[rep.0 as usize].weight += weight;
-                    }
-                    Absorption::NewRepresentative(rep) => {
-                        debug_assert_eq!(rep.0 as usize, self.prepared.queries.len());
-                        self.prepared.queries.push(inum.prepare_statement(rep, stmt, weight));
-                        novel.push_weighted(stmt.clone(), weight);
+            cache.write(|pw| {
+                for (_, stmt, weight) in w.iter() {
+                    match cw.absorb(schema, stmt, weight) {
+                        Absorption::Merged(rep) => {
+                            pw.queries[rep.0 as usize].weight += weight;
+                        }
+                        Absorption::NewRepresentative(rep) => {
+                            debug_assert_eq!(rep.0 as usize, pw.queries.len());
+                            pw.queries.push(inum.prepare_statement(rep, stmt, weight));
+                            novel.push_weighted(stmt.clone(), weight);
+                        }
                     }
                 }
-            }
+            });
             if !novel.is_empty() {
                 let extra = self.cophy.options.cgen.generate(schema, &novel);
                 self.candidates.extend(schema, extra.iter().map(|(_, ix)| ix.clone()));
             }
         } else {
-            let offset = self.prepared.queries.len() as u32;
-            for (qid, stmt, weight) in w.iter() {
-                let mut pq = inum.prepare_statement(qid, stmt, weight);
-                pq.qid = QueryId(offset + qid.0);
-                self.prepared.queries.push(pq);
-            }
+            cache.write(|pw| {
+                let offset = pw.queries.len() as u32;
+                for (qid, stmt, weight) in w.iter() {
+                    let mut pq = inum.prepare_statement(qid, stmt, weight);
+                    pq.qid = QueryId(offset + qid.0);
+                    pw.queries.push(pq);
+                }
+            });
             let extra = self.cophy.options.cgen.generate(schema, w);
             self.candidates.extend(schema, extra.iter().map(|(_, ix)| ix.clone()));
         }
-        self.what_if_calls += self.cophy.optimizer().what_if_calls() - before;
+        let spent = self.cophy.optimizer().what_if_calls() - before;
+        cache.write(|pw| pw.what_if_calls += spent);
+        self.what_if_calls += spent;
         self.inum_time += t0.elapsed();
     }
 
@@ -273,31 +321,28 @@ impl<'o, 'c> TuningSession<'o, 'c> {
     /// the session's sticky pin/ban fixings to the fresh variable layout.
     fn interactive_state(&mut self) -> &mut InteractiveState {
         if self.interactive.is_none() {
-            let t0 = Instant::now();
             let schema = self.cophy.optimizer().schema();
             let cm = self.cophy.optimizer().cost_model();
-            let (model, mapping) = self.cophy.options.bipgen.model(
-                schema,
-                cm,
-                &self.prepared,
-                &self.candidates,
-                &self.constraints,
-            );
-            let fixed_cost =
-                self.prepared.queries.iter().map(|pq| pq.weight * pq.fixed_update_cost).sum();
+            let (model, mapping, fixed_cost) = self.prepared.read(|pw| {
+                let (model, mapping) = self.cophy.options.bipgen.model(
+                    schema,
+                    cm,
+                    pw,
+                    &self.candidates,
+                    &self.constraints,
+                );
+                let fixed_cost: f64 =
+                    pw.queries.iter().map(|pq| pq.weight * pq.fixed_update_cost).sum();
+                (model, mapping, fixed_cost)
+            });
             let mut dm = DeltaModel::new(model);
             for (ix, value) in &self.fixings {
                 if let Some(pos) = candidate_position(&self.candidates, ix) {
                     dm.apply(ModelDelta::FixVar { var: mapping.z[pos], value: *value });
                 }
             }
-            self.interactive = Some(InteractiveState {
-                dm,
-                mapping,
-                fixed_cost,
-                ctx: ResolveContext::new(),
-                build_time: t0.elapsed(),
-            });
+            self.interactive =
+                Some(InteractiveState { dm, mapping, fixed_cost, ctx: ResolveContext::new() });
         }
         self.interactive.as_mut().expect("just built")
     }
@@ -417,6 +462,17 @@ impl<'o, 'c> TuningSession<'o, 'c> {
         self.fixings.push((ix, value));
     }
 
+    /// Export the session's interactive Theorem-1 BIP as free-format MPS
+    /// text ([`cophy_bip::mps`]) — the portable hand-off for cross-checking
+    /// the built-in engines against an external solver.  The model is built
+    /// lazily, so the export reflects the current statements, candidates and
+    /// constraints (pin/ban fixings are variable bounds, not rows, and are
+    /// listed separately by [`TuningSession::fixings`]).
+    pub fn export_mps(&mut self) -> String {
+        let st = self.interactive_state();
+        cophy_bip::write_mps(st.dm.model(), "cophy_bip")
+    }
+
     /// Cost an explicit configuration against the session workload,
     /// **entirely from the INUM cache**: no optimizer what-if calls, no
     /// solver work — the paper's "what does this configuration cost?"
@@ -424,51 +480,29 @@ impl<'o, 'c> TuningSession<'o, 'c> {
     pub fn what_if(&self, cfg: &Configuration) -> WhatIfAnswer {
         let schema = self.cophy.optimizer().schema();
         let cm = self.cophy.optimizer().cost_model();
-        WhatIfAnswer {
-            cost: self.prepared.cost(schema, cm, cfg),
-            baseline_cost: self.prepared.cost(schema, cm, &Configuration::empty()),
+        self.prepared.read(|pw| WhatIfAnswer {
+            cost: pw.cost(schema, cm, cfg),
+            baseline_cost: pw.cost(schema, cm, &Configuration::empty()),
             size_bytes: cfg.size_bytes(schema),
             constraint_violation: self.constraints.check_configuration(schema, cfg).err(),
-        }
+        })
     }
 
-    /// Recommendation under active pin/ban fixings: the interactive BIP
-    /// (which carries the fixings as variable bounds) is re-solved warm.
-    fn recommend_interactive(
-        &mut self,
-        on_progress: &mut dyn FnMut(&SolveProgress),
-    ) -> Recommendation {
-        let schema = self.cophy.optimizer().schema();
-        let cm = self.cophy.optimizer().cost_model();
-        let budget = self.constraints.storage_budget();
-        let ts = Instant::now();
-        let r = self.interactive_solve(budget, None, on_progress);
-        let solve_time = ts.elapsed();
-        assert!(
-            r.status != MipStatus::Infeasible && !r.x.is_empty(),
-            "pinned indexes are infeasible under the session constraints"
-        );
-        let st = self.interactive.as_mut().expect("state live after a solve");
-        let build_time = std::mem::take(&mut st.build_time);
-        let configuration = st.mapping.extract_configuration(&r.x, &self.candidates);
-        let baseline_cost = self.prepared.cost(schema, cm, &Configuration::empty());
-        Recommendation {
-            configuration,
-            objective: r.objective + st.fixed_cost,
-            baseline_cost,
-            bound: r.bound + st.fixed_cost,
-            gap: r.gap,
-            trace: r.trace,
-            compression: self.compressed.as_ref().map(|c| c.summary()),
-            stats: SolveStats {
-                inum_time: std::mem::take(&mut self.inum_time),
-                build_time,
-                solve_time,
-                what_if_calls: std::mem::take(&mut self.what_if_calls),
-                n_candidates: self.candidates.len(),
-                n_variables: st.dm.model().n_vars(),
-            },
+    /// The per-candidate pin/ban vector, or `None` when no fixing touches a
+    /// known candidate (bans of never-proposed indexes hold vacuously).
+    fn fixing_vector(&self) -> Option<Vec<Option<bool>>> {
+        if self.fixings.is_empty() {
+            return None;
         }
+        let mut fixed = vec![None; self.candidates.len()];
+        let mut any = false;
+        for (ix, value) in &self.fixings {
+            if let Some(pos) = candidate_position(&self.candidates, ix) {
+                fixed[pos] = Some(*value);
+                any = true;
+            }
+        }
+        any.then_some(fixed)
     }
 
     /// Compute (or re-compute) the recommendation, warm-starting from the
@@ -486,37 +520,50 @@ impl<'o, 'c> TuningSession<'o, 'c> {
         &mut self,
         mut on_progress: impl FnMut(&SolveProgress),
     ) -> Recommendation {
-        if !self.fixings.is_empty() {
-            // Pin/ban fixings live as variable bounds of the interactive
-            // BIP; the Lagrangian block form cannot express them.
-            return self.recommend_interactive(&mut on_progress);
-        }
         let schema = self.cophy.optimizer().schema();
         let cm = self.cophy.optimizer().cost_model();
         let tb = Instant::now();
-        let tp = self.cophy.options.bipgen.block_problem(
-            schema,
-            cm,
-            &self.prepared,
-            &self.candidates,
-            &self.constraints,
-        );
+        let tp = self.prepared.read(|pw| {
+            self.cophy.options.bipgen.block_problem(
+                schema,
+                cm,
+                pw,
+                &self.candidates,
+                &self.constraints,
+            )
+        });
+        // Pin/ban fixings fold into the block form itself (fallback
+        // absorption + budget pre-charge) instead of detouring through the
+        // B&B backend: item ids stay stable, so the warm multiplier chain
+        // keeps flowing across fixed and unfixed recommends alike.
+        let reduction = self.fixing_vector().map(|fixed| {
+            tp.block
+                .with_fixings(&fixed)
+                .expect("pinned indexes are infeasible under the session constraints")
+        });
+        let block = reduction.as_ref().map_or(&tp.block, |fx| &fx.problem);
+        let pinned_cost = reduction.as_ref().map_or(0.0, |fx| fx.pinned_cost);
         let build_time = tb.elapsed();
 
         let ts = Instant::now();
         let solver = LagrangianSolver { budget: self.cophy.options.budget, ..Default::default() };
         let (r, warm) =
-            solver.solve_warm_with_progress(&tp.block, self.warm.as_ref(), |p, _| on_progress(p));
+            solver.solve_warm_with_progress(block, self.warm.as_ref(), |p, _| on_progress(p));
         let solve_time = ts.elapsed();
         self.warm = Some(warm);
 
-        let configuration = selection_to_config(&r.selected, &self.candidates);
-        let baseline_cost = self.prepared.cost(schema, cm, &cophy_catalog::Configuration::empty());
+        let mut selected = r.selected.clone();
+        if let Some(fx) = &reduction {
+            fx.apply_to_selection(&mut selected);
+        }
+        let configuration = selection_to_config(&selected, &self.candidates);
+        let baseline_cost =
+            self.prepared.read(|pw| pw.cost(schema, cm, &cophy_catalog::Configuration::empty()));
         Recommendation {
             configuration,
-            objective: r.objective + tp.fixed_cost,
+            objective: r.objective + pinned_cost + tp.fixed_cost,
             baseline_cost,
-            bound: r.bound + tp.fixed_cost,
+            bound: r.bound + pinned_cost + tp.fixed_cost,
             gap: r.gap,
             trace: r.trace,
             compression: self.compressed.as_ref().map(|c| c.summary()),
@@ -616,6 +663,46 @@ mod tests {
         // update-base cost is added on top of the solver objective).
         assert!(prev_inc <= r.objective + 1e-6);
         assert!((events.last().unwrap().gap - r.gap).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exported_mps_reimports_and_solves_to_the_native_objective() {
+        let o = setup();
+        let w = HomGen::new(38).generate(o.schema(), 5);
+        // Lean candidate grammar keeps the exact B&B cross-check fast.
+        let opts = CoPhyOptions {
+            cgen: crate::cgen::CGen { max_key_columns: 2, max_include_columns: 0 },
+            ..Default::default()
+        };
+        let cophy = CoPhy::new(&o, opts);
+        let mut session = cophy.session(&w, ConstraintSet::storage_fraction(o.schema(), 0.5));
+        let text = session.export_mps();
+        let (cols, rows) = cophy_bip::lint_mps(&text).expect("export passes the format lint");
+        assert!(rows > 0 && cols > 0, "the Theorem-1 BIP is non-trivial");
+
+        // The re-import is lossless: re-exporting it reproduces every
+        // non-comment line bit-for-bit (only the `* xj = name` comments
+        // differ — the parsed model carries the sanitized names), so solving
+        // the parsed model is solving exactly the model the text describes.
+        let imported = cophy_bip::parse_mps(&text).expect("export re-imports");
+        let payload =
+            |s: &str| s.lines().filter(|l| !l.starts_with('*')).collect::<Vec<_>>().join("\n");
+        assert_eq!(payload(&cophy_bip::write_mps(&imported, "cophy_bip")), payload(&text));
+
+        // The native in-memory BIP and its MPS round trip solve to the same
+        // objective within the engines' proven gap slack.
+        let st = session.interactive_state();
+        let solve_opts = SolveOptions::default();
+        let native = BranchBound::new().solve(st.dm.model(), &solve_opts);
+        let round = BranchBound::new().solve(&imported, &solve_opts);
+        assert_eq!(native.status, round.status);
+        let slack = (native.gap.max(round.gap) + 1e-9) * native.objective.abs().max(1.0);
+        assert!(
+            (native.objective - round.objective).abs() <= slack,
+            "native {} vs re-imported {} (slack {slack})",
+            native.objective,
+            round.objective
+        );
     }
 
     #[test]
@@ -827,6 +914,38 @@ mod tests {
             assert!(over.cost.is_finite());
         }
         assert_eq!(o.what_if_calls(), calls);
+    }
+
+    #[test]
+    fn sessions_share_one_inum_cache() {
+        let o = setup();
+        let w = HomGen::new(44).generate(o.schema(), 8);
+        let cophy = CoPhy::new(&o, CoPhyOptions::default());
+        let session = cophy.session(&w, ConstraintSet::storage_fraction(o.schema(), 0.5));
+        let cache = session.cache();
+        let calls = o.what_if_calls();
+        let mut twin = cophy
+            .try_session_shared(
+                Arc::clone(&cache),
+                session.candidates().clone(),
+                ConstraintSet::storage_fraction(o.schema(), 0.25),
+            )
+            .unwrap();
+        assert_eq!(o.what_if_calls(), calls, "a shared open must not re-prepare");
+        assert_eq!(twin.n_statements(), 8);
+        let a = session.what_if(&Configuration::empty());
+        let b = twin.what_if(&Configuration::empty());
+        assert_eq!(a.cost.to_bits(), b.cost.to_bits(), "one cache, one answer");
+
+        // Statement deltas through one session are visible through the other.
+        let more = HomGen::new(45).generate(o.schema(), 2);
+        twin.add_statements(&more);
+        assert_eq!(cache.len(), 10);
+        assert_eq!(session.n_representatives(), 10);
+        let a2 = session.what_if(&Configuration::empty());
+        assert!(a2.cost > a.cost, "grown workload must cost more");
+        let r = twin.recommend();
+        assert!(r.objective < r.baseline_cost);
     }
 
     #[test]

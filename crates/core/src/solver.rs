@@ -26,7 +26,7 @@ use cophy_bip::{
 use cophy_catalog::Configuration;
 use cophy_compress::{CompressedWorkload, CompressionPolicy, CompressionSummary};
 use cophy_inum::{Inum, PreparedWorkload};
-use cophy_optimizer::WhatIfOptimizer;
+use cophy_optimizer::WhatIfBackend;
 use cophy_workload::Workload;
 
 use crate::bipgen::{BipGen, BipMapping};
@@ -133,19 +133,21 @@ impl Recommendation {
     }
 }
 
-/// The CoPhy advisor.
+/// The CoPhy advisor — a thin layer over any [`WhatIfBackend`] (live
+/// optimizer, trace replay, noise wrapper, or a custom DBMS adapter).
 #[derive(Debug)]
 pub struct CoPhy<'o> {
-    opt: &'o WhatIfOptimizer,
+    opt: &'o dyn WhatIfBackend,
     pub options: CoPhyOptions,
 }
 
 impl<'o> CoPhy<'o> {
-    pub fn new(opt: &'o WhatIfOptimizer, options: CoPhyOptions) -> Self {
+    pub fn new(opt: &'o dyn WhatIfBackend, options: CoPhyOptions) -> Self {
         CoPhy { opt, options }
     }
 
-    pub fn optimizer(&self) -> &'o WhatIfOptimizer {
+    /// The what-if backend behind this advisor.
+    pub fn optimizer(&self) -> &'o dyn WhatIfBackend {
         self.opt
     }
 
@@ -455,6 +457,20 @@ impl<'o> CoPhy<'o> {
     ) -> Result<TuningSession<'o, '_>, String> {
         TuningSession::try_open(self, w, constraints)
     }
+
+    /// Open a session over an **existing** shared INUM cache
+    /// ([`TuningSession::cache`]): the advisor-as-a-service pattern where
+    /// many sessions answer `what_if` / `recommend` against one prepared
+    /// workload.  No CGen or INUM work is paid; `candidates` is typically
+    /// cloned from the session that built the cache.
+    pub fn try_session_shared(
+        &self,
+        cache: std::sync::Arc<cophy_inum::InumCache>,
+        candidates: CandidateSet,
+        constraints: ConstraintSet,
+    ) -> Result<TuningSession<'o, '_>, String> {
+        TuningSession::try_open_shared(self, cache, candidates, constraints)
+    }
 }
 
 /// Convert a Lagrangian selection vector into a configuration.
@@ -469,7 +485,7 @@ mod tests {
     use super::*;
     use crate::constraints::{Constraint, IndexFilter};
     use cophy_catalog::TpchGen;
-    use cophy_optimizer::SystemProfile;
+    use cophy_optimizer::{SystemProfile, WhatIfOptimizer};
     use cophy_workload::HomGen;
 
     fn advisor_setup(n: usize) -> (WhatIfOptimizer, Workload) {

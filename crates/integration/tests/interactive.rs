@@ -153,6 +153,26 @@ fn what_if_issues_zero_optimizer_calls() {
     assert!(ans.improvement() > 0.0);
 }
 
+/// The session's BIP exports as lintable, losslessly re-importable MPS —
+/// the portable hand-off to external solvers.
+#[test]
+fn session_exports_a_lintable_reimportable_mps_model() {
+    let o = optimizer();
+    let w = HomGen::new(91).generate(o.schema(), 6);
+    let cophy = CoPhy::new(&o, CoPhyOptions { cgen: lean_cgen(), ..Default::default() });
+    let mut session = cophy.session(&w, ConstraintSet::storage_fraction(o.schema(), 0.5));
+    let text = session.export_mps();
+    let (cols, rows) = cophy_bip::lint_mps(&text).expect("export passes the format lint");
+    let model = cophy_bip::parse_mps(&text).expect("export re-imports");
+    assert_eq!(model.n_constraints(), rows);
+    assert_eq!(model.n_vars(), cols);
+    // Lossless round trip, modulo the `* xj = name` comment lines (the
+    // parsed model carries the sanitized names).
+    let payload =
+        |s: &str| s.lines().filter(|l| !l.starts_with('*')).collect::<Vec<_>>().join("\n");
+    assert_eq!(payload(&cophy_bip::write_mps(&model, "cophy_bip")), payload(&text));
+}
+
 /// Sweep answers stream through the unified `SolveProgress` contract:
 /// per point, incumbents only improve and the proven gap never regresses.
 #[test]

@@ -26,6 +26,26 @@ fn quickstart_snippet_roundtrips() {
     assert!(constraints.check_configuration(optimizer.schema(), &rec.configuration).is_ok());
 }
 
+/// The "Backends & portability" README snippet, line for line: any
+/// `&dyn WhatIfBackend` drives a session end-to-end, and the session's BIP
+/// exports as lintable MPS.
+#[test]
+fn backends_snippet_roundtrips() {
+    use cophy::WhatIfBackend;
+
+    fn tune_with(backend: &dyn WhatIfBackend) {
+        let w = cophy_workload::HomGen::new(1).generate(backend.schema(), 8);
+        let cophy = CoPhy::new(backend, CoPhyOptions::default());
+        let mut session = cophy.session(&w, ConstraintSet::storage_fraction(backend.schema(), 0.5));
+        let rec = session.recommend();
+        println!("{} indexes, {} what-if calls", rec.configuration.len(), rec.stats.what_if_calls);
+        let mps = session.export_mps(); // hand the exact BIP to CPLEX/Gurobi/...
+        assert!(cophy_bip::lint_mps(&mps).is_ok());
+    }
+
+    tune_with(&WhatIfOptimizer::new(TpchGen::default().schema(), SystemProfile::A));
+}
+
 /// One symbol from each public crate of the workspace, so a broken
 /// manifest edge or module wiring fails this single test.
 #[test]

@@ -1,0 +1,106 @@
+//! Shared, concurrently readable INUM cache.
+//!
+//! The template cache is the expensive artifact of preparation (the what-if
+//! probe bill), and the advisor-as-a-service pattern wants it shared: many
+//! sessions answering `what_if` / `recommend` against one prepared workload,
+//! with writes (absorbing new statements) serialized on the side.
+//!
+//! [`InumCache`] wraps a [`PreparedWorkload`] in `Arc<RwLock>` with a
+//! closure-based access API: readers run concurrently, interior mutability is
+//! confined to the write path.  Handles are cheap to clone and `Send + Sync`.
+
+use std::sync::{Arc, RwLock};
+
+use crate::prepare::PreparedWorkload;
+
+/// A shared handle to a prepared workload.
+#[derive(Debug)]
+pub struct InumCache {
+    inner: RwLock<PreparedWorkload>,
+}
+
+impl InumCache {
+    /// Wrap a prepared workload in a shareable handle.
+    pub fn new(prepared: PreparedWorkload) -> Arc<InumCache> {
+        Arc::new(InumCache { inner: RwLock::new(prepared) })
+    }
+
+    /// An empty cache (no prepared statements yet).
+    pub fn empty() -> Arc<InumCache> {
+        InumCache::new(PreparedWorkload { queries: Vec::new(), what_if_calls: 0 })
+    }
+
+    /// Run a closure under the read lock.  Readers are concurrent.
+    pub fn read<R>(&self, f: impl FnOnce(&PreparedWorkload) -> R) -> R {
+        f(&self.inner.read().expect("INUM cache poisoned"))
+    }
+
+    /// Run a closure under the write lock (exclusive).
+    pub fn write<R>(&self, f: impl FnOnce(&mut PreparedWorkload) -> R) -> R {
+        f(&mut self.inner.write().expect("INUM cache poisoned"))
+    }
+
+    /// Clone the prepared workload out of the cache.
+    pub fn snapshot(&self) -> PreparedWorkload {
+        self.read(|pw| pw.clone())
+    }
+
+    /// Number of prepared statements.
+    pub fn len(&self) -> usize {
+        self.read(|pw| pw.queries.len())
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// What-if calls spent building (and extending) the cache.
+    pub fn what_if_calls(&self) -> u64 {
+        self.read(|pw| pw.what_if_calls)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prepare::Inum;
+    use cophy_catalog::{Configuration, TpchGen};
+    use cophy_optimizer::{SystemProfile, WhatIfOptimizer};
+    use cophy_workload::HomGen;
+
+    #[test]
+    fn concurrent_readers_see_one_prepared_workload() {
+        let o = WhatIfOptimizer::new(TpchGen::default().schema(), SystemProfile::A);
+        let w = HomGen::new(21).generate(o.schema(), 6);
+        let cache = InumCache::new(Inum::new(&o).prepare_workload(&w));
+        let cfg = Configuration::empty();
+        let expect = cache.read(|pw| pw.cost(o.schema(), o.cost_model(), &cfg));
+        let costs: Vec<f64> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let cache = Arc::clone(&cache);
+                    let (schema, cm, cfg) = (o.schema(), o.cost_model(), &cfg);
+                    s.spawn(move || cache.read(|pw| pw.cost(schema, cm, cfg)))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("reader")).collect()
+        });
+        for c in costs {
+            assert_eq!(c.to_bits(), expect.to_bits());
+        }
+    }
+
+    #[test]
+    fn writes_are_visible_to_subsequent_readers() {
+        let cache = InumCache::empty();
+        assert!(cache.is_empty());
+        let o = WhatIfOptimizer::new(TpchGen::default().schema(), SystemProfile::A);
+        let w = HomGen::new(22).generate(o.schema(), 3);
+        let prepared = Inum::new(&o).prepare_workload(&w);
+        cache.write(|pw| *pw = prepared);
+        assert_eq!(cache.len(), 3);
+        assert!(cache.what_if_calls() > 0);
+        let snap = cache.snapshot();
+        assert_eq!(snap.queries.len(), 3);
+    }
+}

@@ -25,11 +25,13 @@
 //! ([`Inum::prepare_compressed`]): only cluster representatives are probed,
 //! with cluster weights scaling the cached plan costs.
 
+pub mod cache;
 pub mod cost;
 pub mod ideal;
 pub mod prepare;
 pub mod template;
 
+pub use cache::InumCache;
 pub use cost::{AtomicChoice, CostBreakdown};
 pub use ideal::{ideal_config, ideal_index};
 pub use prepare::{Inum, PreparedQuery, PreparedWorkload};

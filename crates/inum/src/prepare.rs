@@ -13,7 +13,7 @@
 
 use cophy_catalog::{ColumnId, Configuration, Schema};
 use cophy_compress::CompressedWorkload;
-use cophy_optimizer::WhatIfOptimizer;
+use cophy_optimizer::{ProbeAnswer, WhatIfBackend};
 use cophy_workload::{Query, QueryId, Statement, UpdateStatement, Workload};
 
 use crate::ideal::ideal_config;
@@ -22,10 +22,10 @@ use crate::template::{Slot, TemplatePlan};
 /// Cap on probing calls per query (1 empty + singles + pairs up to this).
 pub const MAX_PROBES_PER_QUERY: usize = 48;
 
-/// The INUM layer wrapping a what-if optimizer.
+/// The INUM layer wrapping any what-if backend.
 #[derive(Debug)]
 pub struct Inum<'o> {
-    opt: &'o WhatIfOptimizer,
+    opt: &'o dyn WhatIfBackend,
 }
 
 /// A query with its cached template plans — the unit CoPhy's BIP generator
@@ -53,11 +53,11 @@ pub struct PreparedWorkload {
 }
 
 impl<'o> Inum<'o> {
-    pub fn new(opt: &'o WhatIfOptimizer) -> Self {
+    pub fn new(opt: &'o dyn WhatIfBackend) -> Self {
         Inum { opt }
     }
 
-    pub fn optimizer(&self) -> &'o WhatIfOptimizer {
+    pub fn optimizer(&self) -> &'o dyn WhatIfBackend {
         self.opt
     }
 
@@ -141,8 +141,8 @@ impl<'o> Inum<'o> {
 
         // Probe 1: empty configuration → the all-sort/hash template.  Its
         // slots never carry requirements (heap scans deliver no order).
-        let base_plan = self.opt.optimize(q, &Configuration::empty());
-        push_template(&mut templates, extract(schema, cm, q, &base_plan));
+        let base = self.opt.probe(q, &Configuration::empty());
+        push_template(&mut templates, extract(schema, cm, q, &base));
 
         // Per-table interesting orders.
         let per_table: Vec<Vec<Vec<ColumnId>>> =
@@ -177,8 +177,8 @@ impl<'o> Inum<'o> {
 
         for combo in combos {
             let cfg = ideal_config(schema, q, &combo);
-            let plan = self.opt.optimize(q, &cfg);
-            push_template(&mut templates, extract(schema, cm, q, &plan));
+            let ans = self.opt.probe(q, &cfg);
+            push_template(&mut templates, extract(schema, cm, q, &ans));
         }
 
         templates.sort_by(|a, b| a.internal_cost.total_cmp(&b.internal_cost));
@@ -186,31 +186,25 @@ impl<'o> Inum<'o> {
     }
 }
 
-/// Turn an optimized plan into a template: β = internal cost, slots carry the
+/// Turn a probe answer into a template: β = internal cost, slots carry the
 /// order requirements the plan imposes on its leaves (§3 / Appendix A).
+/// The heap fallback `γ` is analytic — no backend involvement.
 fn extract(
     schema: &Schema,
     cm: &cophy_optimizer::CostModel,
     q: &Query,
-    plan: &cophy_optimizer::PhysicalPlan,
+    ans: &ProbeAnswer,
 ) -> TemplatePlan {
     let mut slots = Vec::with_capacity(q.tables.len());
-    for &t in &q.tables {
-        let leaf = plan.leaf(t).expect("plan covers every referenced table");
-        // The requirement may name equivalent columns of *other* tables
-        // (e.g. ORDER BY o_orderdate satisfied through a join); the local
-        // equivalent is the leaf's own delivered-order prefix of that length.
-        let req_len = leaf.required.0.len().min(leaf.path.order.0.len());
-        let required: Vec<ColumnId> =
-            leaf.path.order.0[..req_len].iter().map(|c| c.column).collect();
-        let heap_cost = if required.is_empty() {
-            Some(cophy_optimizer::access::heap_path(schema, cm, q, t, None).cost)
+    for leaf in &ans.leaves {
+        let heap_cost = if leaf.required.is_empty() {
+            Some(cophy_optimizer::access::heap_path(schema, cm, q, leaf.table, None).cost)
         } else {
             None
         };
-        slots.push(Slot { table: t, required, heap_cost });
+        slots.push(Slot { table: leaf.table, required: leaf.required.clone(), heap_cost });
     }
-    TemplatePlan { internal_cost: plan.internal_cost(), slots }
+    TemplatePlan { internal_cost: ans.internal_cost, slots }
 }
 
 /// Deduplicate by slot signature, keeping the cheaper internal cost.
@@ -229,7 +223,7 @@ fn push_template(templates: &mut Vec<TemplatePlan>, tpl: TemplatePlan) {
 mod tests {
     use super::*;
     use cophy_catalog::TpchGen;
-    use cophy_optimizer::SystemProfile;
+    use cophy_optimizer::{SystemProfile, WhatIfOptimizer};
     use cophy_workload::{HetGen, HomGen};
 
     fn opt() -> WhatIfOptimizer {

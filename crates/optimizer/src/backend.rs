@@ -1,0 +1,298 @@
+//! The pluggable what-if backend trait.
+//!
+//! CoPhy's portability claim (§1, §6) is that the advisor is a thin layer
+//! over *any* what-if optimizer: everything above the DBMS consumes a narrow
+//! costing interface.  [`WhatIfBackend`] is that interface.  A backend must
+//! answer three kinds of questions:
+//!
+//! 1. **probe** — cost a query under a hypothetical configuration and
+//!    describe the resulting plan's leaf accesses ([`ProbeAnswer`]), which is
+//!    all INUM needs to build template plans;
+//! 2. **relevant_indexes** — enumerate candidate indexes the backend
+//!    considers relevant to a statement (the syntactic candidate surface);
+//! 3. **call accounting** — report how many what-if optimizations were spent,
+//!    the scarce resource of Figures 4/5.
+//!
+//! Update pricing (`ucost`, `base_update_cost`) and workload evaluation are
+//! provided methods derived analytically from the backend's schema and cost
+//! model, so the §2 update semantics stay identical across backends.
+//!
+//! [`crate::WhatIfOptimizer`] is the reference implementation; see
+//! [`crate::trace`] for a record/replay backend and [`crate::noise`] for a
+//! calibrated-noise wrapper.
+
+use cophy_catalog::{ColumnId, Configuration, Index, Schema, TableId};
+use cophy_workload::{Query, Statement, UpdateStatement, Workload};
+
+use crate::cost::{CostModel, SystemProfile};
+use crate::plan::PhysicalPlan;
+
+/// One leaf access of a probed plan: the table it reads and the key-column
+/// prefix (in the leaf's *local* columns) the internal plan relies on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProbeLeaf {
+    pub table: TableId,
+    /// Required delivered-order prefix; empty = any access method works.
+    pub required: Vec<ColumnId>,
+}
+
+/// The answer to one what-if probe — everything INUM's template extraction
+/// and the plain costing path need, and nothing plan-shaped that a remote or
+/// replayed backend could not supply.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbeAnswer {
+    /// `cost(q, X)`: total plan cost.
+    pub total_cost: f64,
+    /// INUM's `β`: cost of the internal operators only.
+    pub internal_cost: f64,
+    /// One entry per referenced table, in `q.tables` order.
+    pub leaves: Vec<ProbeLeaf>,
+}
+
+impl ProbeAnswer {
+    /// Distill a full [`PhysicalPlan`] into a probe answer.  The required
+    /// order may name equivalent columns of *other* tables (e.g. ORDER BY
+    /// `o_orderdate` satisfied through a join); the local equivalent is the
+    /// leaf's own delivered-order prefix of that length.
+    pub fn from_plan(q: &Query, plan: &PhysicalPlan) -> ProbeAnswer {
+        let leaves = q
+            .tables
+            .iter()
+            .map(|&t| {
+                let leaf = plan.leaf(t).expect("plan covers every referenced table");
+                let req_len = leaf.required.0.len().min(leaf.path.order.0.len());
+                ProbeLeaf {
+                    table: t,
+                    required: leaf.path.order.0[..req_len].iter().map(|c| c.column).collect(),
+                }
+            })
+            .collect();
+        ProbeAnswer { total_cost: plan.total_cost(), internal_cost: plan.internal_cost(), leaves }
+    }
+}
+
+/// A pluggable what-if costing service.
+///
+/// Object safe: the whole stack threads `&dyn WhatIfBackend`, so backends can
+/// be swapped at run time (live optimizer, trace replay, noise wrapper, or a
+/// remote DBMS adapter).  `Send + Sync` is required because INUM preparation
+/// shards probes across OS threads.
+pub trait WhatIfBackend: std::fmt::Debug + Send + Sync {
+    /// The schema the backend costs against.
+    fn schema(&self) -> &Schema;
+
+    /// The cost-model parameterization the backend calibrates to.
+    fn profile(&self) -> SystemProfile;
+
+    /// The analytic cost model used for the derived update/heap costing.
+    fn cost_model(&self) -> &CostModel;
+
+    /// One what-if optimization: cost `q` under hypothetical configuration
+    /// `config`.  Counts one call.
+    fn probe(&self, q: &Query, config: &Configuration) -> ProbeAnswer;
+
+    /// Number of what-if optimizations performed so far.
+    fn what_if_calls(&self) -> u64;
+
+    fn reset_call_counter(&self);
+
+    /// Candidate indexes this backend considers relevant to `stmt` — a
+    /// syntactic enumeration over the read shell: sargable predicate columns,
+    /// the equality-bound column set, and every interesting order.
+    fn relevant_indexes(&self, stmt: &Statement) -> Vec<Index> {
+        let q = stmt.read_shell();
+        let mut out: Vec<Index> = Vec::new();
+        let push = |out: &mut Vec<Index>, ix: Index| {
+            if !out.contains(&ix) {
+                out.push(ix);
+            }
+        };
+        for &t in &q.tables {
+            let eq = q.eq_columns_on(t);
+            if !eq.is_empty() {
+                push(&mut out, Index::secondary(t, eq));
+            }
+            for p in q.predicates_on(t) {
+                push(&mut out, Index::secondary(t, vec![p.column.column]));
+            }
+            for o in q.interesting_orders_on(t) {
+                push(&mut out, Index::secondary(t, o));
+            }
+        }
+        out
+    }
+
+    /// `cost(q, X)` for a SELECT (or query shell).
+    fn cost_query(&self, q: &Query, config: &Configuration) -> f64 {
+        self.probe(q, config).total_cost
+    }
+
+    /// Maintenance cost `ucost(a, q)` of index `a` under update `q` (§2):
+    /// per-modified-row B-tree maintenance, independent of the rest of the
+    /// configuration.
+    fn ucost(&self, upd: &UpdateStatement, ix: &Index) -> f64 {
+        if !upd.affects(ix) {
+            return 0.0;
+        }
+        let schema = self.schema();
+        let rows = crate::cardinality::access_rows(schema, &upd.shell, upd.table());
+        self.cost_model().maintain(rows, ix.height(schema))
+    }
+
+    /// The fixed `c_q` term: rewriting the base tuples themselves.
+    fn base_update_cost(&self, upd: &UpdateStatement) -> f64 {
+        let rows = crate::cardinality::access_rows(self.schema(), &upd.shell, upd.table());
+        let cm = self.cost_model();
+        cm.heap_fetches(rows) + rows * cm.cpu_tuple
+    }
+
+    /// Full statement cost under a configuration.
+    fn cost_statement(&self, stmt: &Statement, config: &Configuration) -> f64 {
+        match stmt {
+            Statement::Select(q) => self.cost_query(q, config),
+            Statement::Update(u) => {
+                let read = self.cost_query(&u.shell, config);
+                let maintenance: f64 = config.iter().map(|ix| self.ucost(u, ix)).sum();
+                read + maintenance + self.base_update_cost(u)
+            }
+        }
+    }
+
+    /// Weighted workload cost `Σ_q f_q · cost(q, X)`.
+    fn cost_workload(&self, w: &Workload, config: &Configuration) -> f64 {
+        w.iter().map(|(_, stmt, f)| f * self.cost_statement(stmt, config)).sum()
+    }
+
+    /// The §5.1 quality metric:
+    /// `perf(X*, W) = 1 − cost(X* ∪ X0, W) / cost(X0, W)`,
+    /// where `X0` is the clustered-primary-key baseline.
+    fn perf(&self, w: &Workload, x_star: &Configuration) -> f64 {
+        let x0 = Configuration::baseline(self.schema());
+        let base = self.cost_workload(w, &x0);
+        let tuned = self.cost_workload(w, &x_star.union(&x0));
+        if base <= 0.0 {
+            return 0.0;
+        }
+        1.0 - tuned / base
+    }
+}
+
+/// FNV-1a 64-bit hash — the stable fingerprint primitive shared by the trace
+/// backend and the noise backend (keyed on `Debug` renderings, which are
+/// deterministic for the resolved-id IR).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Fingerprint of a query (its full resolved IR).
+pub fn query_fingerprint(q: &Query) -> u64 {
+    fnv1a(format!("{q:?}").as_bytes())
+}
+
+/// Fingerprint of a statement.
+pub fn statement_fingerprint(stmt: &Statement) -> u64 {
+    fnv1a(format!("{stmt:?}").as_bytes())
+}
+
+/// Order-independent fingerprint of a configuration: per-index renderings are
+/// sorted before hashing, so set-equal configurations fingerprint equal.
+pub fn config_fingerprint(config: &Configuration) -> u64 {
+    let mut parts: Vec<String> = config.iter().map(|ix| format!("{ix:?}")).collect();
+    parts.sort_unstable();
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for p in &parts {
+        h = fnv1a(format!("{h:016x}|{p}").as_bytes());
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WhatIfOptimizer;
+    use cophy_catalog::TpchGen;
+    use cophy_workload::HomGen;
+
+    fn opt() -> WhatIfOptimizer {
+        WhatIfOptimizer::new(TpchGen::default().schema(), SystemProfile::A)
+    }
+
+    #[test]
+    fn trait_object_costs_match_inherent_methods() {
+        let o = opt();
+        let w = HomGen::new(7).generate(o.schema(), 5);
+        let backend: &dyn WhatIfBackend = &o;
+        for (_, stmt, _) in w.iter() {
+            let via_trait = backend.cost_statement(stmt, &Configuration::empty());
+            let direct = o.cost_statement(stmt, &Configuration::empty());
+            assert_eq!(via_trait.to_bits(), direct.to_bits());
+        }
+    }
+
+    #[test]
+    fn probe_answer_matches_plan_decomposition() {
+        let o = opt();
+        let w = HomGen::new(3).generate(o.schema(), 4);
+        for (_, stmt, _) in w.iter() {
+            let q = stmt.read_shell();
+            let plan = o.optimize(q, &Configuration::empty());
+            let ans = ProbeAnswer::from_plan(q, &plan);
+            assert_eq!(ans.total_cost.to_bits(), plan.total_cost().to_bits());
+            assert_eq!(ans.internal_cost.to_bits(), plan.internal_cost().to_bits());
+            assert_eq!(ans.leaves.len(), q.tables.len());
+            for (leaf, &t) in ans.leaves.iter().zip(q.tables.iter()) {
+                assert_eq!(leaf.table, t);
+            }
+        }
+    }
+
+    #[test]
+    fn relevant_indexes_cover_predicates_and_orders() {
+        let o = opt();
+        let s = o.schema();
+        let w = HomGen::new(11).generate(s, 6);
+        let backend: &dyn WhatIfBackend = &o;
+        for (_, stmt, _) in w.iter() {
+            let ixs = backend.relevant_indexes(stmt);
+            let q = stmt.read_shell();
+            for &t in &q.tables {
+                for p in q.predicates_on(t) {
+                    assert!(
+                        ixs.iter()
+                            .any(|ix| ix.table == t && ix.key.first() == Some(&p.column.column)),
+                        "predicate column not covered by any relevant index"
+                    );
+                }
+            }
+            // No duplicates.
+            for (i, a) in ixs.iter().enumerate() {
+                assert!(!ixs[i + 1..].contains(a));
+            }
+        }
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_order_independent() {
+        let o = opt();
+        let s = o.schema();
+        let li = s.table_by_name("lineitem").unwrap().id;
+        let ord = s.table_by_name("orders").unwrap().id;
+        let a = Index::secondary(li, vec![ColumnId(0)]);
+        let b = Index::secondary(ord, vec![ColumnId(1)]);
+        let mut c1 = Configuration::empty();
+        c1.insert(a.clone());
+        c1.insert(b.clone());
+        let mut c2 = Configuration::empty();
+        c2.insert(b);
+        c2.insert(a);
+        assert_eq!(config_fingerprint(&c1), config_fingerprint(&c2));
+        assert_ne!(config_fingerprint(&c1), config_fingerprint(&Configuration::empty()));
+        let q = Query::scan(li);
+        assert_eq!(query_fingerprint(&q), query_fingerprint(&q.clone()));
+    }
+}

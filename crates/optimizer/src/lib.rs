@@ -22,15 +22,21 @@
 //! `total = internal (β) + Σ leaf access costs (γ)`.
 
 pub mod access;
+pub mod backend;
 pub mod cardinality;
 pub mod cost;
 pub mod dp;
+pub mod noise;
 pub mod ordering;
 pub mod plan;
+pub mod trace;
 pub mod whatif;
 
 pub use access::{AccessMethod, AccessPath};
+pub use backend::{ProbeAnswer, ProbeLeaf, WhatIfBackend};
 pub use cost::{CostModel, SystemProfile};
+pub use noise::NoisyBackend;
 pub use ordering::{EquivClasses, Ordering};
 pub use plan::{LeafAccess, PhysicalPlan, PlanNode};
+pub use trace::{TraceRecorder, TraceReplay};
 pub use whatif::WhatIfOptimizer;

@@ -1,0 +1,137 @@
+//! Calibrated-noise backend for robustness studies.
+//!
+//! Wraps any inner [`WhatIfBackend`] and perturbs probe costs by a bounded
+//! multiplicative factor — the standard model for what-if optimizer
+//! estimation error.  The noise is **deterministic** per
+//! `(query, configuration)` pair (hashed with a seed), so repeated probes of
+//! the same pair agree, configurations stay comparable within one run, and
+//! experiments are reproducible: the same seed reproduces the same perturbed
+//! cost surface.
+
+use cophy_catalog::{Configuration, Index, Schema};
+use cophy_workload::{Query, Statement};
+
+use crate::backend::{config_fingerprint, query_fingerprint, ProbeAnswer, WhatIfBackend};
+use crate::cost::{CostModel, SystemProfile};
+
+/// A backend whose probe costs are scaled by `1 + amplitude · u`, with
+/// `u ∈ [-1, 1)` drawn deterministically per `(query, configuration)`.
+#[derive(Debug)]
+pub struct NoisyBackend<'a> {
+    inner: &'a dyn WhatIfBackend,
+    amplitude: f64,
+    seed: u64,
+}
+
+impl<'a> NoisyBackend<'a> {
+    /// `amplitude` is the maximum relative error, e.g. `0.2` for ±20%.
+    pub fn new(inner: &'a dyn WhatIfBackend, amplitude: f64, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&amplitude), "amplitude must be in [0, 1)");
+        NoisyBackend { inner, amplitude, seed }
+    }
+
+    /// The multiplicative factor applied to probes of this pair.
+    pub fn factor(&self, q: &Query, config: &Configuration) -> f64 {
+        let bits = splitmix64(
+            self.seed ^ query_fingerprint(q) ^ config_fingerprint(config).rotate_left(32),
+        );
+        // 53 uniform mantissa bits → u ∈ [0, 1) → [-1, 1).
+        let u = 2.0 * ((bits >> 11) as f64 / (1u64 << 53) as f64) - 1.0;
+        1.0 + self.amplitude * u
+    }
+}
+
+impl WhatIfBackend for NoisyBackend<'_> {
+    fn schema(&self) -> &Schema {
+        self.inner.schema()
+    }
+
+    fn profile(&self) -> SystemProfile {
+        self.inner.profile()
+    }
+
+    fn cost_model(&self) -> &CostModel {
+        self.inner.cost_model()
+    }
+
+    fn probe(&self, q: &Query, config: &Configuration) -> ProbeAnswer {
+        let mut ans = self.inner.probe(q, config);
+        let f = self.factor(q, config);
+        ans.total_cost *= f;
+        ans.internal_cost *= f;
+        ans
+    }
+
+    fn relevant_indexes(&self, stmt: &Statement) -> Vec<Index> {
+        self.inner.relevant_indexes(stmt)
+    }
+
+    fn what_if_calls(&self) -> u64 {
+        self.inner.what_if_calls()
+    }
+
+    fn reset_call_counter(&self) {
+        self.inner.reset_call_counter()
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WhatIfOptimizer;
+    use cophy_catalog::TpchGen;
+    use cophy_workload::HomGen;
+
+    fn opt() -> WhatIfOptimizer {
+        WhatIfOptimizer::new(TpchGen::default().schema(), SystemProfile::A)
+    }
+
+    #[test]
+    fn noise_is_bounded_and_deterministic() {
+        let o = opt();
+        let noisy = NoisyBackend::new(&o, 0.2, 42);
+        let w = HomGen::new(9).generate(o.schema(), 6);
+        for (_, stmt, _) in w.iter() {
+            let q = stmt.read_shell();
+            let clean = o.cost_query(q, &Configuration::empty());
+            let a = noisy.cost_query(q, &Configuration::empty());
+            let b = noisy.cost_query(q, &Configuration::empty());
+            assert_eq!(a.to_bits(), b.to_bits(), "noise must be deterministic per pair");
+            assert!((a / clean - 1.0).abs() <= 0.2 + 1e-12, "noise out of amplitude bounds");
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_surfaces() {
+        let o = opt();
+        let w = HomGen::new(9).generate(o.schema(), 8);
+        let n1 = NoisyBackend::new(&o, 0.3, 1);
+        let n2 = NoisyBackend::new(&o, 0.3, 2);
+        let differs = w.iter().any(|(_, stmt, _)| {
+            let q = stmt.read_shell();
+            n1.cost_query(q, &Configuration::empty()).to_bits()
+                != n2.cost_query(q, &Configuration::empty()).to_bits()
+        });
+        assert!(differs);
+    }
+
+    #[test]
+    fn accounting_passes_through_to_inner() {
+        let o = opt();
+        let noisy = NoisyBackend::new(&o, 0.1, 7);
+        let li = o.schema().table_by_name("lineitem").unwrap().id;
+        let _ = noisy.cost_query(&Query::scan(li), &Configuration::empty());
+        assert_eq!(noisy.what_if_calls(), 1);
+        assert_eq!(o.what_if_calls(), 1);
+        noisy.reset_call_counter();
+        assert_eq!(o.what_if_calls(), 0);
+    }
+}

@@ -1,0 +1,398 @@
+//! Record/replay what-if backend.
+//!
+//! A tuning run only ever sees a backend through its probe answers, so a run
+//! can be *recorded* — every `(query, configuration) → ProbeAnswer` pair
+//! serialized to text — and later *replayed* with zero optimizer work: the
+//! replay backend is a hash-map lookup.  This is the trait-seam analogue of
+//! the paper's portability argument (any DBMS behind the interface), and it
+//! gives CI a fixture that exercises the whole advisor stack without a live
+//! optimizer.
+//!
+//! The format is a line-oriented text file (the vendored `serde` is a derive
+//! stand-in with no runtime, so serialization is hand-rolled).  Costs are
+//! stored as IEEE-754 bit patterns in hex, so a replayed tune is
+//! **bit-identical** to the recorded one.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::Mutex;
+
+use cophy_catalog::{ColumnId, Configuration, Index, IndexKind, Schema, TableId};
+use cophy_workload::{Query, Statement};
+
+use crate::backend::{
+    config_fingerprint, fnv1a, query_fingerprint, statement_fingerprint, ProbeAnswer, ProbeLeaf,
+    WhatIfBackend,
+};
+use crate::cost::{CostModel, SystemProfile};
+
+const MAGIC: &str = "COPHY-TRACE v1";
+
+/// Fingerprint of a schema, stored in the trace header so a replay against
+/// the wrong schema fails fast instead of producing nonsense costs.
+pub fn schema_fingerprint(schema: &Schema) -> u64 {
+    fnv1a(format!("{schema:?}").as_bytes())
+}
+
+/// Record mode: wraps any inner backend and logs every probe answer.
+///
+/// Accounting is delegated to the inner backend, so a recorded tune reports
+/// exactly the call counts the live backend would.
+#[derive(Debug)]
+pub struct TraceRecorder<'a> {
+    inner: &'a dyn WhatIfBackend,
+    log: Mutex<TraceLog>,
+}
+
+#[derive(Debug, Default)]
+struct TraceLog {
+    probes: HashMap<(u64, u64), ProbeAnswer>,
+    relevant: HashMap<u64, Vec<Index>>,
+}
+
+impl<'a> TraceRecorder<'a> {
+    pub fn new(inner: &'a dyn WhatIfBackend) -> Self {
+        TraceRecorder { inner, log: Mutex::new(TraceLog::default()) }
+    }
+
+    /// Serialize everything recorded so far.  Entries are sorted by
+    /// fingerprint, so the trace text is deterministic even when probes were
+    /// recorded from multiple threads.
+    pub fn serialize(&self) -> String {
+        let log = self.log.lock().expect("trace log");
+        let mut out = String::new();
+        out.push_str(MAGIC);
+        out.push('\n');
+        out.push_str(&format!("profile {:?}\n", self.inner.profile()));
+        out.push_str(&format!("schema {:016x}\n", schema_fingerprint(self.inner.schema())));
+        let mut probes: Vec<_> = log.probes.iter().collect();
+        probes.sort_by_key(|(k, _)| **k);
+        for (&(qfp, cfp), ans) in probes {
+            out.push_str(&format!(
+                "probe {qfp:016x} {cfp:016x} {:016x} {:016x}",
+                ans.total_cost.to_bits(),
+                ans.internal_cost.to_bits()
+            ));
+            for leaf in &ans.leaves {
+                out.push_str(&format!(" {}:{}", leaf.table.0, fmt_cols(&leaf.required)));
+            }
+            out.push('\n');
+        }
+        let mut relevant: Vec<_> = log.relevant.iter().collect();
+        relevant.sort_by_key(|(k, _)| **k);
+        for (&sfp, ixs) in relevant {
+            out.push_str(&format!("relevant {sfp:016x}"));
+            for ix in ixs {
+                out.push_str(&format!(" {}", fmt_index(ix)));
+            }
+            out.push('\n');
+        }
+        out.push_str("end\n");
+        out
+    }
+}
+
+impl WhatIfBackend for TraceRecorder<'_> {
+    fn schema(&self) -> &Schema {
+        self.inner.schema()
+    }
+
+    fn profile(&self) -> SystemProfile {
+        self.inner.profile()
+    }
+
+    fn cost_model(&self) -> &CostModel {
+        self.inner.cost_model()
+    }
+
+    fn probe(&self, q: &Query, config: &Configuration) -> ProbeAnswer {
+        let ans = self.inner.probe(q, config);
+        let key = (query_fingerprint(q), config_fingerprint(config));
+        self.log.lock().expect("trace log").probes.insert(key, ans.clone());
+        ans
+    }
+
+    fn relevant_indexes(&self, stmt: &Statement) -> Vec<Index> {
+        let ixs = self.inner.relevant_indexes(stmt);
+        self.log
+            .lock()
+            .expect("trace log")
+            .relevant
+            .insert(statement_fingerprint(stmt), ixs.clone());
+        ixs
+    }
+
+    fn what_if_calls(&self) -> u64 {
+        self.inner.what_if_calls()
+    }
+
+    fn reset_call_counter(&self) {
+        self.inner.reset_call_counter()
+    }
+}
+
+/// Replay mode: answers probes from a recorded trace with **zero** optimizer
+/// work — a probe is a hash-map lookup.  Probes outside the trace panic (a
+/// replay that silently invented costs would defeat the point).
+///
+/// The schema is supplied by the caller (generators are deterministic, so
+/// checking its fingerprint against the header suffices); the cost model is
+/// rebuilt from the recorded profile, keeping the analytic update pricing
+/// identical to the recording backend's.
+#[derive(Debug)]
+pub struct TraceReplay {
+    schema: Schema,
+    cm: CostModel,
+    profile: SystemProfile,
+    probes: HashMap<(u64, u64), ProbeAnswer>,
+    relevant: HashMap<u64, Vec<Index>>,
+    calls: AtomicU64,
+}
+
+impl TraceReplay {
+    /// Parse a trace recorded by [`TraceRecorder::serialize`].
+    pub fn parse(schema: Schema, text: &str) -> Result<TraceReplay, String> {
+        let mut lines = text.lines();
+        if lines.next() != Some(MAGIC) {
+            return Err(format!("not a {MAGIC} file"));
+        }
+        let mut profile = None;
+        let mut probes = HashMap::new();
+        let mut relevant = HashMap::new();
+        for line in lines {
+            let mut f = line.split_ascii_whitespace();
+            match f.next() {
+                Some("profile") => {
+                    profile = Some(match f.next() {
+                        Some("A") => SystemProfile::A,
+                        Some("B") => SystemProfile::B,
+                        other => return Err(format!("unknown profile {other:?}")),
+                    });
+                }
+                Some("schema") => {
+                    let want = parse_hex(f.next().ok_or("missing schema fingerprint")?)?;
+                    let got = schema_fingerprint(&schema);
+                    if want != got {
+                        return Err(format!(
+                            "schema fingerprint mismatch: trace {want:016x}, supplied {got:016x}"
+                        ));
+                    }
+                }
+                Some("probe") => {
+                    let qfp = parse_hex(f.next().ok_or("truncated probe line")?)?;
+                    let cfp = parse_hex(f.next().ok_or("truncated probe line")?)?;
+                    let total = f64::from_bits(parse_hex(f.next().ok_or("truncated probe line")?)?);
+                    let internal =
+                        f64::from_bits(parse_hex(f.next().ok_or("truncated probe line")?)?);
+                    let leaves = f.map(parse_leaf).collect::<Result<Vec<_>, _>>()?;
+                    probes.insert(
+                        (qfp, cfp),
+                        ProbeAnswer { total_cost: total, internal_cost: internal, leaves },
+                    );
+                }
+                Some("relevant") => {
+                    let sfp = parse_hex(f.next().ok_or("truncated relevant line")?)?;
+                    let ixs = f.map(parse_index).collect::<Result<Vec<_>, _>>()?;
+                    relevant.insert(sfp, ixs);
+                }
+                Some("end") | None => {}
+                Some(other) => return Err(format!("unknown trace record {other:?}")),
+            }
+        }
+        let profile = profile.ok_or("trace has no profile header")?;
+        Ok(TraceReplay {
+            schema,
+            cm: CostModel::profile(profile),
+            profile,
+            probes,
+            relevant,
+            calls: AtomicU64::new(0),
+        })
+    }
+
+    /// Number of distinct probe answers in the trace.
+    pub fn n_recorded_probes(&self) -> usize {
+        self.probes.len()
+    }
+}
+
+impl WhatIfBackend for TraceReplay {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn profile(&self) -> SystemProfile {
+        self.profile
+    }
+
+    fn cost_model(&self) -> &CostModel {
+        &self.cm
+    }
+
+    fn probe(&self, q: &Query, config: &Configuration) -> ProbeAnswer {
+        self.calls.fetch_add(1, AtomicOrdering::Relaxed);
+        let key = (query_fingerprint(q), config_fingerprint(config));
+        self.probes
+            .get(&key)
+            .unwrap_or_else(|| {
+                panic!(
+                    "trace replay miss: probe ({:016x}, {:016x}) was not recorded \
+                     ({} probes in trace)",
+                    key.0,
+                    key.1,
+                    self.probes.len()
+                )
+            })
+            .clone()
+    }
+
+    fn relevant_indexes(&self, stmt: &Statement) -> Vec<Index> {
+        let sfp = statement_fingerprint(stmt);
+        self.relevant
+            .get(&sfp)
+            .unwrap_or_else(|| {
+                panic!("trace replay miss: relevant_indexes({sfp:016x}) was not recorded")
+            })
+            .clone()
+    }
+
+    fn what_if_calls(&self) -> u64 {
+        self.calls.load(AtomicOrdering::Relaxed)
+    }
+
+    fn reset_call_counter(&self) {
+        self.calls.store(0, AtomicOrdering::Relaxed);
+    }
+}
+
+fn fmt_cols(cols: &[ColumnId]) -> String {
+    if cols.is_empty() {
+        "-".to_string()
+    } else {
+        cols.iter().map(|c| c.0.to_string()).collect::<Vec<_>>().join(",")
+    }
+}
+
+fn parse_cols(s: &str) -> Result<Vec<ColumnId>, String> {
+    if s == "-" {
+        return Ok(Vec::new());
+    }
+    s.split(',')
+        .map(|c| c.parse::<u32>().map(ColumnId).map_err(|e| format!("bad column id {c:?}: {e}")))
+        .collect()
+}
+
+/// `table:req` — one probe-leaf field.
+fn parse_leaf(s: &str) -> Result<ProbeLeaf, String> {
+    let (t, req) = s.split_once(':').ok_or_else(|| format!("bad leaf field {s:?}"))?;
+    Ok(ProbeLeaf {
+        table: TableId(t.parse::<u32>().map_err(|e| format!("bad table id {t:?}: {e}"))?),
+        required: parse_cols(req)?,
+    })
+}
+
+/// `table/kind/unique/key/include` — one index field.
+fn fmt_index(ix: &Index) -> String {
+    format!(
+        "{}/{}/{}/{}/{}",
+        ix.table.0,
+        if ix.is_clustered() { "C" } else { "S" },
+        u8::from(ix.unique),
+        fmt_cols(&ix.key),
+        fmt_cols(&ix.include)
+    )
+}
+
+fn parse_index(s: &str) -> Result<Index, String> {
+    let parts: Vec<&str> = s.split('/').collect();
+    let [t, kind, unique, key, include] = parts[..] else {
+        return Err(format!("bad index field {s:?}"));
+    };
+    Ok(Index {
+        table: TableId(t.parse::<u32>().map_err(|e| format!("bad table id {t:?}: {e}"))?),
+        key: parse_cols(key)?,
+        include: parse_cols(include)?,
+        kind: match kind {
+            "C" => IndexKind::Clustered,
+            "S" => IndexKind::Secondary,
+            other => return Err(format!("bad index kind {other:?}")),
+        },
+        unique: unique == "1",
+    })
+}
+
+fn parse_hex(s: &str) -> Result<u64, String> {
+    u64::from_str_radix(s, 16).map_err(|e| format!("bad hex field {s:?}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WhatIfOptimizer;
+    use cophy_catalog::TpchGen;
+    use cophy_workload::HomGen;
+
+    fn opt() -> WhatIfOptimizer {
+        WhatIfOptimizer::new(TpchGen::default().schema(), SystemProfile::A)
+    }
+
+    #[test]
+    fn record_then_replay_is_bit_identical() {
+        let o = opt();
+        let w = HomGen::new(5).generate(o.schema(), 4);
+        let rec = TraceRecorder::new(&o);
+        let mut answers = Vec::new();
+        for (_, stmt, _) in w.iter() {
+            answers.push(rec.probe(stmt.read_shell(), &Configuration::empty()));
+            rec.relevant_indexes(stmt);
+        }
+        let text = rec.serialize();
+        let replay = TraceReplay::parse(TpchGen::default().schema(), &text).unwrap();
+        assert_eq!(replay.n_recorded_probes(), answers.len());
+        for ((_, stmt, _), want) in w.iter().zip(&answers) {
+            let got = replay.probe(stmt.read_shell(), &Configuration::empty());
+            assert_eq!(got.total_cost.to_bits(), want.total_cost.to_bits());
+            assert_eq!(got.internal_cost.to_bits(), want.internal_cost.to_bits());
+            assert_eq!(got.leaves, want.leaves);
+            assert_eq!(replay.relevant_indexes(stmt), WhatIfBackend::relevant_indexes(&o, stmt));
+        }
+        assert_eq!(replay.what_if_calls(), w.len() as u64);
+    }
+
+    #[test]
+    fn replay_counts_calls_without_optimizer_work() {
+        let o = opt();
+        let li = o.schema().table_by_name("lineitem").unwrap().id;
+        let q = Query::scan(li);
+        let rec = TraceRecorder::new(&o);
+        rec.probe(&q, &Configuration::empty());
+        let text = rec.serialize();
+        let replay = TraceReplay::parse(TpchGen::default().schema(), &text).unwrap();
+        assert_eq!(replay.what_if_calls(), 0);
+        let _ = replay.cost_query(&q, &Configuration::empty());
+        let _ = replay.cost_query(&q, &Configuration::empty());
+        assert_eq!(replay.what_if_calls(), 2);
+        replay.reset_call_counter();
+        assert_eq!(replay.what_if_calls(), 0);
+    }
+
+    #[test]
+    fn replay_rejects_wrong_schema() {
+        let o = opt();
+        let rec = TraceRecorder::new(&o);
+        let text = rec.serialize();
+        let other = TpchGen { scale: 2.0, ..TpchGen::default() }.schema();
+        assert!(TraceReplay::parse(other, &text).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "trace replay miss")]
+    fn replay_panics_on_unrecorded_probe() {
+        let o = opt();
+        let rec = TraceRecorder::new(&o);
+        let text = rec.serialize();
+        let replay = TraceReplay::parse(TpchGen::default().schema(), &text).unwrap();
+        let li = replay.schema().table_by_name("lineitem").unwrap().id;
+        let _ = replay.probe(&Query::scan(li), &Configuration::empty());
+    }
+}

@@ -17,6 +17,7 @@ use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use cophy_catalog::{Configuration, Index, Schema};
 use cophy_workload::{Query, Statement, UpdateStatement, Workload};
 
+use crate::backend::{ProbeAnswer, WhatIfBackend};
 use crate::cost::{CostModel, SystemProfile};
 use crate::dp;
 use crate::plan::PhysicalPlan;
@@ -118,6 +119,36 @@ impl WhatIfOptimizer {
             return 0.0;
         }
         1.0 - tuned / base
+    }
+}
+
+/// The reference [`WhatIfBackend`]: every probe is a live `dp::optimize`
+/// call.  The inherent methods above stay available on the concrete type;
+/// the trait impl simply delegates, so a `&WhatIfOptimizer` coerces to
+/// `&dyn WhatIfBackend` with identical behavior (bit-for-bit costs).
+impl WhatIfBackend for WhatIfOptimizer {
+    fn schema(&self) -> &Schema {
+        WhatIfOptimizer::schema(self)
+    }
+
+    fn profile(&self) -> SystemProfile {
+        WhatIfOptimizer::profile(self)
+    }
+
+    fn cost_model(&self) -> &CostModel {
+        WhatIfOptimizer::cost_model(self)
+    }
+
+    fn probe(&self, q: &Query, config: &Configuration) -> ProbeAnswer {
+        ProbeAnswer::from_plan(q, &self.optimize(q, config))
+    }
+
+    fn what_if_calls(&self) -> u64 {
+        WhatIfOptimizer::what_if_calls(self)
+    }
+
+    fn reset_call_counter(&self) {
+        WhatIfOptimizer::reset_call_counter(self)
     }
 }
 
