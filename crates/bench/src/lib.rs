@@ -898,15 +898,20 @@ pub fn solver_artifact_body(
         .iter()
         .map(|r| {
             format!(
-                "{{\"label\":\"{}\",\"warm_start\":{},\"threads\":{},\"nodes\":{},\
-                 \"pivots\":{},\"pivots_per_node\":{:.2},\"gap\":{},\"bound\":{},\
-                 \"objective\":{},\"wall_ms\":{:.3}}}",
+                "{{\"label\":\"{}\",\"engine\":\"{}\",\"warm_start\":{},\"threads\":{},\
+                 \"nodes\":{},\"pivots\":{},\"pivots_per_node\":{:.2},\
+                 \"pivots_per_sec\":{:.1},\"refactorizations\":{},\"devex_resets\":{},\
+                 \"gap\":{},\"bound\":{},\"objective\":{},\"wall_ms\":{:.3}}}",
                 r.label,
+                r.engine,
                 r.warm_start,
                 r.threads,
                 r.nodes,
                 r.pivots,
                 r.pivots_per_node(),
+                r.pivots_per_sec(),
+                r.refactorizations,
+                r.devex_resets,
                 json_f64(r.gap),
                 json_f64(r.bound),
                 json_f64(r.objective),
@@ -964,6 +969,9 @@ pub fn host_threads() -> usize {
 /// W_hom24 branch-and-bound tune.
 pub struct SolverConfigRow {
     pub label: &'static str,
+    /// LP kernel of the run (`"sparse"` revised simplex or the retained
+    /// `"dense"` explicit-inverse baseline).
+    pub engine: &'static str,
     pub warm_start: bool,
     /// `SolveBudget::parallelism` of the run.
     pub threads: usize,
@@ -971,6 +979,10 @@ pub struct SolverConfigRow {
     pub nodes: usize,
     /// Cumulative simplex pivots (root + node LPs, warm and cold alike).
     pub pivots: usize,
+    /// From-scratch basis (re)factorizations across every LP of the run.
+    pub refactorizations: usize,
+    /// Devex reference-framework resets across every LP of the run.
+    pub devex_resets: usize,
     pub gap: f64,
     pub bound: f64,
     pub objective: f64,
@@ -981,21 +993,27 @@ impl SolverConfigRow {
     pub fn pivots_per_node(&self) -> f64 {
         self.pivots as f64 / self.nodes.max(1) as f64
     }
+
+    /// Pivot throughput — the tentpole metric of the sparse-kernel gate.
+    pub fn pivots_per_sec(&self) -> f64 {
+        self.pivots as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
 }
 
-/// Run the rich-constraint W_hom24 BIP through three branch-and-bound
+/// Run the rich-constraint W_hom24 BIP through four branch-and-bound
 /// configurations under the same default interactive budget (5% gap, 60 s):
-/// the PR-2 baseline (cold two-phase node LPs, serial), warm-started serial,
-/// and warm-started parallel.  The model is built once from the caller's
-/// INUM cache; each run solves the same BIP, so nodes/pivots/gap compare
-/// engines, not model noise.
+/// the PR-2 baseline (cold two-phase node LPs, serial), the PR-6 baseline
+/// (warm serial on the retained dense explicit-inverse kernel), warm-started
+/// serial on the sparse revised kernel, and warm-started parallel.  The
+/// model is built once from the caller's INUM cache; each run solves the
+/// same BIP, so nodes/pivots/gap compare engines, not model noise.
 pub fn solver_config_rows(
     o: &WhatIfOptimizer,
     prepared: &PreparedWorkload,
     cands: &CandidateSet,
     constraints: &ConstraintSet,
 ) -> Vec<SolverConfigRow> {
-    use cophy_bip::{BranchBound, SolveOptions};
+    use cophy_bip::{BranchBound, LpEngine, SimplexSolver, SolveOptions};
 
     let (model, _mapping) =
         cophy::BipGen::default().model(o.schema(), o.cost_model(), prepared, cands, constraints);
@@ -1007,26 +1025,31 @@ pub fn solver_config_rows(
     // the multi-core hosted runners so the artifact records a reproducible
     // `SolveBudget::parallelism`.
     let threads = study_threads();
-    let configs: [(&'static str, bool, usize); 3] = [
-        ("cold-serial (PR-2 baseline)", false, 1),
-        ("warm-serial", true, 1),
-        ("warm-parallel", true, threads),
+    let configs: [(&'static str, LpEngine, bool, usize); 4] = [
+        ("cold-serial (PR-2 baseline)", LpEngine::Sparse, false, 1),
+        ("dense-serial (PR-6 baseline)", LpEngine::Dense, true, 1),
+        ("warm-serial", LpEngine::Sparse, true, 1),
+        ("warm-parallel", LpEngine::Sparse, true, threads),
     ];
     configs
         .into_iter()
-        .map(|(label, warm_start, k)| {
+        .map(|(label, engine, warm_start, k)| {
             let opts = SolveOptions {
                 budget: cophy::SolveBudget::interactive().with_parallelism(k),
                 warm_start,
                 ..Default::default()
             };
-            let (r, wall) = timed(|| BranchBound::new().solve(&model, &opts));
+            let bb = BranchBound { simplex: SimplexSolver { engine, ..Default::default() } };
+            let (r, wall) = timed(|| bb.solve(&model, &opts));
             SolverConfigRow {
                 label,
+                engine: if engine == LpEngine::Dense { "dense" } else { "sparse" },
                 warm_start,
                 threads: k,
                 nodes: r.nodes,
                 pivots: r.pivots,
+                refactorizations: r.refactorizations,
+                devex_resets: r.devex_resets,
                 gap: r.gap,
                 bound: r.bound,
                 objective: r.objective,
@@ -1043,14 +1066,21 @@ pub fn solver_config_report(rows: &[SolverConfigRow]) -> String {
         "Warm-start / parallel-node study: rich W_hom{} BIP, budget 5% gap / 60 s\n",
         bb_size()
     ));
-    out.push_str("config                        threads  nodes    pivots/node  gap      wall\n");
+    out.push_str(
+        "config                        engine  threads  nodes    pivots/node  pivots/sec  \
+         refact  resets  gap      wall\n",
+    );
     for r in rows {
         out.push_str(&format!(
-            "{:<29} {:<8} {:<8} {:<12.1} {:<8.2}% {}\n",
+            "{:<29} {:<7} {:<8} {:<8} {:<12.1} {:<11.0} {:<7} {:<7} {:<8.2}% {}\n",
             r.label,
+            r.engine,
             r.threads,
             r.nodes,
             r.pivots_per_node(),
+            r.pivots_per_sec(),
+            r.refactorizations,
+            r.devex_resets,
             r.gap * 100.0,
             secs(r.wall),
         ));
@@ -1063,8 +1093,13 @@ pub fn solver_config_report(rows: &[SolverConfigRow]) -> String {
 /// proves a strictly smaller gap than the cold-serial PR-2 baseline (or
 /// already reaches the 5% gap target, where it is allowed to stop early)
 /// and (b) explores at least 5× the baseline's node count (same early-stop
-/// escape).  Callers print the report and write the artifact *before*
-/// gating, so a failure still leaves the diagnostics behind.
+/// escape).  The sparse-kernel gate then requires the warm-serial sparse
+/// configuration to sustain **≥ 10× the pivot throughput** of the dense
+/// PR-6 baseline and to prove an equal-or-smaller gap — skipped only when
+/// either run is too short to measure (pivots < 500 or wall < 50 ms, the
+/// early-stop regime where throughput is noise).  Callers print the report
+/// and write the artifact *before* gating, so a failure still leaves the
+/// diagnostics behind.
 pub fn solver_config_gate(rows: &[SolverConfigRow]) {
     let base = rows.iter().find(|r| !r.warm_start).expect("cold-serial baseline row");
     let warm = rows.iter().find(|r| r.label == "warm-parallel").expect("warm-parallel row");
@@ -1083,6 +1118,36 @@ pub fn solver_config_gate(rows: &[SolverConfigRow]) {
         warm.nodes,
         base.nodes
     );
+
+    // Sparse revised simplex vs the dense explicit-inverse baseline.
+    let dense = rows.iter().find(|r| r.engine == "dense").expect("dense-serial baseline row");
+    let sparse = rows.iter().find(|r| r.label == "warm-serial").expect("warm-serial row");
+    assert!(
+        sparse.gap <= dense.gap + 1e-9,
+        "sparse warm-serial must prove an equal-or-smaller gap than the dense baseline: \
+         {:.2}% vs {:.2}%",
+        sparse.gap * 100.0,
+        dense.gap * 100.0
+    );
+    let measurable = |r: &SolverConfigRow| r.pivots >= 500 && r.wall >= Duration::from_millis(50);
+    if measurable(dense) && measurable(sparse) {
+        assert!(
+            sparse.pivots_per_sec() >= 10.0 * dense.pivots_per_sec(),
+            "sparse warm-serial must sustain ≥10× the dense baseline's pivot throughput: \
+             {:.0}/s vs {:.0}/s",
+            sparse.pivots_per_sec(),
+            dense.pivots_per_sec()
+        );
+    } else {
+        eprintln!(
+            "sparse-vs-dense throughput gate skipped: run too short to measure \
+             (sparse {} pivots / {:.0} ms, dense {} pivots / {:.0} ms)",
+            sparse.pivots,
+            sparse.wall.as_secs_f64() * 1e3,
+            dense.pivots,
+            dense.wall.as_secs_f64() * 1e3
+        );
+    }
 }
 
 /// CI smoke guard for the generic backend: a rich-constraint B&B run that

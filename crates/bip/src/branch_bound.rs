@@ -68,6 +68,20 @@ pub struct MipResult {
     /// pivots and cold two-phase pivots alike); `pivots / nodes` is the
     /// per-node LP cost the warm start drives down.
     pub pivots: usize,
+    /// From-scratch basis factorizations across every LP of the solve.
+    pub refactorizations: usize,
+    /// Devex reference-framework resets across every LP of the solve.
+    pub devex_resets: usize,
+    /// Cold two-phase LPs paid by strong branching.  Zero by construction
+    /// on the warm path: probes re-solve from the node basis through the
+    /// dual simplex and are *skipped* (not downgraded) when that fails.
+    pub sb_cold_lps: usize,
+    /// Cold two-phase LPs paid by the dive heuristic (same contract).
+    pub dive_cold_lps: usize,
+    /// Node LPs answered from the speculative-lookahead cache (idle workers
+    /// pre-solving predicted children when the open frontier is thinner
+    /// than `parallelism`).
+    pub lookahead_hits: usize,
     /// Incumbent/bound improvements over time.
     pub trace: Vec<GapPoint>,
 }
@@ -82,8 +96,39 @@ impl MipResult {
             gap: f64::INFINITY,
             nodes: 0,
             pivots: 0,
+            refactorizations: 0,
+            devex_resets: 0,
+            sb_cold_lps: 0,
+            dive_cold_lps: 0,
+            lookahead_hits: 0,
             trace: Vec::new(),
         }
+    }
+}
+
+/// Per-solve LP instrumentation, surfaced through [`MipResult`] (internal).
+#[derive(Debug, Default, Clone, Copy)]
+struct NodeStats {
+    refactorizations: usize,
+    devex_resets: usize,
+    sb_cold_lps: usize,
+    dive_cold_lps: usize,
+    lookahead_hits: usize,
+}
+
+impl NodeStats {
+    /// Fold one LP's factorization/pricing counters into the totals.
+    fn absorb(&mut self, lp: &LpResult) {
+        self.refactorizations += lp.refactorizations;
+        self.devex_resets += lp.devex_resets;
+    }
+
+    fn apply(&self, out: &mut MipResult) {
+        out.refactorizations = self.refactorizations;
+        out.devex_resets = self.devex_resets;
+        out.sb_cold_lps = self.sb_cold_lps;
+        out.dive_cold_lps = self.dive_cold_lps;
+        out.lookahead_hits = self.lookahead_hits;
     }
 }
 
@@ -323,6 +368,10 @@ pub struct ResolveContext {
     pseudo: Option<PseudoCosts>,
     /// `DeltaModel::structure_version` the basis was snapshotted under.
     version: u64,
+    /// `DeltaModel::objective_version` the basis was snapshotted under; a
+    /// moved objective keeps the basis primal feasible but dual-stale, so
+    /// the next root restarts through the primal simplex instead.
+    obj_version: u64,
     n_vars: usize,
     /// Constraint count the basis was snapshotted under; a larger current
     /// count with the version unmoved means rows were appended, so the
@@ -359,11 +408,15 @@ struct WarmInputs<'a> {
     root_hi: &'a [f64],
     basis: Option<&'a Basis>,
     pseudo: Option<PseudoCosts>,
+    /// The objective moved since the basis snapshot: route the root through
+    /// [`SimplexSolver::warm_solve`] (phase-2 primal restart) — a dual
+    /// re-solve would price with stale reduced costs and is unsound.
+    primal_root: bool,
 }
 
 impl<'a> WarmInputs<'a> {
     fn cold(lo: &'a [f64], hi: &'a [f64]) -> WarmInputs<'a> {
-        WarmInputs { root_lo: lo, root_hi: hi, basis: None, pseudo: None }
+        WarmInputs { root_lo: lo, root_hi: hi, basis: None, pseudo: None, primal_root: false }
     }
 }
 
@@ -430,6 +483,10 @@ impl BranchBound {
     /// each appended row's slack enters as basic, so the dual simplex only
     /// repairs the new rows' violations — while `RelaxRow` drops it (that
     /// re-solve pays one cold root LP); seed and pseudo-costs survive both.
+    /// An objective edit (`SetObjective`, the λ step of a Pareto sweep)
+    /// keeps the basis but reroutes the root through the *primal* simplex's
+    /// phase-2 restart: the old point stays primal feasible while its
+    /// reduced costs go stale, the exact mirror of the RHS/bound case.
     pub fn resolve(
         &self,
         dm: &DeltaModel,
@@ -473,7 +530,13 @@ impl BranchBound {
         if let Some(pc) = &mut pseudo {
             pc.ensure_len(n);
         }
-        let warm = WarmInputs { root_lo: &lo, root_hi: &hi, basis: basis.as_deref(), pseudo };
+        let warm = WarmInputs {
+            root_lo: &lo,
+            root_hi: &hi,
+            basis: basis.as_deref(),
+            pseudo,
+            primal_root: ctx.obj_version != dm.objective_version(),
+        };
         let (result, artifacts) =
             self.solve_engine(model, opts, seed.as_deref(), warm, on_progress);
         ctx.pseudo = Some(artifacts.pseudo);
@@ -485,6 +548,7 @@ impl BranchBound {
             None => {}
         }
         ctx.version = dm.structure_version();
+        ctx.obj_version = dm.objective_version();
         ctx.n_vars = n;
         ctx.n_rows = n_rows;
         if !result.x.is_empty() {
@@ -520,6 +584,7 @@ impl BranchBound {
         };
         let mut lo = root_lo.to_vec();
         let mut hi = root_hi.to_vec();
+        let mut stats = NodeStats::default();
         let mut pc = warm.pseudo.unwrap_or_else(|| PseudoCosts::new(n));
         pc.ensure_len(n);
         if let Some(kb) = opts.known_bound {
@@ -534,11 +599,36 @@ impl BranchBound {
         // numerical drift, and a root infeasibility verdict aborts the
         // whole solve, so it is only trusted after a cold confirmation).
         let root = match warm.basis {
+            Some(basis) if warm.primal_root => {
+                // The objective moved since the snapshot: the basis point is
+                // still primal feasible, so restart phase 2 of the primal
+                // simplex from it (the dual path would price with stale
+                // reduced costs).  Any failure falls back to a cold solve.
+                match lp_solver.warm_solve(model, root_lo, root_hi, basis) {
+                    Some(r) => match r.status {
+                        LpStatus::Optimal if warm_point_valid(model, &r.x, root_lo, root_hi) => r,
+                        LpStatus::IterLimit
+                            if lp_solver
+                                .deadline
+                                .is_some_and(|dl| std::time::Instant::now() >= dl) =>
+                        {
+                            r
+                        }
+                        _ => {
+                            let mut cold = lp_solver.solve(model, root_lo, root_hi);
+                            cold.iterations += r.iterations;
+                            cold
+                        }
+                    },
+                    None => lp_solver.solve(model, root_lo, root_hi),
+                }
+            }
             Some(basis) => {
                 let dual_root = DualSimplex {
                     max_iters: lp_solver.max_iters,
                     tol: lp_solver.tol,
                     deadline: lp_solver.deadline,
+                    engine: lp_solver.engine,
                 };
                 match dual_root.resolve(model, root_lo, root_hi, basis) {
                     Some(r) => match r.status {
@@ -562,11 +652,16 @@ impl BranchBound {
             None => lp_solver.solve(model, root_lo, root_hi),
         };
         driver.add_pivots(root.iterations);
+        stats.absorb(&root);
         let root_basis_out = root.basis.clone();
         let artifacts =
             |pc: PseudoCosts| EngineArtifacts { root_basis: root_basis_out, pseudo: pc };
         match root.status {
-            LpStatus::Infeasible => return (MipResult::infeasible(), artifacts(pc)),
+            LpStatus::Infeasible => {
+                let mut out = MipResult::infeasible();
+                stats.apply(&mut out);
+                return (out, artifacts(pc));
+            }
             LpStatus::Unbounded => {
                 // Binary variables are bounded; an unbounded relaxation means
                 // a modeling error. Surface it loudly.
@@ -601,11 +696,24 @@ impl BranchBound {
                     out.gap = r.gap;
                     out.trace = r.trace;
                 }
+                stats.apply(&mut out);
                 return (out, artifacts(pc));
             }
             LpStatus::Optimal => {}
         }
         driver.raise_bound(root.objective);
+
+        // A warm re-solve after one bound pinch should cost a handful of
+        // dual pivots; cap its budget well below the primal's so a
+        // degenerate or cycling re-solve fails fast to the cold fallback
+        // instead of burning the full pivot budget first (the dual loop has
+        // no Bland-style anti-cycling switch).
+        let dual = DualSimplex {
+            max_iters: (4 * model.n_constraints() + 256).min(lp_solver.max_iters),
+            tol: lp_solver.tol,
+            deadline: lp_solver.deadline,
+            engine: lp_solver.engine,
+        };
 
         // Root primal: the caller's seed first (repaired to feasibility),
         // then LP rounding + greedy repair, then a bounded dive if the cheap
@@ -627,9 +735,19 @@ impl BranchBound {
             }
         }
         if !driver.has_incumbent() {
-            if let Some((obj, x)) =
-                self.dive(model, &lp_solver, &root.x, opts, &driver, root_lo, root_hi)
-            {
+            if let Some((obj, x)) = self.dive(
+                model,
+                &lp_solver,
+                &dual,
+                opts.warm_start,
+                root.basis.as_ref(),
+                &root.x,
+                opts,
+                &driver,
+                root_lo,
+                root_hi,
+                &mut stats,
+            ) {
                 driver.offer_incumbent(obj, x);
             }
         }
@@ -651,16 +769,14 @@ impl BranchBound {
             p => p,
         };
         let parallelism = opts.budget.parallelism.max(1);
-        // A warm re-solve after one bound pinch should cost a handful of
-        // dual pivots; cap its budget well below the primal's so a
-        // degenerate or cycling re-solve fails fast to the cold fallback
-        // instead of burning the full pivot budget first (the dual loop has
-        // no Bland-style anti-cycling switch).
-        let dual = DualSimplex {
-            max_iters: (4 * model.n_constraints() + 256).min(lp_solver.max_iters),
-            tol: lp_solver.tol,
-            deadline: lp_solver.deadline,
-        };
+        // Speculative lookahead (work stealing): when a round selects fewer
+        // nodes than `parallelism`, the idle workers pre-solve the children
+        // the pseudo-costs predict for this round's nodes.  Evaluation is
+        // pure, so a cached result is identical to the one the main loop
+        // would compute; `parallelism == 1` never touches the cache and
+        // stays bit-for-bit serial.
+        let mut spec_cache: std::collections::HashMap<Vec<(usize, bool)>, LpResult> =
+            std::collections::HashMap::new();
 
         let mut status: Option<MipStatus> = None;
         // Subtrees abandoned because their LP stalled on the pivot cap: the
@@ -703,11 +819,16 @@ impl BranchBound {
                 let node = &batch[0];
                 if node.fixings.is_empty() && root_lp.is_some() {
                     // The root's pivots were accounted when its LP was
-                    // solved; zero them so the merge loop does not count
-                    // them twice.
+                    // solved; zero them (and the factorization counters)
+                    // so the merge loop does not count them twice.
                     let mut lp = root_lp.take().expect("checked");
                     lp.iterations = 0;
+                    lp.refactorizations = 0;
+                    lp.devex_resets = 0;
                     vec![lp]
+                } else if parallelism > 1 && spec_cache.contains_key(&node.fixings) {
+                    stats.lookahead_hits += 1;
+                    vec![spec_cache.remove(&node.fixings).expect("checked")]
                 } else {
                     vec![evaluate_node(
                         model,
@@ -720,12 +841,21 @@ impl BranchBound {
                     )]
                 }
             } else {
+                // Consume speculative hits first; only the misses are
+                // re-evaluated on the worker threads.
+                let mut cached: Vec<Option<LpResult>> =
+                    batch.iter().map(|node| spec_cache.remove(&node.fixings)).collect();
+                stats.lookahead_hits += cached.iter().filter(|c| c.is_some()).count();
                 std::thread::scope(|s| {
                     let handles: Vec<_> = batch
                         .iter()
-                        .map(|node| {
+                        .zip(&cached)
+                        .map(|(node, hit)| {
+                            if hit.is_some() {
+                                return None;
+                            }
                             let (lp_solver, dual) = (&lp_solver, &dual);
-                            s.spawn(move || {
+                            Some(s.spawn(move || {
                                 evaluate_node(
                                     model,
                                     lp_solver,
@@ -735,12 +865,91 @@ impl BranchBound {
                                     root_lo,
                                     root_hi,
                                 )
-                            })
+                            }))
                         })
                         .collect();
-                    handles.into_iter().map(|h| h.join().expect("node LP shard")).collect()
+                    handles
+                        .into_iter()
+                        .zip(cached.iter_mut())
+                        .map(|(h, hit)| match h {
+                            Some(h) => h.join().expect("node LP shard"),
+                            None => hit.take().expect("cached lookahead"),
+                        })
+                        .collect()
                 })
             };
+
+            // Work stealing: pre-solve predicted children with the workers
+            // this round left idle.  Pivot/factorization counters of a
+            // speculative LP are accounted only when (and if) the result is
+            // consumed at a later merge, so discarded speculation never
+            // skews the reported effort.
+            let spare = parallelism.saturating_sub(batch.len());
+            if spare > 0 && driver.stop_status().is_none() {
+                let mut spec: Vec<Node> = Vec::new();
+                for (node, lp) in batch.iter().zip(&evals) {
+                    if spec.len() >= spare {
+                        break;
+                    }
+                    if lp.status != LpStatus::Optimal {
+                        continue;
+                    }
+                    let fracs = fractionals(&lp.x, opts.int_tol);
+                    if fracs.is_empty() {
+                        continue;
+                    }
+                    let j = predict_branch_var(&fracs, &pc);
+                    let frac = lp.x[j].fract();
+                    let b = lp.basis.clone().map(Arc::new);
+                    for v in [true, false] {
+                        if spec.len() >= spare {
+                            break;
+                        }
+                        let mut fx = node.fixings.clone();
+                        fx.push((j, v));
+                        if spec_cache.contains_key(&fx) {
+                            continue;
+                        }
+                        spec.push(Node {
+                            bound: lp.objective,
+                            fixings: fx,
+                            depth: node.depth + 1,
+                            branch: Some((j, v, frac)),
+                            basis: b.clone(),
+                        });
+                    }
+                }
+                if !spec.is_empty() {
+                    let results: Vec<LpResult> = std::thread::scope(|s| {
+                        let handles: Vec<_> = spec
+                            .iter()
+                            .map(|node| {
+                                let (lp_solver, dual) = (&lp_solver, &dual);
+                                s.spawn(move || {
+                                    evaluate_node(
+                                        model,
+                                        lp_solver,
+                                        dual,
+                                        opts.warm_start,
+                                        node,
+                                        root_lo,
+                                        root_hi,
+                                    )
+                                })
+                            })
+                            .collect();
+                        handles.into_iter().map(|h| h.join().expect("lookahead LP shard")).collect()
+                    });
+                    for (node, r) in spec.into_iter().zip(results) {
+                        spec_cache.insert(node.fixings, r);
+                    }
+                    // Bound the cache: stale predictions accumulate when the
+                    // search keeps mispredicting; restart cheap.
+                    if spec_cache.len() > 512 {
+                        spec_cache.clear();
+                    }
+                }
+            }
 
             // Merge sequentially in selection order through the driver.
             for (idx, (node, lp)) in batch.into_iter().zip(evals).enumerate() {
@@ -756,6 +965,7 @@ impl BranchBound {
                 }
                 driver.tick();
                 driver.add_pivots(lp.iterations);
+                stats.absorb(&lp);
 
                 if lp.status == LpStatus::Infeasible {
                     continue;
@@ -812,12 +1022,15 @@ impl BranchBound {
                     model,
                     opts,
                     &lp_solver,
+                    &dual,
+                    if opts.warm_start { lp.basis.as_ref() } else { None },
                     &mut lo,
                     &mut hi,
                     lp.objective,
                     &fracs,
                     &mut pc,
                     &mut sb_remaining,
+                    &mut stats,
                 );
                 let frac = lp.x[j].fract();
                 let child_basis = lp.basis.map(Arc::new);
@@ -848,7 +1061,7 @@ impl BranchBound {
         }
 
         let r = driver.finish();
-        let result = match r.incumbent {
+        let mut result = match r.incumbent {
             None => {
                 // No integral point found. If the search was exhausted the
                 // BIP is integrally infeasible.
@@ -874,8 +1087,10 @@ impl BranchBound {
                 nodes: r.ticks,
                 pivots: r.pivots,
                 trace: r.trace,
+                ..MipResult::infeasible()
             },
         };
+        stats.apply(&mut result);
         (result, artifacts(pc))
     }
 
@@ -887,21 +1102,32 @@ impl BranchBound {
     /// Bounded LP dive: fix the most-integral fractional variable to its
     /// rounded value, re-solve, and retry the cheap repair at every level.
     /// One flip is allowed per level when the dive LP goes infeasible.
+    ///
+    /// When warm-starting with a root `basis`, every dive level re-solves
+    /// through the [`DualSimplex`] from the previous level's basis (a bound
+    /// pinch keeps it dual feasible), chaining bases down the dive; if a
+    /// warm re-solve stalls the dive aborts rather than paying a cold
+    /// two-phase LP, so `dive_cold_lps` stays zero on the warm path.
     #[allow(clippy::too_many_arguments)]
     fn dive<F>(
         &self,
         model: &Model,
         lp_solver: &SimplexSolver,
+        dual: &DualSimplex,
+        warm_start: bool,
+        root_basis: Option<&Basis>,
         root_x: &[f64],
         opts: &SolveOptions,
         driver: &SolveDriver<'_, F>,
         root_lo: &[f64],
         root_hi: &[f64],
+        stats: &mut NodeStats,
     ) -> Option<(f64, Vec<f64>)> {
         const MAX_DIVE: usize = 24;
         let mut lo = root_lo.to_vec();
         let mut hi = root_hi.to_vec();
         let mut x = root_x.to_vec();
+        let mut basis = if warm_start { root_basis.cloned() } else { None };
         for _ in 0..MAX_DIVE {
             if driver.stop_status() == Some(MipStatus::TimeLimit) {
                 return None;
@@ -916,21 +1142,47 @@ impl BranchBound {
                 .into_iter()
                 .min_by(|a, b| (a.1 - a.1.round()).abs().total_cmp(&(b.1 - b.1.round()).abs()))?;
             let v = frac >= 0.5;
-            lo[j] = if v { 1.0 } else { 0.0 };
-            hi[j] = lo[j];
-            let lp = lp_solver.solve(model, &lo, &hi);
-            if lp.status == LpStatus::Optimal {
-                x = lp.x;
-                continue;
+            let mut fixed = false;
+            for val in [if v { 1.0 } else { 0.0 }, if v { 0.0 } else { 1.0 }] {
+                lo[j] = val;
+                hi[j] = val;
+                let lp = match &basis {
+                    Some(b) => match dual.resolve(model, &lo, &hi, b) {
+                        Some(r) => {
+                            stats.absorb(&r);
+                            match r.status {
+                                // Warm verdicts only; a stalled warm
+                                // re-solve aborts the dive instead of
+                                // falling back to a cold LP.
+                                LpStatus::Optimal | LpStatus::Infeasible => r,
+                                _ => return None,
+                            }
+                        }
+                        None => return None,
+                    },
+                    None => {
+                        stats.dive_cold_lps += 1;
+                        let r = lp_solver.solve(model, &lo, &hi);
+                        stats.absorb(&r);
+                        r
+                    }
+                };
+                if lp.status == LpStatus::Optimal {
+                    x = lp.x;
+                    if basis.is_some() {
+                        // Chain to the child basis; abort rather than
+                        // degrade to cold if the snapshot is missing.
+                        basis = Some(lp.basis?);
+                    }
+                    fixed = true;
+                    break;
+                }
+                // Infeasible at this value: flip once (re-solving from the
+                // same pre-pinch basis), then give up on this path.
             }
-            // Flip the fixing once, then give up on this path.
-            lo[j] = 1.0 - lo[j];
-            hi[j] = lo[j];
-            let lp = lp_solver.solve(model, &lo, &hi);
-            if lp.status != LpStatus::Optimal {
+            if !fixed {
                 return None;
             }
-            x = lp.x;
         }
         None
     }
@@ -938,19 +1190,29 @@ impl BranchBound {
 
 /// Reliability-initialized pseudo-cost branching: pick the fractional
 /// variable with the best degradation-product score, strong-branching
-/// (two bounded child LPs) the most fractional unreliable candidates
-/// while the strong-branch budget lasts.
+/// the most fractional unreliable candidates while the strong-branch
+/// budget lasts.
+///
+/// With a `node_basis` (the warm path), each probe re-solves the pinched
+/// child from the node's own optimal basis through the [`DualSimplex`] — a
+/// handful of dual pivots instead of a bounded two-phase LP.  Only warm
+/// Optimal/Infeasible verdicts feed the pseudo-costs; a stalled probe is
+/// *skipped*, never downgraded to a cold solve, so `sb_cold_lps` is zero by
+/// construction whenever the warm path is on.
 #[allow(clippy::too_many_arguments)]
 fn select_branch_var(
     model: &Model,
     opts: &SolveOptions,
     lp_solver: &SimplexSolver,
+    dual: &DualSimplex,
+    node_basis: Option<&Basis>,
     lo: &mut [f64],
     hi: &mut [f64],
     node_obj: f64,
     fracs: &[(usize, f64)],
     pc: &mut PseudoCosts,
     sb_remaining: &mut usize,
+    stats: &mut NodeStats,
 ) -> usize {
     if *sb_remaining > 0 {
         // Most fractional candidates first (closest to 0.5).
@@ -970,18 +1232,47 @@ fn select_branch_var(
                 let (plo, phi) = (lo[j], hi[j]);
                 lo[j] = if up { 1.0 } else { 0.0 };
                 hi[j] = lo[j];
-                let child = sb_simplex.solve(model, lo, hi);
+                let denom = if up { (1.0 - frac).max(1e-6) } else { frac.max(1e-6) };
+                let per_unit = match node_basis {
+                    Some(b) => match dual.resolve(model, lo, hi, b) {
+                        Some(r) => {
+                            stats.absorb(&r);
+                            match r.status {
+                                LpStatus::Infeasible => Some(big),
+                                LpStatus::Optimal => {
+                                    Some((r.objective - node_obj).max(0.0) / denom)
+                                }
+                                // Stalled warm probe: record nothing.
+                                _ => None,
+                            }
+                        }
+                        None => None,
+                    },
+                    None => {
+                        stats.sb_cold_lps += 1;
+                        let child = sb_simplex.solve(model, lo, hi);
+                        stats.absorb(&child);
+                        Some(match child.status {
+                            LpStatus::Infeasible => big,
+                            _ => (child.objective - node_obj).max(0.0) / denom,
+                        })
+                    }
+                };
                 lo[j] = plo;
                 hi[j] = phi;
-                let denom = if up { (1.0 - frac).max(1e-6) } else { frac.max(1e-6) };
-                let per_unit = match child.status {
-                    LpStatus::Infeasible => big,
-                    _ => (child.objective - node_obj).max(0.0) / denom,
-                };
-                pc.record(j, up, per_unit);
+                if let Some(pu) = per_unit {
+                    pc.record(j, up, pu);
+                }
             }
         }
     }
+    predict_branch_var(fracs, pc)
+}
+
+/// The branch variable the current pseudo-costs select (no probing).  Also
+/// used to predict speculative-lookahead children; a mispredict there is
+/// only a cache miss, never an unsound result.
+fn predict_branch_var(fracs: &[(usize, f64)], pc: &PseudoCosts) -> usize {
     let means = pc.global_means();
     let mut best = fracs[0].0;
     let mut best_score = f64::NEG_INFINITY;
@@ -1666,5 +1957,103 @@ mod tests {
         // The cheap-to-drop (least negative) items go first.
         assert_eq!(x[0], 1.0);
         assert_eq!(x[5], 0.0);
+    }
+
+    /// A knapsack-family BIP with a fractional root and enough symmetry to
+    /// force real branching (shared by the instrumentation tests below).
+    fn branchy_model(seed: u64, n: usize) -> Model {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut m = Model::new();
+        let mut e = LinExpr::new();
+        for j in 0..n {
+            let v = m.add_var(format!("v{j}"), -rng.gen_range(5.0..6.0));
+            e.add(v, rng.gen_range(3.0..4.0));
+        }
+        m.add_constraint(e, Sense::Le, 2.0 * n as f64);
+        m
+    }
+
+    #[test]
+    fn warm_strong_branching_and_dives_pay_no_cold_lps() {
+        let m = branchy_model(42, 18);
+        let warm = SolveOptions { strong_branch_budget: 24, ..Default::default() };
+        let rw = BranchBound::new().solve(&m, &warm);
+        assert_eq!(rw.status, MipStatus::Optimal);
+        assert_eq!(
+            rw.sb_cold_lps, 0,
+            "warm strong branching must probe through the dual simplex only"
+        );
+        assert_eq!(rw.dive_cold_lps, 0, "warm dives must chain bases, never cold-solve");
+        assert!(rw.refactorizations > 0, "sparse LU path must have factorized at least once");
+
+        // With warm starts off, the same probes fall back to bounded
+        // two-phase LPs — and the counter proves the warm path above
+        // actually avoided them rather than never probing.
+        let cold =
+            SolveOptions { warm_start: false, strong_branch_budget: 24, ..Default::default() };
+        let rc = BranchBound::new().solve(&m, &cold);
+        assert_eq!(rc.status, MipStatus::Optimal);
+        assert!((rw.objective - rc.objective).abs() < 1e-6);
+        assert!(rc.sb_cold_lps > 0, "cold path should have paid strong-branching LPs");
+    }
+
+    #[test]
+    fn objective_sweep_resolves_match_cold_solves() {
+        // A λ sweep over two objective vectors (the soft-constraint chord
+        // walk): each warm resolve restarts the primal from the last basis
+        // and must land exactly where a cold solve of the reweighted model
+        // lands.
+        use crate::delta::{DeltaModel, ModelDelta};
+        let m = branchy_model(5, 14);
+        let base: Vec<f64> = m.objective().to_vec();
+        let bb = BranchBound::new();
+        let opts = SolveOptions::default();
+        let mut dm = DeltaModel::new(m.clone());
+        let mut ctx = ResolveContext::new();
+        let first = bb.resolve(&dm, &opts, &mut ctx);
+        assert_eq!(first.status, MipStatus::Optimal);
+        for lam in [0.8, 0.5, 0.2] {
+            let coeffs: Vec<f64> = base
+                .iter()
+                .enumerate()
+                .map(|(j, c)| lam * c + (1.0 - lam) * -(((j % 3) as f64) + 0.5))
+                .collect();
+            dm.apply(ModelDelta::SetObjective { coeffs: coeffs.clone() });
+            let warm = bb.resolve(&dm, &opts, &mut ctx);
+            let mut cold_model = m.clone();
+            cold_model.set_objective_coeffs(&coeffs);
+            let cold = bb.solve(&cold_model, &opts);
+            assert_eq!(warm.status, cold.status, "λ={lam}");
+            assert!(
+                (warm.objective - cold.objective).abs() < 1e-6,
+                "λ={lam}: warm {} vs cold {}",
+                warm.objective,
+                cold.objective
+            );
+        }
+        assert!(ctx.has_basis());
+    }
+
+    #[test]
+    fn speculative_lookahead_steals_work_and_preserves_the_optimum() {
+        let m = branchy_model(9, 20);
+        // No strong branching so branch selection is stable and the
+        // lookahead's predictions actually land.
+        let serial = SolveOptions { strong_branch_budget: 0, ..Default::default() };
+        let rs = BranchBound::new().solve(&m, &serial);
+        assert_eq!(rs.lookahead_hits, 0, "serial search must never consult the cache");
+        let wide = SolveOptions {
+            strong_branch_budget: 0,
+            budget: SolveBudget::exact().with_parallelism(4),
+            ..Default::default()
+        };
+        let rp = BranchBound::new().solve(&m, &wide);
+        assert_eq!(rp.status, MipStatus::Optimal);
+        assert!((rs.objective - rp.objective).abs() < 1e-6);
+        assert!(
+            rp.lookahead_hits > 0,
+            "idle workers should have pre-solved predicted children (nodes={})",
+            rp.nodes
+        );
     }
 }

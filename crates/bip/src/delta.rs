@@ -50,6 +50,12 @@ pub enum ModelDelta {
     /// [`ConstrId`]s.  Invalidates the warm-start basis (the structural
     /// columns change).
     RelaxRow { row: ConstrId },
+    /// Replace the full objective vector (e.g. one λ step of a Pareto /
+    /// chord sweep over `λ·cost + (1−λ)·storage`).  Keeps the warm-start
+    /// basis **primal** feasible but makes its reduced costs stale, so the
+    /// next re-solve restarts phase 2 of the *primal* simplex from the old
+    /// basis (a dual re-solve after an objective edit would be unsound).
+    SetObjective { coeffs: Vec<f64> },
 }
 
 /// A model under interactive mutation: the BIP, its current variable
@@ -60,13 +66,14 @@ pub struct DeltaModel {
     model: Model,
     fixed: Vec<Option<bool>>,
     structure_version: u64,
+    objective_version: u64,
 }
 
 impl DeltaModel {
     /// Wrap a freshly built model (no fixings, structure version 0).
     pub fn new(model: Model) -> Self {
         let n = model.n_vars();
-        DeltaModel { model, fixed: vec![None; n], structure_version: 0 }
+        DeltaModel { model, fixed: vec![None; n], structure_version: 0, objective_version: 0 }
     }
 
     pub fn model(&self) -> &Model {
@@ -87,6 +94,14 @@ impl DeltaModel {
     /// reuse, extension and a cold root.
     pub fn structure_version(&self) -> u64 {
         self.structure_version
+    }
+
+    /// Bumped by every [`ModelDelta::SetObjective`].  An objective edit
+    /// keeps the old basis primal feasible but not dual feasible, so warm
+    /// consumers route the next root through the primal simplex's phase-2
+    /// restart instead of the dual re-solve.
+    pub fn objective_version(&self) -> u64 {
+        self.objective_version
     }
 
     /// Root variable bounds under the current fixings.
@@ -128,6 +143,11 @@ impl DeltaModel {
             ModelDelta::RelaxRow { row } => {
                 self.structure_version += 1;
                 self.model.relax_constraint(row);
+                None
+            }
+            ModelDelta::SetObjective { coeffs } => {
+                self.objective_version += 1;
+                self.model.set_objective_coeffs(&coeffs);
                 None
             }
         }
@@ -195,5 +215,15 @@ mod tests {
         assert_eq!(dm.model().constraint(row).rhs, 9.0);
         assert!(dm.model().constraint(added).expr.terms.is_empty());
         assert!(dm.model().feasible(&[1.0, 1.0, 0.0], 1e-9), "relaxed row no longer binds");
+    }
+
+    #[test]
+    fn objective_edits_version_independently_of_structure() {
+        let (m, _) = knapsack();
+        let mut dm = DeltaModel::new(m);
+        dm.apply(ModelDelta::SetObjective { coeffs: vec![-1.0, -2.0, -3.0] });
+        assert_eq!(dm.structure_version(), 0, "objective edits keep the structure version");
+        assert_eq!(dm.objective_version(), 1);
+        assert_eq!(dm.model().objective(), &[-1.0, -2.0, -3.0]);
     }
 }

@@ -1,4 +1,5 @@
-//! Bounded-variable dual simplex for warm-started re-solves.
+//! Bounded-variable dual simplex for warm-started re-solves, on the sparse
+//! revised kernel.
 //!
 //! Branch-and-bound creates child LPs by pinching a single variable's
 //! `[lo, hi]` interval.  The parent's optimal basis stays **dual feasible**
@@ -10,51 +11,61 @@
 //! tens of seconds" into hundreds of nodes per budget on the rich
 //! 24-statement models (ROADMAP, "Next candidates for the solve path").
 //!
-//! The algorithm is the textbook bounded-variable dual simplex on the same
-//! [`Tableau`] workspace the primal uses:
+//! The algorithm is the bounded-variable dual simplex on the same sparse
+//! [`Tableau`] workspace the primal uses (LU factors + eta file):
 //!
-//! 1. **Leaving row** — the basic variable with the largest bound violation
-//!    (below `lo` or above `hi`); none ⇒ the basis is primal feasible and,
-//!    being dual feasible by invariant, optimal.
-//! 2. **Dual ratio test** — over nonbasic columns whose row-`r` coefficient
-//!    moves the leaving variable toward its violated bound, pick the column
-//!    minimizing `|d_j| / |α_j|` (ties to the lowest index, keeping
-//!    re-solves deterministic); none ⇒ dual unbounded ⇒ the pinched polytope
-//!    is empty (`Infeasible`).
-//! 3. **Pivot** — the product-form `B⁻¹` update shared with the primal,
+//! 1. **Leaving row** — picked by **dual Devex**: maximize
+//!    `violation² / dw_i` against reference-framework row weights updated
+//!    from each pivot column (reset to 1 — plain most-violated — when they
+//!    overflow, counted in [`LpResult::devex_resets`]); none ⇒ the basis is
+//!    primal feasible and, being dual feasible by invariant, optimal.
+//! 2. **Bound-flipping (long-step) ratio test** — eligible nonbasic columns
+//!    are sorted by dual ratio `|d_j| / |α_j|`; walking the breakpoints in
+//!    order, every *boxed* column whose full `lo↔hi` flip still leaves the
+//!    leaving row violated is flipped (no pivot, no factorization update —
+//!    exactly how box-constrained binaries should move), and the first
+//!    breakpoint that cannot be stepped over becomes the entering column.
+//!    All flips of one iteration are applied with a single collective
+//!    `ftran`.  Exhausting the breakpoints with violation left ⇒ the dual is
+//!    unbounded ⇒ the pinched polytope is empty (`Infeasible`) — decided
+//!    before any flip is applied.
+//! 3. **Pivot** — appends a product-form eta shared with the primal,
 //!    refactorized every [`REFACTOR_EVERY`] pivots.
 //!
 //! Soundness: callers treat anything other than `Optimal`/`Infeasible` as
 //! "fall back to a cold two-phase solve", and the branch-and-bound
 //! additionally validates a warm-optimal point against the model rows before
-//! trusting its objective as a node bound.
+//! trusting its objective as a node bound.  Note the dual restart is sound
+//! for *bound/RHS* deltas only; after an **objective** change the basis is
+//! primal- but not dual-feasible, and the right warm restart is
+//! [`SimplexSolver::warm_solve`](crate::SimplexSolver::warm_solve).
 
-// As in `simplex`, the kernels use index loops over the dense B⁻¹ rows;
-// iterator chains obscure the pivot arithmetic.
 #![allow(clippy::needless_range_loop)]
 
 use crate::model::Model;
 use crate::simplex::{
-    Basis, LpResult, LpStatus, Tableau, VarState, DEADLINE_CHECK_INTERVAL, PIVOT_TOL,
-    REFACTOR_EVERY,
+    Basis, LpEngine, LpResult, LpStatus, Tableau, VarState, DEADLINE_CHECK_INTERVAL,
+    DEVEX_RESET_LIMIT, PIVOT_TOL,
 };
 
 /// The dual-simplex engine.  Mirrors [`SimplexSolver`](crate::SimplexSolver)
-/// knobs so branch-and-bound can arm both with the same tolerance and
-/// wall-clock deadline.
+/// knobs so branch-and-bound can arm both with the same tolerance,
+/// wall-clock deadline and kernel.
 #[derive(Debug, Clone)]
 pub struct DualSimplex {
     pub max_iters: usize,
     pub tol: f64,
     /// Abandon the re-solve (status [`LpStatus::IterLimit`]) once this
-    /// instant passes — checked every [`DEADLINE_CHECK_INTERVAL`] pivots and
-    /// before the first one, same contract as the primal.
+    /// instant passes — checked before the first factorization and every
+    /// [`DEADLINE_CHECK_INTERVAL`] pivots, same contract as the primal.
     pub deadline: Option<std::time::Instant>,
+    /// Which kernel to run on (sparse LU by default).
+    pub engine: LpEngine,
 }
 
 impl Default for DualSimplex {
     fn default() -> Self {
-        DualSimplex { max_iters: 50_000, tol: 1e-7, deadline: None }
+        DualSimplex { max_iters: 50_000, tol: 1e-7, deadline: None, engine: LpEngine::Sparse }
     }
 }
 
@@ -79,6 +90,13 @@ impl DualSimplex {
             // The bound-minimization shortcut in the primal is already free.
             return None;
         }
+        // An already-expired deadline aborts before the first factorization.
+        if self.deadline.is_some_and(|dl| std::time::Instant::now() >= dl) {
+            return Some(LpResult::aborted(model.n_vars()));
+        }
+        if self.engine == LpEngine::Dense {
+            return crate::dense::dense_resolve(self, model, lo, hi, basis);
+        }
         let mut t = Tableau::build(model, lo, hi);
         if !t.restore(basis) {
             return None;
@@ -90,7 +108,15 @@ impl DualSimplex {
         let x = t.structural_x();
         let objective = model.objective_value(&x);
         let basis = (status == LpStatus::Optimal).then(|| t.snapshot());
-        Some(LpResult { status, x, objective, iterations, basis })
+        Some(LpResult {
+            status,
+            x,
+            objective,
+            iterations,
+            basis,
+            refactorizations: t.refactorizations,
+            devex_resets: t.devex_resets,
+        })
     }
 
     /// The dual pivot loop.  Invariant: the basis is dual feasible (reduced
@@ -98,10 +124,17 @@ impl DualSimplex {
     /// entry and after every pivot.
     fn run_dual(&self, t: &mut Tableau, cost: &[f64]) -> (LpStatus, usize) {
         let m = t.m;
+        let ncols = t.cols.len();
         let mut y = vec![0.0; m];
         let mut rho = vec![0.0; m];
         let mut w = vec![0.0; m];
+        let mut flip_rhs = vec![0.0; m];
+        let mut flip_w = vec![0.0; m];
+        // Dual Devex reference weights, one per row.
+        let mut dw = vec![1.0f64; m];
         let mut since_refactor = 0usize;
+        // (j, priced α_j, dual ratio) breakpoints of the current iteration.
+        let mut cands: Vec<(usize, f64, f64)> = Vec::new();
 
         for iter in 0..self.max_iters {
             if iter % DEADLINE_CHECK_INTERVAL == 0 {
@@ -112,37 +145,45 @@ impl DualSimplex {
                 }
             }
 
-            // Leaving row: the most violated basic variable.
-            let mut leave: Option<(usize, f64, VarState)> = None;
+            // Leaving row by dual Devex: largest violation²/weight.
+            let mut leave: Option<(usize, f64, VarState)> = None; // (i, score, to)
             for i in 0..m {
                 let bv = t.basis[i];
                 let below = t.lo[bv] - t.xb[i];
                 let above = t.xb[i] - t.hi[bv];
-                if below > self.tol && leave.as_ref().is_none_or(|(_, v, _)| below > *v) {
-                    leave = Some((i, below, VarState::Lower));
+                if below > self.tol {
+                    let score = below * below / dw[i];
+                    if leave.as_ref().is_none_or(|&(_, s, _)| score > s) {
+                        leave = Some((i, score, VarState::Lower));
+                    }
                 }
-                if above > self.tol && leave.as_ref().is_none_or(|(_, v, _)| above > *v) {
-                    leave = Some((i, above, VarState::Upper));
+                if above > self.tol {
+                    let score = above * above / dw[i];
+                    if leave.as_ref().is_none_or(|&(_, s, _)| score > s) {
+                        leave = Some((i, score, VarState::Upper));
+                    }
                 }
             }
             let Some((r, _, leave_to)) = leave else {
                 return (LpStatus::Optimal, iter);
             };
 
-            // Row r of B⁻¹ (a row copy with the explicit inverse) prices
-            // every nonbasic column: α_j = (B⁻¹ a_j)[r].
-            rho.copy_from_slice(&t.binv[r * m..(r + 1) * m]);
+            // Row r of B⁻¹ prices every nonbasic column: α_j = ρ · a_j.
+            t.btran_row(r, &mut rho);
             t.duals(cost, &mut y);
 
-            // Dual ratio test.  `increase` ⟺ the leaving variable sits
-            // below its lower bound and must rise toward it.
+            // Breakpoint collection.  `increase` ⟺ the leaving variable
+            // sits below its lower bound and must rise toward it.
             let increase = leave_to == VarState::Lower;
-            let mut entering: Option<(usize, f64)> = None; // (j, ratio)
-            for j in 0..t.cols.len() {
+            cands.clear();
+            for j in 0..ncols {
                 if t.state[j] == VarState::Basic || t.lo[j] >= t.hi[j] {
                     continue;
                 }
-                let alpha: f64 = t.cols[j].iter().map(|&(i, a)| rho[i] * a).sum();
+                let mut alpha = 0.0;
+                for &(i, a) in &t.cols[j] {
+                    alpha += rho[i] * a;
+                }
                 if alpha.abs() <= PIVOT_TOL {
                     continue;
                 }
@@ -165,27 +206,72 @@ impl DualSimplex {
                     VarState::Upper => (-d).max(0.0),
                     VarState::Basic => unreachable!(),
                 };
-                let ratio = dmag / alpha.abs();
-                if entering.as_ref().is_none_or(|&(_, best)| ratio < best - 1e-12) {
-                    entering = Some((j, ratio));
+                cands.push((j, alpha, dmag / alpha.abs()));
+            }
+            if cands.is_empty() {
+                // Dual unbounded: no column can absorb the violation, so
+                // the pinched primal polytope is empty.
+                return (LpStatus::Infeasible, iter);
+            }
+
+            // Bound-flipping walk over the breakpoints in dual-ratio order
+            // (ties to the lowest index, keeping re-solves deterministic).
+            // A boxed column whose full flip still leaves the row violated
+            // is stepped over; the first that cannot be enters the basis.
+            cands.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("finite ratios").then(a.0.cmp(&b.0)));
+            let bv = t.basis[r];
+            let mut remaining = match leave_to {
+                VarState::Lower => t.lo[bv] - t.xb[r],
+                VarState::Upper => t.xb[r] - t.hi[bv],
+                VarState::Basic => unreachable!(),
+            };
+            let mut entering: Option<usize> = None;
+            let mut n_flips = 0usize;
+            for &(j, alpha, _) in cands.iter() {
+                let range = t.hi[j] - t.lo[j];
+                if range.is_finite() && remaining - alpha.abs() * range > self.tol {
+                    n_flips += 1;
+                    remaining -= alpha.abs() * range;
+                } else {
+                    entering = Some(j);
+                    break;
                 }
             }
-            let Some((j, _)) = entering else {
-                // Dual unbounded: no column can absorb the violation, so the
-                // pinched primal polytope is empty.
+            let Some(q) = entering else {
+                // Every breakpoint exhausted with violation left: flipping
+                // the whole box cannot restore feasibility ⇒ dual unbounded
+                // ⇒ Infeasible (no flip has been applied yet).
                 return (LpStatus::Infeasible, iter);
             };
 
+            // Apply all flips with one collective ftran.
+            if n_flips > 0 {
+                for &(j, _, _) in cands.iter().take(n_flips) {
+                    let (dv, flipped) = match t.state[j] {
+                        VarState::Lower => (t.hi[j] - t.lo[j], VarState::Upper),
+                        VarState::Upper => (t.lo[j] - t.hi[j], VarState::Lower),
+                        VarState::Basic => unreachable!(),
+                    };
+                    t.state[j] = flipped;
+                    for &(i, a) in &t.cols[j] {
+                        flip_rhs[i] += a * dv;
+                    }
+                }
+                t.ftran_vec(&mut flip_rhs, &mut flip_w);
+                for i in 0..m {
+                    t.xb[i] -= flip_w[i];
+                }
+            }
+
             // Pivot: the entering variable moves off its bound by
-            // t_e = δ / α_j where δ = x_B[r] − violated bound, landing the
-            // leaving variable exactly on that bound.
-            let bv = t.basis[r];
+            // t_e = δ / α_q where δ = x_B[r] − violated bound (recomputed
+            // after the flips), landing the leaving variable on that bound.
             let delta = match leave_to {
                 VarState::Lower => t.xb[r] - t.lo[bv],
                 VarState::Upper => t.xb[r] - t.hi[bv],
                 VarState::Basic => unreachable!(),
             };
-            t.ftran(j, &mut w);
+            t.ftran(q, &mut w);
             let alpha = w[r];
             if alpha.abs() <= PIVOT_TOL {
                 // Priced α and the ftran disagree beyond tolerance —
@@ -193,46 +279,44 @@ impl DualSimplex {
                 return (LpStatus::IterLimit, iter);
             }
             let t_e = delta / alpha;
-            let enter_val = t.nb_value(j) + t_e;
+            let enter_val = t.nb_value(q) + t_e;
             for i in 0..m {
                 if i != r {
                     t.xb[i] -= t_e * w[i];
                 }
             }
             t.state[bv] = leave_to;
-            t.state[j] = VarState::Basic;
-            t.basis[r] = j;
+            t.state[q] = VarState::Basic;
+            t.basis[r] = q;
+            t.xb[r] = enter_val;
 
-            // Product-form update of B⁻¹ on pivot w[r] (same as the primal).
+            // Dual Devex weight update from the pivot column.
+            let dw_r = dw[r];
+            let inv_a2 = 1.0 / (alpha * alpha);
+            let mut dmax = 1.0f64;
             for i in 0..m {
                 if i == r {
                     continue;
                 }
-                let f = w[i] / alpha;
-                if f == 0.0 {
-                    continue;
+                let cand = w[i] * w[i] * inv_a2 * dw_r;
+                if cand > dw[i] {
+                    dw[i] = cand;
                 }
-                let (head, tail) = t.binv.split_at_mut(r.max(i) * m);
-                let (row_i, row_r) = if i < r {
-                    (&mut head[i * m..(i + 1) * m], &tail[..m])
-                } else {
-                    (&mut tail[..m], &head[r * m..(r + 1) * m])
-                };
-                for (vi, vr) in row_i.iter_mut().zip(row_r) {
-                    *vi -= f * vr;
+                if dw[i] > dmax {
+                    dmax = dw[i];
                 }
             }
-            for v in &mut t.binv[r * m..(r + 1) * m] {
-                *v /= alpha;
+            dw[r] = (dw_r * inv_a2).max(1.0);
+            if dw[r] > dmax {
+                dmax = dw[r];
             }
-            t.xb[r] = enter_val;
+            if dmax > DEVEX_RESET_LIMIT {
+                dw.fill(1.0);
+                t.devex_resets += 1;
+            }
 
-            since_refactor += 1;
-            if since_refactor >= REFACTOR_EVERY {
-                since_refactor = 0;
-                if !t.refactor() {
-                    return (LpStatus::IterLimit, iter);
-                }
+            if !t.update_factors(r, &w, &mut since_refactor) {
+                return (LpStatus::IterLimit, iter);
             }
         }
         (LpStatus::IterLimit, self.max_iters)
@@ -324,7 +408,7 @@ mod tests {
     }
 
     #[test]
-    fn expired_deadline_aborts_within_one_pivot() {
+    fn expired_deadline_aborts_before_first_factorization() {
         let mut m = Model::new();
         let x = m.add_var("x", -1.0);
         let y = m.add_var("y", -2.0);
@@ -332,10 +416,17 @@ mod tests {
         let _ = (x, y);
         let root = SimplexSolver::new().solve(&m, &[0.0, 0.0], &[1.0, 1.0]);
         let basis = root.basis.expect("root basis");
-        let dual = DualSimplex { deadline: Some(std::time::Instant::now()), ..Default::default() };
-        let r = dual.resolve(&m, &[1.0, 0.0], &[1.0, 1.0], &basis).expect("fits");
-        assert_eq!(r.status, LpStatus::IterLimit);
-        assert_eq!(r.iterations, 0, "no dual pivot may run past an expired deadline");
+        for engine in [LpEngine::Sparse, LpEngine::Dense] {
+            let dual = DualSimplex {
+                deadline: Some(std::time::Instant::now()),
+                engine,
+                ..Default::default()
+            };
+            let r = dual.resolve(&m, &[1.0, 0.0], &[1.0, 1.0], &basis).expect("fits");
+            assert_eq!(r.status, LpStatus::IterLimit);
+            assert_eq!(r.iterations, 0, "no dual pivot may run past an expired deadline");
+            assert_eq!(r.refactorizations, 0, "no factorization past an expired deadline");
+        }
     }
 
     #[test]
@@ -409,5 +500,77 @@ mod tests {
         let q = b.add_var("q", 1.0);
         b.add_constraint(LinExpr::new().term(p, 1.0).term(q, 1.0), Sense::Le, 1.0);
         assert!(DualSimplex::new().resolve(&b, &[0.0, 0.0], &[1.0, 1.0], &basis).is_none());
+    }
+
+    #[test]
+    fn bound_flip_heavy_resolve_matches_cold() {
+        // Fix many binaries to 1 at once: the covering row goes deeply
+        // infeasible and the long-step ratio test must flip several boxed
+        // columns per pivot.  Correctness contract: same verdict and
+        // objective as a cold solve.
+        let mut m = Model::new();
+        let n = 12;
+        let mut e = LinExpr::new();
+        for j in 0..n {
+            let v = m.add_var(format!("v{j}"), -(1.0 + (j % 5) as f64));
+            e.add(v, 1.0 + (j % 3) as f64 * 0.5);
+        }
+        m.add_constraint(e, Sense::Le, 6.0);
+        let (mut lo, mut hi) = (vec![0.0; n], vec![1.0; n]);
+        let root = SimplexSolver::new().solve(&m, &lo, &hi);
+        let basis = root.basis.expect("root basis");
+        // Pinch five variables to 1 simultaneously (still feasible: the
+        // five cheapest weights sum below the capacity) and two to 0.
+        for j in [0usize, 3, 6, 9, 11] {
+            pinch(&mut lo, &mut hi, j, 1.0);
+        }
+        for j in [1usize, 4] {
+            pinch(&mut lo, &mut hi, j, 0.0);
+        }
+        let warm = DualSimplex::new().resolve(&m, &lo, &hi, &basis).expect("fits");
+        let cold = SimplexSolver::new().solve(&m, &lo, &hi);
+        assert_eq!(warm.status, cold.status);
+        if warm.status == LpStatus::Optimal {
+            assert!(
+                (warm.objective - cold.objective).abs() < 1e-6,
+                "warm {} vs cold {}",
+                warm.objective,
+                cold.objective
+            );
+        }
+    }
+
+    #[test]
+    fn engines_agree_across_pinch_chain() {
+        // Sparse (Devex + BFRT) and dense (most-violated + plain ratio)
+        // dual engines must produce identical verdicts and objectives on a
+        // shared pinch chain from the same root basis.
+        let mut m = Model::new();
+        let mut e = LinExpr::new();
+        for j in 0..8 {
+            let v = m.add_var(format!("v{j}"), -((j % 4 + 1) as f64));
+            e.add(v, ((j % 3) + 1) as f64);
+        }
+        m.add_constraint(e, Sense::Le, 7.0);
+        let n = 8;
+        let (mut lo, mut hi) = (vec![0.0; n], vec![1.0; n]);
+        let root = SimplexSolver::new().solve(&m, &lo, &hi);
+        let basis = root.basis.expect("root basis");
+        let sparse = DualSimplex::new();
+        let dense = DualSimplex { engine: LpEngine::Dense, ..Default::default() };
+        for (j, v) in [(2usize, 1.0), (5usize, 1.0), (0usize, 0.0), (7usize, 1.0)] {
+            pinch(&mut lo, &mut hi, j, v);
+            let a = sparse.resolve(&m, &lo, &hi, &basis).expect("sparse fits");
+            let b = dense.resolve(&m, &lo, &hi, &basis).expect("dense fits");
+            assert_eq!(a.status, b.status, "pinch ({j}, {v})");
+            if a.status == LpStatus::Optimal {
+                assert!(
+                    (a.objective - b.objective).abs() < 1e-6,
+                    "pinch ({j}, {v}): sparse {} vs dense {}",
+                    a.objective,
+                    b.objective
+                );
+            }
+        }
     }
 }

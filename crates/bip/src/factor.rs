@@ -1,0 +1,369 @@
+//! Sparse LU factorization and eta-file updates for the revised simplex.
+//!
+//! The basis matrix `B` is factorized as `P·B = L·U` with a left-looking
+//! (Gilbert–Peierls style) sparse elimination. Columns are eliminated in
+//! ascending-nonzero order (a static approximation of Markowitz ordering) and
+//! pivots are chosen by threshold partial pivoting: any row whose magnitude is
+//! within a factor `PIVOT_THRESHOLD` of the column maximum is eligible, and
+//! among the eligible rows the one with the smallest original row count (a
+//! Markowitz-style sparsity tiebreak) wins.
+//!
+//! Between refactorizations the inverse is maintained as a product-form eta
+//! file: each basis change appends one [`Eta`] vector, and `ftran`/`btran`
+//! apply the eta transformations after (resp. before) the triangular solves.
+//! The caller refactorizes periodically to bound fill-in and drift.
+
+/// Relative threshold for partial pivoting: a row is an eligible pivot if its
+/// magnitude is at least this fraction of the column maximum.
+const PIVOT_THRESHOLD: f64 = 0.1;
+
+/// A column of the matrix is declared singular when its largest eliminable
+/// entry falls below this magnitude.
+const SINGULAR_TOL: f64 = 1e-11;
+
+/// Sparse LU factors of a basis matrix, `P·B = L·U`.
+///
+/// `L` is unit lower triangular and stored by elimination step: `l_cols[k]`
+/// holds the below-diagonal multipliers of step `k`, indexed by *original* row.
+/// `U` is stored column-wise in *step* space: `u_cols[k]` holds the
+/// above-diagonal entries of the column eliminated at step `k`, indexed by the
+/// step whose pivot row they live in, and `u_diag[k]` is the pivot itself.
+#[derive(Debug, Clone)]
+pub(crate) struct LuFactors {
+    m: usize,
+    /// `pivot_row[k]` = original row chosen as pivot at elimination step `k`.
+    pivot_row: Vec<usize>,
+    /// `pivot_pos[k]` = basis position of the column eliminated at step `k`.
+    pivot_pos: Vec<usize>,
+    /// Below-diagonal multipliers of `L`, per step, indexed by original row.
+    l_cols: Vec<Vec<(usize, f64)>>,
+    /// Above-diagonal entries of `U`, per step, indexed by pivot step.
+    u_cols: Vec<Vec<(usize, f64)>>,
+    /// Diagonal (pivot) entries of `U`, per step.
+    u_diag: Vec<f64>,
+}
+
+impl LuFactors {
+    /// Factorize the `m × m` basis whose columns are given in sparse
+    /// `(row, value)` form. Returns `None` if the basis is numerically
+    /// singular.
+    pub(crate) fn factorize(m: usize, cols: &[&[(usize, f64)]]) -> Option<LuFactors> {
+        debug_assert_eq!(cols.len(), m);
+        // Original row counts, used as the Markowitz sparsity tiebreak.
+        let mut row_count = vec![0usize; m];
+        for col in cols {
+            for &(r, _) in *col {
+                row_count[r] += 1;
+            }
+        }
+        // Eliminate columns in ascending-nonzero order (static Markowitz).
+        let mut order: Vec<usize> = (0..m).collect();
+        order.sort_by_key(|&p| (cols[p].len(), p));
+
+        let mut lu = LuFactors {
+            m,
+            pivot_row: Vec::with_capacity(m),
+            pivot_pos: Vec::with_capacity(m),
+            l_cols: Vec::with_capacity(m),
+            u_cols: Vec::with_capacity(m),
+            u_diag: Vec::with_capacity(m),
+        };
+        // step_of[r] = Some(k) once original row r became the pivot of step k.
+        let mut step_of: Vec<Option<usize>> = vec![None; m];
+        let mut work = vec![0.0f64; m];
+        let mut touched: Vec<usize> = Vec::with_capacity(m);
+
+        for (k, &pos) in order.iter().enumerate() {
+            // Scatter the column into the dense work vector.
+            touched.clear();
+            for &(r, v) in cols[pos] {
+                if work[r] == 0.0 {
+                    touched.push(r);
+                }
+                work[r] += v;
+            }
+            // Left-looking forward solve against the already-computed steps.
+            // l_cols[t] only references rows pivoted at steps > t or not yet
+            // pivoted, so visiting steps in order is an exact solve.
+            let mut ucol: Vec<(usize, f64)> = Vec::new();
+            for t in 0..k {
+                let x = work[lu.pivot_row[t]];
+                if x == 0.0 {
+                    continue;
+                }
+                ucol.push((t, x));
+                for &(r, v) in &lu.l_cols[t] {
+                    if work[r] == 0.0 {
+                        touched.push(r);
+                    }
+                    work[r] -= x * v;
+                }
+            }
+            // Threshold partial pivot among the not-yet-pivoted rows.
+            let mut vmax = 0.0f64;
+            for &r in &touched {
+                if step_of[r].is_none() {
+                    let a = work[r].abs();
+                    if a > vmax {
+                        vmax = a;
+                    }
+                }
+            }
+            if vmax < SINGULAR_TOL {
+                // Singular: clean up the work vector before bailing.
+                for &r in &touched {
+                    work[r] = 0.0;
+                }
+                return None;
+            }
+            let threshold = PIVOT_THRESHOLD * vmax;
+            let mut pivot: Option<usize> = None;
+            let mut pivot_key = (usize::MAX, usize::MAX);
+            for &r in &touched {
+                if step_of[r].is_none() && work[r].abs() >= threshold {
+                    let key = (row_count[r], r);
+                    if key < pivot_key {
+                        pivot_key = key;
+                        pivot = Some(r);
+                    }
+                }
+            }
+            let prow = pivot.expect("eligible pivot row exists when vmax >= tol");
+            let piv = work[prow];
+            // Consume the work vector: pivot row -> diagonal, remaining
+            // unpivoted rows -> L multipliers. Zeroing as we go makes repeat
+            // entries in `touched` harmless and leaves `work` clean.
+            let mut lcol: Vec<(usize, f64)> = Vec::new();
+            for &r in &touched {
+                let v = work[r];
+                if v == 0.0 {
+                    continue;
+                }
+                work[r] = 0.0;
+                if r == prow || step_of[r].is_some() {
+                    continue;
+                }
+                lcol.push((r, v / piv));
+            }
+            step_of[prow] = Some(k);
+            lu.pivot_row.push(prow);
+            lu.pivot_pos.push(pos);
+            lu.l_cols.push(lcol);
+            lu.u_cols.push(ucol);
+            lu.u_diag.push(piv);
+        }
+        Some(lu)
+    }
+
+    /// Solve `B·x = b`. On entry `rhs` holds `b` in original-row space; on
+    /// exit it is fully zeroed (self-cleaning) and `out` holds `x` indexed by
+    /// basis position. Only positions corresponding to nonzero solution
+    /// entries are written — the caller must pre-zero `out`.
+    pub(crate) fn ftran(&self, rhs: &mut [f64], out: &mut [f64]) {
+        // Forward solve L·y = b, in step order.
+        for k in 0..self.m {
+            let x = rhs[self.pivot_row[k]];
+            if x == 0.0 {
+                continue;
+            }
+            for &(r, v) in &self.l_cols[k] {
+                rhs[r] -= x * v;
+            }
+        }
+        // Back substitution U·x = y, column-oriented, in reverse step order.
+        for k in (0..self.m).rev() {
+            let prow = self.pivot_row[k];
+            let num = rhs[prow];
+            rhs[prow] = 0.0;
+            if num == 0.0 {
+                continue;
+            }
+            let z = num / self.u_diag[k];
+            for &(t, v) in &self.u_cols[k] {
+                rhs[self.pivot_row[t]] -= v * z;
+            }
+            out[self.pivot_pos[k]] = z;
+        }
+    }
+
+    /// Solve `Bᵀ·y = c`. `cpos` is the right-hand side indexed by basis
+    /// position; `y` receives the solution in original-row space (fully
+    /// written). `zscratch` must have length `m`.
+    pub(crate) fn btran(&self, cpos: &[f64], y: &mut [f64], zscratch: &mut [f64]) {
+        // Forward solve Uᵀ·z = c in step space.
+        for k in 0..self.m {
+            let mut acc = cpos[self.pivot_pos[k]];
+            for &(t, v) in &self.u_cols[k] {
+                acc -= v * zscratch[t];
+            }
+            zscratch[k] = acc / self.u_diag[k];
+        }
+        // Backward solve Lᵀ·y = z back into original-row space.
+        for k in (0..self.m).rev() {
+            let mut acc = zscratch[k];
+            for &(r, v) in &self.l_cols[k] {
+                acc -= v * y[r];
+            }
+            y[self.pivot_row[k]] = acc;
+        }
+    }
+}
+
+/// One product-form update: after column `q` replaces the basic variable in
+/// row `r`, `B_new⁻¹ = E·B_old⁻¹` where `E` differs from the identity only in
+/// column `r`. `col` stores that column sparsely, *including* the diagonal
+/// entry `(r, 1/w_r)`; off-diagonal entries are `(i, -w_i/w_r)` where `w` is
+/// the ftran'd entering column.
+#[derive(Debug, Clone)]
+pub(crate) struct Eta {
+    pub(crate) r: usize,
+    pub(crate) col: Vec<(usize, f64)>,
+}
+
+impl Eta {
+    /// Build the eta vector for pivot row `r` from the ftran'd entering
+    /// column `w` (dense, basis-position space). `w[r]` must be the pivot.
+    pub(crate) fn from_pivot(r: usize, w: &[f64], drop_tol: f64) -> Eta {
+        let piv = w[r];
+        let inv = 1.0 / piv;
+        let mut col: Vec<(usize, f64)> = Vec::new();
+        for (i, &wi) in w.iter().enumerate() {
+            if i == r {
+                col.push((r, inv));
+            } else if wi.abs() > drop_tol {
+                col.push((i, -wi * inv));
+            }
+        }
+        Eta { r, col }
+    }
+
+    /// Apply `x ← E·x` (ftran direction).
+    pub(crate) fn apply_ftran(&self, x: &mut [f64]) {
+        let t = x[self.r];
+        if t == 0.0 {
+            return;
+        }
+        for &(i, v) in &self.col {
+            if i == self.r {
+                x[self.r] = v * t;
+            } else {
+                x[i] += v * t;
+            }
+        }
+    }
+
+    /// Apply `c ← Eᵀ·c` (btran direction).
+    pub(crate) fn apply_btran(&self, c: &mut [f64]) {
+        let mut acc = 0.0;
+        for &(i, v) in &self.col {
+            acc += c[i] * v;
+        }
+        c[self.r] = acc;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense_mul(m: usize, cols: &[Vec<(usize, f64)>], x: &[f64]) -> Vec<f64> {
+        let mut b = vec![0.0; m];
+        for (j, col) in cols.iter().enumerate() {
+            for &(r, v) in col {
+                b[r] += v * x[j];
+            }
+        }
+        b
+    }
+
+    fn check_roundtrip(m: usize, cols: Vec<Vec<(usize, f64)>>, x: Vec<f64>) {
+        let refs: Vec<&[(usize, f64)]> = cols.iter().map(|c| c.as_slice()).collect();
+        let lu = LuFactors::factorize(m, &refs).expect("nonsingular");
+        // ftran: solve B·y = B·x, expect y == x.
+        let mut rhs = dense_mul(m, &cols, &x);
+        let mut out = vec![0.0; m];
+        lu.ftran(&mut rhs, &mut out);
+        for i in 0..m {
+            assert!((out[i] - x[i]).abs() < 1e-9, "ftran mismatch at {i}");
+            assert_eq!(rhs[i], 0.0, "rhs not self-cleaned at {i}");
+        }
+        // btran: solve Bᵀ·y = c, check Bᵀ·y == c by columns.
+        let c: Vec<f64> = (0..m).map(|i| (i as f64) - 1.5).collect();
+        let mut y = vec![0.0; m];
+        let mut z = vec![0.0; m];
+        lu.btran(&c, &mut y, &mut z);
+        for (j, col) in cols.iter().enumerate() {
+            let dot: f64 = col.iter().map(|&(r, v)| v * y[r]).sum();
+            assert!((dot - c[j]).abs() < 1e-9, "btran mismatch at col {j}");
+        }
+    }
+
+    #[test]
+    fn identity_roundtrip() {
+        let m = 4;
+        let cols: Vec<Vec<(usize, f64)>> = (0..m).map(|i| vec![(i, 1.0)]).collect();
+        check_roundtrip(m, cols, vec![1.0, -2.0, 3.0, 0.5]);
+    }
+
+    #[test]
+    fn dense_small_roundtrip() {
+        let cols = vec![
+            vec![(0, 2.0), (1, 1.0), (2, -1.0)],
+            vec![(0, 1.0), (1, 3.0)],
+            vec![(1, -1.0), (2, 4.0)],
+        ];
+        check_roundtrip(3, cols, vec![0.7, -1.2, 2.5]);
+    }
+
+    #[test]
+    fn permutation_and_sparse_roundtrip() {
+        // A permuted, scaled identity plus a couple of off-diagonal entries.
+        let cols = vec![
+            vec![(3, 2.0)],
+            vec![(0, -1.5), (3, 0.5)],
+            vec![(1, 4.0), (0, 0.25)],
+            vec![(2, 1.0), (1, -0.75)],
+            vec![(4, -3.0)],
+        ];
+        check_roundtrip(5, cols, vec![1.0, 2.0, -3.0, 0.0, 4.5]);
+    }
+
+    #[test]
+    fn singular_matrix_rejected() {
+        // Two identical columns.
+        let cols = [vec![(0, 1.0), (1, 2.0)], vec![(0, 1.0), (1, 2.0)]];
+        let refs: Vec<&[(usize, f64)]> = cols.iter().map(|c| c.as_slice()).collect();
+        assert!(LuFactors::factorize(2, &refs).is_none());
+    }
+
+    #[test]
+    fn eta_matches_refactorization() {
+        // Basis = identity, replace position 1 with column [1, 2, 1]^T.
+        let m = 3;
+        let w = vec![1.0, 2.0, 1.0];
+        let eta = Eta::from_pivot(1, &w, 1e-12);
+        // ftran of b through E must equal solving the updated basis directly.
+        let new_cols = [vec![(0, 1.0)], vec![(0, 1.0), (1, 2.0), (2, 1.0)], vec![(2, 1.0)]];
+        let refs: Vec<&[(usize, f64)]> = new_cols.iter().map(|c| c.as_slice()).collect();
+        let lu = LuFactors::factorize(m, &refs).unwrap();
+        let b = vec![3.0, 1.0, -2.0];
+        let mut direct = vec![0.0; m];
+        let mut rhs = b.clone();
+        lu.ftran(&mut rhs, &mut direct);
+        let mut via_eta = b.clone();
+        eta.apply_ftran(&mut via_eta);
+        for i in 0..m {
+            assert!((direct[i] - via_eta[i]).abs() < 1e-9, "ftran eta mismatch at {i}");
+        }
+        // btran direction.
+        let c = vec![0.5, -1.0, 2.0];
+        let mut direct_y = vec![0.0; m];
+        let mut z = vec![0.0; m];
+        lu.btran(&c, &mut direct_y, &mut z);
+        let mut via_eta_c = c.clone();
+        eta.apply_btran(&mut via_eta_c);
+        for i in 0..m {
+            assert!((direct_y[i] - via_eta_c[i]).abs() < 1e-9, "btran eta mismatch at {i}");
+        }
+    }
+}

@@ -8,13 +8,20 @@
 //! * [`Model`] — a sparse BIP model builder with incremental extension
 //!   (new variables/constraints after a solve), the delta interface CoPhy's
 //!   interactive tuning exploits;
-//! * [`simplex`] — a two-phase, bounded-variable revised primal simplex for
-//!   the LP relaxations, snapshotting its optimal [`Basis`] for warm
-//!   re-solves;
-//! * [`dual`] — a bounded-variable **dual simplex** that re-solves an LP
-//!   from a parent basis after a bound pinch (the branch-and-bound
-//!   warm-start: a child LP costs a handful of dual pivots instead of a
-//!   fresh two-phase solve);
+//! * [`simplex`] — a two-phase, bounded-variable **sparse revised** primal
+//!   simplex for the LP relaxations: sparse-LU basis factorization
+//!   (`factor`, Markowitz-style ordering + threshold partial pivoting) with
+//!   eta-file product-form updates and periodic refactorization, Devex
+//!   pricing with a Dantzig-equivalent reset, and optimal-[`Basis`]
+//!   snapshots for warm re-solves.  The previous dense explicit-`B⁻¹`
+//!   engine is retained behind [`LpEngine::Dense`] as a
+//!   differential-testing oracle and benchmark baseline (`dense`);
+//! * [`dual`] — a bounded-variable **dual simplex** on the same sparse
+//!   kernel that re-solves an LP from a parent basis after a bound pinch
+//!   (the branch-and-bound warm-start: a child LP costs a handful of dual
+//!   pivots instead of a fresh two-phase solve), with dual Devex row
+//!   pricing and a bound-flipping (long-step) ratio test that moves
+//!   box-constrained binaries across their box without a pivot;
 //! * [`branch_bound`] — a best-first branch-and-bound MIP solver with
 //!   anytime incumbents, a global lower bound, relative-gap early
 //!   termination, time/node limits and improvement callbacks (the paper's
@@ -44,8 +51,10 @@
 
 pub mod branch_bound;
 pub mod delta;
+pub(crate) mod dense;
 pub mod driver;
 pub mod dual;
+pub(crate) mod factor;
 pub mod knapsack;
 pub mod lagrangian;
 pub mod model;
@@ -64,4 +73,4 @@ pub use lagrangian::{
 };
 pub use model::{ConstrId, LinExpr, Model, Sense, VarId};
 pub use mps::{lint_mps, parse_mps, write_mps};
-pub use simplex::{Basis, LpResult, LpStatus, SimplexSolver};
+pub use simplex::{Basis, LpEngine, LpResult, LpStatus, SimplexSolver};

@@ -133,6 +133,13 @@ impl Model {
         self.objective[v.0 as usize] = obj;
     }
 
+    /// Replace the whole objective vector (one λ step of a Pareto sweep).
+    /// Panics if `coeffs` does not cover every variable.
+    pub fn set_objective_coeffs(&mut self, coeffs: &[f64]) {
+        assert_eq!(coeffs.len(), self.objective.len(), "objective vector must cover all vars");
+        self.objective.copy_from_slice(coeffs);
+    }
+
     pub fn var_name(&self, v: VarId) -> &str {
         &self.names[v.0 as usize]
     }

@@ -1,4 +1,4 @@
-//! Two-phase bounded-variable revised primal simplex.
+//! Two-phase bounded-variable **sparse revised** primal simplex.
 //!
 //! Solves the LP relaxation `min cᵀx, Ax {≤,=,≥} b, lo ≤ x ≤ hi` of a
 //! [`Model`](crate::model::Model).  Design notes:
@@ -9,25 +9,34 @@
 //! * **Phase 1 with artificials** — every row gets an artificial variable
 //!   signed to make the initial basis feasible; minimizing their sum either
 //!   reaches zero (feasible) or proves infeasibility.
-//! * **Explicit dense `B⁻¹`** — updated by product-form pivots (O(m²)) and
-//!   refactorized from scratch periodically for numerical hygiene.  This
-//!   caps practical model sizes at a few thousand rows, which is exactly why
-//!   the CoPhy Solver routes *large* index-tuning BIPs through the
-//!   structure-exploiting [`lagrangian`](crate::lagrangian) relaxation and
-//!   keeps the simplex for moderate models, feasibility checks and bound
-//!   proofs — mirroring the paper's `relax(B)` step (Figure 3).
-//! * **Dantzig pricing with a Bland fallback** after a run of degenerate
-//!   pivots, guaranteeing termination.
+//! * **Sparse LU basis factorization** — the basis is factorized by the
+//!   left-looking sparse LU in the `factor` module (Markowitz-style column
+//!   ordering, threshold partial pivoting) and kept current between
+//!   refactorizations with a product-form **eta file**: each pivot appends
+//!   one sparse eta vector, and the factors are rebuilt from scratch every
+//!   `REFACTOR_EVERY` pivots for numerical hygiene.  `ftran`/`btran` cost
+//!   O(nnz) instead of the O(m²) row sweeps of the dense explicit `B⁻¹` the
+//!   engine used before (retained verbatim as the [`LpEngine::Dense`]
+//!   reference oracle in the `dense` module).
+//! * **Devex pricing** — nonbasic columns are scored `d² / γ_j` against
+//!   reference-framework weights updated from each pivot row; when the
+//!   weights overflow their stable range they are reset to 1 (counted in
+//!   [`LpResult::devex_resets`]), which degrades gracefully to Dantzig
+//!   pricing until the weights re-learn the geometry.  A Bland rule still
+//!   takes over after a long degenerate run, guaranteeing termination.
 //! * **Basis snapshots** — an optimal solve captures its [`Basis`] (variable
 //!   states + basic set + phase-1 artificial signs) in the [`LpResult`], so
 //!   branch-and-bound can re-solve a child LP with the
 //!   [`dual`](crate::dual) simplex after a bound pinch instead of paying a
-//!   fresh two-phase solve.
+//!   fresh two-phase solve.  After a pure *objective* change the basis stays
+//!   primal feasible instead, and [`SimplexSolver::warm_solve`] restarts
+//!   phase 2 directly from it (the soft-constraint λ-sweep path).
 
-// The linear-algebra kernels below intentionally use index loops over the
-// dense B⁻¹ rows; iterator chains obscure the pivot arithmetic.
+// The pivot kernels below intentionally use index loops; iterator chains
+// obscure the pivot arithmetic.
 #![allow(clippy::needless_range_loop)]
 
+use crate::factor::{Eta, LuFactors};
 use crate::model::{Model, Sense};
 
 /// Solver outcome.
@@ -53,12 +62,46 @@ pub struct LpResult {
     /// [`LpStatus::Optimal`]), the warm-start handle for
     /// [`DualSimplex::resolve`](crate::dual::DualSimplex::resolve).
     pub basis: Option<Basis>,
+    /// Number of from-scratch LU (or dense inverse) factorizations paid.
+    pub refactorizations: usize,
+    /// Number of Devex reference-framework resets (0 on the dense engine).
+    pub devex_resets: usize,
+}
+
+impl LpResult {
+    /// An immediate abort (expired deadline before any factorization).
+    pub(crate) fn aborted(n: usize) -> LpResult {
+        LpResult {
+            status: LpStatus::IterLimit,
+            x: vec![0.0; n],
+            objective: f64::INFINITY,
+            iterations: 0,
+            basis: None,
+            refactorizations: 0,
+            devex_resets: 0,
+        }
+    }
+}
+
+/// Which simplex kernel backs a solve.
+///
+/// [`LpEngine::Sparse`] is the production path: sparse LU factorization with
+/// eta-file updates and Devex pricing.  [`LpEngine::Dense`] is the previous
+/// dense explicit-`B⁻¹` engine, retained verbatim as a differential-testing
+/// oracle and as the PR-6 performance baseline in the solver benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LpEngine {
+    #[default]
+    Sparse,
+    Dense,
 }
 
 /// A reusable snapshot of a simplex basis over the standard-form column
 /// space (structural + slack + artificial variables).  Opaque outside the
 /// crate: it is only produced by an optimal solve and only consumed by the
 /// dual-simplex warm re-solve after a bound change on the same model.
+/// Snapshots are engine-agnostic — either [`LpEngine`] can restore a basis
+/// captured by the other.
 #[derive(Debug, Clone)]
 pub struct Basis {
     /// Per-column variable state (length: structural + slack + artificial).
@@ -86,7 +129,7 @@ impl Basis {
     /// Returns `None` when the snapshot cannot have come from a row-append
     /// history of `model` (different variable count, fewer rows than the
     /// snapshot, or a sense change among the old rows).
-    pub(crate) fn extended_to(&self, model: &Model) -> Option<Basis> {
+    pub fn extended_to(&self, model: &Model) -> Option<Basis> {
         let n = self.n_structural;
         let old_m = self.basis.len();
         let new_m = model.n_constraints();
@@ -138,20 +181,26 @@ pub struct SimplexSolver {
     pub max_iters: usize,
     pub tol: f64,
     /// Abandon the solve (status [`LpStatus::IterLimit`]) once this instant
-    /// passes — checked every [`DEADLINE_CHECK_INTERVAL`] pivots (and before
-    /// the first one), so a single large LP cannot blow through a caller's
-    /// wall-clock budget.
+    /// passes — checked before any factorization and every
+    /// [`DEADLINE_CHECK_INTERVAL`] pivots, so a single large LP cannot blow
+    /// through a caller's wall-clock budget.
     pub deadline: Option<std::time::Instant>,
+    /// Which kernel to run on (sparse LU by default).
+    pub engine: LpEngine,
 }
 
 /// Pivots between wall-clock deadline checks, shared by the primal and
-/// [`dual`](crate::dual) simplex loops.  The check also runs before the
-/// first pivot, so an already-expired deadline aborts within one pivot.
-pub const DEADLINE_CHECK_INTERVAL: usize = 64;
+/// [`dual`](crate::dual) simplex loops.  Sparse pivots cost O(nnz) rather
+/// than the O(m²) of the old dense engine, so the interval is tuned small
+/// enough (16) that even a rich full-scale BIP stays within ~100ms of its
+/// wall-clock budget.  The check also runs before the first pivot — and
+/// before the first factorization at solve entry — so an already-expired
+/// deadline aborts without touching the basis.
+pub const DEADLINE_CHECK_INTERVAL: usize = 16;
 
 impl Default for SimplexSolver {
     fn default() -> Self {
-        SimplexSolver { max_iters: 50_000, tol: 1e-7, deadline: None }
+        SimplexSolver { max_iters: 50_000, tol: 1e-7, deadline: None, engine: LpEngine::Sparse }
     }
 }
 
@@ -162,8 +211,8 @@ pub(crate) enum VarState {
     Upper,
 }
 
-/// Internal standard-form workspace, shared with the [`dual`](crate::dual)
-/// simplex.
+/// Internal standard-form workspace on the sparse kernel, shared with the
+/// [`dual`](crate::dual) simplex.
 pub(crate) struct Tableau {
     /// Sparse columns for every variable (structural, slack, artificial).
     pub(crate) cols: Vec<Vec<(usize, f64)>>,
@@ -176,12 +225,27 @@ pub(crate) struct Tableau {
     // state
     pub(crate) state: Vec<VarState>,
     pub(crate) basis: Vec<usize>,
-    pub(crate) binv: Vec<f64>, // m×m row-major
     pub(crate) xb: Vec<f64>,
+    /// Current LU factors of the basis (`None` until the first refactor).
+    lu: Option<LuFactors>,
+    /// Product-form updates accumulated since the last refactorization.
+    etas: Vec<Eta>,
+    // scratch (rowbuf is kept all-zero between calls — the LU ftran is
+    // self-cleaning)
+    rowbuf: Vec<f64>,
+    posbuf: Vec<f64>,
+    zbuf: Vec<f64>,
+    // counters surfaced through LpResult
+    pub(crate) refactorizations: usize,
+    pub(crate) devex_resets: usize,
 }
 
 pub(crate) const PIVOT_TOL: f64 = 1e-9;
 pub(crate) const REFACTOR_EVERY: usize = 128;
+/// Devex weights above this trigger a reference-framework reset.
+pub(crate) const DEVEX_RESET_LIMIT: f64 = 1e7;
+/// Entries below this are dropped from eta vectors.
+pub(crate) const ETA_DROP_TOL: f64 = 1e-12;
 
 impl Tableau {
     pub(crate) fn build(model: &Model, lo: &[f64], hi: &[f64]) -> Tableau {
@@ -232,8 +296,14 @@ impl Tableau {
             m,
             state: vec![VarState::Lower; total],
             basis: Vec::new(),
-            binv: Vec::new(),
-            xb: Vec::new(),
+            xb: vec![0.0; m],
+            lu: None,
+            etas: Vec::new(),
+            rowbuf: vec![0.0; m],
+            posbuf: vec![0.0; m],
+            zbuf: vec![0.0; m],
+            refactorizations: 0,
+            devex_resets: 0,
         }
     }
 
@@ -272,8 +342,6 @@ impl Tableau {
         }
         self.state.copy_from_slice(&b.state);
         self.basis.clone_from(&b.basis);
-        self.binv = vec![0.0; self.m * self.m];
-        self.xb = vec![0.0; self.m];
         for (i, &sigma) in b.art_sigma.iter().enumerate() {
             self.cols[self.n_artificial_start + i][0].1 = sigma;
         }
@@ -298,44 +366,65 @@ impl Tableau {
             self.state[j] = VarState::Lower;
         }
         self.basis = (0..self.m).map(|i| self.n_artificial_start + i).collect();
-        self.binv = vec![0.0; self.m * self.m];
-        self.xb = vec![0.0; self.m];
         for i in 0..self.m {
             let art = self.n_artificial_start + i;
             let sigma = if r[i] >= 0.0 { 1.0 } else { -1.0 };
             self.cols[art][0].1 = sigma;
-            self.binv[i * self.m + i] = sigma;
-            self.xb[i] = r[i].abs();
             self.state[art] = VarState::Basic;
+        }
+        // The all-artificial basis is a signed identity; factorization is
+        // trivial but keeps a single code path (and sets xb = |r|).
+        let ok = self.refactor();
+        debug_assert!(ok, "signed identity basis cannot be singular");
+    }
+
+    /// `w = B⁻¹ · col_j` (LU solve plus the eta file).
+    pub(crate) fn ftran(&mut self, j: usize, w: &mut [f64]) {
+        w.fill(0.0);
+        let Tableau { cols, lu, etas, rowbuf, .. } = self;
+        for &(r, a) in &cols[j] {
+            rowbuf[r] += a;
+        }
+        lu.as_ref().expect("factorized").ftran(rowbuf, w);
+        for eta in etas.iter() {
+            eta.apply_ftran(w);
         }
     }
 
-    /// `w = B⁻¹ · col_j`.
-    pub(crate) fn ftran(&self, j: usize, w: &mut [f64]) {
+    /// `w = B⁻¹ · v` for an arbitrary row-space vector `v` (consumed:
+    /// zeroed on exit).  Used by the bound-flipping ratio test to apply all
+    /// flips of one dual iteration with a single solve.
+    pub(crate) fn ftran_vec(&mut self, v: &mut [f64], w: &mut [f64]) {
         w.fill(0.0);
-        for &(r, a) in &self.cols[j] {
-            if a == 0.0 {
-                continue;
-            }
-            for i in 0..self.m {
-                w[i] += self.binv[i * self.m + r] * a;
-            }
+        let Tableau { lu, etas, .. } = self;
+        lu.as_ref().expect("factorized").ftran(v, w);
+        for eta in etas.iter() {
+            eta.apply_ftran(w);
         }
+    }
+
+    /// Row `r` of `B⁻¹` in row space: `ρ = eᵣᵀ B⁻¹`, the pricing vector for
+    /// `α_j = ρ · a_j`.
+    pub(crate) fn btran_row(&mut self, r: usize, rho: &mut [f64]) {
+        let Tableau { lu, etas, posbuf, zbuf, .. } = self;
+        posbuf.fill(0.0);
+        posbuf[r] = 1.0;
+        for eta in etas.iter().rev() {
+            eta.apply_btran(posbuf);
+        }
+        lu.as_ref().expect("factorized").btran(posbuf, rho, zbuf);
     }
 
     /// Dual vector `y = c_Bᵀ · B⁻¹` for the given phase costs.
-    pub(crate) fn duals(&self, cost: &[f64], y: &mut [f64]) {
-        y.fill(0.0);
-        for (k, &bv) in self.basis.iter().enumerate() {
-            let cb = cost[bv];
-            if cb == 0.0 {
-                continue;
-            }
-            let row = &self.binv[k * self.m..(k + 1) * self.m];
-            for i in 0..self.m {
-                y[i] += cb * row[i];
-            }
+    pub(crate) fn duals(&mut self, cost: &[f64], y: &mut [f64]) {
+        let Tableau { lu, etas, posbuf, zbuf, basis, .. } = self;
+        for (k, &bv) in basis.iter().enumerate() {
+            posbuf[k] = cost[bv];
         }
+        for eta in etas.iter().rev() {
+            eta.apply_btran(posbuf);
+        }
+        lu.as_ref().expect("factorized").btran(posbuf, y, zbuf);
     }
 
     pub(crate) fn reduced_cost(&self, cost: &[f64], y: &[f64], j: usize) -> f64 {
@@ -346,62 +435,18 @@ impl Tableau {
         d
     }
 
-    /// Rebuild `B⁻¹` and `x_B` from scratch (Gauss-Jordan with partial
-    /// pivoting).  Returns false if the basis matrix is numerically singular.
+    /// Refactorize the basis from scratch: fresh sparse LU, eta file
+    /// cleared, `x_B` recomputed.  Returns false if the basis matrix is
+    /// numerically singular.
     pub(crate) fn refactor(&mut self) -> bool {
-        let m = self.m;
-        // Assemble the basis matrix densely.
-        let mut a = vec![0.0; m * m];
-        for (k, &bv) in self.basis.iter().enumerate() {
-            for &(i, v) in &self.cols[bv] {
-                a[i * m + k] = v;
-            }
-        }
-        // Inverse via Gauss-Jordan on [A | I].
-        let mut inv = vec![0.0; m * m];
-        for i in 0..m {
-            inv[i * m + i] = 1.0;
-        }
-        for col in 0..m {
-            // partial pivot
-            let mut piv = col;
-            let mut best = a[col * m + col].abs();
-            for r in (col + 1)..m {
-                let v = a[r * m + col].abs();
-                if v > best {
-                    best = v;
-                    piv = r;
-                }
-            }
-            if best < 1e-12 {
-                return false;
-            }
-            if piv != col {
-                for c in 0..m {
-                    a.swap(col * m + c, piv * m + c);
-                    inv.swap(col * m + c, piv * m + c);
-                }
-            }
-            let d = a[col * m + col];
-            for c in 0..m {
-                a[col * m + c] /= d;
-                inv[col * m + c] /= d;
-            }
-            for r in 0..m {
-                if r == col {
-                    continue;
-                }
-                let f = a[r * m + col];
-                if f == 0.0 {
-                    continue;
-                }
-                for c in 0..m {
-                    a[r * m + c] -= f * a[col * m + c];
-                    inv[r * m + c] -= f * inv[col * m + c];
-                }
-            }
-        }
-        self.binv = inv;
+        let bcols: Vec<&[(usize, f64)]> =
+            self.basis.iter().map(|&bv| self.cols[bv].as_slice()).collect();
+        let Some(lu) = LuFactors::factorize(self.m, &bcols) else {
+            return false;
+        };
+        self.lu = Some(lu);
+        self.etas.clear();
+        self.refactorizations += 1;
         self.recompute_xb();
         true
     }
@@ -420,17 +465,32 @@ impl Tableau {
                 }
             }
         }
-        for i in 0..self.m {
-            let mut s = 0.0;
-            let row = &self.binv[i * self.m..(i + 1) * self.m];
-            for k in 0..self.m {
-                s += row[k] * r[k];
-            }
-            self.xb[i] = s;
-        }
+        let mut xb = std::mem::take(&mut self.xb);
+        self.ftran_vec(&mut r, &mut xb);
+        self.xb = xb;
     }
 
-    /// Run the simplex on the given phase costs. Returns (status, iterations).
+    /// Record a basis change at row `r` with ftran'd entering column `w`:
+    /// append the product-form eta and refactorize on cadence.  Returns
+    /// false on a singular refactorization (caller aborts with `IterLimit`).
+    #[must_use]
+    pub(crate) fn update_factors(
+        &mut self,
+        r: usize,
+        w: &[f64],
+        since_refactor: &mut usize,
+    ) -> bool {
+        self.etas.push(Eta::from_pivot(r, w, ETA_DROP_TOL));
+        *since_refactor += 1;
+        if *since_refactor >= REFACTOR_EVERY {
+            *since_refactor = 0;
+            return self.refactor();
+        }
+        true
+    }
+
+    /// Run the primal simplex on the given phase costs with Devex pricing.
+    /// Returns (status, iterations).
     pub(crate) fn run(
         &mut self,
         cost: &[f64],
@@ -439,8 +499,12 @@ impl Tableau {
         deadline: Option<std::time::Instant>,
     ) -> (LpStatus, usize) {
         let m = self.m;
+        let ncols = self.cols.len();
         let mut y = vec![0.0; m];
         let mut w = vec![0.0; m];
+        let mut rho = vec![0.0; m];
+        // Devex reference weights, one per column; reset = Dantzig pricing.
+        let mut gamma = vec![1.0f64; ncols];
         let mut degenerate_run = 0usize;
         let mut since_refactor = 0usize;
 
@@ -454,10 +518,10 @@ impl Tableau {
             }
             self.duals(cost, &mut y);
 
-            // Pricing: Dantzig normally, Bland when cycling is suspected.
+            // Pricing: Devex normally, Bland when cycling is suspected.
             let bland = degenerate_run > 2 * (m + 16);
             let mut entering: Option<(usize, f64, f64)> = None; // (j, d, score)
-            for j in 0..self.cols.len() {
+            for j in 0..ncols {
                 if self.state[j] == VarState::Basic || self.lo[j] >= self.hi[j] {
                     continue;
                 }
@@ -474,7 +538,7 @@ impl Tableau {
                     entering = Some((j, d, d.abs()));
                     break;
                 }
-                let score = d.abs();
+                let score = d * d / gamma[j];
                 if entering.as_ref().is_none_or(|(_, _, s)| score > *s) {
                     entering = Some((j, d, score));
                 }
@@ -538,42 +602,51 @@ impl Tableau {
                         VarState::Upper => self.hi[j] - t_max,
                         VarState::Basic => unreachable!(),
                     };
+                    let piv = w[r];
+                    debug_assert!(piv.abs() > PIVOT_TOL * 0.1);
+
+                    // Devex update against the pre-pivot pivot row
+                    // ρ = eᵣᵀB⁻¹: γ_k ← max(γ_k, (α_k/α_q)² γ_q) for every
+                    // nonbasic k, and the leaving column re-enters the
+                    // framework with γ ← max(γ_q/α_q², 1).
+                    self.btran_row(r, &mut rho);
+                    let gamma_q = gamma[j];
+                    let inv_piv2 = 1.0 / (piv * piv);
+                    let mut gmax = 1.0f64;
+                    for k in 0..ncols {
+                        if self.state[k] == VarState::Basic || k == j || self.lo[k] >= self.hi[k] {
+                            continue;
+                        }
+                        let mut alpha = 0.0;
+                        for &(i, a) in &self.cols[k] {
+                            alpha += rho[i] * a;
+                        }
+                        if alpha != 0.0 {
+                            let cand = alpha * alpha * inv_piv2 * gamma_q;
+                            if cand > gamma[k] {
+                                gamma[k] = cand;
+                            }
+                            if gamma[k] > gmax {
+                                gmax = gamma[k];
+                            }
+                        }
+                    }
+                    gamma[old] = (gamma_q * inv_piv2).max(1.0);
+                    if gamma[old] > gmax {
+                        gmax = gamma[old];
+                    }
+                    if gmax > DEVEX_RESET_LIMIT {
+                        gamma.fill(1.0);
+                        self.devex_resets += 1;
+                    }
+
                     self.state[old] = leave_to;
                     self.state[j] = VarState::Basic;
                     self.basis[r] = j;
-
-                    // Product-form update of B⁻¹ on pivot w[r].
-                    let piv = w[r];
-                    debug_assert!(piv.abs() > PIVOT_TOL * 0.1);
-                    for i in 0..m {
-                        if i == r {
-                            continue;
-                        }
-                        let f = w[i] / piv;
-                        if f == 0.0 {
-                            continue;
-                        }
-                        let (head, tail) = self.binv.split_at_mut(r.max(i) * m);
-                        let (row_i, row_r) = if i < r {
-                            (&mut head[i * m..(i + 1) * m], &tail[..m])
-                        } else {
-                            (&mut tail[..m], &head[r * m..(r + 1) * m])
-                        };
-                        for k in 0..m {
-                            row_i[k] -= f * row_r[k];
-                        }
-                    }
-                    for k in 0..m {
-                        self.binv[r * m + k] /= piv;
-                    }
                     self.xb[r] = entering_val;
 
-                    since_refactor += 1;
-                    if since_refactor >= REFACTOR_EVERY {
-                        since_refactor = 0;
-                        if !self.refactor() {
-                            return (LpStatus::IterLimit, iter);
-                        }
+                    if !self.update_factors(r, &w, &mut since_refactor) {
+                        return (LpStatus::IterLimit, iter);
                     }
                 }
             }
@@ -603,6 +676,11 @@ impl SimplexSolver {
         Self::default()
     }
 
+    /// True once the wall-clock deadline (if armed) has passed.
+    fn deadline_expired(&self) -> bool {
+        self.deadline.is_some_and(|dl| std::time::Instant::now() >= dl)
+    }
+
     /// Solve the LP relaxation of `model` with per-variable bounds.
     pub fn solve(&self, model: &Model, lo: &[f64], hi: &[f64]) -> LpResult {
         let n = model.n_vars();
@@ -621,9 +699,22 @@ impl SimplexSolver {
                 objective,
                 iterations: 0,
                 basis: None,
+                refactorizations: 0,
+                devex_resets: 0,
             };
         }
+        // An already-expired deadline aborts before the first factorization.
+        if self.deadline_expired() {
+            return LpResult::aborted(n);
+        }
+        match self.engine {
+            LpEngine::Sparse => self.solve_sparse(model, lo, hi),
+            LpEngine::Dense => crate::dense::dense_solve(self, model, lo, hi),
+        }
+    }
 
+    fn solve_sparse(&self, model: &Model, lo: &[f64], hi: &[f64]) -> LpResult {
+        let n = model.n_vars();
         let mut t = Tableau::build(model, lo, hi);
         t.init_basis();
 
@@ -640,6 +731,8 @@ impl SimplexSolver {
                 objective: f64::INFINITY,
                 iterations: it1,
                 basis: None,
+                refactorizations: t.refactorizations,
+                devex_resets: t.devex_resets,
             };
         }
         let infeas: f64 = t
@@ -656,6 +749,8 @@ impl SimplexSolver {
                 objective: f64::INFINITY,
                 iterations: it1,
                 basis: None,
+                refactorizations: t.refactorizations,
+                devex_resets: t.devex_resets,
             };
         }
 
@@ -673,7 +768,69 @@ impl SimplexSolver {
         let x = t.structural_x();
         let objective = model.objective_value(&x);
         let basis = (s2 == LpStatus::Optimal).then(|| t.snapshot());
-        LpResult { status: s2, x, objective, iterations: it1 + it2, basis }
+        LpResult {
+            status: s2,
+            x,
+            objective,
+            iterations: it1 + it2,
+            basis,
+            refactorizations: t.refactorizations,
+            devex_resets: t.devex_resets,
+        }
+    }
+
+    /// Warm-start **phase 2** from a basis snapshot of the *same model and
+    /// bounds* after a pure objective change.  Bound and RHS edits keep a
+    /// basis dual feasible (the [`DualSimplex`](crate::dual::DualSimplex)
+    /// territory); an objective edit instead keeps it **primal** feasible,
+    /// so the correct warm restart is the primal phase 2 — a dual re-solve
+    /// here would accept a suboptimal point.  Used by the soft-constraint
+    /// λ-sweep, where only the objective weights move between points.
+    ///
+    /// Returns `None` when the snapshot does not fit, its basis is
+    /// singular, or the restored point violates the current bounds — the
+    /// caller then pays a cold two-phase solve.
+    pub fn warm_solve(
+        &self,
+        model: &Model,
+        lo: &[f64],
+        hi: &[f64],
+        basis: &Basis,
+    ) -> Option<LpResult> {
+        let n = model.n_vars();
+        if model.n_constraints() == 0 {
+            return None;
+        }
+        if self.deadline_expired() {
+            return Some(LpResult::aborted(n));
+        }
+        let mut t = Tableau::build(model, lo, hi);
+        if !t.restore(basis) {
+            return None;
+        }
+        // The restart is only sound from a primal-feasible point.
+        let feas_tol = self.tol.max(1e-7);
+        for i in 0..t.m {
+            let bv = t.basis[i];
+            if t.xb[i] < t.lo[bv] - feas_tol || t.xb[i] > t.hi[bv] + feas_tol {
+                return None;
+            }
+        }
+        let mut cost = vec![0.0; t.cols.len()];
+        cost[..n].copy_from_slice(model.objective());
+        let (status, iterations) = t.run(&cost, self.tol, self.max_iters, self.deadline);
+        let x = t.structural_x();
+        let objective = model.objective_value(&x);
+        let snap = (status == LpStatus::Optimal).then(|| t.snapshot());
+        Some(LpResult {
+            status,
+            x,
+            objective,
+            iterations,
+            basis: snap,
+            refactorizations: t.refactorizations,
+            devex_resets: t.devex_resets,
+        })
     }
 
     /// Feasibility check only (phase 1): is the relaxed polytope non-empty?
@@ -707,6 +864,7 @@ mod tests {
         assert!((r.objective - (-2.5)).abs() < 1e-6, "{}", r.objective);
         assert!((r.x[0] - 0.5).abs() < 1e-6);
         assert!((r.x[1] - 1.0).abs() < 1e-6);
+        assert!(r.refactorizations >= 1, "cold solve factorizes at least once");
     }
 
     #[test]
@@ -797,19 +955,26 @@ mod tests {
     }
 
     #[test]
-    fn expired_deadline_aborts_within_one_pivot() {
-        // The deadline check runs before the first pivot, so an
-        // already-expired deadline returns IterLimit with zero iterations.
+    fn expired_deadline_aborts_before_first_factorization() {
+        // The deadline check runs at solve entry, so an already-expired
+        // deadline returns IterLimit with zero iterations AND zero
+        // factorizations — no LU work may start past the wall clock.
         let mut m = Model::new();
         let x = m.add_var("x", -1.0);
         let y = m.add_var("y", -2.0);
         m.add_constraint(LinExpr::new().term(x, 1.0).term(y, 1.0), Sense::Le, 1.5);
         let (lo, hi) = bounds(2);
-        let solver =
-            SimplexSolver { deadline: Some(std::time::Instant::now()), ..Default::default() };
-        let r = solver.solve(&m, &lo, &hi);
-        assert_eq!(r.status, LpStatus::IterLimit);
-        assert_eq!(r.iterations, 0, "no pivot may run past an expired deadline");
+        for engine in [LpEngine::Sparse, LpEngine::Dense] {
+            let solver = SimplexSolver {
+                deadline: Some(std::time::Instant::now()),
+                engine,
+                ..Default::default()
+            };
+            let r = solver.solve(&m, &lo, &hi);
+            assert_eq!(r.status, LpStatus::IterLimit);
+            assert_eq!(r.iterations, 0, "no pivot may run past an expired deadline");
+            assert_eq!(r.refactorizations, 0, "no factorization past an expired deadline");
+        }
     }
 
     #[test]
@@ -859,5 +1024,60 @@ mod tests {
         assert_eq!(r.status, LpStatus::Optimal);
         // best: x21=0.5 (cost 1), x12=0.5 (cost 0.5) → 1.5
         assert!((r.objective - 1.5).abs() < 1e-6, "{}", r.objective);
+    }
+
+    #[test]
+    fn engines_agree_on_random_knapsacks() {
+        // The dense oracle and the sparse production engine must agree on
+        // status and objective across a small random family.
+        for seed in 0..12u64 {
+            let mut m = Model::new();
+            let n = 7;
+            let mut expr = LinExpr::new();
+            for j in 0..n {
+                let c = -(((seed * 41 + j as u64 * 17) % 23 + 1) as f64);
+                let v = m.add_var(format!("v{j}"), c);
+                expr.add(v, ((seed * 53 + j as u64 * 31) % 7 + 1) as f64);
+            }
+            m.add_constraint(expr, Sense::Le, 11.0);
+            let (lo, hi) = bounds(n);
+            let sparse = SimplexSolver::new().solve(&m, &lo, &hi);
+            let dense =
+                SimplexSolver { engine: LpEngine::Dense, ..Default::default() }.solve(&m, &lo, &hi);
+            assert_eq!(sparse.status, dense.status, "seed {seed}");
+            assert!(
+                (sparse.objective - dense.objective).abs() < 1e-6,
+                "seed {seed}: sparse {} vs dense {}",
+                sparse.objective,
+                dense.objective
+            );
+            assert_eq!(dense.devex_resets, 0, "dense engine never prices with Devex");
+        }
+    }
+
+    #[test]
+    fn warm_solve_tracks_objective_changes() {
+        // Re-solving after an objective flip from the old optimal basis must
+        // match a cold solve of the new objective.
+        let mut m = Model::new();
+        let x = m.add_var("x", -1.0);
+        let y = m.add_var("y", -2.0);
+        m.add_constraint(LinExpr::new().term(x, 1.0).term(y, 1.0), Sense::Le, 1.5);
+        let (lo, hi) = bounds(2);
+        let root = SimplexSolver::new().solve(&m, &lo, &hi);
+        let basis = root.basis.expect("root basis");
+        // Flip the preference: y becomes expensive, x cheap.
+        m.set_objective(x, -5.0);
+        m.set_objective(y, 1.0);
+        let warm = SimplexSolver::new().warm_solve(&m, &lo, &hi, &basis).expect("basis fits");
+        let cold = SimplexSolver::new().solve(&m, &lo, &hi);
+        assert_eq!(warm.status, LpStatus::Optimal);
+        assert!(
+            (warm.objective - cold.objective).abs() < 1e-6,
+            "warm {} vs cold {}",
+            warm.objective,
+            cold.objective
+        );
+        assert!(warm.basis.is_some(), "warm optimum snapshots a basis for the next λ point");
     }
 }

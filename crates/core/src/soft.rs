@@ -14,20 +14,27 @@
 //! from the extreme points it recursively solves at the λ induced by each
 //! chord's slope and keeps the new point only if it is further than `ε` from
 //! the chord — yielding a provably good approximation of the frontier with
-//! few solver invocations.  Successive solves warm-start from the previous
-//! multipliers (the paper reports a 4× speed-up over solving each point from
-//! scratch).
+//! few solver invocations.
+//!
+//! Successive λ points are **warm-chained**: the BIP is built once, each λ
+//! step is a [`ModelDelta::SetObjective`] over the same [`DeltaModel`], and
+//! the solve runs through [`BranchBound::resolve`] with a shared
+//! [`ResolveContext`] — the root LP restarts phase 2 of the primal simplex
+//! from the previous λ's optimal basis (an objective edit keeps that basis
+//! primal feasible), the previous configuration seeds the incumbent, and the
+//! pseudo-cost table carries over (the paper reports a 4× speed-up for
+//! warm-started sweeps over solving each point from scratch).
 
 use std::time::{Duration, Instant};
 
-use cophy_bip::{BlockProblem, LagrangianSolver, WarmStart};
+use cophy_bip::{BranchBound, DeltaModel, ModelDelta, ResolveContext, SolveOptions};
 use cophy_catalog::Configuration;
 use cophy_inum::PreparedWorkload;
 
 use crate::bipgen::BipGen;
 use crate::cgen::CandidateSet;
 use crate::constraints::ConstraintSet;
-use crate::solver::{selection_to_config, CoPhy};
+use crate::solver::CoPhy;
 
 /// One point of the Pareto frontier.
 #[derive(Debug, Clone)]
@@ -68,31 +75,44 @@ impl ChordExplorer {
     ) -> Vec<ParetoPoint> {
         let schema = cophy.optimizer().schema();
         let cm = cophy.optimizer().cost_model();
-        // Base block problem without a budget: λ re-weights item costs.
-        let tp = BipGen::default().block_problem(
-            schema,
-            cm,
-            prepared,
-            candidates,
-            &ConstraintSet::none(),
-        );
+        // Build the unbudgeted BIP once; every λ is an objective re-weight
+        // of the same model, warm-chained through one ResolveContext.
+        let (model, mapping) =
+            BipGen::default().model(schema, cm, prepared, candidates, &ConstraintSet::none());
         // Normalize storage into cost units so λ spans a meaningful range:
         // one "cost unit" per (data_bytes / baseline_cost) bytes.
         let baseline = prepared.cost(schema, cm, &Configuration::empty());
         let scale = baseline / schema.data_bytes() as f64;
+        // λ=1 objective per variable, and each variable's storage footprint
+        // (nonzero only for the z columns): f_λ is their affine blend.
+        let base_obj: Vec<f64> = model.objective().to_vec();
+        let mut sizes = vec![0.0f64; model.n_vars()];
+        for (pos, v) in mapping.z.iter().enumerate() {
+            let ix = candidates.get(cophy_catalog::IndexId(pos as u32));
+            sizes[v.0 as usize] = ix.size_bytes(schema) as f64;
+        }
 
-        let mut warm: Option<WarmStart> = None;
+        let bb = BranchBound::new();
+        let opts = SolveOptions { budget: cophy.options.budget, ..Default::default() };
+        let mut dm = DeltaModel::new(model);
+        let mut ctx = ResolveContext::new();
         let mut solves = 0usize;
         let solve_at =
-            |lambda: f64, warm: &mut Option<WarmStart>, solves: &mut usize| -> ParetoPoint {
+            |lambda: f64, dm: &mut DeltaModel, ctx: &mut ResolveContext, solves: &mut usize| {
                 *solves += 1;
                 let t0 = Instant::now();
-                let scaled = reweight(&tp.block, lambda, scale);
-                let solver =
-                    LagrangianSolver { budget: cophy.options.budget, ..Default::default() };
-                let (r, w) = solver.solve_warm(&scaled, warm.as_ref());
-                *warm = Some(w);
-                let configuration = selection_to_config(&r.selected, candidates);
+                let coeffs: Vec<f64> = base_obj
+                    .iter()
+                    .zip(&sizes)
+                    .map(|(&c, &s)| lambda * c + (1.0 - lambda) * scale * s)
+                    .collect();
+                dm.apply(ModelDelta::SetObjective { coeffs });
+                let r = bb.resolve(dm, &opts, ctx);
+                let configuration = if r.x.len() == dm.model().n_vars() {
+                    mapping.extract_configuration(&r.x, candidates)
+                } else {
+                    Configuration::empty()
+                };
                 let workload_cost = prepared.cost(schema, cm, &configuration);
                 let size_bytes = configuration.size_bytes(schema);
                 ParetoPoint {
@@ -113,7 +133,7 @@ impl ChordExplorer {
             size_bytes: 0,
             solve_time: Duration::ZERO,
         };
-        let full = solve_at(1.0, &mut warm, &mut solves);
+        let full = solve_at(1.0, &mut dm, &mut ctx, &mut solves);
 
         let mut points = vec![empty, full];
         // Chord recursion over a worklist of (lo, hi) index pairs into
@@ -131,7 +151,7 @@ impl ChordExplorer {
                 continue;
             }
             let lambda = (size_span / (cost_span + size_span)).clamp(0.01, 0.99);
-            let p = solve_at(lambda, &mut warm, &mut solves);
+            let p = solve_at(lambda, &mut dm, &mut ctx, &mut solves);
             // Distance of p from the chord (normalized space).
             let d = chord_distance(
                 (a.workload_cost, a.size_bytes as f64 * scale),
@@ -159,30 +179,6 @@ impl ChordExplorer {
         points.sort_by(|x, y| x.lambda.total_cmp(&y.lambda));
         points
     }
-}
-
-/// Re-weight a block problem for a given λ: query costs scale by λ, item
-/// costs become `λ·ucost + (1−λ)·scale·size`, the budget disappears.
-fn reweight(base: &BlockProblem, lambda: f64, scale: f64) -> BlockProblem {
-    let mut p = base.clone();
-    p.budget = None;
-    for (c, s) in p.item_cost.iter_mut().zip(p.item_size.iter()) {
-        *c = lambda * *c + (1.0 - lambda) * scale * s;
-    }
-    for b in &mut p.blocks {
-        for alt in &mut b.alts {
-            alt.base *= lambda;
-            for slot in &mut alt.slots {
-                if let Some(f) = &mut slot.fallback {
-                    *f *= lambda;
-                }
-                for (_, g) in &mut slot.choices {
-                    *g *= lambda;
-                }
-            }
-        }
-    }
-    p
 }
 
 /// Euclidean distance of point `p` from the line through `a`, `b`.

@@ -1,0 +1,178 @@
+//! Differential equivalence suite: the sparse revised simplex (LU + eta
+//! updates, Devex pricing, bound-flipping dual ratio test) against the
+//! retained dense explicit-inverse engine ([`cophy_bip::LpEngine::Dense`]).
+//!
+//! The contract under test is *objective/verdict equality*, not trace
+//! equality: the two kernels pivot differently (Devex vs Dantzig), but on
+//! every LP they must agree on feasibility and on the optimal value, and a
+//! [`cophy_bip::Basis`] snapshot must survive snapshot → restore → extend
+//! round-trips on either engine.
+
+use proptest::prelude::*;
+
+use cophy_bip::{DualSimplex, LinExpr, LpEngine, LpStatus, Model, Sense, SimplexSolver, VarId};
+
+/// Deterministic LCG in [-1, 1) from a seed, same idiom as `properties.rs`.
+fn lcg(seed: u64) -> impl FnMut() -> f64 {
+    let mut s = seed;
+    move || {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+    }
+}
+
+/// Strategy: a random bounded LP over binaries — a knapsack row for
+/// boundedness plus a few generic ≤/≥/= rows (some infeasible by design).
+fn random_lp() -> impl Strategy<Value = Model> {
+    (2usize..10, 1usize..4, any::<u64>()).prop_map(|(n, extra_rows, seed)| {
+        let mut next = lcg(seed);
+        let mut m = Model::new();
+        let vars: Vec<_> = (0..n).map(|j| m.add_var(format!("v{j}"), next() * 10.0)).collect();
+        let mut e = LinExpr::new();
+        for &v in &vars {
+            e.add(v, next().abs() * 5.0 + 0.5);
+        }
+        m.add_constraint(e, Sense::Le, 1.0 + next().abs() * n as f64);
+        for _ in 0..extra_rows {
+            let mut g = LinExpr::new();
+            for &v in &vars {
+                if next() > 0.2 {
+                    g.add(v, next() * 4.0);
+                }
+            }
+            if g.terms.is_empty() {
+                continue;
+            }
+            let sense = if next() > 0.3 {
+                Sense::Le
+            } else if next() > 0.0 {
+                Sense::Ge
+            } else {
+                Sense::Eq
+            };
+            m.add_constraint(g, sense, next() * 3.0);
+        }
+        m
+    })
+}
+
+/// Strategy: a model plus a chain of random bound pinches (var, value).
+fn lp_with_pinches() -> impl Strategy<Value = (Model, Vec<(usize, bool)>)> {
+    (random_lp(), 1usize..6, any::<u64>()).prop_map(|(m, n_pinch, seed)| {
+        let mut next = lcg(seed);
+        let n = m.n_vars();
+        let pinches: Vec<(usize, bool)> =
+            (0..n_pinch).map(|_| ((next().abs() * n as f64) as usize % n, next() > 0.0)).collect();
+        (m, pinches)
+    })
+}
+
+fn solver(engine: LpEngine) -> SimplexSolver {
+    SimplexSolver { engine, ..SimplexSolver::new() }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Cold solves: identical verdicts, equal objectives within tolerance.
+    #[test]
+    fn engines_agree_on_random_lps(m in random_lp()) {
+        let n = m.n_vars();
+        let (lo, hi) = (vec![0.0; n], vec![1.0; n]);
+        let sparse = solver(LpEngine::Sparse).solve(&m, &lo, &hi);
+        let dense = solver(LpEngine::Dense).solve(&m, &lo, &hi);
+        prop_assert_eq!(sparse.status, dense.status);
+        if sparse.status == LpStatus::Optimal {
+            prop_assert!(
+                (sparse.objective - dense.objective).abs() <= 1e-6 * (1.0 + dense.objective.abs()),
+                "sparse {} vs dense {}", sparse.objective, dense.objective
+            );
+            // The dense oracle never runs Devex, so it never resets it.
+            prop_assert_eq!(dense.devex_resets, 0);
+        }
+    }
+
+    /// Warm pinch chains: the sparse dual simplex re-solving from the parent
+    /// basis must reach the verdict and value of a dense cold solve at every
+    /// link of the chain.
+    #[test]
+    fn warm_sparse_chain_matches_dense_cold(case in lp_with_pinches()) {
+        let (m, pinches) = case;
+        let n = m.n_vars();
+        let (mut lo, mut hi) = (vec![0.0; n], vec![1.0; n]);
+        let root = solver(LpEngine::Sparse).solve(&m, &lo, &hi);
+        if root.status != LpStatus::Optimal {
+            // Infeasible roots carry no basis to chain from; skip the case.
+            return Ok(());
+        }
+        let mut basis = root.basis.expect("optimal solve snapshots a basis");
+        let dual = DualSimplex::new();
+        for (j, v) in pinches {
+            lo[j] = if v { 1.0 } else { 0.0 };
+            hi[j] = lo[j];
+            let warm = dual.resolve(&m, &lo, &hi, &basis).expect("basis fits the same model");
+            let cold = solver(LpEngine::Dense).solve(&m, &lo, &hi);
+            prop_assert!(
+                warm.status == cold.status
+                    || (warm.status == LpStatus::IterLimit && cold.status == LpStatus::Optimal),
+                "warm {:?} vs dense cold {:?}", warm.status, cold.status
+            );
+            match warm.status {
+                LpStatus::Optimal => {
+                    prop_assert!(
+                        (warm.objective - cold.objective).abs()
+                            <= 1e-6 * (1.0 + cold.objective.abs()),
+                        "warm {} vs dense cold {}", warm.objective, cold.objective
+                    );
+                    basis = warm.basis.expect("optimal resolve snapshots a basis");
+                }
+                // Infeasible: the chain cannot continue from this pinch.
+                _ => break,
+            }
+        }
+    }
+
+    /// Basis round-trip: a snapshot restored under the *same* bounds is
+    /// already optimal (zero or near-zero extra pivots, equal objective),
+    /// and extending it across a row append keeps it usable.
+    #[test]
+    fn basis_roundtrips_across_snapshot_restore_and_extend(m in random_lp()) {
+        let n = m.n_vars();
+        let (lo, hi) = (vec![0.0; n], vec![1.0; n]);
+        let root = solver(LpEngine::Sparse).solve(&m, &lo, &hi);
+        if root.status != LpStatus::Optimal {
+            // Nothing to round-trip without an optimal snapshot.
+            return Ok(());
+        }
+        let basis = root.basis.clone().expect("optimal solve snapshots a basis");
+
+        // Restore under identical bounds: the dual simplex finds nothing to
+        // repair on either engine.
+        for engine in [LpEngine::Sparse, LpEngine::Dense] {
+            let dual = DualSimplex { engine, ..DualSimplex::new() };
+            let r = dual.resolve(&m, &lo, &hi, &basis).expect("snapshot fits its own model");
+            prop_assert_eq!(r.status, LpStatus::Optimal);
+            prop_assert!(
+                (r.objective - root.objective).abs() <= 1e-6 * (1.0 + root.objective.abs())
+            );
+        }
+
+        // Append a redundant row and extend: the extended basis must solve
+        // the grown model to the same optimum.
+        let mut grown = m.clone();
+        let mut row = LinExpr::new();
+        for j in 0..n {
+            row.add(VarId(j as u32), 1.0);
+        }
+        grown.add_constraint(row, Sense::Le, n as f64 + 1.0);
+        let extended = basis.extended_to(&grown).expect("append-only extension");
+        let r = DualSimplex::new()
+            .resolve(&grown, &lo, &hi, &extended)
+            .expect("extended basis fits the grown model");
+        prop_assert_eq!(r.status, LpStatus::Optimal);
+        prop_assert!(
+            (r.objective - root.objective).abs() <= 1e-6 * (1.0 + root.objective.abs()),
+            "extended {} vs root {}", r.objective, root.objective
+        );
+    }
+}
