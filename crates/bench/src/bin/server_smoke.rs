@@ -1,0 +1,9 @@
+//! CI guard: the advisor-as-a-service daemon must sustain 8 concurrent
+//! sessions over one shared INUM cache at one session's probe cost, stream
+//! solver events over the wire bit-identically to an in-process run,
+//! reproduce an evicted session's recommendation, and enforce tenant
+//! quotas.  Writes `BENCH_server.json` before gating.  See the ROADMAP's
+//! advisor-as-a-service item.
+fn main() {
+    println!("{}", cophy_bench::server_smoke());
+}

@@ -21,6 +21,10 @@
 //! solver, DBMS); the claims under test are the *shapes*: who wins, by
 //! roughly what factor, and how times scale.
 
+pub mod server_study;
+
+pub use server_study::{server_smoke, server_study, ServerStudy};
+
 use std::time::{Duration, Instant};
 
 use cophy::{

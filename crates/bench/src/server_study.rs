@@ -1,0 +1,333 @@
+//! Advisor-as-a-service smoke study (the `server_smoke` CI gate).
+//!
+//! Boots a real `cophy-server` on loopback, drives **eight concurrent
+//! client sessions over one shared INUM cache**, and checks the service
+//! keeps the in-process engine's guarantees across the wire:
+//!
+//! * the streamed `progress` lines of every session match an in-process
+//!   `recommend_with_progress` run **event for event, bit for bit** (wall
+//!   clock excluded — only solver state is compared);
+//! * eight sessions cost exactly one session's optimizer probes (the
+//!   shared-cache economy the daemon exists for);
+//! * an evicted-then-retouched session reproduces its pre-eviction
+//!   recommendation bit-identically;
+//! * the per-tenant probe quota rejects a starved open with `err quota`;
+//! * every proven gap is finite.
+//!
+//! Writes `BENCH_server.json` (sessions, cache hit rate, probes saved vs
+//! unshared, stream stats, p50/p95 request latency) *before* gating, so the
+//! CI artifact survives a failure.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use cophy::{CoPhy, CoPhyOptions, ConstraintSet};
+use cophy_catalog::TpchGen;
+use cophy_optimizer::{SystemProfile, WhatIfOptimizer};
+use cophy_server::{Client, ClientError, ErrCode, ProgressLine, Server, ServerConfig};
+
+use crate::{secs, sizes};
+
+const N_SESSIONS: usize = 8;
+
+/// Everything the study measures; gates and the artifact both read this.
+pub struct ServerStudy {
+    pub statements: usize,
+    pub sessions: usize,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub probes_single: u64,
+    pub probes_total: u64,
+    pub stream_events: usize,
+    pub stream_match: bool,
+    pub rec_match: bool,
+    pub eviction_reproduced: bool,
+    pub quota_enforced: bool,
+    pub gap: f64,
+    pub latencies: Vec<Duration>,
+    pub wall: Duration,
+}
+
+impl ServerStudy {
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.cache_hits as f64 / total as f64
+    }
+
+    /// Fraction of probes the shared cache saved vs N unshared sessions.
+    pub fn probes_saved(&self) -> f64 {
+        let unshared = self.probes_single * self.sessions as u64;
+        if unshared == 0 {
+            return 0.0;
+        }
+        1.0 - self.probes_total as f64 / unshared as f64
+    }
+
+    fn latency_at(&self, q: f64) -> Duration {
+        if self.latencies.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut sorted = self.latencies.clone();
+        sorted.sort();
+        let i = ((sorted.len() - 1) as f64 * q).round() as usize;
+        sorted[i]
+    }
+
+    pub fn p50(&self) -> Duration {
+        self.latency_at(0.50)
+    }
+
+    pub fn p95(&self) -> Duration {
+        self.latency_at(0.95)
+    }
+}
+
+/// The solver-state fingerprint of one streamed event.
+type EventKey = (usize, u64, u64, u64, usize, usize);
+
+/// The bit-level fingerprint of a recommendation on the wire.
+type RecKey = (u64, u64, u64, Vec<String>);
+
+fn rec_key(objective: f64, bound: f64, gap: f64, indexes: &[cophy_catalog::Index]) -> RecKey {
+    (
+        objective.to_bits(),
+        bound.to_bits(),
+        gap.to_bits(),
+        indexes.iter().map(cophy_optimizer::trace::fmt_index).collect(),
+    )
+}
+
+/// Run the whole study.  `n` statements; the workload spec is `hom:7:n`.
+pub fn server_study(n: usize) -> ServerStudy {
+    let spec = format!("hom:7:{n}");
+    let t0 = Instant::now();
+
+    // ------------------------------------------------------------------
+    // In-process reference: the exact solve the server performs, captured
+    // event for event.  Construction mirrors the daemon's tenant setup.
+    // ------------------------------------------------------------------
+    let o = WhatIfOptimizer::new(TpchGen::default().schema(), SystemProfile::A);
+    let w = cophy_workload::HomGen::new(7).generate(o.schema(), n);
+    let cophy = CoPhy::new(&o, CoPhyOptions::default());
+    let constraints = ConstraintSet::storage_fraction(o.schema(), 0.5);
+    let mut reference = cophy.try_session(&w, constraints).expect("reference session opens");
+    let probes_single = o.what_if_calls();
+    let mut ref_events: Vec<EventKey> = Vec::new();
+    let rec = reference
+        .recommend_with_progress(|p| ref_events.push(ProgressLine::from_event(0, p).state_key()));
+    let mut sel: Vec<cophy_catalog::Index> = rec.configuration.iter().cloned().collect();
+    sel.sort_by_cached_key(cophy_optimizer::trace::fmt_index);
+    let ref_rec = rec_key(rec.objective, rec.bound, rec.gap, &sel);
+
+    // ------------------------------------------------------------------
+    // The service: one daemon, eight concurrent sessions over one cache.
+    // ------------------------------------------------------------------
+    let handle =
+        Server::bind("127.0.0.1:0", ServerConfig::default(), None).expect("bind loopback").spawn();
+    let addr = handle.addr();
+    let latencies = Mutex::new(Vec::new());
+    fn timed(lat: &Mutex<Vec<Duration>>, f: &mut dyn FnMut()) {
+        let t = Instant::now();
+        f();
+        lat.lock().unwrap().push(t.elapsed());
+    }
+
+    let per_session: Vec<(bool, Vec<EventKey>, RecKey)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..N_SESSIONS)
+            .map(|i| {
+                let (spec, latencies) = (spec.clone(), &latencies);
+                scope.spawn(move || {
+                    let mut c = Client::connect(addr).expect("client connects");
+                    let sid = format!("s{i}");
+                    let mut hit = false;
+                    timed(latencies, &mut || {
+                        hit = c.open(&sid, &spec, 0.5).expect("open").cache_hit;
+                    });
+                    let mut events: Vec<EventKey> = Vec::new();
+                    let mut rec = None;
+                    timed(latencies, &mut || {
+                        rec = Some(c.tune(&sid, |p| events.push(p.state_key())).expect("tune"));
+                    });
+                    let rec = rec.unwrap();
+                    timed(latencies, &mut || {
+                        c.what_if(&sid, &rec.indexes).expect("what_if");
+                    });
+                    timed(latencies, &mut || {
+                        c.close(&sid).expect("close");
+                    });
+                    (hit, events, rec_key(rec.objective, rec.bound, rec.gap, &rec.indexes))
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("session thread")).collect()
+    });
+
+    let stream_match = per_session.iter().all(|(_, ev, _)| *ev == ref_events);
+    let rec_match = per_session.iter().all(|(_, _, rk)| *rk == ref_rec);
+    let stream_events = ref_events.len();
+
+    // Stats of the 8-session phase alone (the eviction phase below opens
+    // one more shared session and would shift the hit counters).
+    let stats = {
+        let mut c = Client::connect(addr).expect("client connects");
+        c.stats().expect("stats")
+    };
+
+    // ------------------------------------------------------------------
+    // Eviction reproduction: pin, tune, evict, retouch — bit-identical.
+    // ------------------------------------------------------------------
+    let eviction_reproduced = {
+        let mut c = Client::connect(addr).expect("client connects");
+        c.open("evictee", &spec, 0.5).expect("open evictee");
+        let pin = {
+            // Pin the reference's first recommended index.
+            sel.first().cloned().expect("reference recommends at least one index")
+        };
+        c.pin("evictee", &pin).expect("pin");
+        let before = c.tune("evictee", |_| {}).expect("pre-eviction tune");
+        c.evict("evictee").expect("evict");
+        let after = c.tune("evictee", |_| {}).expect("post-rebuild tune");
+        c.close("evictee").expect("close evictee");
+        rec_key(before.objective, before.bound, before.gap, &before.indexes)
+            == rec_key(after.objective, after.bound, after.gap, &after.indexes)
+    };
+
+    handle.stop();
+
+    // ------------------------------------------------------------------
+    // Quota enforcement: a starved daemon rejects the cold open typed.
+    // ------------------------------------------------------------------
+    let quota_enforced = {
+        let starved =
+            Server::bind("127.0.0.1:0", ServerConfig { quota: 3, ..Default::default() }, None)
+                .expect("bind starved daemon")
+                .spawn();
+        let mut c = Client::connect(starved.addr()).expect("client connects");
+        let outcome = matches!(
+            c.open("starved", &spec, 0.5),
+            Err(ClientError::Server(e)) if e.code == ErrCode::Quota
+        );
+        let _ = c.quit();
+        starved.stop();
+        outcome
+    };
+
+    ServerStudy {
+        statements: n,
+        sessions: N_SESSIONS,
+        cache_hits: stats.cache_hits,
+        cache_misses: stats.cache_misses,
+        probes_single,
+        probes_total: stats.probes,
+        stream_events,
+        stream_match,
+        rec_match,
+        eviction_reproduced,
+        quota_enforced,
+        gap: rec.gap,
+        latencies: latencies.into_inner().unwrap(),
+        wall: t0.elapsed(),
+    }
+}
+
+/// `BENCH_server.json` body.
+pub fn server_artifact_json(s: &ServerStudy) -> String {
+    format!(
+        "{{\"experiment\":\"server_smoke\",\"statements\":{},\"sessions\":{},\
+         \"cache_hits\":{},\"cache_misses\":{},\"hit_rate\":{:.4},\
+         \"probes_single\":{},\"probes_total\":{},\"probes_saved_vs_unshared\":{:.4},\
+         \"stream_events\":{},\"stream_match\":{},\"rec_match\":{},\
+         \"eviction_reproduced\":{},\"quota_enforced\":{},\"gap\":{:.6},\
+         \"p50_ms\":{:.3},\"p95_ms\":{:.3},\"wall_s\":{:.3}}}\n",
+        s.statements,
+        s.sessions,
+        s.cache_hits,
+        s.cache_misses,
+        s.hit_rate(),
+        s.probes_single,
+        s.probes_total,
+        s.probes_saved(),
+        s.stream_events,
+        s.stream_match,
+        s.rec_match,
+        s.eviction_reproduced,
+        s.quota_enforced,
+        s.gap,
+        s.p50().as_secs_f64() * 1e3,
+        s.p95().as_secs_f64() * 1e3,
+        s.wall.as_secs_f64(),
+    )
+}
+
+pub fn write_server_artifact(json: &str) {
+    let path = "BENCH_server.json";
+    std::fs::write(path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    eprintln!("wrote server artifact to {path}");
+}
+
+/// Human-readable report.
+pub fn server_report(s: &ServerStudy) -> String {
+    let mut out = String::new();
+    out.push_str("## server_smoke — advisor-as-a-service gate\n\n");
+    out.push_str(&format!(
+        "workload hom:7:{} | {} concurrent sessions over one shared INUM cache\n\n",
+        s.statements, s.sessions
+    ));
+    out.push_str(&format!(
+        "cache: {} hits / {} misses (hit rate {:.0}%)\n",
+        s.cache_hits,
+        s.cache_misses,
+        s.hit_rate() * 100.0
+    ));
+    out.push_str(&format!(
+        "probes: {} total vs {} unshared ({:.0}% saved)\n",
+        s.probes_total,
+        s.probes_single * s.sessions as u64,
+        s.probes_saved() * 100.0
+    ));
+    out.push_str(&format!(
+        "stream: {} events/session, wire==in-process: {} | recommendations match: {}\n",
+        s.stream_events, s.stream_match, s.rec_match
+    ));
+    out.push_str(&format!(
+        "eviction reproduced: {} | quota enforced: {} | final gap {:.2}%\n",
+        s.eviction_reproduced,
+        s.quota_enforced,
+        s.gap * 100.0
+    ));
+    out.push_str(&format!(
+        "latency: p50 {} p95 {} | wall {}\n",
+        secs(s.p50()),
+        secs(s.p95()),
+        secs(s.wall)
+    ));
+    out
+}
+
+/// Assertions behind the CI gate; the artifact is written by the caller
+/// *before* this runs.
+pub fn server_gate(s: &ServerStudy) {
+    assert!(s.sessions >= 8, "gate: need >=8 concurrent sessions, ran {}", s.sessions);
+    assert_eq!(s.cache_misses, 1, "gate: exactly one cold build expected (cold-stampede guard)");
+    assert_eq!(s.cache_hits as usize, s.sessions - 1, "gate: all other opens must share");
+    assert_eq!(s.probes_total, s.probes_single, "gate: N sessions must cost one session's probes");
+    assert!(s.stream_events > 0, "gate: the solve must stream anytime events");
+    assert!(s.stream_match, "gate: wire stream must equal the in-process stream event for event");
+    assert!(s.rec_match, "gate: wire recommendations must equal the in-process one");
+    assert!(s.eviction_reproduced, "gate: evicted session must reproduce its recommendation");
+    assert!(s.quota_enforced, "gate: starved tenant must be rejected with err quota");
+    assert!(s.gap.is_finite(), "gate: proven gap must be finite, got {}", s.gap);
+}
+
+/// Entry point of the `server_smoke` bin.
+pub fn server_smoke() -> String {
+    let n = sizes()[1];
+    let study = server_study(n);
+    write_server_artifact(&server_artifact_json(&study));
+    let report = server_report(&study);
+    server_gate(&study);
+    report
+}

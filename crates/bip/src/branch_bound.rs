@@ -44,7 +44,7 @@
 use std::sync::Arc;
 
 use crate::delta::DeltaModel;
-use crate::driver::{SolveDriver, SolveProgress};
+use crate::driver::{CancelToken, SolveDriver, SolveProgress};
 use crate::dual::DualSimplex;
 use crate::knapsack;
 use crate::model::{ConstrId, Model, Sense};
@@ -163,6 +163,10 @@ pub struct SolveOptions {
     /// validation).  On by default; the bench harness turns it off to
     /// measure the cold-LP baseline.
     pub warm_start: bool,
+    /// Cooperative cancellation: when the token fires, the solve stops at
+    /// its next node boundary with [`MipStatus::TimeLimit`] (the budget's
+    /// deadline brought forward to now).
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for SolveOptions {
@@ -176,6 +180,7 @@ impl Default for SolveOptions {
             heuristic_period: 16,
             strong_branch_max_vars: 400,
             warm_start: true,
+            cancel: None,
         }
     }
 }
@@ -576,6 +581,7 @@ impl BranchBound {
         let n = model.n_vars();
         let (root_lo, root_hi) = (warm.root_lo, warm.root_hi);
         let mut driver = SolveDriver::with_progress(opts.budget, on_progress);
+        driver.set_cancel(opts.cancel.clone());
         // Arm every LP with the wall-clock deadline so one big relaxation
         // cannot blow through the budget.
         let lp_solver = SimplexSolver {

@@ -25,7 +25,37 @@
 //! backends — e.g. parallel node evaluation — plug in without re-deriving the
 //! anytime contract.
 
+use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// A cooperative cancellation handle for an in-flight solve.
+///
+/// Cloning shares the flag; any holder may [`cancel`](CancelToken::cancel),
+/// and the solve observes it at its next [`SolveDriver::stop_status`] check
+/// (between B&B nodes / subgradient iterations — latency is bounded by one
+/// node LP).  Cancellation is wired through the budget's deadline semantics:
+/// a fired token behaves exactly like a `time_limit` brought forward to
+/// *now*, so the solve ends with [`MipStatus::TimeLimit`] and whatever
+/// incumbent/bound it had — the anytime contract holds.  This is how the
+/// `cophy-server` daemon aborts solves whose client disconnected.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Request cancellation (idempotent, thread-safe).
+    pub fn cancel(&self) {
+        self.0.store(true, AtomicOrdering::Relaxed);
+    }
+
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(AtomicOrdering::Relaxed)
+    }
+}
 
 /// Termination reason of a solve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -175,6 +205,7 @@ pub struct SolveDriver<'cb, S> {
     ticks: usize,
     pivots: usize,
     trace: Vec<GapPoint>,
+    cancel: Option<CancelToken>,
     on_progress: Box<ProgressFn<'cb, S>>,
 }
 
@@ -213,8 +244,15 @@ impl<'cb, S> SolveDriver<'cb, S> {
             ticks: 0,
             pivots: 0,
             trace: Vec::new(),
+            cancel: None,
             on_progress: Box::new(on_progress),
         }
+    }
+
+    /// Arm cooperative cancellation: once `token` fires, `stop_status`
+    /// reports [`MipStatus::TimeLimit`] (the deadline brought forward).
+    pub fn set_cancel(&mut self, token: Option<CancelToken>) {
+        self.cancel = token;
     }
 
     pub fn budget(&self) -> &SolveBudget {
@@ -356,6 +394,10 @@ impl<'cb, S> SolveDriver<'cb, S> {
                 return Some(MipStatus::TimeLimit);
             }
         }
+        // A fired cancel token is the time limit brought forward to now.
+        if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            return Some(MipStatus::TimeLimit);
+        }
         if let Some(nl) = self.budget.node_limit {
             if self.ticks >= nl {
                 return Some(MipStatus::NodeLimit);
@@ -486,6 +528,26 @@ mod tests {
         let r = d.finish();
         assert_eq!(r.gap, 0.0);
         assert!(!r.trace.is_empty());
+    }
+
+    #[test]
+    fn cancel_token_acts_as_deadline() {
+        let mut d: SolveDriver<'_, ()> = SolveDriver::new(SolveBudget::exact());
+        let token = CancelToken::new();
+        d.set_cancel(Some(token.clone()));
+        assert_eq!(d.stop_status(), None);
+        token.cancel();
+        assert_eq!(d.stop_status(), Some(MipStatus::TimeLimit));
+        // Gap satisfaction still dominates: a finished solve reports its
+        // real status even if the client gave up at the same moment.
+        d.offer_incumbent(10.0, ());
+        d.raise_bound(10.0);
+        assert_eq!(d.stop_status(), Some(MipStatus::Optimal));
+        // Clones share the flag.
+        let t2 = CancelToken::new();
+        assert!(!t2.is_cancelled());
+        t2.clone().cancel();
+        assert!(t2.is_cancelled());
     }
 
     #[test]

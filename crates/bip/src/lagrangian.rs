@@ -22,7 +22,7 @@
 
 use std::collections::HashMap;
 
-use crate::driver::{GapPoint, SolveBudget, SolveDriver, SolveProgress};
+use crate::driver::{CancelToken, GapPoint, SolveBudget, SolveDriver, SolveProgress};
 use crate::knapsack;
 
 /// Per-slot access choices: the fallback `I∅` cost (if the slot's order
@@ -268,11 +268,19 @@ pub struct LagrangianSolver {
     pub alpha0: f64,
     /// Local-search passes after the subgradient phase.
     pub local_search_passes: usize,
+    /// Cooperative cancellation: a fired token stops the subgradient loop
+    /// at its next iteration with [`MipStatus::TimeLimit`] semantics.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for LagrangianSolver {
     fn default() -> Self {
-        LagrangianSolver { budget: SolveBudget::within(0.02), alpha0: 2.0, local_search_passes: 2 }
+        LagrangianSolver {
+            budget: SolveBudget::within(0.02),
+            alpha0: 2.0,
+            local_search_passes: 2,
+            cancel: None,
+        }
     }
 }
 
@@ -310,6 +318,7 @@ impl LagrangianSolver {
         on_progress: impl FnMut(&SolveProgress, Option<&Vec<bool>>),
     ) -> (LagrangeResult, WarmStart) {
         let mut driver = SolveDriver::with_progress(self.budget, on_progress);
+        driver.set_cancel(self.cancel.clone());
         let max_iters = self.budget.node_limit.unwrap_or(Self::DEFAULT_MAX_ITERS);
         let n = p.n_items;
 

@@ -15,6 +15,8 @@
 //! [`CandidateSet::pad_random`] reproduces the paper's `S_L` (10k random
 //! candidates) stress set.
 
+use std::collections::HashSet;
+
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -125,12 +127,35 @@ impl CGen {
     }
 
     /// Generate the union of per-query candidates for a workload.
+    ///
+    /// Candidate enumeration only looks at the structural shell of each
+    /// statement (tables, sargable columns and their comparison shapes, join
+    /// edges, interesting orders, projections) — exactly what
+    /// [`cophy_workload::features::TemplateKey`] captures with constants
+    /// erased.  Statements sharing a template therefore propose identical
+    /// candidates, and the expensive per-query expansion runs once per
+    /// *template* rather than once per statement.  The resulting
+    /// [`CandidateSet`] is byte-identical to the naive per-statement loop:
+    /// the first occurrence of a template inserts all of its candidates in
+    /// order, and repeats would only re-insert duplicates that
+    /// [`CandidateSet::insert`] drops anyway.
     pub fn generate(&self, schema: &Schema, w: &Workload) -> CandidateSet {
+        self.generate_with_stats(schema, w).0
+    }
+
+    /// [`Self::generate`] plus the number of per-query expansions actually
+    /// performed (== number of distinct statement templates in `w`).
+    pub fn generate_with_stats(&self, schema: &Schema, w: &Workload) -> (CandidateSet, usize) {
         let mut set = CandidateSet::new();
+        let mut seen = HashSet::new();
+        let mut expansions = 0usize;
         for (_, stmt, _) in w.iter() {
-            self.per_query(schema, stmt.read_shell(), &mut set);
+            if seen.insert(cophy_workload::features::template_key(stmt)) {
+                self.per_query(schema, stmt.read_shell(), &mut set);
+                expansions += 1;
+            }
         }
-        set
+        (set, expansions)
     }
 
     /// Candidates proposed by one query.
@@ -313,6 +338,35 @@ mod tests {
                     assert_ne!(a, b, "duplicate candidate");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn template_dedup_preserves_candidate_set() {
+        let s = TpchGen::default().schema();
+        // HomGen draws from a fixed template pool, so a 200-statement
+        // workload repeats templates many times over.
+        let w = HomGen::new(4).generate(&s, 200);
+        let gen = CGen::default();
+
+        // Naive per-statement loop (the pre-dedup behavior).
+        let mut naive = CandidateSet::new();
+        for (_, stmt, _) in w.iter() {
+            gen.per_query(&s, stmt.read_shell(), &mut naive);
+        }
+
+        let (deduped, expansions) = gen.generate_with_stats(&s, &w);
+        let distinct: std::collections::HashSet<_> =
+            w.iter().map(|(_, stmt, _)| cophy_workload::template_key(stmt)).collect();
+        assert_eq!(expansions, distinct.len());
+        assert!(expansions < w.len(), "expected template repeats in W_hom");
+
+        // Byte-identical: same candidates, same insertion order, same sizes.
+        assert_eq!(deduped.len(), naive.len());
+        for ((id_a, a), (id_b, b)) in deduped.iter().zip(naive.iter()) {
+            assert_eq!(id_a, id_b);
+            assert_eq!(a, b);
+            assert_eq!(deduped.size_bytes(id_a), naive.size_bytes(id_b));
         }
     }
 

@@ -34,8 +34,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use cophy_bip::{
-    BranchBound, DeltaModel, LagrangianSolver, MipResult, MipStatus, ModelDelta, ResolveContext,
-    SolveOptions, SolveProgress, WarmStart,
+    BranchBound, CancelToken, DeltaModel, LagrangianSolver, MipResult, MipStatus, ModelDelta,
+    ResolveContext, SolveOptions, SolveProgress, WarmStart,
 };
 use cophy_catalog::{Configuration, Index};
 use cophy_compress::{Absorption, CompressedWorkload};
@@ -126,6 +126,11 @@ pub struct TuningSession<'o, 'c> {
     /// Sticky pin (`true`) / ban (`false`) fixings, keyed by index so they
     /// survive interactive-model rebuilds.
     fixings: Vec<(Index, bool)>,
+    /// Cooperative cancellation armed on every solve this session runs
+    /// (B&B re-solves and Lagrangian recommends alike); `None` = never
+    /// cancelled.  The `cophy-server` daemon fires it when the requesting
+    /// client disconnects.
+    cancel: Option<CancelToken>,
     /// Cumulative what-if calls spent on INUM preparation in this session.
     what_if_calls: u64,
     inum_time: Duration,
@@ -159,10 +164,11 @@ impl<'o, 'c> TuningSession<'o, 'c> {
         let inum = Inum::new(cophy.optimizer());
         let policy = cophy.options.compression;
         let (prepared, candidates, compressed) = if policy.is_off() {
-            (inum.prepare_workload(w), cophy.options.cgen.generate(schema, w), None)
+            let prepared = inum.try_prepare_workload(w).map_err(|e| e.to_string())?;
+            (prepared, cophy.options.cgen.generate(schema, w), None)
         } else {
             let cw = CompressedWorkload::compress(schema, w, policy);
-            let prepared = inum.prepare_compressed_parallel(&cw);
+            let prepared = inum.try_prepare_compressed_parallel(&cw).map_err(|e| e.to_string())?;
             let candidates = cophy.options.cgen.generate(schema, cw.representatives());
             (prepared, candidates, Some(cw))
         };
@@ -175,6 +181,7 @@ impl<'o, 'c> TuningSession<'o, 'c> {
             compressed,
             interactive: None,
             fixings: Vec::new(),
+            cancel: None,
             what_if_calls: cophy.optimizer().what_if_calls() - before,
             inum_time: t0.elapsed(),
         })
@@ -206,9 +213,45 @@ impl<'o, 'c> TuningSession<'o, 'c> {
             compressed: None,
             interactive: None,
             fixings: Vec::new(),
+            cancel: None,
             what_if_calls: 0,
             inum_time: Duration::ZERO,
         })
+    }
+
+    /// Arm (or disarm) cooperative cancellation: every subsequent solve —
+    /// warm Lagrangian recommends and interactive B&B re-solves alike —
+    /// observes the token between nodes/iterations and stops with
+    /// `TimeLimit` semantics once it fires, keeping its best incumbent.
+    pub fn set_cancel(&mut self, token: Option<CancelToken>) {
+        self.cancel = token;
+    }
+
+    /// The session's hard constraints.
+    pub fn constraints(&self) -> &ConstraintSet {
+        &self.constraints
+    }
+
+    /// Rough bytes of *private* (non-shared) session state: candidates,
+    /// the interactive BIP under mutation, and the Lagrangian warm-start
+    /// vectors.  The shared INUM cache is excluded — it outlives any one
+    /// session.  This is the metric the `cophy-server` LRU evicts on: an
+    /// evicted session drops exactly this state and rebuilds it from the
+    /// retained workload handle + sticky fixings on the next touch.
+    pub fn approx_state_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let mut bytes = self.candidates.len() * (size_of::<Index>() + 16);
+        if let Some(st) = &self.interactive {
+            let model = st.dm.model();
+            let nnz: usize = model.constraints().iter().map(|c| c.expr.terms.len()).sum();
+            bytes += model.n_vars() * 24 + model.n_constraints() * 48 + nnz * 16;
+            // ResolveContext holds a basis + pseudo-cost table ~ O(vars).
+            bytes += model.n_vars() * 48;
+        }
+        if let Some(warm) = &self.warm {
+            bytes += warm.multipliers.len() * 48 + warm.selection.len();
+        }
+        bytes
     }
 
     /// The session's shared INUM cache handle.  Clones are cheap; pass one
@@ -270,16 +313,33 @@ impl<'o, 'c> TuningSession<'o, 'c> {
     /// CGen work — and only genuinely novel statements open a cluster and
     /// pay an INUM preparation.
     pub fn add_statements(&mut self, w: &Workload) {
+        self.try_add_statements(w).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`TuningSession::add_statements`]: probe failures (replay
+    /// misses, exhausted what-if quotas) surface as recoverable errors.  On
+    /// error the delta is rolled back whole — the cache, the clustering
+    /// state and the candidate set are exactly as before the call — so a
+    /// quota-rejected tenant can retry later without corrupting sessions
+    /// that share the cache.  (Probes spent before the failure remain
+    /// accounted against the backend; they were really issued.)
+    pub fn try_add_statements(&mut self, w: &Workload) -> Result<(), String> {
         self.interactive = None; // the block layout grows; rebuilt on demand
         let before = self.cophy.optimizer().what_if_calls();
         let t0 = Instant::now();
         let schema = self.cophy.optimizer().schema();
         let inum = Inum::new(self.cophy.optimizer());
         let cache = Arc::clone(&self.prepared);
+        let mut failure: Option<cophy_optimizer::BackendError> = None;
         if let Some(cw) = self.compressed.as_mut() {
+            // Snapshot for whole-delta rollback: absorption mutates the
+            // clustering incrementally and cannot be undone per statement.
+            let cw_snapshot = cw.clone();
             // Only the cluster-opening statements are new to CGen.
             let mut novel = Workload::new();
             cache.write(|pw| {
+                let n_before = pw.queries.len();
+                let weights_before: Vec<f64> = pw.queries.iter().map(|pq| pq.weight).collect();
                 for (_, stmt, weight) in w.iter() {
                     match cw.absorb(schema, stmt, weight) {
                         Absorption::Merged(rep) => {
@@ -287,32 +347,58 @@ impl<'o, 'c> TuningSession<'o, 'c> {
                         }
                         Absorption::NewRepresentative(rep) => {
                             debug_assert_eq!(rep.0 as usize, pw.queries.len());
-                            pw.queries.push(inum.prepare_statement(rep, stmt, weight));
+                            match inum.try_prepare_statement(rep, stmt, weight) {
+                                Ok(pq) => pw.queries.push(pq),
+                                Err(e) => {
+                                    failure = Some(e);
+                                    break;
+                                }
+                            }
                             novel.push_weighted(stmt.clone(), weight);
                         }
                     }
                 }
+                if failure.is_some() {
+                    pw.queries.truncate(n_before);
+                    for (pq, w0) in pw.queries.iter_mut().zip(&weights_before) {
+                        pq.weight = *w0;
+                    }
+                }
             });
-            if !novel.is_empty() {
+            if failure.is_some() {
+                *cw = cw_snapshot;
+            } else if !novel.is_empty() {
                 let extra = self.cophy.options.cgen.generate(schema, &novel);
                 self.candidates.extend(schema, extra.iter().map(|(_, ix)| ix.clone()));
             }
         } else {
             cache.write(|pw| {
                 let offset = pw.queries.len() as u32;
+                let n_before = pw.queries.len();
                 for (qid, stmt, weight) in w.iter() {
-                    let mut pq = inum.prepare_statement(qid, stmt, weight);
-                    pq.qid = QueryId(offset + qid.0);
-                    pw.queries.push(pq);
+                    match inum.try_prepare_statement(qid, stmt, weight) {
+                        Ok(mut pq) => {
+                            pq.qid = QueryId(offset + qid.0);
+                            pw.queries.push(pq);
+                        }
+                        Err(e) => {
+                            failure = Some(e);
+                            pw.queries.truncate(n_before);
+                            break;
+                        }
+                    }
                 }
             });
-            let extra = self.cophy.options.cgen.generate(schema, w);
-            self.candidates.extend(schema, extra.iter().map(|(_, ix)| ix.clone()));
+            if failure.is_none() {
+                let extra = self.cophy.options.cgen.generate(schema, w);
+                self.candidates.extend(schema, extra.iter().map(|(_, ix)| ix.clone()));
+            }
         }
         let spent = self.cophy.optimizer().what_if_calls() - before;
         cache.write(|pw| pw.what_if_calls += spent);
         self.what_if_calls += spent;
         self.inum_time += t0.elapsed();
+        failure.map_or(Ok(()), |e| Err(e.to_string()))
     }
 
     // -- the interactive surface (paper §4.2) -------------------------------
@@ -362,7 +448,13 @@ impl<'o, 'c> TuningSession<'o, 'c> {
         if let (Some(row), Some(b)) = (st.mapping.storage_row, budget_bytes) {
             st.dm.apply(ModelDelta::SetRhs { row, rhs: b as f64 });
         }
-        let opts = SolveOptions { budget: solve_budget, known_bound, ..Default::default() };
+        let opts = SolveOptions {
+            budget: solve_budget,
+            known_bound,
+            cancel: self.cancel.clone(),
+            ..Default::default()
+        };
+        let st = self.interactive.as_mut().expect("state live");
         BranchBound::new().resolve_with_progress(&st.dm, &opts, &mut st.ctx, |p, _| on_progress(p))
     }
 
@@ -546,7 +638,11 @@ impl<'o, 'c> TuningSession<'o, 'c> {
         let build_time = tb.elapsed();
 
         let ts = Instant::now();
-        let solver = LagrangianSolver { budget: self.cophy.options.budget, ..Default::default() };
+        let solver = LagrangianSolver {
+            budget: self.cophy.options.budget,
+            cancel: self.cancel.clone(),
+            ..Default::default()
+        };
         let (r, warm) =
             solver.solve_warm_with_progress(block, self.warm.as_ref(), |p, _| on_progress(p));
         let solve_time = ts.elapsed();

@@ -193,7 +193,7 @@ impl<'o> CoPhy<'o> {
         let t0 = Instant::now();
         let calls_before = self.opt.what_if_calls();
         let inum = Inum::new(self.opt);
-        let prepared = inum.prepare_compressed_parallel(cw);
+        let prepared = inum.try_prepare_compressed_parallel(cw).map_err(|e| e.to_string())?;
         let inum_time = t0.elapsed();
         let what_if_calls = self.opt.what_if_calls() - calls_before;
         let mut rec =
@@ -228,7 +228,7 @@ impl<'o> CoPhy<'o> {
         let t0 = Instant::now();
         let before_calls = self.opt.what_if_calls();
         let inum = Inum::new(self.opt);
-        let prepared = inum.prepare_workload(w);
+        let prepared = inum.try_prepare_workload(w).map_err(|e| e.to_string())?;
         let inum_time = t0.elapsed();
         let what_if_calls = self.opt.what_if_calls() - before_calls;
         self.try_tune_prepared(&prepared, candidates, constraints, inum_time, what_if_calls)

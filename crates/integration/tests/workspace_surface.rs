@@ -46,6 +46,26 @@ fn backends_snippet_roundtrips() {
     tune_with(&WhatIfOptimizer::new(TpchGen::default().schema(), SystemProfile::A));
 }
 
+/// The "Advisor as a service" README snippet (also the `cophy-server`
+/// crate's doctest), line for line — plus teardown assertions beyond it.
+#[test]
+fn server_snippet_roundtrips() {
+    use cophy_server::{Client, Server, ServerConfig};
+
+    let handle = Server::bind("127.0.0.1:0", ServerConfig::default(), None).unwrap().spawn();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.open("s1", "hom:7:24", 0.5).unwrap(); // budget = 0.5 x data size
+    let rec = client.tune("s1", |p| println!("gap {:.1}%", p.gap * 100.0)).unwrap();
+    println!("{} indexes, objective {}", rec.indexes.len(), rec.objective);
+    client.close("s1").unwrap();
+    handle.stop();
+
+    // Beyond the snippet: the streamed recommendation is real and proven.
+    assert!(!rec.indexes.is_empty(), "advisor session should recommend indexes");
+    assert!(rec.objective.is_finite() && rec.gap.is_finite());
+    assert!(rec.objective <= rec.baseline + 1e-6);
+}
+
 /// One symbol from each public crate of the workspace, so a broken
 /// manifest edge or module wiring fails this single test.
 #[test]
@@ -88,4 +108,9 @@ fn every_public_crate_is_reachable() {
     // cophy-bench (harness helpers)
     let sizes = cophy_bench::sizes();
     assert!(sizes[0] < sizes[1] && sizes[1] < sizes[2]);
+
+    // cophy-server (workload specs are the daemon's cache fingerprint)
+    let spec_w = cophy_server::parse_spec("het:3:6", &schema).unwrap();
+    assert_eq!(spec_w.len(), 6);
+    assert!(cophy_server::parse_spec("bogus:1:1", &schema).is_err());
 }

@@ -13,7 +13,7 @@
 
 use cophy_catalog::{ColumnId, Configuration, Schema};
 use cophy_compress::CompressedWorkload;
-use cophy_optimizer::{ProbeAnswer, WhatIfBackend};
+use cophy_optimizer::{BackendError, ProbeAnswer, WhatIfBackend};
 use cophy_workload::{Query, QueryId, Statement, UpdateStatement, Workload};
 
 use crate::ideal::ideal_config;
@@ -61,10 +61,24 @@ impl<'o> Inum<'o> {
         self.opt
     }
 
-    /// Prepare a single statement.
+    /// Prepare a single statement.  Panics on [`BackendError`]; fallible
+    /// callers (quota-metered or replayed backends) use
+    /// [`Inum::try_prepare_statement`].
     pub fn prepare_statement(&self, qid: QueryId, stmt: &Statement, weight: f64) -> PreparedQuery {
+        self.try_prepare_statement(qid, stmt, weight)
+            .unwrap_or_else(|e| panic!("what-if backend error: {e}"))
+    }
+
+    /// Fallible single-statement preparation: probe failures (replay misses,
+    /// exhausted what-if quotas) surface as typed errors instead of panics.
+    pub fn try_prepare_statement(
+        &self,
+        qid: QueryId,
+        stmt: &Statement,
+        weight: f64,
+    ) -> Result<PreparedQuery, BackendError> {
         let q = stmt.read_shell().clone();
-        let templates = self.extract_templates(&q);
+        let templates = self.try_extract_templates(&q)?;
         let (update, fixed) = match stmt {
             Statement::Select(_) => (None, 0.0),
             Statement::Update(u) => {
@@ -76,16 +90,23 @@ impl<'o> Inum<'o> {
                 (Some((u.clone(), rows)), self.opt.base_update_cost(u))
             }
         };
-        PreparedQuery { qid, weight, query: q, templates, update, fixed_update_cost: fixed }
+        Ok(PreparedQuery { qid, weight, query: q, templates, update, fixed_update_cost: fixed })
     }
 
     /// Prepare every statement of `w` (sequentially; callers may shard the
     /// workload across threads — `PreparedQuery` is `Send`).
     pub fn prepare_workload(&self, w: &Workload) -> PreparedWorkload {
+        self.try_prepare_workload(w).unwrap_or_else(|e| panic!("what-if backend error: {e}"))
+    }
+
+    /// Fallible [`Inum::prepare_workload`].
+    pub fn try_prepare_workload(&self, w: &Workload) -> Result<PreparedWorkload, BackendError> {
         let before = self.opt.what_if_calls();
-        let queries =
-            w.iter().map(|(qid, stmt, weight)| self.prepare_statement(qid, stmt, weight)).collect();
-        PreparedWorkload { queries, what_if_calls: self.opt.what_if_calls() - before }
+        let queries = w
+            .iter()
+            .map(|(qid, stmt, weight)| self.try_prepare_statement(qid, stmt, weight))
+            .collect::<Result<_, _>>()?;
+        Ok(PreparedWorkload { queries, what_if_calls: self.opt.what_if_calls() - before })
     }
 
     /// [`Inum::prepare_workload`] sharded across OS threads — the probing
@@ -93,30 +114,42 @@ impl<'o> Inum<'o> {
     /// embarrassingly.  The result is byte-identical to the sequential
     /// preparation (shards are re-sorted by statement id).
     pub fn prepare_workload_parallel(&self, w: &Workload) -> PreparedWorkload {
+        self.try_prepare_workload_parallel(w)
+            .unwrap_or_else(|e| panic!("what-if backend error: {e}"))
+    }
+
+    /// Fallible [`Inum::prepare_workload_parallel`]: the first shard error
+    /// (by statement id) is reported, matching the sequential order.
+    pub fn try_prepare_workload_parallel(
+        &self,
+        w: &Workload,
+    ) -> Result<PreparedWorkload, BackendError> {
         let n_threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
         let ids: Vec<_> = w.iter().collect();
         let chunks: Vec<_> = ids.chunks(ids.len().div_ceil(n_threads).max(1)).collect();
         let before = self.opt.what_if_calls();
-        let mut queries_by_chunk = std::thread::scope(|s| {
+        let queries_by_chunk = std::thread::scope(|s| {
             let handles: Vec<_> = chunks
                 .iter()
                 .map(|chunk| {
                     s.spawn(move || {
                         chunk
                             .iter()
-                            .map(|(qid, stmt, weight)| self.prepare_statement(*qid, stmt, *weight))
-                            .collect::<Vec<_>>()
+                            .map(|(qid, stmt, weight)| {
+                                self.try_prepare_statement(*qid, stmt, *weight)
+                            })
+                            .collect::<Result<Vec<_>, _>>()
                     })
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().expect("INUM shard")).collect::<Vec<_>>()
         });
         let mut queries = Vec::with_capacity(w.len());
-        for shard in &mut queries_by_chunk {
-            queries.append(shard);
+        for shard in queries_by_chunk {
+            queries.append(&mut shard?);
         }
         queries.sort_by_key(|pq| pq.qid);
-        PreparedWorkload { queries, what_if_calls: self.opt.what_if_calls() - before }
+        Ok(PreparedWorkload { queries, what_if_calls: self.opt.what_if_calls() - before })
     }
 
     /// Prepare only the *representatives* of a compressed workload: the
@@ -128,20 +161,36 @@ impl<'o> Inum<'o> {
         self.prepare_workload(cw.representatives())
     }
 
+    /// Fallible [`Inum::prepare_compressed`].
+    pub fn try_prepare_compressed(
+        &self,
+        cw: &CompressedWorkload,
+    ) -> Result<PreparedWorkload, BackendError> {
+        self.try_prepare_workload(cw.representatives())
+    }
+
     /// [`Inum::prepare_compressed`] sharded across OS threads.
     pub fn prepare_compressed_parallel(&self, cw: &CompressedWorkload) -> PreparedWorkload {
         self.prepare_workload_parallel(cw.representatives())
     }
 
+    /// Fallible [`Inum::prepare_compressed_parallel`].
+    pub fn try_prepare_compressed_parallel(
+        &self,
+        cw: &CompressedWorkload,
+    ) -> Result<PreparedWorkload, BackendError> {
+        self.try_prepare_workload_parallel(cw.representatives())
+    }
+
     /// The probing loop: empty-config probe + ideal-config probes.
-    fn extract_templates(&self, q: &Query) -> Vec<TemplatePlan> {
+    fn try_extract_templates(&self, q: &Query) -> Result<Vec<TemplatePlan>, BackendError> {
         let schema = self.opt.schema();
         let cm = self.opt.cost_model();
         let mut templates: Vec<TemplatePlan> = Vec::new();
 
         // Probe 1: empty configuration → the all-sort/hash template.  Its
         // slots never carry requirements (heap scans deliver no order).
-        let base = self.opt.probe(q, &Configuration::empty());
+        let base = self.opt.try_probe(q, &Configuration::empty())?;
         push_template(&mut templates, extract(schema, cm, q, &base));
 
         // Per-table interesting orders.
@@ -177,12 +226,12 @@ impl<'o> Inum<'o> {
 
         for combo in combos {
             let cfg = ideal_config(schema, q, &combo);
-            let ans = self.opt.probe(q, &cfg);
+            let ans = self.opt.try_probe(q, &cfg)?;
             push_template(&mut templates, extract(schema, cm, q, &ans));
         }
 
         templates.sort_by(|a, b| a.internal_cost.total_cmp(&b.internal_cost));
-        templates
+        Ok(templates)
     }
 }
 

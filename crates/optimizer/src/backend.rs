@@ -21,11 +21,60 @@
 //! [`crate::trace`] for a record/replay backend and [`crate::noise`] for a
 //! calibrated-noise wrapper.
 
+use std::fmt;
+
 use cophy_catalog::{ColumnId, Configuration, Index, Schema, TableId};
 use cophy_workload::{Query, Statement, UpdateStatement, Workload};
 
 use crate::cost::{CostModel, SystemProfile};
 use crate::plan::PhysicalPlan;
+
+/// A typed costing failure.
+///
+/// Backends embedded in long-lived, multi-tenant processes must not panic: a
+/// replay miss or an exhausted probe quota is a per-request error, not a
+/// process fault.  Fallible callers (INUM preparation, the advisor session
+/// API, the `cophy-server` daemon) consume [`WhatIfBackend::try_probe`] and
+/// surface this error; the infallible convenience wrappers (`probe`,
+/// `cost_query`, …) panic on it, preserving the original single-tenant
+/// behavior for code that treats its backend as total.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BackendError {
+    /// A replay-style backend was asked for a `(query, configuration)` pair
+    /// it has no recorded answer for.
+    UnrecordedProbe {
+        query: u64,
+        config: u64,
+        /// How many probe answers the backend does hold (diagnostic).
+        recorded: usize,
+    },
+    /// A replay-style backend was asked for candidate indexes of a statement
+    /// it never saw.
+    UnrecordedRelevant { statement: u64 },
+    /// A metered backend refused the probe because the tenant's what-if
+    /// quota is spent.
+    QuotaExceeded { spent: u64, limit: u64 },
+}
+
+impl fmt::Display for BackendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackendError::UnrecordedProbe { query, config, recorded } => write!(
+                f,
+                "unrecorded probe: ({query:016x}, {config:016x}) not in trace \
+                 ({recorded} probes recorded)"
+            ),
+            BackendError::UnrecordedRelevant { statement } => {
+                write!(f, "unrecorded relevant_indexes({statement:016x})")
+            }
+            BackendError::QuotaExceeded { spent, limit } => {
+                write!(f, "what-if quota exceeded: spent {spent} of {limit} probes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BackendError {}
 
 /// One leaf access of a probed plan: the table it reads and the key-column
 /// prefix (in the leaf's *local* columns) the internal plan relies on.
@@ -88,18 +137,28 @@ pub trait WhatIfBackend: std::fmt::Debug + Send + Sync {
     fn cost_model(&self) -> &CostModel;
 
     /// One what-if optimization: cost `q` under hypothetical configuration
-    /// `config`.  Counts one call.
-    fn probe(&self, q: &Query, config: &Configuration) -> ProbeAnswer;
+    /// `config`.  Counts one call.  This is the *fallible* probe — the one
+    /// required method of the costing surface — so replay misses and quota
+    /// rejections surface as typed errors instead of panics.
+    fn try_probe(&self, q: &Query, config: &Configuration) -> Result<ProbeAnswer, BackendError>;
+
+    /// Infallible probe for callers that treat the backend as total (a live
+    /// optimizer never fails).  Panics on [`BackendError`].
+    fn probe(&self, q: &Query, config: &Configuration) -> ProbeAnswer {
+        self.try_probe(q, config).unwrap_or_else(|e| panic!("what-if backend error: {e}"))
+    }
 
     /// Number of what-if optimizations performed so far.
     fn what_if_calls(&self) -> u64;
 
     fn reset_call_counter(&self);
 
-    /// Candidate indexes this backend considers relevant to `stmt` — a
-    /// syntactic enumeration over the read shell: sargable predicate columns,
-    /// the equality-bound column set, and every interesting order.
-    fn relevant_indexes(&self, stmt: &Statement) -> Vec<Index> {
+    /// Fallible candidate enumeration.  The default is the syntactic
+    /// enumeration over the read shell — sargable predicate columns, the
+    /// equality-bound column set, and every interesting order — which never
+    /// fails; replay-style backends override it to report unrecorded
+    /// statements.
+    fn try_relevant_indexes(&self, stmt: &Statement) -> Result<Vec<Index>, BackendError> {
         let q = stmt.read_shell();
         let mut out: Vec<Index> = Vec::new();
         let push = |out: &mut Vec<Index>, ix: Index| {
@@ -119,7 +178,14 @@ pub trait WhatIfBackend: std::fmt::Debug + Send + Sync {
                 push(&mut out, Index::secondary(t, o));
             }
         }
-        out
+        Ok(out)
+    }
+
+    /// Candidate indexes this backend considers relevant to `stmt`.  Panics
+    /// on [`BackendError`]; fallible callers use
+    /// [`WhatIfBackend::try_relevant_indexes`].
+    fn relevant_indexes(&self, stmt: &Statement) -> Vec<Index> {
+        self.try_relevant_indexes(stmt).unwrap_or_else(|e| panic!("what-if backend error: {e}"))
     }
 
     /// `cost(q, X)` for a SELECT (or query shell).

@@ -33,7 +33,7 @@ pub mod trace;
 pub mod whatif;
 
 pub use access::{AccessMethod, AccessPath};
-pub use backend::{ProbeAnswer, ProbeLeaf, WhatIfBackend};
+pub use backend::{BackendError, ProbeAnswer, ProbeLeaf, WhatIfBackend};
 pub use cost::{CostModel, SystemProfile};
 pub use noise::NoisyBackend;
 pub use ordering::{EquivClasses, Ordering};

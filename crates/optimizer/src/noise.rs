@@ -11,7 +11,9 @@
 use cophy_catalog::{Configuration, Index, Schema};
 use cophy_workload::{Query, Statement};
 
-use crate::backend::{config_fingerprint, query_fingerprint, ProbeAnswer, WhatIfBackend};
+use crate::backend::{
+    config_fingerprint, query_fingerprint, BackendError, ProbeAnswer, WhatIfBackend,
+};
 use crate::cost::{CostModel, SystemProfile};
 
 /// A backend whose probe costs are scaled by `1 + amplitude · u`, with
@@ -54,16 +56,16 @@ impl WhatIfBackend for NoisyBackend<'_> {
         self.inner.cost_model()
     }
 
-    fn probe(&self, q: &Query, config: &Configuration) -> ProbeAnswer {
-        let mut ans = self.inner.probe(q, config);
+    fn try_probe(&self, q: &Query, config: &Configuration) -> Result<ProbeAnswer, BackendError> {
+        let mut ans = self.inner.try_probe(q, config)?;
         let f = self.factor(q, config);
         ans.total_cost *= f;
         ans.internal_cost *= f;
-        ans
+        Ok(ans)
     }
 
-    fn relevant_indexes(&self, stmt: &Statement) -> Vec<Index> {
-        self.inner.relevant_indexes(stmt)
+    fn try_relevant_indexes(&self, stmt: &Statement) -> Result<Vec<Index>, BackendError> {
+        self.inner.try_relevant_indexes(stmt)
     }
 
     fn what_if_calls(&self) -> u64 {

@@ -21,8 +21,8 @@ use cophy_catalog::{ColumnId, Configuration, Index, IndexKind, Schema, TableId};
 use cophy_workload::{Query, Statement};
 
 use crate::backend::{
-    config_fingerprint, fnv1a, query_fingerprint, statement_fingerprint, ProbeAnswer, ProbeLeaf,
-    WhatIfBackend,
+    config_fingerprint, fnv1a, query_fingerprint, statement_fingerprint, BackendError, ProbeAnswer,
+    ProbeLeaf, WhatIfBackend,
 };
 use crate::cost::{CostModel, SystemProfile};
 
@@ -105,21 +105,21 @@ impl WhatIfBackend for TraceRecorder<'_> {
         self.inner.cost_model()
     }
 
-    fn probe(&self, q: &Query, config: &Configuration) -> ProbeAnswer {
-        let ans = self.inner.probe(q, config);
+    fn try_probe(&self, q: &Query, config: &Configuration) -> Result<ProbeAnswer, BackendError> {
+        let ans = self.inner.try_probe(q, config)?;
         let key = (query_fingerprint(q), config_fingerprint(config));
         self.log.lock().expect("trace log").probes.insert(key, ans.clone());
-        ans
+        Ok(ans)
     }
 
-    fn relevant_indexes(&self, stmt: &Statement) -> Vec<Index> {
-        let ixs = self.inner.relevant_indexes(stmt);
+    fn try_relevant_indexes(&self, stmt: &Statement) -> Result<Vec<Index>, BackendError> {
+        let ixs = self.inner.try_relevant_indexes(stmt)?;
         self.log
             .lock()
             .expect("trace log")
             .relevant
             .insert(statement_fingerprint(stmt), ixs.clone());
-        ixs
+        Ok(ixs)
     }
 
     fn what_if_calls(&self) -> u64 {
@@ -132,8 +132,12 @@ impl WhatIfBackend for TraceRecorder<'_> {
 }
 
 /// Replay mode: answers probes from a recorded trace with **zero** optimizer
-/// work — a probe is a hash-map lookup.  Probes outside the trace panic (a
-/// replay that silently invented costs would defeat the point).
+/// work — a probe is a hash-map lookup.  Probes outside the trace return
+/// [`BackendError::UnrecordedProbe`] through `try_probe` (a replay that
+/// silently invented costs would defeat the point, and a replay that
+/// *panicked* — as this backend once did — would take down unrelated
+/// sessions in a multi-tenant daemon).  The infallible `probe` wrapper still
+/// panics, preserving fail-fast behavior for single-tenant callers.
 ///
 /// The schema is supplied by the caller (generators are deterministic, so
 /// checking its fingerprint against the header suffices); the cost model is
@@ -229,31 +233,19 @@ impl WhatIfBackend for TraceReplay {
         &self.cm
     }
 
-    fn probe(&self, q: &Query, config: &Configuration) -> ProbeAnswer {
+    fn try_probe(&self, q: &Query, config: &Configuration) -> Result<ProbeAnswer, BackendError> {
         self.calls.fetch_add(1, AtomicOrdering::Relaxed);
         let key = (query_fingerprint(q), config_fingerprint(config));
-        self.probes
-            .get(&key)
-            .unwrap_or_else(|| {
-                panic!(
-                    "trace replay miss: probe ({:016x}, {:016x}) was not recorded \
-                     ({} probes in trace)",
-                    key.0,
-                    key.1,
-                    self.probes.len()
-                )
-            })
-            .clone()
+        self.probes.get(&key).cloned().ok_or(BackendError::UnrecordedProbe {
+            query: key.0,
+            config: key.1,
+            recorded: self.probes.len(),
+        })
     }
 
-    fn relevant_indexes(&self, stmt: &Statement) -> Vec<Index> {
+    fn try_relevant_indexes(&self, stmt: &Statement) -> Result<Vec<Index>, BackendError> {
         let sfp = statement_fingerprint(stmt);
-        self.relevant
-            .get(&sfp)
-            .unwrap_or_else(|| {
-                panic!("trace replay miss: relevant_indexes({sfp:016x}) was not recorded")
-            })
-            .clone()
+        self.relevant.get(&sfp).cloned().ok_or(BackendError::UnrecordedRelevant { statement: sfp })
     }
 
     fn what_if_calls(&self) -> u64 {
@@ -291,8 +283,10 @@ fn parse_leaf(s: &str) -> Result<ProbeLeaf, String> {
     })
 }
 
-/// `table/kind/unique/key/include` — one index field.
-fn fmt_index(ix: &Index) -> String {
+/// `table/kind/unique/key/include` — one index field.  Public because this
+/// is the canonical single-token wire rendering of an index, reused by the
+/// `cophy-server` protocol.
+pub fn fmt_index(ix: &Index) -> String {
     format!(
         "{}/{}/{}/{}/{}",
         ix.table.0,
@@ -303,7 +297,8 @@ fn fmt_index(ix: &Index) -> String {
     )
 }
 
-fn parse_index(s: &str) -> Result<Index, String> {
+/// Parse the [`fmt_index`] rendering back into an [`Index`].
+pub fn parse_index(s: &str) -> Result<Index, String> {
     let parts: Vec<&str> = s.split('/').collect();
     let [t, kind, unique, key, include] = parts[..] else {
         return Err(format!("bad index field {s:?}"));
@@ -386,13 +381,48 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "trace replay miss")]
-    fn replay_panics_on_unrecorded_probe() {
+    fn replay_returns_typed_err_on_unrecorded_probe() {
+        let o = opt();
+        let rec = TraceRecorder::new(&o);
+        let text = rec.serialize();
+        let replay = TraceReplay::parse(TpchGen::default().schema(), &text).unwrap();
+        let li = replay.schema().table_by_name("lineitem").unwrap().id;
+        let q = Query::scan(li);
+        let err = replay.try_probe(&q, &Configuration::empty()).unwrap_err();
+        assert_eq!(
+            err,
+            BackendError::UnrecordedProbe {
+                query: query_fingerprint(&q),
+                config: config_fingerprint(&Configuration::empty()),
+                recorded: 0,
+            }
+        );
+        let stmt = Statement::Select(q.clone());
+        let err = replay.try_relevant_indexes(&stmt).unwrap_err();
+        assert_eq!(
+            err,
+            BackendError::UnrecordedRelevant { statement: statement_fingerprint(&stmt) }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unrecorded probe")]
+    fn infallible_probe_still_panics_on_unrecorded_probe() {
         let o = opt();
         let rec = TraceRecorder::new(&o);
         let text = rec.serialize();
         let replay = TraceReplay::parse(TpchGen::default().schema(), &text).unwrap();
         let li = replay.schema().table_by_name("lineitem").unwrap().id;
         let _ = replay.probe(&Query::scan(li), &Configuration::empty());
+    }
+
+    #[test]
+    fn index_wire_format_round_trips() {
+        let schema = TpchGen::default().schema();
+        let li = schema.table_by_name("lineitem").unwrap().id;
+        let ix = Index::secondary(li, vec![ColumnId(3), ColumnId(1)]);
+        assert_eq!(parse_index(&fmt_index(&ix)).unwrap(), ix);
+        let scan = Index::secondary(li, Vec::new());
+        assert_eq!(parse_index(&fmt_index(&scan)).unwrap(), scan);
     }
 }

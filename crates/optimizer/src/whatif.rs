@@ -17,7 +17,7 @@ use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use cophy_catalog::{Configuration, Index, Schema};
 use cophy_workload::{Query, Statement, UpdateStatement, Workload};
 
-use crate::backend::{ProbeAnswer, WhatIfBackend};
+use crate::backend::{BackendError, ProbeAnswer, WhatIfBackend};
 use crate::cost::{CostModel, SystemProfile};
 use crate::dp;
 use crate::plan::PhysicalPlan;
@@ -139,8 +139,8 @@ impl WhatIfBackend for WhatIfOptimizer {
         WhatIfOptimizer::cost_model(self)
     }
 
-    fn probe(&self, q: &Query, config: &Configuration) -> ProbeAnswer {
-        ProbeAnswer::from_plan(q, &self.optimize(q, config))
+    fn try_probe(&self, q: &Query, config: &Configuration) -> Result<ProbeAnswer, BackendError> {
+        Ok(ProbeAnswer::from_plan(q, &self.optimize(q, config)))
     }
 
     fn what_if_calls(&self) -> u64 {

@@ -1,0 +1,142 @@
+//! `cophy-serve` — run the advisor daemon, or drive a scripted session
+//! against one (the CI smoke client).
+//!
+//! ```text
+//! cophy-serve serve  --addr 127.0.0.1:7171 [--log FILE] [--quota N]
+//!                    [--pool N] [--mem-cap BYTES] [--time-limit SECS]
+//! cophy-serve script --addr 127.0.0.1:7171
+//! ```
+//!
+//! `serve` blocks forever.  `script` runs the canonical round trip — open,
+//! streamed tune, pin, warm re-tune, what-if, close — asserting a finite
+//! proven gap, and exits non-zero on any protocol or acceptance failure.
+
+use std::process::ExitCode;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::Duration;
+
+use cophy_server::{Client, Server, ServerConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => serve(&args),
+        Some("script") => script(&args),
+        _ => {
+            eprintln!("usage: cophy-serve serve|script --addr HOST:PORT [options]");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn serve(args: &[String]) -> ExitCode {
+    let flag = |name: &str| flag(args, name);
+    let addr = flag("--addr").unwrap_or("127.0.0.1:7171").to_string();
+    let mut config = ServerConfig::default();
+    if let Some(q) = flag("--quota").and_then(|v| v.parse().ok()) {
+        config.quota = q;
+    }
+    if let Some(p) = flag("--pool").and_then(|v| v.parse().ok()) {
+        config.solver_slots = p;
+    }
+    if let Some(m) = flag("--mem-cap").and_then(|v| v.parse().ok()) {
+        config.mem_cap_bytes = m;
+    }
+    if let Some(t) = flag("--time-limit").and_then(|v| v.parse().ok()) {
+        config.budget = config.budget.with_time(Duration::from_secs(t));
+    }
+    let log = flag("--log").map(std::path::PathBuf::from);
+    let server = match Server::bind(&addr, config, log) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cophy-serve: bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("cophy-serve: listening on {}", server.local_addr());
+    server.run(Arc::new(AtomicBool::new(false)));
+    ExitCode::SUCCESS
+}
+
+fn script(args: &[String]) -> ExitCode {
+    let addr = flag(args, "--addr").unwrap_or("127.0.0.1:7171").to_string();
+    match run_script(&addr) {
+        Ok(()) => {
+            println!("script: PASS");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("script: FAIL: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The canonical smoke session; every step's reply is checked.
+fn run_script(addr: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let mut c = Client::connect(addr)?;
+    let sid = "ci-smoke";
+    let spec = "hom:7:24";
+
+    let open = c.open(sid, spec, 0.5)?;
+    println!(
+        "open: statements={} candidates={} probes={}",
+        open.statements, open.candidates, open.probes
+    );
+    if open.statements != 24 {
+        return Err(format!("expected 24 statements, got {}", open.statements).into());
+    }
+
+    let mut events = 0usize;
+    let cold = c.tune(sid, |_| events += 1)?;
+    println!(
+        "tune: objective={} bound={} gap={} events={} indexes={}",
+        cold.objective,
+        cold.bound,
+        cold.gap,
+        events,
+        cold.indexes.len()
+    );
+    if !cold.gap.is_finite() {
+        return Err("cold tune did not prove a finite gap".into());
+    }
+    if events == 0 {
+        return Err("cold tune streamed no progress events".into());
+    }
+    if cold.indexes.is_empty() {
+        return Err("cold tune recommended no indexes".into());
+    }
+
+    // Pin the first recommended index; the warm re-tune must keep it.
+    let pinned = cold.indexes[0].clone();
+    c.pin(sid, &pinned)?;
+    let warm = c.tune(sid, |_| {})?;
+    println!("warm tune: objective={} gap={}", warm.objective, warm.gap);
+    if !warm.gap.is_finite() {
+        return Err("warm tune did not prove a finite gap".into());
+    }
+    if !warm.indexes.contains(&pinned) {
+        return Err("warm tune dropped the pinned index".into());
+    }
+
+    // What-if the warm recommendation: memo-lookup, must match objective.
+    let wi = c.what_if(sid, &warm.indexes)?;
+    println!("what_if: cost={} improvement={}", wi.cost, wi.improvement);
+    if !(wi.cost.is_finite() && wi.cost > 0.0) {
+        return Err("what_if returned a non-finite cost".into());
+    }
+
+    let stats = c.stats()?;
+    println!(
+        "stats: live={} probes={} cache_entries={}",
+        stats.live, stats.probes, stats.cache_entries
+    );
+    c.close(sid)?;
+    c.quit()?;
+    Ok(())
+}

@@ -1,0 +1,684 @@
+//! Concurrent session management: the daemon's state machine.
+//!
+//! The [`SessionManager`] owns every tuning session the daemon serves and
+//! enforces the three resource disciplines of the service:
+//!
+//! * **Shared INUM caches.**  Workloads are named by canonical specs
+//!   (`hom:SEED:N`), and the first `open` of a spec pays CGen + INUM once;
+//!   every later session over the same spec shares the [`InumCache`] `Arc`
+//!   and a clone of the candidate set — zero further optimizer probes
+//!   (`cache=hit`), exactly the in-process
+//!   [`cophy::CoPhy::try_session_shared`] pattern lifted behind TCP.
+//! * **Admission control.**  Solver work (`tune`, `sweep`) must win a slot
+//!   from a bounded [`SolverPool`]; when every slot is busy past the
+//!   configured wait, the request is rejected with `err busy` instead of
+//!   queueing unboundedly.
+//! * **Memory-capped LRU.**  Each session's private solve state is metered
+//!   by [`cophy::TuningSession::approx_state_bytes`]; when the sum passes
+//!   the cap, the least-recently-touched sessions are demoted to a compact
+//!   [`EvictedState`] (spec + candidates + constraints + sticky fixings).
+//!   The shared cache `Arc` is *retained*, so a later touch rebuilds the
+//!   session with zero probes, and — the solves being deterministic — a
+//!   rebuilt session's cold recommendation is bit-identical to the one it
+//!   would have given before eviction.
+//!
+//! Lock order is `manager state → session`, never the reverse, and session
+//! mutexes are only held by one request at a time (per-session
+//! serialization); solves run with the manager lock *released*, which is
+//! what lets eight clients stream eight solves concurrently.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+use cophy::{CoPhy, CoPhyOptions, ConstraintSet, TuningSession};
+use cophy_bip::{CancelToken, SolveBudget};
+use cophy_catalog::{Configuration, Index, Schema, TpchGen};
+use cophy_inum::InumCache;
+use cophy_optimizer::{SystemProfile, WhatIfOptimizer};
+use cophy_workload::{HetGen, HomGen, UpdateGen, Workload};
+
+use crate::protocol::{ErrCode, ProgressLine, WireError};
+use crate::quota::MeteredBackend;
+
+/// Daemon-wide tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Cost-model parameterization of the synthetic what-if optimizer.
+    pub profile: SystemProfile,
+    /// Per-tenant what-if probe quota (`u64::MAX` = unmetered).
+    pub quota: u64,
+    /// Maximum distinct tenants (a tenant's metered backend is alive for
+    /// the daemon's lifetime, so this bounds that footprint).
+    pub max_tenants: usize,
+    /// Concurrent solver slots (admission control for `tune`/`sweep`).
+    pub solver_slots: usize,
+    /// How long a request waits for a slot before `err busy`.
+    pub solver_wait: Duration,
+    /// Cap on the summed private session state before LRU eviction.
+    pub mem_cap_bytes: usize,
+    /// Solve budget applied to every session solve.
+    pub budget: SolveBudget,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            profile: SystemProfile::A,
+            quota: u64::MAX,
+            max_tenants: 64,
+            solver_slots: 8,
+            solver_wait: Duration::from_secs(10),
+            mem_cap_bytes: 64 << 20,
+            budget: SolveBudget::within(0.05).with_time(Duration::from_secs(60)),
+        }
+    }
+}
+
+/// A counting semaphore over solver slots (std-only: Mutex + Condvar).
+#[derive(Debug)]
+pub struct SolverPool {
+    free: Mutex<usize>,
+    cv: Condvar,
+    wait: Duration,
+}
+
+impl SolverPool {
+    fn new(slots: usize, wait: Duration) -> SolverPool {
+        SolverPool { free: Mutex::new(slots.max(1)), cv: Condvar::new(), wait }
+    }
+
+    /// Wait up to the configured bound for a slot; `err busy` past it.
+    fn acquire(&self) -> Result<PoolGuard<'_>, WireError> {
+        let mut free = lock(&self.free);
+        let deadline = std::time::Instant::now() + self.wait;
+        while *free == 0 {
+            let left = deadline.saturating_duration_since(std::time::Instant::now());
+            if left.is_zero() {
+                return Err(WireError::new(ErrCode::Busy, "solver pool saturated"));
+            }
+            let (g, timeout) = self.cv.wait_timeout(free, left).unwrap_or_else(|e| {
+                let (g, t) = e.into_inner();
+                (g, t)
+            });
+            free = g;
+            if timeout.timed_out() && *free == 0 {
+                return Err(WireError::new(ErrCode::Busy, "solver pool saturated"));
+            }
+        }
+        *free -= 1;
+        Ok(PoolGuard(self))
+    }
+}
+
+struct PoolGuard<'a>(&'a SolverPool);
+
+impl Drop for PoolGuard<'_> {
+    fn drop(&mut self) {
+        *lock(&self.0.free) += 1;
+        self.0.cv.notify_one();
+    }
+}
+
+/// Poison-tolerant locking: a panicked request must not brick the daemon.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// One tenant: a leaked quota-metered backend plus the advisor over it.
+/// Leaking keeps `TuningSession<'static, 'static>` storable in the daemon's
+/// maps; the footprint is bounded by [`ServerConfig::max_tenants`].
+#[derive(Clone, Copy)]
+struct Tenant {
+    backend: &'static MeteredBackend,
+    cophy: &'static CoPhy<'static>,
+}
+
+/// The prepared artifacts of one workload spec, shared by all its sessions.
+struct CacheEntry {
+    cache: Arc<InumCache>,
+    candidates: cophy::CandidateSet,
+}
+
+/// A live session plus its LRU/footprint bookkeeping (readable without
+/// taking the session's own mutex, which a long solve may hold).
+struct SessionMeta {
+    session: Arc<Mutex<TuningSession<'static, 'static>>>,
+    spec: String,
+    last_touch: AtomicU64,
+    state_bytes: AtomicUsize,
+}
+
+/// The compact demoted form of a session: everything needed to rebuild it
+/// over the retained shared cache with zero optimizer probes.
+struct EvictedState {
+    spec: String,
+    candidates: cophy::CandidateSet,
+    constraints: ConstraintSet,
+    fixings: Vec<(Index, bool)>,
+}
+
+#[derive(Default)]
+struct ManagerState {
+    tenants: HashMap<String, Tenant>,
+    caches: HashMap<String, CacheEntry>,
+    /// Specs whose first session is preparing right now: concurrent opens
+    /// of the same spec wait for the build instead of duplicating the INUM
+    /// probes (cold-stampede guard; see [`SessionManager::open`]).
+    building: std::collections::HashSet<String>,
+    live: HashMap<String, Arc<SessionMeta>>,
+    evicted: HashMap<String, EvictedState>,
+}
+
+/// Server-wide counters surfaced by the `stats` verb.
+#[derive(Debug, Default)]
+pub struct Counters {
+    pub cache_hits: AtomicU64,
+    pub cache_misses: AtomicU64,
+    pub evictions: AtomicU64,
+    pub rebuilds: AtomicU64,
+    pub tunes: AtomicU64,
+}
+
+/// Reply payload of `open`/`add`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpenReply {
+    pub sid: String,
+    pub statements: usize,
+    pub candidates: usize,
+    pub cache_hit: bool,
+    pub probes: u64,
+}
+
+/// Reply payload of `tune`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuneReply {
+    pub objective: f64,
+    pub bound: f64,
+    pub gap: f64,
+    pub baseline: f64,
+    pub what_if_calls: u64,
+    pub indexes: Vec<Index>,
+}
+
+/// Reply payload of one `sweep` point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointReply {
+    pub budget_bytes: u64,
+    pub objective: f64,
+    pub bound: f64,
+    pub gap: f64,
+    pub indexes: Vec<Index>,
+}
+
+/// Reply payload of `what_if`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WhatIfReply {
+    pub cost: f64,
+    pub baseline: f64,
+    pub improvement: f64,
+    pub size_bytes: u64,
+    pub violation: Option<String>,
+}
+
+/// Reply payload of `stats`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsReply {
+    pub live: usize,
+    pub evicted: usize,
+    pub cache_entries: usize,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub evictions: u64,
+    pub rebuilds: u64,
+    pub probes: u64,
+    pub state_bytes: usize,
+}
+
+/// The daemon's state machine; all methods are `&self` and thread-safe.
+pub struct SessionManager {
+    config: ServerConfig,
+    schema: Schema,
+    state: Mutex<ManagerState>,
+    /// Signals completion of an in-flight cold-spec build (`building`).
+    build_cv: Condvar,
+    pool: SolverPool,
+    clock: AtomicU64,
+    pub counters: Counters,
+}
+
+/// Parse a canonical workload spec `(hom|het|upd):SEED:N`.
+pub fn parse_spec(spec: &str, schema: &Schema) -> Result<Workload, WireError> {
+    let bad = |m: String| WireError::new(ErrCode::BadRequest, m);
+    let parts: Vec<&str> = spec.split(':').collect();
+    let [kind, seed, n] = parts[..] else {
+        return Err(bad(format!("bad workload spec {spec:?} (want kind:seed:n)")));
+    };
+    let seed: u64 = seed.parse().map_err(|e| bad(format!("bad seed in {spec:?}: {e}")))?;
+    let n: usize = n.parse().map_err(|e| bad(format!("bad size in {spec:?}: {e}")))?;
+    if n == 0 || n > 10_000 {
+        return Err(bad(format!("workload size {n} out of range 1..=10000")));
+    }
+    Ok(match kind {
+        "hom" => HomGen::new(seed).generate(schema, n),
+        "het" => HetGen::new(seed).generate(schema, n),
+        "upd" => UpdateGen::new(seed).generate(schema, n),
+        other => return Err(bad(format!("unknown workload kind {other:?}"))),
+    })
+}
+
+/// Map a session-layer error string onto the protocol's typed codes.  The
+/// quota and replay paths produce stable [`cophy_optimizer::BackendError`]
+/// Display strings (their variants are the *typed* source of truth; by the
+/// time the error has flowed through `try_add_statements` it is a String,
+/// so the daemon keys on those stable phrases).
+fn classify(message: String) -> WireError {
+    let code = if message.contains("quota exceeded") {
+        ErrCode::Quota
+    } else if message.contains("unrecorded") {
+        ErrCode::Backend
+    } else {
+        ErrCode::BadRequest
+    };
+    WireError::new(code, message)
+}
+
+impl SessionManager {
+    pub fn new(config: ServerConfig) -> Arc<SessionManager> {
+        let schema = TpchGen::default().schema();
+        Arc::new(SessionManager {
+            pool: SolverPool::new(config.solver_slots, config.solver_wait),
+            config,
+            schema,
+            state: Mutex::new(ManagerState::default()),
+            build_cv: Condvar::new(),
+            clock: AtomicU64::new(1),
+            counters: Counters::default(),
+        })
+    }
+
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn now(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn tenant(&self, st: &mut ManagerState, sid: &str) -> Result<Tenant, WireError> {
+        if let Some(t) = st.tenants.get(sid) {
+            return Ok(*t);
+        }
+        if st.tenants.len() >= self.config.max_tenants {
+            return Err(WireError::new(
+                ErrCode::Busy,
+                format!("tenant limit {} reached", self.config.max_tenants),
+            ));
+        }
+        let inner = WhatIfOptimizer::new(self.schema.clone(), self.config.profile);
+        let backend: &'static MeteredBackend =
+            Box::leak(Box::new(MeteredBackend::new(Box::new(inner), self.config.quota)));
+        let options = CoPhyOptions { budget: self.config.budget, ..Default::default() };
+        let cophy: &'static CoPhy<'static> = Box::leak(Box::new(CoPhy::new(backend, options)));
+        let t = Tenant { backend, cophy };
+        st.tenants.insert(sid.to_string(), t);
+        Ok(t)
+    }
+
+    /// `open`: build or share the spec's prepared cache, register the
+    /// session, and report how it was satisfied.
+    pub fn open(&self, sid: &str, spec: &str, budget: f64) -> Result<OpenReply, WireError> {
+        let constraints = if budget < 1.0 {
+            ConstraintSet::storage_fraction(&self.schema, budget)
+        } else {
+            ConstraintSet::none().with(cophy::Constraint::Storage { budget_bytes: budget as u64 })
+        };
+
+        let mut st = lock(&self.state);
+        if st.live.contains_key(sid) || st.evicted.contains_key(sid) {
+            return Err(WireError::new(ErrCode::BadRequest, format!("session {sid} exists")));
+        }
+        let tenant = self.tenant(&mut st, sid)?;
+        // Cold-stampede guard: if another open is preparing this spec right
+        // now, wait for its build instead of probing the optimizer twice.
+        while st.building.contains(spec) {
+            st = self.build_cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        if !st.caches.contains_key(spec) {
+            // Cold spec: pay CGen + INUM once, with the manager lock
+            // *released* (preparation probes the optimizer many times).
+            st.building.insert(spec.to_string());
+            drop(st);
+            let before = tenant.backend.spent();
+            let built = parse_spec(spec, &self.schema)
+                .and_then(|w| tenant.cophy.try_session(&w, constraints.clone()).map_err(classify));
+            let mut st = lock(&self.state);
+            st.building.remove(spec);
+            self.build_cv.notify_all();
+            let session = built?;
+            let probes = tenant.backend.spent() - before;
+            st.caches.entry(spec.to_string()).or_insert_with(|| CacheEntry {
+                cache: session.cache(),
+                candidates: session.candidates().clone(),
+            });
+            self.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+            let reply = OpenReply {
+                sid: sid.to_string(),
+                statements: session.n_statements(),
+                candidates: session.candidates().len(),
+                cache_hit: false,
+                probes,
+            };
+            self.install(&mut st, sid, spec, session);
+            drop(st);
+            self.enforce_cap(sid);
+            return Ok(reply);
+        }
+        let entry = &st.caches[spec];
+        let (cache, candidates) = (entry.cache.clone(), entry.candidates.clone());
+        let session =
+            tenant.cophy.try_session_shared(cache, candidates, constraints).map_err(classify)?;
+        self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+        let reply = OpenReply {
+            sid: sid.to_string(),
+            statements: session.n_statements(),
+            candidates: session.candidates().len(),
+            cache_hit: true,
+            probes: 0,
+        };
+        self.install(&mut st, sid, spec, session);
+        drop(st);
+        self.enforce_cap(sid);
+        Ok(reply)
+    }
+
+    fn install(
+        &self,
+        st: &mut ManagerState,
+        sid: &str,
+        spec: &str,
+        session: TuningSession<'static, 'static>,
+    ) {
+        let bytes = session.approx_state_bytes();
+        st.live.insert(
+            sid.to_string(),
+            Arc::new(SessionMeta {
+                session: Arc::new(Mutex::new(session)),
+                spec: spec.to_string(),
+                last_touch: AtomicU64::new(self.now()),
+                state_bytes: AtomicUsize::new(bytes),
+            }),
+        );
+    }
+
+    /// Look up a session, transparently rebuilding it from its evicted form
+    /// (shared cache + retained candidates/constraints/fixings, zero
+    /// optimizer probes).
+    fn resolve(&self, sid: &str) -> Result<Arc<SessionMeta>, WireError> {
+        let mut st = lock(&self.state);
+        if let Some(meta) = st.live.get(sid) {
+            meta.last_touch.store(self.now(), Ordering::Relaxed);
+            return Ok(meta.clone());
+        }
+        let Some(ev) = st.evicted.remove(sid) else {
+            return Err(WireError::new(ErrCode::NoSession, format!("no session {sid}")));
+        };
+        let tenant = *st.tenants.get(sid).expect("evicted session keeps its tenant");
+        let cache = st.caches.get(&ev.spec).expect("evicted session keeps its cache entry");
+        let mut session = tenant
+            .cophy
+            .try_session_shared(cache.cache.clone(), ev.candidates, ev.constraints)
+            .map_err(classify)?;
+        for (ix, pinned) in &ev.fixings {
+            if *pinned {
+                session.pin_index(ix);
+            } else {
+                session.ban_index(ix);
+            }
+        }
+        self.counters.rebuilds.fetch_add(1, Ordering::Relaxed);
+        self.install(&mut st, sid, &ev.spec, session);
+        Ok(st.live[sid].clone())
+    }
+
+    /// Run `f` under the session's mutex, then refresh its LRU/footprint
+    /// bookkeeping and enforce the memory cap.
+    fn with_session<R>(
+        &self,
+        sid: &str,
+        f: impl FnOnce(&mut TuningSession<'static, 'static>) -> Result<R, WireError>,
+    ) -> Result<R, WireError> {
+        let meta = self.resolve(sid)?;
+        let out = {
+            let mut session = lock(&meta.session);
+            let out = f(&mut session)?;
+            meta.state_bytes.store(session.approx_state_bytes(), Ordering::Relaxed);
+            out
+        };
+        meta.last_touch.store(self.now(), Ordering::Relaxed);
+        self.enforce_cap(sid);
+        Ok(out)
+    }
+
+    /// `add`: absorb more statements (quota-charged; whole-delta rollback on
+    /// failure keeps the shared cache consistent).
+    pub fn add(&self, sid: &str, spec: &str) -> Result<OpenReply, WireError> {
+        let w = parse_spec(spec, &self.schema)?;
+        let tenant = *lock(&self.state)
+            .tenants
+            .get(sid)
+            .ok_or_else(|| WireError::new(ErrCode::NoSession, format!("no session {sid}")))?;
+        self.with_session(sid, |session| {
+            let before = tenant.backend.spent();
+            session.try_add_statements(&w).map_err(classify)?;
+            Ok(OpenReply {
+                sid: sid.to_string(),
+                statements: session.n_statements(),
+                candidates: session.candidates().len(),
+                cache_hit: false,
+                probes: tenant.backend.spent() - before,
+            })
+        })
+    }
+
+    /// `tune`: a solver-pool slot, cooperative cancellation, and the anytime
+    /// event stream surfaced through `on_progress`.
+    pub fn tune(
+        &self,
+        sid: &str,
+        cancel: Option<CancelToken>,
+        mut on_progress: impl FnMut(ProgressLine),
+    ) -> Result<TuneReply, WireError> {
+        self.counters.tunes.fetch_add(1, Ordering::Relaxed);
+        self.with_session(sid, |session| {
+            let _slot = self.pool.acquire()?;
+            session.set_cancel(cancel);
+            let rec =
+                session.recommend_with_progress(|p| on_progress(ProgressLine::from_event(0, p)));
+            session.set_cancel(None);
+            Ok(TuneReply {
+                objective: rec.objective,
+                bound: rec.bound,
+                gap: rec.gap,
+                baseline: rec.baseline_cost,
+                what_if_calls: rec.stats.what_if_calls,
+                indexes: sorted_indexes(&rec.configuration),
+            })
+        })
+    }
+
+    /// `sweep`: the warm budget-sweep chain, one slot for the whole chain.
+    pub fn sweep(
+        &self,
+        sid: &str,
+        budgets: &[u64],
+        cancel: Option<CancelToken>,
+        mut on_progress: impl FnMut(ProgressLine),
+    ) -> Result<Vec<PointReply>, WireError> {
+        self.with_session(sid, |session| {
+            let _slot = self.pool.acquire()?;
+            session.set_cancel(cancel);
+            let points = session.sweep_storage_with_progress(budgets, |i, p| {
+                on_progress(ProgressLine::from_event(i, p))
+            });
+            session.set_cancel(None);
+            Ok(points
+                .iter()
+                .map(|pt| PointReply {
+                    budget_bytes: pt.budget_bytes,
+                    objective: pt.objective,
+                    bound: pt.bound,
+                    gap: pt.gap,
+                    indexes: sorted_indexes(&pt.configuration),
+                })
+                .collect())
+        })
+    }
+
+    pub fn pin(&self, sid: &str, ix: &Index) -> Result<(), WireError> {
+        self.with_session(sid, |s| {
+            s.pin_index(ix);
+            Ok(())
+        })
+    }
+
+    pub fn ban(&self, sid: &str, ix: &Index) -> Result<(), WireError> {
+        self.with_session(sid, |s| {
+            s.ban_index(ix);
+            Ok(())
+        })
+    }
+
+    pub fn unfix(&self, sid: &str, ix: &Index) -> Result<(), WireError> {
+        self.with_session(sid, |s| {
+            s.unfix_index(ix);
+            Ok(())
+        })
+    }
+
+    /// `what_if`: memo-lookup costing of an explicit configuration — no
+    /// probes, no solver slot.
+    pub fn what_if(&self, sid: &str, indexes: &[Index]) -> Result<WhatIfReply, WireError> {
+        let cfg = Configuration::from_indexes(indexes.iter().cloned());
+        self.with_session(sid, |s| {
+            let a = s.what_if(&cfg);
+            Ok(WhatIfReply {
+                cost: a.cost,
+                baseline: a.baseline_cost,
+                improvement: a.improvement(),
+                size_bytes: a.size_bytes,
+                violation: a.constraint_violation.clone(),
+            })
+        })
+    }
+
+    pub fn export_mps(&self, sid: &str) -> Result<String, WireError> {
+        self.with_session(sid, |s| Ok(s.export_mps()))
+    }
+
+    /// `evict`: demote now (the deterministic handle on the LRU machinery).
+    pub fn evict(&self, sid: &str) -> Result<usize, WireError> {
+        let meta = {
+            let mut st = lock(&self.state);
+            st.live.remove(sid).ok_or_else(|| {
+                WireError::new(ErrCode::NoSession, format!("no live session {sid}"))
+            })?
+        };
+        Ok(self.demote(sid, meta))
+    }
+
+    /// Demote one removed-from-live session to its evicted form; returns the
+    /// private bytes released.  Called with the manager lock *not* held —
+    /// extracting the fixings must wait for any in-flight request on the
+    /// session to finish.
+    fn demote(&self, sid: &str, meta: Arc<SessionMeta>) -> usize {
+        let (constraints, fixings, candidates) = {
+            let session = lock(&meta.session);
+            (
+                session.constraints().clone(),
+                session.fixings().to_vec(),
+                session.candidates().clone(),
+            )
+        };
+        let bytes = meta.state_bytes.load(Ordering::Relaxed);
+        let ev = EvictedState { spec: meta.spec.clone(), candidates, constraints, fixings };
+        lock(&self.state).evicted.insert(sid.to_string(), ev);
+        self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+        bytes
+    }
+
+    /// LRU-evict cold sessions (never `current`) until the summed private
+    /// state fits the cap.
+    fn enforce_cap(&self, current: &str) {
+        loop {
+            let victim = {
+                let st = lock(&self.state);
+                let total: usize =
+                    st.live.values().map(|m| m.state_bytes.load(Ordering::Relaxed)).sum();
+                if total <= self.config.mem_cap_bytes || st.live.len() <= 1 {
+                    return;
+                }
+                let Some(sid) = st
+                    .live
+                    .iter()
+                    .filter(|(sid, _)| sid.as_str() != current)
+                    .min_by_key(|(_, m)| m.last_touch.load(Ordering::Relaxed))
+                    .map(|(sid, _)| sid.clone())
+                else {
+                    return;
+                };
+                sid
+            };
+            let Some(meta) = lock(&self.state).live.remove(&victim) else { continue };
+            self.demote(&victim, meta);
+        }
+    }
+
+    /// `close`: drop the session's live and evicted state (the tenant's
+    /// quota ledger survives on purpose).
+    pub fn close(&self, sid: &str) -> Result<(), WireError> {
+        let mut st = lock(&self.state);
+        let had = st.live.remove(sid).is_some() | st.evicted.remove(sid).is_some();
+        if had {
+            Ok(())
+        } else {
+            Err(WireError::new(ErrCode::NoSession, format!("no session {sid}")))
+        }
+    }
+
+    /// Drop a session whose request handler panicked (its state may be
+    /// arbitrarily torn); the client sees `err internal`.
+    pub fn drop_session(&self, sid: &str) {
+        let mut st = lock(&self.state);
+        st.live.remove(sid);
+        st.evicted.remove(sid);
+    }
+
+    pub fn stats(&self) -> StatsReply {
+        let st = lock(&self.state);
+        StatsReply {
+            live: st.live.len(),
+            evicted: st.evicted.len(),
+            cache_entries: st.caches.len(),
+            cache_hits: self.counters.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.counters.cache_misses.load(Ordering::Relaxed),
+            evictions: self.counters.evictions.load(Ordering::Relaxed),
+            rebuilds: self.counters.rebuilds.load(Ordering::Relaxed),
+            probes: st.tenants.values().map(|t| t.backend.spent()).sum(),
+            state_bytes: st.live.values().map(|m| m.state_bytes.load(Ordering::Relaxed)).sum(),
+        }
+    }
+}
+
+/// Deterministic wire order for a configuration's indexes (by their wire
+/// encoding — `Index` itself is not `Ord`).
+fn sorted_indexes(cfg: &Configuration) -> Vec<Index> {
+    let mut out: Vec<Index> = cfg.iter().cloned().collect();
+    out.sort_by_cached_key(cophy_optimizer::trace::fmt_index);
+    out
+}

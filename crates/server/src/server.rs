@@ -1,0 +1,374 @@
+//! The TCP face of the daemon: `std::net` + OS threads, no async runtime.
+//!
+//! One thread per connection reads line-delimited requests and answers
+//! through a shared, mutex-guarded writer.  Long-running solves stream
+//! their anytime events through that writer as they happen, and a
+//! **heartbeat watchdog** thread writes `hb` ticks while a solve is in
+//! flight: the moment a write fails (client gone), the watchdog fires the
+//! solve's [`CancelToken`], which the solver observes between iterations
+//! and stops with time-limit semantics — cooperative cancellation wired
+//! through the solve budget's deadline, no thread killing.
+//!
+//! Every request is wrapped in `catch_unwind`: a panicking handler drops
+//! the (possibly torn) session, answers `err internal`, and the daemon
+//! keeps serving every other connection.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread;
+use std::time::Duration;
+
+use cophy_bip::CancelToken;
+
+use crate::manager::{ServerConfig, SessionManager};
+use crate::protocol::{ErrCode, Request, WireError};
+
+/// How often the watchdog proves connection liveness during a solve.
+const HEARTBEAT_EVERY: Duration = Duration::from_millis(50);
+
+/// A bound listener plus the manager it serves.
+pub struct Server {
+    listener: TcpListener,
+    manager: Arc<SessionManager>,
+    log: Option<Arc<Mutex<std::fs::File>>>,
+}
+
+/// Handle to a spawned server: address, stop switch, join.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    join: Option<thread::JoinHandle<()>>,
+    manager: Arc<SessionManager>,
+}
+
+impl ServerHandle {
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    pub fn manager(&self) -> &Arc<SessionManager> {
+        &self.manager
+    }
+
+    /// Stop accepting and join the accept loop (live connections finish
+    /// their current request and then see closed sockets).
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+type SharedWriter = Arc<Mutex<BufWriter<TcpStream>>>;
+
+/// Write one protocol line; `false` means the client is gone.
+fn send(w: &SharedWriter, line: &str) -> bool {
+    let mut w = lock(w);
+    w.write_all(line.as_bytes()).and_then(|()| w.write_all(b"\n")).and_then(|()| w.flush()).is_ok()
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port).
+    pub fn bind(
+        addr: &str,
+        config: ServerConfig,
+        log_path: Option<PathBuf>,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let log = match log_path {
+            Some(p) => Some(Arc::new(Mutex::new(
+                std::fs::OpenOptions::new().create(true).append(true).open(p)?,
+            ))),
+            None => None,
+        };
+        Ok(Server { listener, manager: SessionManager::new(config), log })
+    }
+
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener.local_addr().expect("bound listener has an address")
+    }
+
+    fn log(&self, line: &str) {
+        if let Some(f) = &self.log {
+            let mut f = lock(f);
+            let _ = writeln!(f, "{line}");
+        }
+    }
+
+    /// Accept loop on the calling thread until `stop` flips.
+    pub fn run(self, stop: Arc<AtomicBool>) {
+        let me = Arc::new(self);
+        for conn in me.listener.incoming() {
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = conn else { continue };
+            let me = me.clone();
+            thread::spawn(move || me.serve_connection(stream));
+        }
+    }
+
+    /// Spawn the accept loop on a background thread.
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self.local_addr();
+        let manager = self.manager.clone();
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = stop.clone();
+        let join = thread::spawn(move || self.run(flag));
+        ServerHandle { addr, stop, join: Some(join), manager }
+    }
+
+    fn serve_connection(&self, stream: TcpStream) {
+        let peer = stream.peer_addr().map(|a| a.to_string()).unwrap_or_else(|_| "?".into());
+        let Ok(read_half) = stream.try_clone() else { return };
+        let writer: SharedWriter = Arc::new(Mutex::new(BufWriter::new(stream)));
+        let mut reader = BufReader::new(read_half);
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) | Err(_) => return,
+                Ok(_) => {}
+            }
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            self.log(&format!("{peer} <- {trimmed}"));
+            let req = match Request::parse(trimmed) {
+                Ok(req) => req,
+                Err(e) => {
+                    self.log(&format!("{peer} -> {e}"));
+                    if !send(&writer, &e.to_string()) {
+                        return;
+                    }
+                    continue;
+                }
+            };
+            if req == Request::Quit {
+                let _ = send(&writer, "ok bye");
+                return;
+            }
+            let sid = request_sid(&req).map(str::to_string);
+            let outcome =
+                std::panic::catch_unwind(AssertUnwindSafe(|| self.dispatch(&req, &writer)));
+            match outcome {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => {
+                    self.log(&format!("{peer} -> {e}"));
+                    if !send(&writer, &e.to_string()) {
+                        return;
+                    }
+                }
+                Err(_) => {
+                    // The handler panicked: the session state may be torn —
+                    // drop it so no later request sees it half-mutated.
+                    if let Some(sid) = &sid {
+                        self.manager.drop_session(sid);
+                    }
+                    let e = WireError::new(
+                        ErrCode::Internal,
+                        "request handler panicked; session dropped",
+                    );
+                    self.log(&format!("{peer} -> {e}"));
+                    if !send(&writer, &e.to_string()) {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Handle one request, writing its reply lines; `Err` becomes one `err`
+    /// line upstream.
+    fn dispatch(&self, req: &Request, writer: &SharedWriter) -> Result<(), WireError> {
+        let gone = || WireError::new(ErrCode::Internal, "client disconnected");
+        let m = &self.manager;
+        match req {
+            Request::Open { sid, spec, budget } => {
+                let r = m.open(sid, spec, *budget)?;
+                let hit = if r.cache_hit { "hit" } else { "miss" };
+                let line = format!(
+                    "ok open {} statements={} candidates={} cache={} probes={}",
+                    r.sid, r.statements, r.candidates, hit, r.probes
+                );
+                send(writer, &line).then_some(()).ok_or_else(gone)
+            }
+            Request::Add { sid, spec } => {
+                let r = m.add(sid, spec)?;
+                let line = format!(
+                    "ok add {} statements={} candidates={} probes={}",
+                    r.sid, r.statements, r.candidates, r.probes
+                );
+                send(writer, &line).then_some(()).ok_or_else(gone)
+            }
+            Request::Tune { sid } => {
+                let (cancel, watchdog) = Watchdog::arm(writer.clone());
+                let r = m.tune(sid, Some(cancel), |p| {
+                    let _ = send(writer, &p.to_line());
+                });
+                watchdog.disarm();
+                let r = r?;
+                let mut ok = send(
+                    writer,
+                    &format!(
+                        "rec objective={} bound={} gap={} baseline={} calls={}",
+                        r.objective, r.bound, r.gap, r.baseline, r.what_if_calls
+                    ),
+                );
+                for ix in &r.indexes {
+                    ok = ok
+                        && send(
+                            writer,
+                            &format!("index {}", cophy_optimizer::trace::fmt_index(ix)),
+                        );
+                }
+                (ok && send(writer, "done")).then_some(()).ok_or_else(gone)
+            }
+            Request::Sweep { sid, budgets } => {
+                let (cancel, watchdog) = Watchdog::arm(writer.clone());
+                let r = m.sweep(sid, budgets, Some(cancel), |p| {
+                    let _ = send(writer, &p.to_line());
+                });
+                watchdog.disarm();
+                let mut ok = true;
+                for pt in r? {
+                    ok = ok
+                        && send(
+                            writer,
+                            &format!(
+                                "point budget={} objective={} bound={} gap={}",
+                                pt.budget_bytes, pt.objective, pt.bound, pt.gap
+                            ),
+                        );
+                    for ix in &pt.indexes {
+                        ok = ok
+                            && send(
+                                writer,
+                                &format!("index {}", cophy_optimizer::trace::fmt_index(ix)),
+                            );
+                    }
+                }
+                (ok && send(writer, "done")).then_some(()).ok_or_else(gone)
+            }
+            Request::Pin { sid, index } => {
+                m.pin(sid, index)?;
+                send(writer, &format!("ok pin {sid}")).then_some(()).ok_or_else(gone)
+            }
+            Request::Ban { sid, index } => {
+                m.ban(sid, index)?;
+                send(writer, &format!("ok ban {sid}")).then_some(()).ok_or_else(gone)
+            }
+            Request::Unfix { sid, index } => {
+                m.unfix(sid, index)?;
+                send(writer, &format!("ok unfix {sid}")).then_some(()).ok_or_else(gone)
+            }
+            Request::WhatIf { sid, indexes } => {
+                let r = m.what_if(sid, indexes)?;
+                let violation =
+                    r.violation.as_deref().map_or_else(|| "-".to_string(), |v| v.replace(' ', "_"));
+                let line = format!(
+                    "ok what_if cost={} baseline={} improvement={} size={} violation={}",
+                    r.cost, r.baseline, r.improvement, r.size_bytes, violation
+                );
+                send(writer, &line).then_some(()).ok_or_else(gone)
+            }
+            Request::ExportMps { sid } => {
+                let mps = m.export_mps(sid)?;
+                let lines: Vec<&str> = mps.lines().collect();
+                let mut ok = send(writer, &format!("mps {}", lines.len()));
+                for l in lines {
+                    ok = ok && send(writer, l);
+                }
+                (ok && send(writer, "done")).then_some(()).ok_or_else(gone)
+            }
+            Request::Evict { sid } => {
+                let bytes = m.evict(sid)?;
+                send(writer, &format!("ok evict {sid} bytes={bytes}"))
+                    .then_some(())
+                    .ok_or_else(gone)
+            }
+            Request::Close { sid } => {
+                m.close(sid)?;
+                send(writer, &format!("ok close {sid}")).then_some(()).ok_or_else(gone)
+            }
+            Request::Stats => {
+                let s = m.stats();
+                let line = format!(
+                    "ok stats live={} evicted={} cache_entries={} cache_hits={} \
+                     cache_misses={} evictions={} rebuilds={} probes={} state_bytes={}",
+                    s.live,
+                    s.evicted,
+                    s.cache_entries,
+                    s.cache_hits,
+                    s.cache_misses,
+                    s.evictions,
+                    s.rebuilds,
+                    s.probes,
+                    s.state_bytes
+                );
+                send(writer, &line).then_some(()).ok_or_else(gone)
+            }
+            Request::Quit => Ok(()),
+        }
+    }
+}
+
+/// The per-solve liveness prober: writes `hb` ticks while armed and fires
+/// the solve's [`CancelToken`] the moment a tick cannot be delivered.
+struct Watchdog {
+    done: Arc<AtomicBool>,
+    join: thread::JoinHandle<()>,
+}
+
+impl Watchdog {
+    fn arm(writer: SharedWriter) -> (CancelToken, Watchdog) {
+        let token = CancelToken::new();
+        let done = Arc::new(AtomicBool::new(false));
+        let (t, d) = (token.clone(), done.clone());
+        let join = thread::spawn(move || {
+            while !d.load(Ordering::SeqCst) {
+                if !send(&writer, "hb") {
+                    t.cancel();
+                    return;
+                }
+                thread::park_timeout(HEARTBEAT_EVERY);
+            }
+        });
+        (token, Watchdog { done, join })
+    }
+
+    fn disarm(self) {
+        self.done.store(true, Ordering::SeqCst);
+        self.join.thread().unpark();
+        let _ = self.join.join();
+    }
+}
+
+fn request_sid(req: &Request) -> Option<&str> {
+    match req {
+        Request::Open { sid, .. }
+        | Request::Add { sid, .. }
+        | Request::Tune { sid }
+        | Request::Sweep { sid, .. }
+        | Request::Pin { sid, .. }
+        | Request::Ban { sid, .. }
+        | Request::Unfix { sid, .. }
+        | Request::WhatIf { sid, .. }
+        | Request::ExportMps { sid }
+        | Request::Evict { sid }
+        | Request::Close { sid } => Some(sid),
+        Request::Stats | Request::Quit => None,
+    }
+}

@@ -1,0 +1,216 @@
+//! End-to-end daemon tests: the full TCP round trip, shared-cache probe
+//! accounting, quota rejection, and the evict-then-rebuild reproduction
+//! guarantee.
+
+use std::time::Duration;
+
+use cophy_bip::SolveBudget;
+use cophy_server::{Client, ClientError, ErrCode, Server, ServerConfig, SessionManager};
+
+fn smoke_config() -> ServerConfig {
+    ServerConfig {
+        budget: SolveBudget::within(0.05).with_time(Duration::from_secs(20)),
+        ..Default::default()
+    }
+}
+
+#[test]
+fn tcp_round_trip_open_tune_pin_retune_whatif_close() {
+    let handle = Server::bind("127.0.0.1:0", smoke_config(), None).unwrap().spawn();
+    let mut c = Client::connect(handle.addr()).unwrap();
+
+    let open = c.open("s1", "hom:7:24", 0.5).unwrap();
+    assert!(!open.cache_hit);
+    assert_eq!(open.statements, 24);
+    assert!(open.probes > 0, "cold open pays INUM probes");
+    assert!(open.candidates > 0);
+
+    let mut events = Vec::new();
+    let cold = c.tune("s1", |p| events.push(p.state_key())).unwrap();
+    assert!(cold.gap.is_finite());
+    assert!(!cold.indexes.is_empty());
+    assert!(!events.is_empty(), "tune streams anytime events");
+    assert!(cold.objective <= cold.baseline);
+
+    // Pin the top index: the warm re-tune keeps it and stays finite.
+    let pinned = cold.indexes[0].clone();
+    c.pin("s1", &pinned).unwrap();
+    let warm = c.tune("s1", |_| {}).unwrap();
+    assert!(warm.indexes.contains(&pinned));
+    assert!(warm.gap.is_finite());
+
+    // what_if of the warm answer costs it from the cache (no probes).
+    let before = c.stats().unwrap().probes;
+    let wi = c.what_if("s1", &warm.indexes).unwrap();
+    assert!(wi.cost.is_finite() && wi.cost > 0.0);
+    assert!(wi.improvement > 0.0);
+    assert_eq!(c.stats().unwrap().probes, before, "what_if is memo-lookup only");
+
+    // The exported model is lintable MPS.
+    let mps = c.export_mps("s1").unwrap();
+    cophy_bip::lint_mps(&mps).expect("exported MPS lints");
+
+    c.close("s1").unwrap();
+    let err = c.tune("s1", |_| {}).unwrap_err();
+    match err {
+        ClientError::Server(e) => assert_eq!(e.code, ErrCode::NoSession),
+        other => panic!("expected no-session, got {other}"),
+    }
+    c.quit().unwrap();
+    handle.stop();
+}
+
+#[test]
+fn sessions_over_one_spec_share_the_cache() {
+    let handle = Server::bind("127.0.0.1:0", smoke_config(), None).unwrap().spawn();
+    let mut c = Client::connect(handle.addr()).unwrap();
+
+    let first = c.open("a", "hom:9:16", 0.5).unwrap();
+    assert!(!first.cache_hit);
+    let probes_single = c.stats().unwrap().probes;
+    assert_eq!(probes_single, first.probes);
+
+    for sid in ["b", "c", "d"] {
+        let r = c.open(sid, "hom:9:16", 0.5).unwrap();
+        assert!(r.cache_hit, "session {sid} should share the prepared cache");
+        assert_eq!(r.probes, 0);
+        assert_eq!(r.candidates, first.candidates);
+    }
+    // Sharing: four sessions, still exactly one session's worth of probes.
+    let stats = c.stats().unwrap();
+    assert_eq!(stats.probes, probes_single);
+    assert_eq!(stats.cache_misses, 1);
+    assert_eq!(stats.cache_hits, 3);
+    assert_eq!(stats.live, 4);
+
+    // Shared cache ⇒ identical answers: all four agree bit-for-bit.
+    let r_a = c.tune("a", |_| {}).unwrap();
+    for sid in ["b", "c", "d"] {
+        let r = c.tune(sid, |_| {}).unwrap();
+        assert_eq!(r.indexes, r_a.indexes);
+        assert_eq!(r.objective.to_bits(), r_a.objective.to_bits());
+        assert_eq!(r.bound.to_bits(), r_a.bound.to_bits());
+    }
+    c.quit().unwrap();
+    handle.stop();
+}
+
+#[test]
+fn quota_rejects_the_cold_open_with_a_typed_error() {
+    let config = ServerConfig { quota: 3, ..smoke_config() };
+    let handle = Server::bind("127.0.0.1:0", config, None).unwrap().spawn();
+    let mut c = Client::connect(handle.addr()).unwrap();
+
+    match c.open("starved", "hom:5:16", 0.5).unwrap_err() {
+        ClientError::Server(e) => {
+            assert_eq!(e.code, ErrCode::Quota, "message: {}", e.message);
+            assert!(e.message.contains("quota exceeded"));
+        }
+        other => panic!("expected quota error, got {other}"),
+    }
+    // The failed open left nothing behind.
+    let stats = c.stats().unwrap();
+    assert_eq!(stats.live, 0);
+    assert_eq!(stats.cache_entries, 0);
+    c.quit().unwrap();
+    handle.stop();
+}
+
+#[test]
+fn evicted_session_rebuilds_and_reproduces_its_recommendation() {
+    let handle = Server::bind("127.0.0.1:0", smoke_config(), None).unwrap().spawn();
+    let mut c = Client::connect(handle.addr()).unwrap();
+
+    // Builder session pays the probes; the test subject shares the cache.
+    c.open("builder", "hom:11:16", 0.5).unwrap();
+    let open = c.open("subject", "hom:11:16", 0.5).unwrap();
+    assert!(open.cache_hit);
+
+    // Fix intent, then take the pre-eviction recommendation (cold solve
+    // under the fixings).
+    let probe = c.tune("builder", |_| {}).unwrap();
+    let pin = probe.indexes[0].clone();
+    let ban = probe.indexes[probe.indexes.len() - 1].clone();
+    c.pin("subject", &pin).unwrap();
+    if ban != pin {
+        c.ban("subject", &ban).unwrap();
+    }
+    let before = c.tune("subject", |_| {}).unwrap();
+    assert!(before.indexes.contains(&pin));
+    assert!(ban == pin || !before.indexes.contains(&ban));
+
+    // Evict: private state drops, shared cache and fixings are retained.
+    let released = c.evict("subject").unwrap();
+    assert!(released > 0, "evicting a solved session releases state bytes");
+    let stats = c.stats().unwrap();
+    assert_eq!(stats.evicted, 1);
+
+    // Retouch: rebuilt over the retained cache with zero probes, and the
+    // recommendation reproduces bit-for-bit.
+    let probes_before = c.stats().unwrap().probes;
+    let after = c.tune("subject", |_| {}).unwrap();
+    assert_eq!(c.stats().unwrap().probes, probes_before, "rebuild costs no probes");
+    assert_eq!(after.indexes, before.indexes);
+    assert_eq!(after.objective.to_bits(), before.objective.to_bits());
+    assert_eq!(after.bound.to_bits(), before.bound.to_bits());
+    assert_eq!(after.gap.to_bits(), before.gap.to_bits());
+    assert_eq!(c.stats().unwrap().rebuilds, 1);
+
+    c.quit().unwrap();
+    handle.stop();
+}
+
+#[test]
+fn sweep_streams_point_tagged_events() {
+    let handle = Server::bind("127.0.0.1:0", smoke_config(), None).unwrap().spawn();
+    let mut c = Client::connect(handle.addr()).unwrap();
+    c.open("s", "hom:13:12", 0.8).unwrap();
+
+    let schema_bytes = handle.manager().schema().data_bytes();
+    let budgets = [schema_bytes, schema_bytes / 2, schema_bytes / 4];
+    let mut seen_points = Vec::new();
+    let points = c.sweep("s", &budgets, |p| seen_points.push(p.point)).unwrap();
+    assert_eq!(points.len(), 3);
+    for (pt, budget) in points.iter().zip(budgets) {
+        assert_eq!(pt.budget_bytes, budget);
+        assert!(pt.gap.is_finite());
+    }
+    // Tighter budgets can only raise the optimum (monotone chain).
+    assert!(points[1].objective + 1e-9 >= points[0].objective);
+    assert!(points[2].objective + 1e-9 >= points[1].objective);
+    c.quit().unwrap();
+    handle.stop();
+}
+
+#[test]
+fn malformed_and_unknown_session_requests_are_typed_errors() {
+    let handle = Server::bind("127.0.0.1:0", smoke_config(), None).unwrap().spawn();
+    let mut c = Client::connect(handle.addr()).unwrap();
+    match c.tune("ghost", |_| {}).unwrap_err() {
+        ClientError::Server(e) => assert_eq!(e.code, ErrCode::NoSession),
+        other => panic!("expected no-session, got {other}"),
+    }
+    match c.open("s", "bogus:1:1", 0.5).unwrap_err() {
+        ClientError::Server(e) => assert_eq!(e.code, ErrCode::BadRequest),
+        other => panic!("expected bad-request, got {other}"),
+    }
+    c.quit().unwrap();
+    handle.stop();
+}
+
+#[test]
+fn manager_lru_cap_evicts_cold_sessions() {
+    // A cap small enough that two solved sessions cannot both stay live.
+    let config = ServerConfig { mem_cap_bytes: 1, ..smoke_config() };
+    let manager = SessionManager::new(config);
+    manager.open("hot", "hom:17:8", 0.5).unwrap();
+    manager.open("cold", "hom:17:8", 0.5).unwrap();
+    manager.tune("cold", None, |_| {}).unwrap();
+    // Touching `hot` makes `cold` the LRU victim once the cap bites.
+    manager.tune("hot", None, |_| {}).unwrap();
+    let stats = manager.stats();
+    assert!(stats.evictions >= 1, "cap of 1 byte must evict, stats: {stats:?}");
+    // Both sessions still answer — eviction is transparent.
+    manager.tune("cold", None, |_| {}).unwrap();
+    manager.tune("hot", None, |_| {}).unwrap();
+}
