@@ -1,0 +1,6 @@
+//! CI robustness smoke: zero-fault transparency + chaos-schedule
+//! degradation bounds, gated (see `cophy_bench::chaos_smoke`).
+
+fn main() {
+    println!("{}", cophy_bench::chaos_smoke());
+}

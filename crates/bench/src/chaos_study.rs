@@ -1,0 +1,246 @@
+//! Robustness smoke study (the `chaos_smoke` CI gate).
+//!
+//! Runs the same tune three times on one workload:
+//!
+//! 1. **clean** — the unwrapped what-if optimizer (the fault-free baseline);
+//! 2. **zero-fault** — the same optimizer behind a [`FaultInjectingBackend`]
+//!    with an all-zero [`FaultPlan`]: the wrapper must be *transparent* —
+//!    bit-identical recommendation, not one extra what-if probe;
+//! 3. **chaos** — a seeded [`FaultPlan::chaos`] schedule (transients,
+//!    timeouts, a few permanent failures, mild cost corruption) under the
+//!    retry/backoff policy: the pipeline must *complete*, report its
+//!    degradation honestly, and land within a bounded cost delta of the
+//!    fault-free tune.
+//!
+//! Writes `BENCH_chaos.json` (probe counts, fault log, coverage, cost
+//! delta) *before* gating, so the CI artifact survives a failure.
+
+use std::time::{Duration, Instant};
+
+use cophy::{CoPhy, CoPhyOptions, ConstraintSet, DegradationReport};
+use cophy_catalog::TpchGen;
+use cophy_optimizer::{
+    FaultInjectingBackend, FaultPlan, RetryPolicy, SystemProfile, WhatIfBackend, WhatIfOptimizer,
+};
+
+use crate::{secs, sizes};
+
+/// The chaos schedule's seed — fixed so the study is reproducible and the
+/// gate bounds below are meaningful.
+const CHAOS_SEED: u64 = 0xC4A05;
+
+/// Everything the study measures; gates and the artifact both read this.
+pub struct ChaosStudy {
+    pub statements: usize,
+    /// Fault-free baseline.
+    pub clean_objective: f64,
+    pub clean_bound: f64,
+    pub clean_gap: f64,
+    pub clean_probes: u64,
+    /// Zero-fault wrapped run.
+    pub wrapped_probes: u64,
+    pub zero_fault_identical: bool,
+    /// Chaos run.
+    pub chaos_objective: f64,
+    pub chaos_gap: f64,
+    pub chaos_probes: u64,
+    pub degradation: Option<DegradationReport>,
+    pub wall: Duration,
+}
+
+impl ChaosStudy {
+    /// Relative cost delta of the chaos recommendation vs the fault-free
+    /// tune (positive = worse).
+    pub fn cost_delta(&self) -> f64 {
+        self.chaos_objective / self.clean_objective - 1.0
+    }
+}
+
+fn fast_retry() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 4,
+        base_backoff: Duration::from_micros(10),
+        max_backoff: Duration::from_micros(50),
+        ..Default::default()
+    }
+}
+
+/// Run the whole study.  `n` statements; the workload is `hom:7:n` (the
+/// `server_smoke` workload, so the two gates stress the same tune).
+pub fn chaos_study(n: usize) -> ChaosStudy {
+    let t0 = Instant::now();
+    let schema = TpchGen::default().schema();
+    let o = WhatIfOptimizer::new(schema.clone(), SystemProfile::A);
+    let w = cophy_workload::HomGen::new(7).generate(o.schema(), n);
+    let constraints = ConstraintSet::storage_fraction(o.schema(), 0.5);
+
+    // 1. Fault-free baseline.
+    let clean = CoPhy::new(&o, CoPhyOptions::default())
+        .try_tune(&w, &constraints)
+        .expect("fault-free tune is feasible");
+    let clean_probes = o.what_if_calls();
+
+    // 2. Zero-fault schedule: the wrapper must be invisible.
+    let wrapped = FaultInjectingBackend::new(
+        Box::new(WhatIfOptimizer::new(schema.clone(), SystemProfile::A)),
+        FaultPlan::none(CHAOS_SEED),
+    );
+    let zero = CoPhy::new(&wrapped, CoPhyOptions::default())
+        .try_tune(&w, &constraints)
+        .expect("zero-fault tune is feasible");
+    let wrapped_probes = wrapped.what_if_calls();
+    let zero_fault_identical = zero.objective.to_bits() == clean.objective.to_bits()
+        && zero.bound.to_bits() == clean.bound.to_bits()
+        && zero.configuration == clean.configuration
+        && zero.degradation.is_none();
+
+    // 3. Chaos schedule under retry/backoff.
+    let chaotic = FaultInjectingBackend::new(
+        Box::new(WhatIfOptimizer::new(schema, SystemProfile::A)),
+        FaultPlan::chaos(CHAOS_SEED),
+    );
+    let opts = CoPhyOptions { retry: fast_retry(), min_coverage: 0.25, ..Default::default() };
+    let chaos = CoPhy::new(&chaotic, opts)
+        .try_tune(&w, &constraints)
+        .expect("chaos tune must complete (degraded, not dead)");
+
+    ChaosStudy {
+        statements: n,
+        clean_objective: clean.objective,
+        clean_bound: clean.bound,
+        clean_gap: clean.gap,
+        clean_probes,
+        wrapped_probes,
+        zero_fault_identical,
+        chaos_objective: chaos.objective,
+        chaos_gap: chaos.gap,
+        chaos_probes: chaotic.what_if_calls(),
+        degradation: chaos.degradation,
+        wall: t0.elapsed(),
+    }
+}
+
+/// `BENCH_chaos.json` body.
+pub fn chaos_artifact_json(s: &ChaosStudy) -> String {
+    let (coverage, inflation, failed, retries, recovered, substituted, degraded, total) = s
+        .degradation
+        .as_ref()
+        .map(|d| {
+            (
+                d.coverage,
+                d.worst_case_inflation,
+                d.probes_failed,
+                d.retries,
+                d.probes_recovered,
+                d.probes_substituted,
+                d.statements_degraded,
+                d.statements_total,
+            )
+        })
+        .unwrap_or((1.0, 0.0, 0, 0, 0, 0, 0, s.statements));
+    format!(
+        "{{\"experiment\":\"chaos_smoke\",\"statements\":{},\"seed\":{},\
+         \"clean_probes\":{},\"wrapped_probes\":{},\"zero_fault_identical\":{},\
+         \"clean_objective\":{:.6},\"chaos_objective\":{:.6},\"cost_delta\":{:.6},\
+         \"chaos_probes\":{},\"chaos_gap\":{:.6},\
+         \"probes_failed\":{failed},\"retries\":{retries},\"probes_recovered\":{recovered},\
+         \"probes_substituted\":{substituted},\"statements_degraded\":{degraded},\
+         \"statements_total\":{total},\"coverage\":{coverage:.4},\
+         \"worst_case_inflation\":{inflation:.4},\"wall_s\":{:.3}}}\n",
+        s.statements,
+        CHAOS_SEED,
+        s.clean_probes,
+        s.wrapped_probes,
+        s.zero_fault_identical,
+        s.clean_objective,
+        s.chaos_objective,
+        s.cost_delta(),
+        s.chaos_probes,
+        s.chaos_gap,
+        s.wall.as_secs_f64(),
+    )
+}
+
+pub fn write_chaos_artifact(json: &str) {
+    let path = "BENCH_chaos.json";
+    std::fs::write(path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    eprintln!("wrote chaos artifact to {path}");
+}
+
+/// Human-readable report.
+pub fn chaos_report(s: &ChaosStudy) -> String {
+    let mut out = String::new();
+    out.push_str("## chaos_smoke — fault-injection robustness gate\n\n");
+    out.push_str(&format!(
+        "workload hom:7:{} | chaos seed {:#x} | retry {} attempts\n\n",
+        s.statements,
+        CHAOS_SEED,
+        fast_retry().max_attempts
+    ));
+    out.push_str(&format!(
+        "zero-fault wrapper: bit-identical {} | probes {} vs {} clean\n",
+        s.zero_fault_identical, s.wrapped_probes, s.clean_probes
+    ));
+    match &s.degradation {
+        Some(d) => out.push_str(&format!(
+            "chaos: {} failed / {} retries / {} recovered / {} substituted | \
+             {}/{} statements degraded | coverage {:.1}% | inflation {:.1}%\n",
+            d.probes_failed,
+            d.retries,
+            d.probes_recovered,
+            d.probes_substituted,
+            d.statements_degraded,
+            d.statements_total,
+            d.coverage * 100.0,
+            d.worst_case_inflation * 100.0
+        )),
+        None => out.push_str("chaos: no degradation reported\n"),
+    }
+    out.push_str(&format!(
+        "cost: clean {:.0} vs chaos {:.0} ({:+.2}%) | chaos gap {:.2}% | wall {}\n",
+        s.clean_objective,
+        s.chaos_objective,
+        s.cost_delta() * 100.0,
+        s.chaos_gap * 100.0,
+        secs(s.wall)
+    ));
+    out
+}
+
+/// Assertions behind the CI gate; the artifact is written by the caller
+/// *before* this runs.
+pub fn chaos_gate(s: &ChaosStudy) {
+    assert!(
+        s.zero_fault_identical,
+        "gate: a zero-fault schedule must be bit-identical to the unwrapped backend"
+    );
+    assert_eq!(
+        s.wrapped_probes, s.clean_probes,
+        "gate: the zero-fault wrapper must not cost a single extra what-if probe"
+    );
+    let d = s.degradation.as_ref().expect("gate: the chaos tune must report its degradation");
+    assert!(d.probes_failed > 0, "gate: the chaos schedule must actually fire");
+    assert!(d.probes_recovered > 0, "gate: retries must recover at least one transient");
+    assert!(d.coverage >= 0.25, "gate: chaos coverage {:.3} under the floor", d.coverage);
+    assert!(s.chaos_gap.is_finite(), "gate: the chaos tune must prove a finite gap");
+    // Bounded cost delta: cost corruption is ±5% per probe and lost
+    // templates inflate by at most the advertised worst case, so 15% plus
+    // the report's own inflation bound is a conservative ceiling.
+    let ceiling = 0.15 + d.worst_case_inflation;
+    assert!(
+        s.cost_delta().abs() <= ceiling,
+        "gate: chaos cost delta {:+.2}% exceeds the {:.2}% ceiling",
+        s.cost_delta() * 100.0,
+        ceiling * 100.0
+    );
+}
+
+/// Entry point of the `chaos_smoke` bin.
+pub fn chaos_smoke() -> String {
+    let n = sizes()[1];
+    let study = chaos_study(n);
+    write_chaos_artifact(&chaos_artifact_json(&study));
+    let report = chaos_report(&study);
+    chaos_gate(&study);
+    report
+}

@@ -21,8 +21,10 @@
 //! solver, DBMS); the claims under test are the *shapes*: who wins, by
 //! roughly what factor, and how times scale.
 
+pub mod chaos_study;
 pub mod server_study;
 
+pub use chaos_study::{chaos_smoke, chaos_study, ChaosStudy};
 pub use server_study::{server_smoke, server_study, ServerStudy};
 
 use std::time::{Duration, Instant};

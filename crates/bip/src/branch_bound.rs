@@ -82,6 +82,12 @@ pub struct MipResult {
     /// pre-solving predicted children when the open frontier is thinner
     /// than `parallelism`).
     pub lookahead_hits: usize,
+    /// Singular-basis breakdowns the solve recovered from instead of
+    /// surfacing an error: a failed refactorization (or an ftran/pricing
+    /// disagreement) forces a cold two-phase re-solve on the other LP
+    /// kernel, and warm re-solves that went singular pay the same cold
+    /// fallback (see [`LpStatus::Singular`]).
+    pub factor_recoveries: usize,
     /// Incumbent/bound improvements over time.
     pub trace: Vec<GapPoint>,
 }
@@ -101,6 +107,7 @@ impl MipResult {
             sb_cold_lps: 0,
             dive_cold_lps: 0,
             lookahead_hits: 0,
+            factor_recoveries: 0,
             trace: Vec::new(),
         }
     }
@@ -114,6 +121,7 @@ struct NodeStats {
     sb_cold_lps: usize,
     dive_cold_lps: usize,
     lookahead_hits: usize,
+    factor_recoveries: usize,
 }
 
 impl NodeStats {
@@ -121,6 +129,7 @@ impl NodeStats {
     fn absorb(&mut self, lp: &LpResult) {
         self.refactorizations += lp.refactorizations;
         self.devex_resets += lp.devex_resets;
+        self.factor_recoveries += lp.factor_recoveries;
     }
 
     fn apply(&self, out: &mut MipResult) {
@@ -129,6 +138,7 @@ impl NodeStats {
         out.sb_cold_lps = self.sb_cold_lps;
         out.dive_cold_lps = self.dive_cold_lps;
         out.lookahead_hits = self.lookahead_hits;
+        out.factor_recoveries = self.factor_recoveries;
     }
 }
 
@@ -257,11 +267,15 @@ fn evaluate_node(
                     {
                         return r;
                     }
-                    // Stalled or invalid: pay the cold solve below, keeping
-                    // the warm pivots in the accounting via `iterations`.
+                    // Stalled, singular, or invalid: pay the cold solve
+                    // below, keeping the warm pivots in the accounting via
+                    // `iterations` — and counting a singular warm basis as
+                    // a recovered factorization failure.
                     _ => {
                         let mut cold = lp_solver.solve(model, &lo, &hi);
                         cold.iterations += r.iterations;
+                        cold.factor_recoveries +=
+                            r.factor_recoveries + usize::from(r.status == LpStatus::Singular);
                         return cold;
                     }
                 }
@@ -623,6 +637,8 @@ impl BranchBound {
                         _ => {
                             let mut cold = lp_solver.solve(model, root_lo, root_hi);
                             cold.iterations += r.iterations;
+                            cold.factor_recoveries +=
+                                r.factor_recoveries + usize::from(r.status == LpStatus::Singular);
                             cold
                         }
                     },
@@ -649,6 +665,8 @@ impl BranchBound {
                         _ => {
                             let mut cold = lp_solver.solve(model, root_lo, root_hi);
                             cold.iterations += r.iterations;
+                            cold.factor_recoveries +=
+                                r.factor_recoveries + usize::from(r.status == LpStatus::Singular);
                             cold
                         }
                     },
@@ -673,11 +691,12 @@ impl BranchBound {
                 // a modeling error. Surface it loudly.
                 panic!("LP relaxation of a BIP cannot be unbounded");
             }
-            LpStatus::IterLimit => {
-                // Out of time inside the root LP: salvage what the primal
-                // heuristics can build from the seed / partial point.  The
-                // caller's known bound (if any) keeps the reported gap
-                // finite even on this path.
+            LpStatus::IterLimit | LpStatus::Singular => {
+                // Out of time inside the root LP — or both kernels went
+                // singular on it, which exhausts the recovery ladder:
+                // salvage what the primal heuristics can build from the
+                // seed / partial point.  The caller's known bound (if any)
+                // keeps the reported gap finite even on this path.
                 for start in [seed.unwrap_or(&root.x), &root.x as &[f64]] {
                     if let Some((obj, x)) = round_and_repair(
                         model,
@@ -831,6 +850,7 @@ impl BranchBound {
                     lp.iterations = 0;
                     lp.refactorizations = 0;
                     lp.devex_resets = 0;
+                    lp.factor_recoveries = 0;
                     vec![lp]
                 } else if parallelism > 1 && spec_cache.contains_key(&node.fixings) {
                     stats.lookahead_hits += 1;
@@ -974,6 +994,16 @@ impl BranchBound {
                 stats.absorb(&lp);
 
                 if lp.status == LpStatus::Infeasible {
+                    continue;
+                }
+                if lp.status == LpStatus::Singular {
+                    // Both kernels went singular on this node's LP, so its
+                    // objective is unusable.  Treat it exactly like a pivot
+                    // stall: skip the node (the parent bound stays valid via
+                    // the frontier) and remember the search is no longer
+                    // exhaustive.
+                    stalled_nodes += 1;
+                    stalled_bound_cap = stalled_bound_cap.min(node.bound);
                     continue;
                 }
                 if lp.status == LpStatus::IterLimit {
@@ -1991,6 +2021,10 @@ mod tests {
         );
         assert_eq!(rw.dive_cold_lps, 0, "warm dives must chain bases, never cold-solve");
         assert!(rw.refactorizations > 0, "sparse LU path must have factorized at least once");
+        assert_eq!(
+            rw.factor_recoveries, 0,
+            "a numerically clean solve must not report singular-basis recoveries"
+        );
 
         // With warm starts off, the same probes fall back to bounded
         // two-phase LPs — and the counter proves the warm path above

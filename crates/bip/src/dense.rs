@@ -413,7 +413,7 @@ impl DenseTableau {
                     if since_refactor >= REFACTOR_EVERY {
                         since_refactor = 0;
                         if !self.refactor() {
-                            return (LpStatus::IterLimit, iter);
+                            return (LpStatus::Singular, iter);
                         }
                     }
                 }
@@ -456,15 +456,16 @@ pub(crate) fn dense_solve(
         phase1_cost[j] = 1.0;
     }
     let (s1, it1) = t.run(&phase1_cost, solver.tol, solver.max_iters, solver.deadline);
-    if s1 == LpStatus::IterLimit {
+    if matches!(s1, LpStatus::IterLimit | LpStatus::Singular) {
         return LpResult {
-            status: LpStatus::IterLimit,
+            status: s1,
             x: vec![0.0; n],
             objective: f64::INFINITY,
             iterations: it1,
             basis: None,
             refactorizations: t.refactorizations,
             devex_resets: 0,
+            factor_recoveries: 0,
         };
     }
     let infeas: f64 = t
@@ -483,6 +484,7 @@ pub(crate) fn dense_solve(
             basis: None,
             refactorizations: t.refactorizations,
             devex_resets: 0,
+            factor_recoveries: 0,
         };
     }
 
@@ -507,6 +509,7 @@ pub(crate) fn dense_solve(
         basis,
         refactorizations: t.refactorizations,
         devex_resets: 0,
+        factor_recoveries: 0,
     }
 }
 
@@ -538,6 +541,7 @@ pub(crate) fn dense_resolve(
         basis: snap,
         refactorizations: t.refactorizations,
         devex_resets: 0,
+        factor_recoveries: 0,
     })
 }
 
@@ -619,7 +623,7 @@ fn run_dual_dense(dual: &DualSimplex, t: &mut DenseTableau, cost: &[f64]) -> (Lp
         t.ftran(j, &mut w);
         let alpha = w[r];
         if alpha.abs() <= PIVOT_TOL {
-            return (LpStatus::IterLimit, iter);
+            return (LpStatus::Singular, iter);
         }
         let t_e = delta / alpha;
         let enter_val = t.nb_value(j) + t_e;
@@ -638,7 +642,7 @@ fn run_dual_dense(dual: &DualSimplex, t: &mut DenseTableau, cost: &[f64]) -> (Lp
         if since_refactor >= REFACTOR_EVERY {
             since_refactor = 0;
             if !t.refactor() {
-                return (LpStatus::IterLimit, iter);
+                return (LpStatus::Singular, iter);
             }
         }
     }

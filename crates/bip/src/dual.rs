@@ -116,6 +116,7 @@ impl DualSimplex {
             basis,
             refactorizations: t.refactorizations,
             devex_resets: t.devex_resets,
+            factor_recoveries: 0,
         })
     }
 
@@ -276,7 +277,7 @@ impl DualSimplex {
             if alpha.abs() <= PIVOT_TOL {
                 // Priced α and the ftran disagree beyond tolerance —
                 // numerical trouble; let the caller fall back cold.
-                return (LpStatus::IterLimit, iter);
+                return (LpStatus::Singular, iter);
             }
             let t_e = delta / alpha;
             let enter_val = t.nb_value(q) + t_e;
@@ -316,7 +317,7 @@ impl DualSimplex {
             }
 
             if !t.update_factors(r, &w, &mut since_refactor) {
-                return (LpStatus::IterLimit, iter);
+                return (LpStatus::Singular, iter);
             }
         }
         (LpStatus::IterLimit, self.max_iters)
@@ -332,6 +333,23 @@ mod tests {
     fn pinch(lo: &mut [f64], hi: &mut [f64], j: usize, v: f64) {
         lo[j] = v;
         hi[j] = v;
+    }
+
+    #[test]
+    fn singular_snapshot_resolve_returns_none() {
+        // A corrupted (duplicate-column, hence singular) snapshot must make
+        // the warm re-solve bow out with `None` — the caller then pays a
+        // cold two-phase solve — rather than pivot on a broken basis.
+        let mut m = Model::new();
+        let x = m.add_var("x", -1.0);
+        let y = m.add_var("y", -2.0);
+        m.add_constraint(LinExpr::new().term(x, 1.0).term(y, 1.0), Sense::Le, 1.5);
+        m.add_constraint(LinExpr::new().term(x, 1.0), Sense::Le, 0.8);
+        let root = SimplexSolver::new().solve(&m, &[0.0, 0.0], &[1.0, 1.0]);
+        let mut bad = root.basis.clone().expect("root basis");
+        bad.basis[1] = bad.basis[0];
+        let _ = (x, y);
+        assert!(DualSimplex::new().resolve(&m, &[0.0, 0.0], &[1.0, 1.0], &bad).is_none());
     }
 
     #[test]

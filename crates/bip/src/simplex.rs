@@ -48,6 +48,12 @@ pub enum LpStatus {
     /// Iteration limit hit; `x` is the best feasible point found (phase 2)
     /// or meaningless (phase 1).
     IterLimit,
+    /// The basis matrix went numerically singular mid-solve (a failed
+    /// refactorization, or an ftran/pricing disagreement beyond tolerance).
+    /// Distinct from [`LpStatus::IterLimit`] so callers recover — a cold
+    /// re-solve on the other kernel — instead of treating the abort as an
+    /// exhausted budget.
+    Singular,
 }
 
 /// Result of an LP solve.
@@ -66,6 +72,10 @@ pub struct LpResult {
     pub refactorizations: usize,
     /// Number of Devex reference-framework resets (0 on the dense engine).
     pub devex_resets: usize,
+    /// Singular-basis events this solve recovered from by falling back to
+    /// a cold two-phase solve on the other kernel (see
+    /// [`LpStatus::Singular`]).
+    pub factor_recoveries: usize,
 }
 
 impl LpResult {
@@ -79,6 +89,7 @@ impl LpResult {
             basis: None,
             refactorizations: 0,
             devex_resets: 0,
+            factor_recoveries: 0,
         }
     }
 }
@@ -472,7 +483,8 @@ impl Tableau {
 
     /// Record a basis change at row `r` with ftran'd entering column `w`:
     /// append the product-form eta and refactorize on cadence.  Returns
-    /// false on a singular refactorization (caller aborts with `IterLimit`).
+    /// false on a singular refactorization (caller aborts with
+    /// [`LpStatus::Singular`] so the solve can recover on the other kernel).
     #[must_use]
     pub(crate) fn update_factors(
         &mut self,
@@ -646,7 +658,7 @@ impl Tableau {
                     self.xb[r] = entering_val;
 
                     if !self.update_factors(r, &w, &mut since_refactor) {
-                        return (LpStatus::IterLimit, iter);
+                        return (LpStatus::Singular, iter);
                     }
                 }
             }
@@ -701,16 +713,34 @@ impl SimplexSolver {
                 basis: None,
                 refactorizations: 0,
                 devex_resets: 0,
+                factor_recoveries: 0,
             };
         }
         // An already-expired deadline aborts before the first factorization.
         if self.deadline_expired() {
             return LpResult::aborted(n);
         }
-        match self.engine {
+        let first = match self.engine {
             LpEngine::Sparse => self.solve_sparse(model, lo, hi),
             LpEngine::Dense => crate::dense::dense_solve(self, model, lo, hi),
+        };
+        if first.status != LpStatus::Singular {
+            return first;
         }
+        // A singular basis is a property of this kernel's pivot path — a
+        // deterministic identical retry would break down at the same pivot.
+        // Recover with a cold two-phase solve on the *other* kernel
+        // (threshold vs plain partial pivoting take different elimination
+        // paths), folding the abandoned attempt's work into the result.
+        let mut second = match self.engine {
+            LpEngine::Sparse => crate::dense::dense_solve(self, model, lo, hi),
+            LpEngine::Dense => self.solve_sparse(model, lo, hi),
+        };
+        second.iterations += first.iterations;
+        second.refactorizations += first.refactorizations;
+        second.devex_resets += first.devex_resets;
+        second.factor_recoveries += first.factor_recoveries + 1;
+        second
     }
 
     fn solve_sparse(&self, model: &Model, lo: &[f64], hi: &[f64]) -> LpResult {
@@ -724,15 +754,16 @@ impl SimplexSolver {
             phase1_cost[j] = 1.0;
         }
         let (s1, it1) = t.run(&phase1_cost, self.tol, self.max_iters, self.deadline);
-        if s1 == LpStatus::IterLimit {
+        if matches!(s1, LpStatus::IterLimit | LpStatus::Singular) {
             return LpResult {
-                status: LpStatus::IterLimit,
+                status: s1,
                 x: vec![0.0; n],
                 objective: f64::INFINITY,
                 iterations: it1,
                 basis: None,
                 refactorizations: t.refactorizations,
                 devex_resets: t.devex_resets,
+                factor_recoveries: 0,
             };
         }
         let infeas: f64 = t
@@ -751,6 +782,7 @@ impl SimplexSolver {
                 basis: None,
                 refactorizations: t.refactorizations,
                 devex_resets: t.devex_resets,
+                factor_recoveries: 0,
             };
         }
 
@@ -776,6 +808,7 @@ impl SimplexSolver {
             basis,
             refactorizations: t.refactorizations,
             devex_resets: t.devex_resets,
+            factor_recoveries: 0,
         }
     }
 
@@ -830,6 +863,7 @@ impl SimplexSolver {
             basis: snap,
             refactorizations: t.refactorizations,
             devex_resets: t.devex_resets,
+            factor_recoveries: 0,
         })
     }
 
@@ -865,6 +899,50 @@ mod tests {
         assert!((r.x[0] - 0.5).abs() < 1e-6);
         assert!((r.x[1] - 1.0).abs() < 1e-6);
         assert!(r.refactorizations >= 1, "cold solve factorizes at least once");
+        assert_eq!(r.factor_recoveries, 0, "clean solve must not report recoveries");
+    }
+
+    #[test]
+    fn singular_snapshot_rejected_by_warm_solve() {
+        // Two rows so a duplicated basis column makes B genuinely singular.
+        let mut m = Model::new();
+        let x = m.add_var("x", -1.0);
+        let y = m.add_var("y", -2.0);
+        m.add_constraint(LinExpr::new().term(x, 1.0).term(y, 1.0), Sense::Le, 1.5);
+        m.add_constraint(LinExpr::new().term(x, 1.0), Sense::Le, 0.8);
+        let (lo, hi) = bounds(2);
+        let solver = SimplexSolver::new();
+        let r = solver.solve(&m, &lo, &hi);
+        assert_eq!(r.status, LpStatus::Optimal);
+        let mut bad = r.basis.clone().expect("optimal solve snapshots its basis");
+        bad.basis[1] = bad.basis[0];
+        assert!(
+            solver.warm_solve(&m, &lo, &hi, &bad).is_none(),
+            "a singular snapshot must be rejected so the caller re-solves cold"
+        );
+    }
+
+    #[test]
+    fn forced_refactorization_on_singular_basis_reports_failure() {
+        // A corrupted basis (duplicate column) must surface as a false
+        // return from the cadence refactorization — the hook [`Tableau::run`]
+        // turns into [`LpStatus::Singular`] so the solve recovers on the
+        // other kernel instead of pretending the pivot budget ran out.
+        let mut m = Model::new();
+        let x = m.add_var("x", -1.0);
+        let y = m.add_var("y", -2.0);
+        m.add_constraint(LinExpr::new().term(x, 1.0).term(y, 1.0), Sense::Le, 1.5);
+        m.add_constraint(LinExpr::new().term(y, 1.0), Sense::Le, 0.9);
+        let (lo, hi) = bounds(2);
+        let mut t = Tableau::build(&m, &lo, &hi);
+        t.init_basis();
+        t.basis[1] = t.basis[0];
+        let w = vec![1.0, 0.0];
+        let mut since = REFACTOR_EVERY - 1;
+        assert!(
+            !t.update_factors(0, &w, &mut since),
+            "refactorizing a singular basis must report failure, not succeed"
+        );
     }
 
     #[test]

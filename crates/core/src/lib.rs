@@ -99,7 +99,9 @@ pub use cgen::{CGen, CandidateSet};
 pub use constraints::{Cmp, Constraint, ConstraintSet, IndexFilter};
 pub use session::{SweepPoint, TuningSession, WhatIfAnswer};
 pub use soft::{ChordExplorer, ParetoPoint};
-pub use solver::{CoPhy, CoPhyOptions, Recommendation, SolveStats, SolverBackend};
+pub use solver::{
+    CoPhy, CoPhyOptions, DegradationReport, Recommendation, SolveStats, SolverBackend,
+};
 
 // The shared anytime solve engine's budget/progress vocabulary, re-exported
 // so advisor-level callers need not depend on `cophy_bip` directly.

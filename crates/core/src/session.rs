@@ -45,7 +45,7 @@ use cophy_workload::{QueryId, Workload};
 use crate::bipgen::BipMapping;
 use crate::cgen::CandidateSet;
 use crate::constraints::ConstraintSet;
-use crate::solver::{selection_to_config, CoPhy, Recommendation, SolveStats};
+use crate::solver::{selection_to_config, CoPhy, DegradationReport, Recommendation, SolveStats};
 
 /// One point of a [`TuningSession::sweep_storage`] budget sweep.
 #[derive(Debug, Clone)]
@@ -134,6 +134,10 @@ pub struct TuningSession<'o, 'c> {
     /// Cumulative what-if calls spent on INUM preparation in this session.
     what_if_calls: u64,
     inum_time: Duration,
+    /// Carried degradation from the opening INUM preparation when transient
+    /// backend faults exhausted retries; attached to every recommendation
+    /// this session produces (`None` = fault-free prep).
+    degradation: Option<DegradationReport>,
 }
 
 impl<'o, 'c> TuningSession<'o, 'c> {
@@ -161,17 +165,27 @@ impl<'o, 'c> TuningSession<'o, 'c> {
         let t0 = Instant::now();
         let before = cophy.optimizer().what_if_calls();
         let schema = cophy.optimizer().schema();
-        let inum = Inum::new(cophy.optimizer());
+        let inum = Inum::with_retry(cophy.optimizer(), cophy.options.retry.clone());
         let policy = cophy.options.compression;
-        let (prepared, candidates, compressed) = if policy.is_off() {
-            let prepared = inum.try_prepare_workload(w).map_err(|e| e.to_string())?;
-            (prepared, cophy.options.cgen.generate(schema, w), None)
+        let (prepared, faults, candidates, compressed) = if policy.is_off() {
+            let (prepared, faults) =
+                inum.try_prepare_workload_resilient(w, None).map_err(|e| e.to_string())?;
+            (prepared, faults, cophy.options.cgen.generate(schema, w), None)
         } else {
             let cw = CompressedWorkload::compress(schema, w, policy);
-            let prepared = inum.try_prepare_compressed_parallel(&cw).map_err(|e| e.to_string())?;
+            let (prepared, faults) = inum
+                .try_prepare_compressed_resilient_parallel(&cw, None)
+                .map_err(|e| e.to_string())?;
             let candidates = cophy.options.cgen.generate(schema, cw.representatives());
-            (prepared, candidates, Some(cw))
+            (prepared, faults, candidates, Some(cw))
         };
+        let degradation = DegradationReport::from_prep(
+            schema,
+            cophy.optimizer().cost_model(),
+            &prepared,
+            &faults,
+        );
+        cophy.enforce_coverage(&degradation)?;
         Ok(TuningSession {
             cophy,
             prepared: InumCache::new(prepared),
@@ -184,6 +198,7 @@ impl<'o, 'c> TuningSession<'o, 'c> {
             cancel: None,
             what_if_calls: cophy.optimizer().what_if_calls() - before,
             inum_time: t0.elapsed(),
+            degradation,
         })
     }
 
@@ -216,6 +231,7 @@ impl<'o, 'c> TuningSession<'o, 'c> {
             cancel: None,
             what_if_calls: 0,
             inum_time: Duration::ZERO,
+            degradation: None,
         })
     }
 
@@ -230,6 +246,13 @@ impl<'o, 'c> TuningSession<'o, 'c> {
     /// The session's hard constraints.
     pub fn constraints(&self) -> &ConstraintSet {
         &self.constraints
+    }
+
+    /// The degradation report from this session's opening INUM preparation,
+    /// when transient backend faults exhausted their retries (`None` for a
+    /// fault-free prep and for shared-cache sessions, which do no prep).
+    pub fn degradation(&self) -> Option<&DegradationReport> {
+        self.degradation.as_ref()
     }
 
     /// Rough bytes of *private* (non-shared) session state: candidates,
@@ -476,8 +499,21 @@ impl<'o, 'c> TuningSession<'o, 'c> {
     pub fn sweep_storage_with_progress(
         &mut self,
         budgets: &[u64],
-        mut on_progress: impl FnMut(usize, &SolveProgress),
+        on_progress: impl FnMut(usize, &SolveProgress),
     ) -> Vec<SweepPoint> {
+        self.try_sweep_storage_with_progress(budgets, on_progress).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`TuningSession::sweep_storage_with_progress`] surfacing an
+    /// infeasible point (pinned indexes exceeding that budget) as a
+    /// recoverable error instead of a panic — what the daemon serves, so a
+    /// DBA's over-pinned sweep is an `err` reply rather than a dropped
+    /// session.
+    pub fn try_sweep_storage_with_progress(
+        &mut self,
+        budgets: &[u64],
+        mut on_progress: impl FnMut(usize, &SolveProgress),
+    ) -> Result<Vec<SweepPoint>, String> {
         let mut points = Vec::with_capacity(budgets.len());
         // Monotone-bound carry: tightening the storage budget can only raise
         // the optimum, so a point's proven lower bound remains valid for
@@ -489,11 +525,12 @@ impl<'o, 'c> TuningSession<'o, 'c> {
             let carried = prev.and_then(|(pb, b)| (budget <= pb && b.is_finite()).then_some(b));
             let t0 = Instant::now();
             let r = self.interactive_solve(Some(budget), carried, &mut |p| on_progress(i, p));
-            assert!(
-                r.status != MipStatus::Infeasible && !r.x.is_empty(),
-                "storage sweep point {budget} is infeasible \
-                 (pinned indexes may exceed this budget)"
-            );
+            if r.status == MipStatus::Infeasible || r.x.is_empty() {
+                return Err(format!(
+                    "storage sweep point {budget} is infeasible \
+                     (pinned indexes may exceed this budget)"
+                ));
+            }
             let st = self.interactive.as_ref().expect("state live after a solve");
             prev = Some((budget, r.bound));
             points.push(SweepPoint {
@@ -507,7 +544,7 @@ impl<'o, 'c> TuningSession<'o, 'c> {
                 solve_time: t0.elapsed(),
             });
         }
-        points
+        Ok(points)
     }
 
     /// Force `ix` into every subsequent answer (`z = 1`).  An index CGen
@@ -663,6 +700,7 @@ impl<'o, 'c> TuningSession<'o, 'c> {
             gap: r.gap,
             trace: r.trace,
             compression: self.compressed.as_ref().map(|c| c.summary()),
+            degradation: self.degradation.clone(),
             stats: SolveStats {
                 inum_time: std::mem::take(&mut self.inum_time),
                 build_time,

@@ -25,8 +25,8 @@ use cophy_bip::{
 };
 use cophy_catalog::Configuration;
 use cophy_compress::{CompressedWorkload, CompressionPolicy, CompressionSummary};
-use cophy_inum::{Inum, PreparedWorkload};
-use cophy_optimizer::WhatIfBackend;
+use cophy_inum::{Inum, PrepFaultReport, PreparedWorkload};
+use cophy_optimizer::{RetryPolicy, WhatIfBackend};
 use cophy_workload::Workload;
 
 use crate::bipgen::{BipGen, BipMapping};
@@ -65,6 +65,18 @@ pub struct CoPhyOptions {
     /// prepares only cluster representatives and the reported costs expand
     /// back to the full workload through the conserved cluster weights.
     pub compression: CompressionPolicy,
+    /// Retry policy of the INUM preparation probes: transient backend
+    /// failures are retried with capped exponential backoff, and a probe
+    /// that exhausts its retries *degrades* the statement (skipped template
+    /// / substituted cost) instead of aborting the tune.  The default
+    /// [`RetryPolicy::none`] performs no retries — preparation is then
+    /// bit-identical to the pre-fault-layer pipeline.
+    pub retry: RetryPolicy,
+    /// The degradation hard floor: when the weighted fraction of the
+    /// workload prepared *fully* drops below this, the tune fails with a
+    /// typed error instead of returning a silently unreliable
+    /// recommendation.  `0.0` never fails; `1.0` tolerates no degradation.
+    pub min_coverage: f64,
 }
 
 impl Default for CoPhyOptions {
@@ -75,6 +87,8 @@ impl Default for CoPhyOptions {
             cgen: CGen::default(),
             bipgen: BipGen::default(),
             compression: CompressionPolicy::Off,
+            retry: RetryPolicy::none(),
+            min_coverage: 0.5,
         }
     }
 }
@@ -95,6 +109,71 @@ pub struct SolveStats {
 impl SolveStats {
     pub fn total_time(&self) -> Duration {
         self.inum_time + self.build_time + self.solve_time
+    }
+}
+
+/// How much a tune was degraded by lost what-if probes (retry exhaustion
+/// during INUM preparation).  Attached to [`Recommendation::degradation`]
+/// whenever anything failed; absent on a fault-free preparation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradationReport {
+    /// Probes that failed at least once (recovered + lost).
+    pub probes_failed: u64,
+    /// Retry attempts spent during preparation.
+    pub retries: u64,
+    /// Probes recovered by a retry — their answers are exact.
+    pub probes_recovered: u64,
+    /// Probes lost after retry exhaustion: their templates were skipped or
+    /// their statements' costs substituted.
+    pub probes_substituted: u64,
+    /// Statements with at least one lost probe.
+    pub statements_degraded: usize,
+    /// Statements prepared in total.
+    pub statements_total: usize,
+    /// Weighted fraction of the workload prepared *fully* (1.0 = nothing
+    /// degraded).  Compared against [`CoPhyOptions::min_coverage`].
+    pub coverage: f64,
+    /// Worst-case relative cost-bound inflation: the weighted share of the
+    /// baseline workload cost carried by degraded statements.  Lost probes
+    /// can only *overestimate* a statement's cost (the unconstrained
+    /// template still instantiates under every configuration), so the
+    /// reported objective exceeds the true INUM objective by at most this
+    /// fraction.
+    pub worst_case_inflation: f64,
+}
+
+impl DegradationReport {
+    /// Build the report from a resilient preparation's fault account.
+    /// Returns `None` when nothing failed.
+    pub(crate) fn from_prep(
+        schema: &cophy_catalog::Schema,
+        cm: &cophy_optimizer::CostModel,
+        prepared: &PreparedWorkload,
+        report: &PrepFaultReport,
+    ) -> Option<DegradationReport> {
+        if report.is_clean() {
+            return None;
+        }
+        let log = &report.log;
+        let total_weight: f64 = prepared.queries.iter().map(|pq| pq.weight).sum();
+        let degraded_weight: f64 = report.degraded.iter().map(|d| d.weight).sum();
+        let baseline = prepared.cost(schema, cm, &Configuration::empty());
+        let degraded_base: f64 = report
+            .degraded
+            .iter()
+            .filter_map(|d| prepared.queries.iter().find(|pq| pq.qid == d.qid))
+            .map(|pq| pq.weight * pq.cost(schema, cm, &Configuration::empty()))
+            .sum();
+        Some(DegradationReport {
+            probes_failed: log.probes_recovered + log.probes_exhausted,
+            retries: log.retries,
+            probes_recovered: log.probes_recovered,
+            probes_substituted: log.probes_exhausted,
+            statements_degraded: report.degraded.len(),
+            statements_total: prepared.queries.len(),
+            coverage: if total_weight > 0.0 { 1.0 - degraded_weight / total_weight } else { 1.0 },
+            worst_case_inflation: if baseline > 0.0 { degraded_base / baseline } else { 0.0 },
+        })
     }
 }
 
@@ -120,6 +199,11 @@ pub struct Recommendation {
     /// original statement approximated by its representative — reported
     /// TotalCost stays comparable with an uncompressed tune.
     pub compression: Option<CompressionSummary>,
+    /// Present when INUM preparation lost probes to exhausted retries (see
+    /// [`CoPhyOptions::retry`]): how much of the workload was degraded and
+    /// the worst-case inflation of the reported cost bound.  `None` on a
+    /// fault-free preparation — including every run without a fault layer.
+    pub degradation: Option<DegradationReport>,
 }
 
 impl Recommendation {
@@ -192,13 +276,22 @@ impl<'o> CoPhy<'o> {
     ) -> Result<Recommendation, String> {
         let t0 = Instant::now();
         let calls_before = self.opt.what_if_calls();
-        let inum = Inum::new(self.opt);
-        let prepared = inum.try_prepare_compressed_parallel(cw).map_err(|e| e.to_string())?;
+        let inum = Inum::with_retry(self.opt, self.options.retry.clone());
+        let (prepared, faults) =
+            inum.try_prepare_compressed_resilient_parallel(cw, None).map_err(|e| e.to_string())?;
         let inum_time = t0.elapsed();
         let what_if_calls = self.opt.what_if_calls() - calls_before;
+        let degradation = DegradationReport::from_prep(
+            self.opt.schema(),
+            self.opt.cost_model(),
+            &prepared,
+            &faults,
+        );
+        self.enforce_coverage(&degradation)?;
         let mut rec =
             self.try_tune_prepared(&prepared, candidates, constraints, inum_time, what_if_calls)?;
         rec.compression = Some(cw.summary());
+        rec.degradation = degradation;
         Ok(rec)
     }
 
@@ -227,11 +320,44 @@ impl<'o> CoPhy<'o> {
         }
         let t0 = Instant::now();
         let before_calls = self.opt.what_if_calls();
-        let inum = Inum::new(self.opt);
-        let prepared = inum.try_prepare_workload(w).map_err(|e| e.to_string())?;
+        let inum = Inum::with_retry(self.opt, self.options.retry.clone());
+        let (prepared, faults) =
+            inum.try_prepare_workload_resilient(w, None).map_err(|e| e.to_string())?;
         let inum_time = t0.elapsed();
         let what_if_calls = self.opt.what_if_calls() - before_calls;
-        self.try_tune_prepared(&prepared, candidates, constraints, inum_time, what_if_calls)
+        let degradation = DegradationReport::from_prep(
+            self.opt.schema(),
+            self.opt.cost_model(),
+            &prepared,
+            &faults,
+        );
+        self.enforce_coverage(&degradation)?;
+        let mut rec =
+            self.try_tune_prepared(&prepared, candidates, constraints, inum_time, what_if_calls)?;
+        rec.degradation = degradation;
+        Ok(rec)
+    }
+
+    /// The degradation hard floor: a coverage below
+    /// [`CoPhyOptions::min_coverage`] is a typed error, never a silent bad
+    /// recommendation.
+    pub(crate) fn enforce_coverage(
+        &self,
+        degradation: &Option<DegradationReport>,
+    ) -> Result<(), String> {
+        if let Some(d) = degradation {
+            if d.coverage < self.options.min_coverage {
+                return Err(format!(
+                    "degraded coverage {:.3} below floor {:.3}: {} of {} statements lost \
+                     what-if probes during preparation",
+                    d.coverage,
+                    self.options.min_coverage,
+                    d.statements_degraded,
+                    d.statements_total
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Solve from an existing INUM cache (used by sessions and benches that
@@ -363,6 +489,7 @@ impl<'o> CoPhy<'o> {
             gap,
             trace,
             compression: None,
+            degradation: None,
             stats: SolveStats {
                 inum_time,
                 build_time,
@@ -682,5 +809,84 @@ mod tests {
         assert!(rec.gap >= 0.0);
         assert!(rec.stats.n_candidates > 0);
         assert!(rec.stats.what_if_calls > 0, "INUM must have probed the optimizer");
+    }
+
+    use cophy_optimizer::{FaultInjectingBackend, FaultPlan, RetryPolicy};
+
+    fn fast_retry(max_attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts,
+            base_backoff: Duration::from_micros(10),
+            max_backoff: Duration::from_micros(50),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn all_transient_faults_with_retries_match_fault_free_tune_bit_for_bit() {
+        let (o, w) = advisor_setup(10);
+        let constraints = ConstraintSet::storage_fraction(o.schema(), 0.5);
+        let clean = CoPhy::new(&o, CoPhyOptions::default()).tune(&w, &constraints);
+        assert!(clean.degradation.is_none(), "fault-free tune must carry no report");
+
+        let faulty = FaultInjectingBackend::new(
+            Box::new(WhatIfOptimizer::new(TpchGen::default().schema(), SystemProfile::A)),
+            FaultPlan::transient_only(0xFA17, 0.4, 2),
+        );
+        let opts = CoPhyOptions { retry: fast_retry(4), ..Default::default() };
+        let rec = CoPhy::new(&faulty, opts).tune(&w, &constraints);
+        // Every transient schedule is exhausted below max_attempts, so the
+        // prepared workload — and therefore the whole tune — is bit-identical.
+        assert_eq!(rec.objective.to_bits(), clean.objective.to_bits());
+        assert_eq!(rec.configuration, clean.configuration);
+        let d = rec.degradation.expect("recovered faults must still be reported");
+        assert!(d.probes_recovered > 0, "schedule must have fired");
+        assert_eq!(d.probes_substituted, 0);
+        assert_eq!(d.statements_degraded, 0);
+        assert_eq!(d.coverage, 1.0);
+        assert_eq!(d.worst_case_inflation, 0.0);
+    }
+
+    #[test]
+    fn permanent_faults_degrade_with_bounded_inflation() {
+        let (o, w) = advisor_setup(12);
+        let constraints = ConstraintSet::storage_fraction(o.schema(), 0.5);
+        let clean = CoPhy::new(&o, CoPhyOptions::default()).tune(&w, &constraints);
+
+        let faulty = FaultInjectingBackend::new(
+            Box::new(WhatIfOptimizer::new(TpchGen::default().schema(), SystemProfile::A)),
+            FaultPlan { permanent_rate: 0.15, ..FaultPlan::transient_only(0xDE6, 0.3, 1) },
+        );
+        let opts = CoPhyOptions { retry: fast_retry(3), min_coverage: 0.0, ..Default::default() };
+        let rec = CoPhy::new(&faulty, opts).tune(&w, &constraints);
+        let d = rec.degradation.expect("permanent faults must degrade the tune");
+        assert!(d.probes_substituted > 0, "some probes must be lost for this seed");
+        assert!(d.coverage < 1.0 && d.coverage > 0.0, "coverage {}", d.coverage);
+        assert!(d.worst_case_inflation > 0.0 && d.worst_case_inflation <= 1.0);
+        // Lost templates only overestimate: the degraded objective is a valid
+        // upper bound, and within the report's advertised inflation of the
+        // fault-free objective.
+        assert!(rec.objective + 1e-6 >= clean.bound, "degradation must stay sound");
+        assert!(
+            rec.objective <= clean.objective * (1.0 + d.worst_case_inflation) + 1e-6,
+            "objective {} exceeds advertised inflation bound over {}",
+            rec.objective,
+            clean.objective
+        );
+    }
+
+    #[test]
+    fn coverage_floor_turns_heavy_degradation_into_typed_error() {
+        let (o, w) = advisor_setup(8);
+        let constraints = ConstraintSet::storage_fraction(o.schema(), 0.5);
+        let faulty = FaultInjectingBackend::new(
+            Box::new(WhatIfOptimizer::new(TpchGen::default().schema(), SystemProfile::A)),
+            FaultPlan { permanent_rate: 0.6, ..FaultPlan::transient_only(0xF100D, 0.2, 1) },
+        );
+        let opts = CoPhyOptions { retry: fast_retry(2), min_coverage: 0.999, ..Default::default() };
+        let err = CoPhy::new(&faulty, opts)
+            .try_tune(&w, &constraints)
+            .expect_err("60% permanent faults cannot clear a 0.999 coverage floor");
+        assert!(err.contains("coverage"), "floor error must name coverage: {err}");
     }
 }

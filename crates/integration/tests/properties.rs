@@ -332,6 +332,73 @@ proptest! {
         prop_assert!(r.objective >= best - 1e-6, "incumbent below optimum?!");
     }
 
+    /// Fault-layer determinism, end to end: any all-transient fault
+    /// schedule that recovers within the retry budget must leave the
+    /// recommendation bit-identical to the fault-free tune, and the
+    /// resilient preparation must agree byte-for-byte whether it runs
+    /// serially or sharded across threads (schedules are keyed per
+    /// `(query, configuration)` pair, so interleaving cannot matter).
+    #[test]
+    fn transient_faults_never_change_the_recommendation(
+        fault_seed in any::<u64>(),
+        rate in 0.05f64..0.9,
+        max_transient in 1u32..3,
+    ) {
+        use cophy::{CoPhy, CoPhyOptions};
+        use cophy_optimizer::{FaultInjectingBackend, FaultPlan, RetryPolicy, WhatIfBackend};
+
+        let retry = RetryPolicy {
+            max_attempts: max_transient + 1,
+            base_backoff: std::time::Duration::from_micros(10),
+            max_backoff: std::time::Duration::from_micros(50),
+            ..Default::default()
+        };
+        let clean = WhatIfOptimizer::new(TpchGen::default().schema(), SystemProfile::A);
+        let w = HomGen::new(11).generate(clean.schema(), 6);
+        let constraints = ConstraintSet::storage_fraction(clean.schema(), 0.4);
+        let want = CoPhy::new(&clean, CoPhyOptions::default())
+            .try_tune(&w, &constraints)
+            .expect("fault-free tune is feasible");
+
+        let faulty = FaultInjectingBackend::new(
+            Box::new(WhatIfOptimizer::new(TpchGen::default().schema(), SystemProfile::A)),
+            FaultPlan::transient_only(fault_seed, rate, max_transient),
+        );
+        let opts = CoPhyOptions { retry: retry.clone(), ..Default::default() };
+        let got = CoPhy::new(&faulty, opts)
+            .try_tune(&w, &constraints)
+            .expect("an all-transient schedule within the retry budget must recover");
+        prop_assert_eq!(got.objective.to_bits(), want.objective.to_bits(),
+            "objective drifted: {} vs {}", got.objective, want.objective);
+        prop_assert_eq!(got.bound.to_bits(), want.bound.to_bits());
+        prop_assert_eq!(&got.configuration, &want.configuration);
+        if let Some(d) = &got.degradation {
+            prop_assert_eq!(d.statements_degraded, 0, "nothing may stay degraded");
+            prop_assert!(d.coverage == 1.0, "recovered tune must report full coverage");
+        }
+
+        // Serial vs sharded resilient preparation on the same schedule.
+        let inum = Inum::with_retry(&faulty, retry);
+        faulty.reset_schedule();
+        faulty.reset_call_counter();
+        let (serial, serial_report) =
+            inum.try_prepare_workload_resilient(&w, None).expect("serial prep");
+        faulty.reset_schedule();
+        faulty.reset_call_counter();
+        let (par, par_report) =
+            inum.try_prepare_workload_resilient_parallel(&w, None).expect("sharded prep");
+        prop_assert_eq!(par_report, serial_report, "fault accounts must match");
+        prop_assert_eq!(par.what_if_calls, serial.what_if_calls);
+        prop_assert_eq!(par.queries.len(), serial.queries.len());
+        for (a, b) in par.queries.iter().zip(serial.queries.iter()) {
+            prop_assert_eq!(a.qid, b.qid);
+            prop_assert_eq!(a.templates.len(), b.templates.len());
+            for (ta, tb) in a.templates.iter().zip(b.templates.iter()) {
+                prop_assert_eq!(ta.internal_cost.to_bits(), tb.internal_cost.to_bits());
+            }
+        }
+    }
+
     /// INUM monotonicity: growing the configuration never increases
     /// read-side cost (free disposal of indexes).
     #[test]

@@ -46,6 +46,35 @@ fn backends_snippet_roundtrips() {
     tune_with(&WhatIfOptimizer::new(TpchGen::default().schema(), SystemProfile::A));
 }
 
+/// The "Robustness & fault injection" README snippet, line for line: a
+/// chaos-schedule backend still completes the tune, and the recommendation
+/// reports its degradation honestly.
+#[test]
+fn fault_injection_snippet_roundtrips() {
+    use cophy_optimizer::{FaultInjectingBackend, FaultPlan, RetryPolicy, WhatIfBackend};
+
+    let flaky = FaultInjectingBackend::new(
+        Box::new(WhatIfOptimizer::new(TpchGen::default().schema(), SystemProfile::A)),
+        FaultPlan::chaos(42), // seeded schedule: transients, timeouts, corruption
+    );
+    let workload = HomGen::new(1).generate(flaky.schema(), 20);
+    let constraints = ConstraintSet::storage_fraction(flaky.schema(), 0.5);
+    let opts =
+        CoPhyOptions { retry: RetryPolicy::default(), min_coverage: 0.5, ..Default::default() };
+    let rec = CoPhy::new(&flaky, opts).try_tune(&workload, &constraints).unwrap();
+    if let Some(d) = &rec.degradation {
+        println!("coverage {:.0}%, {} probes recovered", d.coverage * 100.0, d.probes_recovered);
+    }
+
+    // Beyond the snippet: the chaos schedule actually fired, and the
+    // degraded recommendation is still real and feasible.
+    let d = rec.degradation.as_ref().expect("a chaos schedule must report degradation");
+    assert!(d.probes_failed > 0, "the schedule must inject faults");
+    assert!(d.coverage >= 0.5, "tune must respect the coverage floor it was given");
+    assert!(rec.objective.is_finite() && rec.gap.is_finite());
+    assert!(constraints.check_configuration(flaky.schema(), &rec.configuration).is_ok());
+}
+
 /// The "Advisor as a service" README snippet (also the `cophy-server`
 /// crate's doctest), line for line — plus teardown assertions beyond it.
 #[test]

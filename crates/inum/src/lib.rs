@@ -34,5 +34,5 @@ pub mod template;
 pub use cache::InumCache;
 pub use cost::{AtomicChoice, CostBreakdown};
 pub use ideal::{ideal_config, ideal_index};
-pub use prepare::{Inum, PreparedQuery, PreparedWorkload};
+pub use prepare::{DegradedStatement, Inum, PrepFaultReport, PreparedQuery, PreparedWorkload};
 pub use template::{Slot, TemplatePlan};

@@ -11,9 +11,14 @@
 //! `Σ_q K_q` grows roughly linearly with the workload — while still covering
 //! the merge-join templates that need orders on *two* tables at once.
 
+use std::time::Instant;
+
 use cophy_catalog::{ColumnId, Configuration, Schema};
 use cophy_compress::CompressedWorkload;
-use cophy_optimizer::{BackendError, ProbeAnswer, WhatIfBackend};
+use cophy_optimizer::backend::{query_fingerprint, statement_fingerprint};
+use cophy_optimizer::{
+    probe_with_retry, BackendError, FaultLog, ProbeAnswer, RetryPolicy, WhatIfBackend,
+};
 use cophy_workload::{Query, QueryId, Statement, UpdateStatement, Workload};
 
 use crate::ideal::ideal_config;
@@ -26,6 +31,10 @@ pub const MAX_PROBES_PER_QUERY: usize = 48;
 #[derive(Debug)]
 pub struct Inum<'o> {
     opt: &'o dyn WhatIfBackend,
+    /// Retry policy of the *resilient* preparation paths.  The plain paths
+    /// never retry regardless (one failure is one error), so the default
+    /// [`RetryPolicy::none`] keeps every legacy path bit-identical.
+    retry: RetryPolicy,
 }
 
 /// A query with its cached template plans — the unit CoPhy's BIP generator
@@ -52,13 +61,65 @@ pub struct PreparedWorkload {
     pub what_if_calls: u64,
 }
 
+/// One statement whose preparation lost probes to exhausted retries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradedStatement {
+    pub qid: QueryId,
+    pub weight: f64,
+    /// Ideal-configuration probes dropped after retry exhaustion.  Sound but
+    /// lossy: the empty-configuration template instantiates under every `X`,
+    /// so a missing template can only *overestimate* costs.
+    pub skipped_probes: u32,
+    /// The empty-configuration probe itself was lost; the statement's
+    /// templates were substituted (from the fallback cache when available,
+    /// else by the analytic atomic-configuration template).
+    pub substituted: bool,
+    /// The substitution came from a previously prepared workload.
+    pub from_cache: bool,
+}
+
+/// The typed fault account of one resilient preparation: the probe-level
+/// [`FaultLog`] plus per-statement degradation detail (qid order).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PrepFaultReport {
+    pub log: FaultLog,
+    pub degraded: Vec<DegradedStatement>,
+}
+
+impl PrepFaultReport {
+    /// True when nothing failed and nothing was degraded — the prepared
+    /// workload is bit-identical to a fault-free preparation.
+    pub fn is_clean(&self) -> bool {
+        self.log.is_clean() && self.degraded.is_empty()
+    }
+}
+
+/// Per-statement fault outcome, merged into [`PrepFaultReport`] in qid order.
+#[derive(Debug, Clone, Default)]
+struct StatementFaults {
+    log: FaultLog,
+    skipped_probes: u32,
+    substituted: bool,
+    from_cache: bool,
+}
+
 impl<'o> Inum<'o> {
     pub fn new(opt: &'o dyn WhatIfBackend) -> Self {
-        Inum { opt }
+        Inum { opt, retry: RetryPolicy::none() }
+    }
+
+    /// An INUM layer whose *resilient* preparation paths retry transient
+    /// probe failures per `retry`.
+    pub fn with_retry(opt: &'o dyn WhatIfBackend, retry: RetryPolicy) -> Self {
+        Inum { opt, retry }
     }
 
     pub fn optimizer(&self) -> &'o dyn WhatIfBackend {
         self.opt
+    }
+
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.retry
     }
 
     /// Prepare a single statement.  Panics on [`BackendError`]; fallible
@@ -182,6 +243,187 @@ impl<'o> Inum<'o> {
         self.try_prepare_workload_parallel(cw.representatives())
     }
 
+    /// Resilient preparation: transient probe failures are retried per the
+    /// policy this layer was built with ([`Inum::with_retry`]); a probe that
+    /// exhausts its retries *degrades* the statement instead of aborting the
+    /// preparation — a lost ideal-configuration probe skips that template
+    /// (costs only overestimated), a lost empty-configuration probe
+    /// substitutes the statement's templates from `fallback` (a previously
+    /// prepared workload, e.g. a shared-cache snapshot) or, failing that,
+    /// the analytic atomic-configuration template.  Non-retryable errors
+    /// (replay misses, spent quotas) still abort: retrying or degrading
+    /// would mask a configuration problem.
+    pub fn try_prepare_workload_resilient(
+        &self,
+        w: &Workload,
+        fallback: Option<&PreparedWorkload>,
+    ) -> Result<(PreparedWorkload, PrepFaultReport), BackendError> {
+        let prep_deadline = self.retry.prep_budget.map(|b| Instant::now() + b);
+        let before = self.opt.what_if_calls();
+        let mut queries = Vec::with_capacity(w.len());
+        let mut report = PrepFaultReport::default();
+        for (qid, stmt, weight) in w.iter() {
+            let (pq, faults) =
+                self.try_prepare_statement_resilient(qid, stmt, weight, fallback, prep_deadline)?;
+            merge_faults(&mut report, &pq, faults);
+            queries.push(pq);
+        }
+        let pw = PreparedWorkload { queries, what_if_calls: self.opt.what_if_calls() - before };
+        Ok((pw, report))
+    }
+
+    /// [`Inum::try_prepare_workload_resilient`] sharded across OS threads.
+    /// Fault schedules keyed per `(query, configuration)` pair are
+    /// interleaving-independent, so the prepared workload *and* the fault
+    /// report are byte-identical to the sequential resilient preparation
+    /// (shards re-sorted by statement id before merging).
+    pub fn try_prepare_workload_resilient_parallel(
+        &self,
+        w: &Workload,
+        fallback: Option<&PreparedWorkload>,
+    ) -> Result<(PreparedWorkload, PrepFaultReport), BackendError> {
+        let prep_deadline = self.retry.prep_budget.map(|b| Instant::now() + b);
+        let n_threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+        let ids: Vec<_> = w.iter().collect();
+        let chunks: Vec<_> = ids.chunks(ids.len().div_ceil(n_threads).max(1)).collect();
+        let before = self.opt.what_if_calls();
+        let by_chunk = std::thread::scope(|s| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|chunk| {
+                    s.spawn(move || {
+                        chunk
+                            .iter()
+                            .map(|(qid, stmt, weight)| {
+                                self.try_prepare_statement_resilient(
+                                    *qid,
+                                    stmt,
+                                    *weight,
+                                    fallback,
+                                    prep_deadline,
+                                )
+                            })
+                            .collect::<Result<Vec<_>, _>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("INUM shard")).collect::<Vec<_>>()
+        });
+        let mut pairs = Vec::with_capacity(w.len());
+        for shard in by_chunk {
+            pairs.append(&mut shard?);
+        }
+        pairs.sort_by_key(|(pq, _)| pq.qid);
+        let mut queries = Vec::with_capacity(pairs.len());
+        let mut report = PrepFaultReport::default();
+        for (pq, faults) in pairs {
+            merge_faults(&mut report, &pq, faults);
+            queries.push(pq);
+        }
+        let pw = PreparedWorkload { queries, what_if_calls: self.opt.what_if_calls() - before };
+        Ok((pw, report))
+    }
+
+    /// Resilient [`Inum::try_prepare_compressed`]: representatives only.
+    pub fn try_prepare_compressed_resilient(
+        &self,
+        cw: &CompressedWorkload,
+        fallback: Option<&PreparedWorkload>,
+    ) -> Result<(PreparedWorkload, PrepFaultReport), BackendError> {
+        self.try_prepare_workload_resilient(cw.representatives(), fallback)
+    }
+
+    /// Resilient [`Inum::try_prepare_compressed_parallel`].
+    pub fn try_prepare_compressed_resilient_parallel(
+        &self,
+        cw: &CompressedWorkload,
+        fallback: Option<&PreparedWorkload>,
+    ) -> Result<(PreparedWorkload, PrepFaultReport), BackendError> {
+        self.try_prepare_workload_resilient_parallel(cw.representatives(), fallback)
+    }
+
+    /// Resilient single-statement preparation (see
+    /// [`Inum::try_prepare_workload_resilient`] for the degradation rules).
+    fn try_prepare_statement_resilient(
+        &self,
+        qid: QueryId,
+        stmt: &Statement,
+        weight: f64,
+        fallback: Option<&PreparedWorkload>,
+        prep_deadline: Option<Instant>,
+    ) -> Result<(PreparedQuery, StatementFaults), BackendError> {
+        let q = stmt.read_shell().clone();
+        let mut faults = StatementFaults::default();
+        let templates =
+            self.try_extract_templates_resilient(&q, stmt, fallback, prep_deadline, &mut faults)?;
+        let (update, fixed) = match stmt {
+            Statement::Select(_) => (None, 0.0),
+            Statement::Update(u) => {
+                let rows = cophy_optimizer::cardinality::access_rows(
+                    self.opt.schema(),
+                    &u.shell,
+                    u.table(),
+                );
+                (Some((u.clone(), rows)), self.opt.base_update_cost(u))
+            }
+        };
+        let pq =
+            PreparedQuery { qid, weight, query: q, templates, update, fixed_update_cost: fixed };
+        Ok((pq, faults))
+    }
+
+    /// The resilient probing loop: every probe goes through
+    /// [`probe_with_retry`]; exhausted retries degrade per the rules above.
+    fn try_extract_templates_resilient(
+        &self,
+        q: &Query,
+        stmt: &Statement,
+        fallback: Option<&PreparedWorkload>,
+        prep_deadline: Option<Instant>,
+        faults: &mut StatementFaults,
+    ) -> Result<Vec<TemplatePlan>, BackendError> {
+        let schema = self.opt.schema();
+        let cm = self.opt.cost_model();
+        let stmt_fp = statement_fingerprint(stmt);
+        let mut templates: Vec<TemplatePlan> = Vec::new();
+
+        let probe =
+            probe_with_retry(self.opt, &self.retry, q, &Configuration::empty(), prep_deadline);
+        faults.log.record(stmt_fp, &probe);
+        match probe.result {
+            Ok(base) => push_template(&mut templates, extract(schema, cm, q, &base)),
+            Err(e) if e.is_retryable() => {
+                faults.substituted = true;
+                let qfp = query_fingerprint(q);
+                if let Some(prev) = fallback
+                    .and_then(|pw| pw.queries.iter().find(|pq| query_fingerprint(&pq.query) == qfp))
+                {
+                    // A previously prepared twin: reuse its whole template
+                    // set, skip every further probe of this statement.
+                    faults.from_cache = true;
+                    return Ok(prev.templates.clone());
+                }
+                push_template(&mut templates, atomic_fallback_template(schema, cm, q));
+            }
+            Err(e) => return Err(e),
+        }
+
+        for combo in ideal_combos(q) {
+            let refs: Vec<&[ColumnId]> = combo.iter().map(Vec::as_slice).collect();
+            let cfg = ideal_config(schema, q, &refs);
+            let probe = probe_with_retry(self.opt, &self.retry, q, &cfg, prep_deadline);
+            faults.log.record(stmt_fp, &probe);
+            match probe.result {
+                Ok(ans) => push_template(&mut templates, extract(schema, cm, q, &ans)),
+                Err(e) if e.is_retryable() => faults.skipped_probes += 1,
+                Err(e) => return Err(e),
+            }
+        }
+
+        templates.sort_by(|a, b| a.internal_cost.total_cmp(&b.internal_cost));
+        Ok(templates)
+    }
+
     /// The probing loop: empty-config probe + ideal-config probes.
     fn try_extract_templates(&self, q: &Query) -> Result<Vec<TemplatePlan>, BackendError> {
         let schema = self.opt.schema();
@@ -193,39 +435,9 @@ impl<'o> Inum<'o> {
         let base = self.opt.try_probe(q, &Configuration::empty())?;
         push_template(&mut templates, extract(schema, cm, q, &base));
 
-        // Per-table interesting orders.
-        let per_table: Vec<Vec<Vec<ColumnId>>> =
-            q.tables.iter().map(|t| q.interesting_orders_on(*t)).collect();
-
-        // Combination stream: all-none, singles, pairs (capped).
-        let n = q.tables.len();
-        let mut combos: Vec<Vec<&[ColumnId]>> = Vec::new();
-        combos.push(vec![&[]; n]);
-        for i in 0..n {
-            for o in &per_table[i] {
-                let mut c: Vec<&[ColumnId]> = vec![&[]; n];
-                c[i] = o;
-                combos.push(c);
-            }
-        }
-        'outer: for i in 0..n {
-            for j in (i + 1)..n {
-                for oi in &per_table[i] {
-                    for oj in &per_table[j] {
-                        if combos.len() >= MAX_PROBES_PER_QUERY {
-                            break 'outer;
-                        }
-                        let mut c: Vec<&[ColumnId]> = vec![&[]; n];
-                        c[i] = oi;
-                        c[j] = oj;
-                        combos.push(c);
-                    }
-                }
-            }
-        }
-
-        for combo in combos {
-            let cfg = ideal_config(schema, q, &combo);
+        for combo in ideal_combos(q) {
+            let refs: Vec<&[ColumnId]> = combo.iter().map(Vec::as_slice).collect();
+            let cfg = ideal_config(schema, q, &refs);
             let ans = self.opt.try_probe(q, &cfg)?;
             push_template(&mut templates, extract(schema, cm, q, &ans));
         }
@@ -233,6 +445,79 @@ impl<'o> Inum<'o> {
         templates.sort_by(|a, b| a.internal_cost.total_cmp(&b.internal_cost));
         Ok(templates)
     }
+}
+
+/// The ideal-configuration combination stream of one query: all-none,
+/// singles, pairs of per-table interesting orders (capped at
+/// [`MAX_PROBES_PER_QUERY`]).  Shared by the plain and resilient probing
+/// loops so their probe sequences — and therefore any fault schedule keyed
+/// on them — are identical.
+fn ideal_combos(q: &Query) -> Vec<Vec<Vec<ColumnId>>> {
+    let per_table: Vec<Vec<Vec<ColumnId>>> =
+        q.tables.iter().map(|t| q.interesting_orders_on(*t)).collect();
+    let n = q.tables.len();
+    let mut combos: Vec<Vec<Vec<ColumnId>>> = Vec::new();
+    combos.push(vec![Vec::new(); n]);
+    for i in 0..n {
+        for o in &per_table[i] {
+            let mut c = vec![Vec::new(); n];
+            c[i] = o.clone();
+            combos.push(c);
+        }
+    }
+    'outer: for i in 0..n {
+        for j in (i + 1)..n {
+            for oi in &per_table[i] {
+                for oj in &per_table[j] {
+                    if combos.len() >= MAX_PROBES_PER_QUERY {
+                        break 'outer;
+                    }
+                    let mut c = vec![Vec::new(); n];
+                    c[i] = oi.clone();
+                    c[j] = oj.clone();
+                    combos.push(c);
+                }
+            }
+        }
+    }
+    combos
+}
+
+/// The analytic atomic-configuration template substituted when even the
+/// empty-configuration probe is lost: every slot takes the heap path (no
+/// order requirements, so it instantiates under every `X`) and the internal
+/// cost is zero — the statement is costed by its leaf accesses alone.  The
+/// substitution keeps the BIP finite and feasible; its weighted share is
+/// what [`DegradedStatement`] reports upward as cost-bound inflation.
+fn atomic_fallback_template(
+    schema: &Schema,
+    cm: &cophy_optimizer::CostModel,
+    q: &Query,
+) -> TemplatePlan {
+    let slots = q
+        .tables
+        .iter()
+        .map(|&t| Slot {
+            table: t,
+            required: Vec::new(),
+            heap_cost: Some(cophy_optimizer::access::heap_path(schema, cm, q, t, None).cost),
+        })
+        .collect();
+    TemplatePlan { internal_cost: 0.0, slots }
+}
+
+/// Fold one statement's fault outcome into the preparation report.
+fn merge_faults(report: &mut PrepFaultReport, pq: &PreparedQuery, faults: StatementFaults) {
+    if faults.skipped_probes > 0 || faults.substituted {
+        report.degraded.push(DegradedStatement {
+            qid: pq.qid,
+            weight: pq.weight,
+            skipped_probes: faults.skipped_probes,
+            substituted: faults.substituted,
+            from_cache: faults.from_cache,
+        });
+    }
+    report.log.absorb(faults.log);
 }
 
 /// Turn a probe answer into a template: β = internal cost, slots carry the
@@ -371,6 +656,120 @@ mod tests {
         let a = comp.cost(s, o.cost_model(), &cfg);
         let b = full.cost(s, o.cost_model(), &cfg);
         assert!((a - b).abs() <= 1e-9 * b.abs().max(1.0), "{a} vs {b}");
+    }
+
+    fn fast_retry(max_attempts: u32) -> cophy_optimizer::RetryPolicy {
+        cophy_optimizer::RetryPolicy {
+            max_attempts,
+            base_backoff: std::time::Duration::from_micros(10),
+            max_backoff: std::time::Duration::from_micros(50),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn resilient_prepare_recovers_all_transient_schedules_bit_identically() {
+        use cophy_optimizer::{FaultInjectingBackend, FaultPlan};
+        let clean = opt();
+        let w = HetGen::new(8).generate(clean.schema(), 12);
+        let want = Inum::new(&clean).prepare_workload(&w);
+
+        let faulty =
+            FaultInjectingBackend::new(Box::new(opt()), FaultPlan::transient_only(21, 0.8, 3));
+        let inum = Inum::with_retry(&faulty, fast_retry(4));
+        let (got, report) = inum.try_prepare_workload_resilient(&w, None).unwrap();
+        assert!(report.degraded.is_empty(), "all-transient schedule must fully recover");
+        assert!(report.log.probes_recovered > 0, "the schedule must actually have injected");
+        assert_eq!(got.what_if_calls, want.what_if_calls, "faulted attempts spend no calls");
+        for (a, b) in got.queries.iter().zip(want.queries.iter()) {
+            assert_eq!(a.qid, b.qid);
+            assert_eq!(a.templates.len(), b.templates.len());
+            for (ta, tb) in a.templates.iter().zip(b.templates.iter()) {
+                assert_eq!(ta.internal_cost.to_bits(), tb.internal_cost.to_bits());
+                assert_eq!(ta.signature(), tb.signature());
+            }
+        }
+
+        // The sharded resilient path agrees byte-for-byte, fault report
+        // included (per-pair schedules are interleaving-independent).
+        faulty.reset_schedule();
+        faulty.reset_call_counter();
+        let (par, par_report) = inum.try_prepare_workload_resilient_parallel(&w, None).unwrap();
+        assert_eq!(par_report, report);
+        assert_eq!(par.what_if_calls, got.what_if_calls);
+        for (a, b) in par.queries.iter().zip(got.queries.iter()) {
+            assert_eq!(a.qid, b.qid);
+            assert_eq!(a.templates.len(), b.templates.len());
+        }
+    }
+
+    #[test]
+    fn permanent_faults_degrade_instead_of_aborting() {
+        use cophy_optimizer::{FaultInjectingBackend, FaultPlan};
+        let mut plan = FaultPlan::none(5);
+        plan.permanent_rate = 0.3;
+        let faulty = FaultInjectingBackend::new(Box::new(opt()), plan);
+        let w = HomGen::new(3).generate(faulty.schema(), 10);
+        let inum = Inum::with_retry(&faulty, fast_retry(2));
+        let (pw, report) = inum.try_prepare_workload_resilient(&w, None).unwrap();
+        assert_eq!(pw.queries.len(), w.len(), "every statement must still be prepared");
+        assert!(!report.is_clean(), "a 30% permanent schedule must degrade something");
+        assert!(report.log.probes_exhausted > 0);
+        for pq in &pw.queries {
+            assert!(
+                pq.templates.iter().any(|t| t.slots.iter().all(|s| s.required.is_empty())),
+                "degraded statement {:?} lost its I∅-instantiable template",
+                pq.qid
+            );
+        }
+        // Substituted statements carry the atomic fallback (β = 0).
+        for d in &report.degraded {
+            if d.substituted && !d.from_cache {
+                let pq = pw.queries.iter().find(|pq| pq.qid == d.qid).unwrap();
+                assert!(pq.templates.iter().any(|t| t.internal_cost == 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn cache_fallback_substitutes_previously_prepared_templates() {
+        use cophy_optimizer::{FaultInjectingBackend, FaultPlan};
+        let clean = opt();
+        let w = HomGen::new(17).generate(clean.schema(), 8);
+        let prior = Inum::new(&clean).prepare_workload(&w);
+
+        let mut plan = FaultPlan::none(2);
+        plan.permanent_rate = 1.0; // every probe fails: everything substitutes
+        let faulty = FaultInjectingBackend::new(Box::new(opt()), plan);
+        let inum = Inum::with_retry(&faulty, fast_retry(2));
+        let (pw, report) = inum.try_prepare_workload_resilient(&w, Some(&prior)).unwrap();
+        assert_eq!(report.degraded.len(), w.len());
+        assert!(report.degraded.iter().all(|d| d.substituted && d.from_cache));
+        for (a, b) in pw.queries.iter().zip(prior.queries.iter()) {
+            assert_eq!(a.templates.len(), b.templates.len(), "cache substitution must be whole");
+            for (ta, tb) in a.templates.iter().zip(b.templates.iter()) {
+                assert_eq!(ta.internal_cost.to_bits(), tb.internal_cost.to_bits());
+            }
+        }
+        assert_eq!(pw.what_if_calls, 0, "an all-substituted prepare spends no live calls");
+    }
+
+    #[test]
+    fn resilient_prepare_with_no_faults_matches_plain_path() {
+        let o = opt();
+        let w = HetGen::new(4).generate(o.schema(), 9);
+        let plain = Inum::new(&o).prepare_workload(&w);
+        let inum = Inum::with_retry(&o, fast_retry(4));
+        let (res, report) = inum.try_prepare_workload_resilient(&w, None).unwrap();
+        assert!(report.is_clean());
+        assert_eq!(res.what_if_calls, plain.what_if_calls, "retry layer must add zero probes");
+        for (a, b) in res.queries.iter().zip(plain.queries.iter()) {
+            assert_eq!(a.templates.len(), b.templates.len());
+            for (ta, tb) in a.templates.iter().zip(b.templates.iter()) {
+                assert_eq!(ta.internal_cost.to_bits(), tb.internal_cost.to_bits());
+                assert_eq!(ta.signature(), tb.signature());
+            }
+        }
     }
 
     #[test]

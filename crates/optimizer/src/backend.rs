@@ -54,6 +54,28 @@ pub enum BackendError {
     /// A metered backend refused the probe because the tenant's what-if
     /// quota is spent.
     QuotaExceeded { spent: u64, limit: u64 },
+    /// A transient backend failure (lost connection, optimizer overload, a
+    /// fault-injection schedule entry).  Retryable: the same probe may
+    /// succeed on a later attempt.
+    Transient {
+        query: u64,
+        config: u64,
+        /// 1-based attempt number that failed.
+        attempt: u32,
+    },
+    /// The probe exceeded its deadline.  Retryable like
+    /// [`BackendError::Transient`] but accounted separately — a timeout spent
+    /// real wall clock, so retry loops must charge it against their budget.
+    Timeout { query: u64, config: u64, elapsed_ms: u64 },
+}
+
+impl BackendError {
+    /// Whether a retry can possibly succeed.  Only the transient fault
+    /// classes are retryable; replay misses and spent quotas are permanent
+    /// and must surface immediately.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, BackendError::Transient { .. } | BackendError::Timeout { .. })
+    }
 }
 
 impl fmt::Display for BackendError {
@@ -70,6 +92,16 @@ impl fmt::Display for BackendError {
             BackendError::QuotaExceeded { spent, limit } => {
                 write!(f, "what-if quota exceeded: spent {spent} of {limit} probes")
             }
+            BackendError::Transient { query, config, attempt } => write!(
+                f,
+                "transient what-if failure: probe ({query:016x}, {config:016x}) \
+                 attempt {attempt}"
+            ),
+            BackendError::Timeout { query, config, elapsed_ms } => write!(
+                f,
+                "what-if probe timed out after {elapsed_ms}ms: \
+                 ({query:016x}, {config:016x})"
+            ),
         }
     }
 }
@@ -241,6 +273,16 @@ pub trait WhatIfBackend: std::fmt::Debug + Send + Sync {
         }
         1.0 - tuned / base
     }
+}
+
+/// SplitMix64 finalizer — the seeded scrambling primitive shared by the
+/// noise and fault-injection wrappers: one pass turns a fingerprint XOR into
+/// uniform 64-bit output, so a pair's draw depends only on `(seed, pair)`.
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// FNV-1a 64-bit hash — the stable fingerprint primitive shared by the trace

@@ -26,6 +26,7 @@ pub mod backend;
 pub mod cardinality;
 pub mod cost;
 pub mod dp;
+pub mod fault;
 pub mod noise;
 pub mod ordering;
 pub mod plan;
@@ -35,6 +36,10 @@ pub mod whatif;
 pub use access::{AccessMethod, AccessPath};
 pub use backend::{BackendError, ProbeAnswer, ProbeLeaf, WhatIfBackend};
 pub use cost::{CostModel, SystemProfile};
+pub use fault::{
+    probe_with_retry, FaultEvent, FaultInjectingBackend, FaultKind, FaultLog, FaultPlan,
+    FaultStatsSnapshot, RetriedProbe, RetryPolicy,
+};
 pub use noise::NoisyBackend;
 pub use ordering::{EquivClasses, Ordering};
 pub use plan::{LeafAccess, PhysicalPlan, PlanNode};

@@ -12,7 +12,7 @@ use cophy_catalog::{Configuration, Index, Schema};
 use cophy_workload::{Query, Statement};
 
 use crate::backend::{
-    config_fingerprint, query_fingerprint, BackendError, ProbeAnswer, WhatIfBackend,
+    config_fingerprint, query_fingerprint, splitmix64, BackendError, ProbeAnswer, WhatIfBackend,
 };
 use crate::cost::{CostModel, SystemProfile};
 
@@ -75,14 +75,6 @@ impl WhatIfBackend for NoisyBackend<'_> {
     fn reset_call_counter(&self) {
         self.inner.reset_call_counter()
     }
-}
-
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = x;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
 }
 
 #[cfg(test)]

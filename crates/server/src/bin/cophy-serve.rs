@@ -4,18 +4,24 @@
 //! ```text
 //! cophy-serve serve  --addr 127.0.0.1:7171 [--log FILE] [--quota N]
 //!                    [--pool N] [--mem-cap BYTES] [--time-limit SECS]
-//! cophy-serve script --addr 127.0.0.1:7171
+//!                    [--chaos SEED]
+//! cophy-serve script --addr 127.0.0.1:7171 [--expect-degraded]
 //! ```
 //!
-//! `serve` blocks forever.  `script` runs the canonical round trip — open,
-//! streamed tune, pin, warm re-tune, what-if, close — asserting a finite
-//! proven gap, and exits non-zero on any protocol or acceptance failure.
+//! `serve` blocks forever.  `--chaos SEED` wraps every tenant's backend in
+//! a seeded [`FaultPlan::chaos`] fault injector — the CI robustness smoke
+//! runs a daemon in this mode to prove `degraded`/`err` replies end to end.
+//! `script` runs the canonical round trip — open, streamed tune, pin, warm
+//! re-tune, what-if, close — asserting a finite proven gap, and exits
+//! non-zero on any protocol or acceptance failure; with `--expect-degraded`
+//! it additionally requires the server to have reported degradation.
 
 use std::process::ExitCode;
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 use std::time::Duration;
 
+use cophy_optimizer::FaultPlan;
 use cophy_server::{Client, Server, ServerConfig};
 
 fn main() -> ExitCode {
@@ -50,6 +56,9 @@ fn serve(args: &[String]) -> ExitCode {
     if let Some(t) = flag("--time-limit").and_then(|v| v.parse().ok()) {
         config.budget = config.budget.with_time(Duration::from_secs(t));
     }
+    if let Some(seed) = flag("--chaos").and_then(|v| v.parse().ok()) {
+        config.fault_plan = Some(FaultPlan::chaos(seed));
+    }
     let log = flag("--log").map(std::path::PathBuf::from);
     let server = match Server::bind(&addr, config, log) {
         Ok(s) => s,
@@ -65,7 +74,8 @@ fn serve(args: &[String]) -> ExitCode {
 
 fn script(args: &[String]) -> ExitCode {
     let addr = flag(args, "--addr").unwrap_or("127.0.0.1:7171").to_string();
-    match run_script(&addr) {
+    let expect_degraded = args.iter().any(|a| a == "--expect-degraded");
+    match run_script(&addr, expect_degraded) {
         Ok(()) => {
             println!("script: PASS");
             ExitCode::SUCCESS
@@ -78,12 +88,14 @@ fn script(args: &[String]) -> ExitCode {
 }
 
 /// The canonical smoke session; every step's reply is checked.
-fn run_script(addr: &str) -> Result<(), Box<dyn std::error::Error>> {
+fn run_script(addr: &str, expect_degraded: bool) -> Result<(), Box<dyn std::error::Error>> {
     let mut c = Client::connect(addr)?;
     let sid = "ci-smoke";
     let spec = "hom:7:24";
 
-    let open = c.open(sid, spec, 0.5)?;
+    // `retry_busy` honors the server's retry_after_ms hints, so the script
+    // survives a saturated pool or a half-open circuit breaker.
+    let open = c.retry_busy(5, |c| c.open(sid, spec, 0.5))?;
     println!(
         "open: statements={} candidates={} probes={}",
         open.statements, open.candidates, open.probes
@@ -91,9 +103,18 @@ fn run_script(addr: &str) -> Result<(), Box<dyn std::error::Error>> {
     if open.statements != 24 {
         return Err(format!("expected 24 statements, got {}", open.statements).into());
     }
+    if let Some(d) = &open.degraded {
+        println!(
+            "degraded: coverage={} inflation={} failed={} recovered={} substituted={}",
+            d.coverage, d.inflation, d.failed, d.recovered, d.substituted
+        );
+    }
+    if expect_degraded && open.degraded.is_none() {
+        return Err("expected a degraded line on open (chaos daemon), got none".into());
+    }
 
     let mut events = 0usize;
-    let cold = c.tune(sid, |_| events += 1)?;
+    let cold = c.retry_busy(5, |c| c.tune(sid, |_| events += 1))?;
     println!(
         "tune: objective={} bound={} gap={} events={} indexes={}",
         cold.objective,

@@ -12,7 +12,9 @@ use cophy_catalog::Index;
 use cophy_optimizer::trace::{fmt_index, parse_index};
 
 use crate::manager::{OpenReply, PointReply, StatsReply, TuneReply, WhatIfReply};
-use crate::protocol::{field, field_f64, field_u64, ErrCode, ProgressLine, Request, WireError};
+use crate::protocol::{
+    field, field_f64, field_u64, DegradedLine, ErrCode, ProgressLine, Request, WireError,
+};
 
 /// Client-side failure: transport, a server `err` reply, or a reply the
 /// client could not parse.
@@ -97,7 +99,15 @@ impl Client {
 
     pub fn open(&mut self, sid: &str, spec: &str, budget: f64) -> Result<OpenReply, ClientError> {
         self.send(&Request::Open { sid: sid.into(), spec: spec.into(), budget })?;
-        let line = self.next_line()?;
+        let mut degraded = None;
+        let line = loop {
+            let line = self.next_line()?;
+            if line.starts_with("degraded ") {
+                degraded = Some(DegradedLine::parse(&line).map_err(ClientError::Parse)?);
+            } else {
+                break line;
+            }
+        };
         if !line.starts_with("ok open ") {
             return Err(parse_err(format!("expected ok open, got {line:?}")));
         }
@@ -107,6 +117,7 @@ impl Client {
             candidates: field_u64(&line, "candidates").map_err(ClientError::Parse)? as usize,
             cache_hit: field(&line, "cache").map_err(ClientError::Parse)? == "hit",
             probes: field_u64(&line, "probes").map_err(ClientError::Parse)?,
+            degraded,
         })
     }
 
@@ -122,6 +133,7 @@ impl Client {
             candidates: field_u64(&line, "candidates").map_err(ClientError::Parse)? as usize,
             cache_hit: false,
             probes: field_u64(&line, "probes").map_err(ClientError::Parse)?,
+            degraded: None,
         })
     }
 
@@ -133,10 +145,13 @@ impl Client {
         mut on_progress: impl FnMut(&ProgressLine),
     ) -> Result<TuneReply, ClientError> {
         self.send(&Request::Tune { sid: sid.into() })?;
+        let mut degraded = None;
         let header = loop {
             let line = self.next_line()?;
             if line.starts_with("progress ") {
                 on_progress(&ProgressLine::parse(&line).map_err(ClientError::Parse)?);
+            } else if line.starts_with("degraded ") {
+                degraded = Some(DegradedLine::parse(&line).map_err(ClientError::Parse)?);
             } else if line.starts_with("rec ") {
                 break line;
             } else {
@@ -150,6 +165,7 @@ impl Client {
             baseline: field_f64(&header, "baseline").map_err(ClientError::Parse)?,
             what_if_calls: field_u64(&header, "calls").map_err(ClientError::Parse)?,
             indexes: Vec::new(),
+            degraded,
         };
         loop {
             let line = self.next_line()?;
@@ -285,6 +301,29 @@ impl Client {
             return Err(parse_err(format!("expected ok bye, got {line:?}")));
         }
         Ok(())
+    }
+
+    /// Run `f` with up to `attempts` tries, backing off on `err busy`
+    /// replies.  The sleep honors the server's `retry_after_ms` hint when
+    /// the reply carries one (solver-pool saturation, tripped circuit
+    /// breaker), falling back to a doubling backoff from 25ms otherwise.
+    /// Every other error — and busy on the final attempt — passes through.
+    pub fn retry_busy<R>(
+        &mut self,
+        attempts: u32,
+        mut f: impl FnMut(&mut Self) -> Result<R, ClientError>,
+    ) -> Result<R, ClientError> {
+        let mut fallback = std::time::Duration::from_millis(25);
+        for attempt in 1.. {
+            match f(self) {
+                Err(ClientError::Server(e)) if e.code == ErrCode::Busy && attempt < attempts => {
+                    std::thread::sleep(e.retry_after().unwrap_or(fallback));
+                    fallback = (fallback * 2).min(std::time::Duration::from_secs(2));
+                }
+                out => return out,
+            }
+        }
+        unreachable!("the loop returns on success, non-busy errors, or the final attempt")
     }
 
     fn simple_ok(&mut self, req: &Request, prefix: &str) -> Result<(), ClientError> {

@@ -35,17 +35,19 @@
 //! handle.stop();
 //! ```
 
+pub mod breaker;
 pub mod client;
 pub mod manager;
 pub mod protocol;
 pub mod quota;
 pub mod server;
 
+pub use breaker::{BreakerState, CircuitBreaker};
 pub use client::{Client, ClientError};
 pub use manager::{
     parse_spec, OpenReply, PointReply, ServerConfig, SessionManager, StatsReply, TuneReply,
     WhatIfReply,
 };
-pub use protocol::{ErrCode, ProgressLine, Request, WireError};
+pub use protocol::{DegradedLine, ErrCode, ProgressLine, Request, WireError};
 pub use quota::MeteredBackend;
 pub use server::{Server, ServerHandle};

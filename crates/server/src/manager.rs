@@ -36,10 +36,13 @@ use cophy::{CoPhy, CoPhyOptions, ConstraintSet, TuningSession};
 use cophy_bip::{CancelToken, SolveBudget};
 use cophy_catalog::{Configuration, Index, Schema, TpchGen};
 use cophy_inum::InumCache;
-use cophy_optimizer::{SystemProfile, WhatIfOptimizer};
+use cophy_optimizer::{
+    FaultInjectingBackend, FaultPlan, RetryPolicy, SystemProfile, WhatIfBackend, WhatIfOptimizer,
+};
 use cophy_workload::{HetGen, HomGen, UpdateGen, Workload};
 
-use crate::protocol::{ErrCode, ProgressLine, WireError};
+use crate::breaker::CircuitBreaker;
+use crate::protocol::{DegradedLine, ErrCode, ProgressLine, WireError};
 use crate::quota::MeteredBackend;
 
 /// Daemon-wide tuning knobs.
@@ -60,6 +63,24 @@ pub struct ServerConfig {
     pub mem_cap_bytes: usize,
     /// Solve budget applied to every session solve.
     pub budget: SolveBudget,
+    /// Retry/backoff policy for what-if probes during INUM preparation.  The
+    /// default retries transient backend faults; against a fault-free
+    /// backend the retry path is bit-identical to the plain one and spends
+    /// zero extra probes.
+    pub retry: RetryPolicy,
+    /// Chaos mode: wrap every tenant's backend in a
+    /// [`FaultInjectingBackend`] with this plan (`None` = faults off).  The
+    /// CI daemon smoke uses it to prove `degraded`/`err` replies end to end.
+    pub fault_plan: Option<FaultPlan>,
+    /// Consecutive backend faults before a tenant's circuit breaker trips
+    /// (0 disables the breaker).
+    pub breaker_threshold: u32,
+    /// How long a tripped breaker rejects before half-opening one trial.
+    pub breaker_cooldown: Duration,
+    /// Per-request deadline on solver verbs (`tune`, `sweep`): past it the
+    /// watchdog fires the solve's cancel token and the request completes
+    /// with its best incumbent (time-limit semantics).
+    pub request_deadline: Duration,
 }
 
 impl Default for ServerConfig {
@@ -72,6 +93,11 @@ impl Default for ServerConfig {
             solver_wait: Duration::from_secs(10),
             mem_cap_bytes: 64 << 20,
             budget: SolveBudget::within(0.05).with_time(Duration::from_secs(60)),
+            retry: RetryPolicy::default(),
+            fault_plan: None,
+            breaker_threshold: 5,
+            breaker_cooldown: Duration::from_millis(500),
+            request_deadline: Duration::from_secs(300),
         }
     }
 }
@@ -89,14 +115,16 @@ impl SolverPool {
         SolverPool { free: Mutex::new(slots.max(1)), cv: Condvar::new(), wait }
     }
 
-    /// Wait up to the configured bound for a slot; `err busy` past it.
+    /// Wait up to the configured bound for a slot; `err busy` past it, with
+    /// a `retry_after_ms` hint the client backoff honors.
     fn acquire(&self) -> Result<PoolGuard<'_>, WireError> {
+        let saturated = || busy_with_hint("solver pool saturated", self.wait);
         let mut free = lock(&self.free);
         let deadline = std::time::Instant::now() + self.wait;
         while *free == 0 {
             let left = deadline.saturating_duration_since(std::time::Instant::now());
             if left.is_zero() {
-                return Err(WireError::new(ErrCode::Busy, "solver pool saturated"));
+                return Err(saturated());
             }
             let (g, timeout) = self.cv.wait_timeout(free, left).unwrap_or_else(|e| {
                 let (g, t) = e.into_inner();
@@ -104,7 +132,7 @@ impl SolverPool {
             });
             free = g;
             if timeout.timed_out() && *free == 0 {
-                return Err(WireError::new(ErrCode::Busy, "solver pool saturated"));
+                return Err(saturated());
             }
         }
         *free -= 1;
@@ -126,13 +154,21 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
-/// One tenant: a leaked quota-metered backend plus the advisor over it.
-/// Leaking keeps `TuningSession<'static, 'static>` storable in the daemon's
-/// maps; the footprint is bounded by [`ServerConfig::max_tenants`].
+/// An `err busy` with the backoff hint clients parse
+/// ([`WireError::retry_after`]).
+fn busy_with_hint(msg: &str, wait: Duration) -> WireError {
+    WireError::new(ErrCode::Busy, format!("{msg} retry_after_ms={}", wait.as_millis().max(1)))
+}
+
+/// One tenant: a leaked quota-metered backend plus the advisor over it and
+/// the tenant's circuit breaker.  Leaking keeps
+/// `TuningSession<'static, 'static>` storable in the daemon's maps; the
+/// footprint is bounded by [`ServerConfig::max_tenants`].
 #[derive(Clone, Copy)]
 struct Tenant {
     backend: &'static MeteredBackend,
     cophy: &'static CoPhy<'static>,
+    breaker: &'static CircuitBreaker,
 }
 
 /// The prepared artifacts of one workload spec, shared by all its sessions.
@@ -189,6 +225,9 @@ pub struct OpenReply {
     pub candidates: usize,
     pub cache_hit: bool,
     pub probes: u64,
+    /// Present when the opening INUM preparation lost probes to exhausted
+    /// retries (streamed as a `degraded` line before `ok open`).
+    pub degraded: Option<DegradedLine>,
 }
 
 /// Reply payload of `tune`.
@@ -200,6 +239,9 @@ pub struct TuneReply {
     pub baseline: f64,
     pub what_if_calls: u64,
     pub indexes: Vec<Index>,
+    /// Present when the session's preparation was degraded (streamed as a
+    /// `degraded` line before `rec`).
+    pub degraded: Option<DegradedLine>,
 }
 
 /// Reply payload of one `sweep` point.
@@ -276,7 +318,11 @@ pub fn parse_spec(spec: &str, schema: &Schema) -> Result<Workload, WireError> {
 fn classify(message: String) -> WireError {
     let code = if message.contains("quota exceeded") {
         ErrCode::Quota
-    } else if message.contains("unrecorded") {
+    } else if message.contains("unrecorded")
+        || message.contains("transient what-if failure")
+        || message.contains("timed out")
+        || message.contains("coverage")
+    {
         ErrCode::Backend
     } else {
         ErrCode::BadRequest
@@ -320,12 +366,26 @@ impl SessionManager {
                 format!("tenant limit {} reached", self.config.max_tenants),
             ));
         }
-        let inner = WhatIfOptimizer::new(self.schema.clone(), self.config.profile);
+        let live = WhatIfOptimizer::new(self.schema.clone(), self.config.profile);
+        // Chaos mode: the fault layer sits *inside* the meter, so injected
+        // faults never consume quota (they perform no real probe).
+        let inner: Box<dyn WhatIfBackend> = match &self.config.fault_plan {
+            Some(plan) => Box::new(FaultInjectingBackend::new(Box::new(live), plan.clone())),
+            None => Box::new(live),
+        };
         let backend: &'static MeteredBackend =
-            Box::leak(Box::new(MeteredBackend::new(Box::new(inner), self.config.quota)));
-        let options = CoPhyOptions { budget: self.config.budget, ..Default::default() };
+            Box::leak(Box::new(MeteredBackend::new(inner, self.config.quota)));
+        let options = CoPhyOptions {
+            budget: self.config.budget,
+            retry: self.config.retry.clone(),
+            ..Default::default()
+        };
         let cophy: &'static CoPhy<'static> = Box::leak(Box::new(CoPhy::new(backend, options)));
-        let t = Tenant { backend, cophy };
+        let breaker: &'static CircuitBreaker = Box::leak(Box::new(CircuitBreaker::new(
+            self.config.breaker_threshold,
+            self.config.breaker_cooldown,
+        )));
+        let t = Tenant { backend, cophy, breaker };
         st.tenants.insert(sid.to_string(), t);
         Ok(t)
     }
@@ -352,6 +412,10 @@ impl SessionManager {
         if !st.caches.contains_key(spec) {
             // Cold spec: pay CGen + INUM once, with the manager lock
             // *released* (preparation probes the optimizer many times).
+            // Probe-spending work is what the tenant's breaker guards.
+            if let Err(wait) = tenant.breaker.admit() {
+                return Err(busy_with_hint("backend circuit open", wait));
+            }
             st.building.insert(spec.to_string());
             drop(st);
             let before = tenant.backend.spent();
@@ -360,7 +424,18 @@ impl SessionManager {
             let mut st = lock(&self.state);
             st.building.remove(spec);
             self.build_cv.notify_all();
-            let session = built?;
+            let session = match built {
+                Ok(s) => {
+                    tenant.breaker.record_success();
+                    s
+                }
+                Err(e) => {
+                    if e.code == ErrCode::Backend {
+                        tenant.breaker.record_failure();
+                    }
+                    return Err(e);
+                }
+            };
             let probes = tenant.backend.spent() - before;
             st.caches.entry(spec.to_string()).or_insert_with(|| CacheEntry {
                 cache: session.cache(),
@@ -373,6 +448,7 @@ impl SessionManager {
                 candidates: session.candidates().len(),
                 cache_hit: false,
                 probes,
+                degraded: session.degradation().map(DegradedLine::from_report),
             };
             self.install(&mut st, sid, spec, session);
             drop(st);
@@ -390,6 +466,7 @@ impl SessionManager {
             candidates: session.candidates().len(),
             cache_hit: true,
             probes: 0,
+            degraded: None,
         };
         self.install(&mut st, sid, spec, session);
         drop(st);
@@ -428,8 +505,21 @@ impl SessionManager {
         let Some(ev) = st.evicted.remove(sid) else {
             return Err(WireError::new(ErrCode::NoSession, format!("no session {sid}")));
         };
-        let tenant = *st.tenants.get(sid).expect("evicted session keeps its tenant");
-        let cache = st.caches.get(&ev.spec).expect("evicted session keeps its cache entry");
+        // Both invariants hold by construction (close/drop remove all three
+        // maps together), but a daemon must answer `err`, not die, if one is
+        // ever violated.
+        let Some(tenant) = st.tenants.get(sid).copied() else {
+            return Err(WireError::new(
+                ErrCode::Internal,
+                format!("evicted session {sid} lost its tenant"),
+            ));
+        };
+        let Some(cache) = st.caches.get(&ev.spec) else {
+            return Err(WireError::new(
+                ErrCode::Internal,
+                format!("evicted session {sid} lost its cache entry for {}", ev.spec),
+            ));
+        };
         let mut session = tenant
             .cophy
             .try_session_shared(cache.cache.clone(), ev.candidates, ev.constraints)
@@ -473,7 +563,10 @@ impl SessionManager {
             .tenants
             .get(sid)
             .ok_or_else(|| WireError::new(ErrCode::NoSession, format!("no session {sid}")))?;
-        self.with_session(sid, |session| {
+        if let Err(wait) = tenant.breaker.admit() {
+            return Err(busy_with_hint("backend circuit open", wait));
+        }
+        let out = self.with_session(sid, |session| {
             let before = tenant.backend.spent();
             session.try_add_statements(&w).map_err(classify)?;
             Ok(OpenReply {
@@ -482,8 +575,15 @@ impl SessionManager {
                 candidates: session.candidates().len(),
                 cache_hit: false,
                 probes: tenant.backend.spent() - before,
+                degraded: None,
             })
-        })
+        });
+        match &out {
+            Ok(_) => tenant.breaker.record_success(),
+            Err(e) if e.code == ErrCode::Backend => tenant.breaker.record_failure(),
+            Err(_) => {}
+        }
+        out
     }
 
     /// `tune`: a solver-pool slot, cooperative cancellation, and the anytime
@@ -508,6 +608,7 @@ impl SessionManager {
                 baseline: rec.baseline_cost,
                 what_if_calls: rec.stats.what_if_calls,
                 indexes: sorted_indexes(&rec.configuration),
+                degraded: rec.degradation.as_ref().map(DegradedLine::from_report),
             })
         })
     }
@@ -523,11 +624,12 @@ impl SessionManager {
         self.with_session(sid, |session| {
             let _slot = self.pool.acquire()?;
             session.set_cancel(cancel);
-            let points = session.sweep_storage_with_progress(budgets, |i, p| {
+            let points = session.try_sweep_storage_with_progress(budgets, |i, p| {
                 on_progress(ProgressLine::from_event(i, p))
             });
             session.set_cancel(None);
             Ok(points
+                .map_err(classify)?
                 .iter()
                 .map(|pt| PointReply {
                     budget_bytes: pt.budget_bytes,

@@ -28,9 +28,19 @@
 //!           | mps <n-lines>                   ; followed by n raw lines
 //!           | done                            ; terminates tune/sweep/mps
 //!           | hb                              ; liveness tick, ignore
+//!           | degraded coverage=<f> inflation=<f> failed=<n> recovered=<n>
+//!                      substituted=<n> statements=<n>/<n>
+//!                                             ; precedes ok open / rec when
+//!                                             ; INUM prep lost probes
 //!           | err <code> <message...>         ; busy|quota|no-session|
 //!                                             ; bad-request|backend|internal
 //! ```
+//!
+//! `err busy` replies may carry a `retry_after_ms=<n>` hint in the message
+//! (solver-pool saturation, tripped circuit breaker); [`Client`]s honor it
+//! as their backoff ([`WireError::retry_after`]).
+//!
+//! [`Client`]: crate::Client
 
 use cophy_bip::SolveProgress;
 use cophy_catalog::Index;
@@ -132,6 +142,14 @@ impl std::error::Error for WireError {}
 impl WireError {
     pub fn new(code: ErrCode, message: impl Into<String>) -> WireError {
         WireError { code, message: message.into() }
+    }
+
+    /// The server's backoff hint, when the message carries one
+    /// (`retry_after_ms=<n>`); `err busy` replies from the solver pool and
+    /// the circuit breaker do.
+    pub fn retry_after(&self) -> Option<std::time::Duration> {
+        let ms: u64 = field(&self.message, "retry_after_ms").ok()?.parse().ok()?;
+        Some(std::time::Duration::from_millis(ms))
     }
 }
 
@@ -308,6 +326,76 @@ impl ProgressLine {
     }
 }
 
+/// The wire form of a [`cophy::DegradationReport`]: emitted before the
+/// `ok open` / `rec` line whenever the session's INUM preparation lost
+/// what-if probes to exhausted retries, so clients can see how much of the
+/// workload was degraded and by how much the reported cost bound may be
+/// inflated.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradedLine {
+    /// Weighted fraction of the workload prepared fully (1.0 = nothing lost).
+    pub coverage: f64,
+    /// Worst-case relative inflation of the reported cost bound.
+    pub inflation: f64,
+    /// Probes that failed at least once.
+    pub failed: u64,
+    /// Probes recovered by a retry (their answers are exact).
+    pub recovered: u64,
+    /// Probes lost for good (templates skipped or substituted).
+    pub substituted: u64,
+    /// Statements with at least one lost probe.
+    pub degraded_statements: u64,
+    /// Statements prepared in total.
+    pub total_statements: u64,
+}
+
+impl DegradedLine {
+    pub fn from_report(d: &cophy::DegradationReport) -> DegradedLine {
+        DegradedLine {
+            coverage: d.coverage,
+            inflation: d.worst_case_inflation,
+            failed: d.probes_failed,
+            recovered: d.probes_recovered,
+            substituted: d.probes_substituted,
+            degraded_statements: d.statements_degraded as u64,
+            total_statements: d.statements_total as u64,
+        }
+    }
+
+    pub fn to_line(&self) -> String {
+        format!(
+            "degraded coverage={} inflation={} failed={} recovered={} substituted={} \
+             statements={}/{}",
+            self.coverage,
+            self.inflation,
+            self.failed,
+            self.recovered,
+            self.substituted,
+            self.degraded_statements,
+            self.total_statements
+        )
+    }
+
+    pub fn parse(line: &str) -> Result<DegradedLine, WireError> {
+        let stmts = field(line, "statements")?;
+        let (deg, total) = stmts
+            .split_once('/')
+            .ok_or_else(|| bad(format!("bad statements field in {line:?}")))?;
+        let count = |s: &str| -> Result<u64, WireError> {
+            s.parse().map_err(|_| bad(format!("bad statements field in {line:?}")))
+        };
+        Ok(DegradedLine {
+            coverage: field_f64(line, "coverage")?,
+            inflation: field_f64(line, "inflation")?,
+            failed: field_u64(line, "failed")?,
+            recovered: field_u64(line, "recovered")?,
+            substituted: field_u64(line, "substituted")?,
+            degraded_statements: count(deg)?,
+            total_statements: count(total)?,
+        })
+    }
+}
+
 /// Extract `key=value` fields from a response line.
 pub(crate) fn field<'a>(line: &'a str, key: &str) -> Result<&'a str, WireError> {
     line.split_ascii_whitespace()
@@ -376,6 +464,32 @@ mod tests {
         let back = ProgressLine::parse(&p.to_line()).unwrap();
         assert_eq!(back.state_key(), p.state_key());
         assert_eq!(back, p);
+    }
+
+    #[test]
+    fn degraded_lines_round_trip_bit_exact() {
+        let d = DegradedLine {
+            coverage: 11.0 / 13.0,
+            inflation: 1.0 / 7.0,
+            failed: 9,
+            recovered: 6,
+            substituted: 3,
+            degraded_statements: 2,
+            total_statements: 24,
+        };
+        let back = DegradedLine::parse(&d.to_line()).unwrap();
+        assert_eq!(back.coverage.to_bits(), d.coverage.to_bits());
+        assert_eq!(back.inflation.to_bits(), d.inflation.to_bits());
+        assert_eq!(back, d);
+        assert!(DegradedLine::parse("degraded coverage=0.5").is_err());
+    }
+
+    #[test]
+    fn busy_errors_carry_a_parsable_retry_after_hint() {
+        let e = WireError::new(ErrCode::Busy, "solver pool saturated retry_after_ms=250");
+        assert_eq!(e.retry_after(), Some(std::time::Duration::from_millis(250)));
+        let plain = WireError::new(ErrCode::Busy, "solver pool saturated");
+        assert_eq!(plain.retry_after(), None);
     }
 
     #[test]

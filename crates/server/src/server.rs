@@ -199,11 +199,15 @@ impl Server {
             Request::Open { sid, spec, budget } => {
                 let r = m.open(sid, spec, *budget)?;
                 let hit = if r.cache_hit { "hit" } else { "miss" };
+                let mut ok = true;
+                if let Some(d) = &r.degraded {
+                    ok = send(writer, &d.to_line());
+                }
                 let line = format!(
                     "ok open {} statements={} candidates={} cache={} probes={}",
                     r.sid, r.statements, r.candidates, hit, r.probes
                 );
-                send(writer, &line).then_some(()).ok_or_else(gone)
+                (ok && send(writer, &line)).then_some(()).ok_or_else(gone)
             }
             Request::Add { sid, spec } => {
                 let r = m.add(sid, spec)?;
@@ -214,19 +218,24 @@ impl Server {
                 send(writer, &line).then_some(()).ok_or_else(gone)
             }
             Request::Tune { sid } => {
-                let (cancel, watchdog) = Watchdog::arm(writer.clone());
+                let (cancel, watchdog) = Watchdog::arm(writer.clone(), m.config().request_deadline);
                 let r = m.tune(sid, Some(cancel), |p| {
                     let _ = send(writer, &p.to_line());
                 });
                 watchdog.disarm();
                 let r = r?;
-                let mut ok = send(
-                    writer,
-                    &format!(
-                        "rec objective={} bound={} gap={} baseline={} calls={}",
-                        r.objective, r.bound, r.gap, r.baseline, r.what_if_calls
-                    ),
-                );
+                let mut ok = true;
+                if let Some(d) = &r.degraded {
+                    ok = send(writer, &d.to_line());
+                }
+                ok = ok
+                    && send(
+                        writer,
+                        &format!(
+                            "rec objective={} bound={} gap={} baseline={} calls={}",
+                            r.objective, r.bound, r.gap, r.baseline, r.what_if_calls
+                        ),
+                    );
                 for ix in &r.indexes {
                     ok = ok
                         && send(
@@ -237,7 +246,7 @@ impl Server {
                 (ok && send(writer, "done")).then_some(()).ok_or_else(gone)
             }
             Request::Sweep { sid, budgets } => {
-                let (cancel, watchdog) = Watchdog::arm(writer.clone());
+                let (cancel, watchdog) = Watchdog::arm(writer.clone(), m.config().request_deadline);
                 let r = m.sweep(sid, budgets, Some(cancel), |p| {
                     let _ = send(writer, &p.to_line());
                 });
@@ -325,21 +334,25 @@ impl Server {
     }
 }
 
-/// The per-solve liveness prober: writes `hb` ticks while armed and fires
-/// the solve's [`CancelToken`] the moment a tick cannot be delivered.
+/// The per-solve liveness prober: writes `hb` ticks while armed, fires the
+/// solve's [`CancelToken`] the moment a tick cannot be delivered (client
+/// gone), and again when the per-request deadline passes — the solve then
+/// completes with its best incumbent under time-limit semantics instead of
+/// holding a connection and a solver slot indefinitely.
 struct Watchdog {
     done: Arc<AtomicBool>,
     join: thread::JoinHandle<()>,
 }
 
 impl Watchdog {
-    fn arm(writer: SharedWriter) -> (CancelToken, Watchdog) {
+    fn arm(writer: SharedWriter, deadline: Duration) -> (CancelToken, Watchdog) {
         let token = CancelToken::new();
         let done = Arc::new(AtomicBool::new(false));
         let (t, d) = (token.clone(), done.clone());
         let join = thread::spawn(move || {
+            let started = std::time::Instant::now();
             while !d.load(Ordering::SeqCst) {
-                if !send(&writer, "hb") {
+                if !send(&writer, "hb") || started.elapsed() >= deadline {
                     t.cancel();
                     return;
                 }

@@ -1,10 +1,12 @@
 //! End-to-end daemon tests: the full TCP round trip, shared-cache probe
-//! accounting, quota rejection, and the evict-then-rebuild reproduction
-//! guarantee.
+//! accounting, quota rejection, the evict-then-rebuild reproduction
+//! guarantee, and the robustness surface (degraded replies, circuit
+//! breaker, busy retry-after hints).
 
 use std::time::Duration;
 
 use cophy_bip::SolveBudget;
+use cophy_optimizer::{FaultPlan, RetryPolicy};
 use cophy_server::{Client, ClientError, ErrCode, Server, ServerConfig, SessionManager};
 
 fn smoke_config() -> ServerConfig {
@@ -194,6 +196,158 @@ fn malformed_and_unknown_session_requests_are_typed_errors() {
         ClientError::Server(e) => assert_eq!(e.code, ErrCode::BadRequest),
         other => panic!("expected bad-request, got {other}"),
     }
+    c.quit().unwrap();
+    handle.stop();
+}
+
+fn fast_retry(max_attempts: u32) -> RetryPolicy {
+    RetryPolicy {
+        max_attempts,
+        base_backoff: Duration::from_micros(10),
+        max_backoff: Duration::from_micros(50),
+        ..Default::default()
+    }
+}
+
+#[test]
+fn transient_chaos_daemon_reports_degraded_and_matches_the_clean_daemon() {
+    let clean = Server::bind("127.0.0.1:0", smoke_config(), None).unwrap().spawn();
+    let chaotic_config = ServerConfig {
+        fault_plan: Some(FaultPlan::transient_only(0xC0FFEE, 0.35, 2)),
+        retry: fast_retry(4),
+        ..smoke_config()
+    };
+    let chaotic = Server::bind("127.0.0.1:0", chaotic_config, None).unwrap().spawn();
+
+    let mut cc = Client::connect(clean.addr()).unwrap();
+    let mut cf = Client::connect(chaotic.addr()).unwrap();
+    let clean_open = cc.open("s", "hom:21:12", 0.5).unwrap();
+    let chaos_open = cf.open("s", "hom:21:12", 0.5).unwrap();
+
+    assert!(clean_open.degraded.is_none(), "fault-free daemon must not report degradation");
+    let d = chaos_open.degraded.as_ref().expect("chaos daemon must stream a degraded line");
+    assert!(d.recovered > 0, "the transient schedule must have fired");
+    assert_eq!(d.substituted, 0, "all-transient faults recover fully under retries");
+    assert_eq!(d.coverage, 1.0);
+    assert_eq!(d.inflation, 0.0);
+    // Injected faults never consume a real probe: same bill as the clean
+    // daemon.
+    assert_eq!(chaos_open.probes, clean_open.probes);
+
+    // Recovered prep ⇒ the recommendation is bit-identical.
+    let clean_rec = cc.tune("s", |_| {}).unwrap();
+    let chaos_rec = cf.tune("s", |_| {}).unwrap();
+    assert_eq!(chaos_rec.objective.to_bits(), clean_rec.objective.to_bits());
+    assert_eq!(chaos_rec.bound.to_bits(), clean_rec.bound.to_bits());
+    assert_eq!(chaos_rec.indexes, clean_rec.indexes);
+    assert!(chaos_rec.degraded.is_some(), "tune must carry the session's degradation");
+
+    cc.quit().unwrap();
+    cf.quit().unwrap();
+    clean.stop();
+    chaotic.stop();
+}
+
+#[test]
+fn breaker_trips_on_repeated_backend_faults_rejects_fast_and_half_opens() {
+    // Every pair fails permanently: each cold open burns its retries, loses
+    // every probe, and dies on the coverage floor — a backend-classified
+    // error that feeds the tenant's breaker.
+    let config = ServerConfig {
+        fault_plan: Some(FaultPlan { permanent_rate: 1.0, ..FaultPlan::transient_only(7, 0.0, 1) }),
+        retry: fast_retry(2),
+        breaker_threshold: 2,
+        breaker_cooldown: Duration::from_millis(50),
+        ..smoke_config()
+    };
+    let handle = Server::bind("127.0.0.1:0", config, None).unwrap().spawn();
+    let mut c = Client::connect(handle.addr()).unwrap();
+
+    for attempt in 0..2 {
+        match c.open("t", "hom:5:8", 0.5).unwrap_err() {
+            ClientError::Server(e) => {
+                assert_eq!(e.code, ErrCode::Backend, "attempt {attempt}: {}", e.message);
+                assert!(e.message.contains("coverage"), "attempt {attempt}: {}", e.message);
+            }
+            other => panic!("expected backend error, got {other}"),
+        }
+    }
+    // Two consecutive backend faults: the breaker is open and rejects fast,
+    // with a parsable backoff hint.
+    match c.open("t", "hom:5:8", 0.5).unwrap_err() {
+        ClientError::Server(e) => {
+            assert_eq!(e.code, ErrCode::Busy, "{}", e.message);
+            let hint = e.retry_after().expect("busy from the breaker carries retry_after_ms");
+            assert!(hint <= Duration::from_millis(50));
+        }
+        other => panic!("expected busy, got {other}"),
+    }
+    // After the cooldown the breaker half-opens: the trial request reaches
+    // the backend again (and fails on the backend, not on the breaker).
+    std::thread::sleep(Duration::from_millis(60));
+    match c.open("t", "hom:5:8", 0.5).unwrap_err() {
+        ClientError::Server(e) => assert_eq!(e.code, ErrCode::Backend, "{}", e.message),
+        other => panic!("expected backend error, got {other}"),
+    }
+    // The failed trial re-opened the breaker; other tenants are unaffected.
+    match c.open("t", "hom:5:8", 0.5).unwrap_err() {
+        ClientError::Server(e) => assert_eq!(e.code, ErrCode::Busy, "{}", e.message),
+        other => panic!("expected busy, got {other}"),
+    }
+    c.quit().unwrap();
+    handle.stop();
+}
+
+#[test]
+fn client_retry_busy_honors_the_hint_and_recovers() {
+    // Same doomed backend, but a breaker that recovers nothing: retry_busy
+    // itself must ride the open/half-open cycle and surface the final
+    // backend error (not busy) once a trial is admitted.
+    let config = ServerConfig {
+        fault_plan: Some(FaultPlan { permanent_rate: 1.0, ..FaultPlan::transient_only(7, 0.0, 1) }),
+        retry: fast_retry(2),
+        breaker_threshold: 1,
+        breaker_cooldown: Duration::from_millis(20),
+        ..smoke_config()
+    };
+    let handle = Server::bind("127.0.0.1:0", config, None).unwrap().spawn();
+    let mut c = Client::connect(handle.addr()).unwrap();
+
+    // Trip the breaker.
+    assert!(c.open("t", "hom:5:8", 0.5).is_err());
+    // retry_busy sleeps through the busy rejection (honoring the hint) and
+    // reaches the backend on the half-open trial.
+    match c.retry_busy(3, |c| c.open("t", "hom:5:8", 0.5)).unwrap_err() {
+        ClientError::Server(e) => {
+            assert_eq!(e.code, ErrCode::Backend, "retry_busy must outlast busy: {}", e.message);
+        }
+        other => panic!("expected backend error, got {other}"),
+    }
+    c.quit().unwrap();
+    handle.stop();
+}
+
+#[test]
+fn infeasible_sweep_is_a_typed_error_not_a_dropped_session() {
+    let handle = Server::bind("127.0.0.1:0", smoke_config(), None).unwrap().spawn();
+    let mut c = Client::connect(handle.addr()).unwrap();
+    c.open("s", "hom:13:12", 0.8).unwrap();
+    let rec = c.tune("s", |_| {}).unwrap();
+    // Pin the whole recommendation, then sweep to a budget it cannot fit.
+    for ix in &rec.indexes {
+        c.pin("s", ix).unwrap();
+    }
+    match c.sweep("s", &[1], |_| {}).unwrap_err() {
+        ClientError::Server(e) => {
+            assert!(e.message.contains("infeasible"), "{}", e.message);
+        }
+        other => panic!("expected server error, got {other}"),
+    }
+    // The session survived the infeasible sweep: it still answers, and the
+    // pinned recommendation stays feasible (warm incumbent carried over).
+    let again = c.tune("s", |_| {}).unwrap();
+    assert!(again.gap.is_finite());
+    assert!(again.objective <= rec.objective + 1e-6);
     c.quit().unwrap();
     handle.stop();
 }
