@@ -56,6 +56,7 @@ impl<'cb> BlackboxStream<'cb> {
             gap: f64::INFINITY,
             ticks: self.ticks,
             pivots: 0,
+            decomposition: None,
         });
     }
 }

@@ -1,0 +1,11 @@
+//! Million-statement scaling figure: streamed ingestion with online
+//! compression at two workload sizes (10⁵ smoke / 10⁶ full), residency
+//! high-water, per-statement prep time, and the decomposed-vs-monolithic
+//! agreement check.  Emits `BENCH_scale.json`; the gate lives in the
+//! `scale_smoke` bin.
+
+fn main() {
+    let study = cophy_bench::scale_study();
+    println!("{}", cophy_bench::scale_report(&study));
+    cophy_bench::write_scale_artifact(&cophy_bench::scale_artifact_json(&study));
+}

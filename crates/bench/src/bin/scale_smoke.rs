@@ -1,0 +1,7 @@
+//! CI scaling smoke: streamed 10⁵-statement tune with bounded residency,
+//! near-linear ingestion, and decomposed-vs-monolithic agreement, gated
+//! (see `cophy_bench::scale_smoke`).
+
+fn main() {
+    println!("{}", cophy_bench::scale_smoke());
+}

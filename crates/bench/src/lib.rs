@@ -22,9 +22,14 @@
 //! roughly what factor, and how times scale.
 
 pub mod chaos_study;
+pub mod scale_study;
 pub mod server_study;
 
 pub use chaos_study::{chaos_smoke, chaos_study, ChaosStudy};
+pub use scale_study::{
+    scale_artifact_json, scale_gate, scale_report, scale_smoke, scale_study, write_scale_artifact,
+    ScaleStudy,
+};
 pub use server_study::{server_smoke, server_study, ServerStudy};
 
 use std::time::{Duration, Instant};

@@ -103,9 +103,12 @@ pub struct SolveBudget {
     pub time_limit: Option<Duration>,
     /// B&B node limit / Lagrangian iteration limit.
     pub node_limit: Option<usize>,
-    /// Frontier nodes evaluated concurrently per branch-and-bound round
-    /// (OS threads; `1` = today's serial search, bit-for-bit).  Backends
-    /// without parallel evaluation (the Lagrangian) ignore it.
+    /// Worker threads per search round: frontier nodes evaluated
+    /// concurrently on the branch-and-bound backend, block subproblems
+    /// solved concurrently per subgradient iteration on the Lagrangian
+    /// backend (OS threads; `1` = serial).  Both backends fold partial
+    /// results in deterministic order, so the solve is bit-for-bit
+    /// identical at any thread count.
     pub parallelism: usize,
 }
 
@@ -155,6 +158,19 @@ impl SolveBudget {
     }
 }
 
+/// Progress of a block-decomposed solve: how far the per-block subproblem
+/// shard and the coordinating multiplier loop have come.  Reported by the
+/// Lagrangian backend (`None` on backends without a decomposition).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecompositionProgress {
+    /// Cumulative block subproblems solved across all outer iterations.
+    pub blocks_done: usize,
+    /// Width of the decomposition: blocks per outer iteration.
+    pub blocks_total: usize,
+    /// Outer (subgradient multiplier) iterations completed.
+    pub outer_iter: usize,
+}
+
 /// One progress event of an anytime solve — the unified observable both
 /// backends report and every consumer (advisor facade, tuning session,
 /// bench harness) receives.
@@ -174,6 +190,9 @@ pub struct SolveProgress {
     /// not run the simplex).  `pivots / ticks` is the per-node pivot count
     /// the warm-started dual re-solve drives down.
     pub pivots: usize,
+    /// Block-decomposition progress (`None` on non-decomposed backends or
+    /// before the first outer iteration).
+    pub decomposition: Option<DecompositionProgress>,
 }
 
 /// Callback invoked on every incumbent or bound improvement.  The second
@@ -204,6 +223,7 @@ pub struct SolveDriver<'cb, S> {
     best_gap: f64,
     ticks: usize,
     pivots: usize,
+    decomposition: Option<DecompositionProgress>,
     trace: Vec<GapPoint>,
     cancel: Option<CancelToken>,
     on_progress: Box<ProgressFn<'cb, S>>,
@@ -243,6 +263,7 @@ impl<'cb, S> SolveDriver<'cb, S> {
             best_gap: f64::INFINITY,
             ticks: 0,
             pivots: 0,
+            decomposition: None,
             trace: Vec::new(),
             cancel: None,
             on_progress: Box::new(on_progress),
@@ -305,6 +326,18 @@ impl<'cb, S> SolveDriver<'cb, S> {
         self.pivots
     }
 
+    /// Record the current decomposition state; every subsequent progress
+    /// event carries it (decomposed backends update this once per outer
+    /// iteration, before offering incumbents or raising bounds).
+    pub fn set_decomposition(&mut self, d: DecompositionProgress) {
+        self.decomposition = Some(d);
+    }
+
+    /// The latest decomposition state, if the backend reported one.
+    pub fn decomposition(&self) -> Option<DecompositionProgress> {
+        self.decomposition
+    }
+
     fn snapshot(&self) -> SolveProgress {
         SolveProgress {
             at: self.started.elapsed(),
@@ -313,6 +346,7 @@ impl<'cb, S> SolveDriver<'cb, S> {
             gap: self.best_gap,
             ticks: self.ticks,
             pivots: self.pivots,
+            decomposition: self.decomposition,
         }
     }
 

@@ -19,10 +19,20 @@
 //! observables as the simplex-based B&B — anytime incumbent, global lower
 //! bound, gap trace, warm start — but scales to hundreds of thousands of `x`
 //! variables, where a dense-inverse simplex cannot go.
+//!
+//! **Block decomposition is parallel.**  For a fixed μ the per-block minima
+//! are independent, so each subgradient iteration shards the blocks into
+//! contiguous chunks across `SolveBudget::parallelism` scoped threads
+//! (disjoint `split_at_mut` result slices, no locks) and folds the partial
+//! results serially in block order — the solve is bit-for-bit identical at
+//! any thread count.  Progress of the shard and the coordinating multiplier
+//! loop streams through [`DecompositionProgress`] on every progress event.
 
 use std::collections::HashMap;
 
-use crate::driver::{CancelToken, GapPoint, SolveBudget, SolveDriver, SolveProgress};
+use crate::driver::{
+    CancelToken, DecompositionProgress, GapPoint, SolveBudget, SolveDriver, SolveProgress,
+};
 use crate::knapsack;
 
 /// Per-slot access choices: the fallback `I∅` cost (if the slot's order
@@ -325,7 +335,12 @@ impl LagrangianSolver {
         // --- flatten μ coordinates -----------------------------------------
         // offsets[(b,k,s)] → position of that slot's first choice in μ.
         let mut coord: Vec<(u32, u32, u32, u32)> = Vec::with_capacity(p.n_choices());
+        // block_start[b] → position of block b's first choice coordinate;
+        // each block's coordinates are contiguous, which is what lets the
+        // per-block subproblems shard across threads on disjoint μ ranges.
+        let mut block_start: Vec<usize> = Vec::with_capacity(p.blocks.len());
         for (b, block) in p.blocks.iter().enumerate() {
+            block_start.push(coord.len());
             for (k, alt) in block.alts.iter().enumerate() {
                 for (s, slot) in alt.slots.iter().enumerate() {
                     for &(item, _) in &slot.choices {
@@ -369,6 +384,11 @@ impl LagrangianSolver {
         let mut g = vec![0.0f64; coord.len()];
         let mut m_acc = vec![0.0f64; n];
         let mut chosen: Vec<u32> = Vec::new();
+        // Per-block subproblem results, reused across iterations.
+        let mut block_vals = vec![0.0f64; p.blocks.len()];
+        let mut block_choices: Vec<Vec<u32>> = vec![Vec::new(); p.blocks.len()];
+        let workers = self.budget.parallelism.max(1).min(p.blocks.len().max(1));
+        let mut blocks_done = 0usize;
 
         while driver.ticks() < max_iters {
             if driver.stop_status().is_some() {
@@ -382,56 +402,32 @@ impl LagrangianSolver {
                 m_acc[item as usize] += mu[ci];
             }
 
-            // Query part: per-block minimum under inflated γ; record winners.
+            // Query part: the per-block minima under μ-inflated γ — the
+            // decomposed subproblems.  Blocks only couple through μ, so the
+            // shard solves them on `workers` scoped threads over disjoint
+            // result slices, then folds serially in block order: bit-for-bit
+            // the serial result at any thread count.
+            solve_block_shard(
+                &p.blocks,
+                &block_start,
+                &mu,
+                &mut block_vals,
+                &mut block_choices,
+                workers,
+            );
             chosen.clear();
             let mut query_part = 0.0;
-            let mut ci = 0usize; // coordinate cursor; advances alt by alt
-            for block in &p.blocks {
-                let mut block_best = f64::INFINITY;
-                let mut block_choice_range: Vec<u32> = Vec::new(); // chosen coords
-                let mut scratch: Vec<u32> = Vec::new();
-                for alt in &block.alts {
-                    // This alt's coords occupy [ci, ci + span), matching the
-                    // flattening order of `coord` above.
-                    let alt_start = ci;
-                    ci += alt.slots.iter().map(|s| s.choices.len()).sum::<usize>();
-                    let mut val = alt.base;
-                    scratch.clear();
-                    let mut ok = true;
-                    let mut slot_ci = alt_start;
-                    for slot in &alt.slots {
-                        let mut sbest = slot.fallback;
-                        let mut sbest_ci: Option<u32> = None;
-                        for (off, &(_, gamma)) in slot.choices.iter().enumerate() {
-                            let inflated = gamma + mu[slot_ci + off];
-                            if sbest.is_none_or(|c| inflated < c) {
-                                sbest = Some(inflated);
-                                sbest_ci = Some((slot_ci + off) as u32);
-                            }
-                        }
-                        slot_ci += slot.choices.len();
-                        match sbest {
-                            Some(c) => {
-                                val += c;
-                                if let Some(cc) = sbest_ci {
-                                    scratch.push(cc);
-                                }
-                            }
-                            None => {
-                                ok = false;
-                                break;
-                            }
-                        }
-                    }
-                    if ok && val < block_best {
-                        block_best = val;
-                        block_choice_range = std::mem::take(&mut scratch);
-                    }
-                }
-                debug_assert!(block_best.is_finite(), "block without feasible alternative");
-                query_part += block_best;
-                chosen.extend_from_slice(&block_choice_range);
+            for (b, &val) in block_vals.iter().enumerate() {
+                debug_assert!(val.is_finite(), "block without feasible alternative");
+                query_part += val;
+                chosen.extend_from_slice(&block_choices[b]);
             }
+            blocks_done += p.blocks.len();
+            driver.set_decomposition(DecompositionProgress {
+                blocks_done,
+                blocks_total: p.blocks.len(),
+                outer_iter: driver.ticks(),
+            });
 
             // z subproblem: continuous knapsack over reduced costs.
             let zcost: Vec<f64> = (0..n).map(|a| p.item_cost[a] - m_acc[a]).collect();
@@ -528,6 +524,103 @@ impl LagrangianSolver {
         }
         (result, wout)
     }
+}
+
+/// One decomposed subproblem: the minimum of block `b` under μ-inflated γ,
+/// with `start` the block's first coordinate in the flat μ vector.  Writes
+/// the winning choice coordinates into `out` (cleared first) and returns the
+/// minimal value.  Pure in `(block, mu, start)`, which is what makes the
+/// parallel shard deterministic.
+fn block_minimum(block: &Block, mu: &[f64], start: usize, out: &mut Vec<u32>) -> f64 {
+    out.clear();
+    let mut best = f64::INFINITY;
+    let mut scratch: Vec<u32> = Vec::new();
+    let mut ci = start; // coordinate cursor; advances alt by alt
+    for alt in &block.alts {
+        // This alt's coords occupy [ci, ci + span), matching the flattening
+        // order of `coord` in the solver.
+        let alt_start = ci;
+        ci += alt.slots.iter().map(|s| s.choices.len()).sum::<usize>();
+        let mut val = alt.base;
+        scratch.clear();
+        let mut ok = true;
+        let mut slot_ci = alt_start;
+        for slot in &alt.slots {
+            let mut sbest = slot.fallback;
+            let mut sbest_ci: Option<u32> = None;
+            for (off, &(_, gamma)) in slot.choices.iter().enumerate() {
+                let inflated = gamma + mu[slot_ci + off];
+                if sbest.is_none_or(|c| inflated < c) {
+                    sbest = Some(inflated);
+                    sbest_ci = Some((slot_ci + off) as u32);
+                }
+            }
+            slot_ci += slot.choices.len();
+            match sbest {
+                Some(c) => {
+                    val += c;
+                    if let Some(cc) = sbest_ci {
+                        scratch.push(cc);
+                    }
+                }
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok && val < best {
+            best = val;
+            std::mem::swap(out, &mut scratch);
+        }
+    }
+    best
+}
+
+/// Solve every block subproblem for the current μ, writing values and
+/// winning coordinates into `vals` / `choices` (one slot per block).
+///
+/// With `workers > 1` the blocks split into contiguous chunks, one scoped
+/// thread each, writing through disjoint `split_at_mut` slices — no locks,
+/// no result reordering.  The caller folds `vals` in block order, so the
+/// parallel path is bit-identical to the serial one.
+fn solve_block_shard(
+    blocks: &[Block],
+    starts: &[usize],
+    mu: &[f64],
+    vals: &mut [f64],
+    choices: &mut [Vec<u32>],
+    workers: usize,
+) {
+    if workers <= 1 || blocks.len() < 2 {
+        for (b, block) in blocks.iter().enumerate() {
+            vals[b] = block_minimum(block, mu, starts[b], &mut choices[b]);
+        }
+        return;
+    }
+    let chunk = blocks.len().div_ceil(workers);
+    std::thread::scope(|scope| {
+        let mut rest_blocks = blocks;
+        let mut rest_starts = starts;
+        let mut rest_vals = vals;
+        let mut rest_choices = choices;
+        while !rest_blocks.is_empty() {
+            let take = chunk.min(rest_blocks.len());
+            let (cb, tb) = rest_blocks.split_at(take);
+            let (cs, ts) = rest_starts.split_at(take);
+            let (cv, tv) = std::mem::take(&mut rest_vals).split_at_mut(take);
+            let (cc, tc) = std::mem::take(&mut rest_choices).split_at_mut(take);
+            rest_blocks = tb;
+            rest_starts = ts;
+            rest_vals = tv;
+            rest_choices = tc;
+            scope.spawn(move || {
+                for (i, block) in cb.iter().enumerate() {
+                    cv[i] = block_minimum(block, mu, cs[i], &mut cc[i]);
+                }
+            });
+        }
+    });
 }
 
 /// Is `a` a strictly better feasible selection than `b`?
@@ -802,6 +895,64 @@ mod tests {
         });
         assert!(events > 0);
         assert_eq!(events, r.trace.len());
+    }
+
+    #[test]
+    fn parallel_block_shard_is_bit_identical_to_serial() {
+        for seed in [3u64, 21, 77] {
+            let p = random_problem(seed, 12, 40);
+            let serial = LagrangianSolver {
+                budget: SolveBudget::within(0.01).with_parallelism(1),
+                ..Default::default()
+            }
+            .solve(&p);
+            for k in [2usize, 4, 7] {
+                let par = LagrangianSolver {
+                    budget: SolveBudget::within(0.01).with_parallelism(k),
+                    ..Default::default()
+                }
+                .solve(&p);
+                assert_eq!(
+                    serial.objective.to_bits(),
+                    par.objective.to_bits(),
+                    "seed {seed} k={k}: objectives diverge"
+                );
+                assert_eq!(
+                    serial.bound.to_bits(),
+                    par.bound.to_bits(),
+                    "seed {seed} k={k}: bounds diverge"
+                );
+                assert_eq!(serial.selected, par.selected, "seed {seed} k={k}");
+                assert_eq!(serial.iterations, par.iterations, "seed {seed} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn decomposition_progress_streams_through_events() {
+        let p = random_problem(31, 10, 25);
+        let n_blocks = p.blocks.len();
+        let solver = LagrangianSolver {
+            budget: SolveBudget::within(0.001).with_parallelism(3),
+            ..Default::default()
+        };
+        let mut decomposed_events = 0usize;
+        let mut prev_done = 0usize;
+        let (r, _) = solver.solve_warm_with_progress(&p, None, |pr, _| {
+            if let Some(d) = pr.decomposition {
+                decomposed_events += 1;
+                assert_eq!(d.blocks_total, n_blocks);
+                assert!(d.blocks_done >= prev_done, "blocks_done must be cumulative");
+                assert_eq!(d.blocks_done, d.outer_iter * n_blocks);
+                assert!(d.outer_iter <= pr.ticks);
+                prev_done = d.blocks_done;
+            }
+        });
+        // The initial greedy incumbent precedes the first outer iteration
+        // (no decomposition yet); everything after the first iteration
+        // must carry the typed decomposition state.
+        assert!(decomposed_events > 0, "no decomposition progress observed");
+        assert_eq!(prev_done, r.iterations * n_blocks);
     }
 
     #[test]

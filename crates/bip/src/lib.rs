@@ -64,8 +64,8 @@ pub mod simplex;
 pub use branch_bound::{BranchBound, MipResult, ResolveContext, SolveOptions};
 pub use delta::{DeltaModel, ModelDelta};
 pub use driver::{
-    relative_gap, CancelToken, DriverResult, GapPoint, MipStatus, SolveBudget, SolveDriver,
-    SolveProgress,
+    relative_gap, CancelToken, DecompositionProgress, DriverResult, GapPoint, MipStatus,
+    SolveBudget, SolveDriver, SolveProgress,
 };
 pub use dual::DualSimplex;
 pub use lagrangian::{

@@ -211,8 +211,16 @@ pub struct CompressedWorkload {
     by_template: HashMap<TemplateKey, TemplateIndex>,
     /// Bucket-grid cell widths (see [`Grid`]).
     grid: Grid,
-    /// Original statement position → representative id.
+    /// Original statement position → representative id.  Empty in streaming
+    /// mode, where holding one entry per absorbed statement would defeat the
+    /// bounded-memory contract.
     assignment: Vec<QueryId>,
+    /// Count of absorbed statements (`assignment.len()` in batch mode).
+    n_absorbed: usize,
+    /// Streaming mode: drop the per-statement assignment and re-center each
+    /// representative's feature point online (weighted running mean of its
+    /// members) so clusters track the stream instead of their first member.
+    streaming: bool,
     original_weight: f64,
     policy: CompressionPolicy,
 }
@@ -257,6 +265,8 @@ impl CompressedWorkload {
             by_template: HashMap::new(),
             grid,
             assignment: Vec::with_capacity(w.len()),
+            n_absorbed: 0,
+            streaming: false,
             original_weight: 0.0,
             policy,
         };
@@ -266,17 +276,49 @@ impl CompressedWorkload {
         cw
     }
 
+    /// An empty compressed workload in **streaming mode**, for chunked
+    /// ingestion of workloads too large to materialize:
+    ///
+    /// * the per-statement `assignment` vector is not kept, so resident state
+    ///   is proportional to the number of *representatives*, not `|W|`;
+    /// * on every merge the representative's feature point is re-centered to
+    ///   the weighted running mean of its members (the online medoid-update
+    ///   follow-up to greedy agglomeration), re-bucketing its grid cell when
+    ///   the quantized key moves — so clusters track the stream instead of
+    ///   being pinned to their first member.
+    ///
+    /// Batch compression ([`CompressedWorkload::compress`]) keeps the
+    /// first-member semantics unchanged.
+    pub fn streaming(policy: CompressionPolicy) -> CompressedWorkload {
+        let grid = make_grid(policy, true);
+        CompressedWorkload {
+            representatives: Workload::new(),
+            rep_features: Vec::new(),
+            by_shell: HashMap::new(),
+            by_template: HashMap::new(),
+            grid,
+            assignment: Vec::new(),
+            n_absorbed: 0,
+            streaming: true,
+            original_weight: 0.0,
+            policy,
+        }
+    }
+
     /// The weighted representative workload INUM should prepare.
     pub fn representatives(&self) -> &Workload {
         &self.representatives
     }
 
     /// Original statement position → representative id, in absorption order.
+    /// Empty in streaming mode.
     pub fn assignment(&self) -> &[QueryId] {
         &self.assignment
     }
 
     /// The representative of the `i`-th absorbed statement.
+    ///
+    /// Panics in streaming mode, which does not retain the assignment.
     pub fn representative_of(&self, original: usize) -> QueryId {
         self.assignment[original]
     }
@@ -285,8 +327,19 @@ impl CompressedWorkload {
         self.policy
     }
 
+    /// Whether this workload was built via [`CompressedWorkload::streaming`].
+    pub fn is_streaming(&self) -> bool {
+        self.streaming
+    }
+
+    /// The current (possibly re-centered) feature point of a representative,
+    /// when features were extracted for it (`Epsilon`/`Lossless` policies).
+    pub fn representative_features(&self, rep: QueryId) -> Option<&StatementFeatures> {
+        self.rep_features.get(rep.0 as usize)
+    }
+
     pub fn n_original(&self) -> usize {
-        self.assignment.len()
+        self.n_absorbed
     }
 
     pub fn n_representatives(&self) -> usize {
@@ -313,22 +366,33 @@ impl CompressedWorkload {
     /// interactive sessions — a `Merged` outcome costs zero what-if calls.
     pub fn absorb(&mut self, schema: &Schema, stmt: &Statement, weight: f64) -> Absorption {
         self.original_weight += weight;
+        self.n_absorbed += 1;
         let Some(eps) = self.policy.merge_threshold() else {
             return self.open_cluster(stmt, weight, None);
         };
         let f = StatementFeatures::extract(schema, stmt);
         if let Some(&rep) = self.by_shell.get(&f.shell) {
-            return self.merge_into(rep, weight);
+            return self.merge_into(rep, weight, Some(&f));
         }
         if eps > 0.0 {
             if let Some(rep) = self.nearest_within(&f, eps) {
                 // Index this (novel) shell so later exact duplicates of it
                 // take the O(1) path onto the same representative.
-                self.by_shell.insert(f.shell, rep);
-                return self.merge_into(rep, weight);
+                self.by_shell.insert(f.shell.clone(), rep);
+                return self.merge_into(rep, weight, Some(&f));
             }
         }
         self.open_cluster(stmt, weight, Some(f))
+    }
+
+    /// Absorb one chunk of a stream; returns how many opened new clusters.
+    pub fn absorb_chunk(&mut self, schema: &Schema, chunk: &[(Statement, f64)]) -> usize {
+        chunk
+            .iter()
+            .filter(|(stmt, weight)| {
+                matches!(self.absorb(schema, stmt, *weight), Absorption::NewRepresentative(_))
+            })
+            .count()
     }
 
     /// The nearest same-template representative within `eps`, ties broken
@@ -370,10 +434,62 @@ impl CompressedWorkload {
         best.map(|(_, rep)| rep)
     }
 
-    fn merge_into(&mut self, rep: QueryId, weight: f64) -> Absorption {
+    fn merge_into(
+        &mut self,
+        rep: QueryId,
+        weight: f64,
+        f: Option<&StatementFeatures>,
+    ) -> Absorption {
         self.representatives.add_weight(rep, weight);
-        self.assignment.push(rep);
+        if self.streaming {
+            if let Some(f) = f {
+                self.recenter(rep, weight, f);
+            }
+        } else {
+            self.assignment.push(rep);
+        }
         Absorption::Merged(rep)
+    }
+
+    /// Online re-centering (streaming mode only): shift the representative's
+    /// stored feature point toward the weighted running mean of its members,
+    /// `c ← c + (w / W) · (x − c)` with `W` the cluster's cumulative weight.
+    /// The representative *statement* stays the first member — only the
+    /// feature point used by the nearest-within-ε scan moves.  When the
+    /// quantized grid key changes, the representative migrates cells so the
+    /// 3^d neighbor enumeration stays an exact superset of the linear scan.
+    fn recenter(&mut self, rep: QueryId, weight: f64, f: &StatementFeatures) {
+        let total = self.representatives.weight(rep);
+        if !total.is_finite()
+            || total <= 0.0
+            || f.selectivities.len() != self.rep_features[rep.0 as usize].selectivities.len()
+        {
+            return;
+        }
+        let alpha = weight / total;
+        let old_key =
+            self.grid.map(|(cs, cr)| cell_key(&self.rep_features[rep.0 as usize], cs, cr));
+        {
+            let rf = &mut self.rep_features[rep.0 as usize];
+            for (c, &x) in rf.selectivities.iter_mut().zip(&f.selectivities) {
+                *c += alpha * (x - *c);
+            }
+            rf.update_rows += alpha * (f.update_rows - rf.update_rows);
+        }
+        if let (Some((cs, cr)), Some(old_key)) = (self.grid, old_key) {
+            let rf = &self.rep_features[rep.0 as usize];
+            let new_key = cell_key(rf, cs, cr);
+            if new_key != old_key {
+                if let Some(cells) =
+                    self.by_template.get_mut(&rf.template).and_then(|idx| idx.cells.as_mut())
+                {
+                    if let Some(v) = cells.get_mut(&old_key) {
+                        v.retain(|r| *r != rep);
+                    }
+                    cells.entry(new_key).or_default().push(rep);
+                }
+            }
+        }
     }
 
     fn open_cluster(
@@ -383,6 +499,7 @@ impl CompressedWorkload {
         features: Option<StatementFeatures>,
     ) -> Absorption {
         let rep = self.representatives.push_weighted(stmt.clone(), weight);
+        let keep_assignment = !self.streaming;
         if let Some(f) = features {
             self.by_shell.insert(f.shell.clone(), rep);
             let grid = self.grid;
@@ -398,7 +515,9 @@ impl CompressedWorkload {
             }
             self.rep_features.push(f);
         }
-        self.assignment.push(rep);
+        if keep_assignment {
+            self.assignment.push(rep);
+        }
         Absorption::NewRepresentative(rep)
     }
 
@@ -416,6 +535,24 @@ impl CompressedWorkload {
         let n_reps = self.representatives.len() as u32;
         if let Some(bad) = self.assignment.iter().find(|r| r.0 >= n_reps) {
             return Err(format!("assignment targets unknown representative {bad:?}"));
+        }
+        if self.streaming {
+            if !self.assignment.is_empty() {
+                return Err("streaming mode must not retain an assignment".into());
+            }
+            if self.n_absorbed < self.representatives.len() {
+                return Err(format!(
+                    "absorbed {} statements but hold {} representatives",
+                    self.n_absorbed,
+                    self.representatives.len()
+                ));
+            }
+        } else if self.assignment.len() != self.n_absorbed {
+            return Err(format!(
+                "assignment covers {} of {} absorbed statements",
+                self.assignment.len(),
+                self.n_absorbed
+            ));
         }
         for id in self.representatives.ids() {
             if self.representatives.weight(id) <= 0.0 {
@@ -638,6 +775,100 @@ mod tests {
             inc.absorb(&s, stmt, weight);
         }
         assert_eq!(batch.assignment(), inc.assignment());
+    }
+
+    #[test]
+    fn streaming_lossless_matches_batch_representatives() {
+        // With Lossless every merge is an exact duplicate, so online
+        // re-centering is a mathematical no-op and streaming must reproduce
+        // the batch representatives bit for bit — while retaining no
+        // assignment.
+        let s = schema();
+        let w = mixed(14, 90);
+        let batch = CompressedWorkload::compress(&s, &w, CompressionPolicy::Lossless);
+        let mut stream = CompressedWorkload::streaming(CompressionPolicy::Lossless);
+        let mut src = w.source();
+        let mut buf = Vec::new();
+        while {
+            buf.clear();
+            cophy_workload::WorkloadSource::next_chunk(&mut src, 17, &mut buf) > 0
+        } {
+            stream.absorb_chunk(&s, &buf);
+        }
+        assert!(stream.is_streaming());
+        assert!(stream.assignment().is_empty());
+        assert_eq!(stream.n_original(), w.len());
+        assert_eq!(stream.n_representatives(), batch.n_representatives());
+        for id in batch.representatives().ids() {
+            assert_eq!(
+                batch.representatives().statement(id),
+                stream.representatives().statement(id)
+            );
+            assert_eq!(batch.representatives().weight(id), stream.representatives().weight(id));
+        }
+        stream.validate().unwrap();
+    }
+
+    #[test]
+    fn streaming_recenters_toward_member_mean() {
+        // Two same-template points within ε: the second merges and must pull
+        // the representative's feature point toward the weighted mean.
+        let s = schema();
+        let li = s.table_by_name("lineitem").unwrap().id;
+        let sd = s.resolve("lineitem.l_shipdate").unwrap();
+        let probe = |v: f64| {
+            let mut q = Query::scan(li);
+            q.predicates.push(Predicate::lt(sd, v));
+            cophy_workload::Statement::Select(q)
+        };
+        let mut cw = CompressedWorkload::streaming(CompressionPolicy::Epsilon(0.5));
+        let a = cw.absorb(&s, &probe(500.0), 1.0);
+        let rep = a.representative();
+        let sel0 = cw.representative_features(rep).unwrap().selectivities[0];
+        let b = cw.absorb(&s, &probe(1500.0), 1.0);
+        assert!(matches!(b, Absorption::Merged(_)), "points within ε must merge: {b:?}");
+        let sel1 = cw.representative_features(rep).unwrap().selectivities[0];
+        let member = StatementFeatures::extract(&s, &probe(1500.0)).selectivities[0];
+        let mean = (sel0 + member) / 2.0;
+        assert!((sel1 - mean).abs() < 1e-12, "centroid {sel1} != member mean {mean}");
+        // The representative *statement* stays the first member.
+        assert_eq!(cw.representatives().statement(rep), &probe(500.0));
+        cw.validate().unwrap();
+    }
+
+    #[test]
+    fn streaming_grid_stays_consistent_under_recentering() {
+        // Deep single-template stream with a tight ε: representatives drift
+        // and re-bucket.  Every representative must sit in exactly the cell
+        // matching its *current* feature point, or the neighbor enumeration
+        // would silently miss merges.
+        let s = schema();
+        let li = s.table_by_name("lineitem").unwrap().id;
+        let sd = s.resolve("lineitem.l_shipdate").unwrap();
+        let mut cw = CompressedWorkload::streaming(CompressionPolicy::Epsilon(0.01));
+        for i in 0..400u32 {
+            let mut q = Query::scan(li);
+            q.predicates.push(Predicate::lt(sd, 1.0 + (i as f64 * 37.0) % 2400.0));
+            cw.absorb(&s, &Statement::Select(q), 1.0);
+        }
+        assert!(
+            cw.n_representatives() > LINEAR_SCAN_CUTOFF,
+            "test must exercise the indexed path: {} reps",
+            cw.n_representatives()
+        );
+        let (cs, cr) = cw.grid.expect("tight ε must build a grid");
+        for (_, idx) in cw.by_template.iter() {
+            let cells = idx.cells.as_ref().expect("low-dim template must be indexed");
+            for rep in &idx.reps {
+                let key = cell_key(&cw.rep_features[rep.0 as usize], cs, cr);
+                let home = cells.get(&key).map(Vec::as_slice).unwrap_or_default();
+                assert!(home.contains(rep), "{rep:?} missing from its current cell");
+                let listings: usize =
+                    cells.values().map(|v| v.iter().filter(|r| *r == rep).count()).sum();
+                assert_eq!(listings, 1, "{rep:?} listed {listings} times across cells");
+            }
+        }
+        cw.validate().unwrap();
     }
 
     #[test]

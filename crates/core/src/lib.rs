@@ -28,6 +28,34 @@
 //! println!("{} indexes, gap {:.1}%", rec.configuration.len(), rec.gap * 100.0);
 //! ```
 //!
+//! ## Streaming large workloads
+//!
+//! Million-statement workloads never need to be materialized: any
+//! [`cophy_workload::WorkloadSource`] (generator streams, file readers,
+//! query-log tailers) feeds the advisor chunk by chunk, compression
+//! clusters **online** (resident state ∝ representatives, not `|W|`), and
+//! the Lagrangian backend solves the per-statement blocks in parallel:
+//!
+//! ```
+//! use cophy::{CoPhy, CoPhyOptions, CompressionPolicy, ConstraintSet};
+//! use cophy_catalog::TpchGen;
+//! use cophy_optimizer::{SystemProfile, WhatIfOptimizer};
+//! use cophy_workload::HomGen;
+//!
+//! let optimizer = WhatIfOptimizer::new(TpchGen::default().schema(), SystemProfile::A);
+//! // A generator-backed source: statements are produced on demand, chunk
+//! // by chunk — the full workload never exists in memory.
+//! let mut source = HomGen::new(1).stream(optimizer.schema(), 500);
+//! let options =
+//!     CoPhyOptions { compression: CompressionPolicy::default_epsilon(), ..Default::default() };
+//! let cophy = CoPhy::new(&optimizer, options);
+//! let constraints = ConstraintSet::storage_fraction(optimizer.schema(), 0.5);
+//! let rec = cophy.try_tune_source(&mut source, &constraints).unwrap();
+//! let summary = rec.compression.as_ref().unwrap();
+//! assert_eq!(summary.n_original, 500);
+//! assert!(summary.n_representatives < 500);
+//! ```
+//!
 //! ## Architecture (paper Figure 2)
 //!
 //! | Paper component | Here |
@@ -105,7 +133,7 @@ pub use solver::{
 
 // The shared anytime solve engine's budget/progress vocabulary, re-exported
 // so advisor-level callers need not depend on `cophy_bip` directly.
-pub use cophy_bip::{SolveBudget, SolveProgress};
+pub use cophy_bip::{DecompositionProgress, SolveBudget, SolveProgress};
 
 // The backend seam's vocabulary (see "Backends & portability" above),
 // re-exported so custom-backend authors and cache-sharing callers need not
@@ -119,3 +147,8 @@ pub use cophy_optimizer::{
 // can set `CoPhyOptions::compression` and read `Recommendation::compression`
 // without depending on `cophy_compress` directly.
 pub use cophy_compress::{Absorption, CompressedWorkload, CompressionPolicy, CompressionSummary};
+
+// The streaming-ingestion vocabulary (see "Streaming large workloads"
+// above): implement `WorkloadSource` to feed `CoPhy::try_tune_source` /
+// `TuningSession::try_add_source` without materializing the workload.
+pub use cophy_workload::{WorkloadSource, DEFAULT_CHUNK};

@@ -40,7 +40,7 @@ use cophy_bip::{
 use cophy_catalog::{Configuration, Index};
 use cophy_compress::{Absorption, CompressedWorkload};
 use cophy_inum::{Inum, InumCache};
-use cophy_workload::{QueryId, Workload};
+use cophy_workload::{QueryId, Statement, Workload, WorkloadSource};
 
 use crate::bipgen::BipMapping;
 use crate::cgen::CandidateSet;
@@ -235,6 +235,52 @@ impl<'o, 'c> TuningSession<'o, 'c> {
         })
     }
 
+    /// Open a session by **streaming** a workload source in chunks, never
+    /// materializing the full workload: with compression enabled (the
+    /// intended large-|W| configuration) the session starts from an empty
+    /// *streaming* clustering ([`CompressedWorkload::streaming`]) and
+    /// absorbs each chunk incrementally — resident state is bounded by the
+    /// representative count plus one chunk buffer, INUM prepares only the
+    /// cluster-opening statements, and CGen runs only over them.  With
+    /// compression off every statement is prepared individually (resident
+    /// state is then the prepared workload itself, as on the batch path).
+    ///
+    /// Faults roll back per chunk: on error the chunks ingested before the
+    /// failing one remain committed and the failing chunk is rolled back
+    /// whole (see [`TuningSession::try_add_source`]).  Backs
+    /// [`crate::CoPhy::try_session_streaming`] and
+    /// [`crate::CoPhy::try_tune_source`].
+    pub(crate) fn try_open_streaming(
+        cophy: &'c CoPhy<'o>,
+        source: &mut dyn WorkloadSource,
+        chunk_size: usize,
+        constraints: ConstraintSet,
+    ) -> Result<Self, String> {
+        if !constraints.is_storage_only() {
+            return Err(
+                "interactive sessions use the Lagrangian backend (storage-only constraints)".into(),
+            );
+        }
+        let policy = cophy.options.compression;
+        policy.validate()?;
+        let mut session = TuningSession {
+            cophy,
+            prepared: InumCache::empty(),
+            candidates: CandidateSet::default(),
+            constraints,
+            warm: None,
+            compressed: (!policy.is_off()).then(|| CompressedWorkload::streaming(policy)),
+            interactive: None,
+            fixings: Vec::new(),
+            cancel: None,
+            what_if_calls: 0,
+            inum_time: Duration::ZERO,
+            degradation: None,
+        };
+        session.try_add_source(source, chunk_size)?;
+        Ok(session)
+    }
+
     /// Arm (or disarm) cooperative cancellation: every subsequent solve —
     /// warm Lagrangian recommends and interactive B&B re-solves alike —
     /// observes the token between nodes/iterations and stops with
@@ -346,16 +392,68 @@ impl<'o, 'c> TuningSession<'o, 'c> {
     /// quota-rejected tenant can retry later without corrupting sessions
     /// that share the cache.  (Probes spent before the failure remain
     /// accounted against the backend; they were really issued.)
+    ///
+    /// This is a thin shim over the chunked [`TuningSession::try_add_source`]
+    /// path: the workload is ingested as one chunk, which makes the
+    /// per-chunk rollback whole-delta rollback.
     pub fn try_add_statements(&mut self, w: &Workload) -> Result<(), String> {
+        self.try_add_source(&mut w.source(), w.len().max(1))
+    }
+
+    /// Stream statements into the session from a [`WorkloadSource`] in
+    /// chunks of `chunk_size` (clamped to ≥ 1): the redesigned ingestion
+    /// path behind [`TuningSession::add_statements`] and the server's
+    /// workload deltas.  Only one chunk is resident at a time, so a
+    /// generator- or file-backed source ingests an arbitrarily large
+    /// workload without materializing it; under compression each chunk
+    /// routes through incremental re-clustering and only cluster-opening
+    /// statements pay INUM preparation and CGen.
+    ///
+    /// Faults roll back **per chunk**: a failing chunk is undone whole
+    /// (cache, clustering state and candidates exactly as before it), but
+    /// chunks committed earlier stay — the session remains consistent and
+    /// the caller may retry the remainder of the stream later.
+    pub fn try_add_source(
+        &mut self,
+        source: &mut dyn WorkloadSource,
+        chunk_size: usize,
+    ) -> Result<(), String> {
         self.interactive = None; // the block layout grows; rebuilt on demand
+        let chunk_size = chunk_size.max(1);
         let before = self.cophy.optimizer().what_if_calls();
         let t0 = Instant::now();
+        let mut buf: Vec<(Statement, f64)> = Vec::new();
+        let mut result = Ok(());
+        loop {
+            buf.clear();
+            if source.next_chunk(chunk_size, &mut buf) == 0 {
+                break;
+            }
+            if let Err(e) = self.try_add_chunk(&buf) {
+                result = Err(e.to_string());
+                break;
+            }
+        }
+        let spent = self.cophy.optimizer().what_if_calls() - before;
+        self.prepared.write(|pw| pw.what_if_calls += spent);
+        self.what_if_calls += spent;
+        self.inum_time += t0.elapsed();
+        result
+    }
+
+    /// Ingest one chunk of weighted statements, with chunk-granular
+    /// rollback on probe failure (the shared machinery behind both
+    /// ingestion surfaces above).
+    fn try_add_chunk(
+        &mut self,
+        chunk: &[(Statement, f64)],
+    ) -> Result<(), cophy_optimizer::BackendError> {
         let schema = self.cophy.optimizer().schema();
         let inum = Inum::new(self.cophy.optimizer());
         let cache = Arc::clone(&self.prepared);
         let mut failure: Option<cophy_optimizer::BackendError> = None;
         if let Some(cw) = self.compressed.as_mut() {
-            // Snapshot for whole-delta rollback: absorption mutates the
+            // Snapshot for whole-chunk rollback: absorption mutates the
             // clustering incrementally and cannot be undone per statement.
             let cw_snapshot = cw.clone();
             // Only the cluster-opening statements are new to CGen.
@@ -363,21 +461,21 @@ impl<'o, 'c> TuningSession<'o, 'c> {
             cache.write(|pw| {
                 let n_before = pw.queries.len();
                 let weights_before: Vec<f64> = pw.queries.iter().map(|pq| pq.weight).collect();
-                for (_, stmt, weight) in w.iter() {
-                    match cw.absorb(schema, stmt, weight) {
+                for (stmt, weight) in chunk {
+                    match cw.absorb(schema, stmt, *weight) {
                         Absorption::Merged(rep) => {
                             pw.queries[rep.0 as usize].weight += weight;
                         }
                         Absorption::NewRepresentative(rep) => {
                             debug_assert_eq!(rep.0 as usize, pw.queries.len());
-                            match inum.try_prepare_statement(rep, stmt, weight) {
+                            match inum.try_prepare_statement(rep, stmt, *weight) {
                                 Ok(pq) => pw.queries.push(pq),
                                 Err(e) => {
                                     failure = Some(e);
                                     break;
                                 }
                             }
-                            novel.push_weighted(stmt.clone(), weight);
+                            novel.push_weighted(stmt.clone(), *weight);
                         }
                     }
                 }
@@ -398,12 +496,9 @@ impl<'o, 'c> TuningSession<'o, 'c> {
             cache.write(|pw| {
                 let offset = pw.queries.len() as u32;
                 let n_before = pw.queries.len();
-                for (qid, stmt, weight) in w.iter() {
-                    match inum.try_prepare_statement(qid, stmt, weight) {
-                        Ok(mut pq) => {
-                            pq.qid = QueryId(offset + qid.0);
-                            pw.queries.push(pq);
-                        }
+                for (i, (stmt, weight)) in chunk.iter().enumerate() {
+                    match inum.try_prepare_statement(QueryId(offset + i as u32), stmt, *weight) {
+                        Ok(pq) => pw.queries.push(pq),
                         Err(e) => {
                             failure = Some(e);
                             pw.queries.truncate(n_before);
@@ -413,15 +508,15 @@ impl<'o, 'c> TuningSession<'o, 'c> {
                 }
             });
             if failure.is_none() {
-                let extra = self.cophy.options.cgen.generate(schema, w);
+                let mut novel = Workload::new();
+                for (stmt, weight) in chunk {
+                    novel.push_weighted(stmt.clone(), *weight);
+                }
+                let extra = self.cophy.options.cgen.generate(schema, &novel);
                 self.candidates.extend(schema, extra.iter().map(|(_, ix)| ix.clone()));
             }
         }
-        let spent = self.cophy.optimizer().what_if_calls() - before;
-        cache.write(|pw| pw.what_if_calls += spent);
-        self.what_if_calls += spent;
-        self.inum_time += t0.elapsed();
-        failure.map_or(Ok(()), |e| Err(e.to_string()))
+        failure.map_or(Ok(()), Err)
     }
 
     // -- the interactive surface (paper §4.2) -------------------------------
@@ -853,6 +948,73 @@ mod tests {
         // More statements → higher total workload cost.
         assert!(r2.objective > r1.objective);
         assert!(r2.baseline_cost > r1.baseline_cost);
+    }
+
+    #[test]
+    fn streaming_session_matches_batch_session_bit_for_bit() {
+        let o = setup();
+        let w = HomGen::new(41).generate(o.schema(), 40);
+        let opts = CoPhyOptions {
+            compression: cophy_compress::CompressionPolicy::Lossless,
+            ..Default::default()
+        };
+        let cophy = CoPhy::new(&o, opts);
+        let constraints = ConstraintSet::storage_fraction(o.schema(), 0.5);
+        let mut batch = cophy.try_session(&w, constraints.clone()).unwrap();
+        let mut streamed = cophy.try_session_streaming(&mut w.source(), constraints).unwrap();
+        assert_eq!(streamed.n_statements(), w.len());
+        assert_eq!(streamed.n_representatives(), batch.n_representatives());
+        // Lossless streaming clustering is bit-identical to the batch path,
+        // so the Theorem-1 models coincide textually...
+        assert_eq!(batch.export_mps(), streamed.export_mps());
+        // ...and the solves coincide bit-for-bit.
+        let rb = batch.recommend();
+        let rs = streamed.recommend();
+        assert_eq!(rb.objective.to_bits(), rs.objective.to_bits());
+        assert_eq!(rb.configuration, rs.configuration);
+    }
+
+    #[test]
+    fn chunked_ingestion_is_invariant_to_chunk_size() {
+        let o = setup();
+        let opts = CoPhyOptions {
+            compression: cophy_compress::CompressionPolicy::default_epsilon(),
+            ..Default::default()
+        };
+        let cophy = CoPhy::new(&o, opts);
+        let constraints = ConstraintSet::storage_fraction(o.schema(), 0.5);
+        let empty = Workload::new();
+        let mut models: Vec<String> = Vec::new();
+        for chunk in [1usize, 7, 64, 512] {
+            let mut s =
+                cophy.try_session_streaming(&mut empty.source(), constraints.clone()).unwrap();
+            s.try_add_source(&mut HomGen::new(9).stream(o.schema(), 60), chunk).unwrap();
+            assert_eq!(s.n_statements(), 60);
+            models.push(s.export_mps());
+        }
+        assert!(models.windows(2).all(|p| p[0] == p[1]), "model must not depend on chunk size");
+    }
+
+    #[test]
+    fn streaming_session_keeps_residency_at_representatives() {
+        let o = setup();
+        let opts = CoPhyOptions {
+            compression: cophy_compress::CompressionPolicy::default_epsilon(),
+            ..Default::default()
+        };
+        let cophy = CoPhy::new(&o, opts);
+        let mut src = HomGen::new(2).stream(o.schema(), 400);
+        let session = cophy
+            .try_session_streaming(&mut src, ConstraintSet::storage_fraction(o.schema(), 0.5))
+            .unwrap();
+        assert_eq!(session.n_statements(), 400);
+        // Only representatives are prepared/resident — the stream itself is
+        // gone.  A homogeneous 400-statement stream must cluster hard.
+        assert!(
+            session.n_representatives() * 4 <= session.n_statements(),
+            "homogeneous stream must cluster: {} representatives",
+            session.n_representatives()
+        );
     }
 
     #[test]

@@ -27,7 +27,7 @@ use cophy_catalog::Configuration;
 use cophy_compress::{CompressedWorkload, CompressionPolicy, CompressionSummary};
 use cophy_inum::{Inum, PrepFaultReport, PreparedWorkload};
 use cophy_optimizer::{RetryPolicy, WhatIfBackend};
-use cophy_workload::Workload;
+use cophy_workload::{Workload, WorkloadSource, DEFAULT_CHUNK};
 
 use crate::bipgen::{BipGen, BipMapping};
 use crate::cgen::{CGen, CandidateSet};
@@ -597,6 +597,50 @@ impl<'o> CoPhy<'o> {
         constraints: ConstraintSet,
     ) -> Result<TuningSession<'o, '_>, String> {
         TuningSession::try_open_shared(self, cache, candidates, constraints)
+    }
+
+    /// Open a session by **streaming** a [`WorkloadSource`] in
+    /// [`DEFAULT_CHUNK`]-sized chunks instead of materializing the workload:
+    /// the large-|W| ingestion path.  With compression enabled the session
+    /// clusters online ([`CompressedWorkload::streaming`]) — resident state
+    /// is bounded by the representative count plus one chunk buffer, and
+    /// INUM/CGen run only over cluster-opening statements.  Callers needing
+    /// a different chunk size open over an empty source and drive
+    /// [`TuningSession::try_add_source`] directly.
+    pub fn try_session_streaming(
+        &self,
+        source: &mut dyn WorkloadSource,
+        constraints: ConstraintSet,
+    ) -> Result<TuningSession<'o, '_>, String> {
+        TuningSession::try_open_streaming(self, source, DEFAULT_CHUNK, constraints)
+    }
+
+    /// Full pipeline over a **streamed** workload: chunked ingestion (see
+    /// [`CoPhy::try_session_streaming`]) followed by one solve.  This is the
+    /// million-statement entry point — the workload is never materialized,
+    /// so memory scales with the cluster-representative count rather than
+    /// `|W|`.  Storage-only constraint sets (the Lagrangian block-decomposed
+    /// backend); richer sets still go through the batch [`CoPhy::try_tune`].
+    pub fn try_tune_source(
+        &self,
+        source: &mut dyn WorkloadSource,
+        constraints: &ConstraintSet,
+    ) -> Result<Recommendation, String> {
+        self.try_tune_source_with_progress(source, constraints, |_| {})
+    }
+
+    /// [`CoPhy::try_tune_source`] with the unified anytime stream (block
+    /// decomposition progress included via
+    /// [`SolveProgress::decomposition`](cophy_bip::SolveProgress)).
+    pub fn try_tune_source_with_progress(
+        &self,
+        source: &mut dyn WorkloadSource,
+        constraints: &ConstraintSet,
+        on_progress: impl FnMut(&SolveProgress),
+    ) -> Result<Recommendation, String> {
+        let mut session = self.try_session_streaming(source, constraints.clone())?;
+        self.check_feasibility(session.candidates(), constraints)?;
+        Ok(session.recommend_with_progress(on_progress))
     }
 }
 

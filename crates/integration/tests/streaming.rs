@@ -1,0 +1,113 @@
+//! Streaming-ingestion and block-decomposition properties (PR 10).
+//!
+//! Two invariants of the large-workload path:
+//!
+//! 1. **Chunking is invisible.**  Feeding a mixed workload through the
+//!    chunked `WorkloadSource` ingestion in any chunk size yields a model
+//!    bit-identical to one-shot ingestion (compared as exported MPS text,
+//!    which captures queries, weights, candidates and constraint rows).
+//! 2. **Decomposition is sound.**  The block-decomposed Lagrangian solve —
+//!    per-statement subproblems sharded across worker threads, coordinated
+//!    by shared-row multipliers — agrees with the monolithic
+//!    branch-and-bound solve on small mixed workloads within the solvers'
+//!    proven gap slack, and its bound never crosses its incumbent.
+
+use proptest::prelude::*;
+
+use cophy::{
+    CGen, CoPhy, CoPhyOptions, CompressionPolicy, ConstraintSet, SolveBudget, SolverBackend,
+};
+use cophy_catalog::TpchGen;
+use cophy_optimizer::{SystemProfile, WhatIfOptimizer};
+use cophy_workload::{HomGen, UpdateGen, Workload};
+
+/// A mixed select + update workload (the shape that exercises both block
+/// kinds: query blocks and update blocks with fixed base costs).
+fn mixed_workload(
+    schema: &cophy_catalog::Schema,
+    seed: u64,
+    n_sel: usize,
+    n_upd: usize,
+) -> Workload {
+    let mut w = HomGen::new(seed).generate(schema, n_sel);
+    for (_, stmt, f) in UpdateGen::new(seed ^ 0xA5).generate(schema, n_upd).iter() {
+        w.push_weighted(stmt.clone(), f);
+    }
+    w
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn chunked_ingestion_builds_bit_identical_models(
+        seed in 0u64..1000,
+        n in 10usize..36,
+        chunk in 1usize..17,
+        lossless in any::<bool>(),
+    ) {
+        let o = WhatIfOptimizer::new(TpchGen::default().schema(), SystemProfile::A);
+        let policy = if lossless {
+            CompressionPolicy::Lossless
+        } else {
+            CompressionPolicy::default_epsilon()
+        };
+        let opts = CoPhyOptions { compression: policy, ..Default::default() };
+        let cophy = CoPhy::new(&o, opts);
+        let constraints = ConstraintSet::storage_fraction(o.schema(), 0.5);
+        let w = mixed_workload(o.schema(), seed, n, n / 3 + 1);
+
+        let empty = Workload::new();
+        let mut one_shot =
+            cophy.try_session_streaming(&mut empty.source(), constraints.clone()).unwrap();
+        one_shot.try_add_source(&mut w.source(), w.len()).unwrap();
+        let mut chunked = cophy.try_session_streaming(&mut empty.source(), constraints).unwrap();
+        chunked.try_add_source(&mut w.source(), chunk).unwrap();
+
+        prop_assert_eq!(one_shot.n_statements(), w.len());
+        prop_assert_eq!(one_shot.n_statements(), chunked.n_statements());
+        prop_assert_eq!(one_shot.n_representatives(), chunked.n_representatives());
+        prop_assert_eq!(one_shot.export_mps(), chunked.export_mps());
+    }
+
+    #[test]
+    fn decomposed_solve_matches_monolithic_within_gap_slack(
+        seed in 0u64..500,
+        n in 4usize..9,
+        workers in 2usize..5,
+    ) {
+        let o = WhatIfOptimizer::new(TpchGen::default().schema(), SystemProfile::A);
+        let w = mixed_workload(o.schema(), seed, n, 2);
+        let constraints = ConstraintSet::storage_fraction(o.schema(), 0.25);
+        let candidates = CGen::default().generate(o.schema(), &w).truncate(10);
+        let budget = SolveBudget { gap_limit: 1e-6, node_limit: Some(800), ..Default::default() };
+
+        let lag_opts = CoPhyOptions {
+            budget: budget.with_parallelism(workers),
+            backend: SolverBackend::Lagrangian,
+            ..Default::default()
+        };
+        let lag = CoPhy::new(&o, lag_opts)
+            .try_tune_with_candidates(&w, &candidates, &constraints)
+            .unwrap();
+        let bb_opts =
+            CoPhyOptions { budget, backend: SolverBackend::BranchBound, ..Default::default() };
+        let bb = CoPhy::new(&o, bb_opts)
+            .try_tune_with_candidates(&w, &candidates, &constraints)
+            .unwrap();
+
+        // B&B is exact at this size; the decomposed incumbent may not beat
+        // it, must sit within the solvers' summed proven gaps of it, and
+        // must dominate its own bound.
+        prop_assert!(lag.objective >= bb.objective - 1e-6);
+        let slack = (lag.gap + bb.gap).max(0.02);
+        prop_assert!(
+            (lag.objective - bb.objective) / bb.objective <= slack + 1e-9,
+            "decomposed {} vs monolithic {} exceeds slack {}",
+            lag.objective,
+            bb.objective,
+            slack
+        );
+        prop_assert!(lag.bound <= lag.objective + 1e-6);
+    }
+}

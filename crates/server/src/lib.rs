@@ -45,8 +45,8 @@ pub mod server;
 pub use breaker::{BreakerState, CircuitBreaker};
 pub use client::{Client, ClientError};
 pub use manager::{
-    parse_spec, OpenReply, PointReply, ServerConfig, SessionManager, StatsReply, TuneReply,
-    WhatIfReply,
+    parse_spec, parse_spec_source, OpenReply, PointReply, ServerConfig, SessionManager, StatsReply,
+    TuneReply, WhatIfReply,
 };
 pub use protocol::{DegradedLine, ErrCode, ProgressLine, Request, WireError};
 pub use quota::MeteredBackend;

@@ -39,7 +39,9 @@ use cophy_inum::InumCache;
 use cophy_optimizer::{
     FaultInjectingBackend, FaultPlan, RetryPolicy, SystemProfile, WhatIfBackend, WhatIfOptimizer,
 };
-use cophy_workload::{HetGen, HomGen, UpdateGen, Workload};
+use cophy_workload::{
+    drain_to_workload, HetGen, HomGen, UpdateGen, Workload, WorkloadSource, DEFAULT_CHUNK,
+};
 
 use crate::breaker::CircuitBreaker;
 use crate::protocol::{DegradedLine, ErrCode, ProgressLine, WireError};
@@ -290,8 +292,14 @@ pub struct SessionManager {
     pub counters: Counters,
 }
 
-/// Parse a canonical workload spec `(hom|het|upd):SEED:N`.
-pub fn parse_spec(spec: &str, schema: &Schema) -> Result<Workload, WireError> {
+/// Parse a canonical workload spec `(hom|het|upd):SEED:N` into a
+/// **streaming** source: statements are generated on demand, chunk by
+/// chunk, so ingestion never materializes the workload (`add` routes every
+/// chunk through [`cophy::TuningSession::try_add_source`]).
+pub fn parse_spec_source<'a>(
+    spec: &str,
+    schema: &'a Schema,
+) -> Result<Box<dyn WorkloadSource + 'a>, WireError> {
     let bad = |m: String| WireError::new(ErrCode::BadRequest, m);
     let parts: Vec<&str> = spec.split(':').collect();
     let [kind, seed, n] = parts[..] else {
@@ -303,11 +311,20 @@ pub fn parse_spec(spec: &str, schema: &Schema) -> Result<Workload, WireError> {
         return Err(bad(format!("workload size {n} out of range 1..=10000")));
     }
     Ok(match kind {
-        "hom" => HomGen::new(seed).generate(schema, n),
-        "het" => HetGen::new(seed).generate(schema, n),
-        "upd" => UpdateGen::new(seed).generate(schema, n),
+        "hom" => Box::new(HomGen::new(seed).stream(schema, n)),
+        "het" => Box::new(HetGen::new(seed).stream(schema, n)),
+        "upd" => Box::new(UpdateGen::new(seed).stream(schema, n)),
         other => return Err(bad(format!("unknown workload kind {other:?}"))),
     })
+}
+
+/// Parse a canonical workload spec `(hom|het|upd):SEED:N` into a
+/// materialized [`Workload`] (the cold-`open` path, which hands the whole
+/// workload to CGen + INUM at once).  Bit-identical to draining
+/// [`parse_spec_source`]: the batch generators are defined as drains of
+/// their streams.
+pub fn parse_spec(spec: &str, schema: &Schema) -> Result<Workload, WireError> {
+    Ok(drain_to_workload(&mut *parse_spec_source(spec, schema)?))
 }
 
 /// Map a session-layer error string onto the protocol's typed codes.  The
@@ -555,10 +572,13 @@ impl SessionManager {
         Ok(out)
     }
 
-    /// `add`: absorb more statements (quota-charged; whole-delta rollback on
-    /// failure keeps the shared cache consistent).
+    /// `add`: absorb more statements via the chunked streaming-ingestion
+    /// path — the spec's generator feeds the session chunk by chunk, so the
+    /// delta is never materialized (quota-charged; chunk-granular rollback
+    /// on failure keeps the shared cache consistent, with fully-ingested
+    /// chunks committed).
     pub fn add(&self, sid: &str, spec: &str) -> Result<OpenReply, WireError> {
-        let w = parse_spec(spec, &self.schema)?;
+        let mut source = parse_spec_source(spec, &self.schema)?;
         let tenant = *lock(&self.state)
             .tenants
             .get(sid)
@@ -568,7 +588,7 @@ impl SessionManager {
         }
         let out = self.with_session(sid, |session| {
             let before = tenant.backend.spent();
-            session.try_add_statements(&w).map_err(classify)?;
+            session.try_add_source(source.as_mut(), DEFAULT_CHUNK).map_err(classify)?;
             Ok(OpenReply {
                 sid: sid.to_string(),
                 statements: session.n_statements(),

@@ -22,6 +22,9 @@
 //!           | evict <sid> | close <sid> | stats | quit
 //! response := ok ...                          ; single-line acknowledgements
 //!           | progress <pt> <at_us> <inc> <bnd> <gap> <ticks> <pivots>
+//!                      [blocks=<done>/<total> outer=<iter>]
+//!                                             ; trailing tokens: Lagrangian
+//!                                             ; block-decomposition progress
 //!           | rec objective=<f> bound=<f> gap=<f> baseline=<f> calls=<n>
 //!           | point budget=<n> objective=<f> bound=<f> gap=<f>
 //!           | index <wire>                    ; one per selected index
@@ -42,7 +45,7 @@
 //!
 //! [`Client`]: crate::Client
 
-use cophy_bip::SolveProgress;
+use cophy_bip::{DecompositionProgress, SolveProgress};
 use cophy_catalog::Index;
 use cophy_optimizer::trace::{fmt_index, parse_index};
 
@@ -273,6 +276,12 @@ pub struct ProgressLine {
     pub gap: f64,
     pub ticks: usize,
     pub pivots: usize,
+    /// Block-decomposition progress of the Lagrangian backend, when the
+    /// event carries it: travels as trailing `blocks=<done>/<total>
+    /// outer=<iter>` tokens, absent on B&B events and the pre-decomposition
+    /// greedy incumbent.  Unknown trailing `key=value` tokens are ignored on
+    /// parse, so older clients read new servers (and vice versa).
+    pub decomposition: Option<DecompositionProgress>,
 }
 
 impl ProgressLine {
@@ -285,11 +294,15 @@ impl ProgressLine {
             gap: p.gap,
             ticks: p.ticks,
             pivots: p.pivots,
+            decomposition: p.decomposition,
         }
     }
 
     /// The solver-state portion (everything except the wall-clock stamp):
     /// what the `server_smoke` gate compares event for event, bit for bit.
+    /// Decomposition progress is deliberately excluded — it is derived from
+    /// `ticks` on the Lagrangian backend, and keeping the key shape stable
+    /// lets recorded gate baselines survive protocol extensions.
     pub fn state_key(&self) -> (usize, u64, u64, u64, usize, usize) {
         (
             self.point,
@@ -302,18 +315,48 @@ impl ProgressLine {
     }
 
     pub fn to_line(&self) -> String {
-        format!(
+        let mut line = format!(
             "progress {} {} {} {} {} {} {}",
             self.point, self.at_us, self.incumbent, self.bound, self.gap, self.ticks, self.pivots
-        )
+        );
+        if let Some(d) = self.decomposition {
+            line.push_str(&format!(
+                " blocks={}/{} outer={}",
+                d.blocks_done, d.blocks_total, d.outer_iter
+            ));
+        }
+        line
     }
 
     pub fn parse(line: &str) -> Result<ProgressLine, WireError> {
         let t: Vec<&str> = line.split_ascii_whitespace().collect();
-        let [_, point, at_us, incumbent, bound, gap, ticks, pivots] = t[..] else {
+        if t.len() < 8 {
+            return Err(bad(format!("bad progress line {line:?}")));
+        }
+        let [_, point, at_us, incumbent, bound, gap, ticks, pivots] = t[..8] else {
             return Err(bad(format!("bad progress line {line:?}")));
         };
         let e = |what: &str| bad(format!("bad progress field {what}"));
+        let mut blocks: Option<(usize, usize)> = None;
+        let mut outer: Option<usize> = None;
+        for tok in &t[8..] {
+            if let Some(v) = tok.strip_prefix("blocks=") {
+                let (done, total) = v.split_once('/').ok_or_else(|| e("blocks"))?;
+                blocks = Some((
+                    done.parse().map_err(|_| e("blocks"))?,
+                    total.parse().map_err(|_| e("blocks"))?,
+                ));
+            } else if let Some(v) = tok.strip_prefix("outer=") {
+                outer = Some(v.parse().map_err(|_| e("outer"))?);
+            }
+            // other trailing key=value tokens: forward-compatible, ignored
+        }
+        let decomposition = match (blocks, outer) {
+            (Some((blocks_done, blocks_total)), Some(outer_iter)) => {
+                Some(DecompositionProgress { blocks_done, blocks_total, outer_iter })
+            }
+            _ => None,
+        };
         Ok(ProgressLine {
             point: point.parse().map_err(|_| e("point"))?,
             at_us: at_us.parse().map_err(|_| e("at_us"))?,
@@ -322,6 +365,7 @@ impl ProgressLine {
             gap: gap.parse().map_err(|_| e("gap"))?,
             ticks: ticks.parse().map_err(|_| e("ticks"))?,
             pivots: pivots.parse().map_err(|_| e("pivots"))?,
+            decomposition,
         })
     }
 }
@@ -460,10 +504,41 @@ mod tests {
             gap: f64::INFINITY,
             ticks: 7,
             pivots: 99,
+            decomposition: None,
         };
         let back = ProgressLine::parse(&p.to_line()).unwrap();
         assert_eq!(back.state_key(), p.state_key());
         assert_eq!(back, p);
+    }
+
+    #[test]
+    fn progress_lines_carry_typed_decomposition_fields() {
+        let p = ProgressLine {
+            point: 0,
+            at_us: 77,
+            incumbent: 10.5,
+            bound: 9.25,
+            gap: 0.125,
+            ticks: 12,
+            pivots: 0,
+            decomposition: Some(DecompositionProgress {
+                blocks_done: 36,
+                blocks_total: 3,
+                outer_iter: 12,
+            }),
+        };
+        let line = p.to_line();
+        assert!(line.ends_with("blocks=36/3 outer=12"), "{line}");
+        let back = ProgressLine::parse(&line).unwrap();
+        assert_eq!(back, p);
+        assert_eq!(back.state_key(), p.state_key());
+        // Forward compatibility: unknown trailing key=value tokens are
+        // ignored; partial decomposition tokens degrade to None.
+        let extended = ProgressLine::parse(&format!("{line} shard=4/8")).unwrap();
+        assert_eq!(extended, p);
+        let partial = ProgressLine::parse("progress 0 77 10.5 9.25 0.125 12 0 outer=3").unwrap();
+        assert_eq!(partial.decomposition, None);
+        assert!(ProgressLine::parse("progress 0 77 10.5 9.25 0.125 12 0 blocks=4").is_err());
     }
 
     #[test]

@@ -5,10 +5,10 @@
 //! configurable quota.  [`MeteredBackend`] wraps any [`WhatIfBackend`] and
 //! turns the probe that would exceed the quota into a typed
 //! [`BackendError::QuotaExceeded`] instead of performing it, so the whole
-//! fallible pipeline (`try_prepare_*`, `TuningSession::try_add_statements`)
-//! unwinds cleanly: the session's whole-delta rollback restores the shared
-//! cache and the client sees `err quota …` while every other tenant keeps
-//! working.
+//! fallible pipeline (`try_prepare_*`, `TuningSession::try_add_source`)
+//! unwinds cleanly: the session's chunk-granular rollback restores the
+//! shared cache (fully-ingested chunks stay committed) and the client sees
+//! `err quota …` while every other tenant keeps working.
 //!
 //! Metering rides on the backend's own call counter (the PR-6
 //! `what_if_calls` accounting): `spent` is exactly the number of probes the

@@ -63,6 +63,31 @@ fn tcp_round_trip_open_tune_pin_retune_whatif_close() {
 }
 
 #[test]
+fn tune_streams_typed_decomposition_progress_to_the_client() {
+    let handle = Server::bind("127.0.0.1:0", smoke_config(), None).unwrap().spawn();
+    let mut c = Client::connect(handle.addr()).unwrap();
+    let open = c.open("s1", "hom:11:12", 0.5).unwrap();
+    assert_eq!(open.statements, 12);
+
+    // `add` routes through the chunked streaming-ingestion path.
+    let added = c.add("s1", "upd:3:6").unwrap();
+    assert_eq!(added.statements, 18);
+
+    let mut events = Vec::new();
+    c.tune("s1", |p| events.push(p.clone())).unwrap();
+    // The Lagrangian backend decomposes per statement block: the client
+    // sees the typed fields parsed back off the wire.
+    let decomposed: Vec<_> = events.iter().filter_map(|p| p.decomposition).collect();
+    assert!(!decomposed.is_empty(), "tune events must carry decomposition progress");
+    for d in &decomposed {
+        assert_eq!(d.blocks_total, 18, "one block per statement");
+        assert_eq!(d.blocks_done, d.outer_iter * d.blocks_total, "cumulative block count");
+    }
+    c.quit().unwrap();
+    handle.stop();
+}
+
+#[test]
 fn sessions_over_one_spec_share_the_cache() {
     let handle = Server::bind("127.0.0.1:0", smoke_config(), None).unwrap().spawn();
     let mut c = Client::connect(handle.addr()).unwrap();

@@ -48,8 +48,14 @@ impl HetGen {
     }
 
     /// Generate `n` SELECT statements over the TPC-H `schema`.
+    ///
+    /// Equivalent to draining [`HetGen::stream`]; the two are bit-identical.
     pub fn generate(&self, schema: &Schema, n: usize) -> Workload {
-        let mut rng = SmallRng::seed_from_u64(self.seed);
+        crate::source::drain_to_workload(&mut self.stream(schema, n))
+    }
+
+    /// Stream `n` SELECT statements lazily, chunk by chunk.
+    pub fn stream<'a>(&self, schema: &'a Schema, n: usize) -> HetStream<'a> {
         let edges: Vec<(ColumnRef, ColumnRef)> = FK_EDGES
             .iter()
             .map(|(a, b)| {
@@ -59,13 +65,14 @@ impl HetGen {
                 )
             })
             .collect();
-        let mut w = Workload::new();
-        for _ in 0..n {
-            let q = self.random_query(schema, &edges, &mut rng);
-            debug_assert!(q.validate().is_ok(), "{:?}", q.validate());
-            w.push(Statement::Select(q));
+        HetStream {
+            gen: *self,
+            schema,
+            edges,
+            rng: SmallRng::seed_from_u64(self.seed),
+            produced: 0,
+            n,
         }
-        w
     }
 
     /// Sample one random SPJ/aggregate query.
@@ -189,6 +196,36 @@ impl HetGen {
         }
 
         Query { tables, projections, predicates, joins, group_by, aggregates, order_by }
+    }
+}
+
+/// Lazy [`WorkloadSource`](crate::source::WorkloadSource) over [`HetGen`]:
+/// produces the exact statement sequence of `generate(schema, n)` without
+/// materializing the workload.
+#[derive(Debug)]
+pub struct HetStream<'a> {
+    gen: HetGen,
+    schema: &'a Schema,
+    edges: Vec<(ColumnRef, ColumnRef)>,
+    rng: SmallRng,
+    produced: usize,
+    n: usize,
+}
+
+impl crate::source::WorkloadSource for HetStream<'_> {
+    fn next_chunk(&mut self, max: usize, out: &mut Vec<(Statement, f64)>) -> usize {
+        let take = max.min(self.n - self.produced);
+        for _ in 0..take {
+            let q = self.gen.random_query(self.schema, &self.edges, &mut self.rng);
+            debug_assert!(q.validate().is_ok(), "{:?}", q.validate());
+            out.push((Statement::Select(q), 1.0));
+            self.produced += 1;
+        }
+        take
+    }
+
+    fn remaining(&self) -> Option<usize> {
+        Some(self.n - self.produced)
     }
 }
 

@@ -34,17 +34,15 @@ impl HomGen {
     /// Generate `n` SELECT statements over the TPC-H `schema`.
     ///
     /// Panics if `schema` is not TPC-H-shaped (missing tables/columns).
+    ///
+    /// Equivalent to draining [`HomGen::stream`]; the two are bit-identical.
     pub fn generate(&self, schema: &Schema, n: usize) -> Workload {
-        let mut rng = SmallRng::seed_from_u64(self.seed);
-        let mut w = Workload::new();
-        for i in 0..n {
-            // Rotate templates so every size-250 prefix covers all fifteen.
-            let t = (i + rng.gen_range(0..3)) % Self::TEMPLATES;
-            let q = self.instantiate(schema, t, &mut rng);
-            debug_assert!(q.validate().is_ok(), "template {t} invalid: {:?}", q.validate());
-            w.push(Statement::Select(q));
-        }
-        w
+        crate::source::drain_to_workload(&mut self.stream(schema, n))
+    }
+
+    /// Stream `n` SELECT statements lazily, chunk by chunk.
+    pub fn stream<'a>(&self, schema: &'a Schema, n: usize) -> HomStream<'a> {
+        HomStream { gen: *self, schema, rng: SmallRng::seed_from_u64(self.seed), produced: 0, n }
     }
 
     /// Instantiate template `t ∈ [0, TEMPLATES)` with fresh random parameters.
@@ -360,6 +358,37 @@ impl HomGen {
     }
 }
 
+/// Lazy [`WorkloadSource`](crate::source::WorkloadSource) over [`HomGen`]:
+/// produces the exact statement sequence of `generate(schema, n)` without
+/// materializing the workload.
+#[derive(Debug)]
+pub struct HomStream<'a> {
+    gen: HomGen,
+    schema: &'a Schema,
+    rng: SmallRng,
+    produced: usize,
+    n: usize,
+}
+
+impl crate::source::WorkloadSource for HomStream<'_> {
+    fn next_chunk(&mut self, max: usize, out: &mut Vec<(Statement, f64)>) -> usize {
+        let take = max.min(self.n - self.produced);
+        for _ in 0..take {
+            // Rotate templates so every size-250 prefix covers all fifteen.
+            let t = (self.produced + self.rng.gen_range(0..3)) % HomGen::TEMPLATES;
+            let q = self.gen.instantiate(self.schema, t, &mut self.rng);
+            debug_assert!(q.validate().is_ok(), "template {t} invalid: {:?}", q.validate());
+            out.push((Statement::Select(q), 1.0));
+            self.produced += 1;
+        }
+        take
+    }
+
+    fn remaining(&self) -> Option<usize> {
+        Some(self.n - self.produced)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -372,6 +401,26 @@ mod tests {
         assert_eq!(w.len(), 100);
         assert!(w.validate().is_ok());
         assert_eq!(w.update_ids().count(), 0);
+    }
+
+    #[test]
+    fn stream_matches_generate_across_chunk_boundaries() {
+        use crate::source::WorkloadSource;
+        let s = TpchGen::default().schema();
+        let batch = HomGen::new(13).generate(&s, 53);
+        let mut stream = HomGen::new(13).stream(&s, 53);
+        let mut streamed = Workload::new();
+        let mut buf = Vec::new();
+        // A chunk size that does not divide 53: exercises a ragged last chunk.
+        while stream.next_chunk(7, &mut buf) > 0 {
+            for (stmt, w) in buf.drain(..) {
+                streamed.push_weighted(stmt, w);
+            }
+        }
+        assert_eq!(streamed.len(), batch.len());
+        for (id, stmt, _) in batch.iter() {
+            assert_eq!(stmt, streamed.statement(id));
+        }
     }
 
     #[test]

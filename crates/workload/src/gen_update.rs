@@ -37,13 +37,15 @@ impl UpdateGen {
     }
 
     /// Generate `n` UPDATE statements.
+    ///
+    /// Equivalent to draining [`UpdateGen::stream`]; the two are bit-identical.
     pub fn generate(&self, schema: &Schema, n: usize) -> Workload {
-        let mut rng = SmallRng::seed_from_u64(self.seed);
-        let mut w = Workload::new();
-        for _ in 0..n {
-            w.push(Statement::Update(self.random_update(schema, &mut rng)));
-        }
-        w
+        crate::source::drain_to_workload(&mut self.stream(schema, n))
+    }
+
+    /// Stream `n` UPDATE statements lazily, chunk by chunk.
+    pub fn stream<'a>(&self, schema: &'a Schema, n: usize) -> UpdateStream<'a> {
+        UpdateStream { gen: *self, schema, rng: SmallRng::seed_from_u64(self.seed), produced: 0, n }
     }
 
     /// Mix `frac_updates` of updates into `base` (e.g. 0.2 → 20% updates),
@@ -100,6 +102,34 @@ impl UpdateGen {
             },
             set_columns,
         }
+    }
+}
+
+/// Lazy [`WorkloadSource`](crate::source::WorkloadSource) over [`UpdateGen`]:
+/// produces the exact statement sequence of `generate(schema, n)` without
+/// materializing the workload.
+#[derive(Debug)]
+pub struct UpdateStream<'a> {
+    gen: UpdateGen,
+    schema: &'a Schema,
+    rng: SmallRng,
+    produced: usize,
+    n: usize,
+}
+
+impl crate::source::WorkloadSource for UpdateStream<'_> {
+    fn next_chunk(&mut self, max: usize, out: &mut Vec<(Statement, f64)>) -> usize {
+        let take = max.min(self.n - self.produced);
+        for _ in 0..take {
+            let u = self.gen.random_update(self.schema, &mut self.rng);
+            out.push((Statement::Update(u), 1.0));
+            self.produced += 1;
+        }
+        take
+    }
+
+    fn remaining(&self) -> Option<usize> {
+        Some(self.n - self.produced)
     }
 }
 

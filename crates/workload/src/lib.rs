@@ -22,12 +22,14 @@ pub mod gen_het;
 pub mod gen_hom;
 pub mod gen_update;
 pub mod query;
+pub mod source;
 pub mod sql;
 pub mod workload;
 
 pub use features::{shell_key, template_key, ShellKey, StatementFeatures, TemplateKey};
-pub use gen_het::HetGen;
-pub use gen_hom::HomGen;
-pub use gen_update::UpdateGen;
+pub use gen_het::{HetGen, HetStream};
+pub use gen_hom::{HomGen, HomStream};
+pub use gen_update::{UpdateGen, UpdateStream};
 pub use query::{AggFunc, Aggregate, Join, PredOp, Predicate, Query, Statement, UpdateStatement};
+pub use source::{drain_to_workload, WorkloadCursor, WorkloadSource, DEFAULT_CHUNK};
 pub use workload::{QueryId, Workload};

@@ -114,6 +114,12 @@ impl Workload {
         self.weights.iter().sum()
     }
 
+    /// A [`WorkloadSource`](crate::source::WorkloadSource) cursor over this
+    /// workload: statements stream out in id order with their weights.
+    pub fn source(&self) -> crate::source::WorkloadCursor<'_> {
+        crate::source::WorkloadCursor::new(self)
+    }
+
     /// Validate every statement's IR invariants.
     pub fn validate(&self) -> Result<(), String> {
         for (id, s, _) in self.iter() {
